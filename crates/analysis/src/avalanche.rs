@@ -1,0 +1,176 @@
+//! Strict-avalanche (bit-sensitivity) analysis.
+//!
+//! An ideal challenge-response function flips its response with probability
+//! ½ when any single challenge bit flips. Arbiter PUFs are far from ideal:
+//! flipping challenge bit `i` negates exactly the features `φ_0..=φ_i`, so
+//! a low-index bit perturbs only a few delay terms (flip probability ≪ ½)
+//! while the top bit negates nearly the whole sum, `Δ → 2·w_bias − Δ`
+//! (flip probability ≫ ½) — a structural non-uniformity that modeling
+//! attacks exploit and that XOR-ing narrows. This module measures the
+//! per-bit flip probability (the avalanche profile) of any response
+//! function.
+
+use puf_core::Challenge;
+use rand::Rng;
+
+/// Per-bit avalanche profile: `profile[i]` is the estimated probability
+/// that flipping challenge bit `i` flips the response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AvalancheProfile {
+    flip_probability: Vec<f64>,
+    samples: usize,
+}
+
+impl AvalancheProfile {
+    /// The per-bit flip probabilities, indexed by stage.
+    pub fn flip_probability(&self) -> &[f64] {
+        &self.flip_probability
+    }
+
+    /// Number of base challenges sampled per bit.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Mean flip probability over all bits (ideal: 0.5).
+    pub fn mean(&self) -> f64 {
+        self.flip_probability.iter().sum::<f64>() / self.flip_probability.len() as f64
+    }
+
+    /// Worst absolute deviation from the ideal ½ over all bits.
+    pub fn worst_bias(&self) -> f64 {
+        self.flip_probability
+            .iter()
+            .map(|p| (p - 0.5).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Estimates the avalanche profile of `respond` over `samples` random base
+/// challenges per bit.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero or `stages` is out of the challenge range.
+pub fn avalanche_profile<R, F>(
+    stages: usize,
+    samples: usize,
+    rng: &mut R,
+    mut respond: F,
+) -> AvalancheProfile
+where
+    R: Rng + ?Sized,
+    F: FnMut(&Challenge) -> bool,
+{
+    assert!(samples > 0, "need at least one sample");
+    let mut flips = vec![0usize; stages];
+    for _ in 0..samples {
+        let base = Challenge::random(stages, rng);
+        let base_response = respond(&base);
+        for (i, f) in flips.iter_mut().enumerate() {
+            if respond(&base.with_flipped_bit(i)) != base_response {
+                *f += 1;
+            }
+        }
+    }
+    AvalancheProfile {
+        flip_probability: flips
+            .into_iter()
+            .map(|f| f as f64 / samples as f64)
+            .collect(),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puf_core::{ArbiterPuf, XorPuf};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_random_function_has_flat_profile() {
+        // A hash-like response: parity of a scrambled product of the bits.
+        let mut rng = StdRng::seed_from_u64(1);
+        let profile = avalanche_profile(16, 2_000, &mut rng, |c| {
+            let x = c.bits() as u64;
+            let h = x
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(17)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h.count_ones() % 2 == 1
+        });
+        assert!(
+            profile.worst_bias() < 0.08,
+            "hash function profile should be flat: {:?}",
+            profile.flip_probability()
+        );
+        assert!((profile.mean() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn arbiter_puf_profile_is_structurally_biased() {
+        // Flipping bit i negates the prefix sum Σ_{j≤i} w_j φ_j, so the
+        // flip probability grows with the bit index: bit 0 perturbs one
+        // weight (rare flips, in expectation over dies), bit 31 negates
+        // essentially the whole sum (Δ → 2·w_bias − Δ, near-certain flip).
+        // Average over several dies — a single die's low-index weights can
+        // be outliers.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut low = 0.0;
+        let mut high = 0.0;
+        let dies = 6;
+        for _ in 0..dies {
+            let puf = ArbiterPuf::random(32, &mut rng);
+            let profile = avalanche_profile(32, 1_500, &mut rng, |c| puf.response(c));
+            let p = profile.flip_probability();
+            low += p[..4].iter().sum::<f64>() / 4.0;
+            high += p[28..].iter().sum::<f64>() / 4.0;
+            assert!(
+                profile.worst_bias() > 0.15,
+                "arbiter PUF should be visibly non-ideal: worst bias {}",
+                profile.worst_bias()
+            );
+        }
+        low /= dies as f64;
+        high /= dies as f64;
+        assert!(
+            high > low + 0.2,
+            "flip probability should grow with bit index: low bits {low:.3}, high bits {high:.3}"
+        );
+        assert!(high > 0.75, "top bits should flip nearly always: {high:.3}");
+    }
+
+    #[test]
+    fn xor_narrows_the_avalanche_bias() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let single = ArbiterPuf::random(32, &mut rng);
+        let xor = XorPuf::random(6, 32, &mut rng);
+        let single_profile =
+            avalanche_profile(32, 2_000, &mut rng, |c| single.response(c));
+        let xor_profile = avalanche_profile(32, 2_000, &mut rng, |c| xor.response(c));
+        assert!(
+            xor_profile.worst_bias() < single_profile.worst_bias(),
+            "XOR-ing should flatten the profile: {} vs {}",
+            xor_profile.worst_bias(),
+            single_profile.worst_bias()
+        );
+    }
+
+    #[test]
+    fn constant_function_never_flips() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let profile = avalanche_profile(8, 100, &mut rng, |_| true);
+        assert!(profile.flip_probability().iter().all(|&p| p == 0.0));
+        assert!((profile.worst_bias() - 0.5).abs() < 1e-12);
+        assert_eq!(profile.samples(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        avalanche_profile(8, 0, &mut rng, |_| true);
+    }
+}

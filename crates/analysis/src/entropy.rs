@@ -1,0 +1,192 @@
+//! Entropy estimation for PUF response sources.
+//!
+//! Key generation (see `puf_protocol::keygen`) consumes response bits as
+//! secret material, so their entropy matters: an XOR PUF's per-instance
+//! bias and any challenge-to-challenge correlation reduce the extractable
+//! key length. This module provides the standard first-order estimators:
+//!
+//! - [`shannon_entropy`] — the i.i.d. Shannon entropy of the bit frequency,
+//! - [`min_entropy_mcv`] — the most-common-value min-entropy bound of NIST
+//!   SP 800-90B §6.3.1 (with the confidence-interval correction),
+//! - [`markov_entropy`] — a first-order Markov bound that additionally
+//!   penalises sequential correlation.
+
+/// Shannon entropy (bits per bit) of an i.i.d. source with the observed
+/// `1`-frequency.
+///
+/// # Panics
+///
+/// Panics on an empty stream.
+pub fn shannon_entropy(bits: &[bool]) -> f64 {
+    assert!(!bits.is_empty(), "empty bit stream");
+    let p = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+    binary_entropy(p)
+}
+
+/// The binary entropy function `H(p)` in bits.
+pub fn binary_entropy(p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p));
+    let mut h = 0.0;
+    if p > 0.0 {
+        h -= p * p.log2();
+    }
+    if p < 1.0 {
+        h -= (1.0 - p) * (1.0 - p).log2();
+    }
+    h
+}
+
+/// Most-common-value min-entropy estimate (NIST SP 800-90B §6.3.1):
+/// `−log₂(p̂_u)` where `p̂_u` is the upper 99 % confidence bound on the
+/// most-common symbol's probability.
+///
+/// # Panics
+///
+/// Panics on an empty stream.
+pub fn min_entropy_mcv(bits: &[bool]) -> f64 {
+    assert!(!bits.is_empty(), "empty bit stream");
+    let n = bits.len() as f64;
+    let ones = bits.iter().filter(|&&b| b).count() as f64;
+    let p_max = (ones / n).max(1.0 - ones / n);
+    // Upper confidence bound at z = 2.576 (99 %).
+    let p_u = (p_max + 2.576 * (p_max * (1.0 - p_max) / n).sqrt()).min(1.0);
+    -p_u.log2()
+}
+
+/// First-order Markov min-entropy bound: models the stream as a two-state
+/// Markov chain and reports the per-bit min-entropy of its most likely
+/// long-run trajectory, `−log₂(max transition probability)` weighted by the
+/// chain structure (simplified SP 800-90B §6.3.3: the bound is the entropy
+/// of the most probable length-128 path, per bit).
+///
+/// # Panics
+///
+/// Panics on a stream shorter than 2 bits.
+pub fn markov_entropy(bits: &[bool]) -> f64 {
+    assert!(bits.len() >= 2, "need at least 2 bits");
+    // Transition counts with add-one smoothing.
+    let mut counts = [[1.0f64; 2]; 2];
+    for w in bits.windows(2) {
+        counts[usize::from(w[0])][usize::from(w[1])] += 1.0;
+    }
+    let p = |a: usize, b: usize| counts[a][b] / (counts[a][0] + counts[a][1]);
+    let p0 = {
+        let zeros = bits.iter().filter(|&&b| !b).count() as f64;
+        (zeros / bits.len() as f64).clamp(1e-9, 1.0 - 1e-9)
+    };
+    // Most probable length-L path via dynamic programming over log probs.
+    const L: usize = 128;
+    let mut best = [p0.log2(), (1.0 - p0).log2()];
+    for _ in 1..L {
+        let next0 = (best[0] + p(0, 0).log2()).max(best[1] + p(1, 0).log2());
+        let next1 = (best[0] + p(0, 1).log2()).max(best[1] + p(1, 1).log2());
+        best = [next0, next1];
+    }
+    -best[0].max(best[1]) / L as f64
+}
+
+/// Summary of all estimators for one stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EntropyReport {
+    /// Shannon entropy, bits/bit.
+    pub shannon: f64,
+    /// MCV min-entropy, bits/bit.
+    pub min_entropy: f64,
+    /// First-order Markov bound, bits/bit.
+    pub markov: f64,
+}
+
+/// Runs all estimators.
+///
+/// # Panics
+///
+/// Panics on a stream shorter than 2 bits.
+pub fn estimate(bits: &[bool]) -> EntropyReport {
+    EntropyReport {
+        shannon: shannon_entropy(bits),
+        min_entropy: min_entropy_mcv(bits),
+        markov: markov_entropy(bits),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn coin(n: usize, p: f64, seed: u64) -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<f64>() < p).collect()
+    }
+
+    #[test]
+    fn binary_entropy_known_values() {
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert!(binary_entropy(0.0).abs() < 1e-12);
+        assert!(binary_entropy(1.0).abs() < 1e-12);
+        assert!((binary_entropy(0.11) - 0.4999).abs() < 0.001);
+    }
+
+    #[test]
+    fn fair_coin_is_nearly_one_bit() {
+        let bits = coin(100_000, 0.5, 1);
+        let report = estimate(&bits);
+        assert!(report.shannon > 0.999, "{report:?}");
+        assert!(report.min_entropy > 0.97, "{report:?}");
+        assert!(report.markov > 0.97, "{report:?}");
+    }
+
+    #[test]
+    fn biased_coin_loses_min_entropy_fastest() {
+        let bits = coin(100_000, 0.7, 2);
+        let report = estimate(&bits);
+        assert!(report.shannon < 0.93);
+        assert!(
+            report.min_entropy < report.shannon,
+            "min-entropy must lower-bound Shannon: {report:?}"
+        );
+        assert!((report.min_entropy - -(0.71f64.log2())).abs() < 0.03);
+    }
+
+    #[test]
+    fn correlated_stream_caught_by_markov_only() {
+        // Sticky chain: P(same as previous) = 0.9, marginal still 50/50.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut bits = vec![rng.gen::<bool>()];
+        for _ in 1..100_000 {
+            let prev = *bits.last().expect("non-empty");
+            bits.push(if rng.gen::<f64>() < 0.9 { prev } else { !prev });
+        }
+        let report = estimate(&bits);
+        assert!(report.shannon > 0.99, "marginal looks fair: {report:?}");
+        assert!(
+            report.markov < 0.4,
+            "markov bound must catch stickiness: {report:?}"
+        );
+    }
+
+    #[test]
+    fn constant_stream_has_no_entropy() {
+        let bits = vec![true; 10_000];
+        let report = estimate(&bits);
+        assert!(report.shannon.abs() < 1e-9);
+        assert!(report.min_entropy < 0.001);
+        assert!(report.markov < 0.05);
+    }
+
+    #[test]
+    fn xor_puf_keys_have_high_min_entropy() {
+        use puf_core::{Challenge, XorPuf};
+        let mut rng = StdRng::seed_from_u64(4);
+        let puf = XorPuf::random(8, 32, &mut rng);
+        let bits: Vec<bool> = (0..50_000)
+            .map(|_| puf.response(&Challenge::random(32, &mut rng)))
+            .collect();
+        let report = estimate(&bits);
+        assert!(
+            report.min_entropy > 0.9,
+            "8-XOR responses should be near-full-entropy: {report:?}"
+        );
+    }
+}

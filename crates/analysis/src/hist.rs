@@ -1,0 +1,227 @@
+//! Fixed-bin histograms for soft-response distributions (paper Fig. 2:
+//! "The soft response has a range from 0.00 to 1.00 with a bin size of
+//! 0.05").
+
+use std::fmt;
+
+/// A histogram over a fixed closed range with equal-width bins.
+///
+/// Values exactly on the upper edge fall in the last bin, so `[0, 1]` with
+/// 20 bins matches the paper's 0.05-bin soft-response histogram where a
+/// soft response of exactly 1.00 lands in the top bin.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `[lo, hi]` with `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo < hi, "lo must be below hi");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+        }
+    }
+
+    /// The paper's soft-response histogram: `[0, 1]` with bin width 0.05.
+    pub fn soft_response() -> Self {
+        Self::new(0.0, 1.0, 20)
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Lower edge of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Adds a value. Out-of-range values are tallied separately and do not
+    /// disturb the bins.
+    pub fn add(&mut self, value: f64) {
+        if value < self.lo || value.is_nan() {
+            self.below += 1;
+            return;
+        }
+        if value > self.hi {
+            self.above += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut idx = ((value - self.lo) / width) as usize;
+        if idx >= self.counts.len() {
+            idx = self.counts.len() - 1; // value == hi
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Adds every value of an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Merges another histogram's tallies into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins() == other.bins(),
+            "histogram shape mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.below += other.below;
+        self.above += other.above;
+    }
+
+    /// Count of values below the range (or NaN).
+    pub fn below(&self) -> u64 {
+        self.below
+    }
+
+    /// Count of values above the range.
+    pub fn above(&self) -> u64 {
+        self.above
+    }
+
+    /// Total number of in-range values.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of in-range values in bin `i`. `NaN` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return f64::NAN;
+        }
+        self.counts[i] as f64 / total as f64
+    }
+
+    /// `(center, fraction)` pairs for every bin — the series a plot renders.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (0..self.counts.len())
+            .map(|i| (self.lo + width * (i as f64 + 0.5), self.fraction(i)))
+            .collect()
+    }
+
+    /// Renders a terminal bar chart, one row per bin.
+    pub fn render(&self, bar_width: usize) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let edge = self.lo + width * i as f64;
+            let bar = "#".repeat((c as usize * bar_width).div_ceil(max as usize));
+            let _ = writeln!(
+                out,
+                "[{:5.2},{:5.2}) {:>9}  {}",
+                edge,
+                edge + width,
+                c,
+                bar
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(0.0); // bin 0
+        h.add(0.24); // bin 0
+        h.add(0.25); // bin 1
+        h.add(0.99); // bin 3
+        h.add(1.0); // bin 3 (upper edge inclusive)
+        assert_eq!(h.counts(), &[2, 1, 0, 2]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_is_tallied_separately() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-0.1);
+        h.add(1.1);
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.below(), 2);
+        assert_eq!(h.above(), 1);
+    }
+
+    #[test]
+    fn soft_response_histogram_has_20_bins() {
+        let h = Histogram::soft_response();
+        assert_eq!(h.bins(), 20);
+        assert_eq!(h.lo(), 0.0);
+        assert_eq!(h.hi(), 1.0);
+    }
+
+    #[test]
+    fn fractions_and_series_sum_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.extend((0..100).map(|i| i as f64 / 100.0));
+        let total: f64 = (0..10).map(|i| h.fraction(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let series = h.series();
+        assert_eq!(series.len(), 10);
+        assert!((series[0].0 - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_fraction_is_nan() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert!(h.fraction(0).is_nan());
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(0.1);
+        h.add(0.9);
+        h.add(0.95);
+        let text = h.render(10);
+        assert!(text.contains('#'));
+        assert!(text.lines().count() == 2);
+    }
+}

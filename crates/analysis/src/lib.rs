@@ -1,0 +1,35 @@
+//! # puf-analysis
+//!
+//! Statistics for PUF characterization:
+//!
+//! - [`hist`] — fixed-bin histograms (the paper's 0.05-bin soft-response
+//!   distribution, Fig. 2).
+//! - [`stability`] — stable-CRP fractions, the exponential decay `aⁿ` of
+//!   XOR-PUF stability (Figs. 3 and 12) and inter-PUF independence checks.
+//! - [`uniqueness`] — uniqueness/uniformity/bit-aliasing/reliability, the
+//!   standard silicon-PUF quality metrics.
+//! - [`table`] — plain-text table rendering for the fig binaries.
+//!
+//! ```
+//! use puf_analysis::hist::Histogram;
+//!
+//! let mut h = Histogram::soft_response();
+//! h.extend([0.0, 0.0, 1.0, 0.47, 0.97]);
+//! assert_eq!(h.counts()[0], 2);   // stable-0 bin
+//! assert_eq!(h.counts()[19], 2);  // 0.97 and 1.00 both land in the top bin
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod avalanche;
+pub mod entropy;
+pub mod hist;
+pub mod randomness;
+pub mod stability;
+pub mod table;
+pub mod uniqueness;
+
+pub use hist::Histogram;
+pub use stability::{fit_exponential_base, fraction_true, StabilityPoint};
+pub use table::Table;

@@ -1,0 +1,212 @@
+//! Lightweight statistical randomness tests (NIST SP 800-22 style) for PUF
+//! response streams.
+//!
+//! Authentication-grade PUF responses should be indistinguishable from coin
+//! flips to anyone without the delay parameters. These tests give the
+//! standard first-line screening: monobit frequency, runs, and lag-k
+//! autocorrelation, each reported as a p-value (two-sided, normal
+//! approximation — accurate for the thousands-of-bits streams used here).
+
+use puf_core::math::erfc;
+
+/// Result of one randomness test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TestResult {
+    /// The test statistic (standardised).
+    pub statistic: f64,
+    /// Two-sided p-value; small values reject randomness.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Whether the stream passes at the given significance level (commonly
+    /// 0.01).
+    pub fn passes(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+fn two_sided_p(z: f64) -> f64 {
+    erfc(z.abs() / std::f64::consts::SQRT_2)
+}
+
+/// Monobit frequency test: is the number of ones consistent with `n/2`?
+///
+/// # Panics
+///
+/// Panics on an empty stream.
+pub fn monobit(bits: &[bool]) -> TestResult {
+    assert!(!bits.is_empty(), "empty bit stream");
+    let n = bits.len() as f64;
+    let ones = bits.iter().filter(|&&b| b).count() as f64;
+    let z = (2.0 * ones - n) / n.sqrt();
+    TestResult {
+        statistic: z,
+        p_value: two_sided_p(z),
+    }
+}
+
+/// Runs test: is the number of runs (maximal same-bit blocks) consistent
+/// with an i.i.d. stream of the observed bias?
+///
+/// Follows NIST SP 800-22 §2.3.
+///
+/// # Panics
+///
+/// Panics on a stream shorter than 2 bits.
+pub fn runs(bits: &[bool]) -> TestResult {
+    assert!(bits.len() >= 2, "runs test needs at least 2 bits");
+    let n = bits.len() as f64;
+    let pi = bits.iter().filter(|&&b| b).count() as f64 / n;
+    // Degenerate constant streams: zero runs variance, certain rejection.
+    if pi == 0.0 || pi == 1.0 {
+        return TestResult {
+            statistic: f64::INFINITY,
+            p_value: 0.0,
+        };
+    }
+    let v = 1 + bits.windows(2).filter(|w| w[0] != w[1]).count();
+    let expected = 2.0 * n * pi * (1.0 - pi);
+    let z = (v as f64 - expected) / (2.0 * n.sqrt() * pi * (1.0 - pi));
+    TestResult {
+        statistic: z,
+        p_value: two_sided_p(z),
+    }
+}
+
+/// Lag-`k` autocorrelation test: do bits `i` and `i + k` agree more or less
+/// often than half the time?
+///
+/// # Panics
+///
+/// Panics if `k == 0` or the stream has fewer than `k + 2` bits.
+pub fn autocorrelation(bits: &[bool], k: usize) -> TestResult {
+    assert!(k > 0, "lag must be positive");
+    assert!(bits.len() > k + 1, "stream too short for lag {k}");
+    let m = bits.len() - k;
+    let agreements = (0..m).filter(|&i| bits[i] == bits[i + k]).count() as f64;
+    let z = (2.0 * agreements - m as f64) / (m as f64).sqrt();
+    TestResult {
+        statistic: z,
+        p_value: two_sided_p(z),
+    }
+}
+
+/// Runs the full screening battery and returns `(name, result)` pairs.
+///
+/// # Panics
+///
+/// Panics on streams shorter than 10 bits.
+pub fn battery(bits: &[bool]) -> Vec<(&'static str, TestResult)> {
+    assert!(bits.len() >= 10, "battery needs at least 10 bits");
+    vec![
+        ("monobit", monobit(bits)),
+        ("runs", runs(bits)),
+        ("autocorr_lag1", autocorrelation(bits, 1)),
+        ("autocorr_lag2", autocorrelation(bits, 2)),
+        ("autocorr_lag8", autocorrelation(bits, 8)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn fair_coin_passes_everything() {
+        let bits = random_bits(20_000, 1);
+        for (name, result) in battery(&bits) {
+            assert!(
+                result.passes(0.001),
+                "{name} rejected a fair coin: p = {}",
+                result.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn biased_stream_fails_monobit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bits: Vec<bool> = (0..20_000).map(|_| rng.gen::<f64>() < 0.6).collect();
+        assert!(!monobit(&bits).passes(0.01), "60% bias slipped past monobit");
+    }
+
+    #[test]
+    fn alternating_stream_fails_runs() {
+        let bits: Vec<bool> = (0..10_000).map(|i| i % 2 == 0).collect();
+        let r = runs(&bits);
+        assert!(!r.passes(0.01), "perfect alternation passed runs: {r:?}");
+        // ... while monobit alone cannot see it.
+        assert!(monobit(&bits).passes(0.01));
+    }
+
+    #[test]
+    fn periodic_stream_fails_matching_lag() {
+        // Period-8 pattern: lag-8 agreement is perfect.
+        let bits: Vec<bool> = (0..8_000).map(|i| (i / 4) % 2 == 0).collect();
+        assert!(!autocorrelation(&bits, 8).passes(0.01));
+    }
+
+    #[test]
+    fn constant_stream_rejected() {
+        let bits = vec![true; 1_000];
+        assert_eq!(runs(&bits).p_value, 0.0);
+        assert!(!monobit(&bits).passes(0.01));
+    }
+
+    #[test]
+    fn wide_xor_puf_responses_pass_the_battery() {
+        // An individual arbiter PUF carries a per-instance bias (its
+        // arbiter offset weight); the piling-up lemma shrinks the XOR's
+        // composite bias as the product of member biases, so a wide XOR PUF
+        // passes the battery where a narrow one can fail monobit.
+        use puf_core::{Challenge, XorPuf};
+        let mut rng = StdRng::seed_from_u64(3);
+        let puf = XorPuf::random(8, 32, &mut rng);
+        let bits: Vec<bool> = (0..20_000)
+            .map(|_| puf.response(&Challenge::random(32, &mut rng)))
+            .collect();
+        for (name, result) in battery(&bits) {
+            assert!(
+                result.passes(0.001),
+                "{name} rejected XOR PUF responses: p = {}",
+                result.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn xor_width_reduces_response_bias() {
+        // Directly check the piling-up effect: |bias| of n = 8 is no larger
+        // than |bias| of n = 1 on the same member bank.
+        use puf_core::{Challenge, XorPuf};
+        let mut rng = StdRng::seed_from_u64(4);
+        let bank = XorPuf::random(8, 32, &mut rng);
+        let challenges: Vec<Challenge> =
+            (0..30_000).map(|_| Challenge::random(32, &mut rng)).collect();
+        let bias = |n: usize| {
+            let sub = bank.prefix(n);
+            let ones = challenges.iter().filter(|c| sub.response(c)).count() as f64;
+            (ones / challenges.len() as f64 - 0.5).abs()
+        };
+        let b1 = bias(1);
+        let b8 = bias(8);
+        assert!(
+            b8 <= b1 + 0.01,
+            "8-XOR bias {b8} should not exceed single-PUF bias {b1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn monobit_rejects_empty() {
+        monobit(&[]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Stability statistics: stable-CRP fractions, the exponential decay
+//! `p(n) ≈ aⁿ` of XOR-PUF stability, and inter-PUF correlation checks.
+//!
+//! The paper's Fig. 3 and Fig. 12 both plot "% of stable CRPs" against the
+//! number of XOR-ed PUFs and observe that every curve "follows an
+//! exponential trend, suggesting a negligible correlation between the
+//! individual PUFs". [`fit_exponential_base`] recovers the base `a` from a
+//! measured curve by log-linear least squares, which is how we verify the
+//! 0.800ⁿ / 0.545ⁿ / 0.342ⁿ shapes.
+
+/// Fraction of `true` entries in a mask. `NaN` for an empty mask.
+pub fn fraction_true(mask: &[bool]) -> f64 {
+    if mask.is_empty() {
+        return f64::NAN;
+    }
+    mask.iter().filter(|&&b| b).count() as f64 / mask.len() as f64
+}
+
+/// One point of a stability-vs-n curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StabilityPoint {
+    /// Number of XOR-ed PUFs.
+    pub n: usize,
+    /// Fraction of CRPs that are stable (or predicted stable) at this `n`.
+    pub fraction: f64,
+}
+
+/// Fits `fraction ≈ aⁿ` to a curve by least squares on
+/// `ln(fraction) = n · ln(a)` (zero-intercept log-linear fit), returning
+/// `a`.
+///
+/// Points with non-positive or non-finite fractions are skipped (they carry
+/// no log-domain information).
+///
+/// # Panics
+///
+/// Panics if fewer than two usable points remain.
+pub fn fit_exponential_base(points: &[StabilityPoint]) -> f64 {
+    let usable: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.fraction > 0.0 && p.fraction.is_finite())
+        .map(|p| (p.n as f64, p.fraction.ln()))
+        .collect();
+    assert!(
+        usable.len() >= 2,
+        "need at least two positive points to fit an exponential"
+    );
+    // Zero-intercept least squares: ln a = Σ n·ln p / Σ n².
+    let num: f64 = usable.iter().map(|(n, lp)| n * lp).sum();
+    let den: f64 = usable.iter().map(|(n, _)| n * n).sum();
+    (num / den).exp()
+}
+
+/// Coefficient of determination (R²) of the fitted exponential against the
+/// measured points, in log domain.
+///
+/// # Panics
+///
+/// Panics if fewer than two usable points remain.
+pub fn exponential_fit_r2(points: &[StabilityPoint], base: f64) -> f64 {
+    let usable: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.fraction > 0.0 && p.fraction.is_finite())
+        .map(|p| (p.n as f64, p.fraction.ln()))
+        .collect();
+    assert!(usable.len() >= 2, "need at least two positive points");
+    let mean_lp = usable.iter().map(|(_, lp)| lp).sum::<f64>() / usable.len() as f64;
+    let ss_tot: f64 = usable.iter().map(|(_, lp)| (lp - mean_lp).powi(2)).sum();
+    let ss_res: f64 = usable
+        .iter()
+        .map(|(n, lp)| (lp - n * base.ln()).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        return 1.0;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Estimates the correlation between per-PUF stability masks: the ratio of
+/// the observed all-stable fraction for the joint mask to the product of the
+/// marginal stable fractions. Ratios near 1 indicate independence (the
+/// paper's "negligible correlation" observation).
+///
+/// # Panics
+///
+/// Panics if the masks are empty, ragged, or any marginal is zero.
+pub fn independence_ratio(masks: &[Vec<bool>]) -> f64 {
+    assert!(!masks.is_empty(), "need at least one mask");
+    let len = masks[0].len();
+    assert!(len > 0, "masks must be non-empty");
+    assert!(
+        masks.iter().all(|m| m.len() == len),
+        "masks must have equal length"
+    );
+    let mut product = 1.0;
+    for m in masks {
+        let f = fraction_true(m);
+        assert!(f > 0.0, "a marginal stable fraction is zero");
+        product *= f;
+    }
+    let joint = (0..len)
+        .filter(|&i| masks.iter().all(|m| m[i]))
+        .count() as f64
+        / len as f64;
+    joint / product
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_true_basics() {
+        assert!((fraction_true(&[true, false, true, true]) - 0.75).abs() < 1e-12);
+        assert!(fraction_true(&[]).is_nan());
+    }
+
+    #[test]
+    fn exponential_fit_recovers_exact_base() {
+        let points: Vec<StabilityPoint> = (1..=10)
+            .map(|n| StabilityPoint {
+                n,
+                fraction: 0.8f64.powi(n as i32),
+            })
+            .collect();
+        let base = fit_exponential_base(&points);
+        assert!((base - 0.8).abs() < 1e-12, "base {base}");
+        assert!(exponential_fit_r2(&points, base) > 0.999999);
+    }
+
+    #[test]
+    fn exponential_fit_tolerates_noise() {
+        let points: Vec<StabilityPoint> = (1..=10)
+            .map(|n| StabilityPoint {
+                n,
+                fraction: 0.55f64.powi(n as i32) * if n % 2 == 0 { 1.05 } else { 0.95 },
+            })
+            .collect();
+        let base = fit_exponential_base(&points);
+        assert!((base - 0.55).abs() < 0.02, "base {base}");
+    }
+
+    #[test]
+    fn exponential_fit_skips_zero_points() {
+        let mut points: Vec<StabilityPoint> = (1..=5)
+            .map(|n| StabilityPoint {
+                n,
+                fraction: 0.3f64.powi(n as i32),
+            })
+            .collect();
+        points.push(StabilityPoint {
+            n: 12,
+            fraction: 0.0,
+        });
+        let base = fit_exponential_base(&points);
+        assert!((base - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn exponential_fit_needs_two_points() {
+        fit_exponential_base(&[StabilityPoint {
+            n: 1,
+            fraction: 0.8,
+        }]);
+    }
+
+    #[test]
+    fn independence_ratio_near_one_for_independent_masks() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let masks: Vec<Vec<bool>> = (0..3)
+            .map(|_| (0..20_000).map(|_| rng.gen::<f64>() < 0.8).collect())
+            .collect();
+        let ratio = independence_ratio(&masks);
+        assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn independence_ratio_detects_perfect_correlation() {
+        let mask: Vec<bool> = (0..1_000).map(|i| i % 2 == 0).collect();
+        let masks = vec![mask.clone(), mask];
+        // joint = 0.5, marginals product = 0.25 → ratio 2.
+        assert!((independence_ratio(&masks) - 2.0).abs() < 1e-9);
+    }
+}

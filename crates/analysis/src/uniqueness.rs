@@ -1,0 +1,166 @@
+//! Standard PUF quality metrics beyond the paper's figures: uniqueness
+//! (inter-chip Hamming distance), uniformity and bit-aliasing.
+//!
+//! These are the conventional companion statistics of any silicon PUF
+//! characterization (e.g. Maiti et al.'s evaluation framework) and serve as
+//! sanity checks that the simulated chip lot behaves like real silicon:
+//! distinct dies should disagree on ~50 % of responses, each die should emit
+//! ~50 % ones, and no challenge position should be biased across the lot.
+
+/// Fraction of `1` responses of one device over a challenge set — ideal 0.5.
+///
+/// # Panics
+///
+/// Panics if `responses` is empty.
+pub fn uniformity(responses: &[bool]) -> f64 {
+    assert!(!responses.is_empty(), "empty response vector");
+    responses.iter().filter(|&&b| b).count() as f64 / responses.len() as f64
+}
+
+/// Mean pairwise normalised inter-chip Hamming distance — ideal 0.5.
+///
+/// `responses[i]` is chip `i`'s response vector over a shared challenge
+/// list.
+///
+/// # Panics
+///
+/// Panics with fewer than two chips, empty vectors, or ragged lengths.
+pub fn uniqueness(responses: &[Vec<bool>]) -> f64 {
+    assert!(responses.len() >= 2, "need at least two chips");
+    let len = responses[0].len();
+    assert!(len > 0, "empty response vectors");
+    assert!(
+        responses.iter().all(|r| r.len() == len),
+        "ragged response vectors"
+    );
+    let mut acc = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..responses.len() {
+        for j in (i + 1)..responses.len() {
+            let hd = responses[i]
+                .iter()
+                .zip(&responses[j])
+                .filter(|(a, b)| a != b)
+                .count();
+            acc += hd as f64 / len as f64;
+            pairs += 1;
+        }
+    }
+    acc / pairs as f64
+}
+
+/// Per-challenge bit-aliasing: fraction of chips answering `1` for each
+/// challenge — ideal 0.5 for every entry.
+///
+/// # Panics
+///
+/// Panics on empty or ragged input.
+pub fn bit_aliasing(responses: &[Vec<bool>]) -> Vec<f64> {
+    assert!(!responses.is_empty(), "need at least one chip");
+    let len = responses[0].len();
+    assert!(len > 0, "empty response vectors");
+    assert!(
+        responses.iter().all(|r| r.len() == len),
+        "ragged response vectors"
+    );
+    (0..len)
+        .map(|c| {
+            responses.iter().filter(|r| r[c]).count() as f64 / responses.len() as f64
+        })
+        .collect()
+}
+
+/// Intra-chip reliability: mean fraction of repeated response vectors that
+/// match a reference vector — ideal 1.0.
+///
+/// # Panics
+///
+/// Panics on empty or ragged input.
+pub fn reliability(reference: &[bool], repeats: &[Vec<bool>]) -> f64 {
+    assert!(!reference.is_empty(), "empty reference");
+    assert!(!repeats.is_empty(), "need at least one repeat");
+    assert!(
+        repeats.iter().all(|r| r.len() == reference.len()),
+        "ragged repeats"
+    );
+    let mut acc = 0.0;
+    for rep in repeats {
+        let matches = reference.iter().zip(rep).filter(|(a, b)| a == b).count();
+        acc += matches as f64 / reference.len() as f64;
+    }
+    acc / repeats.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniformity_counts_ones() {
+        assert!((uniformity(&[true, false, true, false]) - 0.5).abs() < 1e-12);
+        assert!((uniformity(&[true, true]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniqueness_of_identical_and_complementary() {
+        let a = vec![true, false, true, false];
+        let b: Vec<bool> = a.iter().map(|x| !x).collect();
+        assert!(uniqueness(&[a.clone(), a.clone()]).abs() < 1e-12);
+        assert!((uniqueness(&[a.clone(), b]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniqueness_averages_pairs() {
+        let a = vec![true, true, true, true];
+        let b = vec![true, true, false, false]; // HD(a,b) = 0.5
+        let c = vec![false, false, true, true]; // HD(a,c) = 0.5, HD(b,c) = 1.0
+        assert!((uniqueness(&[a, b, c]) - (0.5 + 0.5 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_aliasing_per_position() {
+        let rows = vec![
+            vec![true, false, true],
+            vec![true, false, false],
+            vec![true, true, false],
+        ];
+        let alias = bit_aliasing(&rows);
+        assert!((alias[0] - 1.0).abs() < 1e-12);
+        assert!((alias[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((alias[2] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reliability_of_exact_repeats_is_one() {
+        let r = vec![true, false, true];
+        assert!((reliability(&r, &[r.clone(), r.clone()]) - 1.0).abs() < 1e-12);
+        let flipped = vec![true, false, false];
+        assert!((reliability(&r, &[flipped]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulated_lot_metrics_look_like_silicon() {
+        use puf_core::{challenge::random_challenges, Condition};
+        use puf_silicon::{ChipConfig, ChipLot};
+        use rand::{rngs::StdRng, SeedableRng};
+
+        let lot = ChipLot::fabricate(6, &ChipConfig::small(), 99);
+        let mut rng = StdRng::seed_from_u64(100);
+        let challenges = random_challenges(lot.chips()[0].stages(), 600, &mut rng);
+        let responses: Vec<Vec<bool>> = lot
+            .iter()
+            .map(|chip| {
+                challenges
+                    .iter()
+                    .map(|c| chip.xor_reference_bit(2, c, Condition::NOMINAL).unwrap())
+                    .collect()
+            })
+            .collect();
+        let uq = uniqueness(&responses);
+        assert!((uq - 0.5).abs() < 0.08, "uniqueness {uq}");
+        for r in &responses {
+            let uf = uniformity(r);
+            assert!((uf - 0.5).abs() < 0.15, "uniformity {uf}");
+        }
+    }
+}

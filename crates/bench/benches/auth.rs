@@ -1,0 +1,70 @@
+//! Authentication-phase benchmarks: server-side stable-challenge selection
+//! throughput and full authentication rounds. The selection loop is pure
+//! prediction (no chip access), which is the efficiency claim of §3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use puf_core::Condition;
+use puf_protocol::auth::{AuthPolicy, ChipResponder};
+use puf_protocol::enrollment::{enroll, EnrollmentConfig};
+use puf_protocol::server::Server;
+use puf_silicon::{Chip, ChipConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn enrolled_server(n: usize, seed: u64) -> (Chip, Server) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+    let config = EnrollmentConfig {
+        training_size: 2_000,
+        validation_size: 1_000,
+        evals: 20_000,
+        ..EnrollmentConfig::paper_default(n)
+    };
+    let record = enroll(&chip, &config, &mut rng).expect("enrollment failed");
+    let mut server = Server::new();
+    server.register(record);
+    (chip, server)
+}
+
+fn bench_challenge_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auth/select_challenges");
+    group.sample_size(20);
+    for n in [4usize, 10] {
+        let (_, server) = enrolled_server(n, 1);
+        group.throughput(Throughput::Elements(32));
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                black_box(
+                    server
+                        .select_challenges(0, 32, 50_000_000, &mut rng)
+                        .expect("selection failed"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_authentication_round(c: &mut Criterion) {
+    let n = 4;
+    let (chip, server) = enrolled_server(n, 3);
+    let mut group = c.benchmark_group("auth/round");
+    group.sample_size(20);
+    group.bench_function("n4_32_challenges", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            let mut client = ChipResponder::new(&chip, n, Condition::NOMINAL, 5);
+            black_box(
+                server
+                    .authenticate(0, &mut client, 32, AuthPolicy::ZeroHammingDistance, &mut rng)
+                    .expect("authentication failed"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_challenge_selection, bench_authentication_round);
+criterion_main!(benches);

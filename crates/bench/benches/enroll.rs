@@ -1,0 +1,84 @@
+//! Enrollment-phase benchmarks: the paper reports 4.3 ms for the linear
+//! delay-parameter fit on 5,000 CRPs (§5.1, desktop i7-3770).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use puf_core::challenge::random_challenges;
+use puf_core::Condition;
+use puf_ml::LinearRegression;
+use puf_protocol::threshold::{fit_betas, Thresholds};
+use puf_silicon::{Chip, ChipConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Measured soft responses for a training set, precomputed outside the
+/// timed region.
+fn training_data(size: usize, seed: u64) -> (Vec<puf_core::Challenge>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+    let challenges = random_challenges(chip.stages(), size, &mut rng);
+    let soft = challenges
+        .iter()
+        .map(|c| {
+            chip.measure_individual_soft(0, c, Condition::NOMINAL, 100_000, &mut rng)
+                .unwrap()
+                .value()
+        })
+        .collect();
+    (challenges, soft)
+}
+
+fn bench_linear_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enrollment/linear_fit");
+    for size in [500usize, 2_000, 5_000, 10_000] {
+        let (challenges, soft) = training_data(size, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                black_box(
+                    LinearRegression::fit_challenges(&challenges, &soft, 1e-6).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_threshold_extraction(c: &mut Criterion) {
+    let (challenges, soft) = training_data(5_000, 2);
+    let model = LinearRegression::fit_challenges(&challenges, &soft, 1e-6).unwrap();
+    let pairs: Vec<(f64, f64)> = challenges
+        .iter()
+        .zip(&soft)
+        .map(|(ch, &s)| (model.predict(ch), s))
+        .collect();
+    c.bench_function("enrollment/threshold_extraction_5000", |b| {
+        b.iter(|| black_box(Thresholds::from_training(&pairs)))
+    });
+}
+
+fn bench_beta_fit(c: &mut Criterion) {
+    let (challenges, soft) = training_data(5_000, 3);
+    let model = LinearRegression::fit_challenges(&challenges, &soft, 1e-6).unwrap();
+    let pairs: Vec<(f64, f64)> = challenges
+        .iter()
+        .zip(&soft)
+        .map(|(ch, &s)| (model.predict(ch), s))
+        .collect();
+    let thresholds = Thresholds::from_training(&pairs).unwrap();
+    let triples: Vec<(f64, bool, bool)> = challenges
+        .iter()
+        .zip(&soft)
+        .map(|(ch, &s)| (model.predict(ch), s == 0.0, s == 1.0))
+        .collect();
+    c.bench_function("enrollment/beta_fit_5000", |b| {
+        b.iter(|| black_box(fit_betas(thresholds, &triples)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_linear_fit,
+    bench_threshold_extraction,
+    bench_beta_fit
+);
+criterion_main!(benches);

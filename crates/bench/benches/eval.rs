@@ -1,0 +1,92 @@
+//! Microbenchmarks of the simulation substrate: challenge transforms, PUF
+//! evaluation and counter measurements. These bound how fast the "1
+//! trillion CRP" campaign replays on a workstation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use puf_core::{Challenge, Condition, XorPuf};
+use puf_silicon::{Chip, ChipConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_feature_transform(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let challenge = Challenge::random(32, &mut rng);
+    c.bench_function("challenge/feature_transform_32", |b| {
+        b.iter(|| black_box(challenge.features()))
+    });
+}
+
+fn bench_arbiter_eval(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let puf = puf_core::ArbiterPuf::random(32, &mut rng);
+    let challenges: Vec<Challenge> =
+        (0..1024).map(|_| Challenge::random(32, &mut rng)).collect();
+    let mut group = c.benchmark_group("arbiter");
+    group.throughput(Throughput::Elements(challenges.len() as u64));
+    group.bench_function("delay_difference_batch_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for ch in &challenges {
+                acc += puf.delay_difference(ch);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_xor_eval(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("xor_response");
+    for n in [4usize, 10] {
+        let xor = XorPuf::random(n, 32, &mut rng);
+        let challenge = Challenge::random(32, &mut rng);
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| black_box(xor.response(&challenge)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_counter_measurement(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+    let mut group = c.benchmark_group("counter");
+    // The binomial fast path makes a 100k-evaluation soft response as cheap
+    // as a handful of RNG draws — this is the trillion-CRP enabler.
+    group.bench_function("soft_response_100k_evals_fast_path", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter_batched(
+            || Challenge::random(32, &mut rng),
+            |ch| {
+                let mut local = StdRng::seed_from_u64(6);
+                black_box(
+                    chip.measure_individual_soft(0, &ch, Condition::NOMINAL, 100_000, &mut local)
+                        .unwrap(),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("one_shot_xor_n10", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ch = Challenge::random(32, &mut rng);
+        b.iter(|| {
+            black_box(
+                chip.eval_xor_once(10, &ch, Condition::NOMINAL, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_feature_transform,
+    bench_arbiter_eval,
+    bench_xor_eval,
+    bench_counter_measurement
+);
+criterion_main!(benches);

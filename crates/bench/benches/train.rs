@@ -1,0 +1,101 @@
+//! Modeling-attack training benchmarks: the paper reports an average
+//! training speed of 0.395 ms per CRP for the 35-25-25 MLP with L-BFGS and
+//! notes it is "only a weak function of n" (§2.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use puf_core::challenge::random_challenges;
+use puf_core::Condition;
+use puf_ml::features::{design_matrix, encode_bits};
+use puf_ml::logreg::{LogisticConfig, LogisticRegression};
+use puf_ml::{Matrix, Mlp, MlpConfig};
+use puf_silicon::testbench::collect_stable_xor_crps;
+use puf_silicon::{Chip, ChipConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn attack_dataset(n: usize, size: usize, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+    // Oversample: only ~0.8^n of challenges yield stable CRPs.
+    let oversample = (size as f64 / 0.8f64.powi(n as i32) * 1.3) as usize;
+    let pool = random_challenges(chip.stages(), oversample, &mut rng);
+    let crps = collect_stable_xor_crps(&chip, n, &pool, Condition::NOMINAL, 100_000, &mut rng)
+        .unwrap()
+        .truncated(size);
+    assert_eq!(crps.len(), size, "not enough stable CRPs collected");
+    (
+        design_matrix(crps.challenges()),
+        encode_bits(crps.responses()),
+    )
+}
+
+fn bench_mlp_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack/mlp_train");
+    group.sample_size(10);
+    // Small budget keeps each criterion sample in the hundreds of ms; the
+    // paper's per-CRP figure divides out.
+    let size = 2_000;
+    for n in [4usize, 8] {
+        let (x, y) = attack_dataset(n, size, 100 + n as u64);
+        let config = MlpConfig {
+            max_iterations: 60,
+            ..MlpConfig::paper_default()
+        };
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                let mut mlp = Mlp::new(x.cols(), &config, &mut rng);
+                black_box(mlp.train(&x, &y, &config))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mlp_inference(c: &mut Criterion) {
+    let (x, y) = attack_dataset(4, 2_000, 200);
+    let config = MlpConfig {
+        max_iterations: 40,
+        ..MlpConfig::paper_default()
+    };
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut mlp = Mlp::new(x.cols(), &config, &mut rng);
+    mlp.train(&x, &y, &config);
+    let mut group = c.benchmark_group("attack/mlp_predict");
+    group.throughput(Throughput::Elements(x.rows() as u64));
+    group.bench_function("batch_2000", |b| b.iter(|| black_box(mlp.predict(&x))));
+    group.finish();
+}
+
+fn bench_logistic_training(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+    let challenges = random_challenges(chip.stages(), 2_000, &mut rng);
+    let labels: Vec<bool> = challenges
+        .iter()
+        .map(|ch| chip.eval_xor_once(1, ch, Condition::NOMINAL, &mut rng).unwrap())
+        .collect();
+    let mut group = c.benchmark_group("attack/logreg_train");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(challenges.len() as u64));
+    group.bench_function("single_puf_2000", |b| {
+        b.iter(|| {
+            black_box(LogisticRegression::fit_challenges(
+                &challenges,
+                &labels,
+                &LogisticConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mlp_training,
+    bench_mlp_inference,
+    bench_logistic_training
+);
+criterion_main!(benches);

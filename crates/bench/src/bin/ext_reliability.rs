@@ -1,0 +1,111 @@
+//! Extension harness: Becker's reliability-based CMA-ES attack (the
+//! paper's Ref. 9) against the simulated chip, and the two protocol
+//! properties that defeat it.
+//!
+//! The MLP attack of Fig. 4 needs exponentially many CRPs in `n`; the
+//! reliability attack recovers **one member at a time** from repeated
+//! XOR-output measurements, scaling linearly — it is the reason wide XOR
+//! PUFs alone are not a security argument. The paper's protocol happens to
+//! deny it both inputs: authentication responses are one-shot samples
+//! ("one-time sampling", Fig. 7) and only deeply stable challenges are ever
+//! queried, so the attacker observes zero unreliability variance.
+//!
+//! Run: `cargo run -p puf-bench --release --bin ext_reliability`
+
+use puf_analysis::Table;
+use puf_bench::Scale;
+use puf_core::{Condition, NoiseModel};
+use puf_ml::cmaes::CmaesConfig;
+use puf_protocol::attacks::{
+    member_match, reliability_attack, ReliabilityAttackConfig,
+};
+use puf_silicon::{Chip, ChipConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Extension — reliability-based CMA-ES attack (Ref. 9) vs the protocol's defences");
+    println!("scale: {scale}\n");
+
+    let n = 4;
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    // Paper geometry; mismatch off so member weights are exact ground truth
+    // for the match diagnostic.
+    let chip_config = ChipConfig {
+        noise: NoiseModel::paper_default().with_evaluations(1_000),
+        ..ChipConfig::paper_default()
+    }
+    .with_model_mismatch(0.0);
+    let mut chip = Chip::fabricate(0, &chip_config, &mut rng);
+    chip.blow_fuses(); // deployed — no enrollment access for the attacker
+
+    let config = ReliabilityAttackConfig {
+        measurements: 6_000,
+        evals: 15,
+        restarts: 6,
+        cmaes: CmaesConfig {
+            max_generations: 300,
+            ..CmaesConfig::default()
+        },
+    };
+    println!(
+        "attacker budget: {} challenges × {} repeated evaluations, {} CMA-ES restarts\n",
+        config.measurements, config.evals, config.restarts
+    );
+    let t0 = Instant::now();
+    let models = reliability_attack(&chip, n, Condition::NOMINAL, &config, &mut rng)
+        .expect("attack failed");
+    let elapsed = t0.elapsed();
+
+    let mut table = Table::new(["restart", "fitness (corr)", "best member match", "member"]);
+    let mut members_recovered = std::collections::HashSet::new();
+    for (i, model) in models.iter().enumerate() {
+        let matches = member_match(&chip, n, model, Condition::NOMINAL).expect("diagnostic");
+        let (best_member, best) = matches
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN"))
+            .expect("non-empty");
+        if *best > 0.85 {
+            members_recovered.insert(best_member);
+        }
+        table.row([
+            i.to_string(),
+            format!("{:.3}", model.fitness),
+            format!("{:.3}", best),
+            if *best > 0.85 {
+                format!("PUF {best_member} RECOVERED")
+            } else {
+                "—".to_string()
+            },
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "{} of {} member PUFs recovered in {elapsed:.1?} — linear-in-n attack cost, vs the\n\
+         exponential CRP counts of Fig. 4's MLP attack.\n",
+        members_recovered.len(),
+        n
+    );
+
+    // The defences: one-shot responses carry no reliability signal.
+    let blind = ReliabilityAttackConfig {
+        evals: 1,
+        restarts: 2,
+        measurements: 4_000,
+        cmaes: CmaesConfig {
+            max_generations: 60,
+            ..CmaesConfig::default()
+        },
+    };
+    let blinded = reliability_attack(&chip, n, Condition::NOMINAL, &blind, &mut rng)
+        .expect("attack failed");
+    println!(
+        "same attack against one-shot responses (the protocol's access pattern): best fitness {:.3} — no signal.",
+        blinded[0].fitness
+    );
+    println!("the model-assisted protocol defeats Ref. 9's attack by construction: it never");
+    println!("exposes repeated measurements, and its selected CRPs never flicker anyway.");
+}

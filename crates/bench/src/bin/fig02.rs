@@ -1,0 +1,70 @@
+//! Figure 2 — soft-response distribution of a single MUX arbiter PUF.
+//!
+//! Paper (32 nm, 0.9 V, 25 °C, 1,000,000 random challenges × 100,000
+//! evaluations): Pr(stable 0) = 39.7 %, Pr(stable 1) = 40.1 %, histogram
+//! bin size 0.05 with a strongly bimodal shape.
+//!
+//! Run: `cargo run -p puf-bench --release --bin fig02 [--full]`
+
+use puf_analysis::hist::Histogram;
+use puf_bench::{par, Scale};
+use puf_core::{Challenge, Condition};
+use puf_silicon::{Chip, ChipConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 2 reproduction — single-PUF soft-response distribution");
+    println!("scale: {scale}\n");
+
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+
+    // Shard the challenge sweep across threads; each shard derives its own
+    // deterministic RNG.
+    let shards = par::worker_count(64).max(1) * 4;
+    let per_shard = scale.challenges.div_ceil(shards);
+    let shard_ids: Vec<u64> = (0..shards as u64).collect();
+    let partials = par::par_map(&shard_ids, |_, &shard| {
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0002 + shard * 7919));
+        let mut hist = Histogram::soft_response();
+        let mut stable0 = 0u64;
+        let mut stable1 = 0u64;
+        for _ in 0..per_shard {
+            let c = Challenge::random(chip.stages(), &mut rng);
+            let s = chip
+                .measure_individual_soft(0, &c, Condition::NOMINAL, scale.evals, &mut rng)
+                .expect("measurement failed");
+            hist.add(s.value());
+            if s.is_stable_zero() {
+                stable0 += 1;
+            } else if s.is_stable_one() {
+                stable1 += 1;
+            }
+        }
+        (hist, stable0, stable1)
+    });
+
+    let mut hist = Histogram::soft_response();
+    let mut stable0 = 0u64;
+    let mut stable1 = 0u64;
+    let total = (per_shard * shards) as f64;
+    for (h, s0, s1) in &partials {
+        hist.merge(h);
+        stable0 += s0;
+        stable1 += s1;
+    }
+
+    println!("soft response histogram (bin = 0.05, fraction of challenges):");
+    println!("{}", hist.render(48));
+
+    let p0 = stable0 as f64 / total;
+    let p1 = stable1 as f64 / total;
+    println!("Pr(stable 0) = {:.1}%   [paper: 39.7%]", p0 * 100.0);
+    println!("Pr(stable 1) = {:.1}%   [paper: 40.1%]", p1 * 100.0);
+    println!(
+        "Pr(stable)   = {:.1}%   [paper: ~80%]",
+        (p0 + p1) * 100.0
+    );
+}

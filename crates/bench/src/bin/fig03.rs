@@ -1,0 +1,86 @@
+//! Figure 3 — percentage of stable CRPs versus the number of PUFs in an
+//! XOR PUF.
+//!
+//! Paper (32 nm, 0.9 V, 25 °C, 1,000,000 challenges): the stable fraction
+//! follows ≈ 0.800ⁿ; for a 10-input XOR PUF only 10.9 % of CRPs are stable.
+//!
+//! Run: `cargo run -p puf-bench --release --bin fig03 [--full]`
+
+use puf_analysis::stability::{exponential_fit_r2, fit_exponential_base, StabilityPoint};
+use puf_analysis::Table;
+use puf_bench::{par, Scale};
+use puf_core::{Challenge, Condition};
+use puf_silicon::{Chip, ChipConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MAX_N: usize = 10;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 3 reproduction — stable-CRP fraction vs number of XOR-ed PUFs");
+    println!("scale: {scale}\n");
+
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+
+    // For each challenge, measure the stability of the first MAX_N member
+    // PUFs once; the n-input XOR PUF is stable iff members 0..n all are.
+    let shards = par::worker_count(64).max(1) * 4;
+    let per_shard = scale.challenges.div_ceil(shards);
+    let shard_ids: Vec<u64> = (0..shards as u64).collect();
+    let partials = par::par_map(&shard_ids, |_, &shard| {
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0003 + shard * 7919));
+        let mut stable_upto = vec![0u64; MAX_N + 1]; // stable_upto[n] = #challenges stable for all first n
+        for _ in 0..per_shard {
+            let c = Challenge::random(chip.stages(), &mut rng);
+            let mut prefix_stable = MAX_N;
+            for puf in 0..MAX_N {
+                let s = chip
+                    .measure_individual_soft(puf, &c, Condition::NOMINAL, scale.evals, &mut rng)
+                    .expect("measurement failed");
+                if !s.is_stable() {
+                    prefix_stable = puf;
+                    break;
+                }
+            }
+            for n in 1..=prefix_stable {
+                stable_upto[n] += 1;
+            }
+        }
+        stable_upto
+    });
+
+    let total = (per_shard * shards) as f64;
+    let mut stable_upto = vec![0u64; MAX_N + 1];
+    for p in &partials {
+        for (a, b) in stable_upto.iter_mut().zip(p) {
+            *a += b;
+        }
+    }
+
+    let points: Vec<StabilityPoint> = (1..=MAX_N)
+        .map(|n| StabilityPoint {
+            n,
+            fraction: stable_upto[n] as f64 / total,
+        })
+        .collect();
+    let base = fit_exponential_base(&points);
+    let r2 = exponential_fit_r2(&points, base);
+
+    let mut table = Table::new(["n", "stable CRPs", "fit a^n", "paper 0.800^n"]);
+    for p in &points {
+        table.row([
+            p.n.to_string(),
+            format!("{:.2}%", p.fraction * 100.0),
+            format!("{:.2}%", base.powi(p.n as i32) * 100.0),
+            format!("{:.2}%", 0.8f64.powi(p.n as i32) * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("fitted exponential base a = {base:.3}  (paper: 0.800, R² = {r2:.4})");
+    println!(
+        "stable fraction at n = 10: {:.1}%  [paper: 10.9%]",
+        points[MAX_N - 1].fraction * 100.0
+    );
+}

@@ -1,0 +1,163 @@
+//! Figure 4 — MLP modeling-attack accuracy versus training-set size and
+//! XOR width `n`.
+//!
+//! Paper (§2.3): a 35-25-25 multi-layer perceptron trained with L-BFGS on
+//! 100 %-stable XOR CRPs (90 %/10 % train/test split of 1,000,000
+//! challenges) reaches > 90 % prediction accuracy with fewer than 100,000
+//! CRPs for every n < 10 — hence "more than 10 individual PUFs are needed
+//! for an XOR PUF to be considered secure". Training speed averaged
+//! 0.395 ms per CRP.
+//!
+//! Run: `cargo run -p puf-bench --release --bin fig04 [--full]`
+//! (the default reduced scale sweeps n ∈ {4, 5, 6, 8, 10} and training sets
+//! up to 24,000 CRPs; `--full` sweeps n = 4..11 up to the full stable pool)
+
+use puf_analysis::Table;
+use puf_bench::{par, Scale};
+use puf_core::challenge::random_challenges;
+use puf_core::Condition;
+use puf_ml::features::{design_matrix, encode_bits};
+use puf_ml::{Mlp, MlpConfig};
+use puf_silicon::testbench::collect_stable_xor_crps;
+use puf_silicon::{dataset::CrpSet, Chip, ChipConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 4 reproduction — MLP attack accuracy vs training-set size");
+    println!("scale: {scale}\n");
+
+    let (n_values, train_sizes): (Vec<usize>, Vec<usize>) = if scale.full {
+        (
+            (4..=11).collect(),
+            vec![1_000, 3_000, 10_000, 30_000, 100_000, 300_000],
+        )
+    } else {
+        (vec![4, 5, 6, 8, 10], vec![1_000, 3_000, 8_000, 24_000])
+    };
+
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+
+    // 90/10 split of the random challenge pool (paper protocol); stable-only
+    // CRPs on both sides.
+    let pool = random_challenges(chip.stages(), scale.challenges, &mut rng);
+    let split = pool.len() * 9 / 10;
+    let (train_pool, test_pool) = pool.split_at(split);
+
+    println!("collecting stable CRPs per n (fuse-port measurements)…");
+    let datasets: Vec<(usize, CrpSet, CrpSet)> = par::par_map(&n_values, |idx, &n| {
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0004 + idx as u64));
+        let train = collect_stable_xor_crps(
+            &chip,
+            n,
+            train_pool,
+            Condition::NOMINAL,
+            scale.evals,
+            &mut rng,
+        )
+        .expect("train collection failed");
+        let test = collect_stable_xor_crps(
+            &chip,
+            n,
+            test_pool,
+            Condition::NOMINAL,
+            scale.evals,
+            &mut rng,
+        )
+        .expect("test collection failed");
+        (n, train, test.truncated(20_000))
+    });
+    for (n, train, test) in &datasets {
+        println!(
+            "  n = {n:2}: {} stable train CRPs, {} stable test CRPs (max train ≈ {}·0.8^n)",
+            train.len(),
+            test.len(),
+            train_pool.len(),
+        );
+    }
+    println!();
+
+    // One training job per (n, size) pair, fanned out across threads.
+    struct Job {
+        n: usize,
+        size: usize,
+        dataset_idx: usize,
+    }
+    let mut jobs = Vec::new();
+    for (di, (n, train, _)) in datasets.iter().enumerate() {
+        for &size in &train_sizes {
+            if size <= train.len() {
+                jobs.push(Job {
+                    n: *n,
+                    size,
+                    dataset_idx: di,
+                });
+            }
+        }
+        // Always include the full available pool as the last point.
+        jobs.push(Job {
+            n: *n,
+            size: train.len(),
+            dataset_idx: di,
+        });
+    }
+
+    let results = par::par_map(&jobs, |ji, job| {
+        let (_, train, test) = &datasets[job.dataset_idx];
+        let train = train.truncated(job.size);
+        let x = design_matrix(train.challenges());
+        let y = encode_bits(train.responses());
+        let config = MlpConfig::paper_default();
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0104 + ji as u64));
+        let mut mlp = Mlp::new(x.cols(), &config, &mut rng);
+        let t0 = Instant::now();
+        let diag = mlp.train(&x, &y, &config);
+        let train_time = t0.elapsed();
+
+        let xt = design_matrix(test.challenges());
+        let predictions = mlp.predict(&xt);
+        let accuracy = puf_ml::accuracy(&predictions, test.responses());
+        (
+            job.n,
+            job.size,
+            accuracy,
+            train_time.as_secs_f64() * 1_000.0 / job.size as f64,
+            diag.iterations,
+        )
+    });
+
+    let mut table = Table::new(["n", "train CRPs", "accuracy", "ms/CRP", "lbfgs iters"]);
+    for (n, size, acc, ms_per_crp, iters) in &results {
+        table.row([
+            n.to_string(),
+            size.to_string(),
+            format!("{:.1}%", acc * 100.0),
+            format!("{ms_per_crp:.3}"),
+            iters.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Headline check: which n reach 90 % accuracy with the largest budget?
+    println!("accuracy at the largest training set per n:");
+    for (n, _, _) in &datasets {
+        let best = results
+            .iter()
+            .filter(|r| r.0 == *n)
+            .map(|r| (r.1, r.2))
+            .max_by_key(|(size, _)| *size);
+        if let Some((size, acc)) = best {
+            println!(
+                "  n = {n:2}: {:.1}% with {size} CRPs{}",
+                acc * 100.0,
+                if acc > 0.9 { "  → broken (< 10 PUFs insufficient)" } else { "  → resists at this budget" }
+            );
+        }
+    }
+    let mean_ms: f64 =
+        results.iter().map(|r| r.3).sum::<f64>() / results.len().max(1) as f64;
+    println!("\nmean training speed: {mean_ms:.3} ms/CRP  [paper: 0.395 ms/CRP on an i7-3770]");
+}

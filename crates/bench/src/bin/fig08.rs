@@ -1,0 +1,112 @@
+//! Figure 8 — measured vs model-predicted soft responses and the
+//! `Thr(0)`/`Thr(1)` extraction.
+//!
+//! Paper (32 nm, 0.9 V, 25 °C, 5,000 challenges × 100,000 trials): the
+//! linear model's predicted soft responses span a wider range than the
+//! measured `[0, 1]` but remain centred near 0.5; `Thr(0)` is the lowest
+//! prediction whose measurement exceeded 0.00 and `Thr(1)` the highest
+//! whose measurement stayed below 1.00. Some CRPs are "stable in
+//! measurement but discarded" by the model — the marginally stable ones.
+//!
+//! Run: `cargo run -p puf-bench --release --bin fig08 [--full]`
+
+use puf_analysis::hist::Histogram;
+use puf_analysis::Table;
+use puf_bench::Scale;
+use puf_core::challenge::random_challenges;
+use puf_core::Condition;
+use puf_ml::LinearRegression;
+use puf_protocol::Thresholds;
+use puf_silicon::{Chip, ChipConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    const TRAINING: usize = 5_000;
+    println!("Fig. 8 reproduction — measured vs predicted soft response, threshold extraction");
+    println!("scale: {scale}; training set: {TRAINING} challenges\n");
+
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+    let training = random_challenges(chip.stages(), TRAINING, &mut rng);
+
+    // Counter measurements + linear fit (the enrollment core, §4).
+    let measured: Vec<f64> = training
+        .iter()
+        .map(|c| {
+            chip.measure_individual_soft(0, c, Condition::NOMINAL, scale.evals, &mut rng)
+                .expect("measurement failed")
+                .value()
+        })
+        .collect();
+    let model =
+        LinearRegression::fit_challenges(&training, &measured, 1e-6).expect("regression failed");
+    let predicted: Vec<f64> = model.predict_batch(&training);
+
+    // Histograms: measured in [0,1], predicted over a wider range.
+    let mut measured_hist = Histogram::soft_response();
+    measured_hist.extend(measured.iter().copied());
+    let (pmin, pmax) = predicted
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
+            (lo.min(p), hi.max(p))
+        });
+    let mut predicted_hist = Histogram::new(-0.5, 1.5, 40);
+    predicted_hist.extend(predicted.iter().copied());
+
+    println!("measured soft responses (bin = 0.05):");
+    println!("{}", measured_hist.render(40));
+    println!(
+        "predicted soft responses (range {:.3}..{:.3} — wider than [0,1], centred near 0.5):",
+        pmin, pmax
+    );
+    println!("{}", predicted_hist.render(40));
+
+    // Threshold extraction per the paper's definition.
+    let pairs: Vec<(f64, f64)> = predicted.iter().copied().zip(measured.iter().copied()).collect();
+    let thresholds = Thresholds::from_training(&pairs).expect("degenerate training set");
+    println!("Thr(0) = {:.4}   (lowest prediction with measured soft > 0.00)", thresholds.thr0);
+    println!("Thr(1) = {:.4}   (highest prediction with measured soft < 1.00)\n", thresholds.thr1);
+
+    // Cross-tabulate measured category vs predicted category.
+    let mut counts = [[0usize; 3]; 3]; // [measured][predicted]
+    for (&pred, &meas) in predicted.iter().zip(&measured) {
+        let m = if meas == 0.0 {
+            0
+        } else if meas == 1.0 {
+            2
+        } else {
+            1
+        };
+        let p = match thresholds.classify(pred) {
+            puf_protocol::StabilityClass::Stable0 => 0,
+            puf_protocol::StabilityClass::Unstable => 1,
+            puf_protocol::StabilityClass::Stable1 => 2,
+        };
+        counts[m][p] += 1;
+    }
+    let labels = ["measured stable 0", "measured unstable", "measured stable 1"];
+    let mut table = Table::new(["", "pred stable 0", "pred unstable", "pred stable 1"]);
+    for (mi, label) in labels.iter().enumerate() {
+        table.row([
+            label.to_string(),
+            counts[mi][0].to_string(),
+            counts[mi][1].to_string(),
+            counts[mi][2].to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let discarded = counts[0][1] + counts[2][1];
+    let misclassified = counts[1][0] + counts[1][2] + counts[0][2] + counts[2][0];
+    println!(
+        "stable in measurement but discarded by the model (marginally stable): {} ({:.1}%)",
+        discarded,
+        discarded as f64 / TRAINING as f64 * 100.0
+    );
+    println!(
+        "CRPs classified stable by the model but not measured so: {misclassified} \
+         (must be 0 on the training set by the threshold definition)"
+    );
+}

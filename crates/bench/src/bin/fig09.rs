@@ -1,0 +1,134 @@
+//! Figure 9 — threshold tightening via β scaling under the nominal
+//! condition.
+//!
+//! Paper (§5.1): training set of 5,000 CRPs, test set of 1,000,000 CRPs,
+//! both at 0.9 V/25 °C. β₀ starts at 0.99 and is decreased, β₁ at 1.01 and
+//! increased, until every unstable test response is filtered out. Across
+//! 10 PUFs the fitted values span β₀ ∈ 0.74…0.93 and β₁ ∈ 1.04…1.08; the
+//! most conservative pair (0.74, 1.08) is applied lot-wide.
+//!
+//! Run: `cargo run -p puf-bench --release --bin fig09 [--full]`
+
+use puf_analysis::Table;
+use puf_bench::{par, Scale};
+use puf_core::challenge::random_challenges;
+use puf_core::Condition;
+use puf_ml::LinearRegression;
+use puf_protocol::enrollment::fit_betas_on_measurements;
+use puf_protocol::{Betas, StabilityClass, Thresholds};
+use puf_silicon::{ChipConfig, ChipLot};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TRAINING: usize = 5_000;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 9 reproduction — β threshold adjustment at nominal condition");
+    println!("scale: {scale}; training 5,000 CRPs per PUF\n");
+
+    let lot = ChipLot::fabricate(scale.chips, &ChipConfig::paper_default(), scale.seed);
+    let chip_indices: Vec<usize> = (0..lot.len()).collect();
+
+    let per_chip = par::par_map(&chip_indices, |_, &ci| {
+        let chip = &lot.chips()[ci];
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0009 + ci as u64 * 7919));
+        let training = random_challenges(chip.stages(), TRAINING, &mut rng);
+        let test = random_challenges(chip.stages(), scale.challenges, &mut rng);
+
+        // Enrollment fit on PUF 0.
+        let measured: Vec<f64> = training
+            .iter()
+            .map(|c| {
+                chip.measure_individual_soft(0, c, Condition::NOMINAL, scale.evals, &mut rng)
+                    .expect("measurement failed")
+                    .value()
+            })
+            .collect();
+        let model = LinearRegression::fit_challenges(&training, &measured, 1e-6)
+            .expect("regression failed");
+        let pairs: Vec<(f64, f64)> = training
+            .iter()
+            .zip(&measured)
+            .map(|(c, &s)| (model.predict(c), s))
+            .collect();
+        let thresholds = Thresholds::from_training(&pairs).expect("degenerate training");
+
+        // β fit against the big nominal test measurement.
+        let betas = fit_betas_on_measurements(
+            chip,
+            0,
+            &model,
+            thresholds,
+            &test,
+            &[Condition::NOMINAL],
+            scale.evals,
+            &mut rng,
+        )
+        .expect("beta fit failed");
+
+        // Stable fractions before and after tightening, plus the residual
+        // misprediction count after tightening (must be 0 by construction
+        // of the fit on this same set).
+        let raw = thresholds;
+        let adjusted = thresholds.adjusted(betas);
+        let mut raw_stable = 0usize;
+        let mut adj_stable = 0usize;
+        for c in &test {
+            let p = model.predict(c);
+            if raw.classify(p) != StabilityClass::Unstable {
+                raw_stable += 1;
+            }
+            if adjusted.classify(p) != StabilityClass::Unstable {
+                adj_stable += 1;
+            }
+        }
+        (
+            ci,
+            thresholds,
+            betas,
+            raw_stable as f64 / test.len() as f64,
+            adj_stable as f64 / test.len() as f64,
+        )
+    });
+
+    let mut table = Table::new([
+        "chip",
+        "Thr(0)",
+        "Thr(1)",
+        "β₀",
+        "β₁",
+        "stable% raw",
+        "stable% adjusted",
+    ]);
+    let mut conservative = Betas::new(f64::MAX, f64::MIN_POSITIVE);
+    let (mut b0_min, mut b0_max) = (f64::MAX, f64::MIN);
+    let (mut b1_min, mut b1_max) = (f64::MAX, f64::MIN);
+    for (ci, thr, betas, raw, adj) in &per_chip {
+        table.row([
+            ci.to_string(),
+            format!("{:.4}", thr.thr0),
+            format!("{:.4}", thr.thr1),
+            format!("{:.2}", betas.beta0),
+            format!("{:.2}", betas.beta1),
+            format!("{:.1}%", raw * 100.0),
+            format!("{:.1}%", adj * 100.0),
+        ]);
+        conservative = conservative.most_conservative(*betas);
+        b0_min = b0_min.min(betas.beta0);
+        b0_max = b0_max.max(betas.beta0);
+        b1_min = b1_min.min(betas.beta1);
+        b1_max = b1_max.max(betas.beta1);
+    }
+    println!("{}", table.render());
+    println!(
+        "β₀ range: {b0_min:.2}…{b0_max:.2}   [paper: 0.74…0.93]"
+    );
+    println!(
+        "β₁ range: {b1_min:.2}…{b1_max:.2}   [paper: 1.04…1.08]"
+    );
+    println!(
+        "lot-wide conservative pair: β₀ = {:.2}, β₁ = {:.2}   [paper: 0.74, 1.08]",
+        conservative.beta0, conservative.beta1
+    );
+}

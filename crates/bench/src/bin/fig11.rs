@@ -1,0 +1,156 @@
+//! Figure 11 — threshold adjustment under voltage and temperature
+//! variation.
+//!
+//! Paper (§5.2): the model is trained once at 0.9 V/25 °C (5,000 CRPs);
+//! the test set is measured at all nine corners of 0.8–1.0 V × 0–60 °C.
+//! The test-set soft-response distribution widens, but unstable CRPs stay
+//! concentrated near 0.5, so the same β scheme works — it just needs more
+//! stringent values than the nominal fit.
+//!
+//! Run: `cargo run -p puf-bench --release --bin fig11 [--full]`
+
+use puf_analysis::hist::Histogram;
+use puf_bench::Scale;
+use puf_core::challenge::random_challenges;
+use puf_core::Condition;
+use puf_ml::LinearRegression;
+use puf_protocol::enrollment::fit_betas_on_measurements;
+use puf_protocol::{StabilityClass, Thresholds};
+use puf_silicon::{Chip, ChipConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TRAINING: usize = 5_000;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 11 reproduction — β adjustment across the V/T grid");
+    println!(
+        "scale: {scale}; training at {} only, testing at 9 conditions\n",
+        Condition::NOMINAL
+    );
+
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+    let grid = Condition::paper_grid();
+
+    // Enrollment at nominal.
+    let training = random_challenges(chip.stages(), TRAINING, &mut rng);
+    let soft: Vec<f64> = training
+        .iter()
+        .map(|c| {
+            chip.measure_individual_soft(0, c, Condition::NOMINAL, scale.evals, &mut rng)
+                .expect("measurement failed")
+                .value()
+        })
+        .collect();
+    let model =
+        LinearRegression::fit_challenges(&training, &soft, 1e-6).expect("regression failed");
+    let pairs: Vec<(f64, f64)> = training
+        .iter()
+        .zip(&soft)
+        .map(|(c, &s)| (model.predict(c), s))
+        .collect();
+    let thresholds = Thresholds::from_training(&pairs).expect("degenerate training");
+    println!("training thresholds: {thresholds}");
+
+    // β fit at nominal vs across the whole grid; the grid sweep is the
+    // expensive part, so use a slice of the challenge budget per fit.
+    let beta_fit_size = (scale.challenges / 4).clamp(5_000, 100_000);
+    let beta_pool = random_challenges(chip.stages(), beta_fit_size, &mut rng);
+    let betas_nominal = fit_betas_on_measurements(
+        &chip,
+        0,
+        &model,
+        thresholds,
+        &beta_pool,
+        &[Condition::NOMINAL],
+        scale.evals,
+        &mut rng,
+    )
+    .expect("nominal beta fit failed");
+    let betas_all = fit_betas_on_measurements(
+        &chip,
+        0,
+        &model,
+        thresholds,
+        &beta_pool,
+        &grid,
+        scale.evals,
+        &mut rng,
+    )
+    .expect("all-V/T beta fit failed");
+
+    println!("β fit on nominal-only measurements: {betas_nominal}   [paper: e.g. 0.74/1.08]");
+    println!("β fit on all-V/T measurements:      {betas_all}   (more stringent)\n");
+    assert!(
+        betas_all.beta0 <= betas_nominal.beta0 + 1e-9
+            && betas_all.beta1 >= betas_nominal.beta1 - 1e-9,
+        "all-V/T betas should tighten relative to nominal"
+    );
+
+    // Test-set soft-response distributions: nominal vs all conditions.
+    let test = random_challenges(chip.stages(), (scale.challenges / 10).max(10_000), &mut rng);
+    let mut nominal_hist = Histogram::soft_response();
+    let mut grid_hist = Histogram::soft_response();
+    let mut unstable_values: Vec<f64> = Vec::new();
+    for c in &test {
+        for &cond in &grid {
+            let s = chip
+                .measure_individual_soft(0, c, cond, scale.evals, &mut rng)
+                .expect("measurement failed");
+            grid_hist.add(s.value());
+            if cond.is_nominal() {
+                nominal_hist.add(s.value());
+            }
+            if !s.is_stable() {
+                unstable_values.push(s.value());
+            }
+        }
+    }
+    let nominal_interior: u64 = nominal_hist.counts()[1..19].iter().sum();
+    let grid_interior: u64 = grid_hist.counts()[1..19].iter().sum();
+    println!(
+        "interior (non-saturated) soft responses: nominal {:.2}%, all V/T {:.2}% — distribution widens",
+        nominal_interior as f64 / nominal_hist.total() as f64 * 100.0,
+        grid_interior as f64 / grid_hist.total() as f64 * 100.0,
+    );
+    let mean_unstable =
+        unstable_values.iter().sum::<f64>() / unstable_values.len().max(1) as f64;
+    println!(
+        "mean unstable soft response across conditions: {mean_unstable:.3} (concentrated near 0.5)"
+    );
+
+    // Final check: challenges selected with the all-V/T βs stay stable at
+    // every corner.
+    let adjusted = thresholds.adjusted(betas_all);
+    let fresh = random_challenges(chip.stages(), (scale.challenges / 10).max(10_000), &mut rng);
+    let mut selected = 0usize;
+    let mut violations = 0usize;
+    for c in &fresh {
+        let class = adjusted.classify(model.predict(c));
+        if class == StabilityClass::Unstable {
+            continue;
+        }
+        selected += 1;
+        for &cond in &grid {
+            let s = chip
+                .measure_individual_soft(0, c, cond, scale.evals, &mut rng)
+                .expect("measurement failed");
+            let ok = match class {
+                StabilityClass::Stable0 => s.is_stable_zero(),
+                StabilityClass::Stable1 => s.is_stable_one(),
+                StabilityClass::Unstable => unreachable!(),
+            };
+            if !ok {
+                violations += 1;
+                break;
+            }
+        }
+    }
+    println!(
+        "fresh challenges selected with all-V/T βs: {selected}; corner violations: {violations} \
+         ({:.4}%)",
+        violations as f64 / selected.max(1) as f64 * 100.0
+    );
+}

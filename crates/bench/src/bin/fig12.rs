@@ -1,0 +1,221 @@
+//! Figure 12 — stable-CRP probability versus XOR width under measurement,
+//! nominal model selection and all-V/T model selection.
+//!
+//! Paper: all three curves decay exponentially (negligible inter-PUF
+//! correlation):
+//!
+//! - measured at nominal:              ≈ 0.800ⁿ → 10.9 %  at n = 10
+//! - model-predicted, nominal βs:      ≈ 0.545ⁿ → 0.238 % at n = 10
+//! - model-predicted, all-V/T βs:      ≈ 0.342ⁿ → ~2·10⁻⁵ at n = 10
+//!
+//! and even the smallest fraction leaves ~10¹⁴ usable challenges in a
+//! 64-stage PUF's 2⁶⁴ space.
+//!
+//! Run: `cargo run -p puf-bench --release --bin fig12 [--full]`
+
+use puf_analysis::stability::{fit_exponential_base, StabilityPoint};
+use puf_analysis::Table;
+use puf_bench::{par, Scale};
+use puf_core::challenge::random_challenges;
+use puf_core::{Challenge, Condition};
+use puf_ml::LinearRegression;
+use puf_protocol::enrollment::fit_betas_on_measurements;
+use puf_protocol::{StabilityClass, Thresholds};
+use puf_silicon::{Chip, ChipConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MAX_N: usize = 10;
+const TRAINING: usize = 5_000;
+
+struct MemberModel {
+    model: LinearRegression,
+    nominal: Thresholds,
+    all_vt: Thresholds,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 12 reproduction — stable-CRP probability vs n under three selection rules");
+    println!("scale: {scale}\n");
+
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+    let grid = Condition::paper_grid();
+
+    // Enroll all MAX_N member PUFs: linear model + thresholds + two β fits.
+    let beta_fit_size = (scale.challenges / 8).clamp(4_000, 50_000);
+    println!("enrolling {MAX_N} member PUFs (training {TRAINING}, β-fit set {beta_fit_size})…");
+    let member_ids: Vec<usize> = (0..MAX_N).collect();
+    let members: Vec<MemberModel> = par::par_map(&member_ids, |_, &puf| {
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0012 + puf as u64 * 7919));
+        let training = random_challenges(chip.stages(), TRAINING, &mut rng);
+        let soft: Vec<f64> = training
+            .iter()
+            .map(|c| {
+                chip.measure_individual_soft(puf, c, Condition::NOMINAL, scale.evals, &mut rng)
+                    .expect("measurement failed")
+                    .value()
+            })
+            .collect();
+        let model =
+            LinearRegression::fit_challenges(&training, &soft, 1e-6).expect("regression failed");
+        let pairs: Vec<(f64, f64)> = training
+            .iter()
+            .zip(&soft)
+            .map(|(c, &s)| (model.predict(c), s))
+            .collect();
+        let thresholds = Thresholds::from_training(&pairs).expect("degenerate training");
+        let beta_pool = random_challenges(chip.stages(), beta_fit_size, &mut rng);
+        let betas_nominal = fit_betas_on_measurements(
+            &chip,
+            puf,
+            &model,
+            thresholds,
+            &beta_pool,
+            &[Condition::NOMINAL],
+            scale.evals,
+            &mut rng,
+        )
+        .expect("nominal beta fit failed");
+        let betas_all = fit_betas_on_measurements(
+            &chip,
+            puf,
+            &model,
+            thresholds,
+            &beta_pool,
+            &grid,
+            scale.evals,
+            &mut rng,
+        )
+        .expect("all-V/T beta fit failed");
+        let betas_all = betas_nominal.most_conservative(betas_all);
+        MemberModel {
+            nominal: thresholds.adjusted(betas_nominal),
+            all_vt: thresholds.adjusted(betas_all),
+            model,
+        }
+    });
+
+    // Curve 1: measured stable fraction per n (counter measurements).
+    let shards = par::worker_count(64).max(1) * 4;
+    let per_shard = scale.challenges.div_ceil(shards);
+    let shard_ids: Vec<u64> = (0..shards as u64).collect();
+    let measured_partials = par::par_map(&shard_ids, |_, &shard| {
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0112 + shard * 104_729));
+        let mut stable_upto = vec![0u64; MAX_N + 1];
+        for _ in 0..per_shard {
+            let c = Challenge::random(chip.stages(), &mut rng);
+            let mut prefix = MAX_N;
+            for puf in 0..MAX_N {
+                let s = chip
+                    .measure_individual_soft(puf, &c, Condition::NOMINAL, scale.evals, &mut rng)
+                    .expect("measurement failed");
+                if !s.is_stable() {
+                    prefix = puf;
+                    break;
+                }
+            }
+            for n in 1..=prefix {
+                stable_upto[n] += 1;
+            }
+        }
+        stable_upto
+    });
+    let measured_total = (per_shard * shards) as f64;
+    let mut measured_upto = vec![0u64; MAX_N + 1];
+    for p in &measured_partials {
+        for (a, b) in measured_upto.iter_mut().zip(p) {
+            *a += b;
+        }
+    }
+
+    // Curves 2 and 3: predicted stable fractions. Predictions are pure
+    // arithmetic, so a larger sample keeps the deep-exponential tail
+    // resolvable (0.342¹⁰ ≈ 2·10⁻⁵ needs ≥ 10⁶ samples).
+    let pred_samples = scale.challenges.max(1_000_000);
+    let pred_per_shard = pred_samples.div_ceil(shards);
+    let pred_partials = par::par_map(&shard_ids, |_, &shard| {
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0212 + shard * 104_729));
+        let mut nominal_upto = vec![0u64; MAX_N + 1];
+        let mut all_vt_upto = vec![0u64; MAX_N + 1];
+        for _ in 0..pred_per_shard {
+            let c = Challenge::random(chip.stages(), &mut rng);
+            let mut nominal_prefix = MAX_N;
+            let mut all_vt_prefix = MAX_N;
+            for (i, m) in members.iter().enumerate() {
+                let pred = m.model.predict(&c);
+                let nominal_stable = m.nominal.classify(pred) != StabilityClass::Unstable;
+                let all_vt_stable = m.all_vt.classify(pred) != StabilityClass::Unstable;
+                if !nominal_stable && nominal_prefix == MAX_N {
+                    nominal_prefix = i;
+                }
+                if !all_vt_stable && all_vt_prefix == MAX_N {
+                    all_vt_prefix = i;
+                }
+                if nominal_prefix != MAX_N && all_vt_prefix != MAX_N {
+                    break;
+                }
+            }
+            for n in 1..=nominal_prefix {
+                nominal_upto[n] += 1;
+            }
+            for n in 1..=all_vt_prefix {
+                all_vt_upto[n] += 1;
+            }
+        }
+        (nominal_upto, all_vt_upto)
+    });
+    let pred_total = (pred_per_shard * shards) as f64;
+    let mut nominal_upto = vec![0u64; MAX_N + 1];
+    let mut all_vt_upto = vec![0u64; MAX_N + 1];
+    for (a, b) in &pred_partials {
+        for (x, y) in nominal_upto.iter_mut().zip(a) {
+            *x += y;
+        }
+        for (x, y) in all_vt_upto.iter_mut().zip(b) {
+            *x += y;
+        }
+    }
+
+    let curve = |upto: &[u64], total: f64| -> Vec<StabilityPoint> {
+        (1..=MAX_N)
+            .map(|n| StabilityPoint {
+                n,
+                fraction: upto[n] as f64 / total,
+            })
+            .collect()
+    };
+    let measured = curve(&measured_upto, measured_total);
+    let nominal = curve(&nominal_upto, pred_total);
+    let all_vt = curve(&all_vt_upto, pred_total);
+
+    let mut table = Table::new(["n", "measured", "predicted (nominal β)", "predicted (all V,T β)"]);
+    for i in 0..MAX_N {
+        table.row([
+            (i + 1).to_string(),
+            format!("{:.3}%", measured[i].fraction * 100.0),
+            format!("{:.4}%", nominal[i].fraction * 100.0),
+            format!("{:.5}%", all_vt[i].fraction * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let base_m = fit_exponential_base(&measured);
+    let base_n = fit_exponential_base(&nominal);
+    let base_a = fit_exponential_base(&all_vt);
+    println!("fitted decay bases:");
+    println!("  measured:             {base_m:.3}  [paper: 0.800]");
+    println!("  predicted (nominal):  {base_n:.3}  [paper: 0.545]");
+    println!("  predicted (all V,T):  {base_a:.3}  [paper: 0.342]");
+    println!(
+        "\nn = 10 fractions: measured {:.2}% [10.9%], nominal {:.4}% [0.238%], all V,T {:.5}%",
+        measured[MAX_N - 1].fraction * 100.0,
+        nominal[MAX_N - 1].fraction * 100.0,
+        all_vt[MAX_N - 1].fraction * 100.0,
+    );
+    let usable = all_vt[MAX_N - 1].fraction * 2f64.powi(64);
+    println!(
+        "usable challenges in a 64-stage PUF's 2^64 space at the strictest selection: ≈ {usable:.2e}"
+    );
+}

@@ -1,0 +1,24 @@
+//! # puf-bench
+//!
+//! Shared harness utilities for the figure-reproduction binaries
+//! (`fig02` … `fig12`) and the Criterion benchmarks.
+//!
+//! Every fig binary runs at a reduced default scale (fast enough for a
+//! laptop in minutes) and accepts:
+//!
+//! - `--full` — the paper's original scale (1,000,000 challenges, 10 chips,
+//!   100,000 evaluations per soft response),
+//! - `--challenges N`, `--chips N`, `--evals N`, `--seed N` — individual
+//!   overrides.
+//!
+//! Scale-downs never change *what* is computed, only how many samples go
+//! into each estimate; EXPERIMENTS.md records the scales used for the
+//! committed numbers.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod par;
+pub mod scale;
+
+pub use scale::Scale;

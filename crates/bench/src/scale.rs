@@ -1,0 +1,159 @@
+//! Experiment-scale configuration shared by the fig binaries.
+
+use std::fmt;
+
+/// Scale knobs for a figure run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scale {
+    /// Number of random test challenges (paper: 1,000,000).
+    pub challenges: usize,
+    /// Number of chips in the lot (paper: 10).
+    pub chips: usize,
+    /// Counter evaluations per soft-response measurement (paper: 100,000).
+    pub evals: u64,
+    /// Base RNG seed for fabrication and measurement noise.
+    pub seed: u64,
+    /// Whether `--full` was requested.
+    pub full: bool,
+}
+
+impl Scale {
+    /// The paper's full measurement campaign.
+    pub fn paper() -> Self {
+        Self {
+            challenges: 1_000_000,
+            chips: 10,
+            evals: 100_000,
+            seed: 2017,
+            full: true,
+        }
+    }
+
+    /// The reduced default: 200,000 challenges, 10 chips, 100,000
+    /// evaluations (only the challenge count is reduced — stability
+    /// statistics depend on the evaluation count, so that stays at paper
+    /// scale).
+    pub fn default_reduced() -> Self {
+        Self {
+            challenges: 200_000,
+            chips: 10,
+            evals: 100_000,
+            seed: 2017,
+            full: false,
+        }
+    }
+
+    /// Parses command-line style arguments (`--full`, `--challenges N`,
+    /// `--chips N`, `--evals N`, `--seed N`) on top of the reduced default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on an unknown flag or malformed number.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut scale = Self::default_reduced();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--full" => {
+                    let seed = scale.seed;
+                    scale = Self::paper();
+                    scale.seed = seed;
+                }
+                "--challenges" => scale.challenges = next_number(&mut iter, "--challenges"),
+                "--chips" => scale.chips = next_number(&mut iter, "--chips"),
+                "--evals" => scale.evals = next_number(&mut iter, "--evals") as u64,
+                "--seed" => scale.seed = next_number(&mut iter, "--seed") as u64,
+                other => panic!(
+                    "unknown argument `{other}` (expected --full, --challenges, --chips, --evals, --seed)"
+                ),
+            }
+        }
+        scale
+    }
+
+    /// Parses the real process arguments (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::default_reduced()
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} challenges, {} chips, {} evals/measurement, seed {}{}",
+            self.challenges,
+            self.chips,
+            self.evals,
+            self.seed,
+            if self.full { " (paper scale)" } else { "" }
+        )
+    }
+}
+
+fn next_number<I: Iterator<Item = String>>(iter: &mut I, flag: &str) -> usize {
+    let value = iter
+        .next()
+        .unwrap_or_else(|| panic!("{flag} requires a value"));
+    value
+        .replace('_', "")
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag}: `{value}` is not a number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Scale {
+        Scale::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn default_scale() {
+        let s = parse(&[]);
+        assert_eq!(s.challenges, 200_000);
+        assert_eq!(s.chips, 10);
+        assert_eq!(s.evals, 100_000);
+        assert!(!s.full);
+    }
+
+    #[test]
+    fn full_scale() {
+        let s = parse(&["--full"]);
+        assert_eq!(s.challenges, 1_000_000);
+        assert!(s.full);
+    }
+
+    #[test]
+    fn overrides_and_underscores() {
+        let s = parse(&["--challenges", "50_000", "--seed", "7", "--chips", "3"]);
+        assert_eq!(s.challenges, 50_000);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.chips, 3);
+    }
+
+    #[test]
+    fn full_then_override() {
+        let s = parse(&["--full", "--challenges", "10"]);
+        assert_eq!(s.challenges, 10);
+        assert!(s.full);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"]);
+    }
+
+    #[test]
+    fn display_mentions_scale() {
+        assert!(parse(&["--full"]).to_string().contains("paper scale"));
+    }
+}

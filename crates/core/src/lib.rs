@@ -1,0 +1,145 @@
+//! # puf-core
+//!
+//! Linear additive delay model of MUX (multiplexer) arbiter PUFs and XOR
+//! arbiter PUFs, with arbiter thermal noise and voltage/temperature
+//! variation.
+//!
+//! This crate is the silicon-free substrate for reproducing Zhou, Parhi and
+//! Kim, *"Secure and Reliable XOR Arbiter PUF Design: An Experimental Study
+//! based on 1 Trillion Challenge Response Pair Measurements"*, DAC 2017.
+//! The paper measured custom 32 nm chips; here the same statistics are
+//! produced by the community-standard linear additive delay model that the
+//! paper itself uses for enrollment modeling (its §4).
+//!
+//! ## Model
+//!
+//! A `k`-stage arbiter PUF is parameterised by a weight vector
+//! `w ∈ ℝ^{k+1}`. For a challenge `c ∈ {0,1}^k` the delay difference between
+//! the two racing paths is the inner product
+//!
+//! ```text
+//! Δ(c) = w · φ(c),     φ_i(c) = Π_{j=i}^{k-1} (1 − 2 c_j),  φ_k(c) = 1
+//! ```
+//!
+//! A single noisy evaluation returns `1` iff `Δ(c) + ε > 0` with
+//! `ε ~ N(0, σ_noise²)` drawn independently per evaluation (arbiter thermal
+//! noise). The *soft response* — the probability of reading `1` — is
+//! therefore `Φ(Δ(c)/σ_noise)` where `Φ` is the standard normal CDF.
+//!
+//! An `n`-input XOR PUF evaluates `n` arbiter PUFs on the same challenge and
+//! XORs the bits.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use puf_core::{ArbiterPuf, Challenge, XorPuf};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let puf = XorPuf::random(4, 32, &mut rng);
+//! let challenge = Challenge::random(32, &mut rng);
+//! let bit = puf.response(&challenge);
+//! assert_eq!(bit, puf.response(&challenge)); // noiseless responses repeat
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aging;
+pub mod arbiter;
+pub mod challenge;
+pub mod env;
+pub mod feedforward;
+pub mod interpose;
+pub mod math;
+pub mod noise;
+pub mod rngx;
+pub mod xor;
+
+pub use aging::{AgingModel, DriftVector};
+pub use arbiter::ArbiterPuf;
+pub use challenge::{Challenge, FeatureVector};
+pub use env::{Condition, Environment, Sensitivity};
+pub use feedforward::FeedForwardPuf;
+pub use interpose::InterposePuf;
+pub use noise::{calibrate_noise_sigma, stable_fraction, NoiseModel, NOMINAL_EVALUATIONS};
+pub use xor::XorPuf;
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by `puf-core` constructors and evaluators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PufError {
+    /// A challenge was applied to a PUF with a different number of stages.
+    StageMismatch {
+        /// Number of stages the PUF expects.
+        expected: usize,
+        /// Number of stages the challenge carries.
+        actual: usize,
+    },
+    /// A PUF or challenge was requested with an unsupported stage count.
+    InvalidStageCount {
+        /// The requested stage count.
+        stages: usize,
+    },
+    /// An XOR PUF was requested with zero member PUFs.
+    EmptyXor,
+    /// A numeric parameter was out of its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for PufError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PufError::StageMismatch { expected, actual } => write!(
+                f,
+                "challenge has {actual} stages but the PUF expects {expected}"
+            ),
+            PufError::InvalidStageCount { stages } => {
+                write!(f, "unsupported stage count {stages} (must be 1..=128)")
+            }
+            PufError::EmptyXor => write!(f, "an XOR PUF needs at least one member PUF"),
+            PufError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter `{name}`: {constraint}")
+            }
+        }
+    }
+}
+
+impl StdError for PufError {}
+
+/// Maximum number of delay stages supported by [`Challenge`]'s fixed-width
+/// bit storage.
+pub const MAX_STAGES: usize = 128;
+
+/// Number of delay stages in the paper's 32 nm test chips.
+pub const PAPER_STAGES: usize = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = PufError::StageMismatch {
+            expected: 32,
+            actual: 64,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("32") && msg.contains("64"));
+        assert!(!format!("{err:?}").is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PufError>();
+    }
+}

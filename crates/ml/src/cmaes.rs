@@ -1,0 +1,365 @@
+//! Covariance-matrix-adaptation evolution strategy (CMA-ES).
+//!
+//! The paper's Ref. 9 (Becker, CHES 2015) breaks XOR arbiter PUFs with a
+//! *reliability-based* attack whose search engine is CMA-ES — the attack's
+//! fitness (a correlation) is non-differentiable, so gradient methods don't
+//! apply. This is a compact (μ/μ_w, λ) implementation with rank-μ update,
+//! cumulation for σ (CSA) and the rank-one path, following Hansen's
+//! tutorial; diagonal-plus-full covariance with eigendecomposition by
+//! Jacobi rotations (dimensions here are ≤ a few hundred).
+
+use rand::Rng;
+use std::fmt;
+
+/// Configuration of a CMA-ES run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CmaesConfig {
+    /// Initial step size σ₀. Default 0.3.
+    pub sigma: f64,
+    /// Population size λ; 0 = the default `4 + ⌊3 ln d⌋`.
+    pub population: usize,
+    /// Generation cap. Default 300.
+    pub max_generations: usize,
+    /// Stop when σ falls below this. Default 1e-8.
+    pub tol_sigma: f64,
+}
+
+impl Default for CmaesConfig {
+    fn default() -> Self {
+        Self {
+            sigma: 0.3,
+            population: 0,
+            max_generations: 300,
+            tol_sigma: 1e-8,
+        }
+    }
+}
+
+/// Result of a CMA-ES run (maximisation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CmaesResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Its fitness.
+    pub fitness: f64,
+    /// Generations executed.
+    pub generations: usize,
+}
+
+impl fmt::Display for CmaesResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fitness {:.6} after {} generations",
+            self.fitness, self.generations
+        )
+    }
+}
+
+/// Symmetric eigendecomposition by cyclic Jacobi; returns (eigenvalues,
+/// row-major eigenvector matrix `B` with eigenvectors in columns).
+fn jacobi_eigen(mut a: Vec<f64>, d: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut b = vec![0.0; d * d];
+    for i in 0..d {
+        b[i * d + i] = 1.0;
+    }
+    for _sweep in 0..30 {
+        let mut off = 0.0;
+        for i in 0..d {
+            for j in (i + 1)..d {
+                off += a[i * d + j] * a[i * d + j];
+            }
+        }
+        if off < 1e-20 {
+            break;
+        }
+        for p in 0..d {
+            for q in (p + 1)..d {
+                let apq = a[p * d + q];
+                if apq.abs() < 1e-18 {
+                    continue;
+                }
+                let app = a[p * d + p];
+                let aqq = a[q * d + q];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..d {
+                    let akp = a[k * d + p];
+                    let akq = a[k * d + q];
+                    a[k * d + p] = c * akp - s * akq;
+                    a[k * d + q] = s * akp + c * akq;
+                }
+                for k in 0..d {
+                    let apk = a[p * d + k];
+                    let aqk = a[q * d + k];
+                    a[p * d + k] = c * apk - s * aqk;
+                    a[q * d + k] = s * apk + c * aqk;
+                }
+                for k in 0..d {
+                    let bkp = b[k * d + p];
+                    let bkq = b[k * d + q];
+                    b[k * d + p] = c * bkp - s * bkq;
+                    b[k * d + q] = s * bkp + c * bkq;
+                }
+            }
+        }
+    }
+    let eig: Vec<f64> = (0..d).map(|i| a[i * d + i].max(1e-20)).collect();
+    (eig, b)
+}
+
+/// Maximises `fitness` over ℝ^d starting from `x0`.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty.
+pub fn maximize<R, F>(
+    fitness: F,
+    x0: Vec<f64>,
+    config: &CmaesConfig,
+    rng: &mut R,
+) -> CmaesResult
+where
+    R: Rng + ?Sized,
+    F: Fn(&[f64]) -> f64,
+{
+    let d = x0.len();
+    assert!(d > 0, "x0 must be non-empty");
+    let lambda = if config.population == 0 {
+        4 + (3.0 * (d as f64).ln()).floor() as usize
+    } else {
+        config.population
+    };
+    let mu = lambda / 2;
+    // Log-rank recombination weights.
+    let mut weights: Vec<f64> = (0..mu)
+        .map(|i| ((mu as f64 + 0.5).ln() - ((i + 1) as f64).ln()).max(0.0))
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= wsum;
+    }
+    let mu_eff = 1.0 / weights.iter().map(|w| w * w).sum::<f64>();
+    let d_f = d as f64;
+    let cc = (4.0 + mu_eff / d_f) / (d_f + 4.0 + 2.0 * mu_eff / d_f);
+    let cs = (mu_eff + 2.0) / (d_f + mu_eff + 5.0);
+    let c1 = 2.0 / ((d_f + 1.3) * (d_f + 1.3) + mu_eff);
+    let cmu = (1.0 - c1)
+        .min(2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((d_f + 2.0) * (d_f + 2.0) + mu_eff));
+    let damps = 1.0 + 2.0 * ((mu_eff - 1.0) / (d_f + 1.0)).sqrt().max(0.0) + cs;
+    let chi_n = d_f.sqrt() * (1.0 - 1.0 / (4.0 * d_f) + 1.0 / (21.0 * d_f * d_f));
+
+    let mut mean = x0;
+    let mut sigma = config.sigma;
+    let mut cov = vec![0.0; d * d];
+    for i in 0..d {
+        cov[i * d + i] = 1.0;
+    }
+    let mut ps = vec![0.0; d];
+    let mut pc = vec![0.0; d];
+    let mut best_x = mean.clone();
+    let mut best_fitness = fitness(&mean);
+    let mut generations = 0;
+
+    for gen in 0..config.max_generations {
+        generations = gen + 1;
+        let (eig, b) = jacobi_eigen(cov.clone(), d);
+        let sqrt_eig: Vec<f64> = eig.iter().map(|e| e.sqrt()).collect();
+
+        // Sample λ candidates: x = mean + σ·B·diag(√eig)·z.
+        let mut candidates: Vec<(f64, Vec<f64>, Vec<f64>)> = Vec::with_capacity(lambda);
+        for _ in 0..lambda {
+            let z: Vec<f64> = (0..d)
+                .map(|_| puf_core::rngx::standard_normal(rng))
+                .collect();
+            let mut y = vec![0.0; d];
+            for (j, yj) in y.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (k, zk) in z.iter().enumerate() {
+                    acc += b[j * d + k] * sqrt_eig[k] * zk;
+                }
+                *yj = acc;
+            }
+            let x: Vec<f64> = mean.iter().zip(&y).map(|(m, yj)| m + sigma * yj).collect();
+            let f = fitness(&x);
+            candidates.push((f, x, y));
+        }
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN fitness"));
+        if candidates[0].0 > best_fitness {
+            best_fitness = candidates[0].0;
+            best_x = candidates[0].1.clone();
+        }
+
+        // Recombine mean and y-mean.
+        let mut y_w = vec![0.0; d];
+        let mut new_mean = vec![0.0; d];
+        for (w, (_, x, y)) in weights.iter().zip(&candidates) {
+            for j in 0..d {
+                new_mean[j] += w * x[j];
+                y_w[j] += w * y[j];
+            }
+        }
+        mean = new_mean;
+
+        // CSA path: ps ← (1−cs)·ps + √(cs(2−cs)μeff)·C^{-1/2}·y_w.
+        let mut c_inv_y = vec![0.0; d];
+        for (k, civ) in c_inv_y.iter_mut().enumerate() {
+            // C^{-1/2} = B·diag(1/√eig)·Bᵀ.
+            let mut acc = 0.0;
+            for j in 0..d {
+                let mut bty = 0.0;
+                for (l, ywl) in y_w.iter().enumerate() {
+                    bty += b[l * d + j] * ywl;
+                }
+                acc += b[k * d + j] / sqrt_eig[j] * bty;
+            }
+            *civ = acc;
+        }
+        let coef = (cs * (2.0 - cs) * mu_eff).sqrt();
+        for j in 0..d {
+            ps[j] = (1.0 - cs) * ps[j] + coef * c_inv_y[j];
+        }
+        let ps_norm = ps.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let hsig = ps_norm / (1.0 - (1.0 - cs).powi(2 * (gen as i32 + 1))).sqrt()
+            < (1.4 + 2.0 / (d_f + 1.0)) * chi_n;
+        let coef_c = (cc * (2.0 - cc) * mu_eff).sqrt();
+        for j in 0..d {
+            pc[j] = (1.0 - cc) * pc[j] + if hsig { coef_c * y_w[j] } else { 0.0 };
+        }
+
+        // Covariance update: rank-one + rank-μ.
+        let delta_hsig = if hsig { 0.0 } else { cc * (2.0 - cc) };
+        for j in 0..d {
+            for k in 0..d {
+                let mut rank_mu = 0.0;
+                for (w, (_, _, y)) in weights.iter().zip(&candidates) {
+                    rank_mu += w * y[j] * y[k];
+                }
+                cov[j * d + k] = (1.0 - c1 - cmu + c1 * delta_hsig) * cov[j * d + k]
+                    + c1 * pc[j] * pc[k]
+                    + cmu * rank_mu;
+            }
+        }
+
+        // Step-size update.
+        sigma *= ((cs / damps) * (ps_norm / chi_n - 1.0)).exp();
+        if sigma < config.tol_sigma {
+            break;
+        }
+    }
+
+    CmaesResult {
+        x: best_x,
+        fitness: best_fitness,
+        generations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn maximises_smooth_bowl() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let target = [1.0, -2.0, 0.5, 3.0];
+        let result = maximize(
+            |x| {
+                -x.iter()
+                    .zip(&target)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+            },
+            vec![0.0; 4],
+            &CmaesConfig {
+                max_generations: 400,
+                ..CmaesConfig::default()
+            },
+            &mut rng,
+        );
+        for (got, want) in result.x.iter().zip(&target) {
+            assert!((got - want).abs() < 1e-2, "{:?}", result.x);
+        }
+    }
+
+    #[test]
+    fn handles_non_differentiable_fitness() {
+        // Fitness defined through a sign pattern — the reliability-attack
+        // regime where gradients don't exist.
+        let mut rng = StdRng::seed_from_u64(2);
+        let target = [0.7, -0.3, 0.9];
+        let result = maximize(
+            |x| {
+                // Count of coordinates on the right side plus a coarse
+                // distance bucket — piecewise constant.
+                let signs = x
+                    .iter()
+                    .zip(&target)
+                    .filter(|(a, b)| a.signum() == (**b as f64).signum())
+                    .count() as f64;
+                let dist: f64 = x
+                    .iter()
+                    .zip(&target)
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                signs - (dist * 4.0).floor() * 0.1
+            },
+            vec![0.0; 3],
+            &CmaesConfig::default(),
+            &mut rng,
+        );
+        let signs_right = result
+            .x
+            .iter()
+            .zip(&target)
+            .filter(|(a, b)| a.signum() == (**b as f64).signum())
+            .count();
+        assert_eq!(signs_right, 3, "{:?}", result.x);
+    }
+
+    #[test]
+    fn jacobi_eigen_diagonalises() {
+        // A = Q·diag(4,1)·Qᵀ for a rotation Q.
+        let (c, s) = (0.6f64, 0.8f64);
+        let a = vec![
+            c * c * 4.0 + s * s * 1.0,
+            c * s * (4.0 - 1.0),
+            c * s * (4.0 - 1.0),
+            s * s * 4.0 + c * c * 1.0,
+        ];
+        let (eig, b) = jacobi_eigen(a.clone(), 2);
+        let mut eigs = eig.clone();
+        eigs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((eigs[0] - 1.0).abs() < 1e-9);
+        assert!((eigs[1] - 4.0).abs() < 1e-9);
+        // B·diag(eig)·Bᵀ reproduces A.
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut acc = 0.0;
+                for k in 0..2 {
+                    acc += b[i * 2 + k] * eig[k] * b[j * 2 + k];
+                }
+                assert!((acc - a[i * 2 + j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn respects_generation_cap() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = maximize(
+            |x| -x[0] * x[0],
+            vec![5.0],
+            &CmaesConfig {
+                max_generations: 7,
+                ..CmaesConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(result.generations <= 7);
+    }
+}

@@ -1,0 +1,140 @@
+//! K-fold cross-validation utilities for attack-model selection.
+//!
+//! The paper tunes its 35-25-25 network by hand ("a larger network always
+//! leads to longer training time, but doesn't always result in higher
+//! accuracy", §2.3); cross-validation is how a practitioner would make that
+//! comparison honestly without burning the test set.
+
+use rand::Rng;
+
+/// Index split of one fold: everything not in `validation` is training.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices of the training samples.
+    pub train: Vec<usize>,
+    /// Indices of the held-out validation samples.
+    pub validation: Vec<usize>,
+}
+
+/// Produces `k` shuffled folds over `n` samples. Every sample appears in
+/// exactly one validation set; fold sizes differ by at most one.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > n`.
+pub fn k_folds<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<Fold> {
+    assert!(k >= 2, "need at least two folds");
+    assert!(k <= n, "more folds than samples");
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut folds = Vec::with_capacity(k);
+    let base = n / k;
+    let extra = n % k;
+    let mut start = 0;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        let validation: Vec<usize> = order[start..start + len].to_vec();
+        let train: Vec<usize> = order[..start]
+            .iter()
+            .chain(&order[start + len..])
+            .copied()
+            .collect();
+        folds.push(Fold { train, validation });
+        start += len;
+    }
+    folds
+}
+
+/// Runs `evaluate(train_indices, validation_indices) -> score` on every
+/// fold and returns `(mean, standard deviation)` of the scores.
+///
+/// # Panics
+///
+/// Panics if `folds` is empty.
+pub fn cross_validate<F>(folds: &[Fold], mut evaluate: F) -> (f64, f64)
+where
+    F: FnMut(&[usize], &[usize]) -> f64,
+{
+    assert!(!folds.is_empty(), "no folds");
+    let scores: Vec<f64> = folds
+        .iter()
+        .map(|f| evaluate(&f.train, &f.validation))
+        .collect();
+    let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+    let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+        / scores.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn folds_partition_the_samples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let folds = k_folds(103, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![false; 103];
+        for f in &folds {
+            assert_eq!(f.train.len() + f.validation.len(), 103);
+            for &i in &f.validation {
+                assert!(!seen[i], "sample {i} in two validation sets");
+                seen[i] = true;
+            }
+            // Disjointness inside one fold.
+            for &i in &f.validation {
+                assert!(!f.train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some sample never validated");
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = folds.iter().map(|f| f.validation.len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn cross_validate_aggregates_scores() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let folds = k_folds(10, 5, &mut rng);
+        let (mean, sd) = cross_validate(&folds, |train, validation| {
+            (train.len() + validation.len()) as f64
+        });
+        assert!((mean - 10.0).abs() < 1e-12);
+        assert!(sd.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_validated_logreg_matches_holdout_estimate() {
+        use crate::logreg::{LogisticConfig, LogisticRegression};
+        use puf_core::{challenge::random_challenges, ArbiterPuf};
+        let mut rng = StdRng::seed_from_u64(3);
+        let puf = ArbiterPuf::random(16, &mut rng);
+        let challenges = random_challenges(16, 1_500, &mut rng);
+        let labels: Vec<bool> = challenges.iter().map(|c| puf.response(c)).collect();
+        let folds = k_folds(challenges.len(), 5, &mut rng);
+        let (mean, sd) = cross_validate(&folds, |train, validation| {
+            let tc: Vec<_> = train.iter().map(|&i| challenges[i]).collect();
+            let tl: Vec<_> = train.iter().map(|&i| labels[i]).collect();
+            let (model, _) =
+                LogisticRegression::fit_challenges(&tc, &tl, &LogisticConfig::default());
+            let vc: Vec<_> = validation.iter().map(|&i| challenges[i]).collect();
+            let vl: Vec<_> = validation.iter().map(|&i| labels[i]).collect();
+            model.accuracy(&vc, &vl)
+        });
+        assert!(mean > 0.9, "CV accuracy {mean} ± {sd}");
+        assert!(sd < 0.1, "folds should agree: sd {sd}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_fold_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        k_folds(10, 1, &mut rng);
+    }
+}

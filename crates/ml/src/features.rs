@@ -1,0 +1,72 @@
+//! Design-matrix construction from challenges.
+//!
+//! Every model in this workspace (linear regression, logistic regression,
+//! MLP) consumes the transformed challenge `φ(c)` — "transformed challenge
+//! vectors were applied as training inputs, which is a widely used method
+//! for linear MUX arbiter PUF modeling" (paper §2.3).
+
+use crate::linalg::Matrix;
+use puf_core::Challenge;
+
+/// Builds the `m × (stages + 1)` design matrix whose rows are `φ(cᵢ)`.
+///
+/// # Panics
+///
+/// Panics if `challenges` is empty or the stage counts are inconsistent.
+pub fn design_matrix(challenges: &[Challenge]) -> Matrix {
+    assert!(!challenges.is_empty(), "need at least one challenge");
+    let stages = challenges[0].stages();
+    let cols = stages + 1;
+    let mut m = Matrix::zeros(challenges.len(), cols);
+    for (i, c) in challenges.iter().enumerate() {
+        assert_eq!(c.stages(), stages, "inconsistent challenge stage counts");
+        let phi = c.features();
+        m.row_mut(i).copy_from_slice(phi.as_slice());
+    }
+    m
+}
+
+/// Encodes hard responses as regression/classification targets
+/// (`false → 0.0`, `true → 1.0`).
+pub fn encode_bits(bits: &[bool]) -> Vec<f64> {
+    bits.iter().map(|&b| f64::from(u8::from(b))).collect()
+}
+
+/// Encodes hard responses as `±1` targets (used by margin-style losses).
+pub fn encode_pm_one(bits: &[bool]) -> Vec<f64> {
+    bits.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn design_matrix_shape_and_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let challenges: Vec<Challenge> =
+            (0..5).map(|_| Challenge::random(16, &mut rng)).collect();
+        let x = design_matrix(&challenges);
+        assert_eq!(x.rows(), 5);
+        assert_eq!(x.cols(), 17);
+        for (i, c) in challenges.iter().enumerate() {
+            assert_eq!(x.row(i), c.features().as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn design_matrix_rejects_mixed_stage_counts() {
+        let a = Challenge::zero(8);
+        let b = Challenge::zero(16);
+        design_matrix(&[a, b]);
+    }
+
+    #[test]
+    fn encodings() {
+        assert_eq!(encode_bits(&[true, false]), vec![1.0, 0.0]);
+        assert_eq!(encode_pm_one(&[true, false]), vec![1.0, -1.0]);
+    }
+}

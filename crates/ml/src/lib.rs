@@ -1,0 +1,49 @@
+//! # puf-ml
+//!
+//! From-scratch machine learning for PUF modeling, replacing the paper's
+//! scikit-learn dependency (the known reproduction gate for Rust):
+//!
+//! - [`linalg`] — dense matrices, Cholesky solves, vector kernels.
+//! - [`features`] — transformed-challenge design matrices.
+//! - [`linreg`] — ridge linear regression (the enrollment estimator, §4).
+//! - [`logreg`] — logistic regression (the classical attack, Refs. 2-5).
+//! - [`mlp`] — the 35-25-25 multi-layer perceptron classifier (§2.3).
+//! - [`opt`] — L-BFGS with strong-Wolfe line search, Adam, gradient descent.
+//! - [`metrics`] — accuracy, confusion counts, Hamming fractions.
+//!
+//! ```
+//! use puf_core::{ArbiterPuf, Challenge};
+//! use puf_ml::logreg::{LogisticConfig, LogisticRegression};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Model a single arbiter PUF from noiseless CRPs (the classical attack).
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let puf = ArbiterPuf::random(32, &mut rng);
+//! let train: Vec<Challenge> = (0..1500).map(|_| Challenge::random(32, &mut rng)).collect();
+//! let labels: Vec<bool> = train.iter().map(|c| puf.response(c)).collect();
+//! let (model, _diag) = LogisticRegression::fit_challenges(&train, &labels, &LogisticConfig::default());
+//! let c = Challenge::random(32, &mut rng);
+//! let _guess = model.predict(&c);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cmaes;
+pub mod crossval;
+pub mod features;
+pub mod linalg;
+pub mod linreg;
+pub mod logreg;
+pub mod metrics;
+pub mod mlp;
+pub mod opt;
+pub mod probit;
+
+pub use linalg::Matrix;
+pub use linreg::LinearRegression;
+pub use logreg::{LogisticConfig, LogisticRegression};
+pub use metrics::{accuracy, auc, Confusion};
+pub use mlp::{Mlp, MlpConfig, SgdConfig};
+pub use probit::ProbitRegression;
+pub use opt::{Adam, GradientDescent, Lbfgs, Objective, OptimizeResult};

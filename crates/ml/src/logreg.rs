@@ -1,0 +1,227 @@
+//! Logistic regression — the classical arbiter-PUF modeling attack
+//! (Rührmair et al.; the paper's Refs. 2-5), kept as a baseline against
+//! the MLP and as an alternative enrollment estimator.
+
+use crate::linalg::{dot, Matrix};
+use crate::opt::{Lbfgs, Objective, OptimizeResult};
+use puf_core::Challenge;
+
+/// L2-regularised logistic regression over transformed challenges, trained
+/// with L-BFGS.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogisticRegression {
+    theta: Vec<f64>,
+}
+
+/// Training hyper-parameters for [`LogisticRegression`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogisticConfig {
+    /// L2 regularisation strength. Default 1e-4.
+    pub alpha: f64,
+    /// L-BFGS iteration cap. Default 200.
+    pub max_iterations: usize,
+    /// L-BFGS gradient tolerance. Default 1e-6.
+    pub tolerance: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 1e-4,
+            max_iterations: 200,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+struct LogisticObjective<'a> {
+    x: &'a Matrix,
+    y: &'a [f64],
+    alpha: f64,
+}
+
+impl Objective for LogisticObjective<'_> {
+    fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    fn value_grad(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
+        let m = self.x.rows() as f64;
+        grad.fill(0.0);
+        let mut loss = 0.0;
+        for i in 0..self.x.rows() {
+            let row = self.x.row(i);
+            let z = dot(row, theta);
+            let y = self.y[i];
+            loss += z.max(0.0) - z * y + (-z.abs()).exp().ln_1p();
+            let err = (sigmoid(z) - y) / m;
+            for (g, &xk) in grad.iter_mut().zip(row) {
+                *g += err * xk;
+            }
+        }
+        loss /= m;
+        for (g, &t) in grad.iter_mut().zip(theta) {
+            *g += self.alpha * t / m;
+        }
+        loss + 0.5 * self.alpha * dot(theta, theta) / m
+    }
+}
+
+impl LogisticRegression {
+    /// Trains on a design matrix and 0/1 targets; returns the model and the
+    /// optimizer diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != x.rows()`.
+    pub fn fit(x: &Matrix, y: &[f64], config: &LogisticConfig) -> (Self, OptimizeResult) {
+        assert_eq!(y.len(), x.rows(), "target length mismatch");
+        let objective = LogisticObjective {
+            x,
+            y,
+            alpha: config.alpha,
+        };
+        let result = Lbfgs::new()
+            .with_max_iterations(config.max_iterations)
+            .with_tolerance(config.tolerance)
+            .minimize(&objective, vec![0.0; x.cols()]);
+        (
+            Self {
+                theta: result.x.clone(),
+            },
+            result,
+        )
+    }
+
+    /// Convenience: fit from challenges and hard responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or mismatched inputs.
+    pub fn fit_challenges(
+        challenges: &[Challenge],
+        responses: &[bool],
+        config: &LogisticConfig,
+    ) -> (Self, OptimizeResult) {
+        assert_eq!(challenges.len(), responses.len(), "length mismatch");
+        let x = crate::features::design_matrix(challenges);
+        let y = crate::features::encode_bits(responses);
+        Self::fit(&x, &y, config)
+    }
+
+    /// The fitted coefficients (length `stages + 1`) — proportional to the
+    /// PUF's delay weights divided by the noise σ.
+    pub fn theta(&self) -> &[f64] {
+        &self.theta
+    }
+
+    /// Predicted probability for one challenge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stage mismatch.
+    pub fn predict_proba(&self, challenge: &Challenge) -> f64 {
+        let phi = challenge.features();
+        assert_eq!(phi.len(), self.theta.len(), "stage mismatch");
+        sigmoid(phi.dot(&self.theta))
+    }
+
+    /// Hard prediction for one challenge.
+    pub fn predict(&self, challenge: &Challenge) -> bool {
+        self.predict_proba(challenge) > 0.5
+    }
+
+    /// Classification accuracy on a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or mismatched inputs.
+    pub fn accuracy(&self, challenges: &[Challenge], responses: &[bool]) -> f64 {
+        assert_eq!(challenges.len(), responses.len(), "length mismatch");
+        assert!(!challenges.is_empty(), "empty evaluation set");
+        let correct = challenges
+            .iter()
+            .zip(responses)
+            .filter(|(c, &r)| self.predict(c) == r)
+            .count();
+        correct as f64 / challenges.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puf_core::ArbiterPuf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_single_arbiter_puf_from_noiseless_crps() {
+        // The classical result: one arbiter PUF is trivially learnable.
+        let mut rng = StdRng::seed_from_u64(1);
+        let puf = ArbiterPuf::random(32, &mut rng);
+        let train: Vec<Challenge> =
+            (0..2_000).map(|_| Challenge::random(32, &mut rng)).collect();
+        let labels: Vec<bool> = train.iter().map(|c| puf.response(c)).collect();
+        let (model, result) =
+            LogisticRegression::fit_challenges(&train, &labels, &LogisticConfig::default());
+        assert!(result.value.is_finite());
+
+        let test: Vec<Challenge> =
+            (0..1_000).map(|_| Challenge::random(32, &mut rng)).collect();
+        let truth: Vec<bool> = test.iter().map(|c| puf.response(c)).collect();
+        let acc = model.accuracy(&test, &truth);
+        assert!(acc > 0.97, "single-PUF attack accuracy only {acc}");
+    }
+
+    #[test]
+    fn recovered_theta_is_aligned_with_true_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let puf = ArbiterPuf::random(16, &mut rng);
+        let train: Vec<Challenge> =
+            (0..4_000).map(|_| Challenge::random(16, &mut rng)).collect();
+        let labels: Vec<bool> = train.iter().map(|c| puf.response(c)).collect();
+        let (model, _) =
+            LogisticRegression::fit_challenges(&train, &labels, &LogisticConfig::default());
+        let corr = puf_core::math::pearson(model.theta(), puf.weights());
+        assert!(corr > 0.9, "theta/weights correlation only {corr}");
+    }
+
+    #[test]
+    fn balanced_random_labels_stay_near_chance() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let train: Vec<Challenge> =
+            (0..500).map(|_| Challenge::random(16, &mut rng)).collect();
+        let labels: Vec<bool> = (0..500).map(|_| rng.gen()).collect();
+        let (model, _) =
+            LogisticRegression::fit_challenges(&train, &labels, &LogisticConfig::default());
+        let test: Vec<Challenge> =
+            (0..1_000).map(|_| Challenge::random(16, &mut rng)).collect();
+        let truth: Vec<bool> = (0..1_000).map(|_| rng.gen()).collect();
+        let acc = model.accuracy(&test, &truth);
+        assert!(
+            (acc - 0.5).abs() < 0.08,
+            "random labels should give ~50 % accuracy, got {acc}"
+        );
+    }
+
+    #[test]
+    fn predict_proba_bounds() {
+        let model = LogisticRegression {
+            theta: vec![10.0, -10.0, 0.0],
+        };
+        let c = Challenge::zero(2);
+        let p = model.predict_proba(&c);
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -1,0 +1,201 @@
+//! Classification metrics.
+
+/// Binary confusion counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Predicted 1, actual 1.
+    pub true_positives: usize,
+    /// Predicted 1, actual 0.
+    pub false_positives: usize,
+    /// Predicted 0, actual 0.
+    pub true_negatives: usize,
+    /// Predicted 0, actual 1.
+    pub false_negatives: usize,
+}
+
+impl Confusion {
+    /// Tallies predictions against ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => c.true_positives += 1,
+                (true, false) => c.false_positives += 1,
+                (false, false) => c.true_negatives += 1,
+                (false, true) => c.false_negatives += 1,
+            }
+        }
+        c
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Fraction of correct predictions. `NaN` for an empty tally.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return f64::NAN;
+        }
+        (self.true_positives + self.true_negatives) as f64 / self.total() as f64
+    }
+
+    /// Precision for the positive class. `NaN` when nothing was predicted
+    /// positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return f64::NAN;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Recall for the positive class. `NaN` when there are no positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return f64::NAN;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+}
+
+/// Fraction of matching entries of two boolean slices.
+///
+/// # Panics
+///
+/// Panics on a length mismatch or empty input.
+pub fn accuracy(predicted: &[bool], actual: &[bool]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "empty input");
+    let correct = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
+    correct as f64 / predicted.len() as f64
+}
+
+/// Normalised Hamming distance between two response vectors (the
+/// authentication-matching metric of classical PUF protocols).
+///
+/// # Panics
+///
+/// Panics on a length mismatch or empty input.
+pub fn hamming_fraction(a: &[bool], b: &[bool]) -> f64 {
+    1.0 - accuracy(a, b)
+}
+
+/// Area under the ROC curve via the rank statistic (equivalent to the
+/// Mann-Whitney U normalisation); ties share rank mass.
+///
+/// Returns `NaN` when either class is empty.
+///
+/// # Panics
+///
+/// Panics on a length mismatch.
+pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let positives = labels.iter().filter(|&&l| l).count();
+    let negatives = labels.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return f64::NAN;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    // Average ranks over tie groups.
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (positives * (positives + 1)) as f64 / 2.0;
+    u / (positives * negatives) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts_and_metrics() {
+        let predicted = [true, true, false, false, true];
+        let actual = [true, false, false, true, true];
+        let c = Confusion::from_predictions(&predicted, &actual);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.true_negatives, 1);
+        assert_eq!(c.false_negatives, 1);
+        assert_eq!(c.total(), 5);
+        assert!((c.accuracy() - 0.6).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_confusions_are_nan() {
+        let c = Confusion::default();
+        assert!(c.accuracy().is_nan());
+        assert!(c.precision().is_nan());
+        assert!(c.recall().is_nan());
+    }
+
+    #[test]
+    fn accuracy_and_hamming_are_complements() {
+        let a = [true, false, true, true];
+        let b = [true, true, true, false];
+        assert!((accuracy(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((hamming_fraction(&a, &b) - 0.5).abs() < 1e-12);
+        assert!((accuracy(&a, &a) - 1.0).abs() < 1e-12);
+        assert!(hamming_fraction(&a, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_rejects_mismatch() {
+        accuracy(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        let inverted = [true, true, false, false];
+        assert!(auc(&scores, &inverted).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_scores_near_half() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let scores: Vec<f64> = (0..5_000).map(|_| rng.gen()).collect();
+        let labels: Vec<bool> = (0..5_000).map(|_| rng.gen()).collect();
+        assert!((auc(&scores, &labels) - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn auc_handles_ties() {
+        // All scores equal → AUC is exactly 0.5 by the tie convention.
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_is_nan() {
+        assert!(auc(&[0.1, 0.2], &[true, true]).is_nan());
+    }
+}

@@ -1,0 +1,643 @@
+//! Multi-layer perceptron binary classifier — the paper's modeling-attack
+//! estimator.
+//!
+//! §2.3: *"The training was performed using a multi-layer perceptron
+//! classifier model. We built a 3-layer neural network comprising of 35
+//! (first layer), 25 (second layer) and 25 (third layer) nodes … The
+//! optimization algorithm is the Limited-memory BFGS."* This module
+//! implements exactly that: tanh hidden layers, a sigmoid output unit,
+//! mean binary cross-entropy with L2 weight decay, trained full-batch with
+//! [`crate::opt::Lbfgs`].
+
+use crate::linalg::Matrix;
+use crate::opt::{Lbfgs, Objective, OptimizeResult};
+use rand::Rng;
+use std::fmt;
+
+/// Hidden-layer architecture and training hyper-parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MlpConfig {
+    /// Hidden layer widths. Default `[35, 25, 25]` (the paper's network).
+    pub hidden: Vec<usize>,
+    /// L2 weight-decay strength (scikit-learn's `alpha`). Default 1e-4.
+    pub alpha: f64,
+    /// L-BFGS iteration cap. Default 200 (scikit-learn's `max_iter`).
+    pub max_iterations: usize,
+    /// L-BFGS gradient tolerance. Default 1e-5.
+    pub tolerance: f64,
+}
+
+impl MlpConfig {
+    /// The paper's 35-25-25 network with scikit-learn-like defaults.
+    pub fn paper_default() -> Self {
+        Self {
+            hidden: vec![35, 25, 25],
+            alpha: 1e-4,
+            max_iterations: 200,
+            tolerance: 1e-5,
+        }
+    }
+
+    /// A small network for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            hidden: vec![8],
+            alpha: 1e-4,
+            max_iterations: 200,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A feed-forward network `input → hidden… → 1` with tanh hidden units and
+/// a sigmoid output, packed into one flat parameter vector.
+#[derive(Clone, PartialEq)]
+pub struct Mlp {
+    /// Layer widths, including input and the single output unit.
+    sizes: Vec<usize>,
+    /// Flat parameters: per layer, row-major `W (out × in)` then bias.
+    params: Vec<f64>,
+}
+
+impl fmt::Debug for Mlp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Mlp {{ sizes: {:?}, params: {} values }}",
+            self.sizes,
+            self.params.len()
+        )
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Stable binary cross-entropy from the *logit*:
+/// `max(z,0) − z·y + ln(1 + e^{−|z|})`.
+fn bce_from_logit(z: f64, y: f64) -> f64 {
+    z.max(0.0) - z * y + (-z.abs()).exp().ln_1p()
+}
+
+fn param_count(sizes: &[usize]) -> usize {
+    sizes
+        .windows(2)
+        .map(|w| w[0] * w[1] + w[1])
+        .sum()
+}
+
+impl Mlp {
+    /// Creates a network with small random initial weights (Glorot-style
+    /// scaling `1/√n_in`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim` is zero or any hidden width is zero.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, config: &MlpConfig, rng: &mut R) -> Self {
+        assert!(input_dim > 0, "input_dim must be positive");
+        assert!(
+            config.hidden.iter().all(|&h| h > 0),
+            "hidden widths must be positive"
+        );
+        let mut sizes = Vec::with_capacity(config.hidden.len() + 2);
+        sizes.push(input_dim);
+        sizes.extend_from_slice(&config.hidden);
+        sizes.push(1);
+        let mut params = vec![0.0; param_count(&sizes)];
+        let mut offset = 0;
+        for w in sizes.windows(2) {
+            let (n_in, n_out) = (w[0], w[1]);
+            let scale = (1.0 / n_in as f64).sqrt();
+            for p in &mut params[offset..offset + n_in * n_out] {
+                *p = rng.gen_range(-scale..scale);
+            }
+            offset += n_in * n_out + n_out; // biases stay zero
+        }
+        Self { sizes, params }
+    }
+
+    /// Layer widths including input and output.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Total number of parameters.
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The flat parameter vector.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Replaces the parameter vector (e.g. with an optimizer result).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn set_params(&mut self, params: Vec<f64>) {
+        assert_eq!(params.len(), self.params.len(), "parameter length mismatch");
+        self.params = params;
+    }
+
+    /// Forward pass for a batch: returns the output *logits* (pre-sigmoid),
+    /// one per input row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` differs from the input width.
+    pub fn forward_logits(&self, x: &Matrix) -> Vec<f64> {
+        self.forward_logits_with(&self.params, x)
+    }
+
+    fn forward_logits_with(&self, params: &[f64], x: &Matrix) -> Vec<f64> {
+        assert_eq!(x.cols(), self.sizes[0], "input width mismatch");
+        let activations = self.forward_all(params, x);
+        activations.last().expect("network has layers").as_slice().to_vec()
+    }
+
+    /// Runs the full forward pass, returning per-layer activations
+    /// (`activations[0]` is a copy of the input; the final entry holds raw
+    /// logits, not sigmoid outputs).
+    fn forward_all(&self, params: &[f64], x: &Matrix) -> Vec<Matrix> {
+        let m = x.rows();
+        let mut activations: Vec<Matrix> = Vec::with_capacity(self.sizes.len());
+        activations.push(x.clone());
+        let mut offset = 0;
+        let last_layer = self.sizes.len() - 2;
+        for (l, w) in self.sizes.windows(2).enumerate() {
+            let (n_in, n_out) = (w[0], w[1]);
+            let weights = &params[offset..offset + n_in * n_out];
+            let biases = &params[offset + n_in * n_out..offset + n_in * n_out + n_out];
+            offset += n_in * n_out + n_out;
+            let prev = activations.last().expect("at least the input");
+            let mut z = Matrix::zeros(m, n_out);
+            for i in 0..m {
+                let arow = prev.row(i);
+                let zrow = z.row_mut(i);
+                zrow.copy_from_slice(biases);
+                for (k, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    // W is row-major (n_out × n_in): W[j][k] at j*n_in + k.
+                    for (j, zj) in zrow.iter_mut().enumerate() {
+                        *zj += a * weights[j * n_in + k];
+                    }
+                }
+            }
+            if l < last_layer {
+                for v in z.as_mut_slice() {
+                    *v = v.tanh();
+                }
+            }
+            activations.push(z);
+        }
+        activations
+    }
+
+    /// Predicted probability `P(response = 1)` for each input row.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        self.forward_logits(x).into_iter().map(sigmoid).collect()
+    }
+
+    /// Hard predictions at threshold 0.5.
+    pub fn predict(&self, x: &Matrix) -> Vec<bool> {
+        self.forward_logits(x).into_iter().map(|z| z > 0.0).collect()
+    }
+
+    /// Trains the network in place on `(x, y)` with L-BFGS and returns the
+    /// optimizer diagnostics. `y` entries must be 0.0 or 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn train(&mut self, x: &Matrix, y: &[f64], config: &MlpConfig) -> OptimizeResult {
+        assert_eq!(x.rows(), y.len(), "sample/target count mismatch");
+        let objective = MlpObjective {
+            mlp: self,
+            x,
+            y,
+            alpha: config.alpha,
+        };
+        let result = Lbfgs::new()
+            .with_max_iterations(config.max_iterations)
+            .with_tolerance(config.tolerance)
+            .minimize(&objective, self.params.clone());
+        self.params = result.x.clone();
+        result
+    }
+
+    /// Trains the network with minibatch Adam — the stochastic alternative
+    /// to the paper's full-batch L-BFGS, useful when the stable-CRP dataset
+    /// outgrows memory-friendly full-batch passes. Returns the final
+    /// full-batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or a zero batch size.
+    pub fn train_sgd<R: Rng + ?Sized>(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        config: &SgdConfig,
+        rng: &mut R,
+    ) -> f64 {
+        assert_eq!(x.rows(), y.len(), "sample/target count mismatch");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        let n = x.rows();
+        let dim = self.params.len();
+        let mut m = vec![0.0; dim];
+        let mut v = vec![0.0; dim];
+        let mut grad = vec![0.0; dim];
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut t = 0i32;
+        for _ in 0..config.epochs {
+            // Fisher–Yates shuffle.
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for batch in order.chunks(config.batch_size) {
+                let mut bx = Matrix::zeros(batch.len(), x.cols());
+                let mut by = Vec::with_capacity(batch.len());
+                for (row, &idx) in batch.iter().enumerate() {
+                    bx.row_mut(row).copy_from_slice(x.row(idx));
+                    by.push(y[idx]);
+                }
+                self.loss_grad(&self.params.clone(), &bx, &by, config.alpha, &mut grad);
+                t += 1;
+                for i in 0..dim {
+                    m[i] = 0.9 * m[i] + 0.1 * grad[i];
+                    v[i] = 0.999 * v[i] + 0.001 * grad[i] * grad[i];
+                    let m_hat = m[i] / (1.0 - 0.9f64.powi(t));
+                    let v_hat = v[i] / (1.0 - 0.999f64.powi(t));
+                    self.params[i] -= config.learning_rate * m_hat / (v_hat.sqrt() + 1e-8);
+                }
+            }
+        }
+        self.loss_grad(&self.params.clone(), x, y, config.alpha, &mut grad)
+    }
+
+    /// Regularised cross-entropy loss and its gradient at an arbitrary
+    /// parameter vector (the network's own parameters are untouched).
+    ///
+    /// Exposed so external optimizers and ablation harnesses can drive the
+    /// exact training objective; `grad` must have length
+    /// [`Mlp::num_params`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn loss_value_grad(
+        &self,
+        params: &[f64],
+        x: &Matrix,
+        y: &[f64],
+        alpha: f64,
+        grad: &mut [f64],
+    ) -> f64 {
+        assert_eq!(x.rows(), y.len(), "sample/target count mismatch");
+        assert_eq!(grad.len(), self.params.len(), "gradient length mismatch");
+        self.loss_grad(params, x, y, alpha, grad)
+    }
+
+    /// Loss and gradient at `params` — the objective adapter's core.
+    fn loss_grad(&self, params: &[f64], x: &Matrix, y: &[f64], alpha: f64, grad: &mut [f64]) -> f64 {
+        let m = x.rows();
+        let m_f = m as f64;
+        let activations = self.forward_all(params, x);
+        let logits = activations.last().expect("output layer");
+
+        // Loss.
+        let mut loss = 0.0;
+        for i in 0..m {
+            loss += bce_from_logit(logits[(i, 0)], y[i]);
+        }
+        loss /= m_f;
+
+        // L2 penalty on weights only.
+        let mut offset = 0;
+        let mut l2 = 0.0;
+        for w in self.sizes.windows(2) {
+            let (n_in, n_out) = (w[0], w[1]);
+            for &p in &params[offset..offset + n_in * n_out] {
+                l2 += p * p;
+            }
+            offset += n_in * n_out + n_out;
+        }
+        loss += 0.5 * alpha * l2 / m_f;
+
+        // Backward pass.
+        grad.fill(0.0);
+        // delta at the output: (σ(z) − y)/m, shape (m × 1).
+        let mut delta = Matrix::zeros(m, 1);
+        for i in 0..m {
+            delta[(i, 0)] = (sigmoid(logits[(i, 0)]) - y[i]) / m_f;
+        }
+
+        // Walk layers backwards; `offsets[l]` is the parameter offset of
+        // layer l.
+        let n_layers = self.sizes.len() - 1;
+        let mut offsets = Vec::with_capacity(n_layers);
+        let mut acc = 0;
+        for w in self.sizes.windows(2) {
+            offsets.push(acc);
+            acc += w[0] * w[1] + w[1];
+        }
+
+        for l in (0..n_layers).rev() {
+            let (n_in, n_out) = (self.sizes[l], self.sizes[l + 1]);
+            let offset = offsets[l];
+            let a_prev = &activations[l];
+            // grad W[j][k] = Σ_i delta[i][j] · a_prev[i][k] + α·W/m
+            {
+                let (gw, gb) = grad[offset..offset + n_in * n_out + n_out]
+                    .split_at_mut(n_in * n_out);
+                for i in 0..m {
+                    let drow = delta.row(i);
+                    let arow = a_prev.row(i);
+                    for (j, &dj) in drow.iter().enumerate() {
+                        if dj == 0.0 {
+                            continue;
+                        }
+                        gb[j] += dj;
+                        let wrow = &mut gw[j * n_in..(j + 1) * n_in];
+                        for (gk, &ak) in wrow.iter_mut().zip(arow) {
+                            *gk += dj * ak;
+                        }
+                    }
+                }
+                let weights = &params[offset..offset + n_in * n_out];
+                for (g, &p) in gw.iter_mut().zip(weights) {
+                    *g += alpha * p / m_f;
+                }
+            }
+            // Propagate delta to the previous layer (skip at the input).
+            if l > 0 {
+                let weights = &params[offset..offset + n_in * n_out];
+                let mut new_delta = Matrix::zeros(m, n_in);
+                for i in 0..m {
+                    let drow = delta.row(i);
+                    let ndrow = new_delta.row_mut(i);
+                    for (j, &dj) in drow.iter().enumerate() {
+                        if dj == 0.0 {
+                            continue;
+                        }
+                        let wrow = &weights[j * n_in..(j + 1) * n_in];
+                        for (nd, &wjk) in ndrow.iter_mut().zip(wrow) {
+                            *nd += dj * wjk;
+                        }
+                    }
+                    // tanh'(z) = 1 − a², where a is the stored activation.
+                    let arow = a_prev.row(i);
+                    for (nd, &a) in ndrow.iter_mut().zip(arow) {
+                        *nd *= 1.0 - a * a;
+                    }
+                }
+                delta = new_delta;
+            }
+        }
+        loss
+    }
+}
+
+/// Hyper-parameters of [`Mlp::train_sgd`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SgdConfig {
+    /// Minibatch size. Default 64.
+    pub batch_size: usize,
+    /// Number of passes over the data. Default 30.
+    pub epochs: usize,
+    /// Adam step size. Default 1e-3.
+    pub learning_rate: f64,
+    /// L2 weight decay. Default 1e-4.
+    pub alpha: f64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self {
+            batch_size: 64,
+            epochs: 30,
+            learning_rate: 1e-3,
+            alpha: 1e-4,
+        }
+    }
+}
+
+/// Objective adapter: full-batch cross-entropy of an [`Mlp`] on a dataset.
+struct MlpObjective<'a> {
+    mlp: &'a Mlp,
+    x: &'a Matrix,
+    y: &'a [f64],
+    alpha: f64,
+}
+
+impl Objective for MlpObjective<'_> {
+    fn dim(&self) -> usize {
+        self.mlp.num_params()
+    }
+
+    fn value_grad(&self, params: &[f64], grad: &mut [f64]) -> f64 {
+        self.mlp.loss_grad(params, self.x, self.y, self.alpha, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_dataset() -> (Matrix, Vec<f64>) {
+        // The classic non-linearly-separable XOR problem.
+        let x = Matrix::from_rows(&[
+            vec![-1.0, -1.0],
+            vec![-1.0, 1.0],
+            vec![1.0, -1.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = vec![0.0, 1.0, 1.0, 0.0];
+        (x, y)
+    }
+
+    #[test]
+    fn sigmoid_stability() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(800.0) <= 1.0 && sigmoid(800.0) > 0.999);
+        assert!(sigmoid(-800.0) >= 0.0 && sigmoid(-800.0) < 1e-10);
+    }
+
+    #[test]
+    fn bce_matches_naive_formula_in_safe_range() {
+        for &(z, y) in &[(0.3, 1.0), (-1.2, 0.0), (2.0, 0.0), (-0.5, 1.0)] {
+            let p = sigmoid(z);
+            let naive = -(y * p.ln() + (1.0 - y) * (1.0 - p).ln());
+            assert!(
+                (bce_from_logit(z, y) - naive).abs() < 1e-10,
+                "z={z} y={y}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_matches_layout() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(33, &MlpConfig::paper_default(), &mut rng);
+        // 33·35+35 + 35·25+25 + 25·25+25 + 25·1+1
+        assert_eq!(mlp.num_params(), 33 * 35 + 35 + 35 * 25 + 25 + 25 * 25 + 25 + 25 + 1);
+        assert_eq!(mlp.sizes(), &[33, 35, 25, 25, 1]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = MlpConfig {
+            hidden: vec![4, 3],
+            alpha: 0.01,
+            ..MlpConfig::tiny()
+        };
+        let mlp = Mlp::new(3, &config, &mut rng);
+        let x = Matrix::from_rows(&[
+            vec![0.5, -1.0, 2.0],
+            vec![-0.3, 0.8, -0.1],
+            vec![1.5, 0.2, 0.9],
+        ]);
+        let y = vec![1.0, 0.0, 1.0];
+        let params = mlp.params().to_vec();
+        let mut grad = vec![0.0; params.len()];
+        let loss = mlp.loss_grad(&params, &x, &y, config.alpha, &mut grad);
+        assert!(loss.is_finite());
+
+        let eps = 1e-6;
+        let mut scratch = vec![0.0; params.len()];
+        for idx in (0..params.len()).step_by(7) {
+            let mut p_plus = params.clone();
+            p_plus[idx] += eps;
+            let mut p_minus = params.clone();
+            p_minus[idx] -= eps;
+            let f_plus = mlp.loss_grad(&p_plus, &x, &y, config.alpha, &mut scratch);
+            let f_minus = mlp.loss_grad(&p_minus, &x, &y, config.alpha, &mut scratch);
+            let fd = (f_plus - f_minus) / (2.0 * eps);
+            assert!(
+                (grad[idx] - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                "param {idx}: analytic {} vs fd {fd}",
+                grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn learns_xor_problem() {
+        let (x, y) = xor_dataset();
+        let config = MlpConfig {
+            hidden: vec![8],
+            alpha: 1e-5,
+            max_iterations: 500,
+            tolerance: 1e-8,
+        };
+        // XOR has bad local minima for tiny nets; try a few seeds.
+        let mut solved = false;
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut mlp = Mlp::new(2, &config, &mut rng);
+            mlp.train(&x, &y, &config);
+            let pred = mlp.predict(&x);
+            let want = [false, true, true, false];
+            if pred == want {
+                solved = true;
+                break;
+            }
+        }
+        assert!(solved, "MLP failed to learn XOR with any of 5 seeds");
+    }
+
+    #[test]
+    fn predict_proba_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(4, &MlpConfig::tiny(), &mut rng);
+        let x = Matrix::from_rows(&[vec![1.0, -1.0, 1.0, -1.0], vec![0.0, 0.0, 0.0, 0.0]]);
+        for p in mlp.predict_proba(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = MlpConfig::tiny();
+        let mut mlp = Mlp::new(2, &config, &mut rng);
+        let (x, y) = xor_dataset();
+        let mut grad = vec![0.0; mlp.num_params()];
+        let before = mlp.loss_grad(mlp.params(), &x, &y, config.alpha, &mut grad);
+        let result = mlp.train(&x, &y, &config);
+        assert!(
+            result.value < before,
+            "training did not reduce loss: {} → {}",
+            before,
+            result.value
+        );
+    }
+
+    #[test]
+    fn sgd_learns_xor_problem() {
+        let (x, y) = xor_dataset();
+        let sgd = SgdConfig {
+            batch_size: 4,
+            epochs: 4_000,
+            learning_rate: 5e-3,
+            alpha: 1e-6,
+        };
+        let mut solved = false;
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let config = MlpConfig {
+                hidden: vec![8],
+                ..MlpConfig::tiny()
+            };
+            let mut mlp = Mlp::new(2, &config, &mut rng);
+            mlp.train_sgd(&x, &y, &sgd, &mut rng);
+            if mlp.predict(&x) == [false, true, true, false] {
+                solved = true;
+                break;
+            }
+        }
+        assert!(solved, "minibatch Adam failed to learn XOR with 5 seeds");
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = MlpConfig::tiny();
+        let mut mlp = Mlp::new(2, &config, &mut rng);
+        let (x, y) = xor_dataset();
+        let mut grad = vec![0.0; mlp.num_params()];
+        let before = mlp.loss_value_grad(&mlp.params().to_vec(), &x, &y, 1e-4, &mut grad);
+        let after = mlp.train_sgd(&x, &y, &SgdConfig::default(), &mut rng);
+        assert!(after < before, "SGD did not reduce loss: {before} → {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn train_rejects_shape_mismatch() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = MlpConfig::tiny();
+        let mut mlp = Mlp::new(2, &config, &mut rng);
+        let (x, _) = xor_dataset();
+        mlp.train(&x, &[1.0], &config);
+    }
+}

@@ -1,0 +1,571 @@
+//! Optimizers: limited-memory BFGS with a strong-Wolfe line search (the
+//! paper trains its MLP with scikit-learn's `lbfgs` solver), plus Adam and
+//! plain gradient descent for ablations.
+
+use crate::linalg::{axpy, dot, norm};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A differentiable scalar objective `f: ℝⁿ → ℝ`.
+///
+/// Implementors fill `grad` (length [`Objective::dim`]) and return the
+/// value. All optimizers in this module *minimize*.
+pub trait Objective {
+    /// Number of parameters.
+    fn dim(&self) -> usize;
+
+    /// Writes `∇f(x)` into `grad` and returns `f(x)`.
+    fn value_grad(&self, x: &[f64], grad: &mut [f64]) -> f64;
+}
+
+/// Outcome of an optimization run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimizeResult {
+    /// The final parameter vector.
+    pub x: Vec<f64>,
+    /// The objective value at `x`.
+    pub value: f64,
+    /// Gradient norm at `x`.
+    pub grad_norm: f64,
+    /// Number of outer iterations performed.
+    pub iterations: usize,
+    /// Total number of objective evaluations (including line search).
+    pub evaluations: usize,
+    /// Whether the gradient tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+impl fmt::Display for OptimizeResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "f = {:.6e}, |∇f| = {:.3e}, {} iterations ({})",
+            self.value,
+            self.grad_norm,
+            self.iterations,
+            if self.converged { "converged" } else { "iteration cap" }
+        )
+    }
+}
+
+/// Limited-memory BFGS (Nocedal & Wright, Algorithm 7.5) with a strong-Wolfe
+/// line search (Algorithms 3.5/3.6).
+///
+/// ```
+/// use puf_ml::opt::{Lbfgs, Objective};
+///
+/// /// f(x, y) = (x − 3)² + 10·(y + 1)²
+/// struct Quad;
+/// impl Objective for Quad {
+///     fn dim(&self) -> usize { 2 }
+///     fn value_grad(&self, x: &[f64], g: &mut [f64]) -> f64 {
+///         g[0] = 2.0 * (x[0] - 3.0);
+///         g[1] = 20.0 * (x[1] + 1.0);
+///         (x[0] - 3.0).powi(2) + 10.0 * (x[1] + 1.0).powi(2)
+///     }
+/// }
+///
+/// let result = Lbfgs::new().minimize(&Quad, vec![0.0, 0.0]);
+/// assert!(result.converged);
+/// assert!((result.x[0] - 3.0).abs() < 1e-6);
+/// assert!((result.x[1] + 1.0).abs() < 1e-6);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Lbfgs {
+    /// History size (number of stored `(s, y)` pairs). Default 10.
+    pub memory: usize,
+    /// Maximum outer iterations. Default 200.
+    pub max_iterations: usize,
+    /// Gradient-norm tolerance (relative to `max(1, ‖x‖)`). Default 1e-6.
+    pub tolerance: f64,
+    /// Sufficient-decrease constant `c₁`. Default 1e-4.
+    pub c1: f64,
+    /// Curvature constant `c₂`. Default 0.9.
+    pub c2: f64,
+    /// Maximum line-search evaluations per iteration. Default 30.
+    pub max_line_search: usize,
+}
+
+impl Lbfgs {
+    /// L-BFGS with the default hyper-parameters.
+    pub fn new() -> Self {
+        Self {
+            memory: 10,
+            max_iterations: 200,
+            tolerance: 1e-6,
+            c1: 1e-4,
+            c2: 0.9,
+            max_line_search: 30,
+        }
+    }
+
+    /// Sets the iteration cap (builder style).
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Sets the gradient tolerance (builder style).
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Minimizes `obj` starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0.len() != obj.dim()`.
+    pub fn minimize<O: Objective>(&self, obj: &O, x0: Vec<f64>) -> OptimizeResult {
+        assert_eq!(x0.len(), obj.dim(), "x0 has wrong dimension");
+        let n = x0.len();
+        let mut x = x0;
+        let mut grad = vec![0.0; n];
+        let mut evaluations = 1;
+        let mut value = obj.value_grad(&x, &mut grad);
+        let mut history: VecDeque<(Vec<f64>, Vec<f64>, f64)> = VecDeque::new(); // (s, y, 1/yᵀs)
+
+        let mut iterations = 0;
+        let mut converged = norm(&grad) <= self.tolerance * norm(&x).max(1.0);
+
+        while !converged && iterations < self.max_iterations {
+            // Two-loop recursion for the search direction d = −H·∇f.
+            let mut d: Vec<f64> = grad.iter().map(|g| -g).collect();
+            let mut alphas = Vec::with_capacity(history.len());
+            for (s, y, rho) in history.iter().rev() {
+                let alpha = rho * dot(s, &d);
+                axpy(-alpha, y, &mut d);
+                alphas.push(alpha);
+            }
+            if let Some((s, y, _)) = history.back() {
+                let gamma = dot(s, y) / dot(y, y);
+                for di in &mut d {
+                    *di *= gamma;
+                }
+            }
+            for ((s, y, rho), &alpha) in history.iter().zip(alphas.iter().rev()) {
+                let beta = rho * dot(y, &d);
+                axpy(alpha - beta, s, &mut d);
+            }
+
+            // Ensure a descent direction; fall back to steepest descent.
+            let mut dg = dot(&d, &grad);
+            if dg >= 0.0 {
+                d = grad.iter().map(|g| -g).collect();
+                dg = -dot(&grad, &grad);
+                history.clear();
+            }
+
+            // Strong Wolfe line search.
+            let ls = self.line_search(obj, &x, value, &grad, &d, dg);
+            evaluations += ls.evaluations;
+            let Some((alpha, new_value, new_x, new_grad)) = ls.accepted else {
+                // Line search failed — stop with the current iterate.
+                break;
+            };
+            let _ = alpha;
+
+            // Update the history.
+            let s: Vec<f64> = new_x.iter().zip(&x).map(|(a, b)| a - b).collect();
+            let y: Vec<f64> = new_grad.iter().zip(&grad).map(|(a, b)| a - b).collect();
+            let ys = dot(&y, &s);
+            if ys > 1e-10 * norm(&y) * norm(&s) {
+                if history.len() == self.memory {
+                    history.pop_front();
+                }
+                history.push_back((s, y, 1.0 / ys));
+            }
+
+            x = new_x;
+            grad = new_grad;
+            value = new_value;
+            iterations += 1;
+            converged = norm(&grad) <= self.tolerance * norm(&x).max(1.0);
+        }
+
+        OptimizeResult {
+            grad_norm: norm(&grad),
+            x,
+            value,
+            iterations,
+            evaluations,
+            converged,
+        }
+    }
+
+    /// Strong-Wolfe line search along `d` from `x`. Returns the accepted
+    /// step (if any) together with the point's value and gradient so the
+    /// caller never re-evaluates.
+    fn line_search<O: Objective>(
+        &self,
+        obj: &O,
+        x: &[f64],
+        f0: f64,
+        _g0: &[f64],
+        d: &[f64],
+        dg0: f64,
+    ) -> LineSearchOutcome {
+        let n = x.len();
+        let mut evaluations = 0;
+        let eval = |alpha: f64| -> (f64, Vec<f64>, Vec<f64>) {
+            let mut xt = x.to_vec();
+            axpy(alpha, d, &mut xt);
+            let mut gt = vec![0.0; n];
+            let ft = obj.value_grad(&xt, &mut gt);
+            (ft, xt, gt)
+        };
+
+        let mut alpha_prev = 0.0;
+        let mut f_prev = f0;
+        let mut dg_prev = dg0;
+        let mut alpha = 1.0;
+        let mut bracket: Option<(f64, f64, f64, f64, f64, f64)> = None; // (lo, f_lo, dg_lo, hi, f_hi, dg_hi)
+
+        for i in 0..self.max_line_search {
+            let (ft, xt, gt) = eval(alpha);
+            evaluations += 1;
+            let dgt = dot(&gt, d);
+            if ft > f0 + self.c1 * alpha * dg0 || (i > 0 && ft >= f_prev) {
+                bracket = Some((alpha_prev, f_prev, dg_prev, alpha, ft, dgt));
+                break;
+            }
+            if dgt.abs() <= -self.c2 * dg0 {
+                return LineSearchOutcome {
+                    accepted: Some((alpha, ft, xt, gt)),
+                    evaluations,
+                };
+            }
+            if dgt >= 0.0 {
+                bracket = Some((alpha, ft, dgt, alpha_prev, f_prev, dg_prev));
+                break;
+            }
+            alpha_prev = alpha;
+            f_prev = ft;
+            dg_prev = dgt;
+            alpha *= 2.0;
+        }
+
+        let Some((mut lo, mut f_lo, mut dg_lo, mut hi, mut f_hi, _dg_hi)) = bracket else {
+            return LineSearchOutcome {
+                accepted: None,
+                evaluations,
+            };
+        };
+
+        // Zoom (bisection variant — robust, a couple extra evals at most).
+        for _ in 0..self.max_line_search {
+            let alpha = 0.5 * (lo + hi);
+            let (ft, xt, gt) = eval(alpha);
+            evaluations += 1;
+            let dgt = dot(&gt, d);
+            if ft > f0 + self.c1 * alpha * dg0 || ft >= f_lo {
+                hi = alpha;
+                f_hi = ft;
+            } else {
+                if dgt.abs() <= -self.c2 * dg0 {
+                    return LineSearchOutcome {
+                        accepted: Some((alpha, ft, xt, gt)),
+                        evaluations,
+                    };
+                }
+                if dgt * (hi - lo) >= 0.0 {
+                    hi = lo;
+                    f_hi = f_lo;
+                }
+                lo = alpha;
+                f_lo = ft;
+                dg_lo = dgt;
+            }
+            if (hi - lo).abs() < 1e-12 {
+                break;
+            }
+        }
+        let _ = (dg_lo, f_hi);
+
+        // Accept the best point seen in the bracket if it at least decreases.
+        let (ft, xt, gt) = eval(lo.max(1e-16));
+        evaluations += 1;
+        if ft < f0 {
+            return LineSearchOutcome {
+                accepted: Some((lo, ft, xt, gt)),
+                evaluations,
+            };
+        }
+        LineSearchOutcome {
+            accepted: None,
+            evaluations,
+        }
+    }
+}
+
+impl Default for Lbfgs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct LineSearchOutcome {
+    accepted: Option<(f64, f64, Vec<f64>, Vec<f64>)>,
+    evaluations: usize,
+}
+
+/// Full-batch Adam (Kingma & Ba) — the ablation optimizer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Adam {
+    /// Step size. Default 1e-2.
+    pub learning_rate: f64,
+    /// First-moment decay. Default 0.9.
+    pub beta1: f64,
+    /// Second-moment decay. Default 0.999.
+    pub beta2: f64,
+    /// Numerical-stability epsilon. Default 1e-8.
+    pub epsilon: f64,
+    /// Number of steps. Default 500.
+    pub max_iterations: usize,
+    /// Gradient-norm stopping tolerance. Default 1e-6.
+    pub tolerance: f64,
+}
+
+impl Adam {
+    /// Adam with the default hyper-parameters.
+    pub fn new() -> Self {
+        Self {
+            learning_rate: 1e-2,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            max_iterations: 500,
+            tolerance: 1e-6,
+        }
+    }
+
+    /// Sets the step count (builder style).
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Sets the learning rate (builder style).
+    pub fn with_learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Minimizes `obj` starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0.len() != obj.dim()`.
+    pub fn minimize<O: Objective>(&self, obj: &O, x0: Vec<f64>) -> OptimizeResult {
+        assert_eq!(x0.len(), obj.dim(), "x0 has wrong dimension");
+        let n = x0.len();
+        let mut x = x0;
+        let mut grad = vec![0.0; n];
+        let mut m = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        let mut value = obj.value_grad(&x, &mut grad);
+        let mut evaluations = 1;
+        let mut iterations = 0;
+        let mut converged = norm(&grad) <= self.tolerance;
+
+        while !converged && iterations < self.max_iterations {
+            let t = (iterations + 1) as i32;
+            for i in 0..n {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+                let m_hat = m[i] / (1.0 - self.beta1.powi(t));
+                let v_hat = v[i] / (1.0 - self.beta2.powi(t));
+                x[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+            value = obj.value_grad(&x, &mut grad);
+            evaluations += 1;
+            iterations += 1;
+            converged = norm(&grad) <= self.tolerance;
+        }
+
+        OptimizeResult {
+            grad_norm: norm(&grad),
+            x,
+            value,
+            iterations,
+            evaluations,
+            converged,
+        }
+    }
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Plain gradient descent with a fixed step — baseline of baselines.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GradientDescent {
+    /// Step size. Default 1e-2.
+    pub learning_rate: f64,
+    /// Number of steps. Default 1000.
+    pub max_iterations: usize,
+    /// Gradient-norm stopping tolerance. Default 1e-6.
+    pub tolerance: f64,
+}
+
+impl GradientDescent {
+    /// Gradient descent with default hyper-parameters.
+    pub fn new() -> Self {
+        Self {
+            learning_rate: 1e-2,
+            max_iterations: 1000,
+            tolerance: 1e-6,
+        }
+    }
+
+    /// Minimizes `obj` starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0.len() != obj.dim()`.
+    pub fn minimize<O: Objective>(&self, obj: &O, x0: Vec<f64>) -> OptimizeResult {
+        assert_eq!(x0.len(), obj.dim(), "x0 has wrong dimension");
+        let mut x = x0;
+        let mut grad = vec![0.0; x.len()];
+        let mut value = obj.value_grad(&x, &mut grad);
+        let mut evaluations = 1;
+        let mut iterations = 0;
+        let mut converged = norm(&grad) <= self.tolerance;
+        while !converged && iterations < self.max_iterations {
+            axpy(-self.learning_rate, &grad.clone(), &mut x);
+            value = obj.value_grad(&x, &mut grad);
+            evaluations += 1;
+            iterations += 1;
+            converged = norm(&grad) <= self.tolerance;
+        }
+        OptimizeResult {
+            grad_norm: norm(&grad),
+            x,
+            value,
+            iterations,
+            evaluations,
+            converged,
+        }
+    }
+}
+
+impl Default for GradientDescent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rosenbrock, the classic non-convex line-search stress test.
+    struct Rosenbrock;
+
+    impl Objective for Rosenbrock {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn value_grad(&self, x: &[f64], g: &mut [f64]) -> f64 {
+            let (a, b) = (1.0, 100.0);
+            g[0] = -2.0 * (a - x[0]) - 4.0 * b * x[0] * (x[1] - x[0] * x[0]);
+            g[1] = 2.0 * b * (x[1] - x[0] * x[0]);
+            (a - x[0]).powi(2) + b * (x[1] - x[0] * x[0]).powi(2)
+        }
+    }
+
+    struct Quadratic {
+        center: Vec<f64>,
+    }
+
+    impl Objective for Quadratic {
+        fn dim(&self) -> usize {
+            self.center.len()
+        }
+        fn value_grad(&self, x: &[f64], g: &mut [f64]) -> f64 {
+            let mut f = 0.0;
+            for i in 0..x.len() {
+                let scale = (i + 1) as f64;
+                let d = x[i] - self.center[i];
+                g[i] = 2.0 * scale * d;
+                f += scale * d * d;
+            }
+            f
+        }
+    }
+
+    #[test]
+    fn lbfgs_solves_rosenbrock() {
+        let result = Lbfgs::new()
+            .with_max_iterations(500)
+            .minimize(&Rosenbrock, vec![-1.2, 1.0]);
+        assert!(result.converged, "{result}");
+        assert!((result.x[0] - 1.0).abs() < 1e-5, "{:?}", result.x);
+        assert!((result.x[1] - 1.0).abs() < 1e-5, "{:?}", result.x);
+    }
+
+    #[test]
+    fn lbfgs_solves_scaled_quadratic_quickly() {
+        let center: Vec<f64> = (0..20).map(|i| (i as f64) * 0.1 - 1.0).collect();
+        let obj = Quadratic {
+            center: center.clone(),
+        };
+        let result = Lbfgs::new().minimize(&obj, vec![0.0; 20]);
+        assert!(result.converged);
+        assert!(result.iterations < 100, "{} iterations", result.iterations);
+        for (got, want) in result.x.iter().zip(&center) {
+            assert!((got - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn lbfgs_is_noop_at_optimum() {
+        let obj = Quadratic {
+            center: vec![0.0, 0.0],
+        };
+        let result = Lbfgs::new().minimize(&obj, vec![0.0, 0.0]);
+        assert!(result.converged);
+        assert_eq!(result.iterations, 0);
+    }
+
+    #[test]
+    fn adam_reaches_quadratic_minimum() {
+        let obj = Quadratic {
+            center: vec![1.0, -2.0, 0.5],
+        };
+        let result = Adam::new()
+            .with_learning_rate(0.05)
+            .with_max_iterations(3_000)
+            .minimize(&obj, vec![0.0; 3]);
+        for (got, want) in result.x.iter().zip(&[1.0, -2.0, 0.5]) {
+            assert!((got - want).abs() < 1e-3, "{:?}", result.x);
+        }
+    }
+
+    #[test]
+    fn gradient_descent_converges_on_easy_quadratic() {
+        let obj = Quadratic {
+            center: vec![2.0],
+        };
+        let result = GradientDescent::new().minimize(&obj, vec![0.0]);
+        assert!((result.x[0] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn result_display() {
+        let obj = Quadratic {
+            center: vec![0.0],
+        };
+        let result = Lbfgs::new().minimize(&obj, vec![1.0]);
+        assert!(result.to_string().contains("iterations"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn minimize_rejects_bad_x0() {
+        Lbfgs::new().minimize(&Rosenbrock, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Probit-inverted delay-parameter estimation — the alternative enrollment
+//! estimator the paper's choice of plain linear regression should be
+//! compared against.
+//!
+//! Under the noise model the soft response is `s = Φ(Δ/σ)`, so
+//! `Φ⁻¹(s) = Δ/σ` is *exactly linear* in the transformed challenge — up to
+//! the saturation problem: measured soft responses of 0.00/1.00 carry only
+//! the information `|Δ/σ| ≳ Φ⁻¹(1 − 1/2N)`. This estimator clamps the
+//! measurements into `(0, 1)` at the counter's resolution, probit-inverts
+//! them and fits the linear model in Δ/σ space.
+//!
+//! Compared with the paper's direct regression on `s` (see
+//! [`crate::linreg`]):
+//!
+//! - probit inversion is statistically efficient in the transition region
+//!   (it undoes the sigmoid's compression),
+//! - but the saturated majority of CRPs contributes only clamped
+//!   pseudo-observations, which biases the scale of `θ̂`.
+//!
+//! The `ablation_estimator` harness quantifies the trade for challenge
+//! selection.
+
+use crate::linalg::NotPositiveDefiniteError;
+use crate::linreg::LinearRegression;
+use puf_core::math::{normal_cdf, normal_quantile};
+use puf_core::Challenge;
+
+/// A probit-domain linear model of a PUF's soft responses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbitRegression {
+    inner: LinearRegression,
+    clamp: f64,
+}
+
+impl ProbitRegression {
+    /// Fits from challenges and measured soft responses.
+    ///
+    /// `evals` is the counter length behind each measurement; saturated
+    /// values are clamped to `1/(2·evals)` from the boundary before
+    /// inversion (the measurement's actual resolution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefiniteError`] when the system is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched lengths, empty input, or `evals == 0`.
+    pub fn fit(
+        challenges: &[Challenge],
+        soft_values: &[f64],
+        evals: u64,
+        ridge: f64,
+    ) -> Result<Self, NotPositiveDefiniteError> {
+        assert_eq!(challenges.len(), soft_values.len(), "length mismatch");
+        assert!(evals > 0, "evals must be positive");
+        let clamp = 1.0 / (2.0 * evals as f64);
+        let targets: Vec<f64> = soft_values
+            .iter()
+            .map(|&s| normal_quantile(s.clamp(clamp, 1.0 - clamp)))
+            .collect();
+        Ok(Self {
+            inner: LinearRegression::fit_challenges(challenges, &targets, ridge)?,
+            clamp,
+        })
+    }
+
+    /// The fitted coefficients — an estimate of `w/σ` up to the saturation
+    /// bias.
+    pub fn theta(&self) -> &[f64] {
+        self.inner.theta()
+    }
+
+    /// Predicted normalised delay difference `Δ̂/σ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stage mismatch.
+    pub fn predict_delay(&self, challenge: &Challenge) -> f64 {
+        self.inner.predict(challenge)
+    }
+
+    /// Predicted soft response `Φ(Δ̂/σ)` (always inside `(0, 1)`, unlike
+    /// the direct linear model's predictions).
+    pub fn predict_soft(&self, challenge: &Challenge) -> f64 {
+        normal_cdf(self.predict_delay(challenge))
+    }
+
+    /// The clamp used during fitting (the counter resolution).
+    pub fn clamp(&self) -> f64 {
+        self.clamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puf_core::challenge::random_challenges;
+    use puf_core::{ArbiterPuf, NoiseModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_delay_scale_from_clean_soft_responses() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let puf = ArbiterPuf::random(32, &mut rng);
+        let noise = NoiseModel::paper_default();
+        let challenges = random_challenges(32, 4_000, &mut rng);
+        let soft: Vec<f64> = challenges
+            .iter()
+            .map(|c| noise.soft_response(puf.delay_difference(c)))
+            .collect();
+        let model = ProbitRegression::fit(&challenges, &soft, 100_000, 1e-6).unwrap();
+
+        // Predicted Δ̂/σ must correlate almost perfectly with the true Δ.
+        let test = random_challenges(32, 1_000, &mut rng);
+        let pred: Vec<f64> = test.iter().map(|c| model.predict_delay(c)).collect();
+        let truth: Vec<f64> = test.iter().map(|c| puf.delay_difference(c)).collect();
+        let corr = puf_core::math::pearson(&pred, &truth);
+        assert!(corr > 0.97, "Δ correlation only {corr}");
+    }
+
+    #[test]
+    fn predicted_soft_is_a_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let puf = ArbiterPuf::random(16, &mut rng);
+        let noise = NoiseModel::paper_default();
+        let challenges = random_challenges(16, 1_000, &mut rng);
+        let soft: Vec<f64> = challenges
+            .iter()
+            .map(|c| noise.soft_response(puf.delay_difference(c)))
+            .collect();
+        let model = ProbitRegression::fit(&challenges, &soft, 10_000, 1e-6).unwrap();
+        for c in random_challenges(16, 200, &mut rng) {
+            let p = model.predict_soft(&c);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn clamp_matches_counter_resolution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let challenges = random_challenges(8, 50, &mut rng);
+        let soft = vec![0.5; 50];
+        let model = ProbitRegression::fit(&challenges, &soft, 1_000, 1e-3).unwrap();
+        assert!((model.clamp() - 0.0005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn handles_fully_saturated_measurements() {
+        // All-saturated training data (an extreme die) must not panic; it
+        // yields a degenerate but finite model.
+        let mut rng = StdRng::seed_from_u64(4);
+        let challenges = random_challenges(8, 100, &mut rng);
+        let soft: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let model = ProbitRegression::fit(&challenges, &soft, 100, 1e-3).unwrap();
+        assert!(model.theta().iter().all(|t| t.is_finite()));
+    }
+}

@@ -1,0 +1,423 @@
+//! Reliability-based CMA-ES modeling attack (the paper's Ref. 9 —
+//! Becker, *"The gap between promise and reality: on the insecurity of XOR
+//! arbiter PUFs"*, CHES 2015).
+//!
+//! The insight: a challenge's *unreliability* under repeated evaluation is
+//! dominated by whichever member PUF has the smallest delay margin on it.
+//! An attacker who can re-query the deployed XOR output therefore measures
+//! per-challenge soft responses, computes the unreliability signal
+//! `u(c) = ½ − |s(c) − ½|`, and searches (with CMA-ES — the objective is a
+//! correlation, not differentiable) for a weight vector `w` whose
+//! hypothetical margin `|w·φ(c)|` anti-correlates with `u(c)`. The search
+//! converges to **one member PUF at a time**, so the attack scales linearly
+//! in `n` instead of exponentially — which is why it, and not logistic
+//! regression, is the reason "XOR PUFs are not completely immune" (§2.3).
+//!
+//! The flip side, demonstrated in the tests: the signal exists **only** if
+//! the attacker can extract reliability information. The paper's protocol
+//! answers each selected challenge exactly once ("one-time sampling",
+//! Fig. 7), and its selected CRPs are all deeply stable — both of which
+//! zero out `u(c)`'s variance and blind this attack.
+
+use crate::ProtocolError;
+use puf_core::{Challenge, Condition};
+use puf_ml::cmaes::{self, CmaesConfig, CmaesResult};
+use puf_silicon::Chip;
+use rand::Rng;
+
+/// Configuration of the reliability attack.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReliabilityAttackConfig {
+    /// Number of challenges the attacker measures.
+    pub measurements: usize,
+    /// Repeated evaluations per challenge (Becker used ~10; 1 disables the
+    /// reliability signal entirely).
+    pub evals: u64,
+    /// CMA-ES settings for each restart.
+    pub cmaes: CmaesConfig,
+    /// Independent CMA-ES restarts; different restarts tend to converge to
+    /// different member PUFs.
+    pub restarts: usize,
+}
+
+impl Default for ReliabilityAttackConfig {
+    fn default() -> Self {
+        Self {
+            measurements: 4_000,
+            evals: 15,
+            cmaes: CmaesConfig {
+                max_generations: 250,
+                ..CmaesConfig::default()
+            },
+            restarts: 3,
+        }
+    }
+}
+
+/// One restart's result: the recovered weight hypothesis and its fitness
+/// (the unreliability correlation achieved).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveredModel {
+    /// The weight hypothesis (length `stages + 1`), normalised to unit
+    /// Euclidean norm.
+    pub weights: Vec<f64>,
+    /// The fitness (Pearson correlation between the hypothetical margin and
+    /// the measured reliability).
+    pub fitness: f64,
+    /// CMA-ES generations spent.
+    pub generations: usize,
+}
+
+/// Measures the attacker's view: per-challenge XOR soft responses over
+/// `evals` repeated evaluations (works on a deployed chip — no fuse access
+/// needed) and the derived unreliability `u(c) = ½ − |s − ½| ∈ [0, ½]`.
+///
+/// # Errors
+///
+/// Chip errors pass through.
+pub fn measure_unreliability<R: Rng + ?Sized>(
+    chip: &Chip,
+    n: usize,
+    challenges: &[Challenge],
+    cond: Condition,
+    evals: u64,
+    rng: &mut R,
+) -> Result<Vec<f64>, ProtocolError> {
+    let mut out = Vec::with_capacity(challenges.len());
+    for c in challenges {
+        let s = chip.measure_xor_soft(n, c, cond, evals, rng)?.value();
+        out.push(0.5 - (s - 0.5).abs());
+    }
+    Ok(out)
+}
+
+/// Runs the full attack: measure, then `restarts` CMA-ES searches.
+/// Results are sorted by fitness, best first.
+///
+/// # Errors
+///
+/// Chip errors pass through.
+///
+/// # Panics
+///
+/// Panics on zero measurements or restarts.
+pub fn reliability_attack<R: Rng + ?Sized>(
+    chip: &Chip,
+    n: usize,
+    cond: Condition,
+    config: &ReliabilityAttackConfig,
+    rng: &mut R,
+) -> Result<Vec<RecoveredModel>, ProtocolError> {
+    assert!(config.measurements > 0, "need measurements");
+    assert!(config.restarts > 0, "need at least one restart");
+    let challenges: Vec<Challenge> = (0..config.measurements)
+        .map(|_| Challenge::random(chip.stages(), rng))
+        .collect();
+    let unreliability =
+        measure_unreliability(chip, n, &challenges, cond, config.evals, rng)?;
+    // Precompute feature rows once; fitness evaluations dominate the run.
+    let features: Vec<Vec<f64>> = challenges
+        .iter()
+        .map(|c| c.features().into_inner())
+        .collect();
+
+    let dim = chip.stages() + 1;
+    let mut models = Vec::with_capacity(config.restarts);
+    for _ in 0..config.restarts {
+        // Random unit-ish start breaks the symmetry between members.
+        let x0: Vec<f64> = (0..dim)
+            .map(|_| puf_core::rngx::normal(rng, 0.0, 0.2))
+            .collect();
+        let fitness = |w: &[f64]| {
+            // Hypothetical reliability = |w·φ|; target = −unreliability.
+            let margins: Vec<f64> = features
+                .iter()
+                .map(|phi| phi.iter().zip(w).map(|(a, b)| a * b).sum::<f64>().abs())
+                .collect();
+            let corr = puf_core::math::pearson(&margins, &unreliability);
+            if corr.is_nan() {
+                -1.0
+            } else {
+                -corr // unreliable challenges have small margins
+            }
+        };
+        let CmaesResult {
+            x,
+            fitness,
+            generations,
+        } = cmaes::maximize(fitness, x0, &config.cmaes, rng);
+        let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+        models.push(RecoveredModel {
+            weights: x.into_iter().map(|v| v / norm).collect(),
+            fitness,
+            generations,
+        });
+    }
+    models.sort_by(|a, b| b.fitness.partial_cmp(&a.fitness).expect("NaN fitness"));
+    Ok(models)
+}
+
+/// A full XOR clone assembled from recovered member models.
+///
+/// Each recovered weight vector carries a sign ambiguity (the reliability
+/// fitness only sees `|w·φ|`); per member that flips the predicted bit for
+/// *every* challenge, so only the parity of the sign errors matters — a
+/// single global polarity bit, which [`assemble_xor_clone`] calibrates
+/// against a handful of observed one-shot responses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct XorClone {
+    members: Vec<Vec<f64>>,
+    invert: bool,
+}
+
+impl XorClone {
+    /// Predicted XOR response for a challenge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stage mismatch.
+    pub fn predict(&self, challenge: &Challenge) -> bool {
+        let phi = challenge.features();
+        let mut acc = self.invert;
+        for w in &self.members {
+            acc ^= phi.dot(w) > 0.0;
+        }
+        acc
+    }
+
+    /// Prediction accuracy against labelled CRPs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or mismatched inputs.
+    pub fn accuracy(&self, challenges: &[Challenge], responses: &[bool]) -> f64 {
+        assert_eq!(challenges.len(), responses.len(), "length mismatch");
+        assert!(!challenges.is_empty(), "empty evaluation set");
+        let correct = challenges
+            .iter()
+            .zip(responses)
+            .filter(|(c, &r)| self.predict(c) == r)
+            .count();
+        correct as f64 / challenges.len() as f64
+    }
+}
+
+/// Assembles a clone of the whole `n`-input XOR PUF from `n` recovered
+/// member models, calibrating the global polarity against observed
+/// `(challenge, response)` pairs (a dozen one-shot observations suffice).
+///
+/// # Panics
+///
+/// Panics if `members` or `calibration` is empty.
+pub fn assemble_xor_clone(
+    members: &[RecoveredModel],
+    calibration: &[(Challenge, bool)],
+) -> XorClone {
+    assert!(!members.is_empty(), "need at least one member model");
+    assert!(!calibration.is_empty(), "need calibration CRPs");
+    let weights: Vec<Vec<f64>> = members.iter().map(|m| m.weights.clone()).collect();
+    let score = |invert: bool| {
+        let clone = XorClone {
+            members: weights.clone(),
+            invert,
+        };
+        calibration
+            .iter()
+            .filter(|(c, r)| clone.predict(c) == *r)
+            .count()
+    };
+    let invert = score(true) > score(false);
+    XorClone {
+        members: weights,
+        invert,
+    }
+}
+
+/// Diagnostic (simulation-only): the absolute correlation of a recovered
+/// weight hypothesis with each member PUF's true weights. A successful
+/// restart shows one value near 1.
+///
+/// # Errors
+///
+/// Chip errors pass through.
+pub fn member_match(
+    chip: &Chip,
+    n: usize,
+    model: &RecoveredModel,
+    cond: Condition,
+) -> Result<Vec<f64>, ProtocolError> {
+    let mut out = Vec::with_capacity(n);
+    for puf in 0..n {
+        let truth = chip.ground_truth_puf(puf, cond)?;
+        let corr = puf_core::math::pearson(&model.weights, truth.weights()).abs();
+        out.push(corr);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puf_core::NoiseModel;
+    use puf_silicon::ChipConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A chip tuned for the attack tests: 16 stages keeps CMA-ES fast, and
+    /// model mismatch is disabled so member weights are the exact ground
+    /// truth the attack should recover.
+    fn attack_chip(seed: u64) -> (Chip, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = ChipConfig {
+            stages: 16,
+            bank_size: 3,
+            noise: NoiseModel::paper_default().with_evaluations(1_000),
+            ..ChipConfig::paper_default()
+        }
+        .with_model_mismatch(0.0);
+        let chip = Chip::fabricate(0, &config, &mut rng);
+        (chip, rng)
+    }
+
+    #[test]
+    fn recovers_a_member_of_a_2_xor_puf() {
+        let (mut chip, mut rng) = attack_chip(1);
+        chip.blow_fuses(); // the attack needs no enrollment access
+        let config = ReliabilityAttackConfig {
+            measurements: 3_000,
+            evals: 21,
+            restarts: 3,
+            ..ReliabilityAttackConfig::default()
+        };
+        let models = reliability_attack(&chip, 2, Condition::NOMINAL, &config, &mut rng)
+            .expect("attack failed to run");
+        let best = &models[0];
+        let matches = member_match(&chip, 2, best, Condition::NOMINAL).unwrap();
+        let top = matches.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            top > 0.85,
+            "best restart should align with a member: matches {matches:?}, fitness {}",
+            best.fitness
+        );
+    }
+
+    #[test]
+    fn one_shot_responses_blind_the_attack() {
+        // With evals = 1 every measured soft response is exactly 0 or 1, so
+        // the unreliability signal has zero variance — the paper's
+        // "one-time sampling" protocol property as a defence.
+        let (chip, mut rng) = attack_chip(2);
+        let challenges: Vec<Challenge> = (0..2_000)
+            .map(|_| Challenge::random(chip.stages(), &mut rng))
+            .collect();
+        let u = measure_unreliability(&chip, 2, &challenges, Condition::NOMINAL, 1, &mut rng)
+            .unwrap();
+        assert!(
+            u.iter().all(|&v| v == 0.0),
+            "one-shot unreliability must be identically zero"
+        );
+        // And the attack's fitness signal is degenerate.
+        let config = ReliabilityAttackConfig {
+            measurements: 1_000,
+            evals: 1,
+            restarts: 1,
+            cmaes: CmaesConfig {
+                max_generations: 30,
+                ..CmaesConfig::default()
+            },
+        };
+        let models =
+            reliability_attack(&chip, 2, Condition::NOMINAL, &config, &mut rng).unwrap();
+        assert!(
+            models[0].fitness <= 0.0,
+            "no reliability signal should be extractable: fitness {}",
+            models[0].fitness
+        );
+    }
+
+    #[test]
+    fn stable_only_challenges_also_blind_the_attack() {
+        // Even with repeated evaluations, if the attacker only ever sees the
+        // server's *selected stable* challenges, every measurement
+        // saturates and u(c) ≡ 0 — the challenge-selection defence.
+        let (chip, mut rng) = attack_chip(3);
+        let record = crate::enrollment::enroll(
+            &chip,
+            &crate::enrollment::EnrollmentConfig::small(2),
+            &mut rng,
+        )
+        .unwrap();
+        let mut server = crate::server::Server::new();
+        server.register(record);
+        let picks = server.select_challenges(0, 300, 2_000_000, &mut rng).unwrap();
+        let challenges: Vec<Challenge> = picks.iter().map(|p| p.challenge).collect();
+        let u = measure_unreliability(&chip, 2, &challenges, Condition::NOMINAL, 50, &mut rng)
+            .unwrap();
+        let nonzero = u.iter().filter(|&&v| v > 0.0).count();
+        assert!(
+            nonzero * 50 < challenges.len(),
+            "selected-stable challenges should almost never flicker: {nonzero}/{}",
+            challenges.len()
+        );
+    }
+
+    #[test]
+    fn full_clone_of_a_2_xor_puf_predicts_responses() {
+        // End-to-end Becker attack: recover both members by restarting
+        // until two distinct ones appear, assemble the clone, and verify
+        // its XOR prediction accuracy.
+        let (mut chip, mut rng) = attack_chip(5);
+        chip.blow_fuses();
+        let n = 2;
+        let config = ReliabilityAttackConfig {
+            measurements: 3_000,
+            evals: 21,
+            restarts: 8,
+            ..ReliabilityAttackConfig::default()
+        };
+        let models =
+            reliability_attack(&chip, n, Condition::NOMINAL, &config, &mut rng).unwrap();
+        // Pick one model per distinct member (by the ground-truth match).
+        let mut per_member: Vec<Option<RecoveredModel>> = vec![None; n];
+        for m in &models {
+            let matches = member_match(&chip, n, m, Condition::NOMINAL).unwrap();
+            for (i, &corr) in matches.iter().enumerate() {
+                if corr > 0.85 && per_member[i].is_none() {
+                    per_member[i] = Some(m.clone());
+                }
+            }
+        }
+        let members: Vec<RecoveredModel> = per_member.into_iter().flatten().collect();
+        assert_eq!(members.len(), n, "restarts did not cover every member");
+
+        // Calibration and evaluation from one-shot responses.
+        let calib: Vec<(Challenge, bool)> = (0..16)
+            .map(|_| {
+                let c = Challenge::random(chip.stages(), &mut rng);
+                let r = chip.eval_xor_once(n, &c, Condition::NOMINAL, &mut rng).unwrap();
+                (c, r)
+            })
+            .collect();
+        let clone = assemble_xor_clone(&members, &calib);
+        let test: Vec<Challenge> = (0..2_000)
+            .map(|_| Challenge::random(chip.stages(), &mut rng))
+            .collect();
+        let truth: Vec<bool> = test
+            .iter()
+            .map(|c| chip.xor_reference_bit(n, c, Condition::NOMINAL).unwrap())
+            .collect();
+        let acc = clone.accuracy(&test, &truth);
+        assert!(acc > 0.9, "assembled clone accuracy only {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need measurements")]
+    fn zero_measurements_rejected() {
+        let (chip, mut rng) = attack_chip(4);
+        let config = ReliabilityAttackConfig {
+            measurements: 0,
+            ..ReliabilityAttackConfig::default()
+        };
+        let _ = reliability_attack(&chip, 2, Condition::NOMINAL, &config, &mut rng);
+    }
+}

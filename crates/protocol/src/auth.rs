@@ -1,0 +1,422 @@
+//! Authentication policies, outcomes and client-side responders.
+//!
+//! The paper's key protocol point (§3): because the server only uses CRPs
+//! predicted to be extremely stable, it "may grant access only when the
+//! client responses and server predicted responses match perfectly (i.e.,
+//! zero Hamming distance)" — a much stricter criterion than the classic
+//! Hamming-distance-threshold policies, which improves security for free.
+
+use puf_core::{Challenge, Condition};
+use puf_silicon::Chip;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Acceptance policies for comparing client responses with predictions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AuthPolicy {
+    /// Approve only on a perfect match — the paper's proposal, enabled by
+    /// model-based stable-challenge selection.
+    ZeroHammingDistance,
+    /// Approve when the mismatch fraction does not exceed the bound — the
+    /// classical policy needed when unstable CRPs slip in.
+    MaxHammingFraction(f64),
+}
+
+impl AuthPolicy {
+    /// Whether `mismatches` out of `total` responses pass the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
+    pub fn accepts(self, total: usize, mismatches: usize) -> bool {
+        assert!(total > 0, "cannot judge an empty authentication round");
+        match self {
+            AuthPolicy::ZeroHammingDistance => mismatches == 0,
+            AuthPolicy::MaxHammingFraction(bound) => {
+                (mismatches as f64 / total as f64) <= bound
+            }
+        }
+    }
+}
+
+impl fmt::Display for AuthPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthPolicy::ZeroHammingDistance => write!(f, "zero Hamming distance"),
+            AuthPolicy::MaxHammingFraction(b) => write!(f, "Hamming fraction ≤ {b}"),
+        }
+    }
+}
+
+/// Result of one authentication round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AuthOutcome {
+    /// Whether access was granted.
+    pub approved: bool,
+    /// Number of mismatching responses.
+    pub mismatches: usize,
+    /// Number of challenges used.
+    pub challenges_used: usize,
+}
+
+impl AuthOutcome {
+    /// Applies a policy to a mismatch count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `challenges_used` is zero.
+    pub fn judge(policy: AuthPolicy, challenges_used: usize, mismatches: usize) -> Self {
+        Self {
+            approved: policy.accepts(challenges_used, mismatches),
+            mismatches,
+            challenges_used,
+        }
+    }
+
+    /// The observed mismatch fraction.
+    pub fn hamming_fraction(&self) -> f64 {
+        self.mismatches as f64 / self.challenges_used as f64
+    }
+}
+
+impl fmt::Display for AuthOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}/{} mismatches)",
+            if self.approved { "APPROVED" } else { "DENIED" },
+            self.mismatches,
+            self.challenges_used
+        )
+    }
+}
+
+/// Anything that can answer a list of challenges with one response bit each
+/// — the client side of the protocol.
+pub trait Responder {
+    /// Produces one response per challenge, in order.
+    fn respond(&mut self, challenges: &[Challenge]) -> Vec<bool>;
+}
+
+/// The genuine client: one-shot noisy XOR evaluations of a physical chip at
+/// some operating condition ("one-time sampling" in Fig. 7 — stable CRPs
+/// need no averaging).
+#[derive(Debug)]
+pub struct ChipResponder<'a> {
+    chip: &'a Chip,
+    n: usize,
+    condition: Condition,
+    rng: StdRng,
+}
+
+impl<'a> ChipResponder<'a> {
+    /// Creates a responder for an `n`-input XOR readout of `chip` at
+    /// `condition`. The internal evaluation-noise RNG is seeded with `seed`.
+    pub fn new(chip: &'a Chip, n: usize, condition: Condition, seed: u64) -> Self {
+        Self {
+            chip,
+            n,
+            condition,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Changes the operating condition (e.g. to authenticate at a V/T
+    /// corner).
+    pub fn set_condition(&mut self, condition: Condition) {
+        self.condition = condition;
+    }
+}
+
+impl Responder for ChipResponder<'_> {
+    fn respond(&mut self, challenges: &[Challenge]) -> Vec<bool> {
+        challenges
+            .iter()
+            .map(|c| {
+                self.chip
+                    .eval_xor_once(self.n, c, self.condition, &mut self.rng)
+                    .expect("chip rejected an authentication challenge")
+            })
+            .collect()
+    }
+}
+
+/// Analytic error rates of a policy for given per-response error
+/// probabilities.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PolicyAnalysis {
+    /// Probability a genuine client is denied (false-reject rate).
+    pub false_reject: f64,
+    /// Probability an impostor is approved (false-accept rate).
+    pub false_accept: f64,
+}
+
+/// Computes the exact false-reject/false-accept rates of `policy` over
+/// `rounds` challenges, for a genuine client whose responses are wrong with
+/// probability `genuine_error` per CRP and an impostor wrong with
+/// probability `impostor_error` (0.5 for a blind guesser; lower for a
+/// modeling clone — this is where Fig. 4's attack accuracy plugs into the
+/// protocol).
+///
+/// The paper's core protocol claim is visible here: with model-selected
+/// stable CRPs `genuine_error ≈ 0`, so the zero-Hamming-distance policy has
+/// FRR ≈ 0 while pushing a blind impostor's FAR to `2^{−rounds}` — strict
+/// security at no reliability cost.
+///
+/// # Panics
+///
+/// Panics if `rounds` is zero or an error probability is outside `[0, 1]`.
+pub fn analyze_policy(
+    policy: AuthPolicy,
+    rounds: usize,
+    genuine_error: f64,
+    impostor_error: f64,
+) -> PolicyAnalysis {
+    assert!(rounds > 0, "rounds must be positive");
+    assert!(
+        (0.0..=1.0).contains(&genuine_error) && (0.0..=1.0).contains(&impostor_error),
+        "error probabilities must be in [0,1]"
+    );
+    let n = rounds as u64;
+    let max_mismatches = match policy {
+        AuthPolicy::ZeroHammingDistance => 0u64,
+        AuthPolicy::MaxHammingFraction(bound) => (bound * rounds as f64).floor() as u64,
+    };
+    let accept_prob = |p: f64| puf_core::math::binomial_cdf(max_mismatches, n, p);
+    PolicyAnalysis {
+        false_reject: 1.0 - accept_prob(genuine_error),
+        false_accept: accept_prob(impostor_error),
+    }
+}
+
+/// A client that evaluates each challenge `votes` times and answers with
+/// the majority — classical *temporal majority voting*, the brute-force
+/// stabilisation alternative to challenge selection.
+///
+/// The paper's scheme deliberately needs only one-shot sampling ("sampling
+/// the XOR output once is sufficient", §2.2); this responder quantifies
+/// what the selection saves: a TMV client pays `votes×` evaluation latency
+/// per authentication bit and still cannot fix truly marginal CRPs.
+#[derive(Debug)]
+pub struct MajorityVoteResponder<'a> {
+    chip: &'a Chip,
+    n: usize,
+    condition: Condition,
+    votes: u32,
+    rng: StdRng,
+}
+
+impl<'a> MajorityVoteResponder<'a> {
+    /// Creates a TMV responder with an odd number of votes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes` is even or zero (ties must be impossible).
+    pub fn new(chip: &'a Chip, n: usize, condition: Condition, votes: u32, seed: u64) -> Self {
+        assert!(votes % 2 == 1, "votes must be odd");
+        Self {
+            chip,
+            n,
+            condition,
+            votes,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of evaluations spent per response.
+    pub fn votes(&self) -> u32 {
+        self.votes
+    }
+}
+
+impl Responder for MajorityVoteResponder<'_> {
+    fn respond(&mut self, challenges: &[Challenge]) -> Vec<bool> {
+        challenges
+            .iter()
+            .map(|c| {
+                let mut ones = 0u32;
+                for _ in 0..self.votes {
+                    if self
+                        .chip
+                        .eval_xor_once(self.n, c, self.condition, &mut self.rng)
+                        .expect("chip rejected an authentication challenge")
+                    {
+                        ones += 1;
+                    }
+                }
+                2 * ones > self.votes
+            })
+            .collect()
+    }
+}
+
+/// An impostor that answers with uniformly random bits — the floor any
+/// authentication scheme must reject.
+#[derive(Debug)]
+pub struct RandomResponder {
+    rng: StdRng,
+}
+
+impl RandomResponder {
+    /// Creates a random responder with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Responder for RandomResponder {
+    fn respond(&mut self, challenges: &[Challenge]) -> Vec<bool> {
+        use rand::Rng;
+        challenges.iter().map(|_| self.rng.gen()).collect()
+    }
+}
+
+/// An impostor backed by a predictive model (e.g. a trained MLP attack) —
+/// used to measure how model accuracy translates to break-in probability.
+pub struct ModelResponder<F> {
+    predict: F,
+}
+
+impl<F: FnMut(&Challenge) -> bool> ModelResponder<F> {
+    /// Wraps a prediction function.
+    pub fn new(predict: F) -> Self {
+        Self { predict }
+    }
+}
+
+impl<F: FnMut(&Challenge) -> bool> Responder for ModelResponder<F> {
+    fn respond(&mut self, challenges: &[Challenge]) -> Vec<bool> {
+        challenges.iter().map(|c| (self.predict)(c)).collect()
+    }
+}
+
+impl<F> fmt::Debug for ModelResponder<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ModelResponder { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policies_judge_mismatches() {
+        assert!(AuthPolicy::ZeroHammingDistance.accepts(10, 0));
+        assert!(!AuthPolicy::ZeroHammingDistance.accepts(10, 1));
+        assert!(AuthPolicy::MaxHammingFraction(0.2).accepts(10, 2));
+        assert!(!AuthPolicy::MaxHammingFraction(0.2).accepts(10, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty authentication")]
+    fn policy_rejects_empty_round() {
+        AuthPolicy::ZeroHammingDistance.accepts(0, 0);
+    }
+
+    #[test]
+    fn outcome_judging_and_display() {
+        let ok = AuthOutcome::judge(AuthPolicy::ZeroHammingDistance, 20, 0);
+        assert!(ok.approved);
+        assert!(ok.to_string().contains("APPROVED"));
+        let bad = AuthOutcome::judge(AuthPolicy::ZeroHammingDistance, 20, 1);
+        assert!(!bad.approved);
+        assert!((bad.hamming_fraction() - 0.05).abs() < 1e-12);
+        assert!(bad.to_string().contains("DENIED"));
+    }
+
+    #[test]
+    fn random_responder_is_uniformish() {
+        let mut r = RandomResponder::new(1);
+        let challenges: Vec<Challenge> = (0..2_000)
+            .map(|i| Challenge::from_bits(i, 16).unwrap())
+            .collect();
+        let bits = r.respond(&challenges);
+        let ones = bits.iter().filter(|&&b| b).count() as f64;
+        assert!((ones / 2_000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn policy_analysis_zero_hd() {
+        // Perfect genuine responses: FRR 0; blind impostor: FAR 2^-k.
+        let a = analyze_policy(AuthPolicy::ZeroHammingDistance, 64, 0.0, 0.5);
+        assert!(a.false_reject.abs() < 1e-15);
+        assert!((a.false_accept - 0.5f64.powi(64)).abs() < 1e-24);
+        // 1% genuine error over 64 rounds: FRR = 1 - 0.99^64 ≈ 0.47.
+        let b = analyze_policy(AuthPolicy::ZeroHammingDistance, 64, 0.01, 0.5);
+        assert!((b.false_reject - (1.0 - 0.99f64.powi(64))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_analysis_relaxed_trades_far_for_frr() {
+        let strict = analyze_policy(AuthPolicy::ZeroHammingDistance, 64, 0.02, 0.5);
+        let relaxed = analyze_policy(AuthPolicy::MaxHammingFraction(0.1), 64, 0.02, 0.5);
+        assert!(relaxed.false_reject < strict.false_reject);
+        assert!(relaxed.false_accept > strict.false_accept);
+        // But a 90%-accurate clone slips through the relaxed policy far
+        // more easily — the Fig. 4 / protocol connection.
+        let clone_strict = analyze_policy(AuthPolicy::ZeroHammingDistance, 64, 0.02, 0.1);
+        let clone_relaxed = analyze_policy(AuthPolicy::MaxHammingFraction(0.1), 64, 0.02, 0.1);
+        assert!(clone_relaxed.false_accept > clone_strict.false_accept * 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rounds must be positive")]
+    fn policy_analysis_rejects_zero_rounds() {
+        analyze_policy(AuthPolicy::ZeroHammingDistance, 0, 0.0, 0.5);
+    }
+
+    #[test]
+    fn majority_vote_responder_stabilises_marginal_crps() {
+        use puf_silicon::{Chip, ChipConfig};
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+        let challenges: Vec<Challenge> = (0..300)
+            .map(|_| Challenge::random(chip.stages(), &mut rng))
+            .collect();
+        let reference: Vec<bool> = challenges
+            .iter()
+            .map(|c| chip.xor_reference_bit(2, c, Condition::NOMINAL).unwrap())
+            .collect();
+        let mut one_shot = ChipResponder::new(&chip, 2, Condition::NOMINAL, 10);
+        let mut tmv = MajorityVoteResponder::new(&chip, 2, Condition::NOMINAL, 15, 11);
+        assert_eq!(tmv.votes(), 15);
+        let errs = |bits: Vec<bool>| {
+            bits.iter()
+                .zip(&reference)
+                .filter(|(a, b)| a != b)
+                .count()
+        };
+        let e1 = errs(one_shot.respond(&challenges));
+        let e15 = errs(tmv.respond(&challenges));
+        assert!(
+            e15 <= e1,
+            "15-vote majority should not mismatch more than one-shot: {e15} vs {e1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn majority_vote_rejects_even_votes() {
+        use puf_silicon::{Chip, ChipConfig};
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(12);
+        let chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+        let _ = MajorityVoteResponder::new(&chip, 1, Condition::NOMINAL, 4, 0);
+    }
+
+    #[test]
+    fn model_responder_applies_closure() {
+        let mut m = ModelResponder::new(|c: &Challenge| c.bit(0));
+        let challenges = [
+            Challenge::from_bits(0b0, 4).unwrap(),
+            Challenge::from_bits(0b1, 4).unwrap(),
+        ];
+        assert_eq!(m.respond(&challenges), vec![false, true]);
+        assert!(!format!("{m:?}").is_empty());
+    }
+}

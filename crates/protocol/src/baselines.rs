@@ -1,0 +1,268 @@
+//! Baseline schemes the paper compares against or builds upon.
+//!
+//! - [`select_by_measurement`] — the measurement-based stable-CRP selection
+//!   of Ref. 1 (Zhou et al., ISLPED 2016): test challenges one by one with
+//!   the on-chip counter (optionally across several V/T conditions) and keep
+//!   the ones that measure 100 % stable everywhere. Correct, but for a wide
+//!   XOR PUF "most tested CRPs are discarded due to poor stability" (§3),
+//!   which is the inefficiency the model-assisted scheme removes. The
+//!   returned [`SelectionCost`] quantifies that.
+//! - [`classic_enroll`] — the traditional protocol: random challenges, the
+//!   enrollment majority bit stored, authentication with a relaxed Hamming
+//!   threshold.
+//! - [`flip_labels`] — noise-bifurcation-style label corruption (Ref. 6):
+//!   the attacker-visible CRP labels are wrong with a configured
+//!   probability, which is the mechanism by which response decimation
+//!   frustrates model training.
+
+use crate::server::SelectedChallenge;
+use crate::ProtocolError;
+use puf_core::{Challenge, Condition};
+use puf_silicon::{dataset::CrpSet, Chip};
+use rand::Rng;
+
+/// Cost accounting of a measurement-based selection campaign.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SelectionCost {
+    /// Random challenges tested.
+    pub challenges_tested: usize,
+    /// Individual counter measurements performed (each `evals` evaluations).
+    pub measurements: usize,
+    /// Challenges that survived all stability checks.
+    pub selected: usize,
+}
+
+impl SelectionCost {
+    /// Measurements spent per kept challenge. `NaN` when nothing was kept.
+    pub fn measurements_per_selected(&self) -> f64 {
+        if self.selected == 0 {
+            return f64::NAN;
+        }
+        self.measurements as f64 / self.selected as f64
+    }
+}
+
+/// Measurement-based stable-CRP selection (Ref. 1): keeps challenges whose
+/// member PUFs all measure 100 % stable at **every** listed condition, with
+/// the stored response taken from the nominal-condition reference bits.
+///
+/// Requires intact fuses.
+///
+/// # Errors
+///
+/// - [`ProtocolError::Silicon`] on blown fuses or chip API misuse.
+/// - [`ProtocolError::ChallengeSelectionExhausted`] if `max_attempts` draws
+///   yield fewer than `count` stable challenges.
+///
+/// # Panics
+///
+/// Panics if `conditions` is empty.
+pub fn select_by_measurement<R: Rng + ?Sized>(
+    chip: &Chip,
+    n: usize,
+    count: usize,
+    conditions: &[Condition],
+    evals: u64,
+    max_attempts: usize,
+    rng: &mut R,
+) -> Result<(Vec<SelectedChallenge>, SelectionCost), ProtocolError> {
+    assert!(!conditions.is_empty(), "need at least one condition");
+    let mut cost = SelectionCost::default();
+    let mut selected = Vec::with_capacity(count);
+    'outer: for _ in 0..max_attempts {
+        if selected.len() == count {
+            break;
+        }
+        let challenge = Challenge::random(chip.stages(), rng);
+        cost.challenges_tested += 1;
+        let mut expected = false;
+        for (ci, &cond) in conditions.iter().enumerate() {
+            for puf in 0..n {
+                cost.measurements += 1;
+                let s = chip.measure_individual_soft(puf, &challenge, cond, evals, rng)?;
+                if !s.is_stable() {
+                    continue 'outer;
+                }
+                if ci == 0 {
+                    expected ^= s.is_stable_one();
+                }
+            }
+        }
+        cost.selected += 1;
+        selected.push(SelectedChallenge {
+            challenge,
+            expected,
+        });
+    }
+    if selected.len() < count {
+        return Err(ProtocolError::ChallengeSelectionExhausted {
+            requested: count,
+            found: selected.len(),
+            attempts: max_attempts,
+        });
+    }
+    Ok((selected, cost))
+}
+
+/// Classic enrollment: `count` random challenges, each response stored as
+/// the majority bit of a counter measurement. No stability screening at all
+/// — authentication must tolerate mismatches with a Hamming threshold.
+///
+/// Requires intact fuses (it measures through the enrollment port to obtain
+/// per-member bits before XOR).
+///
+/// # Errors
+///
+/// [`ProtocolError::Silicon`] on blown fuses or chip API misuse.
+pub fn classic_enroll<R: Rng + ?Sized>(
+    chip: &Chip,
+    n: usize,
+    count: usize,
+    cond: Condition,
+    evals: u64,
+    rng: &mut R,
+) -> Result<Vec<SelectedChallenge>, ProtocolError> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let challenge = Challenge::random(chip.stages(), rng);
+        let mut expected = false;
+        for puf in 0..n {
+            let s = chip.measure_individual_soft(puf, &challenge, cond, evals, rng)?;
+            expected ^= s.majority_bit();
+        }
+        out.push(SelectedChallenge {
+            challenge,
+            expected,
+        });
+    }
+    Ok(out)
+}
+
+/// Noise-bifurcation-style label corruption: returns a copy of `crps` in
+/// which each label is flipped independently with probability
+/// `flip_probability` — the attacker's view after response decimation.
+///
+/// # Panics
+///
+/// Panics if `flip_probability` is outside `[0, 1]`.
+pub fn flip_labels<R: Rng + ?Sized>(
+    crps: &CrpSet,
+    flip_probability: f64,
+    rng: &mut R,
+) -> CrpSet {
+    assert!(
+        (0.0..=1.0).contains(&flip_probability),
+        "flip probability must be in [0,1]"
+    );
+    crps.iter()
+        .map(|(c, r)| {
+            let flipped = rng.gen::<f64>() < flip_probability;
+            (*c, r ^ flipped)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puf_silicon::ChipConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chip_and_rng(seed: u64) -> (Chip, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+        (chip, rng)
+    }
+
+    #[test]
+    fn measurement_selection_yields_stable_crps() {
+        let (chip, mut rng) = chip_and_rng(1);
+        let (picks, cost) = select_by_measurement(
+            &chip,
+            2,
+            20,
+            &[Condition::NOMINAL],
+            50_000,
+            20_000,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(picks.len(), 20);
+        assert_eq!(cost.selected, 20);
+        assert!(cost.challenges_tested >= 20);
+        assert!(cost.measurements_per_selected() >= 2.0);
+        // Selected bits match the reference XOR.
+        for p in &picks {
+            let want = chip
+                .xor_reference_bit(2, &p.challenge, Condition::NOMINAL)
+                .unwrap();
+            assert_eq!(p.expected, want);
+        }
+    }
+
+    #[test]
+    fn multi_condition_selection_is_stricter() {
+        let (chip, mut rng) = chip_and_rng(2);
+        let budget = 3_000;
+        let (_, nominal_cost) = select_by_measurement(
+            &chip,
+            2,
+            1,
+            &[Condition::NOMINAL],
+            20_000,
+            budget,
+            &mut rng,
+        )
+        .unwrap();
+        let grid = Condition::paper_grid();
+        let (_, grid_cost) =
+            select_by_measurement(&chip, 2, 1, &grid, 20_000, budget, &mut rng).unwrap();
+        // Per selected challenge, the 9-condition campaign costs more
+        // measurements.
+        assert!(
+            grid_cost.measurements_per_selected() > nominal_cost.measurements_per_selected()
+        );
+    }
+
+    #[test]
+    fn selection_exhaustion_error() {
+        let (chip, mut rng) = chip_and_rng(3);
+        let err = select_by_measurement(
+            &chip,
+            4,
+            1_000,
+            &[Condition::NOMINAL],
+            10_000,
+            10,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::ChallengeSelectionExhausted { .. }
+        ));
+    }
+
+    #[test]
+    fn classic_enroll_produces_count_records() {
+        let (chip, mut rng) = chip_and_rng(4);
+        let picks = classic_enroll(&chip, 3, 50, Condition::NOMINAL, 1_000, &mut rng).unwrap();
+        assert_eq!(picks.len(), 50);
+    }
+
+    #[test]
+    fn flip_labels_statistics() {
+        let (chip, mut rng) = chip_and_rng(5);
+        let challenges: Vec<Challenge> = (0..4_000)
+            .map(|_| Challenge::random(chip.stages(), &mut rng))
+            .collect();
+        let crps: CrpSet = challenges.iter().map(|c| (*c, true)).collect();
+        let flipped = flip_labels(&crps, 0.3, &mut rng);
+        let flips = flipped.responses().iter().filter(|&&r| !r).count() as f64;
+        assert!((flips / 4_000.0 - 0.3).abs() < 0.03);
+        // Probability 0 is the identity.
+        let same = flip_labels(&crps, 0.0, &mut rng);
+        assert_eq!(same.responses(), crps.responses());
+    }
+}

@@ -1,0 +1,189 @@
+//! # puf-protocol
+//!
+//! The paper's primary contribution: a model-assisted authentication
+//! strategy for wide XOR arbiter PUFs.
+//!
+//! - [`enrollment`] — fit per-PUF linear delay models from counter soft
+//!   responses through the fuse port; derive `Thr(0)`/`Thr(1)` (Fig. 6, §4).
+//! - [`threshold`] — three-way {stable 0, unstable, stable 1}
+//!   classification and the β tightening scheme (§5).
+//! - [`server`] — the server database and the stable-challenge selection
+//!   loop (Fig. 7).
+//! - [`auth`] — zero-Hamming-distance (and relaxed) acceptance policies and
+//!   client responders, including impostors.
+//! - [`baselines`] — measurement-based selection (Ref. 1), classic
+//!   HD-threshold authentication, and noise-bifurcation label corruption
+//!   (Ref. 6) for comparison experiments.
+//!
+//! ```
+//! use puf_protocol::auth::{AuthPolicy, ChipResponder};
+//! use puf_protocol::enrollment::{enroll, EnrollmentConfig};
+//! use puf_protocol::server::Server;
+//! use puf_core::Condition;
+//! use puf_silicon::{Chip, ChipConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+//!
+//! // Enrollment (fuses intact), then deploy.
+//! let record = enroll(&chip, &EnrollmentConfig::small(2), &mut rng)?;
+//! chip.blow_fuses();
+//!
+//! let mut server = Server::new();
+//! server.register(record);
+//!
+//! // Authentication with the strict zero-Hamming-distance policy.
+//! let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 42);
+//! let outcome = server.authenticate(0, &mut client, 20, AuthPolicy::ZeroHammingDistance, &mut rng)?;
+//! assert!(outcome.approved);
+//! # Ok::<(), puf_protocol::ProtocolError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attacks;
+pub mod auth;
+pub mod baselines;
+pub mod bifurcation;
+pub mod enrollment;
+pub mod keygen;
+pub mod lockdown;
+pub mod salvage;
+pub mod server;
+pub mod storage;
+pub mod threshold;
+
+pub use auth::{AuthOutcome, AuthPolicy, ChipResponder, RandomResponder, Responder};
+pub use enrollment::{enroll, EnrolledChip, EnrolledPuf, EnrollmentConfig};
+pub use server::{SelectedChallenge, Server};
+pub use threshold::{fit_betas, Betas, StabilityClass, Thresholds};
+
+use puf_ml::linalg::NotPositiveDefiniteError;
+use puf_silicon::SiliconError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors from enrollment and authentication.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// A chip measurement failed (blown fuses, bad index, stage mismatch).
+    Silicon(SiliconError),
+    /// The enrollment regression system was singular.
+    Fit(NotPositiveDefiniteError),
+    /// A member PUF's training data could not produce thresholds (every
+    /// measurement saturated the same way).
+    DegenerateTraining {
+        /// The member PUF index.
+        puf: usize,
+    },
+    /// No β tightening could filter all validation instabilities.
+    BetaFitFailed {
+        /// The member PUF index.
+        puf: usize,
+    },
+    /// The requested chip id is not in the server database.
+    UnknownChip {
+        /// The unknown id.
+        chip_id: u32,
+    },
+    /// Random challenge selection could not find enough predicted-stable
+    /// challenges within the attempt budget.
+    ChallengeSelectionExhausted {
+        /// Challenges requested.
+        requested: usize,
+        /// Challenges found.
+        found: usize,
+        /// Random draws attempted.
+        attempts: usize,
+    },
+    /// A responder returned the wrong number of bits.
+    ResponseCountMismatch {
+        /// Bits expected.
+        expected: usize,
+        /// Bits received.
+        actual: usize,
+    },
+    /// A lockdown-gated interface ran out of authorised CRP budget.
+    CrpBudgetExhausted {
+        /// Challenges answered before the budget ran out.
+        answered: u64,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Silicon(e) => write!(f, "chip measurement failed: {e}"),
+            ProtocolError::Fit(e) => write!(f, "enrollment regression failed: {e}"),
+            ProtocolError::DegenerateTraining { puf } => {
+                write!(f, "PUF {puf}: training measurements cannot produce thresholds")
+            }
+            ProtocolError::BetaFitFailed { puf } => {
+                write!(f, "PUF {puf}: no β adjustment filters the validation set")
+            }
+            ProtocolError::UnknownChip { chip_id } => {
+                write!(f, "chip {chip_id} is not registered")
+            }
+            ProtocolError::ChallengeSelectionExhausted {
+                requested,
+                found,
+                attempts,
+            } => write!(
+                f,
+                "found only {found}/{requested} stable challenges in {attempts} attempts"
+            ),
+            ProtocolError::ResponseCountMismatch { expected, actual } => {
+                write!(f, "client returned {actual} responses, expected {expected}")
+            }
+            ProtocolError::CrpBudgetExhausted { answered } => {
+                write!(f, "lockdown CRP budget exhausted after {answered} answers")
+            }
+        }
+    }
+}
+
+impl StdError for ProtocolError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ProtocolError::Silicon(e) => Some(e),
+            ProtocolError::Fit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SiliconError> for ProtocolError {
+    fn from(e: SiliconError) -> Self {
+        ProtocolError::Silicon(e)
+    }
+}
+
+impl From<NotPositiveDefiniteError> for ProtocolError {
+    fn from(e: NotPositiveDefiniteError) -> Self {
+        ProtocolError::Fit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = ProtocolError::Silicon(SiliconError::FusesBlown);
+        assert!(e.to_string().contains("fuses"));
+        assert!(StdError::source(&e).is_some());
+        let e = ProtocolError::UnknownChip { chip_id: 5 };
+        assert!(e.to_string().contains('5'));
+        assert!(StdError::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProtocolError>();
+    }
+}

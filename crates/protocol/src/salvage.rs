@@ -1,0 +1,266 @@
+//! Salvaging marginally stable CRPs via XOR-output soft responses.
+//!
+//! §2.2 of the paper sketches (and defers) this extension: *"if soft
+//! responses can be collected for the final XOR PUF responses and
+//! reasonable thresholds are applied, marginally stable responses could
+//! also be salvaged for use in authentication."* The trade-off is that
+//! salvaged CRPs are not perfectly repeatable, so the zero-Hamming-distance
+//! policy must be relaxed to a small tolerance.
+//!
+//! Unlike enrollment, this works on the **deployed** chip: the XOR output
+//! (and therefore its average over repeated evaluations) is available with
+//! blown fuses.
+
+use crate::server::SelectedChallenge;
+use crate::ProtocolError;
+use puf_core::{Challenge, Condition};
+use puf_silicon::Chip;
+use rand::Rng;
+
+/// Configuration of the salvage selector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SalvageConfig {
+    /// Maximum distance of the XOR soft response from 0.0/1.0 for a CRP to
+    /// be salvaged (e.g. 0.02 keeps CRPs with soft ≤ 0.02 or ≥ 0.98).
+    pub soft_margin: f64,
+    /// Counter evaluations per XOR soft-response measurement.
+    pub evals: u64,
+}
+
+impl SalvageConfig {
+    /// A tight default: soft responses within 0.02 of saturation, measured
+    /// over 10,000 evaluations.
+    pub fn tight() -> Self {
+        Self {
+            soft_margin: 0.02,
+            evals: 10_000,
+        }
+    }
+}
+
+impl Default for SalvageConfig {
+    fn default() -> Self {
+        Self::tight()
+    }
+}
+
+/// Outcome of a salvage campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SalvageReport {
+    /// The salvaged CRPs with their majority-vote expected bits.
+    pub selected: Vec<SelectedChallenge>,
+    /// Challenges examined.
+    pub tested: usize,
+    /// Mean per-CRP one-shot error probability of the salvaged set, as
+    /// estimated from the measured soft responses — the mismatch budget an
+    /// authentication policy must absorb.
+    pub expected_error_rate: f64,
+}
+
+impl SalvageReport {
+    /// Fraction of tested challenges that were salvaged.
+    pub fn yield_fraction(&self) -> f64 {
+        if self.tested == 0 {
+            return f64::NAN;
+        }
+        self.selected.len() as f64 / self.tested as f64
+    }
+}
+
+/// Screens `challenges` by XOR soft response and keeps those within
+/// `config.soft_margin` of saturation.
+///
+/// # Errors
+///
+/// Propagates chip errors (bad XOR width, stage mismatch). Works with blown
+/// fuses.
+///
+/// # Panics
+///
+/// Panics if `config.soft_margin` is not within `[0, 0.5)`.
+pub fn salvage_select<R: Rng + ?Sized>(
+    chip: &Chip,
+    n: usize,
+    challenges: &[Challenge],
+    cond: Condition,
+    config: &SalvageConfig,
+    rng: &mut R,
+) -> Result<SalvageReport, ProtocolError> {
+    assert!(
+        (0.0..0.5).contains(&config.soft_margin),
+        "soft_margin must be in [0, 0.5)"
+    );
+    let mut selected = Vec::new();
+    let mut error_acc = 0.0;
+    for c in challenges {
+        let s = chip.measure_xor_soft(n, c, cond, config.evals, rng)?;
+        let v = s.value();
+        let (expected, error) = if v <= config.soft_margin {
+            (false, v)
+        } else if v >= 1.0 - config.soft_margin {
+            (true, 1.0 - v)
+        } else {
+            continue;
+        };
+        error_acc += error;
+        selected.push(SelectedChallenge {
+            challenge: *c,
+            expected,
+        });
+    }
+    let expected_error_rate = if selected.is_empty() {
+        0.0
+    } else {
+        error_acc / selected.len() as f64
+    };
+    Ok(SalvageReport {
+        tested: challenges.len(),
+        selected,
+        expected_error_rate,
+    })
+}
+
+/// The Hamming-fraction tolerance a policy needs so that a genuine chip
+/// with the report's per-CRP error rate is accepted with roughly the given
+/// number of σ of headroom (normal approximation to the mismatch count).
+pub fn recommended_tolerance(report: &SalvageReport, rounds: usize, sigmas: f64) -> f64 {
+    let p = report.expected_error_rate;
+    let sd = (p * (1.0 - p) / rounds.max(1) as f64).sqrt();
+    (p + sigmas * sd).min(0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puf_core::challenge::random_challenges;
+    use puf_silicon::ChipConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chip_and_rng(seed: u64) -> (Chip, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+        (chip, rng)
+    }
+
+    #[test]
+    fn salvage_works_with_blown_fuses() {
+        let (mut chip, mut rng) = chip_and_rng(1);
+        chip.blow_fuses();
+        let challenges = random_challenges(chip.stages(), 400, &mut rng);
+        let report = salvage_select(
+            &chip,
+            3,
+            &challenges,
+            Condition::NOMINAL,
+            &SalvageConfig::tight(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(report.tested, 400);
+        assert!(!report.selected.is_empty(), "nothing salvaged");
+        assert!(report.yield_fraction() > 0.1);
+        assert!(report.expected_error_rate < 0.02);
+    }
+
+    #[test]
+    fn salvage_yield_exceeds_strict_all_member_yield() {
+        // The whole point: thresholding the *final* XOR soft response keeps
+        // more CRPs than demanding 100 % stability of every member.
+        let (chip, mut rng) = chip_and_rng(2);
+        let n = 3;
+        let challenges = random_challenges(chip.stages(), 1_200, &mut rng);
+        let report = salvage_select(
+            &chip,
+            n,
+            &challenges,
+            Condition::NOMINAL,
+            &SalvageConfig {
+                soft_margin: 0.05,
+                evals: 5_000,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let strict = puf_silicon::testbench::xor_stable_mask(
+            &chip,
+            n,
+            &challenges,
+            Condition::NOMINAL,
+            100_000,
+            &mut rng,
+        )
+        .unwrap();
+        let strict_yield =
+            strict.iter().filter(|&&b| b).count() as f64 / strict.len() as f64;
+        assert!(
+            report.yield_fraction() > strict_yield,
+            "salvage yield {} should beat strict yield {strict_yield}",
+            report.yield_fraction()
+        );
+    }
+
+    #[test]
+    fn salvaged_bits_mostly_match_one_shot_responses() {
+        let (chip, mut rng) = chip_and_rng(3);
+        let challenges = random_challenges(chip.stages(), 600, &mut rng);
+        let report = salvage_select(
+            &chip,
+            2,
+            &challenges,
+            Condition::NOMINAL,
+            &SalvageConfig::tight(),
+            &mut rng,
+        )
+        .unwrap();
+        let mut mismatches = 0;
+        for p in &report.selected {
+            let bit = chip
+                .eval_xor_once(2, &p.challenge, Condition::NOMINAL, &mut rng)
+                .unwrap();
+            if bit != p.expected {
+                mismatches += 1;
+            }
+        }
+        let rate = mismatches as f64 / report.selected.len() as f64;
+        assert!(
+            rate < 0.05,
+            "salvaged CRPs mismatch too often: {rate} (expected ≈ {})",
+            report.expected_error_rate
+        );
+    }
+
+    #[test]
+    fn recommended_tolerance_scales_with_error_rate() {
+        let low = SalvageReport {
+            selected: vec![],
+            tested: 0,
+            expected_error_rate: 0.001,
+        };
+        let high = SalvageReport {
+            selected: vec![],
+            tested: 0,
+            expected_error_rate: 0.05,
+        };
+        assert!(recommended_tolerance(&high, 64, 4.0) > recommended_tolerance(&low, 64, 4.0));
+        assert!(recommended_tolerance(&high, 64, 4.0) <= 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "soft_margin")]
+    fn rejects_half_margin() {
+        let (chip, mut rng) = chip_and_rng(4);
+        let challenges = random_challenges(chip.stages(), 1, &mut rng);
+        let _ = salvage_select(
+            &chip,
+            2,
+            &challenges,
+            Condition::NOMINAL,
+            &SalvageConfig {
+                soft_margin: 0.5,
+                evals: 100,
+            },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! The authentication server: stores enrollment records, selects
+//! predicted-stable challenges and verifies responses (paper Fig. 7).
+
+use crate::auth::{AuthOutcome, AuthPolicy, Responder};
+use crate::enrollment::EnrolledChip;
+use crate::ProtocolError;
+use puf_core::Challenge;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A selected challenge together with the server's predicted XOR response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SelectedChallenge {
+    /// The challenge to send to the chip.
+    pub challenge: Challenge,
+    /// The response the server expects.
+    pub expected: bool,
+}
+
+/// The server database: one [`EnrolledChip`] record per registered chip.
+///
+/// Matching the paper's storage argument (Refs. 4, 6-7), the server keeps
+/// only delay parameters and thresholds — `n · (stages + 1)` floats per chip
+/// — instead of an exhaustive CRP table.
+#[derive(Clone, Debug, Default)]
+pub struct Server {
+    records: HashMap<u32, EnrolledChip>,
+}
+
+impl Server {
+    /// An empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an enrollment record; replaces any previous record for the
+    /// same chip id and returns it.
+    pub fn register(&mut self, record: EnrolledChip) -> Option<EnrolledChip> {
+        self.records.insert(record.chip_id, record)
+    }
+
+    /// Number of registered chips.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no chips are registered.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record of a chip, if registered.
+    pub fn record(&self, chip_id: u32) -> Option<&EnrolledChip> {
+        self.records.get(&chip_id)
+    }
+
+    /// The ids of all registered chips (unordered).
+    pub fn chip_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.records.keys().copied()
+    }
+
+    /// Generates random challenges and keeps the ones predicted stable on
+    /// every member PUF, together with the predicted XOR responses — the
+    /// "Select Stable Challenges" loop of Fig. 7.
+    ///
+    /// # Errors
+    ///
+    /// - [`ProtocolError::UnknownChip`] if the chip is not registered.
+    /// - [`ProtocolError::ChallengeSelectionExhausted`] if `max_attempts`
+    ///   random draws yield fewer than `count` stable challenges (a sign the
+    ///   βs are too strict for the requested count, or `n` is very large).
+    pub fn select_challenges<R: Rng + ?Sized>(
+        &self,
+        chip_id: u32,
+        count: usize,
+        max_attempts: usize,
+        rng: &mut R,
+    ) -> Result<Vec<SelectedChallenge>, ProtocolError> {
+        let record = self
+            .records
+            .get(&chip_id)
+            .ok_or(ProtocolError::UnknownChip { chip_id })?;
+        let mut selected = Vec::with_capacity(count);
+        for _ in 0..max_attempts {
+            if selected.len() == count {
+                break;
+            }
+            let challenge = Challenge::random(record.stages, rng);
+            if let Some(expected) = record.predict_stable_xor(&challenge) {
+                selected.push(SelectedChallenge {
+                    challenge,
+                    expected,
+                });
+            }
+        }
+        if selected.len() < count {
+            return Err(ProtocolError::ChallengeSelectionExhausted {
+                requested: count,
+                found: selected.len(),
+                attempts: max_attempts,
+            });
+        }
+        Ok(selected)
+    }
+
+    /// Runs one authentication round: selects `count` predicted-stable
+    /// challenges, queries the responder once per challenge, and compares
+    /// under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::select_challenges`]; also fails if the responder
+    /// returns the wrong number of bits.
+    pub fn authenticate<R: Rng + ?Sized, C: Responder>(
+        &self,
+        chip_id: u32,
+        client: &mut C,
+        count: usize,
+        policy: AuthPolicy,
+        rng: &mut R,
+    ) -> Result<AuthOutcome, ProtocolError> {
+        // Draw attempts generously: stable fractions below ~0.1 % still
+        // terminate, while genuinely exhausted selection errors out.
+        let max_attempts = count.saturating_mul(200_000).max(100_000);
+        let selected = self.select_challenges(chip_id, count, max_attempts, rng)?;
+        let challenges: Vec<Challenge> = selected.iter().map(|s| s.challenge).collect();
+        let responses = client.respond(&challenges);
+        if responses.len() != challenges.len() {
+            return Err(ProtocolError::ResponseCountMismatch {
+                expected: challenges.len(),
+                actual: responses.len(),
+            });
+        }
+        let mismatches = selected
+            .iter()
+            .zip(&responses)
+            .filter(|(s, &r)| s.expected != r)
+            .count();
+        Ok(AuthOutcome::judge(policy, count, mismatches))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::ChipResponder;
+    use crate::enrollment::{enroll, EnrollmentConfig};
+    use puf_core::Condition;
+    use puf_silicon::{Chip, ChipConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (Chip, Server, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chip = Chip::fabricate(3, &ChipConfig::small(), &mut rng);
+        let enrolled = enroll(&chip, &EnrollmentConfig::small(2), &mut rng).unwrap();
+        let mut server = Server::new();
+        assert!(server.register(enrolled).is_none());
+        (chip, server, rng)
+    }
+
+    #[test]
+    fn select_challenges_all_predicted_stable() {
+        let (_, server, mut rng) = setup(1);
+        let picks = server.select_challenges(3, 25, 100_000, &mut rng).unwrap();
+        assert_eq!(picks.len(), 25);
+        let record = server.record(3).unwrap();
+        for p in &picks {
+            assert_eq!(record.predict_stable_xor(&p.challenge), Some(p.expected));
+        }
+    }
+
+    #[test]
+    fn unknown_chip_is_rejected() {
+        let (_, server, mut rng) = setup(2);
+        assert!(matches!(
+            server.select_challenges(99, 1, 100, &mut rng),
+            Err(ProtocolError::UnknownChip { chip_id: 99 })
+        ));
+    }
+
+    #[test]
+    fn exhausted_selection_reports_counts() {
+        let (_, server, mut rng) = setup(3);
+        let err = server
+            .select_challenges(3, 1_000, 50, &mut rng)
+            .unwrap_err();
+        match err {
+            ProtocolError::ChallengeSelectionExhausted {
+                requested,
+                found,
+                attempts,
+            } => {
+                assert_eq!(requested, 1_000);
+                assert!(found < 1_000);
+                assert_eq!(attempts, 50);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn genuine_chip_authenticates_with_zero_hamming() {
+        let (chip, server, mut rng) = setup(4);
+        let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 5);
+        let outcome = server
+            .authenticate(3, &mut client, 30, AuthPolicy::ZeroHammingDistance, &mut rng)
+            .unwrap();
+        assert!(outcome.approved, "genuine chip denied: {outcome:?}");
+        assert_eq!(outcome.mismatches, 0);
+    }
+
+    #[test]
+    fn register_replaces_previous_record() {
+        let (chip, mut server, mut rng) = setup(5);
+        let again = enroll(&chip, &EnrollmentConfig::small(2), &mut rng).unwrap();
+        assert!(server.register(again).is_some());
+        assert_eq!(server.len(), 1);
+        assert!(!server.is_empty());
+    }
+}

@@ -1,0 +1,352 @@
+//! Three-way CRP classification thresholds and the β adjustment scheme.
+//!
+//! §4: model-predicted soft responses are classified into **stable 0**,
+//! **unstable** and **stable 1** — unlike the traditional two-way threshold
+//! at 0.5 which "is prone to flipping errors". `Thr(0)` is "the lowest
+//! predicted soft response to result in a measured soft response greater
+//! than 0.00"; `Thr(1)` the highest prediction whose measurement stayed
+//! below 1.00.
+//!
+//! §5: for challenges that were never measured (and for off-nominal
+//! voltage/temperature), the training-set thresholds are tightened by
+//! scaling factors `β₀ < 1` and `β₁ > 1`:
+//! `Thr(0)_adjust = β₀ · Thr(0)`, `Thr(1)_adjust = β₁ · Thr(1)`.
+
+use std::fmt;
+
+/// Predicted stability class of a CRP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StabilityClass {
+    /// Predicted to always read `0`.
+    Stable0,
+    /// Not safely predictable — discard for authentication.
+    Unstable,
+    /// Predicted to always read `1`.
+    Stable1,
+}
+
+impl StabilityClass {
+    /// The predicted response bit, or `None` for unstable CRPs.
+    pub fn bit(self) -> Option<bool> {
+        match self {
+            StabilityClass::Stable0 => Some(false),
+            StabilityClass::Stable1 => Some(true),
+            StabilityClass::Unstable => None,
+        }
+    }
+}
+
+impl fmt::Display for StabilityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            StabilityClass::Stable0 => "stable 0",
+            StabilityClass::Unstable => "unstable",
+            StabilityClass::Stable1 => "stable 1",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The raw training-set thresholds of one PUF's model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Thresholds {
+    /// `Thr(0)`: predictions strictly below this are stable 0.
+    pub thr0: f64,
+    /// `Thr(1)`: predictions strictly above this are stable 1.
+    pub thr1: f64,
+}
+
+impl Thresholds {
+    /// Creates a threshold pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thr0 > thr1` (the unstable band would be negative) or
+    /// either is non-finite.
+    pub fn new(thr0: f64, thr1: f64) -> Self {
+        assert!(
+            thr0.is_finite() && thr1.is_finite(),
+            "thresholds must be finite"
+        );
+        assert!(thr0 <= thr1, "thr0 {thr0} must not exceed thr1 {thr1}");
+        Self { thr0, thr1 }
+    }
+
+    /// Derives thresholds from a training set of `(predicted, measured)`
+    /// soft-response pairs, per the paper's definition: `Thr(0)` is the
+    /// minimum prediction among CRPs whose *measured* soft response exceeds
+    /// 0.00, `Thr(1)` the maximum prediction among CRPs measured below 1.00.
+    ///
+    /// Returns `None` when either boundary set is empty (a degenerate
+    /// training set where every measurement saturated the same way).
+    pub fn from_training(pairs: &[(f64, f64)]) -> Option<Self> {
+        let thr0 = pairs
+            .iter()
+            .filter(|(_, measured)| *measured > 0.0)
+            .map(|(pred, _)| *pred)
+            .fold(f64::INFINITY, f64::min);
+        let thr1 = pairs
+            .iter()
+            .filter(|(_, measured)| *measured < 1.0)
+            .map(|(pred, _)| *pred)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !thr0.is_finite() || !thr1.is_finite() || thr0 > thr1 {
+            return None;
+        }
+        Some(Self { thr0, thr1 })
+    }
+
+    /// Applies β scaling: `(β₀·thr0, β₁·thr1)`.
+    pub fn adjusted(&self, betas: Betas) -> Thresholds {
+        Thresholds {
+            thr0: self.thr0 * betas.beta0,
+            thr1: self.thr1 * betas.beta1,
+        }
+    }
+
+    /// Classifies a predicted soft response.
+    pub fn classify(&self, predicted: f64) -> StabilityClass {
+        if predicted < self.thr0 {
+            StabilityClass::Stable0
+        } else if predicted > self.thr1 {
+            StabilityClass::Stable1
+        } else {
+            StabilityClass::Unstable
+        }
+    }
+}
+
+impl fmt::Display for Thresholds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Thr(0) = {:.4}, Thr(1) = {:.4}", self.thr0, self.thr1)
+    }
+}
+
+/// The threshold scaling factors `β₀` (scales `Thr(0)` down) and `β₁`
+/// (scales `Thr(1)` up).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Betas {
+    /// Scaling for the stable-0 threshold; `< 1` tightens.
+    pub beta0: f64,
+    /// Scaling for the stable-1 threshold; `> 1` tightens.
+    pub beta1: f64,
+}
+
+impl Betas {
+    /// The identity scaling (raw training thresholds).
+    pub const IDENTITY: Betas = Betas {
+        beta0: 1.0,
+        beta1: 1.0,
+    };
+
+    /// The paper's most conservative nominal-condition values across its 10
+    /// chips: β₀ = 0.74, β₁ = 1.08 (§5.1).
+    pub const PAPER_NOMINAL: Betas = Betas {
+        beta0: 0.74,
+        beta1: 1.08,
+    };
+
+    /// Creates a β pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is non-positive or non-finite.
+    pub fn new(beta0: f64, beta1: f64) -> Self {
+        assert!(
+            beta0 > 0.0 && beta0.is_finite() && beta1 > 0.0 && beta1.is_finite(),
+            "betas must be positive and finite"
+        );
+        Self { beta0, beta1 }
+    }
+
+    /// Component-wise most conservative combination (smaller β₀, larger β₁)
+    /// — how the paper picks lot-wide values from per-chip fits.
+    pub fn most_conservative(self, other: Betas) -> Betas {
+        Betas {
+            beta0: self.beta0.min(other.beta0),
+            beta1: self.beta1.max(other.beta1),
+        }
+    }
+}
+
+impl Default for Betas {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl fmt::Display for Betas {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "β₀ = {:.3}, β₁ = {:.3}", self.beta0, self.beta1)
+    }
+}
+
+/// Fits the β values for one PUF by the paper's trial-and-error procedure
+/// (§5.1): start at β₀ = 0.99, β₁ = 1.01 and "gradually decrease β₀ and
+/// increase β₁, until all unstable responses are filtered out" of the
+/// validation set.
+///
+/// `validation` holds `(predicted, measured_is_stable_zero,
+/// measured_is_stable_one)` triples; a CRP with both flags false measured
+/// unstable. The returned βs guarantee that on this validation set no CRP
+/// classified stable is measured otherwise (stable-0 predictions must have
+/// measured stable 0, and likewise for 1).
+///
+/// Returns `None` if even the maximum tightening (β₀ → 0, β₁ → hard cap)
+/// cannot filter all violations — which indicates a broken model.
+pub fn fit_betas(
+    thresholds: Thresholds,
+    validation: &[(f64, bool, bool)],
+) -> Option<Betas> {
+    const STEP: f64 = 0.01;
+    const BETA1_CAP: f64 = 10.0;
+    let mut beta0 = 0.99;
+    let mut beta1 = 1.01;
+    loop {
+        let adj = thresholds.adjusted(Betas { beta0, beta1 });
+        let mut violation0 = false;
+        let mut violation1 = false;
+        for &(pred, stable0, stable1) in validation {
+            match adj.classify(pred) {
+                StabilityClass::Stable0 if !stable0 => violation0 = true,
+                StabilityClass::Stable1 if !stable1 => violation1 = true,
+                _ => {}
+            }
+            if violation0 && violation1 {
+                break;
+            }
+        }
+        if !violation0 && !violation1 {
+            return Some(Betas { beta0, beta1 });
+        }
+        if violation0 {
+            beta0 -= STEP;
+            if beta0 <= 0.0 {
+                return None;
+            }
+        }
+        if violation1 {
+            beta1 += STEP;
+            if beta1 > BETA1_CAP {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_bands() {
+        let t = Thresholds::new(0.3, 0.7);
+        assert_eq!(t.classify(0.1), StabilityClass::Stable0);
+        assert_eq!(t.classify(0.3), StabilityClass::Unstable); // boundary inclusive
+        assert_eq!(t.classify(0.5), StabilityClass::Unstable);
+        assert_eq!(t.classify(0.7), StabilityClass::Unstable);
+        assert_eq!(t.classify(0.9), StabilityClass::Stable1);
+        assert_eq!(t.classify(-0.5), StabilityClass::Stable0);
+        assert_eq!(t.classify(1.5), StabilityClass::Stable1);
+    }
+
+    #[test]
+    fn class_bits() {
+        assert_eq!(StabilityClass::Stable0.bit(), Some(false));
+        assert_eq!(StabilityClass::Stable1.bit(), Some(true));
+        assert_eq!(StabilityClass::Unstable.bit(), None);
+        assert_eq!(StabilityClass::Unstable.to_string(), "unstable");
+    }
+
+    #[test]
+    fn from_training_matches_paper_definition() {
+        // (predicted, measured): measured 0.0 entries don't constrain thr0.
+        let pairs = [
+            (0.05, 0.0),  // stable 0 in measurement
+            (0.20, 0.01), // lowest prediction with measured > 0 → thr0
+            (0.50, 0.40),
+            (0.80, 0.99), // highest prediction with measured < 1 → thr1
+            (0.95, 1.0),  // stable 1 in measurement
+        ];
+        let t = Thresholds::from_training(&pairs).unwrap();
+        assert!((t.thr0 - 0.20).abs() < 1e-12);
+        assert!((t.thr1 - 0.80).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_training_degenerate_sets() {
+        // Everything measured stable 0 → no thr0 evidence.
+        assert!(Thresholds::from_training(&[(0.1, 0.0), (0.2, 0.0)]).is_none());
+        // Crossed thresholds (an anti-correlated model): the only
+        // measured-flickering CRP sits above the only measured-below-one CRP.
+        let crossed = [(0.8, 1.0), (0.2, 0.0)];
+        assert!(Thresholds::from_training(&crossed).is_none());
+    }
+
+    #[test]
+    fn adjusted_tightens_with_paper_betas() {
+        let t = Thresholds::new(0.4, 0.6);
+        let adj = t.adjusted(Betas::PAPER_NOMINAL);
+        assert!(adj.thr0 < t.thr0);
+        assert!(adj.thr1 > t.thr1);
+        // A prediction previously stable 0 becomes unstable after tightening.
+        assert_eq!(t.classify(0.35), StabilityClass::Stable0);
+        assert_eq!(adj.classify(0.35), StabilityClass::Unstable);
+    }
+
+    #[test]
+    fn most_conservative_combination() {
+        let a = Betas::new(0.8, 1.05);
+        let b = Betas::new(0.9, 1.10);
+        let c = a.most_conservative(b);
+        assert!((c.beta0 - 0.8).abs() < 1e-12);
+        assert!((c.beta1 - 1.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_betas_tightens_until_clean() {
+        let t = Thresholds::new(0.4, 0.6);
+        // One troublemaker: predicted 0.30 (< 0.99·0.4) but measured unstable.
+        let validation = vec![
+            (0.10, true, false),
+            (0.30, false, false), // violation until β₀·0.4 ≤ 0.30 → β₀ ≤ 0.75
+            (0.50, false, false),
+            (0.90, false, true),
+        ];
+        let betas = fit_betas(t, &validation).unwrap();
+        assert!(betas.beta0 <= 0.75 + 1e-9, "β₀ = {}", betas.beta0);
+        // After fitting, no stable classification is wrong.
+        let adj = t.adjusted(betas);
+        for &(pred, s0, s1) in &validation {
+            match adj.classify(pred) {
+                StabilityClass::Stable0 => assert!(s0),
+                StabilityClass::Stable1 => assert!(s1),
+                StabilityClass::Unstable => {}
+            }
+        }
+    }
+
+    #[test]
+    fn fit_betas_identity_when_already_clean() {
+        let t = Thresholds::new(0.4, 0.6);
+        let validation = vec![(0.1, true, false), (0.9, false, true), (0.5, false, false)];
+        let betas = fit_betas(t, &validation).unwrap();
+        assert!((betas.beta0 - 0.99).abs() < 1e-9);
+        assert!((betas.beta1 - 1.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_betas_gives_up_on_hopeless_models() {
+        let t = Thresholds::new(0.4, 0.6);
+        // A CRP predicted at −100 that measured unstable can never be
+        // filtered by shrinking a positive threshold toward zero.
+        let validation = vec![(-100.0, false, false)];
+        assert!(fit_betas(t, &validation).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn thresholds_reject_inverted_band() {
+        Thresholds::new(0.7, 0.3);
+    }
+}

@@ -1,0 +1,130 @@
+//! # puf-silicon
+//!
+//! A simulated stand-in for the paper's 32 nm PUF test chips and PXI
+//! measurement setup.
+//!
+//! The DAC 2017 study measured 10 custom chips, each carrying a bank of
+//! 32-stage MUX arbiter PUFs, with:
+//!
+//! - **on-chip counters** that evaluate a challenge 100,000 times and report
+//!   the average response (the *soft response*),
+//! - **fuses** that grant one-time access to the individual PUF outputs
+//!   during enrollment and permanently block it afterwards,
+//! - a **test bench** sweeping 1,000,000 random challenges across a 3×3
+//!   voltage/temperature grid.
+//!
+//! This crate reproduces all three on top of the delay model in
+//! [`puf_core`]:
+//!
+//! - [`Chip`] — a fabricated die: a bank of arbiter PUFs with per-stage V/T
+//!   sensitivities and a calibrated noise model.
+//! - [`counter`] — counter measurements, with a fast path that samples the
+//!   evaluation count from the exact binomial distribution (what makes the
+//!   "1 trillion measurements" scale tractable) and a literal
+//!   one-evaluation-at-a-time path for fidelity tests.
+//! - [`FuseBank`] — one-time access control semantics.
+//! - [`testbench`] — challenge sweeps and CRP dataset collection.
+//!
+//! ```
+//! use puf_silicon::{Chip, ChipConfig};
+//! use puf_core::{Challenge, Condition};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+//! let c = Challenge::random(chip.stages(), &mut rng);
+//!
+//! // Enrollment-time: individual PUF soft responses are accessible.
+//! let soft = chip.measure_individual_soft(0, &c, Condition::NOMINAL, 1_000, &mut rng)?;
+//! assert!((0.0..=1.0).contains(&soft.value()));
+//!
+//! // After deployment only the XOR output remains visible.
+//! chip.blow_fuses();
+//! assert!(chip
+//!     .measure_individual_soft(0, &c, Condition::NOMINAL, 1_000, &mut rng)
+//!     .is_err());
+//! let _bit = chip.eval_xor_once(4, &c, Condition::NOMINAL, &mut rng)?;
+//! # Ok::<(), puf_silicon::SiliconError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chip;
+pub mod counter;
+pub mod dataset;
+pub mod fuse;
+pub mod testbench;
+
+pub use chip::{Chip, ChipConfig, ChipLot};
+pub use counter::SoftResponse;
+pub use dataset::{CrpSet, SoftCrpSet};
+pub use fuse::FuseBank;
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by chip access and measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SiliconError {
+    /// Individual-PUF access was attempted after the fuses were blown.
+    FusesBlown,
+    /// A PUF index beyond the chip's bank size was addressed.
+    PufIndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// The chip's bank size.
+        bank_size: usize,
+    },
+    /// An XOR width larger than the chip's bank was requested.
+    XorWidthOutOfRange {
+        /// The requested XOR width `n`.
+        n: usize,
+        /// The chip's bank size.
+        bank_size: usize,
+    },
+    /// The challenge stage count does not match the chip's PUFs.
+    StageMismatch {
+        /// Stages the chip expects.
+        expected: usize,
+        /// Stages the challenge carries.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SiliconError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiliconError::FusesBlown => {
+                write!(f, "individual PUF access denied: fuses are blown")
+            }
+            SiliconError::PufIndexOutOfRange { index, bank_size } => {
+                write!(f, "PUF index {index} out of range (bank size {bank_size})")
+            }
+            SiliconError::XorWidthOutOfRange { n, bank_size } => {
+                write!(f, "XOR width {n} out of range (bank size {bank_size})")
+            }
+            SiliconError::StageMismatch { expected, actual } => {
+                write!(f, "challenge has {actual} stages, chip expects {expected}")
+            }
+        }
+    }
+}
+
+impl StdError for SiliconError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = SiliconError::PufIndexOutOfRange {
+            index: 12,
+            bank_size: 10,
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(SiliconError::FusesBlown.to_string().contains("fuses"));
+    }
+}

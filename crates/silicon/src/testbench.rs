@@ -1,0 +1,245 @@
+//! PXI-style test bench: challenge sweeps, stability characterization and
+//! CRP dataset collection, mirroring the paper's measurement campaign.
+
+use crate::chip::Chip;
+use crate::dataset::{CrpSet, SoftCrpSet};
+use crate::SiliconError;
+use puf_core::{Challenge, Condition};
+use rand::Rng;
+
+/// Measures the soft response of one individual PUF for every challenge in
+/// the sweep (fuse-gated enrollment access).
+///
+/// # Errors
+///
+/// Fails fast on blown fuses, a bad PUF index or a stage mismatch.
+pub fn soft_sweep<R: Rng + ?Sized>(
+    chip: &Chip,
+    puf: usize,
+    challenges: &[Challenge],
+    cond: Condition,
+    evals: u64,
+    rng: &mut R,
+) -> Result<SoftCrpSet, SiliconError> {
+    let mut out = SoftCrpSet::new();
+    for c in challenges {
+        out.push(*c, chip.measure_individual_soft(puf, c, cond, evals, rng)?);
+    }
+    Ok(out)
+}
+
+/// For each challenge, reports whether **all** of the first `n` member PUFs
+/// measured 100 % stable — the paper's criterion for a usable XOR-PUF CRP
+/// (§2.2: "only the challenges that produce 100 % stable responses on all
+/// PUFs can be used").
+///
+/// # Errors
+///
+/// Fails fast on blown fuses, a bad XOR width or a stage mismatch.
+pub fn xor_stable_mask<R: Rng + ?Sized>(
+    chip: &Chip,
+    n: usize,
+    challenges: &[Challenge],
+    cond: Condition,
+    evals: u64,
+    rng: &mut R,
+) -> Result<Vec<bool>, SiliconError> {
+    if n == 0 || n > chip.bank_size() {
+        return Err(SiliconError::XorWidthOutOfRange {
+            n,
+            bank_size: chip.bank_size(),
+        });
+    }
+    let mut mask = Vec::with_capacity(challenges.len());
+    for c in challenges {
+        let mut all_stable = true;
+        for puf in 0..n {
+            let s = chip.measure_individual_soft(puf, c, cond, evals, rng)?;
+            if !s.is_stable() {
+                all_stable = false;
+                break;
+            }
+        }
+        mask.push(all_stable);
+    }
+    Ok(mask)
+}
+
+/// Collects one-shot XOR responses for every challenge — the view available
+/// to anyone holding the deployed chip.
+///
+/// # Errors
+///
+/// Fails on a bad XOR width or stage mismatch (fuses do not gate this).
+pub fn collect_xor_crps<R: Rng + ?Sized>(
+    chip: &Chip,
+    n: usize,
+    challenges: &[Challenge],
+    cond: Condition,
+    rng: &mut R,
+) -> Result<CrpSet, SiliconError> {
+    let mut out = CrpSet::new();
+    for c in challenges {
+        out.push(*c, chip.eval_xor_once(n, c, cond, rng)?);
+    }
+    Ok(out)
+}
+
+/// Collects **stable-only** XOR CRPs: challenges where every member PUF
+/// measured 100 % stable, paired with the (then deterministic) XOR of the
+/// member bits. This is the dataset the paper trains and tests its modeling
+/// attack on (§2.3: unstable CRPs "mislead the model training").
+///
+/// Requires intact fuses (it needs per-member stability measurements).
+///
+/// # Errors
+///
+/// Fails fast on blown fuses, a bad XOR width or a stage mismatch.
+pub fn collect_stable_xor_crps<R: Rng + ?Sized>(
+    chip: &Chip,
+    n: usize,
+    challenges: &[Challenge],
+    cond: Condition,
+    evals: u64,
+    rng: &mut R,
+) -> Result<CrpSet, SiliconError> {
+    if n == 0 || n > chip.bank_size() {
+        return Err(SiliconError::XorWidthOutOfRange {
+            n,
+            bank_size: chip.bank_size(),
+        });
+    }
+    let mut out = CrpSet::new();
+    'challenge: for c in challenges {
+        let mut xor_bit = false;
+        for puf in 0..n {
+            let s = chip.measure_individual_soft(puf, c, cond, evals, rng)?;
+            if !s.is_stable() {
+                continue 'challenge;
+            }
+            xor_bit ^= s.is_stable_one();
+        }
+        out.push(*c, xor_bit);
+    }
+    Ok(out)
+}
+
+/// Measures one PUF's soft responses for the same challenges at every
+/// condition of a grid, returning one [`SoftCrpSet`] per condition in grid
+/// order — the paper's 9-corner campaign (its Fig. 11 test set).
+///
+/// # Errors
+///
+/// Fails fast on blown fuses, a bad PUF index or a stage mismatch.
+pub fn condition_sweep<R: Rng + ?Sized>(
+    chip: &Chip,
+    puf: usize,
+    challenges: &[Challenge],
+    conditions: &[Condition],
+    evals: u64,
+    rng: &mut R,
+) -> Result<Vec<SoftCrpSet>, SiliconError> {
+    conditions
+        .iter()
+        .map(|&cond| soft_sweep(chip, puf, challenges, cond, evals, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ChipConfig;
+    use puf_core::challenge::random_challenges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chip_and_rng(seed: u64) -> (Chip, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+        (chip, rng)
+    }
+
+    #[test]
+    fn soft_sweep_covers_all_challenges() {
+        let (chip, mut rng) = chip_and_rng(1);
+        let cs = random_challenges(chip.stages(), 200, &mut rng);
+        let set = soft_sweep(&chip, 0, &cs, Condition::NOMINAL, 500, &mut rng).unwrap();
+        assert_eq!(set.len(), 200);
+        // Most challenges on a healthy PUF are stable.
+        assert!(set.stable_fraction() > 0.5);
+    }
+
+    #[test]
+    fn stable_mask_shrinks_with_n() {
+        let (chip, mut rng) = chip_and_rng(2);
+        let cs = random_challenges(chip.stages(), 1_500, &mut rng);
+        let evals = 100_000;
+        let m1 = xor_stable_mask(&chip, 1, &cs, Condition::NOMINAL, evals, &mut rng).unwrap();
+        let m4 = xor_stable_mask(&chip, 4, &cs, Condition::NOMINAL, evals, &mut rng).unwrap();
+        let f1 = m1.iter().filter(|&&b| b).count() as f64 / m1.len() as f64;
+        let f4 = m4.iter().filter(|&&b| b).count() as f64 / m4.len() as f64;
+        assert!(
+            f4 < f1,
+            "stable fraction should shrink with n: f1={f1}, f4={f4}"
+        );
+        // Rough exponential decay check: f4 within a factor of ~2.5 of f1^4.
+        let predicted = f1.powi(4);
+        assert!(
+            f4 > predicted / 2.5 && f4 < predicted * 2.5 + 0.05,
+            "f4={f4} vs f1^4={predicted}"
+        );
+    }
+
+    #[test]
+    fn stable_xor_crps_are_deterministic_reference_bits() {
+        let (chip, mut rng) = chip_and_rng(3);
+        let cs = random_challenges(chip.stages(), 400, &mut rng);
+        let set =
+            collect_stable_xor_crps(&chip, 3, &cs, Condition::NOMINAL, 100_000, &mut rng).unwrap();
+        assert!(!set.is_empty());
+        for (c, r) in set.iter() {
+            let want = chip.xor_reference_bit(3, c, Condition::NOMINAL).unwrap();
+            assert_eq!(r, want, "stable CRP disagrees with reference bit");
+        }
+    }
+
+    #[test]
+    fn collect_xor_crps_works_with_blown_fuses() {
+        let (mut chip, mut rng) = chip_and_rng(4);
+        chip.blow_fuses();
+        let cs = random_challenges(chip.stages(), 50, &mut rng);
+        let set = collect_xor_crps(&chip, 2, &cs, Condition::NOMINAL, &mut rng).unwrap();
+        assert_eq!(set.len(), 50);
+        // But the stable collector needs the fuses.
+        assert_eq!(
+            collect_stable_xor_crps(&chip, 2, &cs, Condition::NOMINAL, 100, &mut rng),
+            Err(SiliconError::FusesBlown)
+        );
+    }
+
+    #[test]
+    fn condition_sweep_returns_one_set_per_condition() {
+        let (chip, mut rng) = chip_and_rng(5);
+        let cs = random_challenges(chip.stages(), 100, &mut rng);
+        let grid = Condition::paper_grid();
+        let sets = condition_sweep(&chip, 0, &cs, &grid, 200, &mut rng).unwrap();
+        assert_eq!(sets.len(), grid.len());
+        for s in &sets {
+            assert_eq!(s.len(), 100);
+        }
+    }
+
+    #[test]
+    fn xor_width_validation() {
+        let (chip, mut rng) = chip_and_rng(6);
+        let cs = random_challenges(chip.stages(), 5, &mut rng);
+        assert!(matches!(
+            xor_stable_mask(&chip, 0, &cs, Condition::NOMINAL, 10, &mut rng),
+            Err(SiliconError::XorWidthOutOfRange { .. })
+        ));
+        assert!(matches!(
+            collect_stable_xor_crps(&chip, 99, &cs, Condition::NOMINAL, 10, &mut rng),
+            Err(SiliconError::XorWidthOutOfRange { .. })
+        ));
+    }
+}

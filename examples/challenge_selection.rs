@@ -1,0 +1,85 @@
+//! Model-based vs measurement-based stable-challenge selection.
+//!
+//! The paper's efficiency argument (§3): the measurement-based scheme of
+//! its Ref. [1] works for one PUF but wastes enormous tester time on a wide
+//! XOR PUF, because stable CRPs become exponentially rare and every
+//! candidate must be measured (at every V/T corner, if robustness is
+//! wanted). The model-assisted scheme measures a *fixed* 5,000-challenge
+//! training set once per PUF and then predicts stability of never-measured
+//! challenges for free.
+//!
+//! Run: `cargo run --release --example challenge_selection`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use xorpuf::core::Condition;
+use xorpuf::protocol::baselines::select_by_measurement;
+use xorpuf::protocol::enrollment::{enroll, EnrollmentConfig};
+use xorpuf::protocol::server::Server;
+use xorpuf::silicon::{Chip, ChipConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+    let n = 8;
+    let want = 100; // authentication challenges to stockpile
+    let evals = 100_000;
+    let grid = Condition::paper_grid();
+
+    // --- Baseline: measurement-based selection at all nine corners -------
+    let t0 = Instant::now();
+    let (picks, cost) =
+        select_by_measurement(&chip, n, want, &grid, evals, 2_000_000, &mut rng)?;
+    let baseline_time = t0.elapsed();
+    println!("measurement-based selection (Ref. [1]) for an {n}-XOR PUF across 9 conditions:");
+    println!("  tested {} random challenges", cost.challenges_tested);
+    println!(
+        "  spent {} counter measurements ({:.0} per kept challenge)",
+        cost.measurements,
+        cost.measurements_per_selected()
+    );
+    println!("  kept {} challenges in {baseline_time:.2?}\n", picks.len());
+
+    // --- Proposed: model-assisted selection ------------------------------
+    let t0 = Instant::now();
+    let config = EnrollmentConfig::paper_all_conditions(n);
+    let measurements_used = config.n * (config.training_size
+        + config.validation_size * config.validation_conditions.len());
+    let record = enroll(&chip, &config, &mut rng)?;
+    let mut server = Server::new();
+    server.register(record);
+    let selected = server.select_challenges(0, want, 50_000_000, &mut rng)?;
+    let model_time = t0.elapsed();
+    println!("model-assisted selection (this paper):");
+    println!(
+        "  spent at most {measurements_used} counter measurements (training + validation, once)"
+    );
+    println!("  kept {} challenges in {model_time:.2?}", selected.len());
+    println!(
+        "  marginal cost of the next challenge: zero measurements (pure prediction)\n"
+    );
+
+    // --- Verify both selections at the worst corner ----------------------
+    let corner = Condition::new(0.8, 60.0);
+    let verify = |label: &str, picks: &[xorpuf::protocol::SelectedChallenge],
+                  rng: &mut StdRng| {
+        let mut flips = 0;
+        for p in picks {
+            let mut bit = false;
+            for puf in 0..n {
+                // Simulation oracle: the reference response at the corner.
+                let soft = chip.ground_truth_soft(puf, &p.challenge, corner).unwrap();
+                bit ^= soft >= 0.5;
+            }
+            if bit != p.expected {
+                flips += 1;
+            }
+            let _ = rng;
+        }
+        println!("{label}: {flips}/{} selected challenges flip at 0.8V/60°C", picks.len());
+    };
+    verify("measurement-based", &picks, &mut rng);
+    verify("model-assisted   ", &selected, &mut rng);
+    Ok(())
+}

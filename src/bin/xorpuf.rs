@@ -1,0 +1,245 @@
+//! `xorpuf` — command-line front end for the model-assisted XOR PUF
+//! protocol.
+//!
+//! Chips are simulated and fully determined by `--chip-seed`, so "the same
+//! physical chip" can be revisited across invocations without serialising
+//! silicon state; the server database (delay parameters, thresholds, βs) is
+//! persisted to a file with the `puf_protocol::storage` codec.
+//!
+//! ```text
+//! xorpuf enroll      --chip-seed 7 --chip-id 0 --n 4 --db server.xpuf [--all-conditions]
+//! xorpuf select      --db server.xpuf --chip-id 0 --count 16
+//! xorpuf authenticate --db server.xpuf --chip-seed 7 --chip-id 0 [--vdd 0.8 --temp 60] [--impostor]
+//! xorpuf keygen      --db server.xpuf --chip-seed 7 --chip-id 0 --bits 128
+//! xorpuf inspect     --db server.xpuf
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use xorpuf::core::Condition;
+use xorpuf::protocol::auth::{AuthPolicy, ChipResponder, RandomResponder, Responder};
+use xorpuf::protocol::enrollment::{enroll, EnrollmentConfig};
+use xorpuf::protocol::keygen::{enroll_key, reconstruct_key, KeyGenConfig};
+use xorpuf::protocol::server::Server;
+use xorpuf::protocol::storage::{decode_server, encode_server};
+use xorpuf::silicon::{Chip, ChipConfig};
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{arg}`"));
+            };
+            // Boolean flags take no value.
+            if matches!(name, "impostor" | "all-conditions") {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("--{name} requires a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        }
+        Ok(Self { flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: `{v}` is not a valid value")),
+        }
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+fn fabricate(seed: u64, id: u32) -> Chip {
+    // Deterministic per (seed, id): every command sees the same silicon.
+    let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(id) << 32));
+    Chip::fabricate(id, &ChipConfig::paper_default(), &mut rng)
+}
+
+fn load_db(path: &str) -> Result<Server, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    decode_server(&bytes).map_err(|e| format!("cannot decode {path}: {e}"))
+}
+
+fn save_db(path: &str, server: &Server) -> Result<(), String> {
+    std::fs::write(path, encode_server(server)).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn cmd_enroll(args: &Args) -> Result<(), String> {
+    let chip_seed: u64 = args.get("chip-seed", 0)?;
+    let chip_id: u32 = args.get("chip-id", 0)?;
+    let n: usize = args.get("n", 4)?;
+    let db = args.require("db")?;
+    let chip = fabricate(chip_seed, chip_id);
+    let config = if args.has("all-conditions") {
+        EnrollmentConfig::paper_all_conditions(n)
+    } else {
+        EnrollmentConfig::paper_default(n)
+    };
+    let mut rng = StdRng::seed_from_u64(args.get("seed", 1)?);
+    let record = enroll(&chip, &config, &mut rng).map_err(|e| e.to_string())?;
+    let mut server = if std::path::Path::new(db).exists() {
+        load_db(db)?
+    } else {
+        Server::new()
+    };
+    let replaced = server.register(record).is_some();
+    save_db(db, &server)?;
+    println!(
+        "enrolled chip {chip_id} ({n}-input XOR, {}){} → {db}",
+        if args.has("all-conditions") {
+            "all-V/T βs"
+        } else {
+            "nominal βs"
+        },
+        if replaced { ", replacing a previous record" } else { "" },
+    );
+    Ok(())
+}
+
+fn cmd_select(args: &Args) -> Result<(), String> {
+    let db = args.require("db")?;
+    let chip_id: u32 = args.get("chip-id", 0)?;
+    let count: usize = args.get("count", 16)?;
+    let server = load_db(db)?;
+    let mut rng = StdRng::seed_from_u64(args.get("seed", 2)?);
+    let picks = server
+        .select_challenges(chip_id, count, count.saturating_mul(500_000).max(1_000_000), &mut rng)
+        .map_err(|e| e.to_string())?;
+    println!("challenge                          expected");
+    for p in &picks {
+        println!("{:032x}  {}", p.challenge.bits(), u8::from(p.expected));
+    }
+    Ok(())
+}
+
+fn cmd_authenticate(args: &Args) -> Result<(), String> {
+    let db = args.require("db")?;
+    let chip_seed: u64 = args.get("chip-seed", 0)?;
+    let chip_id: u32 = args.get("chip-id", 0)?;
+    let count: usize = args.get("count", 32)?;
+    let vdd: f64 = args.get("vdd", 0.9)?;
+    let temp: f64 = args.get("temp", 25.0)?;
+    let server = load_db(db)?;
+    let record = server
+        .record(chip_id)
+        .ok_or_else(|| format!("chip {chip_id} is not enrolled in {db}"))?;
+    let n = record.n();
+    let cond = Condition::new(vdd, temp);
+    let mut rng = StdRng::seed_from_u64(args.get("seed", 3)?);
+    let outcome = if args.has("impostor") {
+        let mut client = RandomResponder::new(99);
+        server.authenticate(chip_id, &mut client, count, AuthPolicy::ZeroHammingDistance, &mut rng)
+    } else {
+        let chip = fabricate(chip_seed, chip_id);
+        let mut client = ChipResponder::new(&chip, n, cond, 7);
+        server.authenticate(chip_id, &mut client, count, AuthPolicy::ZeroHammingDistance, &mut rng)
+    }
+    .map_err(|e| e.to_string())?;
+    println!("chip {chip_id} at {cond}: {outcome}");
+    if !outcome.approved {
+        return Err("authentication denied".into());
+    }
+    Ok(())
+}
+
+fn cmd_keygen(args: &Args) -> Result<(), String> {
+    let db = args.require("db")?;
+    let chip_seed: u64 = args.get("chip-seed", 0)?;
+    let chip_id: u32 = args.get("chip-id", 0)?;
+    let bits: usize = args.get("bits", 128)?;
+    let server = load_db(db)?;
+    let record = server
+        .record(chip_id)
+        .ok_or_else(|| format!("chip {chip_id} is not enrolled in {db}"))?;
+    let n = record.n();
+    let config = KeyGenConfig::new(bits, 3);
+    let mut rng = StdRng::seed_from_u64(args.get("seed", 4)?);
+    let selected = server
+        .select_challenges(chip_id, config.response_bits(), 500_000_000, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let (key, helper) = enroll_key(&selected, config, &mut rng).map_err(|e| e.to_string())?;
+
+    // Round-trip against the physical chip to prove the helper data works.
+    let chip = fabricate(chip_seed, chip_id);
+    let mut client = ChipResponder::new(&chip, n, Condition::NOMINAL, 8);
+    let responses = client.respond(&helper.challenges);
+    let rebuilt = reconstruct_key(&responses, &helper).map_err(|e| e.to_string())?;
+    if rebuilt != key {
+        return Err("reconstructed key mismatch".into());
+    }
+    let hex: String = key.to_bytes().iter().map(|b| format!("{b:02x}")).collect();
+    println!("{bits}-bit key: {hex}");
+    println!("(reconstructed from {} one-shot responses through the helper data)", helper.challenges.len());
+    Ok(())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let db = args.require("db")?;
+    let server = load_db(db)?;
+    let mut ids: Vec<u32> = server.chip_ids().collect();
+    ids.sort_unstable();
+    println!("{db}: {} enrolled chip(s)", ids.len());
+    for id in ids {
+        let record = server.record(id).expect("listed id");
+        println!(
+            "  chip {id}: {}-input XOR, {} stages, conservative {}",
+            record.n(),
+            record.stages,
+            record.conservative_betas()
+        );
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: xorpuf <enroll|select|authenticate|keygen|inspect> [--flag value]...
+  enroll       --db FILE [--chip-seed N] [--chip-id N] [--n N] [--all-conditions]
+  select       --db FILE [--chip-id N] [--count N]
+  authenticate --db FILE [--chip-seed N] [--chip-id N] [--count N] [--vdd V] [--temp C] [--impostor]
+  keygen       --db FILE [--chip-seed N] [--chip-id N] [--bits N]
+  inspect      --db FILE";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = Args::parse(rest).and_then(|args| match command.as_str() {
+        "enroll" => cmd_enroll(&args),
+        "select" => cmd_select(&args),
+        "authenticate" => cmd_authenticate(&args),
+        "keygen" => cmd_keygen(&args),
+        "inspect" => cmd_inspect(&args),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # xorpuf
+//!
+//! Umbrella crate for the reproduction of Zhou, Parhi and Kim, *"Secure and
+//! Reliable XOR Arbiter PUF Design: An Experimental Study based on
+//! 1 Trillion Challenge Response Pair Measurements"*, DAC 2017.
+//!
+//! Re-exports the member crates so downstream users (and the examples and
+//! integration tests in this repository) can depend on one crate:
+//!
+//! - [`core`] — linear additive delay model, challenges, noise, V/T model.
+//! - [`silicon`] — simulated 32 nm chips, counters, fuses, test bench.
+//! - [`ml`] — from-scratch linear algebra, linear/logistic regression,
+//!   multi-layer perceptron and L-BFGS.
+//! - [`protocol`] — model-assisted enrollment, threshold adjustment and
+//!   authentication, plus baseline schemes.
+//! - [`analysis`] — histograms, stability statistics and exponential fits.
+//!
+//! ```
+//! use xorpuf::core::{Challenge, XorPuf};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let puf = XorPuf::random(10, 32, &mut rng);
+//! let c = Challenge::random(32, &mut rng);
+//! let _bit = puf.response(&c);
+//! ```
+
+pub use puf_analysis as analysis;
+pub use puf_core as core;
+pub use puf_ml as ml;
+pub use puf_protocol as protocol;
+pub use puf_silicon as silicon;

@@ -1,0 +1,140 @@
+//! Modeling-attack behaviour across crates: single PUFs fall to logistic
+//! regression, attack accuracy grows with CRP budget and shrinks with XOR
+//! width, and unstable CRPs poison training (the paper's §2.3
+//! observations), all at test scale.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xorpuf::core::challenge::random_challenges;
+use xorpuf::core::Condition;
+use xorpuf::ml::features::{design_matrix, encode_bits};
+use xorpuf::ml::logreg::{LogisticConfig, LogisticRegression};
+use xorpuf::ml::{Mlp, MlpConfig};
+use xorpuf::silicon::testbench::{collect_stable_xor_crps, collect_xor_crps};
+use xorpuf::silicon::{Chip, ChipConfig};
+
+fn test_chip(seed: u64) -> (Chip, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // 16 stages keeps training cheap in debug builds.
+    let chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+    (chip, rng)
+}
+
+fn tiny_mlp_config() -> MlpConfig {
+    MlpConfig {
+        hidden: vec![16, 8],
+        alpha: 1e-4,
+        max_iterations: 150,
+        tolerance: 1e-6,
+    }
+}
+
+fn mlp_attack_accuracy(
+    chip: &Chip,
+    n: usize,
+    train_budget: usize,
+    rng: &mut StdRng,
+) -> f64 {
+    let pool = random_challenges(chip.stages(), train_budget + 2_000, rng);
+    let (train_pool, test_pool) = pool.split_at(train_budget);
+    let evals = 1_000;
+    let train =
+        collect_stable_xor_crps(chip, n, train_pool, Condition::NOMINAL, evals, rng).unwrap();
+    let test =
+        collect_stable_xor_crps(chip, n, test_pool, Condition::NOMINAL, evals, rng).unwrap();
+    let config = tiny_mlp_config();
+    let x = design_matrix(train.challenges());
+    let y = encode_bits(train.responses());
+    let mut mlp = Mlp::new(x.cols(), &config, rng);
+    mlp.train(&x, &y, &config);
+    let predictions = mlp.predict(&design_matrix(test.challenges()));
+    xorpuf::ml::accuracy(&predictions, test.responses())
+}
+
+#[test]
+fn logistic_regression_breaks_single_puf() {
+    let (chip, mut rng) = test_chip(1);
+    let pool = random_challenges(chip.stages(), 3_000, &mut rng);
+    let crps = collect_xor_crps(&chip, 1, &pool, Condition::NOMINAL, &mut rng).unwrap();
+    let (train, test) = crps.split_at_fraction(0.8);
+    let (model, _) = LogisticRegression::fit_challenges(
+        train.challenges(),
+        train.responses(),
+        &LogisticConfig::default(),
+    );
+    let acc = model.accuracy(test.challenges(), test.responses());
+    assert!(acc > 0.9, "single-PUF logistic attack accuracy only {acc}");
+}
+
+#[test]
+fn mlp_attack_accuracy_grows_with_training_budget() {
+    let (chip, mut rng) = test_chip(2);
+    let small = mlp_attack_accuracy(&chip, 2, 600, &mut rng);
+    let large = mlp_attack_accuracy(&chip, 2, 8_000, &mut rng);
+    assert!(
+        large > small + 0.05 || large > 0.95,
+        "no benefit from more CRPs: {small} → {large}"
+    );
+    assert!(large > 0.85, "2-XOR attack should succeed with 8k CRPs: {large}");
+}
+
+#[test]
+fn wider_xor_resists_the_same_budget() {
+    let (chip, mut rng) = test_chip(3);
+    let narrow = mlp_attack_accuracy(&chip, 1, 4_000, &mut rng);
+    let wide = mlp_attack_accuracy(&chip, 4, 4_000, &mut rng);
+    assert!(narrow > 0.9, "1-XOR should be easy: {narrow}");
+    assert!(
+        wide < narrow - 0.1,
+        "4-XOR should resist the budget that breaks 1-XOR: {wide} vs {narrow}"
+    );
+}
+
+#[test]
+fn unstable_crps_poison_training() {
+    // The paper trains on stable CRPs only because "unstable XOR PUF CRPs
+    // have the tendency to mislead the model training". Compare models
+    // trained on stable-only vs one-shot (noisy) CRPs of the same size,
+    // evaluated on the same stable test set.
+    let (chip, mut rng) = test_chip(4);
+    let n = 2;
+    let evals = 1_000;
+    let pool = random_challenges(chip.stages(), 14_000, &mut rng);
+    let (train_pool, test_pool) = pool.split_at(12_000);
+
+    let stable_train =
+        collect_stable_xor_crps(&chip, n, train_pool, Condition::NOMINAL, evals, &mut rng)
+            .unwrap();
+    let size = stable_train.len().min(5_000);
+    let stable_train = stable_train.truncated(size);
+    let noisy_train = collect_xor_crps(&chip, n, &train_pool[..size], Condition::NOMINAL, &mut rng)
+        .unwrap();
+    let test = collect_stable_xor_crps(&chip, n, test_pool, Condition::NOMINAL, evals, &mut rng)
+        .unwrap();
+
+    let config = tiny_mlp_config();
+    let mut accs = Vec::new();
+    for train in [&stable_train, &noisy_train] {
+        let x = design_matrix(train.challenges());
+        let y = encode_bits(train.responses());
+        let mut mlp = Mlp::new(x.cols(), &config, &mut rng);
+        mlp.train(&x, &y, &config);
+        let predictions = mlp.predict(&design_matrix(test.challenges()));
+        accs.push(xorpuf::ml::accuracy(&predictions, test.responses()));
+    }
+    assert!(
+        accs[0] >= accs[1] - 0.02,
+        "stable-only training should not be worse: stable {} vs noisy {}",
+        accs[0],
+        accs[1]
+    );
+}
+
+#[test]
+fn trained_clone_transfers_to_fresh_challenges() {
+    // The attack model must generalise, not memorise: evaluate on
+    // challenges disjoint from training by construction.
+    let (chip, mut rng) = test_chip(5);
+    let acc = mlp_attack_accuracy(&chip, 1, 4_000, &mut rng);
+    assert!(acc > 0.9, "clone failed to generalise: {acc}");
+}

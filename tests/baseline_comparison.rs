@@ -1,0 +1,149 @@
+//! The proposed model-assisted selection against the baselines it replaces.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xorpuf::core::Condition;
+use xorpuf::protocol::baselines::{classic_enroll, flip_labels, select_by_measurement};
+use xorpuf::protocol::enrollment::{enroll, EnrollmentConfig};
+use xorpuf::protocol::server::Server;
+use xorpuf::silicon::testbench::collect_xor_crps;
+use xorpuf::silicon::{Chip, ChipConfig};
+
+fn chip_and_rng(seed: u64) -> (Chip, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+    (chip, rng)
+}
+
+#[test]
+fn both_selection_schemes_agree_with_reference_bits() {
+    let (chip, mut rng) = chip_and_rng(1);
+    let n = 2;
+    let evals = 20_000;
+
+    let (measured_picks, _) = select_by_measurement(
+        &chip,
+        n,
+        30,
+        &[Condition::NOMINAL],
+        evals,
+        50_000,
+        &mut rng,
+    )
+    .unwrap();
+
+    let record = enroll(&chip, &EnrollmentConfig::small(n), &mut rng).unwrap();
+    let mut server = Server::new();
+    server.register(record);
+    let model_picks = server.select_challenges(0, 30, 500_000, &mut rng).unwrap();
+
+    for p in measured_picks.iter().chain(&model_picks) {
+        let want = chip
+            .xor_reference_bit(n, &p.challenge, Condition::NOMINAL)
+            .unwrap();
+        assert_eq!(p.expected, want, "selected CRP disagrees with reference");
+    }
+}
+
+#[test]
+fn measurement_cost_grows_with_xor_width() {
+    let (chip, mut rng) = chip_and_rng(2);
+    let evals = 20_000;
+    let (_, cost_n1) = select_by_measurement(
+        &chip,
+        1,
+        20,
+        &[Condition::NOMINAL],
+        evals,
+        100_000,
+        &mut rng,
+    )
+    .unwrap();
+    let (_, cost_n4) = select_by_measurement(
+        &chip,
+        4,
+        20,
+        &[Condition::NOMINAL],
+        evals,
+        100_000,
+        &mut rng,
+    )
+    .unwrap();
+    assert!(
+        cost_n4.measurements_per_selected() > cost_n1.measurements_per_selected() * 1.5,
+        "wide XOR should cost much more per selected CRP: {} vs {}",
+        cost_n4.measurements_per_selected(),
+        cost_n1.measurements_per_selected()
+    );
+}
+
+#[test]
+fn model_selection_needs_no_new_measurements() {
+    // After enrollment the server can mint arbitrarily many challenges with
+    // zero chip access — demonstrated by selecting from a server holding
+    // only the enrollment record, chip long deployed.
+    let (mut chip, mut rng) = chip_and_rng(3);
+    let record = enroll(&chip, &EnrollmentConfig::small(2), &mut rng).unwrap();
+    chip.blow_fuses(); // chip is gone from the lab
+    let mut server = Server::new();
+    server.register(record);
+    let picks_a = server.select_challenges(0, 50, 500_000, &mut rng).unwrap();
+    let picks_b = server.select_challenges(0, 50, 500_000, &mut rng).unwrap();
+    assert_eq!(picks_a.len(), 50);
+    assert_eq!(picks_b.len(), 50);
+}
+
+#[test]
+fn classic_enrollment_contains_unstable_crps() {
+    // Without screening, some stored CRPs sit on the noise boundary; a
+    // genuine chip then mismatches occasionally, which is why classic
+    // protocols need relaxed Hamming policies.
+    let (chip, mut rng) = chip_and_rng(4);
+    let n = 3;
+    let picks = classic_enroll(&chip, n, 400, Condition::NOMINAL, 2_000, &mut rng).unwrap();
+    let mut mismatches = 0;
+    for p in &picks {
+        // One-shot response, as in authentication.
+        let bit = chip
+            .eval_xor_once(n, &p.challenge, Condition::NOMINAL, &mut rng)
+            .unwrap();
+        if bit != p.expected {
+            mismatches += 1;
+        }
+    }
+    assert!(
+        mismatches > 0,
+        "classic enrollment should produce some unstable CRPs over 400 draws"
+    );
+    // ... but far fewer than half (the majority bit is still informative).
+    assert!(mismatches < 120, "too many mismatches: {mismatches}");
+}
+
+#[test]
+fn label_flipping_degrades_attack_training_data() {
+    use xorpuf::ml::logreg::{LogisticConfig, LogisticRegression};
+    let (chip, mut rng) = chip_and_rng(5);
+    let pool: Vec<_> = (0..4_000)
+        .map(|_| xorpuf::core::Challenge::random(chip.stages(), &mut rng))
+        .collect();
+    let crps = collect_xor_crps(&chip, 1, &pool, Condition::NOMINAL, &mut rng).unwrap();
+    let (train, test) = crps.split_at_fraction(0.8);
+
+    let (clean_model, _) = LogisticRegression::fit_challenges(
+        train.challenges(),
+        train.responses(),
+        &LogisticConfig::default(),
+    );
+    let noisy = flip_labels(&train, 0.4, &mut rng);
+    let (noisy_model, _) = LogisticRegression::fit_challenges(
+        noisy.challenges(),
+        noisy.responses(),
+        &LogisticConfig::default(),
+    );
+    let clean_acc = clean_model.accuracy(test.challenges(), test.responses());
+    let noisy_acc = noisy_model.accuracy(test.challenges(), test.responses());
+    assert!(
+        noisy_acc < clean_acc,
+        "40% label noise should hurt the attacker: {noisy_acc} vs {clean_acc}"
+    );
+}

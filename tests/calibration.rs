@@ -1,0 +1,157 @@
+//! Statistical calibration checks: the simulated silicon reproduces the
+//! paper's headline statistics at reduced scale.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xorpuf::analysis::stability::{fit_exponential_base, StabilityPoint};
+use xorpuf::analysis::uniqueness::{uniformity, uniqueness};
+use xorpuf::core::challenge::random_challenges;
+use xorpuf::core::noise::PAPER_STABLE_FRACTION;
+use xorpuf::core::Condition;
+use xorpuf::silicon::testbench::xor_stable_mask;
+use xorpuf::silicon::{Chip, ChipConfig, ChipLot};
+
+/// A paper-geometry chip (32 stages, 100k-eval noise) for calibration runs.
+fn paper_chip(seed: u64) -> (Chip, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+    (chip, rng)
+}
+
+#[test]
+fn single_puf_stable_fraction_matches_fig2() {
+    let (chip, mut rng) = paper_chip(1);
+    let challenges = random_challenges(chip.stages(), 20_000, &mut rng);
+    let mut stable0 = 0usize;
+    let mut stable1 = 0usize;
+    for c in &challenges {
+        let s = chip
+            .measure_individual_soft(0, c, Condition::NOMINAL, 100_000, &mut rng)
+            .unwrap();
+        if s.is_stable_zero() {
+            stable0 += 1;
+        } else if s.is_stable_one() {
+            stable1 += 1;
+        }
+    }
+    let total = challenges.len() as f64;
+    let stable = (stable0 + stable1) as f64 / total;
+    assert!(
+        (stable - PAPER_STABLE_FRACTION).abs() < 0.03,
+        "stable fraction {stable} vs calibration target {PAPER_STABLE_FRACTION}"
+    );
+    // Both polarities carry substantial mass (paper: 39.7 % / 40.1 %); an
+    // individual die's arbiter-bias weight skews the split a little.
+    assert!(stable0 as f64 / total > 0.2, "stable-0 mass too low");
+    assert!(stable1 as f64 / total > 0.2, "stable-1 mass too low");
+}
+
+#[test]
+fn xor_stability_decays_exponentially_like_fig3() {
+    let (chip, mut rng) = paper_chip(2);
+    let challenges = random_challenges(chip.stages(), 6_000, &mut rng);
+    let mut points = Vec::new();
+    for n in [1usize, 2, 4, 6, 8, 10] {
+        let mask =
+            xor_stable_mask(&chip, n, &challenges, Condition::NOMINAL, 100_000, &mut rng).unwrap();
+        let frac = mask.iter().filter(|&&b| b).count() as f64 / mask.len() as f64;
+        points.push(StabilityPoint { n, fraction: frac });
+    }
+    let base = fit_exponential_base(&points);
+    assert!(
+        (base - 0.8).abs() < 0.04,
+        "decay base {base} should be near the paper's 0.800"
+    );
+    // n = 10 lands near the paper's 10.9 %.
+    let at10 = points.last().unwrap().fraction;
+    assert!((at10 - 0.109).abs() < 0.05, "stable fraction at n=10: {at10}");
+}
+
+#[test]
+fn lot_uniqueness_and_uniformity_are_silicon_like() {
+    let lot = ChipLot::fabricate(6, &ChipConfig::paper_default(), 33);
+    let mut rng = StdRng::seed_from_u64(34);
+    let challenges = random_challenges(lot.chips()[0].stages(), 1_500, &mut rng);
+    let responses: Vec<Vec<bool>> = lot
+        .iter()
+        .map(|chip| {
+            challenges
+                .iter()
+                .map(|c| chip.xor_reference_bit(4, c, Condition::NOMINAL).unwrap())
+                .collect()
+        })
+        .collect();
+    let uq = uniqueness(&responses);
+    assert!((uq - 0.5).abs() < 0.05, "uniqueness {uq}");
+    for r in &responses {
+        let uf = uniformity(r);
+        assert!((uf - 0.5).abs() < 0.1, "uniformity {uf}");
+    }
+}
+
+#[test]
+fn noise_increases_away_from_nominal() {
+    let (chip, _) = paper_chip(3);
+    let nominal = chip.noise_at(Condition::NOMINAL).sigma();
+    for cond in Condition::paper_grid() {
+        let sigma = chip.noise_at(cond).sigma();
+        // Lower supply and higher temperature each push σ up; only corners
+        // where neither effect is favourable are guaranteed ≥ nominal.
+        if cond.vdd <= 0.9 && cond.temp_c >= 25.0 {
+            assert!(
+                sigma >= nominal * 0.999,
+                "σ at {cond} = {sigma} should not be below nominal {nominal}"
+            );
+        }
+    }
+    assert!(chip.noise_at(Condition::new(0.8, 60.0)).sigma() > nominal * 1.2);
+}
+
+#[test]
+fn corner_flips_happen_but_are_rare() {
+    let (chip, mut rng) = paper_chip(4);
+    let corner = Condition::new(0.8, 60.0);
+    let challenges = random_challenges(chip.stages(), 5_000, &mut rng);
+    let mut flips = 0;
+    for c in &challenges {
+        let a = chip.ground_truth_soft(0, c, Condition::NOMINAL).unwrap() >= 0.5;
+        let b = chip.ground_truth_soft(0, c, corner).unwrap() >= 0.5;
+        if a != b {
+            flips += 1;
+        }
+    }
+    let rate = flips as f64 / challenges.len() as f64;
+    assert!(rate > 0.005, "corner flip rate implausibly low: {rate}");
+    assert!(rate < 0.15, "corner flip rate implausibly high: {rate}");
+}
+
+#[test]
+fn counter_scale_invariance_of_stability() {
+    // A challenge that is stable with 100k evaluations is (almost always)
+    // stable with 1k evaluations, but not vice versa: stability is
+    // monotone in the evaluation count in expectation.
+    let (chip, mut rng) = paper_chip(5);
+    let challenges = random_challenges(chip.stages(), 5_000, &mut rng);
+    let mut stable_1k = 0usize;
+    let mut stable_100k = 0usize;
+    for c in &challenges {
+        if chip
+            .measure_individual_soft(0, c, Condition::NOMINAL, 1_000, &mut rng)
+            .unwrap()
+            .is_stable()
+        {
+            stable_1k += 1;
+        }
+        if chip
+            .measure_individual_soft(0, c, Condition::NOMINAL, 100_000, &mut rng)
+            .unwrap()
+            .is_stable()
+        {
+            stable_100k += 1;
+        }
+    }
+    assert!(
+        stable_1k > stable_100k,
+        "more evaluations should expose more instability: {stable_1k} vs {stable_100k}"
+    );
+}

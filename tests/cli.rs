@@ -1,0 +1,96 @@
+//! End-to-end tests of the `xorpuf` command-line tool: enrollment persists
+//! a database, the genuine chip authenticates, an impostor is denied, and
+//! keys derive deterministically — all through the real binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn xorpuf(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_xorpuf"))
+        .args(args)
+        .output()
+        .expect("failed to launch the xorpuf binary")
+}
+
+fn temp_db(name: &str) -> (PathBuf, String) {
+    let path = std::env::temp_dir().join(format!("xorpuf-test-{name}-{}.xpuf", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let s = path.to_str().expect("utf-8 temp path").to_string();
+    (path, s)
+}
+
+#[test]
+fn enroll_inspect_authenticate_roundtrip() {
+    let (path, db) = temp_db("roundtrip");
+
+    let out = xorpuf(&["enroll", "--db", &db, "--chip-seed", "7", "--n", "2"]);
+    assert!(out.status.success(), "enroll failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(path.exists(), "database file was not created");
+
+    let out = xorpuf(&["inspect", "--db", &db]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 enrolled chip"), "{stdout}");
+    assert!(stdout.contains("2-input XOR"), "{stdout}");
+
+    let out = xorpuf(&["authenticate", "--db", &db, "--chip-seed", "7"]);
+    assert!(out.status.success(), "genuine chip denied: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("APPROVED"));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn impostor_and_wrong_seed_are_denied() {
+    let (path, db) = temp_db("impostor");
+    assert!(xorpuf(&["enroll", "--db", &db, "--chip-seed", "7", "--n", "2"]).status.success());
+
+    // Random-bit impostor.
+    let out = xorpuf(&["authenticate", "--db", &db, "--chip-seed", "7", "--impostor"]);
+    assert!(!out.status.success(), "impostor approved");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("DENIED"));
+
+    // A different die (different chip seed) under the same identity.
+    let out = xorpuf(&["authenticate", "--db", &db, "--chip-seed", "8"]);
+    assert!(!out.status.success(), "foreign die approved");
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn select_prints_requested_count() {
+    let (path, db) = temp_db("select");
+    assert!(xorpuf(&["enroll", "--db", &db, "--chip-seed", "3", "--n", "2"]).status.success());
+    let out = xorpuf(&["select", "--db", &db, "--count", "5"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Header plus five rows.
+    assert_eq!(stdout.lines().count(), 6, "{stdout}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn keygen_is_deterministic_per_seed() {
+    let (path, db) = temp_db("keygen");
+    assert!(xorpuf(&["enroll", "--db", &db, "--chip-seed", "5", "--n", "2"]).status.success());
+    let a = xorpuf(&["keygen", "--db", &db, "--chip-seed", "5", "--bits", "64", "--seed", "11"]);
+    let b = xorpuf(&["keygen", "--db", &db, "--chip-seed", "5", "--bits", "64", "--seed", "11"]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "keygen should be deterministic for a fixed seed");
+    assert!(String::from_utf8_lossy(&a.stdout).contains("64-bit key:"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn malformed_invocations_fail_cleanly() {
+    let out = xorpuf(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = xorpuf(&["inspect"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--db"));
+
+    let out = xorpuf(&["authenticate", "--db", "/nonexistent/nope.xpuf"]);
+    assert!(!out.status.success());
+}

@@ -1,0 +1,146 @@
+//! End-to-end protocol pipeline: fabricate → enroll → blow fuses →
+//! register → authenticate, across identities, impostors and V/T corners.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xorpuf::core::Condition;
+use xorpuf::protocol::auth::{AuthPolicy, ChipResponder, RandomResponder};
+use xorpuf::protocol::enrollment::{enroll, EnrollmentConfig};
+use xorpuf::protocol::server::Server;
+use xorpuf::protocol::ProtocolError;
+use xorpuf::silicon::{ChipConfig, ChipLot, SiliconError};
+
+fn small_all_conditions(n: usize) -> EnrollmentConfig {
+    EnrollmentConfig {
+        validation_conditions: Condition::paper_grid(),
+        ..EnrollmentConfig::small(n)
+    }
+}
+
+#[test]
+fn full_pipeline_genuine_chip_authenticates() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut lot = ChipLot::fabricate(2, &ChipConfig::small(), 10);
+    let mut server = Server::new();
+    for chip in lot.chips() {
+        let record = enroll(chip, &EnrollmentConfig::small(2), &mut rng).unwrap();
+        server.register(record);
+    }
+    for chip in lot.chips_mut() {
+        chip.blow_fuses();
+    }
+    for chip in lot.chips() {
+        let mut client = ChipResponder::new(chip, 2, Condition::NOMINAL, 77);
+        let outcome = server
+            .authenticate(chip.id(), &mut client, 24, AuthPolicy::ZeroHammingDistance, &mut rng)
+            .unwrap();
+        assert!(outcome.approved, "chip {} denied: {outcome}", chip.id());
+        assert_eq!(outcome.mismatches, 0);
+    }
+}
+
+#[test]
+fn swapped_chip_is_denied() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let lot = ChipLot::fabricate(2, &ChipConfig::small(), 20);
+    let mut server = Server::new();
+    for chip in lot.chips() {
+        server.register(enroll(chip, &EnrollmentConfig::small(2), &mut rng).unwrap());
+    }
+    // Present chip 1 under chip 0's identity.
+    let mut impostor = ChipResponder::new(&lot.chips()[1], 2, Condition::NOMINAL, 3);
+    let outcome = server
+        .authenticate(0, &mut impostor, 24, AuthPolicy::ZeroHammingDistance, &mut rng)
+        .unwrap();
+    assert!(!outcome.approved, "foreign die accepted: {outcome}");
+    // Distinct dies disagree on roughly half the responses.
+    let frac = outcome.hamming_fraction();
+    assert!(
+        frac > 0.2 && frac < 0.8,
+        "implausible inter-chip mismatch fraction {frac}"
+    );
+}
+
+#[test]
+fn random_impostor_is_denied() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let lot = ChipLot::fabricate(1, &ChipConfig::small(), 30);
+    let mut server = Server::new();
+    server.register(enroll(&lot.chips()[0], &EnrollmentConfig::small(2), &mut rng).unwrap());
+    let mut impostor = RandomResponder::new(4);
+    let outcome = server
+        .authenticate(0, &mut impostor, 24, AuthPolicy::ZeroHammingDistance, &mut rng)
+        .unwrap();
+    assert!(!outcome.approved);
+}
+
+#[test]
+fn corner_authentication_with_all_condition_betas() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let lot = ChipLot::fabricate(1, &ChipConfig::small(), 40);
+    let chip = &lot.chips()[0];
+    let record = enroll(chip, &small_all_conditions(2), &mut rng).unwrap();
+    let mut server = Server::new();
+    server.register(record);
+    for cond in Condition::paper_grid() {
+        let mut client = ChipResponder::new(chip, 2, cond, 5);
+        let outcome = server
+            .authenticate(0, &mut client, 16, AuthPolicy::ZeroHammingDistance, &mut rng)
+            .unwrap();
+        assert!(
+            outcome.approved,
+            "genuine chip denied at {cond}: {outcome}"
+        );
+    }
+}
+
+#[test]
+fn enrollment_after_deployment_is_impossible() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut lot = ChipLot::fabricate(1, &ChipConfig::small(), 50);
+    lot.chips_mut()[0].blow_fuses();
+    let err = enroll(&lot.chips()[0], &EnrollmentConfig::small(2), &mut rng).unwrap_err();
+    assert_eq!(err, ProtocolError::Silicon(SiliconError::FusesBlown));
+}
+
+#[test]
+fn unknown_identity_is_an_error_not_a_denial() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let lot = ChipLot::fabricate(1, &ChipConfig::small(), 60);
+    let mut server = Server::new();
+    server.register(enroll(&lot.chips()[0], &EnrollmentConfig::small(2), &mut rng).unwrap());
+    let mut client = ChipResponder::new(&lot.chips()[0], 2, Condition::NOMINAL, 7);
+    let err = server
+        .authenticate(42, &mut client, 8, AuthPolicy::ZeroHammingDistance, &mut rng)
+        .unwrap_err();
+    assert!(matches!(err, ProtocolError::UnknownChip { chip_id: 42 }));
+}
+
+#[test]
+fn relaxed_policy_tolerates_bounded_mismatches() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let lot = ChipLot::fabricate(1, &ChipConfig::small(), 70);
+    let chip = &lot.chips()[0];
+    let mut server = Server::new();
+    server.register(enroll(chip, &EnrollmentConfig::small(2), &mut rng).unwrap());
+
+    // A client that flips exactly the first response.
+    struct OneFlip<'a>(ChipResponder<'a>);
+    impl xorpuf::protocol::Responder for OneFlip<'_> {
+        fn respond(&mut self, challenges: &[xorpuf::core::Challenge]) -> Vec<bool> {
+            let mut bits = self.0.respond(challenges);
+            bits[0] = !bits[0];
+            bits
+        }
+    }
+    let mut flipper = OneFlip(ChipResponder::new(chip, 2, Condition::NOMINAL, 8));
+    let strict = server
+        .authenticate(0, &mut flipper, 16, AuthPolicy::ZeroHammingDistance, &mut rng)
+        .unwrap();
+    assert!(!strict.approved, "zero-HD accepted a flipped bit");
+    let mut flipper = OneFlip(ChipResponder::new(chip, 2, Condition::NOMINAL, 8));
+    let relaxed = server
+        .authenticate(0, &mut flipper, 16, AuthPolicy::MaxHammingFraction(0.1), &mut rng)
+        .unwrap();
+    assert!(relaxed.approved, "relaxed policy rejected 1/16 mismatch");
+}

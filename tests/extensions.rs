@@ -1,0 +1,183 @@
+//! Integration tests of the extension subsystems: persistence, salvage,
+//! key generation, lockdown, bifurcation and feed-forward PUFs, each
+//! exercised across crate boundaries.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xorpuf::core::challenge::random_challenges;
+use xorpuf::core::{Condition, FeedForwardPuf};
+use xorpuf::protocol::auth::{AuthPolicy, ChipResponder, Responder};
+use xorpuf::protocol::bifurcation::{
+    attacker_view, device_respond, server_verify, BifurcationConfig,
+};
+use xorpuf::protocol::enrollment::{enroll, EnrollmentConfig};
+use xorpuf::protocol::keygen::{enroll_key, reconstruct_key, KeyGenConfig};
+use xorpuf::protocol::salvage::{recommended_tolerance, salvage_select, SalvageConfig};
+use xorpuf::protocol::server::Server;
+use xorpuf::protocol::storage::{decode_server, encode_server};
+use xorpuf::silicon::{Chip, ChipConfig};
+
+#[test]
+fn persisted_server_still_authenticates() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+    let record = enroll(&chip, &EnrollmentConfig::small(2), &mut rng).unwrap();
+    chip.blow_fuses();
+
+    let mut server = Server::new();
+    server.register(record);
+    let bytes = encode_server(&server);
+    drop(server); // the only live copy is now the bytes
+
+    let restored = decode_server(&bytes).unwrap();
+    let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 2);
+    let outcome = restored
+        .authenticate(0, &mut client, 24, AuthPolicy::ZeroHammingDistance, &mut rng)
+        .unwrap();
+    assert!(outcome.approved, "restored server denied the genuine chip");
+}
+
+#[test]
+fn salvage_authentication_with_relaxed_policy() {
+    // Full salvage flow: select by XOR soft response on the deployed chip,
+    // authenticate with the recommended relaxed tolerance.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+    chip.blow_fuses();
+    let n = 3;
+    let pool = random_challenges(chip.stages(), 1_500, &mut rng);
+    let report = salvage_select(
+        &chip,
+        n,
+        &pool,
+        Condition::NOMINAL,
+        &SalvageConfig::tight(),
+        &mut rng,
+    )
+    .unwrap();
+    assert!(report.selected.len() >= 64, "not enough salvaged CRPs");
+
+    let rounds = 64;
+    let tolerance = recommended_tolerance(&report, rounds, 5.0).max(2.5 / rounds as f64);
+    let mut client = ChipResponder::new(&chip, n, Condition::NOMINAL, 3);
+    let challenges: Vec<_> = report.selected[..rounds].iter().map(|s| s.challenge).collect();
+    let responses = client.respond(&challenges);
+    let mismatches = report.selected[..rounds]
+        .iter()
+        .zip(&responses)
+        .filter(|(s, &r)| s.expected != r)
+        .count();
+    let policy = AuthPolicy::MaxHammingFraction(tolerance);
+    assert!(
+        policy.accepts(rounds, mismatches),
+        "genuine chip failed salvage authentication: {mismatches}/{rounds} vs tolerance {tolerance}"
+    );
+}
+
+#[test]
+fn key_round_trip_through_full_stack() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+    let record = enroll(&chip, &EnrollmentConfig::small(2), &mut rng).unwrap();
+    let mut server = Server::new();
+    server.register(record);
+    let config = KeyGenConfig::new(64, 3);
+    let selected = server
+        .select_challenges(0, config.response_bits(), 5_000_000, &mut rng)
+        .unwrap();
+    let (key, helper) = enroll_key(&selected, config, &mut rng).unwrap();
+    chip.blow_fuses();
+
+    let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 4);
+    let responses = client.respond(&helper.challenges);
+    assert_eq!(reconstruct_key(&responses, &helper).unwrap(), key);
+}
+
+#[test]
+fn bifurcation_discriminates_and_leaks_noisy_labels() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+    let record = enroll(&chip, &EnrollmentConfig::small(2), &mut rng).unwrap();
+    let config = BifurcationConfig::new(2);
+    let challenges = random_challenges(chip.stages(), 2_000, &mut rng);
+    let returned =
+        device_respond(&chip, 2, &challenges, Condition::NOMINAL, config, &mut rng).unwrap();
+    let genuine_score = server_verify(&record, &challenges, &returned, config);
+    use rand::Rng;
+    let fake: Vec<bool> = (0..1_000).map(|_| rng.gen()).collect();
+    let fake_score = server_verify(&record, &challenges, &fake, config);
+    assert!(genuine_score > fake_score + 0.03);
+
+    // The leaked view's labels are substantially noisy.
+    let view = attacker_view(&challenges, &returned, config, &mut rng);
+    let mut wrong = 0usize;
+    for (c, label) in view.iter() {
+        let truth = chip.xor_reference_bit(2, c, Condition::NOMINAL).unwrap();
+        if truth != label {
+            wrong += 1;
+        }
+    }
+    let rate = wrong as f64 / view.len() as f64;
+    assert!(rate > 0.15, "bifurcation leaked clean labels: error rate {rate}");
+}
+
+#[test]
+fn feedforward_resists_the_linear_attack_that_breaks_arbiter() {
+    use xorpuf::ml::logreg::{LogisticConfig, LogisticRegression};
+    let mut rng = StdRng::seed_from_u64(5);
+    let linear_puf = xorpuf::core::ArbiterPuf::random(16, &mut rng);
+    let ff_puf = FeedForwardPuf::random(16, 3, 12, &mut rng).unwrap();
+    let train = random_challenges(16, 4_000, &mut rng);
+    let test = random_challenges(16, 1_500, &mut rng);
+
+    let attack = |responses_train: Vec<bool>, responses_test: Vec<bool>| {
+        let (model, _) = LogisticRegression::fit_challenges(
+            &train,
+            &responses_train,
+            &LogisticConfig::default(),
+        );
+        model.accuracy(&test, &responses_test)
+    };
+    let linear_acc = attack(
+        train.iter().map(|c| linear_puf.response(c)).collect(),
+        test.iter().map(|c| linear_puf.response(c)).collect(),
+    );
+    let ff_acc = attack(
+        train.iter().map(|c| ff_puf.response(c)).collect(),
+        test.iter().map(|c| ff_puf.response(c)).collect(),
+    );
+    assert!(linear_acc > 0.95, "linear PUF should fall: {linear_acc}");
+    assert!(
+        ff_acc < linear_acc - 0.05,
+        "feed-forward should resist the linear attack: {ff_acc} vs {linear_acc}"
+    );
+}
+
+#[test]
+fn aged_chip_fails_nominal_enrollment_margins_eventually() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+    let record = enroll(&chip, &EnrollmentConfig::small(2), &mut rng).unwrap();
+    let mut server = Server::new();
+    server.register(record);
+
+    // Fresh chip authenticates.
+    let outcome = {
+        let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 7);
+        server
+            .authenticate(0, &mut client, 32, AuthPolicy::ZeroHammingDistance, &mut rng)
+            .unwrap()
+    };
+    assert!(outcome.approved);
+
+    // An absurdly aged chip accumulates mismatches against the same record.
+    chip.set_age(1e7); // ~1,100 years of drift — guaranteed failure regime
+    let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 8);
+    let outcome = server
+        .authenticate(0, &mut client, 64, AuthPolicy::ZeroHammingDistance, &mut rng)
+        .unwrap();
+    assert!(
+        outcome.mismatches > 0,
+        "extreme aging produced no mismatches at all"
+    );
+}
