@@ -147,8 +147,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let single = ArbiterPuf::random(32, &mut rng);
         let xor = XorPuf::random(6, 32, &mut rng);
-        let single_profile =
-            avalanche_profile(32, 2_000, &mut rng, |c| single.response(c));
+        let single_profile = avalanche_profile(32, 2_000, &mut rng, |c| single.response(c));
         let xor_profile = avalanche_profile(32, 2_000, &mut rng, |c| xor.response(c));
         assert!(
             xor_profile.worst_bias() < single_profile.worst_bias(),

@@ -149,14 +149,7 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             let edge = self.lo + width * i as f64;
             let bar = "#".repeat((c as usize * bar_width).div_ceil(max as usize));
-            let _ = writeln!(
-                out,
-                "[{:5.2},{:5.2}) {:>9}  {}",
-                edge,
-                edge + width,
-                c,
-                bar
-            );
+            let _ = writeln!(out, "[{:5.2},{:5.2}) {:>9}  {}", edge, edge + width, c, bar);
         }
         out
     }

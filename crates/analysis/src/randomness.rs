@@ -135,7 +135,10 @@ mod tests {
     fn biased_stream_fails_monobit() {
         let mut rng = StdRng::seed_from_u64(2);
         let bits: Vec<bool> = (0..20_000).map(|_| rng.gen::<f64>() < 0.6).collect();
-        assert!(!monobit(&bits).passes(0.01), "60% bias slipped past monobit");
+        assert!(
+            !monobit(&bits).passes(0.01),
+            "60% bias slipped past monobit"
+        );
     }
 
     #[test]
@@ -189,8 +192,9 @@ mod tests {
         use puf_core::{Challenge, XorPuf};
         let mut rng = StdRng::seed_from_u64(4);
         let bank = XorPuf::random(8, 32, &mut rng);
-        let challenges: Vec<Challenge> =
-            (0..30_000).map(|_| Challenge::random(32, &mut rng)).collect();
+        let challenges: Vec<Challenge> = (0..30_000)
+            .map(|_| Challenge::random(32, &mut rng))
+            .collect();
         let bias = |n: usize| {
             let sub = bank.prefix(n);
             let ones = challenges.iter().filter(|c| sub.response(c)).count() as f64;

@@ -98,10 +98,7 @@ pub fn independence_ratio(masks: &[Vec<bool>]) -> f64 {
         assert!(f > 0.0, "a marginal stable fraction is zero");
         product *= f;
     }
-    let joint = (0..len)
-        .filter(|&i| masks.iter().all(|m| m[i]))
-        .count() as f64
-        / len as f64;
+    let joint = (0..len).filter(|&i| masks.iter().all(|m| m[i])).count() as f64 / len as f64;
     joint / product
 }
 

@@ -64,9 +64,7 @@ pub fn bit_aliasing(responses: &[Vec<bool>]) -> Vec<f64> {
         "ragged response vectors"
     );
     (0..len)
-        .map(|c| {
-            responses.iter().filter(|r| r[c]).count() as f64 / responses.len() as f64
-        })
+        .map(|c| responses.iter().filter(|r| r[c]).count() as f64 / responses.len() as f64)
         .collect()
 }
 

@@ -58,7 +58,13 @@ fn bench_authentication_round(c: &mut Criterion) {
             let mut client = ChipResponder::new(&chip, n, Condition::NOMINAL, 5);
             black_box(
                 server
-                    .authenticate(0, &mut client, 32, AuthPolicy::ZeroHammingDistance, &mut rng)
+                    .authenticate(
+                        0,
+                        &mut client,
+                        32,
+                        AuthPolicy::ZeroHammingDistance,
+                        &mut rng,
+                    )
                     .expect("authentication failed"),
             )
         })
@@ -66,5 +72,9 @@ fn bench_authentication_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_challenge_selection, bench_authentication_round);
+criterion_group!(
+    benches,
+    bench_challenge_selection,
+    bench_authentication_round
+);
 criterion_main!(benches);

@@ -34,9 +34,7 @@ fn bench_linear_fit(c: &mut Criterion) {
         let (challenges, soft) = training_data(size, 1);
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
             b.iter(|| {
-                black_box(
-                    LinearRegression::fit_challenges(&challenges, &soft, 1e-6).unwrap(),
-                )
+                black_box(LinearRegression::fit_challenges(&challenges, &soft, 1e-6).unwrap())
             })
         });
     }

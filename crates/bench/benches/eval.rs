@@ -20,8 +20,7 @@ fn bench_feature_transform(c: &mut Criterion) {
 fn bench_arbiter_eval(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let puf = puf_core::ArbiterPuf::random(32, &mut rng);
-    let challenges: Vec<Challenge> =
-        (0..1024).map(|_| Challenge::random(32, &mut rng)).collect();
+    let challenges: Vec<Challenge> = (0..1024).map(|_| Challenge::random(32, &mut rng)).collect();
     let mut group = c.benchmark_group("arbiter");
     group.throughput(Throughput::Elements(challenges.len() as u64));
     group.bench_function("delay_difference_batch_1024", |b| {

@@ -1,0 +1,81 @@
+//! Overhead microbenchmarks for the telemetry substrate, and the check that
+//! instrumented hot paths are free when telemetry is disabled.
+//!
+//! The `disabled/*` numbers are the cost instrumented code pays in a normal
+//! (untelemetered) run: one relaxed atomic load plus a branch per record
+//! call, low single-digit nanoseconds. `eval/*` measures the same chip
+//! evaluation that `core.eval` instruments, with telemetry off and on —
+//! the "off" number is the one the <2 % overhead acceptance bound applies
+//! to, compared against an uninstrumented baseline in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use puf_core::{Challenge, Condition};
+use puf_silicon::{Chip, ChipConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_counter_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_counter");
+    puf_telemetry::set_enabled(false);
+    group.bench_function("disabled_inc", |b| {
+        b.iter(|| puf_telemetry::counter!("bench.telemetry.counter").inc())
+    });
+    puf_telemetry::set_enabled(true);
+    group.bench_function("enabled_inc", |b| {
+        b.iter(|| puf_telemetry::counter!("bench.telemetry.counter").inc())
+    });
+    puf_telemetry::set_enabled(false);
+    group.finish();
+}
+
+fn bench_span_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_span");
+    puf_telemetry::set_enabled(false);
+    group.bench_function("disabled_enter_drop", |b| {
+        b.iter(|| drop(black_box(puf_telemetry::span!("bench.telemetry.span"))))
+    });
+    puf_telemetry::set_enabled(true);
+    group.bench_function("enabled_enter_drop", |b| {
+        b.iter(|| drop(black_box(puf_telemetry::span!("bench.telemetry.span"))))
+    });
+    puf_telemetry::set_enabled(false);
+    group.finish();
+}
+
+fn bench_instrumented_eval(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
+    let ch = Challenge::random(32, &mut rng);
+    let mut group = c.benchmark_group("eval");
+    puf_telemetry::set_enabled(false);
+    group.bench_function("one_shot_xor_n10_telemetry_off", |b| {
+        let mut rng = StdRng::seed_from_u64(12);
+        b.iter(|| {
+            black_box(
+                chip.eval_xor_once(10, &ch, Condition::NOMINAL, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    puf_telemetry::set_enabled(true);
+    group.bench_function("one_shot_xor_n10_telemetry_on", |b| {
+        let mut rng = StdRng::seed_from_u64(12);
+        b.iter(|| {
+            black_box(
+                chip.eval_xor_once(10, &ch, Condition::NOMINAL, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    puf_telemetry::set_enabled(false);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_counter_overhead,
+    bench_span_overhead,
+    bench_instrumented_eval
+);
+criterion_main!(benches);

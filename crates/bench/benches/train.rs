@@ -75,7 +75,10 @@ fn bench_logistic_training(c: &mut Criterion) {
     let challenges = random_challenges(chip.stages(), 2_000, &mut rng);
     let labels: Vec<bool> = challenges
         .iter()
-        .map(|ch| chip.eval_xor_once(1, ch, Condition::NOMINAL, &mut rng).unwrap())
+        .map(|ch| {
+            chip.eval_xor_once(1, ch, Condition::NOMINAL, &mut rng)
+                .unwrap()
+        })
         .collect();
     let mut group = c.benchmark_group("attack/logreg_train");
     group.sample_size(10);

@@ -54,8 +54,7 @@ fn main() {
     let hard: Vec<bool> = measurements.iter().map(|s| s.majority_bit()).collect();
 
     let linear = LinearRegression::fit_challenges(&training, &soft, 1e-6).expect("linear fit");
-    let probit =
-        ProbitRegression::fit(&training, &soft, scale.evals, 1e-6).expect("probit fit");
+    let probit = ProbitRegression::fit(&training, &soft, scale.evals, 1e-6).expect("probit fit");
     let (logistic, _) =
         LogisticRegression::fit_challenges(&training, &hard, &LogisticConfig::default());
 
@@ -75,7 +74,11 @@ fn main() {
     ];
 
     // Shared measurement sets for β fitting and evaluation.
-    let beta_pool = random_challenges(chip.stages(), (scale.challenges / 8).clamp(4_000, 50_000), &mut rng);
+    let beta_pool = random_challenges(
+        chip.stages(),
+        (scale.challenges / 8).clamp(4_000, 50_000),
+        &mut rng,
+    );
     let beta_measurements: Vec<SoftResponse> = beta_pool
         .iter()
         .map(|c| {

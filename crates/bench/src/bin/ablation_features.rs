@@ -26,8 +26,8 @@ fn raw_design_matrix(challenges: &[Challenge]) -> Matrix {
     let mut m = Matrix::zeros(challenges.len(), stages + 1);
     for (i, c) in challenges.iter().enumerate() {
         let row = m.row_mut(i);
-        for j in 0..stages {
-            row[j] = if c.bit(j) { -1.0 } else { 1.0 };
+        for (j, slot) in row.iter_mut().enumerate().take(stages) {
+            *slot = if c.bit(j) { -1.0 } else { 1.0 };
         }
         row[stages] = 1.0;
     }
@@ -44,14 +44,36 @@ fn main() {
     let n = 2;
     let pool = random_challenges(chip.stages(), 40_000, &mut rng);
     let (train_pool, test_pool) = pool.split_at(36_000);
-    let train = collect_stable_xor_crps(&chip, n, train_pool, Condition::NOMINAL, scale.evals, &mut rng)
-        .expect("collection failed");
-    let test = collect_stable_xor_crps(&chip, n, test_pool, Condition::NOMINAL, scale.evals, &mut rng)
-        .expect("collection failed");
-    println!("{n}-XOR attack, up to {} train / {} test stable CRPs\n", train.len(), test.len());
+    let train = collect_stable_xor_crps(
+        &chip,
+        n,
+        train_pool,
+        Condition::NOMINAL,
+        scale.evals,
+        &mut rng,
+    )
+    .expect("collection failed");
+    let test = collect_stable_xor_crps(
+        &chip,
+        n,
+        test_pool,
+        Condition::NOMINAL,
+        scale.evals,
+        &mut rng,
+    )
+    .expect("collection failed");
+    println!(
+        "{n}-XOR attack, up to {} train / {} test stable CRPs\n",
+        train.len(),
+        test.len()
+    );
 
     let config = MlpConfig::paper_default();
-    let mut table = Table::new(["train CRPs", "accuracy (φ transform)", "accuracy (raw bits)"]);
+    let mut table = Table::new([
+        "train CRPs",
+        "accuracy (φ transform)",
+        "accuracy (raw bits)",
+    ]);
     for size in [2_000usize, 8_000, 20_000] {
         let subset = train.truncated(size.min(train.len()));
         let y = encode_bits(subset.responses());

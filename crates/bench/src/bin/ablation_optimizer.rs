@@ -48,19 +48,43 @@ fn main() {
     let n = 4;
     let pool = random_challenges(chip.stages(), 16_000, &mut rng);
     let (train_pool, test_pool) = pool.split_at(13_000);
-    let train = collect_stable_xor_crps(&chip, n, train_pool, Condition::NOMINAL, scale.evals, &mut rng)
-        .expect("collection failed")
-        .truncated(8_000);
-    let test = collect_stable_xor_crps(&chip, n, test_pool, Condition::NOMINAL, scale.evals, &mut rng)
-        .expect("collection failed");
-    println!("{n}-XOR attack, {} train / {} test stable CRPs\n", train.len(), test.len());
+    let train = collect_stable_xor_crps(
+        &chip,
+        n,
+        train_pool,
+        Condition::NOMINAL,
+        scale.evals,
+        &mut rng,
+    )
+    .expect("collection failed")
+    .truncated(8_000);
+    let test = collect_stable_xor_crps(
+        &chip,
+        n,
+        test_pool,
+        Condition::NOMINAL,
+        scale.evals,
+        &mut rng,
+    )
+    .expect("collection failed");
+    println!(
+        "{n}-XOR attack, {} train / {} test stable CRPs\n",
+        train.len(),
+        test.len()
+    );
 
     let x = design_matrix(train.challenges());
     let y = encode_bits(train.responses());
     let xt = design_matrix(test.challenges());
     let config = MlpConfig::paper_default();
 
-    let mut table = Table::new(["optimizer", "accuracy", "iterations", "grad evals", "time (s)"]);
+    let mut table = Table::new([
+        "optimizer",
+        "accuracy",
+        "iterations",
+        "grad evals",
+        "time (s)",
+    ]);
     for name in ["lbfgs", "adam", "gd"] {
         let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xAB1A);
         let mut mlp = Mlp::new(x.cols(), &config, &mut rng);

@@ -25,7 +25,8 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(scale.seed);
     let chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
-    let challenges = random_challenges(chip.stages(), (scale.challenges / 10).max(10_000), &mut rng);
+    let challenges =
+        random_challenges(chip.stages(), (scale.challenges / 10).max(10_000), &mut rng);
 
     let mut table = Table::new([
         "n",
@@ -37,10 +38,16 @@ fn main() {
         "zero-HD tol. @0.05 (64 ch)",
     ]);
     for n in [4usize, 6, 8, 10] {
-        let strict = xor_stable_mask(&chip, n, &challenges, Condition::NOMINAL, scale.evals, &mut rng)
-            .expect("mask failed");
-        let strict_yield =
-            strict.iter().filter(|&&b| b).count() as f64 / strict.len() as f64;
+        let strict = xor_stable_mask(
+            &chip,
+            n,
+            &challenges,
+            Condition::NOMINAL,
+            scale.evals,
+            &mut rng,
+        )
+        .expect("mask failed");
+        let strict_yield = strict.iter().filter(|&&b| b).count() as f64 / strict.len() as f64;
         let mut cells = vec![n.to_string(), format!("{:.2}%", strict_yield * 100.0)];
         let mut tol = String::new();
         for margin in [0.02f64, 0.05] {

@@ -56,7 +56,13 @@ fn main() {
             chip.set_age(hours);
             let mut client = ChipResponder::new(&chip, n, Condition::NOMINAL, 5);
             let outcome = server
-                .authenticate(0, &mut client, rounds, AuthPolicy::ZeroHammingDistance, &mut rng)
+                .authenticate(
+                    0,
+                    &mut client,
+                    rounds,
+                    AuthPolicy::ZeroHammingDistance,
+                    &mut rng,
+                )
                 .expect("authentication failed");
             per_age.push((outcome.mismatches, outcome.approved));
         }

@@ -16,9 +16,7 @@ use puf_analysis::Table;
 use puf_bench::Scale;
 use puf_core::{Condition, NoiseModel};
 use puf_ml::cmaes::CmaesConfig;
-use puf_protocol::attacks::{
-    member_match, reliability_attack, ReliabilityAttackConfig,
-};
+use puf_protocol::attacks::{member_match, reliability_attack, ReliabilityAttackConfig};
 use puf_silicon::{Chip, ChipConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -55,8 +53,8 @@ fn main() {
         config.measurements, config.evals, config.restarts
     );
     let t0 = Instant::now();
-    let models = reliability_attack(&chip, n, Condition::NOMINAL, &config, &mut rng)
-        .expect("attack failed");
+    let models =
+        reliability_attack(&chip, n, Condition::NOMINAL, &config, &mut rng).expect("attack failed");
     let elapsed = t0.elapsed();
 
     let mut table = Table::new(["restart", "fitness (corr)", "best member match", "member"]);
@@ -100,8 +98,8 @@ fn main() {
             ..CmaesConfig::default()
         },
     };
-    let blinded = reliability_attack(&chip, n, Condition::NOMINAL, &blind, &mut rng)
-        .expect("attack failed");
+    let blinded =
+        reliability_attack(&chip, n, Condition::NOMINAL, &blind, &mut rng).expect("attack failed");
     println!(
         "same attack against one-shot responses (the protocol's access pattern): best fitness {:.3} — no signal.",
         blinded[0].fitness

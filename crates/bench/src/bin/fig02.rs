@@ -26,7 +26,7 @@ fn main() {
     let shards = par::worker_count(64).max(1) * 4;
     let per_shard = scale.challenges.div_ceil(shards);
     let shard_ids: Vec<u64> = (0..shards as u64).collect();
-    let partials = par::par_map(&shard_ids, |_, &shard| {
+    let partials = par::par_map_progress("bench.fig02.shards", &shard_ids, |_, &shard| {
         let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0002 + shard * 7919));
         let mut hist = Histogram::soft_response();
         let mut stable0 = 0u64;
@@ -63,8 +63,7 @@ fn main() {
     let p1 = stable1 as f64 / total;
     println!("Pr(stable 0) = {:.1}%   [paper: 39.7%]", p0 * 100.0);
     println!("Pr(stable 1) = {:.1}%   [paper: 40.1%]", p1 * 100.0);
-    println!(
-        "Pr(stable)   = {:.1}%   [paper: ~80%]",
-        (p0 + p1) * 100.0
-    );
+    println!("Pr(stable)   = {:.1}%   [paper: ~80%]", (p0 + p1) * 100.0);
+
+    puf_bench::emit_telemetry_report();
 }

@@ -29,7 +29,7 @@ fn main() {
     let shards = par::worker_count(64).max(1) * 4;
     let per_shard = scale.challenges.div_ceil(shards);
     let shard_ids: Vec<u64> = (0..shards as u64).collect();
-    let partials = par::par_map(&shard_ids, |_, &shard| {
+    let partials = par::par_map_progress("bench.fig03.shards", &shard_ids, |_, &shard| {
         let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0003 + shard * 7919));
         let mut stable_upto = vec![0u64; MAX_N + 1]; // stable_upto[n] = #challenges stable for all first n
         for _ in 0..per_shard {
@@ -44,15 +44,15 @@ fn main() {
                     break;
                 }
             }
-            for n in 1..=prefix_stable {
-                stable_upto[n] += 1;
+            for slot in &mut stable_upto[1..=prefix_stable] {
+                *slot += 1;
             }
         }
         stable_upto
     });
 
     let total = (per_shard * shards) as f64;
-    let mut stable_upto = vec![0u64; MAX_N + 1];
+    let mut stable_upto = [0u64; MAX_N + 1];
     for p in &partials {
         for (a, b) in stable_upto.iter_mut().zip(p) {
             *a += b;
@@ -83,4 +83,6 @@ fn main() {
         "stable fraction at n = 10: {:.1}%  [paper: 10.9%]",
         points[MAX_N - 1].fraction * 100.0
     );
+
+    puf_bench::emit_telemetry_report();
 }

@@ -48,28 +48,29 @@ fn main() {
     let (train_pool, test_pool) = pool.split_at(split);
 
     println!("collecting stable CRPs per n (fuse-port measurements)…");
-    let datasets: Vec<(usize, CrpSet, CrpSet)> = par::par_map(&n_values, |idx, &n| {
-        let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0004 + idx as u64));
-        let train = collect_stable_xor_crps(
-            &chip,
-            n,
-            train_pool,
-            Condition::NOMINAL,
-            scale.evals,
-            &mut rng,
-        )
-        .expect("train collection failed");
-        let test = collect_stable_xor_crps(
-            &chip,
-            n,
-            test_pool,
-            Condition::NOMINAL,
-            scale.evals,
-            &mut rng,
-        )
-        .expect("test collection failed");
-        (n, train, test.truncated(20_000))
-    });
+    let datasets: Vec<(usize, CrpSet, CrpSet)> =
+        par::par_map_progress("bench.fig04.datasets", &n_values, |idx, &n| {
+            let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0004 + idx as u64));
+            let train = collect_stable_xor_crps(
+                &chip,
+                n,
+                train_pool,
+                Condition::NOMINAL,
+                scale.evals,
+                &mut rng,
+            )
+            .expect("train collection failed");
+            let test = collect_stable_xor_crps(
+                &chip,
+                n,
+                test_pool,
+                Condition::NOMINAL,
+                scale.evals,
+                &mut rng,
+            )
+            .expect("test collection failed");
+            (n, train, test.truncated(20_000))
+        });
     for (n, train, test) in &datasets {
         println!(
             "  n = {n:2}: {} stable train CRPs, {} stable test CRPs (max train ≈ {}·0.8^n)",
@@ -105,7 +106,7 @@ fn main() {
         });
     }
 
-    let results = par::par_map(&jobs, |ji, job| {
+    let results = par::par_map_progress("bench.fig04.attacks", &jobs, |ji, job| {
         let (_, train, test) = &datasets[job.dataset_idx];
         let train = train.truncated(job.size);
         let x = design_matrix(train.challenges());
@@ -153,11 +154,16 @@ fn main() {
             println!(
                 "  n = {n:2}: {:.1}% with {size} CRPs{}",
                 acc * 100.0,
-                if acc > 0.9 { "  → broken (< 10 PUFs insufficient)" } else { "  → resists at this budget" }
+                if acc > 0.9 {
+                    "  → broken (< 10 PUFs insufficient)"
+                } else {
+                    "  → resists at this budget"
+                }
             );
         }
     }
-    let mean_ms: f64 =
-        results.iter().map(|r| r.3).sum::<f64>() / results.len().max(1) as f64;
+    let mean_ms: f64 = results.iter().map(|r| r.3).sum::<f64>() / results.len().max(1) as f64;
     println!("\nmean training speed: {mean_ms:.3} ms/CRP  [paper: 0.395 ms/CRP on an i7-3770]");
+
+    puf_bench::emit_telemetry_report();
 }

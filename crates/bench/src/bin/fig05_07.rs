@@ -37,7 +37,10 @@ fn main() {
         chip.bank_size(),
         chip.stages()
     );
-    println!("fuses intact: {} (individual responses visible to the authorised tester)\n", chip.fuses_intact());
+    println!(
+        "fuses intact: {} (individual responses visible to the authorised tester)\n",
+        chip.fuses_intact()
+    );
 
     println!("=== Fig. 6 — enrollment phase ===");
     let config = EnrollmentConfig::paper_all_conditions(n);
@@ -46,7 +49,10 @@ fn main() {
         config.training_size, config.validation_size, config.evals
     );
     let record = enroll(&chip, &config, &mut rng).expect("enrollment failed");
-    println!("[extract]    linear regression → delay parameters (θ, {} floats per PUF)", chip.stages() + 1);
+    println!(
+        "[extract]    linear regression → delay parameters (θ, {} floats per PUF)",
+        chip.stages() + 1
+    );
     for (i, puf) in record.pufs.iter().enumerate() {
         println!(
             "[threshold]  PUF {i}: {}, β = ({:.2}, {:.2})",
@@ -54,7 +60,14 @@ fn main() {
         );
     }
     chip.blow_fuses();
-    println!("[burn fuses] individual PUF access now: {}\n", if chip.fuses_intact() { "OPEN (BUG)" } else { "blocked forever" });
+    println!(
+        "[burn fuses] individual PUF access now: {}\n",
+        if chip.fuses_intact() {
+            "OPEN (BUG)"
+        } else {
+            "blocked forever"
+        }
+    );
 
     println!("=== Fig. 7 — authentication phase ===");
     let mut server = Server::new();
@@ -72,14 +85,28 @@ fn main() {
     }
     let mut client = ChipResponder::new(&chip, n, Condition::NOMINAL, 7);
     let outcome = server
-        .authenticate(0, &mut client, 64, AuthPolicy::ZeroHammingDistance, &mut rng)
+        .authenticate(
+            0,
+            &mut client,
+            64,
+            AuthPolicy::ZeroHammingDistance,
+            &mut rng,
+        )
         .expect("authentication failed");
     println!("[sample]     chip answers each challenge ONCE (no averaging needed)");
     println!("[compare]    zero-Hamming-distance policy → {outcome}");
 
     let mut impostor = RandomResponder::new(99);
     let denied = server
-        .authenticate(0, &mut impostor, 64, AuthPolicy::ZeroHammingDistance, &mut rng)
+        .authenticate(
+            0,
+            &mut impostor,
+            64,
+            AuthPolicy::ZeroHammingDistance,
+            &mut rng,
+        )
         .expect("authentication failed");
     println!("[compare]    random impostor               → {denied}");
+
+    puf_bench::emit_telemetry_report();
 }

@@ -64,10 +64,20 @@ fn main() {
     println!("{}", predicted_hist.render(40));
 
     // Threshold extraction per the paper's definition.
-    let pairs: Vec<(f64, f64)> = predicted.iter().copied().zip(measured.iter().copied()).collect();
+    let pairs: Vec<(f64, f64)> = predicted
+        .iter()
+        .copied()
+        .zip(measured.iter().copied())
+        .collect();
     let thresholds = Thresholds::from_training(&pairs).expect("degenerate training set");
-    println!("Thr(0) = {:.4}   (lowest prediction with measured soft > 0.00)", thresholds.thr0);
-    println!("Thr(1) = {:.4}   (highest prediction with measured soft < 1.00)\n", thresholds.thr1);
+    println!(
+        "Thr(0) = {:.4}   (lowest prediction with measured soft > 0.00)",
+        thresholds.thr0
+    );
+    println!(
+        "Thr(1) = {:.4}   (highest prediction with measured soft < 1.00)\n",
+        thresholds.thr1
+    );
 
     // Cross-tabulate measured category vs predicted category.
     let mut counts = [[0usize; 3]; 3]; // [measured][predicted]
@@ -86,7 +96,11 @@ fn main() {
         };
         counts[m][p] += 1;
     }
-    let labels = ["measured stable 0", "measured unstable", "measured stable 1"];
+    let labels = [
+        "measured stable 0",
+        "measured unstable",
+        "measured stable 1",
+    ];
     let mut table = Table::new(["", "pred stable 0", "pred unstable", "pred stable 1"]);
     for (mi, label) in labels.iter().enumerate() {
         table.row([
@@ -109,4 +123,6 @@ fn main() {
         "CRPs classified stable by the model but not measured so: {misclassified} \
          (must be 0 on the training set by the threshold definition)"
     );
+
+    puf_bench::emit_telemetry_report();
 }

@@ -30,7 +30,7 @@ fn main() {
     let lot = ChipLot::fabricate(scale.chips, &ChipConfig::paper_default(), scale.seed);
     let chip_indices: Vec<usize> = (0..lot.len()).collect();
 
-    let per_chip = par::par_map(&chip_indices, |_, &ci| {
+    let per_chip = par::par_map_progress("bench.fig09.chips", &chip_indices, |_, &ci| {
         let chip = &lot.chips()[ci];
         let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0009 + ci as u64 * 7919));
         let training = random_challenges(chip.stages(), TRAINING, &mut rng);
@@ -121,14 +121,12 @@ fn main() {
         b1_max = b1_max.max(betas.beta1);
     }
     println!("{}", table.render());
-    println!(
-        "β₀ range: {b0_min:.2}…{b0_max:.2}   [paper: 0.74…0.93]"
-    );
-    println!(
-        "β₁ range: {b1_min:.2}…{b1_max:.2}   [paper: 1.04…1.08]"
-    );
+    println!("β₀ range: {b0_min:.2}…{b0_max:.2}   [paper: 0.74…0.93]");
+    println!("β₁ range: {b1_min:.2}…{b1_max:.2}   [paper: 1.04…1.08]");
     println!(
         "lot-wide conservative pair: β₀ = {:.2}, β₁ = {:.2}   [paper: 0.74, 1.08]",
         conservative.beta0, conservative.beta1
     );
+
+    puf_bench::emit_telemetry_report();
 }

@@ -51,7 +51,7 @@ fn main() {
     let measured_fraction = measured_stable as f64 / eval_pool.len() as f64;
 
     let sizes: Vec<usize> = TRAIN_SIZES.to_vec();
-    let rows = par::par_map(&sizes, |si, &size| {
+    let rows = par::par_map_progress("bench.fig10.sizes", &sizes, |si, &size| {
         let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0010 + si as u64 * 104_729));
         let training = &train_pool[..size];
         let soft: Vec<f64> = training
@@ -119,4 +119,6 @@ fn main() {
     }
     println!("{}", table.render());
     println!("paper: predicted saturates ≈60%, measured ≈80%; 5,000-CRP fit took 4.3 ms");
+
+    puf_bench::emit_telemetry_report();
 }

@@ -115,8 +115,7 @@ fn main() {
         nominal_interior as f64 / nominal_hist.total() as f64 * 100.0,
         grid_interior as f64 / grid_hist.total() as f64 * 100.0,
     );
-    let mean_unstable =
-        unstable_values.iter().sum::<f64>() / unstable_values.len().max(1) as f64;
+    let mean_unstable = unstable_values.iter().sum::<f64>() / unstable_values.len().max(1) as f64;
     println!(
         "mean unstable soft response across conditions: {mean_unstable:.3} (concentrated near 0.5)"
     );
@@ -153,4 +152,6 @@ fn main() {
          ({:.4}%)",
         violations as f64 / selected.max(1) as f64 * 100.0
     );
+
+    puf_bench::emit_telemetry_report();
 }

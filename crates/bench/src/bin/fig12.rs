@@ -47,81 +47,83 @@ fn main() {
     let beta_fit_size = (scale.challenges / 8).clamp(4_000, 50_000);
     println!("enrolling {MAX_N} member PUFs (training {TRAINING}, β-fit set {beta_fit_size})…");
     let member_ids: Vec<usize> = (0..MAX_N).collect();
-    let members: Vec<MemberModel> = par::par_map(&member_ids, |_, &puf| {
-        let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0012 + puf as u64 * 7919));
-        let training = random_challenges(chip.stages(), TRAINING, &mut rng);
-        let soft: Vec<f64> = training
-            .iter()
-            .map(|c| {
-                chip.measure_individual_soft(puf, c, Condition::NOMINAL, scale.evals, &mut rng)
-                    .expect("measurement failed")
-                    .value()
-            })
-            .collect();
-        let model =
-            LinearRegression::fit_challenges(&training, &soft, 1e-6).expect("regression failed");
-        let pairs: Vec<(f64, f64)> = training
-            .iter()
-            .zip(&soft)
-            .map(|(c, &s)| (model.predict(c), s))
-            .collect();
-        let thresholds = Thresholds::from_training(&pairs).expect("degenerate training");
-        let beta_pool = random_challenges(chip.stages(), beta_fit_size, &mut rng);
-        let betas_nominal = fit_betas_on_measurements(
-            &chip,
-            puf,
-            &model,
-            thresholds,
-            &beta_pool,
-            &[Condition::NOMINAL],
-            scale.evals,
-            &mut rng,
-        )
-        .expect("nominal beta fit failed");
-        let betas_all = fit_betas_on_measurements(
-            &chip,
-            puf,
-            &model,
-            thresholds,
-            &beta_pool,
-            &grid,
-            scale.evals,
-            &mut rng,
-        )
-        .expect("all-V/T beta fit failed");
-        let betas_all = betas_nominal.most_conservative(betas_all);
-        MemberModel {
-            nominal: thresholds.adjusted(betas_nominal),
-            all_vt: thresholds.adjusted(betas_all),
-            model,
-        }
-    });
+    let members: Vec<MemberModel> =
+        par::par_map_progress("bench.fig12.members", &member_ids, |_, &puf| {
+            let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0012 + puf as u64 * 7919));
+            let training = random_challenges(chip.stages(), TRAINING, &mut rng);
+            let soft: Vec<f64> = training
+                .iter()
+                .map(|c| {
+                    chip.measure_individual_soft(puf, c, Condition::NOMINAL, scale.evals, &mut rng)
+                        .expect("measurement failed")
+                        .value()
+                })
+                .collect();
+            let model = LinearRegression::fit_challenges(&training, &soft, 1e-6)
+                .expect("regression failed");
+            let pairs: Vec<(f64, f64)> = training
+                .iter()
+                .zip(&soft)
+                .map(|(c, &s)| (model.predict(c), s))
+                .collect();
+            let thresholds = Thresholds::from_training(&pairs).expect("degenerate training");
+            let beta_pool = random_challenges(chip.stages(), beta_fit_size, &mut rng);
+            let betas_nominal = fit_betas_on_measurements(
+                &chip,
+                puf,
+                &model,
+                thresholds,
+                &beta_pool,
+                &[Condition::NOMINAL],
+                scale.evals,
+                &mut rng,
+            )
+            .expect("nominal beta fit failed");
+            let betas_all = fit_betas_on_measurements(
+                &chip,
+                puf,
+                &model,
+                thresholds,
+                &beta_pool,
+                &grid,
+                scale.evals,
+                &mut rng,
+            )
+            .expect("all-V/T beta fit failed");
+            let betas_all = betas_nominal.most_conservative(betas_all);
+            MemberModel {
+                nominal: thresholds.adjusted(betas_nominal),
+                all_vt: thresholds.adjusted(betas_all),
+                model,
+            }
+        });
 
     // Curve 1: measured stable fraction per n (counter measurements).
     let shards = par::worker_count(64).max(1) * 4;
     let per_shard = scale.challenges.div_ceil(shards);
     let shard_ids: Vec<u64> = (0..shards as u64).collect();
-    let measured_partials = par::par_map(&shard_ids, |_, &shard| {
-        let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0112 + shard * 104_729));
-        let mut stable_upto = vec![0u64; MAX_N + 1];
-        for _ in 0..per_shard {
-            let c = Challenge::random(chip.stages(), &mut rng);
-            let mut prefix = MAX_N;
-            for puf in 0..MAX_N {
-                let s = chip
-                    .measure_individual_soft(puf, &c, Condition::NOMINAL, scale.evals, &mut rng)
-                    .expect("measurement failed");
-                if !s.is_stable() {
-                    prefix = puf;
-                    break;
+    let measured_partials =
+        par::par_map_progress("bench.fig12.measured_shards", &shard_ids, |_, &shard| {
+            let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0112 + shard * 104_729));
+            let mut stable_upto = vec![0u64; MAX_N + 1];
+            for _ in 0..per_shard {
+                let c = Challenge::random(chip.stages(), &mut rng);
+                let mut prefix = MAX_N;
+                for puf in 0..MAX_N {
+                    let s = chip
+                        .measure_individual_soft(puf, &c, Condition::NOMINAL, scale.evals, &mut rng)
+                        .expect("measurement failed");
+                    if !s.is_stable() {
+                        prefix = puf;
+                        break;
+                    }
+                }
+                for slot in &mut stable_upto[1..=prefix] {
+                    *slot += 1;
                 }
             }
-            for n in 1..=prefix {
-                stable_upto[n] += 1;
-            }
-        }
-        stable_upto
-    });
+            stable_upto
+        });
     let measured_total = (per_shard * shards) as f64;
     let mut measured_upto = vec![0u64; MAX_N + 1];
     for p in &measured_partials {
@@ -135,37 +137,38 @@ fn main() {
     // resolvable (0.342¹⁰ ≈ 2·10⁻⁵ needs ≥ 10⁶ samples).
     let pred_samples = scale.challenges.max(1_000_000);
     let pred_per_shard = pred_samples.div_ceil(shards);
-    let pred_partials = par::par_map(&shard_ids, |_, &shard| {
-        let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0212 + shard * 104_729));
-        let mut nominal_upto = vec![0u64; MAX_N + 1];
-        let mut all_vt_upto = vec![0u64; MAX_N + 1];
-        for _ in 0..pred_per_shard {
-            let c = Challenge::random(chip.stages(), &mut rng);
-            let mut nominal_prefix = MAX_N;
-            let mut all_vt_prefix = MAX_N;
-            for (i, m) in members.iter().enumerate() {
-                let pred = m.model.predict(&c);
-                let nominal_stable = m.nominal.classify(pred) != StabilityClass::Unstable;
-                let all_vt_stable = m.all_vt.classify(pred) != StabilityClass::Unstable;
-                if !nominal_stable && nominal_prefix == MAX_N {
-                    nominal_prefix = i;
+    let pred_partials =
+        par::par_map_progress("bench.fig12.predicted_shards", &shard_ids, |_, &shard| {
+            let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0212 + shard * 104_729));
+            let mut nominal_upto = vec![0u64; MAX_N + 1];
+            let mut all_vt_upto = vec![0u64; MAX_N + 1];
+            for _ in 0..pred_per_shard {
+                let c = Challenge::random(chip.stages(), &mut rng);
+                let mut nominal_prefix = MAX_N;
+                let mut all_vt_prefix = MAX_N;
+                for (i, m) in members.iter().enumerate() {
+                    let pred = m.model.predict(&c);
+                    let nominal_stable = m.nominal.classify(pred) != StabilityClass::Unstable;
+                    let all_vt_stable = m.all_vt.classify(pred) != StabilityClass::Unstable;
+                    if !nominal_stable && nominal_prefix == MAX_N {
+                        nominal_prefix = i;
+                    }
+                    if !all_vt_stable && all_vt_prefix == MAX_N {
+                        all_vt_prefix = i;
+                    }
+                    if nominal_prefix != MAX_N && all_vt_prefix != MAX_N {
+                        break;
+                    }
                 }
-                if !all_vt_stable && all_vt_prefix == MAX_N {
-                    all_vt_prefix = i;
+                for slot in &mut nominal_upto[1..=nominal_prefix] {
+                    *slot += 1;
                 }
-                if nominal_prefix != MAX_N && all_vt_prefix != MAX_N {
-                    break;
+                for slot in &mut all_vt_upto[1..=all_vt_prefix] {
+                    *slot += 1;
                 }
             }
-            for n in 1..=nominal_prefix {
-                nominal_upto[n] += 1;
-            }
-            for n in 1..=all_vt_prefix {
-                all_vt_upto[n] += 1;
-            }
-        }
-        (nominal_upto, all_vt_upto)
-    });
+            (nominal_upto, all_vt_upto)
+        });
     let pred_total = (pred_per_shard * shards) as f64;
     let mut nominal_upto = vec![0u64; MAX_N + 1];
     let mut all_vt_upto = vec![0u64; MAX_N + 1];
@@ -190,7 +193,12 @@ fn main() {
     let nominal = curve(&nominal_upto, pred_total);
     let all_vt = curve(&all_vt_upto, pred_total);
 
-    let mut table = Table::new(["n", "measured", "predicted (nominal β)", "predicted (all V,T β)"]);
+    let mut table = Table::new([
+        "n",
+        "measured",
+        "predicted (nominal β)",
+        "predicted (all V,T β)",
+    ]);
     for i in 0..MAX_N {
         table.row([
             (i + 1).to_string(),
@@ -218,4 +226,6 @@ fn main() {
     println!(
         "usable challenges in a 64-stage PUF's 2^64 space at the strictest selection: ≈ {usable:.2e}"
     );
+
+    puf_bench::emit_telemetry_report();
 }

@@ -22,3 +22,16 @@ pub mod par;
 pub mod scale;
 
 pub use scale::Scale;
+
+/// Prints the process-global telemetry report to stderr, if telemetry is
+/// enabled (`PUF_TELEMETRY=1` in the environment).
+///
+/// Every fig binary calls this as its last statement, so a sweep run with
+/// telemetry on ends with eval counts, measurement latency histograms and
+/// shard throughput — on stderr, keeping piped stdout results clean.
+pub fn emit_telemetry_report() {
+    if puf_telemetry::enabled() {
+        eprintln!("\n── telemetry ──");
+        eprint!("{}", puf_telemetry::registry().render_table());
+    }
+}

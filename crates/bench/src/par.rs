@@ -1,17 +1,35 @@
 //! Tiny scoped-thread fan-out: the allowed dependency set has no rayon, and
 //! the fig harnesses only need an embarrassingly parallel indexed map.
 
+use puf_telemetry::Progress;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads to use: `available_parallelism`, capped at the
-/// item count.
+/// Number of worker threads to use: the `PUF_THREADS` environment variable
+/// if set to a positive integer, otherwise `available_parallelism`; always
+/// capped at the item count and clamped to at least 1.
+///
+/// The chosen count is published as the `bench.par.workers` gauge.
 pub fn worker_count(items: usize) -> usize {
-    let cpus = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    cpus.min(items).max(1)
+    let cpus = env_thread_override().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    let workers = cpus.min(items).max(1);
+    puf_telemetry::gauge!("bench.par.workers").set(workers as f64);
+    workers
+}
+
+/// Parses `PUF_THREADS`: a positive integer overrides the detected core
+/// count; unset, empty, zero or unparsable values fall through to detection.
+fn env_thread_override() -> Option<usize> {
+    let raw = std::env::var("PUF_THREADS").ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
 }
 
 /// Applies `f(index, &item)` to every item on a scoped thread pool and
@@ -56,6 +74,25 @@ where
         .collect()
 }
 
+/// [`par_map`] with a [`Progress`] reporter: counts completed items under
+/// `label` (live stderr line when `PUF_PROGRESS` is set, final
+/// `<label>.items`/`<label>.rate` metrics either way).
+pub fn par_map_progress<T, U, F>(label: &str, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let progress = Progress::start(label, items.len() as u64);
+    let out = par_map(items, |i, t| {
+        let r = f(i, t);
+        progress.inc(1);
+        r
+    });
+    progress.finish();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +124,37 @@ mod tests {
         assert_eq!(worker_count(0), 1);
         assert!(worker_count(1) == 1);
         assert!(worker_count(1_000) >= 1);
+    }
+
+    #[test]
+    fn puf_threads_env_overrides_worker_count() {
+        // Env vars are process-global; run every case under one test so no
+        // parallel test observes a half-set variable.
+        let cases: &[(&str, Option<usize>)] = &[
+            ("3", Some(3)),
+            (" 2 ", Some(2)),
+            ("1", Some(1)),
+            ("0", None),    // clamp: fall back to detection
+            ("-4", None),   // unparsable as usize
+            ("lots", None), // unparsable
+            ("", None),     // empty
+        ];
+        for &(raw, want) in cases {
+            std::env::set_var("PUF_THREADS", raw);
+            match want {
+                Some(n) => assert_eq!(worker_count(1_000), n, "PUF_THREADS={raw:?}"),
+                None => assert!(worker_count(1_000) >= 1, "PUF_THREADS={raw:?}"),
+            }
+        }
+        std::env::set_var("PUF_THREADS", "64");
+        assert_eq!(worker_count(2), 2, "item count still caps the override");
+        std::env::remove_var("PUF_THREADS");
+    }
+
+    #[test]
+    fn par_map_progress_matches_par_map() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map_progress("test.par.progress", &items, |_, &x| x + 1);
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
     }
 }

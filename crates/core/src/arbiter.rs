@@ -69,7 +69,7 @@ impl ArbiterPuf {
     /// Panics if `stages` is 0 or exceeds [`MAX_STAGES`].
     pub fn random<R: Rng + ?Sized>(stages: usize, rng: &mut R) -> Self {
         assert!(
-            stages >= 1 && stages <= MAX_STAGES,
+            (1..=MAX_STAGES).contains(&stages),
             "stages must be 1..={MAX_STAGES}, got {stages}"
         );
         let sigma = (1.0 / (stages as f64 + 1.0)).sqrt();

@@ -239,7 +239,7 @@ pub fn random_challenges<R: Rng + ?Sized>(
 /// exhaustive enumeration stops being a sane tool.
 pub fn exhaustive_challenges(stages: usize) -> ExhaustiveChallenges {
     assert!(
-        stages >= 1 && stages <= 24,
+        (1..=24).contains(&stages),
         "exhaustive enumeration supports 1..=24 stages, got {stages}"
     );
     ExhaustiveChallenges {
@@ -384,8 +384,7 @@ mod tests {
     fn exhaustive_enumeration_is_complete_and_unique() {
         let all: Vec<Challenge> = exhaustive_challenges(10).collect();
         assert_eq!(all.len(), 1024);
-        let distinct: std::collections::HashSet<u128> =
-            all.iter().map(|c| c.bits()).collect();
+        let distinct: std::collections::HashSet<u128> = all.iter().map(|c| c.bits()).collect();
         assert_eq!(distinct.len(), 1024);
         // Each stage bit is exactly half ones.
         for i in 0..10 {
@@ -413,8 +412,7 @@ mod tests {
         let mean = crate::math::mean(&deltas);
         let bias = puf.weights()[12];
         assert!((mean - bias).abs() < 1e-10, "mean {mean} vs bias {bias}");
-        let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
-            / deltas.len() as f64;
+        let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len() as f64;
         let want: f64 = puf.weights()[..12].iter().map(|w| w * w).sum();
         assert!((var - want).abs() < 1e-10, "var {var} vs Σw² {want}");
     }

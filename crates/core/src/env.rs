@@ -105,12 +105,7 @@ impl Sensitivity {
     ///
     /// `sigma_v` / `sigma_t` are the per-stage standard deviations in delay
     /// units per volt / per °C.
-    pub fn random<R: Rng + ?Sized>(
-        stages: usize,
-        sigma_v: f64,
-        sigma_t: f64,
-        rng: &mut R,
-    ) -> Self {
+    pub fn random<R: Rng + ?Sized>(stages: usize, sigma_v: f64, sigma_t: f64, rng: &mut R) -> Self {
         let mut voltage = vec![0.0; stages + 1];
         let mut temperature = vec![0.0; stages + 1];
         rngx::fill_normal(rng, sigma_v, &mut voltage);

@@ -353,7 +353,9 @@ mod tests {
         let sigma = 0.2;
         let analytic = puf.soft_response(&c, sigma);
         let n = 40_000;
-        let ones = (0..n).filter(|_| puf.eval_noisy(&c, sigma, &mut rng)).count() as f64;
+        let ones = (0..n)
+            .filter(|_| puf.eval_noisy(&c, sigma, &mut rng))
+            .count() as f64;
         assert!(
             (ones / n as f64 - analytic).abs() < 0.015,
             "empirical {} vs analytic {analytic}",

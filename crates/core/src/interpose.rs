@@ -56,7 +56,7 @@ impl InterposePuf {
         Ok(Self {
             upper: XorPuf::random(x, stages, rng),
             lower: XorPuf::random(y, stages + 1, rng),
-            interpose_at: (stages + 1) / 2,
+            interpose_at: stages.div_ceil(2),
         })
     }
 
@@ -98,7 +98,8 @@ impl InterposePuf {
     /// Panics on a stage mismatch.
     pub fn response(&self, challenge: &Challenge) -> bool {
         let b = self.upper.response(challenge);
-        self.lower.response(&self.interposed_challenge(challenge, b))
+        self.lower
+            .response(&self.interposed_challenge(challenge, b))
     }
 
     /// One noisy evaluation: every arbiter in both layers draws independent
@@ -135,7 +136,6 @@ impl InterposePuf {
             .soft_response(&self.interposed_challenge(challenge, false), sigma_noise);
         p_upper * p1 + (1.0 - p_upper) * p0
     }
-
 }
 
 #[cfg(test)]
@@ -269,14 +269,14 @@ mod tests {
         let sigma = 0.06;
         let challenges = random_challenges(16, 4_000, &mut rng);
         let marginal = |softs: Vec<f64>| {
-            softs
-                .iter()
-                .filter(|&&s| s > 0.001 && s < 0.999)
-                .count() as f64
+            softs.iter().filter(|&&s| s > 0.001 && s < 0.999).count() as f64
                 / challenges.len() as f64
         };
         let ip_unstable = marginal(
-            challenges.iter().map(|c| ip.soft_response(c, sigma)).collect(),
+            challenges
+                .iter()
+                .map(|c| ip.soft_response(c, sigma))
+                .collect(),
         );
         let plain_unstable = marginal(
             challenges

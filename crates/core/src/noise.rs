@@ -121,10 +121,7 @@ impl NoiseModel {
             "sigma must be positive and finite"
         );
         assert!(evaluations > 0, "evaluations must be positive");
-        Self {
-            sigma,
-            evaluations,
-        }
+        Self { sigma, evaluations }
     }
 
     /// The calibrated paper-default model: σ chosen so that
@@ -133,8 +130,8 @@ impl NoiseModel {
     /// and cached for the process lifetime.
     pub fn paper_default() -> Self {
         static SIGMA: OnceLock<f64> = OnceLock::new();
-        let sigma =
-            *SIGMA.get_or_init(|| calibrate_noise_sigma(PAPER_STABLE_FRACTION, NOMINAL_EVALUATIONS));
+        let sigma = *SIGMA
+            .get_or_init(|| calibrate_noise_sigma(PAPER_STABLE_FRACTION, NOMINAL_EVALUATIONS));
         Self {
             sigma,
             evaluations: NOMINAL_EVALUATIONS,

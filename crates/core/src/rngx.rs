@@ -204,11 +204,10 @@ mod tests {
             .filter(|_| binomial(&mut rng, n, p) == 0)
             .count();
         let got = zeros as f64 / trials as f64;
-        let want = (1.0 - p).powi(n as i32).max((n as f64 * (1.0 - p).ln()).exp());
-        assert!(
-            (got - want).abs() < 0.01,
-            "P(k=0): got {got}, want {want}"
-        );
+        let want = (1.0 - p)
+            .powi(n as i32)
+            .max((n as f64 * (1.0 - p).ln()).exp());
+        assert!((got - want).abs() < 0.01, "P(k=0): got {got}, want {want}");
     }
 
     #[test]

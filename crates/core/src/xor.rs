@@ -99,10 +99,35 @@ impl XorPuf {
     ///
     /// Panics on a stage mismatch.
     pub fn response(&self, challenge: &Challenge) -> bool {
+        puf_telemetry::counter!("core.eval.count").inc();
         let features = challenge.features();
-        self.members
+        self.members.iter().fold(false, |acc, m| {
+            acc ^ (m.delay_difference_from_features(&features) > 0.0)
+        })
+    }
+
+    /// Noiseless XOR responses for a whole challenge batch.
+    ///
+    /// Semantically identical to mapping [`XorPuf::response`]; the batch
+    /// entry point exists so pipeline code gets per-batch latency telemetry
+    /// (`core.eval.batch` histogram, `core.eval.count` counter) instead of
+    /// per-bit overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stage mismatch.
+    pub fn responses(&self, challenges: &[Challenge]) -> Vec<bool> {
+        let _span = puf_telemetry::span!("core.eval.batch");
+        puf_telemetry::counter!("core.eval.count").add(challenges.len() as u64);
+        challenges
             .iter()
-            .fold(false, |acc, m| acc ^ (m.delay_difference_from_features(&features) > 0.0))
+            .map(|c| {
+                let features = c.features();
+                self.members.iter().fold(false, |acc, m| {
+                    acc ^ (m.delay_difference_from_features(&features) > 0.0)
+                })
+            })
+            .collect()
     }
 
     /// One noisy evaluation: each member gets an independent noise draw,
@@ -213,6 +238,18 @@ mod tests {
     }
 
     #[test]
+    fn batch_responses_match_single_eval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let xor = XorPuf::random(4, 16, &mut rng);
+        let cs: Vec<Challenge> = (0..20).map(|_| Challenge::random(16, &mut rng)).collect();
+        let batch = xor.responses(&cs);
+        assert_eq!(batch.len(), cs.len());
+        for (c, &b) in cs.iter().zip(&batch) {
+            assert_eq!(b, xor.response(c));
+        }
+    }
+
+    #[test]
     fn soft_response_piling_up_two_members() {
         // Two members with known deltas; check against direct enumeration.
         let a = ArbiterPuf::from_weights(vec![0.0, 0.1]).unwrap();
@@ -234,7 +271,9 @@ mod tests {
         let sigma = 0.5;
         let p = xor.soft_response(&c, sigma);
         let n = 40_000;
-        let ones = (0..n).filter(|_| xor.eval_noisy(&c, sigma, &mut rng)).count() as f64;
+        let ones = (0..n)
+            .filter(|_| xor.eval_noisy(&c, sigma, &mut rng))
+            .count() as f64;
         assert!(
             (ones / n as f64 - p).abs() < 0.015,
             "empirical {} vs analytic {p}",

@@ -115,12 +115,7 @@ fn jacobi_eigen(mut a: Vec<f64>, d: usize) -> (Vec<f64>, Vec<f64>) {
 /// # Panics
 ///
 /// Panics if `x0` is empty.
-pub fn maximize<R, F>(
-    fitness: F,
-    x0: Vec<f64>,
-    config: &CmaesConfig,
-    rng: &mut R,
-) -> CmaesResult
+pub fn maximize<R, F>(fitness: F, x0: Vec<f64>, config: &CmaesConfig, rng: &mut R) -> CmaesResult
 where
     R: Rng + ?Sized,
     F: Fn(&[f64]) -> f64,
@@ -146,8 +141,8 @@ where
     let cc = (4.0 + mu_eff / d_f) / (d_f + 4.0 + 2.0 * mu_eff / d_f);
     let cs = (mu_eff + 2.0) / (d_f + mu_eff + 5.0);
     let c1 = 2.0 / ((d_f + 1.3) * (d_f + 1.3) + mu_eff);
-    let cmu = (1.0 - c1)
-        .min(2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((d_f + 2.0) * (d_f + 2.0) + mu_eff));
+    let cmu =
+        (1.0 - c1).min(2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) / ((d_f + 2.0) * (d_f + 2.0) + mu_eff));
     let damps = 1.0 + 2.0 * ((mu_eff - 1.0) / (d_f + 1.0)).sqrt().max(0.0) + cs;
     let chi_n = d_f.sqrt() * (1.0 - 1.0 / (4.0 * d_f) + 1.0 / (21.0 * d_f * d_f));
 
@@ -291,7 +286,7 @@ mod tests {
         // Fitness defined through a sign pattern — the reliability-attack
         // regime where gradients don't exist.
         let mut rng = StdRng::seed_from_u64(2);
-        let target = [0.7, -0.3, 0.9];
+        let target: [f64; 3] = [0.7, -0.3, 0.9];
         let result = maximize(
             |x| {
                 // Count of coordinates on the right side plus a coarse
@@ -299,13 +294,9 @@ mod tests {
                 let signs = x
                     .iter()
                     .zip(&target)
-                    .filter(|(a, b)| a.signum() == (**b as f64).signum())
+                    .filter(|(a, b)| a.signum() == (**b).signum())
                     .count() as f64;
-                let dist: f64 = x
-                    .iter()
-                    .zip(&target)
-                    .map(|(a, b)| (a - b).abs())
-                    .sum();
+                let dist: f64 = x.iter().zip(&target).map(|(a, b)| (a - b).abs()).sum();
                 signs - (dist * 4.0).floor() * 0.1
             },
             vec![0.0; 3],
@@ -316,7 +307,7 @@ mod tests {
             .x
             .iter()
             .zip(&target)
-            .filter(|(a, b)| a.signum() == (**b as f64).signum())
+            .filter(|(a, b)| a.signum() == (**b).signum())
             .count();
         assert_eq!(signs_right, 3, "{:?}", result.x);
     }

@@ -63,8 +63,7 @@ where
         .map(|f| evaluate(&f.train, &f.validation))
         .collect();
     let mean = scores.iter().sum::<f64>() / scores.len() as f64;
-    let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-        / scores.len() as f64;
+    let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / scores.len() as f64;
     (mean, var.sqrt())
 }
 
@@ -79,7 +78,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let folds = k_folds(103, 5, &mut rng);
         assert_eq!(folds.len(), 5);
-        let mut seen = vec![false; 103];
+        let mut seen = [false; 103];
         for f in &folds {
             assert_eq!(f.train.len() + f.validation.len(), 103);
             for &i in &f.validation {

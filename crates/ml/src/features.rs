@@ -46,8 +46,7 @@ mod tests {
     #[test]
     fn design_matrix_shape_and_rows() {
         let mut rng = StdRng::seed_from_u64(1);
-        let challenges: Vec<Challenge> =
-            (0..5).map(|_| Challenge::random(16, &mut rng)).collect();
+        let challenges: Vec<Challenge> = (0..5).map(|_| Challenge::random(16, &mut rng)).collect();
         let x = design_matrix(&challenges);
         assert_eq!(x.rows(), 5);
         assert_eq!(x.cols(), 17);

@@ -45,5 +45,5 @@ pub use linreg::LinearRegression;
 pub use logreg::{LogisticConfig, LogisticRegression};
 pub use metrics::{accuracy, auc, Confusion};
 pub use mlp::{Mlp, MlpConfig, SgdConfig};
-pub use probit::ProbitRegression;
 pub use opt::{Adam, GradientDescent, Lbfgs, Objective, OptimizeResult};
+pub use probit::ProbitRegression;

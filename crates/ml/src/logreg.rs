@@ -169,15 +169,17 @@ mod tests {
         // The classical result: one arbiter PUF is trivially learnable.
         let mut rng = StdRng::seed_from_u64(1);
         let puf = ArbiterPuf::random(32, &mut rng);
-        let train: Vec<Challenge> =
-            (0..2_000).map(|_| Challenge::random(32, &mut rng)).collect();
+        let train: Vec<Challenge> = (0..2_000)
+            .map(|_| Challenge::random(32, &mut rng))
+            .collect();
         let labels: Vec<bool> = train.iter().map(|c| puf.response(c)).collect();
         let (model, result) =
             LogisticRegression::fit_challenges(&train, &labels, &LogisticConfig::default());
         assert!(result.value.is_finite());
 
-        let test: Vec<Challenge> =
-            (0..1_000).map(|_| Challenge::random(32, &mut rng)).collect();
+        let test: Vec<Challenge> = (0..1_000)
+            .map(|_| Challenge::random(32, &mut rng))
+            .collect();
         let truth: Vec<bool> = test.iter().map(|c| puf.response(c)).collect();
         let acc = model.accuracy(&test, &truth);
         assert!(acc > 0.97, "single-PUF attack accuracy only {acc}");
@@ -187,8 +189,9 @@ mod tests {
     fn recovered_theta_is_aligned_with_true_weights() {
         let mut rng = StdRng::seed_from_u64(2);
         let puf = ArbiterPuf::random(16, &mut rng);
-        let train: Vec<Challenge> =
-            (0..4_000).map(|_| Challenge::random(16, &mut rng)).collect();
+        let train: Vec<Challenge> = (0..4_000)
+            .map(|_| Challenge::random(16, &mut rng))
+            .collect();
         let labels: Vec<bool> = train.iter().map(|c| puf.response(c)).collect();
         let (model, _) =
             LogisticRegression::fit_challenges(&train, &labels, &LogisticConfig::default());
@@ -200,13 +203,13 @@ mod tests {
     fn balanced_random_labels_stay_near_chance() {
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(3);
-        let train: Vec<Challenge> =
-            (0..500).map(|_| Challenge::random(16, &mut rng)).collect();
+        let train: Vec<Challenge> = (0..500).map(|_| Challenge::random(16, &mut rng)).collect();
         let labels: Vec<bool> = (0..500).map(|_| rng.gen()).collect();
         let (model, _) =
             LogisticRegression::fit_challenges(&train, &labels, &LogisticConfig::default());
-        let test: Vec<Challenge> =
-            (0..1_000).map(|_| Challenge::random(16, &mut rng)).collect();
+        let test: Vec<Challenge> = (0..1_000)
+            .map(|_| Challenge::random(16, &mut rng))
+            .collect();
         let truth: Vec<bool> = (0..1_000).map(|_| rng.gen()).collect();
         let acc = model.accuracy(&test, &truth);
         assert!(

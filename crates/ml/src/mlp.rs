@@ -93,10 +93,7 @@ fn bce_from_logit(z: f64, y: f64) -> f64 {
 }
 
 fn param_count(sizes: &[usize]) -> usize {
-    sizes
-        .windows(2)
-        .map(|w| w[0] * w[1] + w[1])
-        .sum()
+    sizes.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
 }
 
 impl Mlp {
@@ -167,7 +164,11 @@ impl Mlp {
     fn forward_logits_with(&self, params: &[f64], x: &Matrix) -> Vec<f64> {
         assert_eq!(x.cols(), self.sizes[0], "input width mismatch");
         let activations = self.forward_all(params, x);
-        activations.last().expect("network has layers").as_slice().to_vec()
+        activations
+            .last()
+            .expect("network has layers")
+            .as_slice()
+            .to_vec()
     }
 
     /// Runs the full forward pass, returning per-layer activations
@@ -217,7 +218,10 @@ impl Mlp {
 
     /// Hard predictions at threshold 0.5.
     pub fn predict(&self, x: &Matrix) -> Vec<bool> {
-        self.forward_logits(x).into_iter().map(|z| z > 0.0).collect()
+        self.forward_logits(x)
+            .into_iter()
+            .map(|z| z > 0.0)
+            .collect()
     }
 
     /// Trains the network in place on `(x, y)` with L-BFGS and returns the
@@ -266,6 +270,7 @@ impl Mlp {
         let mut grad = vec![0.0; dim];
         let mut order: Vec<usize> = (0..n).collect();
         let mut t = 0i32;
+        let _span = puf_telemetry::span!("ml.train.sgd");
         for _ in 0..config.epochs {
             // Fisher–Yates shuffle.
             for i in (1..n).rev() {
@@ -287,6 +292,11 @@ impl Mlp {
                     let v_hat = v[i] / (1.0 - 0.999f64.powi(t));
                     self.params[i] -= config.learning_rate * m_hat / (v_hat.sqrt() + 1e-8);
                 }
+            }
+            puf_telemetry::counter!("ml.train.sgd.epochs").inc();
+            if puf_telemetry::enabled() {
+                let loss = self.loss_grad(&self.params.clone(), x, y, config.alpha, &mut grad);
+                puf_telemetry::trace!("ml.train.sgd.loss").push(loss);
             }
         }
         self.loss_grad(&self.params.clone(), x, y, config.alpha, &mut grad)
@@ -316,7 +326,14 @@ impl Mlp {
     }
 
     /// Loss and gradient at `params` — the objective adapter's core.
-    fn loss_grad(&self, params: &[f64], x: &Matrix, y: &[f64], alpha: f64, grad: &mut [f64]) -> f64 {
+    fn loss_grad(
+        &self,
+        params: &[f64],
+        x: &Matrix,
+        y: &[f64],
+        alpha: f64,
+        grad: &mut [f64],
+    ) -> f64 {
         let m = x.rows();
         let m_f = m as f64;
         let activations = self.forward_all(params, x);
@@ -365,8 +382,8 @@ impl Mlp {
             let a_prev = &activations[l];
             // grad W[j][k] = Σ_i delta[i][j] · a_prev[i][k] + α·W/m
             {
-                let (gw, gb) = grad[offset..offset + n_in * n_out + n_out]
-                    .split_at_mut(n_in * n_out);
+                let (gw, gb) =
+                    grad[offset..offset + n_in * n_out + n_out].split_at_mut(n_in * n_out);
                 for i in 0..m {
                     let drow = delta.row(i);
                     let arow = a_prev.row(i);
@@ -487,10 +504,7 @@ mod tests {
         for &(z, y) in &[(0.3, 1.0), (-1.2, 0.0), (2.0, 0.0), (-0.5, 1.0)] {
             let p = sigmoid(z);
             let naive = -(y * p.ln() + (1.0 - y) * (1.0 - p).ln());
-            assert!(
-                (bce_from_logit(z, y) - naive).abs() < 1e-10,
-                "z={z} y={y}"
-            );
+            assert!((bce_from_logit(z, y) - naive).abs() < 1e-10, "z={z} y={y}");
         }
     }
 
@@ -499,7 +513,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mlp = Mlp::new(33, &MlpConfig::paper_default(), &mut rng);
         // 33·35+35 + 35·25+25 + 25·25+25 + 25·1+1
-        assert_eq!(mlp.num_params(), 33 * 35 + 35 + 35 * 25 + 25 + 25 * 25 + 25 + 25 + 1);
+        assert_eq!(
+            mlp.num_params(),
+            33 * 35 + 35 + 35 * 25 + 25 + 25 * 25 + 25 + 25 + 1
+        );
         assert_eq!(mlp.sizes(), &[33, 35, 25, 25, 1]);
     }
 
@@ -626,9 +643,12 @@ mod tests {
         let mut mlp = Mlp::new(2, &config, &mut rng);
         let (x, y) = xor_dataset();
         let mut grad = vec![0.0; mlp.num_params()];
-        let before = mlp.loss_value_grad(&mlp.params().to_vec(), &x, &y, 1e-4, &mut grad);
+        let before = mlp.loss_value_grad(mlp.params(), &x, &y, 1e-4, &mut grad);
         let after = mlp.train_sgd(&x, &y, &SgdConfig::default(), &mut rng);
-        assert!(after < before, "SGD did not reduce loss: {before} → {after}");
+        assert!(
+            after < before,
+            "SGD did not reduce loss: {before} → {after}"
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ impl fmt::Display for OptimizeResult {
             self.value,
             self.grad_norm,
             self.iterations,
-            if self.converged { "converged" } else { "iteration cap" }
+            if self.converged {
+                "converged"
+            } else {
+                "iteration cap"
+            }
         )
     }
 }
@@ -127,6 +131,7 @@ impl Lbfgs {
 
         let mut iterations = 0;
         let mut converged = norm(&grad) <= self.tolerance * norm(&x).max(1.0);
+        let _span = puf_telemetry::span!("ml.train.lbfgs");
 
         while !converged && iterations < self.max_iterations {
             // Two-loop recursion for the search direction d = −H·∇f.
@@ -180,6 +185,8 @@ impl Lbfgs {
             grad = new_grad;
             value = new_value;
             iterations += 1;
+            puf_telemetry::counter!("ml.train.lbfgs.iterations").inc();
+            puf_telemetry::trace!("ml.train.lbfgs.loss").push(value);
             converged = norm(&grad) <= self.tolerance * norm(&x).max(1.0);
         }
 
@@ -367,6 +374,7 @@ impl Adam {
         let mut evaluations = 1;
         let mut iterations = 0;
         let mut converged = norm(&grad) <= self.tolerance;
+        let _span = puf_telemetry::span!("ml.train.adam");
 
         while !converged && iterations < self.max_iterations {
             let t = (iterations + 1) as i32;
@@ -380,6 +388,8 @@ impl Adam {
             value = obj.value_grad(&x, &mut grad);
             evaluations += 1;
             iterations += 1;
+            puf_telemetry::counter!("ml.train.adam.iterations").inc();
+            puf_telemetry::trace!("ml.train.adam.loss").push(value);
             converged = norm(&grad) <= self.tolerance;
         }
 
@@ -434,11 +444,14 @@ impl GradientDescent {
         let mut evaluations = 1;
         let mut iterations = 0;
         let mut converged = norm(&grad) <= self.tolerance;
+        let _span = puf_telemetry::span!("ml.train.gd");
         while !converged && iterations < self.max_iterations {
             axpy(-self.learning_rate, &grad.clone(), &mut x);
             value = obj.value_grad(&x, &mut grad);
             evaluations += 1;
             iterations += 1;
+            puf_telemetry::counter!("ml.train.gd.iterations").inc();
+            puf_telemetry::trace!("ml.train.gd.loss").push(value);
             converged = norm(&grad) <= self.tolerance;
         }
         OptimizeResult {
@@ -547,18 +560,14 @@ mod tests {
 
     #[test]
     fn gradient_descent_converges_on_easy_quadratic() {
-        let obj = Quadratic {
-            center: vec![2.0],
-        };
+        let obj = Quadratic { center: vec![2.0] };
         let result = GradientDescent::new().minimize(&obj, vec![0.0]);
         assert!((result.x[0] - 2.0).abs() < 1e-4);
     }
 
     #[test]
     fn result_display() {
-        let obj = Quadratic {
-            center: vec![0.0],
-        };
+        let obj = Quadratic { center: vec![0.0] };
         let result = Lbfgs::new().minimize(&obj, vec![1.0]);
         assert!(result.to_string().contains("iterations"));
     }

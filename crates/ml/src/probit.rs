@@ -152,7 +152,9 @@ mod tests {
         // yields a degenerate but finite model.
         let mut rng = StdRng::seed_from_u64(4);
         let challenges = random_challenges(8, 100, &mut rng);
-        let soft: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let soft: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let model = ProbitRegression::fit(&challenges, &soft, 100, 1e-3).unwrap();
         assert!(model.theta().iter().all(|t| t.is_finite()));
     }

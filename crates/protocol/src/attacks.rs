@@ -113,8 +113,7 @@ pub fn reliability_attack<R: Rng + ?Sized>(
     let challenges: Vec<Challenge> = (0..config.measurements)
         .map(|_| Challenge::random(chip.stages(), rng))
         .collect();
-    let unreliability =
-        measure_unreliability(chip, n, &challenges, cond, config.evals, rng)?;
+    let unreliability = measure_unreliability(chip, n, &challenges, cond, config.evals, rng)?;
     // Precompute feature rows once; fitness evaluations dominate the run.
     let features: Vec<Vec<f64>> = challenges
         .iter()
@@ -310,8 +309,8 @@ mod tests {
         let challenges: Vec<Challenge> = (0..2_000)
             .map(|_| Challenge::random(chip.stages(), &mut rng))
             .collect();
-        let u = measure_unreliability(&chip, 2, &challenges, Condition::NOMINAL, 1, &mut rng)
-            .unwrap();
+        let u =
+            measure_unreliability(&chip, 2, &challenges, Condition::NOMINAL, 1, &mut rng).unwrap();
         assert!(
             u.iter().all(|&v| v == 0.0),
             "one-shot unreliability must be identically zero"
@@ -326,8 +325,7 @@ mod tests {
                 ..CmaesConfig::default()
             },
         };
-        let models =
-            reliability_attack(&chip, 2, Condition::NOMINAL, &config, &mut rng).unwrap();
+        let models = reliability_attack(&chip, 2, Condition::NOMINAL, &config, &mut rng).unwrap();
         assert!(
             models[0].fitness <= 0.0,
             "no reliability signal should be extractable: fitness {}",
@@ -349,10 +347,12 @@ mod tests {
         .unwrap();
         let mut server = crate::server::Server::new();
         server.register(record);
-        let picks = server.select_challenges(0, 300, 2_000_000, &mut rng).unwrap();
-        let challenges: Vec<Challenge> = picks.iter().map(|p| p.challenge).collect();
-        let u = measure_unreliability(&chip, 2, &challenges, Condition::NOMINAL, 50, &mut rng)
+        let picks = server
+            .select_challenges(0, 300, 2_000_000, &mut rng)
             .unwrap();
+        let challenges: Vec<Challenge> = picks.iter().map(|p| p.challenge).collect();
+        let u =
+            measure_unreliability(&chip, 2, &challenges, Condition::NOMINAL, 50, &mut rng).unwrap();
         let nonzero = u.iter().filter(|&&v| v > 0.0).count();
         assert!(
             nonzero * 50 < challenges.len(),
@@ -375,8 +375,7 @@ mod tests {
             restarts: 8,
             ..ReliabilityAttackConfig::default()
         };
-        let models =
-            reliability_attack(&chip, n, Condition::NOMINAL, &config, &mut rng).unwrap();
+        let models = reliability_attack(&chip, n, Condition::NOMINAL, &config, &mut rng).unwrap();
         // Pick one model per distinct member (by the ground-truth match).
         let mut per_member: Vec<Option<RecoveredModel>> = vec![None; n];
         for m in &models {
@@ -394,7 +393,9 @@ mod tests {
         let calib: Vec<(Challenge, bool)> = (0..16)
             .map(|_| {
                 let c = Challenge::random(chip.stages(), &mut rng);
-                let r = chip.eval_xor_once(n, &c, Condition::NOMINAL, &mut rng).unwrap();
+                let r = chip
+                    .eval_xor_once(n, &c, Condition::NOMINAL, &mut rng)
+                    .unwrap();
                 (c, r)
             })
             .collect();

@@ -33,9 +33,7 @@ impl AuthPolicy {
         assert!(total > 0, "cannot judge an empty authentication round");
         match self {
             AuthPolicy::ZeroHammingDistance => mismatches == 0,
-            AuthPolicy::MaxHammingFraction(bound) => {
-                (mismatches as f64 / total as f64) <= bound
-            }
+            AuthPolicy::MaxHammingFraction(bound) => (mismatches as f64 / total as f64) <= bound,
         }
     }
 }
@@ -385,12 +383,7 @@ mod tests {
         let mut one_shot = ChipResponder::new(&chip, 2, Condition::NOMINAL, 10);
         let mut tmv = MajorityVoteResponder::new(&chip, 2, Condition::NOMINAL, 15, 11);
         assert_eq!(tmv.votes(), 15);
-        let errs = |bits: Vec<bool>| {
-            bits.iter()
-                .zip(&reference)
-                .filter(|(a, b)| a != b)
-                .count()
-        };
+        let errs = |bits: Vec<bool>| bits.iter().zip(&reference).filter(|(a, b)| a != b).count();
         let e1 = errs(one_shot.respond(&challenges));
         let e15 = errs(tmv.respond(&challenges));
         assert!(

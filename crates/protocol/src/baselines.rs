@@ -145,11 +145,7 @@ pub fn classic_enroll<R: Rng + ?Sized>(
 /// # Panics
 ///
 /// Panics if `flip_probability` is outside `[0, 1]`.
-pub fn flip_labels<R: Rng + ?Sized>(
-    crps: &CrpSet,
-    flip_probability: f64,
-    rng: &mut R,
-) -> CrpSet {
+pub fn flip_labels<R: Rng + ?Sized>(crps: &CrpSet, flip_probability: f64, rng: &mut R) -> CrpSet {
     assert!(
         (0.0..=1.0).contains(&flip_probability),
         "flip probability must be in [0,1]"
@@ -205,39 +201,23 @@ mod tests {
     fn multi_condition_selection_is_stricter() {
         let (chip, mut rng) = chip_and_rng(2);
         let budget = 3_000;
-        let (_, nominal_cost) = select_by_measurement(
-            &chip,
-            2,
-            1,
-            &[Condition::NOMINAL],
-            20_000,
-            budget,
-            &mut rng,
-        )
-        .unwrap();
+        let (_, nominal_cost) =
+            select_by_measurement(&chip, 2, 1, &[Condition::NOMINAL], 20_000, budget, &mut rng)
+                .unwrap();
         let grid = Condition::paper_grid();
         let (_, grid_cost) =
             select_by_measurement(&chip, 2, 1, &grid, 20_000, budget, &mut rng).unwrap();
         // Per selected challenge, the 9-condition campaign costs more
         // measurements.
-        assert!(
-            grid_cost.measurements_per_selected() > nominal_cost.measurements_per_selected()
-        );
+        assert!(grid_cost.measurements_per_selected() > nominal_cost.measurements_per_selected());
     }
 
     #[test]
     fn selection_exhaustion_error() {
         let (chip, mut rng) = chip_and_rng(3);
-        let err = select_by_measurement(
-            &chip,
-            4,
-            1_000,
-            &[Condition::NOMINAL],
-            10_000,
-            10,
-            &mut rng,
-        )
-        .unwrap_err();
+        let err =
+            select_by_measurement(&chip, 4, 1_000, &[Condition::NOMINAL], 10_000, 10, &mut rng)
+                .unwrap_err();
         assert!(matches!(
             err,
             ProtocolError::ChallengeSelectionExhausted { .. }

@@ -58,7 +58,7 @@ pub fn device_respond<R: Rng + ?Sized>(
 ) -> Result<Vec<bool>, ProtocolError> {
     let g = config.group_size;
     assert!(
-        challenges.len() % g == 0,
+        challenges.len().is_multiple_of(g),
         "challenge count must be a multiple of the group size"
     );
     let mut out = Vec::with_capacity(challenges.len() / g);
@@ -91,8 +91,15 @@ pub fn server_verify(
     config: BifurcationConfig,
 ) -> f64 {
     let g = config.group_size;
-    assert!(challenges.len() % g == 0, "challenge count not a multiple of g");
-    assert_eq!(challenges.len() / g, returned.len(), "response count mismatch");
+    assert!(
+        challenges.len().is_multiple_of(g),
+        "challenge count not a multiple of g"
+    );
+    assert_eq!(
+        challenges.len() / g,
+        returned.len(),
+        "response count mismatch"
+    );
     let mut score = 0.0;
     for (group, &bit) in challenges.chunks(g).zip(returned) {
         let mut mass = 0.0;
@@ -123,8 +130,15 @@ pub fn attacker_view<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> CrpSet {
     let g = config.group_size;
-    assert!(challenges.len() % g == 0, "challenge count not a multiple of g");
-    assert_eq!(challenges.len() / g, returned.len(), "response count mismatch");
+    assert!(
+        challenges.len().is_multiple_of(g),
+        "challenge count not a multiple of g"
+    );
+    assert_eq!(
+        challenges.len() / g,
+        returned.len(),
+        "response count mismatch"
+    );
     challenges
         .chunks(g)
         .zip(returned)
@@ -250,7 +264,8 @@ mod tests {
             .map(|c| {
                 (
                     *c,
-                    chip.eval_xor_once(1, c, Condition::NOMINAL, &mut rng).unwrap(),
+                    chip.eval_xor_once(1, c, Condition::NOMINAL, &mut rng)
+                        .unwrap(),
                 )
             })
             .collect();

@@ -204,12 +204,15 @@ pub fn enroll_with_challenges<R: Rng + ?Sized>(
     if training.is_empty() {
         return Err(ProtocolError::DegenerateTraining { puf: 0 });
     }
+    let _span = puf_telemetry::span!("protocol.enroll.duration");
+    puf_telemetry::counter!("protocol.enroll.pufs").add(config.n as u64);
     let mut pufs = Vec::with_capacity(config.n);
     for puf_idx in 0..config.n {
         // 1. Counter measurements of the training set.
         let mut soft_values = Vec::with_capacity(training.len());
         for c in training {
-            let s = chip.measure_individual_soft(puf_idx, c, config.condition, config.evals, rng)?;
+            let s =
+                chip.measure_individual_soft(puf_idx, c, config.condition, config.evals, rng)?;
             soft_values.push(s.value());
         }
 
@@ -245,8 +248,7 @@ pub fn enroll_with_challenges<R: Rng + ?Sized>(
         let betas = if triples.is_empty() {
             Betas::IDENTITY
         } else {
-            fit_betas(thresholds, &triples)
-                .ok_or(ProtocolError::BetaFitFailed { puf: puf_idx })?
+            fit_betas(thresholds, &triples).ok_or(ProtocolError::BetaFitFailed { puf: puf_idx })?
         };
 
         pufs.push(EnrolledPuf {
@@ -279,6 +281,7 @@ pub fn enroll_with_challenges<R: Rng + ?Sized>(
 /// # Panics
 ///
 /// Panics if `challenges` or `conditions` is empty.
+#[allow(clippy::too_many_arguments)]
 pub fn fit_betas_on_measurements<R: Rng + ?Sized>(
     chip: &Chip,
     puf: usize,
@@ -362,7 +365,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(checked > 50, "selector found too few stable challenges: {checked}");
+        assert!(
+            checked > 50,
+            "selector found too few stable challenges: {checked}"
+        );
         assert_eq!(
             wrong, 0,
             "{wrong}/{checked} predicted-stable challenges had the wrong bit"
@@ -378,7 +384,10 @@ mod tests {
         let test = random_challenges(chip.stages(), 1_500, &mut rng);
         let f2 = e2.predicted_stable_fraction(&test);
         let f4 = e4.predicted_stable_fraction(&test);
-        assert!(f4 < f2, "stable fraction should shrink with n: {f2} vs {f4}");
+        assert!(
+            f4 < f2,
+            "stable fraction should shrink with n: {f2} vs {f4}"
+        );
     }
 
     #[test]

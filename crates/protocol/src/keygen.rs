@@ -73,7 +73,12 @@ impl Key {
 impl fmt::Debug for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Never print key material.
-        write!(f, "Key({} bits, digest {:016x})", self.bits.len(), self.digest())
+        write!(
+            f,
+            "Key({} bits, digest {:016x})",
+            self.bits.len(),
+            self.digest()
+        )
     }
 }
 

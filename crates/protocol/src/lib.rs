@@ -119,7 +119,10 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Silicon(e) => write!(f, "chip measurement failed: {e}"),
             ProtocolError::Fit(e) => write!(f, "enrollment regression failed: {e}"),
             ProtocolError::DegenerateTraining { puf } => {
-                write!(f, "PUF {puf}: training measurements cannot produce thresholds")
+                write!(
+                    f,
+                    "PUF {puf}: training measurements cannot produce thresholds"
+                )
             }
             ProtocolError::BetaFitFailed { puf } => {
                 write!(f, "PUF {puf}: no β adjustment filters the validation set")

@@ -150,7 +150,10 @@ mod tests {
         for c in &cs[..3] {
             iface.query(c).unwrap();
         }
-        assert!(iface.query(&cs[3]).is_err(), "4th query in a 3-budget session");
+        assert!(
+            iface.query(&cs[3]).is_err(),
+            "4th query in a 3-budget session"
+        );
 
         iface.open_session().unwrap();
         for c in &cs[3..6] {

@@ -191,8 +191,7 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let strict_yield =
-            strict.iter().filter(|&&b| b).count() as f64 / strict.len() as f64;
+        let strict_yield = strict.iter().filter(|&&b| b).count() as f64 / strict.len() as f64;
         assert!(
             report.yield_fraction() > strict_yield,
             "salvage yield {} should beat strict yield {strict_yield}",

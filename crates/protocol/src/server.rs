@@ -36,6 +36,7 @@ impl Server {
     /// Registers an enrollment record; replaces any previous record for the
     /// same chip id and returns it.
     pub fn register(&mut self, record: EnrolledChip) -> Option<EnrolledChip> {
+        puf_telemetry::counter!("protocol.register.chips").inc();
         self.records.insert(record.chip_id, record)
     }
 
@@ -80,11 +81,14 @@ impl Server {
             .records
             .get(&chip_id)
             .ok_or(ProtocolError::UnknownChip { chip_id })?;
+        let _span = puf_telemetry::span!("protocol.select.duration");
         let mut selected = Vec::with_capacity(count);
+        let mut attempted = 0u64;
         for _ in 0..max_attempts {
             if selected.len() == count {
                 break;
             }
+            attempted += 1;
             let challenge = Challenge::random(record.stages, rng);
             if let Some(expected) = record.predict_stable_xor(&challenge) {
                 selected.push(SelectedChallenge {
@@ -92,6 +96,14 @@ impl Server {
                     expected,
                 });
             }
+        }
+        puf_telemetry::counter!("protocol.select.attempted").add(attempted);
+        puf_telemetry::counter!("protocol.select.accepted").add(selected.len() as u64);
+        if attempted > 0 {
+            // Predicted-stable yield of this selection round — how much of
+            // the random challenge space the thresholds certify.
+            puf_telemetry::gauge!("protocol.select.yield")
+                .set(selected.len() as f64 / attempted as f64);
         }
         if selected.len() < count {
             return Err(ProtocolError::ChallengeSelectionExhausted {
@@ -119,6 +131,8 @@ impl Server {
         policy: AuthPolicy,
         rng: &mut R,
     ) -> Result<AuthOutcome, ProtocolError> {
+        puf_telemetry::counter!("protocol.auth.attempts").inc();
+        let _span = puf_telemetry::span!("protocol.auth.duration");
         // Draw attempts generously: stable fractions below ~0.1 % still
         // terminate, while genuinely exhausted selection errors out.
         let max_attempts = count.saturating_mul(200_000).max(100_000);
@@ -136,7 +150,13 @@ impl Server {
             .zip(&responses)
             .filter(|(s, &r)| s.expected != r)
             .count();
-        Ok(AuthOutcome::judge(policy, count, mismatches))
+        let outcome = AuthOutcome::judge(policy, count, mismatches);
+        if outcome.approved {
+            puf_telemetry::counter!("protocol.auth.accepts").inc();
+        } else {
+            puf_telemetry::counter!("protocol.auth.rejects").inc();
+        }
+        Ok(outcome)
     }
 }
 
@@ -204,7 +224,13 @@ mod tests {
         let (chip, server, mut rng) = setup(4);
         let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 5);
         let outcome = server
-            .authenticate(3, &mut client, 30, AuthPolicy::ZeroHammingDistance, &mut rng)
+            .authenticate(
+                3,
+                &mut client,
+                30,
+                AuthPolicy::ZeroHammingDistance,
+                &mut rng,
+            )
             .unwrap();
         assert!(outcome.approved, "genuine chip denied: {outcome:?}");
         assert_eq!(outcome.mismatches, 0);

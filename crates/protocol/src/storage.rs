@@ -353,10 +353,12 @@ mod tests {
                     0.01f64..2.0,
                     0.01f64..2.0,
                 )
-                    .prop_map(move |(theta, thr0, gap, beta0, beta1)| EnrolledPuf {
-                        model: LinearRegression::from_theta(theta),
-                        thresholds: Thresholds::new(thr0, thr0 + gap),
-                        betas: Betas::new(beta0, beta1),
+                    .prop_map(move |(theta, thr0, gap, beta0, beta1)| {
+                        EnrolledPuf {
+                            model: LinearRegression::from_theta(theta),
+                            thresholds: Thresholds::new(thr0, thr0 + gap),
+                            betas: Betas::new(beta0, beta1),
+                        }
                     });
                 proptest::collection::vec(puf, n).prop_map(move |pufs| EnrolledChip {
                     chip_id,

@@ -194,10 +194,7 @@ impl fmt::Display for Betas {
 ///
 /// Returns `None` if even the maximum tightening (β₀ → 0, β₁ → hard cap)
 /// cannot filter all violations — which indicates a broken model.
-pub fn fit_betas(
-    thresholds: Thresholds,
-    validation: &[(f64, bool, bool)],
-) -> Option<Betas> {
+pub fn fit_betas(thresholds: Thresholds, validation: &[(f64, bool, bool)]) -> Option<Betas> {
     const STEP: f64 = 0.01;
     const BETA1_CAP: f64 = 10.0;
     let mut beta0 = 0.99;

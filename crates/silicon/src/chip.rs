@@ -3,7 +3,9 @@
 use crate::counter::{self, SoftResponse};
 use crate::fuse::FuseBank;
 use crate::SiliconError;
-use puf_core::{AgingModel, ArbiterPuf, Challenge, Condition, DriftVector, Environment, NoiseModel, Sensitivity};
+use puf_core::{
+    AgingModel, ArbiterPuf, Challenge, Condition, DriftVector, Environment, NoiseModel, Sensitivity,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,7 +63,10 @@ impl ChipConfig {
     /// A copy with a different model-mismatch σ (builder style); 0 gives an
     /// idealised, perfectly linear chip.
     pub fn with_model_mismatch(mut self, sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be finite and non-negative");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be finite and non-negative"
+        );
         self.model_mismatch_sigma = sigma;
         self
     }
@@ -247,7 +252,11 @@ impl Chip {
     /// # Errors
     ///
     /// Returns [`SiliconError::PufIndexOutOfRange`] for a bad index.
-    pub fn ground_truth_puf(&self, puf: usize, cond: Condition) -> Result<ArbiterPuf, SiliconError> {
+    pub fn ground_truth_puf(
+        &self,
+        puf: usize,
+        cond: Condition,
+    ) -> Result<ArbiterPuf, SiliconError> {
         self.check_puf(puf)?;
         Ok(self
             .environment
@@ -321,6 +330,8 @@ impl Chip {
         rng: &mut R,
     ) -> Result<SoftResponse, SiliconError> {
         self.check_fuses()?;
+        let _span = puf_telemetry::span!("silicon.measure.individual");
+        puf_telemetry::counter!("silicon.measure.evals").add(evals);
         let p = self.ground_truth_soft(puf, challenge, cond)?;
         Ok(counter::measure(p, evals, rng))
     }
@@ -340,6 +351,8 @@ impl Chip {
     ) -> Result<bool, SiliconError> {
         self.check_xor_width(n)?;
         self.check_challenge(challenge)?;
+        let _span = puf_telemetry::span!("core.eval");
+        puf_telemetry::counter!("core.eval.count").inc();
         let mut acc = false;
         for puf in 0..n {
             let p = self.ground_truth_soft(puf, challenge, cond)?;
@@ -368,6 +381,8 @@ impl Chip {
     ) -> Result<SoftResponse, SiliconError> {
         self.check_xor_width(n)?;
         self.check_challenge(challenge)?;
+        let _span = puf_telemetry::span!("silicon.measure.xor");
+        puf_telemetry::counter!("silicon.measure.evals").add(evals);
         // P(xor = 1) via the piling-up identity over independent members.
         let mut prod = 1.0;
         for puf in 0..n {
@@ -494,7 +509,9 @@ mod tests {
             Err(SiliconError::FusesBlown)
         );
         // XOR access survives.
-        assert!(chip.eval_xor_once(2, &c, Condition::NOMINAL, &mut rng).is_ok());
+        assert!(chip
+            .eval_xor_once(2, &c, Condition::NOMINAL, &mut rng)
+            .is_ok());
         assert!(chip
             .measure_xor_soft(2, &c, Condition::NOMINAL, 100, &mut rng)
             .is_ok());
@@ -539,7 +556,9 @@ mod tests {
             let want = (0..3).fold(false, |acc, i| {
                 acc ^ (chip.ground_truth_soft(i, &c, Condition::NOMINAL).unwrap() >= 0.5)
             });
-            let got = chip.eval_xor_once(3, &c, Condition::NOMINAL, &mut rng).unwrap();
+            let got = chip
+                .eval_xor_once(3, &c, Condition::NOMINAL, &mut rng)
+                .unwrap();
             assert_eq!(got, want);
         }
     }
@@ -566,8 +585,12 @@ mod tests {
             );
         }
         // Different chips carry different process variation.
-        let w0 = a.chips()[0].ground_truth_puf(0, Condition::NOMINAL).unwrap();
-        let w1 = a.chips()[1].ground_truth_puf(0, Condition::NOMINAL).unwrap();
+        let w0 = a.chips()[0]
+            .ground_truth_puf(0, Condition::NOMINAL)
+            .unwrap();
+        let w1 = a.chips()[1]
+            .ground_truth_puf(0, Condition::NOMINAL)
+            .unwrap();
         assert_ne!(w0.weights(), w1.weights(), "distinct chips share weights");
     }
 
@@ -595,7 +618,9 @@ mod tests {
                 // cannot rejuvenate — compare against an identically
                 // fabricated chip instead
                 fresh_chip.age_hours = 0.0;
-                fresh_chip.ground_truth_soft(0, &c, Condition::NOMINAL).unwrap()
+                fresh_chip
+                    .ground_truth_soft(0, &c, Condition::NOMINAL)
+                    .unwrap()
             };
             let a = chip.ground_truth_soft(0, &c, Condition::NOMINAL).unwrap();
             if (f - a).abs() > 1e-12 {

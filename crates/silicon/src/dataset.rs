@@ -83,10 +83,7 @@ impl CrpSet {
     ///
     /// Panics if `fraction` is not within `[0, 1]`.
     pub fn split_at_fraction(&self, fraction: f64) -> (CrpSet, CrpSet) {
-        assert!(
-            (0.0..=1.0).contains(&fraction),
-            "fraction must be in [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
         let cut = ((self.len() as f64) * fraction).ceil() as usize;
         let cut = cut.min(self.len());
         (
@@ -306,10 +303,7 @@ mod tests {
         let cs = sample_challenges(3);
         let set: CrpSet = cs.iter().map(|c| (*c, true)).collect();
         assert_eq!(set.len(), 3);
-        let soft: SoftCrpSet = cs
-            .iter()
-            .map(|c| (*c, SoftResponse::new(1, 2)))
-            .collect();
+        let soft: SoftCrpSet = cs.iter().map(|c| (*c, SoftResponse::new(1, 2))).collect();
         assert_eq!(soft.len(), 3);
         assert!(soft.stable_fraction() < 1e-12);
     }

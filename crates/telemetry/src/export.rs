@@ -1,0 +1,222 @@
+//! Exporters: a human-readable table for terminals and JSON lines for
+//! `results/` archival. Both are hand-rolled — this crate has no
+//! dependencies, serde included.
+
+use crate::registry::{MetricSnapshot, ValueSnapshot};
+use std::fmt::Write as _;
+
+/// Formats a nanosecond quantity with a human unit (`1.234µs`, `56.7ms`).
+pub fn humanize_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3}µs", v / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3}ms", v / 1e6)
+    } else {
+        format!("{:.3}s", v / 1e9)
+    }
+}
+
+/// Renders snapshots as an aligned text table:
+///
+/// ```text
+/// name                        kind       value
+/// core.eval                   histogram  n=1200 mean=1.2µs p50=1.1µs p95=2.0µs p99=3.1µs max=9.9µs
+/// protocol.auth.attempts      counter    42
+/// ```
+pub fn render_table(snapshots: &[MetricSnapshot]) -> String {
+    let mut rows: Vec<(String, &'static str, String)> = Vec::with_capacity(snapshots.len());
+    for snap in snapshots {
+        let (kind, value) = match &snap.value {
+            ValueSnapshot::Counter(v) => ("counter", v.to_string()),
+            ValueSnapshot::Gauge(v) => ("gauge", format!("{v:.6}")),
+            ValueSnapshot::Histogram(h) => (
+                "histogram",
+                if h.count == 0 {
+                    "n=0".to_owned()
+                } else {
+                    format!(
+                        "n={} mean={} p50={} p95={} p99={} max={}",
+                        h.count,
+                        humanize_ns(h.mean() as u64),
+                        humanize_ns(h.p50()),
+                        humanize_ns(h.p95()),
+                        humanize_ns(h.p99()),
+                        humanize_ns(h.max),
+                    )
+                },
+            ),
+            ValueSnapshot::Trace(t) => (
+                "trace",
+                match t.last() {
+                    None => "n=0".to_owned(),
+                    Some(last) => format!("n={} last={last:.6} stride={}", t.total, t.stride),
+                },
+            ),
+        };
+        rows.push((snap.name.clone(), kind, value));
+    }
+    let name_width = rows
+        .iter()
+        .map(|(n, _, _)| n.len())
+        .chain(["name".len()])
+        .max()
+        .unwrap_or(4);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<name_width$}  {:<9}  value", "name", "kind");
+    for (name, kind, value) in rows {
+        let _ = writeln!(out, "{name:<name_width$}  {kind:<9}  {value}");
+    }
+    out
+}
+
+/// Escapes a string for a JSON string literal (quotes not included).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value (`null` for non-finite values, which
+/// JSON cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders snapshots as JSON lines: one self-contained object per metric,
+/// suitable for appending to a `results/*.jsonl` file.
+///
+/// Shapes:
+///
+/// ```text
+/// {"name":"...","kind":"counter","value":42}
+/// {"name":"...","kind":"gauge","value":1.5}
+/// {"name":"...","kind":"histogram","count":9,"sum_ns":…,"min_ns":…,"max_ns":…,"mean_ns":…,"p50_ns":…,"p95_ns":…,"p99_ns":…}
+/// {"name":"...","kind":"trace","total":20,"stride":1,"values":[…]}
+/// ```
+pub fn render_jsonl(snapshots: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for snap in snapshots {
+        let name = json_escape(&snap.name);
+        match &snap.value {
+            ValueSnapshot::Counter(v) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"{name}\",\"kind\":\"counter\",\"value\":{v}}}"
+                );
+            }
+            ValueSnapshot::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"{name}\",\"kind\":\"gauge\",\"value\":{}}}",
+                    json_f64(*v)
+                );
+            }
+            ValueSnapshot::Histogram(h) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"{name}\",\"kind\":\"histogram\",\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    json_f64(h.mean()),
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
+                );
+            }
+            ValueSnapshot::Trace(t) => {
+                let values: Vec<String> = t.values.iter().map(|&v| json_f64(v)).collect();
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"{name}\",\"kind\":\"trace\",\"total\":{},\"stride\":{},\"values\":[{}]}}",
+                    t.total,
+                    t.stride,
+                    values.join(",")
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new(true);
+        r.counter("core.eval.count").add(12);
+        r.gauge("bench.par.workers").set(8.0);
+        r.histogram("core.eval").record(1_500);
+        r.trace("ml.train.loss").push(0.75);
+        r
+    }
+
+    #[test]
+    fn humanize_ns_units() {
+        assert_eq!(humanize_ns(999), "999ns");
+        assert_eq!(humanize_ns(1_500), "1.500µs");
+        assert_eq!(humanize_ns(2_500_000), "2.500ms");
+        assert_eq!(humanize_ns(3_000_000_000), "3.000s");
+    }
+
+    #[test]
+    fn table_lists_every_metric_aligned() {
+        let table = sample_registry().render_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 5, "header + 4 metrics:\n{table}");
+        assert!(lines[0].starts_with("name"));
+        assert!(table.contains("core.eval.count"));
+        assert!(table.contains("bench.par.workers"));
+        assert!(table.contains("n=1 "), "histogram row in:\n{table}");
+        assert!(table.contains("last=0.75"));
+    }
+
+    #[test]
+    fn jsonl_has_one_valid_object_per_line() {
+        let jsonl = sample_registry().render_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+            assert!(line.contains("\"name\":\""));
+        }
+        assert!(jsonl.contains("\"kind\":\"counter\",\"value\":12"));
+        assert!(jsonl.contains("\"kind\":\"histogram\",\"count\":1"));
+        assert!(jsonl.contains("\"values\":[0.75]"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_gauge_exports_null() {
+        let r = Registry::new(true);
+        r.gauge("g.nan").set(f64::NAN);
+        assert!(r.render_jsonl().contains("\"value\":null"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Lock-free log-bucketed latency histogram.
+//!
+//! Values (nanoseconds) are binned into 4 sub-buckets per power of two,
+//! giving ≤ 12.5 % relative error on reported quantiles across the full
+//! `u64` range with a fixed 252-slot table — no allocation, no locking,
+//! `fetch_add` on record.
+
+use crate::metric::live;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets: values `0..=3` get exact buckets, then 4 sub-buckets
+/// for each of the 62 remaining powers of two.
+pub const BUCKETS: usize = 4 + 62 * 4;
+
+/// Bucket index for a value: exact below 4, otherwise
+/// `(exp − 1)·4 + sub` where `exp = ⌊log₂ v⌋` and `sub` is the top two
+/// mantissa bits.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize;
+        let sub = ((v >> (exp - 2)) & 3) as usize;
+        (exp - 1) * 4 + sub
+    }
+}
+
+/// Inclusive lower bound of a bucket (inverse of [`bucket_index`]).
+fn bucket_lower_bound(idx: usize) -> u64 {
+    if idx < 4 {
+        idx as u64
+    } else {
+        let exp = idx / 4 + 1;
+        let sub = (idx % 4) as u64;
+        (4 + sub) << (exp - 2)
+    }
+}
+
+/// Exclusive upper bound of a bucket.
+fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower_bound(idx + 1)
+    }
+}
+
+/// A concurrent latency histogram with log-spaced buckets.
+///
+/// ```
+/// let h = puf_telemetry::Histogram::standalone();
+/// for v in [100u64, 200, 400, 800] {
+///     h.record(v);
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 4);
+/// assert!(snap.quantile(0.5) >= 100 && snap.quantile(0.5) <= 800);
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    switch: &'static AtomicBool,
+}
+
+impl Histogram {
+    pub(crate) fn new(switch: &'static AtomicBool) -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            switch,
+        }
+    }
+
+    /// A histogram that is always recording, independent of any registry.
+    pub fn standalone() -> Self {
+        Self::new(&crate::ALWAYS_ON)
+    }
+
+    /// Records one value (by convention, nanoseconds).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !live(self.switch) {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating above `u64::MAX` ns).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Whether this histogram's registry is currently recording — used by
+    /// [`crate::Span`] to skip reading the clock entirely when disabled.
+    #[inline]
+    pub(crate) fn is_live(&self) -> bool {
+        live(self.switch)
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies out the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wraps only after ~584 years of summed ns).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Per-bucket counts, indexed as in the live histogram.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), accurate to the bucket resolution
+    /// (≤ 12.5 % relative error) and clamped to the observed `[min, max]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = bucket_lower_bound(idx);
+                let hi = bucket_upper_bound(idx);
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_are_consistent() {
+        for idx in 0..BUCKETS {
+            let lo = bucket_lower_bound(idx);
+            assert_eq!(bucket_index(lo), idx, "lower bound of {idx}");
+            let hi = bucket_upper_bound(idx);
+            if hi != u64::MAX {
+                assert_eq!(bucket_index(hi - 1), idx, "last value of {idx}");
+                assert_eq!(bucket_index(hi), idx + 1);
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_track_known_distribution() {
+        let h = Histogram::standalone();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 1000);
+        assert!((snap.mean() - 500.5).abs() < 1e-9);
+        for (q, exact) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = snap.quantile(q) as f64;
+            assert!(
+                (got - exact).abs() / exact <= 0.125 + 1e-9,
+                "q={q}: got {got}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_is_clamped_to_observed_range() {
+        let h = Histogram::standalone();
+        h.record(5);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.0), 5);
+        assert_eq!(snap.quantile(1.0), 5);
+        assert_eq!(snap.p50(), 5);
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = Histogram::standalone();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn disabled_switch_blocks_recording() {
+        static OFF: AtomicBool = AtomicBool::new(false);
+        let h = Histogram::new(&OFF);
+        h.record(100);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn record_duration_uses_nanoseconds() {
+        let h = Histogram::standalone();
+        h.record_duration(Duration::from_micros(2));
+        let snap = h.snapshot();
+        assert_eq!(snap.min, 2_000);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::standalone();
+        h.record(7);
+        h.reset();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.sum, 0);
+        assert_eq!(snap.max, 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! # puf-telemetry
+//!
+//! Zero-dependency observability substrate for the XOR PUF CRP pipeline:
+//! the paper's headline quantity is *throughput* (10¹² challenge-response
+//! measurements, 100,000 repeats per soft response), and this crate is how
+//! the workspace observes how fast every stage actually runs.
+//!
+//! ## Pieces
+//!
+//! - [`Counter`] / [`Gauge`] — lock-free atomic scalars.
+//! - [`Histogram`] — log-bucketed latency histogram (4 sub-buckets per
+//!   power of two, ≤ 12.5 % relative quantile error) with p50/p95/p99.
+//! - [`Span`] — RAII timer recording into a histogram on drop.
+//! - [`Trace`] — bounded per-step value series (optimizer loss curves).
+//! - [`Registry`] — hierarchical dotted names (`core.eval`,
+//!   `ml.train.lbfgs`, `protocol.auth.attempts`) mapping to leaked
+//!   `&'static` metric handles; one process-global instance plus
+//!   instantiable private registries for tests.
+//! - [`export`] — a human-readable table and JSON-lines for `results/`.
+//! - [`progress::Progress`] — throughput/ETA reporter for long sweeps.
+//!
+//! ## Cost model
+//!
+//! Every record operation first consults its registry's enable switch (one
+//! relaxed atomic load and a branch — low single-digit nanoseconds); the
+//! `off` cargo feature compiles even that out. The switch defaults to
+//! **off** and is turned on by `PUF_TELEMETRY=1` in the environment, the
+//! `xorpuf --telemetry` flag, or [`set_enabled`]. Instrumented hot paths
+//! therefore cost nothing observable in production unless asked to measure.
+//!
+//! ```
+//! puf_telemetry::set_enabled(true);
+//! puf_telemetry::counter!("protocol.auth.attempts").inc();
+//! {
+//!     let _span = puf_telemetry::span!("core.eval");
+//!     // ... timed work ...
+//! }
+//! let report = puf_telemetry::registry().render_table();
+//! assert!(report.contains("protocol.auth.attempts"));
+//! puf_telemetry::set_enabled(false);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod export;
+pub mod histogram;
+pub mod metric;
+pub mod progress;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use metric::{Counter, Gauge, Trace, TraceSnapshot};
+pub use progress::Progress;
+pub use registry::{MetricSnapshot, Registry, ValueSnapshot};
+pub use span::Span;
+
+use std::sync::atomic::AtomicBool;
+use std::sync::OnceLock;
+
+/// The switch handed to metrics created outside any registry.
+static ALWAYS_ON: AtomicBool = AtomicBool::new(true);
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry. Created on first use; initially enabled iff
+/// the `PUF_TELEMETRY` environment variable is set to something other than
+/// `0`, `false` or the empty string.
+pub fn registry() -> &'static Registry {
+    GLOBAL.get_or_init(|| Registry::new(env_truthy("PUF_TELEMETRY")))
+}
+
+/// Whether `var` is set to a truthy value (anything but ``/`0`/`false`/`off`).
+pub(crate) fn env_truthy(var: &str) -> bool {
+    match std::env::var(var) {
+        Ok(v) => !matches!(v.as_str(), "" | "0" | "false" | "off"),
+        Err(_) => false,
+    }
+}
+
+/// Turns the global registry's recording on or off at runtime.
+pub fn set_enabled(on: bool) {
+    registry().set_enabled(on);
+}
+
+/// Whether the global registry is currently recording.
+pub fn enabled() -> bool {
+    registry().enabled()
+}
+
+/// A cached [`Counter`] handle in the global registry.
+///
+/// Expands to one `OnceLock` lookup per call site; after the first call the
+/// cost is a pointer load plus the enable check inside the operation.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Counter> = ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// A cached [`Gauge`] handle in the global registry (see [`counter!`]).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// A cached [`Histogram`] handle in the global registry (see [`counter!`]).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+/// A cached [`Trace`] handle in the global registry (see [`counter!`]).
+#[macro_export]
+macro_rules! trace {
+    ($name:expr) => {{
+        static CELL: ::std::sync::OnceLock<&'static $crate::Trace> = ::std::sync::OnceLock::new();
+        *CELL.get_or_init(|| $crate::registry().trace($name))
+    }};
+}
+
+/// An RAII [`Span`] recording into the named global histogram when dropped.
+///
+/// ```
+/// let _span = puf_telemetry::span!("protocol.enroll.duration");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Span::enter($crate::histogram!($name))
+    };
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! The global registry and its enable switch are process-wide, so tests
+    //! that touch them serialize on this lock.
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn global_lock() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macros_register_in_global_registry() {
+        let _guard = test_support::global_lock();
+        let was = enabled();
+        set_enabled(true);
+        counter!("test.lib.macro_counter").add(3);
+        gauge!("test.lib.macro_gauge").set(1.5);
+        histogram!("test.lib.macro_hist").record(100);
+        trace!("test.lib.macro_trace").push(0.25);
+        drop(span!("test.lib.macro_span"));
+        let table = registry().render_table();
+        for name in [
+            "test.lib.macro_counter",
+            "test.lib.macro_gauge",
+            "test.lib.macro_hist",
+            "test.lib.macro_trace",
+            "test.lib.macro_span",
+        ] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+        assert_eq!(counter!("test.lib.macro_counter").get(), 3);
+        set_enabled(was);
+    }
+
+    #[test]
+    fn macro_handles_are_cached_per_name() {
+        let _guard = test_support::global_lock();
+        let a = counter!("test.lib.cached") as *const Counter;
+        let b = registry().counter("test.lib.cached") as *const Counter;
+        assert_eq!(a, b);
+    }
+}

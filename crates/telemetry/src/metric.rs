@@ -1,0 +1,307 @@
+//! Scalar metrics: atomic counters and gauges, plus a bounded value trace.
+//!
+//! Every metric holds a reference to its registry's enable switch; a record
+//! operation on a disabled registry is one relaxed atomic load and a branch.
+//! With the `off` cargo feature even that is compiled out.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Whether recording is currently live for a metric holding `switch`.
+///
+/// This is the single point the `off` feature hooks into: with it enabled
+/// the function is a constant `false` and the optimizer deletes every record
+/// path outright.
+#[inline(always)]
+pub(crate) fn live(switch: &AtomicBool) -> bool {
+    if cfg!(feature = "off") {
+        false
+    } else {
+        switch.load(Ordering::Relaxed)
+    }
+}
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// let c = puf_telemetry::Counter::standalone();
+/// c.inc();
+/// c.add(2);
+/// assert_eq!(c.get(), 3);
+/// ```
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+    switch: &'static AtomicBool,
+}
+
+impl Counter {
+    pub(crate) fn new(switch: &'static AtomicBool) -> Self {
+        Self {
+            value: AtomicU64::new(0),
+            switch,
+        }
+    }
+
+    /// A counter that is always recording, independent of any registry.
+    pub fn standalone() -> Self {
+        Self::new(&crate::ALWAYS_ON)
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if live(self.switch) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins floating-point gauge (worker counts, yields, rates).
+///
+/// The value is stored as `f64` bits in an `AtomicU64`; reads and writes are
+/// lock-free.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+    switch: &'static AtomicBool,
+}
+
+impl Gauge {
+    pub(crate) fn new(switch: &'static AtomicBool) -> Self {
+        Self {
+            bits: AtomicU64::new(0.0f64.to_bits()),
+            switch,
+        }
+    }
+
+    /// A gauge that is always recording, independent of any registry.
+    pub fn standalone() -> Self {
+        Self::new(&crate::ALWAYS_ON)
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if live(self.switch) {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `v` to the gauge (compare-and-swap loop; rarely contended).
+    pub fn add(&self, v: f64) {
+        if !live(self.switch) {
+            return;
+        }
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn reset(&self) {
+        self.bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Maximum number of retained points in a [`Trace`]; older points are
+/// thinned (stride doubling) rather than dropped, so a trace always covers
+/// the whole series.
+pub const TRACE_CAPACITY: usize = 4096;
+
+#[derive(Debug)]
+struct TraceInner {
+    values: Vec<f64>,
+    /// Every `stride`-th pushed value is retained.
+    stride: u64,
+    /// Total number of pushes, retained or not.
+    total: u64,
+}
+
+/// A bounded per-step value series — optimizer loss curves, per-epoch error.
+///
+/// Stores at most [`TRACE_CAPACITY`] points. When full, every other retained
+/// point is discarded and the sampling stride doubles, so the memory is
+/// bounded while the series still spans the entire run.
+#[derive(Debug)]
+pub struct Trace {
+    inner: Mutex<TraceInner>,
+    switch: &'static AtomicBool,
+}
+
+/// A point-in-time copy of a [`Trace`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSnapshot {
+    /// Retained values, oldest first; point `i` was push number
+    /// `i * stride`.
+    pub values: Vec<f64>,
+    /// Pushes per retained point.
+    pub stride: u64,
+    /// Total number of pushes.
+    pub total: u64,
+}
+
+impl TraceSnapshot {
+    /// The most recently retained value.
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+}
+
+impl Trace {
+    pub(crate) fn new(switch: &'static AtomicBool) -> Self {
+        Self {
+            inner: Mutex::new(TraceInner {
+                values: Vec::new(),
+                stride: 1,
+                total: 0,
+            }),
+            switch,
+        }
+    }
+
+    /// A trace that is always recording, independent of any registry.
+    pub fn standalone() -> Self {
+        Self::new(&crate::ALWAYS_ON)
+    }
+
+    /// Appends one point to the series.
+    pub fn push(&self, v: f64) {
+        if !live(self.switch) {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("trace lock poisoned");
+        if inner.total.is_multiple_of(inner.stride) {
+            inner.values.push(v);
+            if inner.values.len() >= TRACE_CAPACITY {
+                let mut keep = 0;
+                // Keep points 0, 2, 4, … — their push indices remain
+                // multiples of the doubled stride.
+                for i in (0..inner.values.len()).step_by(2) {
+                    inner.values[keep] = inner.values[i];
+                    keep += 1;
+                }
+                inner.values.truncate(keep);
+                inner.stride *= 2;
+            }
+        }
+        inner.total += 1;
+    }
+
+    /// Copies out the current series.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let inner = self.inner.lock().expect("trace lock poisoned");
+        TraceSnapshot {
+            values: inner.values.clone(),
+            stride: inner.stride,
+            total: inner.total,
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        let mut inner = self.inner.lock().expect("trace lock poisoned");
+        inner.values.clear();
+        inner.stride = 1;
+        inner.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add_and_reset() {
+        let c = Counter::standalone();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_add_get() {
+        let g = Gauge::standalone();
+        assert_eq!(g.get(), 0.0);
+        g.set(1.5);
+        g.add(0.25);
+        assert!((g.get() - 1.75).abs() < 1e-12);
+        g.reset();
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn disabled_switch_blocks_recording() {
+        static OFF: AtomicBool = AtomicBool::new(false);
+        let c = Counter::new(&OFF);
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::new(&OFF);
+        g.set(9.0);
+        assert_eq!(g.get(), 0.0);
+        let t = Trace::new(&OFF);
+        t.push(1.0);
+        assert_eq!(t.snapshot().total, 0);
+    }
+
+    #[test]
+    fn trace_thins_with_stride_doubling() {
+        let t = Trace::standalone();
+        let n = (TRACE_CAPACITY * 4) as u64;
+        for i in 0..n {
+            t.push(i as f64);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.total, n);
+        assert!(snap.values.len() <= TRACE_CAPACITY);
+        assert!(snap.stride >= 4);
+        // Retained point i corresponds to push i * stride.
+        for (i, &v) in snap.values.iter().enumerate() {
+            assert_eq!(v, (i as u64 * snap.stride) as f64);
+        }
+        // The series still spans (almost) the whole run.
+        assert!(snap.last().unwrap() >= (n - snap.stride) as f64 - 1.0);
+    }
+
+    #[test]
+    fn trace_short_series_is_lossless() {
+        let t = Trace::standalone();
+        for i in 0..10 {
+            t.push(i as f64 * 0.5);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.stride, 1);
+        assert_eq!(
+            snap.values,
+            (0..10).map(|i| i as f64 * 0.5).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Progress and throughput reporting for long sweeps (the fig02–fig12
+//! experiment binaries and the parallel fan-out helper).
+//!
+//! A [`Progress`] counts completed work items. When the `PUF_PROGRESS`
+//! environment variable is truthy it renders a throttled single-line status
+//! to stderr (`\r`-rewritten, so it never pollutes piped stdout results);
+//! either way, [`Progress::finish`] publishes the final throughput and item
+//! count to the global registry as `<label>.rate` / `<label>.items`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Minimum delay between stderr redraws.
+const REDRAW_EVERY: Duration = Duration::from_millis(200);
+
+/// A concurrent work-item progress reporter.
+///
+/// ```
+/// let p = puf_telemetry::Progress::start("bench.demo", 10);
+/// for _ in 0..10 {
+///     p.inc(1);
+/// }
+/// let (items, rate) = p.finish();
+/// assert_eq!(items, 10);
+/// assert!(rate >= 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    started: Instant,
+    last_redraw: Mutex<Instant>,
+    live: bool,
+}
+
+impl Progress {
+    /// Starts tracking `total` work items under `label` (a dotted metric
+    /// prefix like `bench.fig02.shards`). Live stderr rendering is enabled
+    /// iff `PUF_PROGRESS` is truthy.
+    pub fn start(label: &str, total: u64) -> Self {
+        let now = Instant::now();
+        Self {
+            label: label.to_owned(),
+            total,
+            done: AtomicU64::new(0),
+            started: now,
+            last_redraw: Mutex::new(now),
+            live: crate::env_truthy("PUF_PROGRESS"),
+        }
+    }
+
+    /// Records `n` completed items, redrawing the status line at most every
+    /// 200 ms.
+    pub fn inc(&self, n: u64) {
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        if !self.live {
+            return;
+        }
+        let Ok(mut last) = self.last_redraw.try_lock() else {
+            return; // another thread is redrawing
+        };
+        if last.elapsed() < REDRAW_EVERY && done < self.total {
+            return;
+        }
+        *last = Instant::now();
+        self.render(done, false);
+    }
+
+    /// Completed items so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Seconds elapsed since [`Progress::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    fn render(&self, done: u64, final_line: bool) {
+        let elapsed = self.elapsed_secs();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let eta = if rate > 0.0 && done < self.total {
+            format!(" eta {:.0}s", (self.total - done) as f64 / rate)
+        } else {
+            String::new()
+        };
+        let pct = if self.total > 0 {
+            format!(" ({:.1}%)", 100.0 * done as f64 / self.total as f64)
+        } else {
+            String::new()
+        };
+        let end = if final_line { "\n" } else { "" };
+        eprint!(
+            "\r{} {done}/{}{pct} {rate:.1} items/s{eta}{end}",
+            self.label, self.total
+        );
+    }
+
+    /// Finishes the sweep: prints a final status line (when live) and
+    /// publishes `<label>.items` (counter) and `<label>.rate` (gauge,
+    /// items/s) to the global registry. Returns `(items_done, rate)`.
+    pub fn finish(self) -> (u64, f64) {
+        let done = self.done();
+        let elapsed = self.elapsed_secs();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        if self.live {
+            self.render(done, true);
+        }
+        let registry = crate::registry();
+        registry.counter(&format!("{}.items", self.label)).add(done);
+        registry.gauge(&format!("{}.rate", self.label)).set(rate);
+        (done, rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rate_are_consistent() {
+        let p = Progress::start("test.progress.basic", 4);
+        p.inc(1);
+        p.inc(3);
+        assert_eq!(p.done(), 4);
+        let (items, rate) = p.finish();
+        assert_eq!(items, 4);
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn finish_publishes_to_global_registry() {
+        let _guard = crate::test_support::global_lock();
+        let was = crate::enabled();
+        crate::set_enabled(true);
+        let p = Progress::start("test.progress.publish", 2);
+        p.inc(2);
+        p.finish();
+        let table = crate::registry().render_table();
+        assert!(
+            table.contains("test.progress.publish.items"),
+            "in:\n{table}"
+        );
+        assert!(table.contains("test.progress.publish.rate"), "in:\n{table}");
+        crate::set_enabled(was);
+    }
+
+    #[test]
+    fn concurrent_incs_are_not_lost() {
+        let p = std::sync::Arc::new(Progress::start("test.progress.mt", 4_000));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    p.inc(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.done(), 4_000);
+    }
+}

@@ -1,0 +1,255 @@
+//! The metric registry: hierarchical dotted names mapping to leaked
+//! `&'static` metric handles.
+//!
+//! A [`Registry`] owns one enable switch shared by every metric it creates;
+//! flipping the switch turns all recording on or off at once. Handles are
+//! `Box::leak`ed so hot paths can cache a `&'static` reference and skip the
+//! name lookup entirely (see the `counter!`/`span!` macros in the crate
+//! root). A registry therefore leaks a small, bounded amount of memory per
+//! distinct metric name — by design: metric sets are static over a process
+//! lifetime.
+
+use crate::export;
+use crate::metric::{Counter, Gauge, Trace, TraceSnapshot};
+use crate::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+#[derive(Clone, Copy, Debug)]
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+    Trace(&'static Trace),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+            Metric::Trace(_) => "trace",
+        }
+    }
+}
+
+/// A point-in-time copy of one metric's value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValueSnapshot {
+    /// A counter's value.
+    Counter(u64),
+    /// A gauge's value.
+    Gauge(f64),
+    /// A histogram's full state.
+    Histogram(HistogramSnapshot),
+    /// A trace's retained series.
+    Trace(TraceSnapshot),
+}
+
+/// A named metric snapshot, as produced by [`Registry::snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// The metric's dotted name (`protocol.auth.attempts`).
+    pub name: String,
+    /// Its value at snapshot time.
+    pub value: ValueSnapshot,
+}
+
+/// A collection of named metrics sharing one enable switch.
+///
+/// The process-global instance is [`crate::registry`]; tests create private
+/// instances to avoid cross-test interference.
+#[derive(Debug)]
+pub struct Registry {
+    switch: &'static AtomicBool,
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates a registry, initially enabled or not.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            switch: Box::leak(Box::new(AtomicBool::new(enabled))),
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Turns recording on or off for every metric in this registry.
+    pub fn set_enabled(&self, on: bool) {
+        self.switch.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether this registry is currently recording.
+    pub fn enabled(&self) -> bool {
+        self.switch.load(Ordering::Relaxed)
+    }
+
+    fn check_name(name: &str) {
+        assert!(!name.is_empty(), "metric name must not be empty");
+        assert!(
+            name.bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-')),
+            "metric name {name:?} must be dotted ASCII [a-zA-Z0-9._-]"
+        );
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        make: impl FnOnce(&'static AtomicBool) -> Metric,
+    ) -> Metric {
+        Self::check_name(name);
+        let mut metrics = self.metrics.lock().expect("registry lock poisoned");
+        *metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| make(self.switch))
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is invalid or already registered as another kind.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        match self.get_or_insert(name, |s| {
+            Metric::Counter(Box::leak(Box::new(Counter::new(s))))
+        }) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The gauge named `name`, created on first use (see [`Registry::counter`]).
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        match self.get_or_insert(name, |s| Metric::Gauge(Box::leak(Box::new(Gauge::new(s))))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The histogram named `name`, created on first use (see [`Registry::counter`]).
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        match self.get_or_insert(name, |s| {
+            Metric::Histogram(Box::leak(Box::new(Histogram::new(s))))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// The trace named `name`, created on first use (see [`Registry::counter`]).
+    pub fn trace(&self, name: &str) -> &'static Trace {
+        match self.get_or_insert(name, |s| Metric::Trace(Box::leak(Box::new(Trace::new(s))))) {
+            Metric::Trace(t) => t,
+            other => panic!("metric {name:?} is a {}, not a trace", other.kind()),
+        }
+    }
+
+    /// Snapshots every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let metrics = self.metrics.lock().expect("registry lock poisoned");
+        metrics
+            .iter()
+            .map(|(name, metric)| MetricSnapshot {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(c) => ValueSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => ValueSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => ValueSnapshot::Histogram(h.snapshot()),
+                    Metric::Trace(t) => ValueSnapshot::Trace(t.snapshot()),
+                },
+            })
+            .collect()
+    }
+
+    /// Zeroes every metric (names and handles stay registered).
+    pub fn reset(&self) {
+        let metrics = self.metrics.lock().expect("registry lock poisoned");
+        for metric in metrics.values() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+                Metric::Trace(t) => t.reset(),
+            }
+        }
+    }
+
+    /// Renders every metric as a human-readable table.
+    pub fn render_table(&self) -> String {
+        export::render_table(&self.snapshot())
+    }
+
+    /// Renders every metric as JSON lines (one object per metric).
+    pub fn render_jsonl(&self) -> String {
+        export::render_jsonl(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_handle() {
+        let r = Registry::new(true);
+        let a = r.counter("a.b") as *const Counter;
+        let b = r.counter("a.b") as *const Counter;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new(true);
+        r.counter("x.y");
+        r.gauge("x.y");
+    }
+
+    #[test]
+    #[should_panic(expected = "dotted ASCII")]
+    fn invalid_name_panics() {
+        Registry::new(true).counter("has space");
+    }
+
+    #[test]
+    fn switch_is_shared_by_all_metrics() {
+        let r = Registry::new(false);
+        let c = r.counter("s.c");
+        let h = r.histogram("s.h");
+        c.inc();
+        h.record(5);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        r.set_enabled(true);
+        c.inc();
+        h.record(5);
+        assert_eq!(c.get(), 1);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new(true);
+        r.gauge("z.last").set(2.0);
+        r.counter("a.first").add(7);
+        r.trace("m.mid").push(0.5);
+        let snaps = r.snapshot();
+        let names: Vec<&str> = snaps.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a.first", "m.mid", "z.last"]);
+        assert_eq!(snaps[0].value, ValueSnapshot::Counter(7));
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_names() {
+        let r = Registry::new(true);
+        r.counter("r.c").add(3);
+        r.histogram("r.h").record(9);
+        r.reset();
+        assert_eq!(r.counter("r.c").get(), 0);
+        assert_eq!(r.histogram("r.h").count(), 0);
+        assert_eq!(r.snapshot().len(), 2);
+    }
+}

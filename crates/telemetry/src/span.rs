@@ -1,0 +1,114 @@
+//! RAII span timers: measure a scope's wall-clock duration into a
+//! [`Histogram`].
+
+use crate::Histogram;
+use std::time::Instant;
+
+/// A scope timer that records its elapsed nanoseconds into a histogram when
+/// dropped.
+///
+/// When the histogram's registry is disabled at entry the span never reads
+/// the clock, so a disabled span costs one atomic load at construction and
+/// one at drop.
+///
+/// ```
+/// let h = puf_telemetry::Histogram::standalone();
+/// {
+///     let _span = puf_telemetry::Span::enter(&h);
+///     // ... timed work ...
+/// }
+/// assert_eq!(h.snapshot().count, 1);
+/// ```
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to _ drops it immediately"]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing into `hist` (a no-op if recording is disabled).
+    #[inline]
+    pub fn enter(hist: &'a Histogram) -> Self {
+        let start = if hist.is_live() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        Self { hist, start }
+    }
+
+    /// Whether the span is actually timing (registry was enabled at entry).
+    pub fn is_armed(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Stops the span early and returns the elapsed nanoseconds it recorded
+    /// (`None` if it was disarmed).
+    pub fn finish(mut self) -> Option<u64> {
+        let ns = self.record_now();
+        self.start = None;
+        ns
+    }
+
+    fn record_now(&mut self) -> Option<u64> {
+        let start = self.start?;
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record(ns);
+        Some(ns)
+    }
+}
+
+impl Drop for Span<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if self.start.is_some() {
+            let _ = self.record_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let h = Histogram::standalone();
+        {
+            let span = Span::enter(&h);
+            assert!(span.is_armed());
+        }
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn finish_records_and_disarms_drop() {
+        let h = Histogram::standalone();
+        let span = Span::enter(&h);
+        let ns = span.finish();
+        assert!(ns.is_some());
+        assert_eq!(h.snapshot().count, 1, "finish must not double-record");
+    }
+
+    #[test]
+    fn disabled_histogram_disarms_span() {
+        use std::sync::atomic::AtomicBool;
+        static OFF: AtomicBool = AtomicBool::new(false);
+        let h = Histogram::new(&OFF);
+        let span = Span::enter(&h);
+        assert!(!span.is_armed());
+        assert_eq!(span.finish(), None);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn span_measures_elapsed_time() {
+        let h = Histogram::standalone();
+        {
+            let _span = Span::enter(&h);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(h.snapshot().min >= 2_000_000, "slept 2 ms");
+    }
+}

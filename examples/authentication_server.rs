@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             print!(
                 "claimed chip {claimed}, presented chip {actual}: {}{}",
                 outcome,
-                if outcome.approved == expected { "" } else { "  <-- POLICY FAILURE" },
+                if outcome.approved == expected {
+                    ""
+                } else {
+                    "  <-- POLICY FAILURE"
+                },
             );
             println!();
             assert_eq!(outcome.approved, expected, "authentication matrix broken");
@@ -85,6 +89,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {policy}: {outcome}");
     }
     println!("\nthe zero-HD policy is only usable because every selected CRP is deeply stable —");
-    println!("the genuine chip never mismatches, so there is no error budget to donate to impostors.");
+    println!(
+        "the genuine chip never mismatches, so there is no error budget to donate to impostors."
+    );
     Ok(())
 }

@@ -29,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Baseline: measurement-based selection at all nine corners -------
     let t0 = Instant::now();
-    let (picks, cost) =
-        select_by_measurement(&chip, n, want, &grid, evals, 2_000_000, &mut rng)?;
+    let (picks, cost) = select_by_measurement(&chip, n, want, &grid, evals, 2_000_000, &mut rng)?;
     let baseline_time = t0.elapsed();
     println!("measurement-based selection (Ref. [1]) for an {n}-XOR PUF across 9 conditions:");
     println!("  tested {} random challenges", cost.challenges_tested);
@@ -44,8 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Proposed: model-assisted selection ------------------------------
     let t0 = Instant::now();
     let config = EnrollmentConfig::paper_all_conditions(n);
-    let measurements_used = config.n * (config.training_size
-        + config.validation_size * config.validation_conditions.len());
+    let measurements_used = config.n
+        * (config.training_size + config.validation_size * config.validation_conditions.len());
     let record = enroll(&chip, &config, &mut rng)?;
     let mut server = Server::new();
     server.register(record);
@@ -56,14 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  spent at most {measurements_used} counter measurements (training + validation, once)"
     );
     println!("  kept {} challenges in {model_time:.2?}", selected.len());
-    println!(
-        "  marginal cost of the next challenge: zero measurements (pure prediction)\n"
-    );
+    println!("  marginal cost of the next challenge: zero measurements (pure prediction)\n");
 
     // --- Verify both selections at the worst corner ----------------------
     let corner = Condition::new(0.8, 60.0);
-    let verify = |label: &str, picks: &[xorpuf::protocol::SelectedChallenge],
-                  rng: &mut StdRng| {
+    let verify = |label: &str, picks: &[xorpuf::protocol::SelectedChallenge], rng: &mut StdRng| {
         let mut flips = 0;
         for p in picks {
             let mut bit = false;
@@ -77,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             let _ = rng;
         }
-        println!("{label}: {flips}/{} selected challenges flip at 0.8V/60°C", picks.len());
+        println!(
+            "{label}: {flips}/{} selected challenges flip at 0.8V/60°C",
+            picks.len()
+        );
     };
     verify("measurement-based", &picks, &mut rng);
     verify("model-assisted   ", &selected, &mut rng);

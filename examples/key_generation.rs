@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (key, helper) = enroll_key(&selected, config, &mut rng)?;
     println!("enrolled {key:?}");
 
-    for cond in [Condition::NOMINAL, Condition::new(0.8, 60.0), Condition::new(1.0, 0.0)] {
+    for cond in [
+        Condition::NOMINAL,
+        Condition::new(0.8, 60.0),
+        Condition::new(1.0, 0.0),
+    ] {
         let mut client = ChipResponder::new(&chip, n, cond, 7);
         let responses = client.respond(&helper.challenges);
         match reconstruct_key(&responses, &helper) {
@@ -54,7 +58,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Baseline: key from unscreened random challenges ------------------
     println!("\nbaseline: same fuzzy extractor over unscreened random challenges");
-    let picks = classic_enroll(&chip, n, config.response_bits(), Condition::NOMINAL, 100_000, &mut rng)?;
+    let picks = classic_enroll(
+        &chip,
+        n,
+        config.response_bits(),
+        Condition::NOMINAL,
+        100_000,
+        &mut rng,
+    )?;
     let (baseline_key, baseline_helper) = enroll_key(&picks, config, &mut rng)?;
     let mut failures = 0;
     let trials = 10;

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &LogisticConfig::default(),
     );
     let acc = model.accuracy(test.challenges(), test.responses());
-    println!("single PUF, logistic regression, {} CRPs: {:.1}% accuracy", train.len(), acc * 100.0);
+    println!(
+        "single PUF, logistic regression, {} CRPs: {:.1}% accuracy",
+        train.len(),
+        acc * 100.0
+    );
 
     // --- 2 & 3. XOR PUFs vs the MLP attack -------------------------------
     let pool = random_challenges(chip.stages(), 60_000, &mut rng);
@@ -50,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The paper's protocol: train and test on 100 %-stable CRPs only.
         let train =
             collect_stable_xor_crps(&chip, n, attack_pool, Condition::NOMINAL, evals, &mut rng)?;
-        let test =
-            collect_stable_xor_crps(&chip, n, holdout, Condition::NOMINAL, evals, &mut rng)?;
+        let test = collect_stable_xor_crps(&chip, n, holdout, Condition::NOMINAL, evals, &mut rng)?;
         let x = design_matrix(train.challenges());
         let y = encode_bits(train.responses());
         let config = MlpConfig::paper_default();
@@ -82,8 +85,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut wins = 0;
     let rounds = 20;
     for _ in 0..rounds {
-        let outcome =
-            server.authenticate(0, &mut impostor, 32, AuthPolicy::ZeroHammingDistance, &mut rng)?;
+        let outcome = server.authenticate(
+            0,
+            &mut impostor,
+            32,
+            AuthPolicy::ZeroHammingDistance,
+            &mut rng,
+        )?;
         if outcome.approved {
             wins += 1;
         }
@@ -91,7 +99,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "clone of the 4-XOR PUF vs zero-HD authentication (32 challenges): {wins}/{rounds} rounds approved"
     );
-    println!("(a >90%-accurate clone still needs all 32 bits right — but succeeds within a few tries;");
+    println!(
+        "(a >90%-accurate clone still needs all 32 bits right — but succeeds within a few tries;"
+    );
     println!(" the defense is keeping model accuracy at ~50%, i.e. n ≥ 10)");
     Ok(())
 }

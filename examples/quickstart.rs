@@ -17,21 +17,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Fabricate a chip: a bank of 32-stage arbiter PUFs with process
     //    variation, thermal noise and V/T sensitivities.
     let mut chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
-    println!("fabricated chip {}: {} stages, {} PUFs", chip.id(), chip.stages(), chip.bank_size());
+    println!(
+        "fabricated chip {}: {} stages, {} PUFs",
+        chip.id(),
+        chip.stages(),
+        chip.bank_size()
+    );
 
     // 2. Enrollment: measure soft responses of 5,000 training challenges per
     //    member PUF through the fuse port, fit a linear delay model each,
     //    derive thresholds and β tightening.
     let n = 4; // XOR width
-    // β fitting against all nine V/T corners (§5.2), so the selected
-    // challenges stay stable even at 0.8 V / 60 °C.
+               // β fitting against all nine V/T corners (§5.2), so the selected
+               // challenges stay stable even at 0.8 V / 60 °C.
     let config = EnrollmentConfig::paper_all_conditions(n);
     let record = enroll(&chip, &config, &mut rng)?;
     for (i, puf) in record.pufs.iter().enumerate() {
-        println!(
-            "  PUF {i}: {} with {}",
-            puf.thresholds, puf.betas
-        );
+        println!("  PUF {i}: {} with {}", puf.thresholds, puf.betas);
     }
 
     // 3. Deploy: blow the fuses — from now on only the XOR output exists.
@@ -43,22 +45,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     server.register(record);
 
     let mut genuine = ChipResponder::new(&chip, n, Condition::NOMINAL, 7);
-    let outcome = server.authenticate(0, &mut genuine, 64, AuthPolicy::ZeroHammingDistance, &mut rng)?;
+    let outcome = server.authenticate(
+        0,
+        &mut genuine,
+        64,
+        AuthPolicy::ZeroHammingDistance,
+        &mut rng,
+    )?;
     println!("genuine chip:   {outcome}");
     assert!(outcome.approved);
 
     // An impostor answering randomly is rejected with overwhelming
     // probability (2^-64 chance of guessing all bits).
     let mut impostor = RandomResponder::new(8);
-    let outcome = server.authenticate(0, &mut impostor, 64, AuthPolicy::ZeroHammingDistance, &mut rng)?;
+    let outcome = server.authenticate(
+        0,
+        &mut impostor,
+        64,
+        AuthPolicy::ZeroHammingDistance,
+        &mut rng,
+    )?;
     println!("random impostor: {outcome}");
     assert!(!outcome.approved);
 
     // The genuine chip still authenticates at a harsh V/T corner, because
     // the selected challenges are deeply stable.
     let mut corner_client = ChipResponder::new(&chip, n, Condition::new(0.8, 60.0), 9);
-    let outcome =
-        server.authenticate(0, &mut corner_client, 64, AuthPolicy::ZeroHammingDistance, &mut rng)?;
+    let outcome = server.authenticate(
+        0,
+        &mut corner_client,
+        64,
+        AuthPolicy::ZeroHammingDistance,
+        &mut rng,
+    )?;
     println!("genuine @ 0.8V/60°C: {outcome}");
 
     Ok(())

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, and the tier-1 verify from ROADMAP.md.
+# Run from anywhere; everything executes at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> all checks passed"

@@ -13,6 +13,12 @@
 //! xorpuf keygen      --db server.xpuf --chip-seed 7 --chip-id 0 --bits 128
 //! xorpuf inspect     --db server.xpuf
 //! ```
+//!
+//! Every command additionally accepts `--telemetry[=PATH]`: with no value it
+//! prints a metrics report (counters, latency histograms, gauges) to stdout
+//! after the command runs; with a path it appends one JSONL record per
+//! metric to that file instead. Flags a command does not understand are
+//! rejected with an error.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,27 +32,69 @@ use xorpuf::protocol::server::Server;
 use xorpuf::protocol::storage::{decode_server, encode_server};
 use xorpuf::silicon::{Chip, ChipConfig};
 
+/// Flags that take no value (`--telemetry=PATH` opts into one inline).
+const VALUELESS_FLAGS: &[&str] = &["impostor", "all-conditions", "telemetry"];
+
+/// The flags each command understands; anything else is an error.
+fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
+    Some(match command {
+        "enroll" => &[
+            "db",
+            "chip-seed",
+            "chip-id",
+            "n",
+            "seed",
+            "all-conditions",
+            "telemetry",
+        ],
+        "select" => &["db", "chip-id", "count", "seed", "telemetry"],
+        "authenticate" => &[
+            "db",
+            "chip-seed",
+            "chip-id",
+            "count",
+            "vdd",
+            "temp",
+            "seed",
+            "impostor",
+            "telemetry",
+        ],
+        "keygen" => &["db", "chip-seed", "chip-id", "bits", "seed", "telemetry"],
+        "inspect" => &["db", "telemetry"],
+        _ => return None,
+    })
+}
+
 struct Args {
     flags: HashMap<String, String>,
 }
 
 impl Args {
-    fn parse(args: &[String]) -> Result<Self, String> {
+    fn parse(args: &[String], allowed: &'static [&'static str]) -> Result<Self, String> {
         let mut flags = HashMap::new();
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             let Some(name) = arg.strip_prefix("--") else {
                 return Err(format!("unexpected argument `{arg}`"));
             };
-            // Boolean flags take no value.
-            if matches!(name, "impostor" | "all-conditions") {
-                flags.insert(name.to_string(), "true".to_string());
-                continue;
+            // Both `--name value` and `--name=value` are accepted.
+            let (name, inline) = match name.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (name, None),
+            };
+            if !allowed.contains(&name) {
+                return Err(format!("unknown flag --{name}\n{USAGE}"));
             }
-            let value = iter
-                .next()
-                .ok_or_else(|| format!("--{name} requires a value"))?;
-            flags.insert(name.to_string(), value.clone());
+            let value = if let Some(inline) = inline {
+                inline
+            } else if VALUELESS_FLAGS.contains(&name) {
+                String::new()
+            } else {
+                iter.next()
+                    .ok_or_else(|| format!("--{name} requires a value"))?
+                    .clone()
+            };
+            flags.insert(name.to_string(), value);
         }
         Ok(Self { flags })
     }
@@ -114,7 +162,11 @@ fn cmd_enroll(args: &Args) -> Result<(), String> {
         } else {
             "nominal βs"
         },
-        if replaced { ", replacing a previous record" } else { "" },
+        if replaced {
+            ", replacing a previous record"
+        } else {
+            ""
+        },
     );
     Ok(())
 }
@@ -126,7 +178,12 @@ fn cmd_select(args: &Args) -> Result<(), String> {
     let server = load_db(db)?;
     let mut rng = StdRng::seed_from_u64(args.get("seed", 2)?);
     let picks = server
-        .select_challenges(chip_id, count, count.saturating_mul(500_000).max(1_000_000), &mut rng)
+        .select_challenges(
+            chip_id,
+            count,
+            count.saturating_mul(500_000).max(1_000_000),
+            &mut rng,
+        )
         .map_err(|e| e.to_string())?;
     println!("challenge                          expected");
     for p in &picks {
@@ -151,15 +208,30 @@ fn cmd_authenticate(args: &Args) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(args.get("seed", 3)?);
     let outcome = if args.has("impostor") {
         let mut client = RandomResponder::new(99);
-        server.authenticate(chip_id, &mut client, count, AuthPolicy::ZeroHammingDistance, &mut rng)
+        server.authenticate(
+            chip_id,
+            &mut client,
+            count,
+            AuthPolicy::ZeroHammingDistance,
+            &mut rng,
+        )
     } else {
         let chip = fabricate(chip_seed, chip_id);
         let mut client = ChipResponder::new(&chip, n, cond, 7);
-        server.authenticate(chip_id, &mut client, count, AuthPolicy::ZeroHammingDistance, &mut rng)
+        server.authenticate(
+            chip_id,
+            &mut client,
+            count,
+            AuthPolicy::ZeroHammingDistance,
+            &mut rng,
+        )
     }
     .map_err(|e| e.to_string())?;
     println!("chip {chip_id} at {cond}: {outcome}");
     if !outcome.approved {
+        if args.has("impostor") {
+            xorpuf::telemetry::counter!("protocol.auth.impostor_rejects").inc();
+        }
         return Err("authentication denied".into());
     }
     Ok(())
@@ -192,7 +264,10 @@ fn cmd_keygen(args: &Args) -> Result<(), String> {
     }
     let hex: String = key.to_bytes().iter().map(|b| format!("{b:02x}")).collect();
     println!("{bits}-bit key: {hex}");
-    println!("(reconstructed from {} one-shot responses through the helper data)", helper.challenges.len());
+    println!(
+        "(reconstructed from {} one-shot responses through the helper data)",
+        helper.challenges.len()
+    );
     Ok(())
 }
 
@@ -219,7 +294,28 @@ const USAGE: &str = "usage: xorpuf <enroll|select|authenticate|keygen|inspect> [
   select       --db FILE [--chip-id N] [--count N]
   authenticate --db FILE [--chip-seed N] [--chip-id N] [--count N] [--vdd V] [--temp C] [--impostor]
   keygen       --db FILE [--chip-seed N] [--chip-id N] [--bits N]
-  inspect      --db FILE";
+  inspect      --db FILE
+every command also accepts --telemetry[=PATH]: print a metrics report to
+stdout after the command, or append JSONL records to PATH instead";
+
+/// Writes the collected metrics: a human-readable table on stdout when
+/// `sink` is empty, one JSONL record per metric appended to `sink`
+/// otherwise.
+fn emit_telemetry(sink: &str) -> Result<(), String> {
+    use std::io::Write;
+    let registry = xorpuf::telemetry::registry();
+    if sink.is_empty() {
+        print!("{}", registry.render_table());
+        return Ok(());
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(sink)
+        .map_err(|e| format!("cannot open {sink}: {e}"))?;
+    file.write_all(registry.render_jsonl().as_bytes())
+        .map_err(|e| format!("cannot write {sink}: {e}"))
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -227,13 +323,31 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let result = Args::parse(rest).and_then(|args| match command.as_str() {
-        "enroll" => cmd_enroll(&args),
-        "select" => cmd_select(&args),
-        "authenticate" => cmd_authenticate(&args),
-        "keygen" => cmd_keygen(&args),
-        "inspect" => cmd_inspect(&args),
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    let Some(allowed) = allowed_flags(command) else {
+        eprintln!("error: unknown command `{command}`\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = Args::parse(rest, allowed).and_then(|args| {
+        let telemetry_sink = args.flags.get("telemetry").cloned();
+        if telemetry_sink.is_some() {
+            xorpuf::telemetry::set_enabled(true);
+        }
+        let outcome = match command.as_str() {
+            "enroll" => cmd_enroll(&args),
+            "select" => cmd_select(&args),
+            "authenticate" => cmd_authenticate(&args),
+            "keygen" => cmd_keygen(&args),
+            "inspect" => cmd_inspect(&args),
+            other => unreachable!("allowed_flags admitted `{other}`"),
+        };
+        if let Some(sink) = telemetry_sink {
+            // Report even when the command failed: the counters usually
+            // explain the failure (e.g. rejects, exhausted selection).
+            if let Err(e) = emit_telemetry(&sink) {
+                eprintln!("warning: {e}");
+            }
+        }
+        outcome
     });
     match result {
         Ok(()) => ExitCode::SUCCESS,

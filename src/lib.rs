@@ -14,6 +14,8 @@
 //! - [`protocol`] — model-assisted enrollment, threshold adjustment and
 //!   authentication, plus baseline schemes.
 //! - [`analysis`] — histograms, stability statistics and exponential fits.
+//! - [`telemetry`] — zero-dependency counters, gauges, latency histograms,
+//!   spans and traces instrumenting the whole pipeline.
 //!
 //! ```
 //! use xorpuf::core::{Challenge, XorPuf};
@@ -30,3 +32,4 @@ pub use puf_core as core;
 pub use puf_ml as ml;
 pub use puf_protocol as protocol;
 pub use puf_silicon as silicon;
+pub use puf_telemetry as telemetry;

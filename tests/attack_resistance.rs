@@ -29,19 +29,13 @@ fn tiny_mlp_config() -> MlpConfig {
     }
 }
 
-fn mlp_attack_accuracy(
-    chip: &Chip,
-    n: usize,
-    train_budget: usize,
-    rng: &mut StdRng,
-) -> f64 {
+fn mlp_attack_accuracy(chip: &Chip, n: usize, train_budget: usize, rng: &mut StdRng) -> f64 {
     let pool = random_challenges(chip.stages(), train_budget + 2_000, rng);
     let (train_pool, test_pool) = pool.split_at(train_budget);
     let evals = 1_000;
     let train =
         collect_stable_xor_crps(chip, n, train_pool, Condition::NOMINAL, evals, rng).unwrap();
-    let test =
-        collect_stable_xor_crps(chip, n, test_pool, Condition::NOMINAL, evals, rng).unwrap();
+    let test = collect_stable_xor_crps(chip, n, test_pool, Condition::NOMINAL, evals, rng).unwrap();
     let config = tiny_mlp_config();
     let x = design_matrix(train.challenges());
     let y = encode_bits(train.responses());
@@ -75,7 +69,10 @@ fn mlp_attack_accuracy_grows_with_training_budget() {
         large > small + 0.05 || large > 0.95,
         "no benefit from more CRPs: {small} → {large}"
     );
-    assert!(large > 0.85, "2-XOR attack should succeed with 8k CRPs: {large}");
+    assert!(
+        large > 0.85,
+        "2-XOR attack should succeed with 8k CRPs: {large}"
+    );
 }
 
 #[test]
@@ -103,14 +100,13 @@ fn unstable_crps_poison_training() {
     let (train_pool, test_pool) = pool.split_at(12_000);
 
     let stable_train =
-        collect_stable_xor_crps(&chip, n, train_pool, Condition::NOMINAL, evals, &mut rng)
-            .unwrap();
+        collect_stable_xor_crps(&chip, n, train_pool, Condition::NOMINAL, evals, &mut rng).unwrap();
     let size = stable_train.len().min(5_000);
     let stable_train = stable_train.truncated(size);
-    let noisy_train = collect_xor_crps(&chip, n, &train_pool[..size], Condition::NOMINAL, &mut rng)
-        .unwrap();
-    let test = collect_stable_xor_crps(&chip, n, test_pool, Condition::NOMINAL, evals, &mut rng)
-        .unwrap();
+    let noisy_train =
+        collect_xor_crps(&chip, n, &train_pool[..size], Condition::NOMINAL, &mut rng).unwrap();
+    let test =
+        collect_stable_xor_crps(&chip, n, test_pool, Condition::NOMINAL, evals, &mut rng).unwrap();
 
     let config = tiny_mlp_config();
     let mut accs = Vec::new();

@@ -21,16 +21,9 @@ fn both_selection_schemes_agree_with_reference_bits() {
     let n = 2;
     let evals = 20_000;
 
-    let (measured_picks, _) = select_by_measurement(
-        &chip,
-        n,
-        30,
-        &[Condition::NOMINAL],
-        evals,
-        50_000,
-        &mut rng,
-    )
-    .unwrap();
+    let (measured_picks, _) =
+        select_by_measurement(&chip, n, 30, &[Condition::NOMINAL], evals, 50_000, &mut rng)
+            .unwrap();
 
     let record = enroll(&chip, &EnrollmentConfig::small(n), &mut rng).unwrap();
     let mut server = Server::new();

@@ -20,21 +20,31 @@ fn paper_chip(seed: u64) -> (Chip, StdRng) {
 
 #[test]
 fn single_puf_stable_fraction_matches_fig2() {
+    // The noise σ is calibrated against the *population* delta distribution
+    // Δ ~ N(0, 1) (marginalised over process variation), but any individual
+    // arbiter's delta std is its weight norm — chi-distributed with ≈ 12 %
+    // die-to-die spread, which moves a single PUF's stable fraction by far
+    // more than the tolerance below (the seed-1 bank spans norms 0.77–1.22).
+    // Fig. 2 likewise aggregates measurements across PUF instances, so this
+    // test averages the whole 12-arbiter bank rather than one instance.
     let (chip, mut rng) = paper_chip(1);
-    let challenges = random_challenges(chip.stages(), 20_000, &mut rng);
+    let per_puf = 2_000;
     let mut stable0 = 0usize;
     let mut stable1 = 0usize;
-    for c in &challenges {
-        let s = chip
-            .measure_individual_soft(0, c, Condition::NOMINAL, 100_000, &mut rng)
-            .unwrap();
-        if s.is_stable_zero() {
-            stable0 += 1;
-        } else if s.is_stable_one() {
-            stable1 += 1;
+    for puf in 0..chip.bank_size() {
+        let challenges = random_challenges(chip.stages(), per_puf, &mut rng);
+        for c in &challenges {
+            let s = chip
+                .measure_individual_soft(puf, c, Condition::NOMINAL, 100_000, &mut rng)
+                .unwrap();
+            if s.is_stable_zero() {
+                stable0 += 1;
+            } else if s.is_stable_one() {
+                stable1 += 1;
+            }
         }
     }
-    let total = challenges.len() as f64;
+    let total = (chip.bank_size() * per_puf) as f64;
     let stable = (stable0 + stable1) as f64 / total;
     assert!(
         (stable - PAPER_STABLE_FRACTION).abs() < 0.03,
@@ -64,7 +74,10 @@ fn xor_stability_decays_exponentially_like_fig3() {
     );
     // n = 10 lands near the paper's 10.9 %.
     let at10 = points.last().unwrap().fraction;
-    assert!((at10 - 0.109).abs() < 0.05, "stable fraction at n=10: {at10}");
+    assert!(
+        (at10 - 0.109).abs() < 0.05,
+        "stable fraction at n=10: {at10}"
+    );
 }
 
 #[test]

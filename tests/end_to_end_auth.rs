@@ -32,7 +32,13 @@ fn full_pipeline_genuine_chip_authenticates() {
     for chip in lot.chips() {
         let mut client = ChipResponder::new(chip, 2, Condition::NOMINAL, 77);
         let outcome = server
-            .authenticate(chip.id(), &mut client, 24, AuthPolicy::ZeroHammingDistance, &mut rng)
+            .authenticate(
+                chip.id(),
+                &mut client,
+                24,
+                AuthPolicy::ZeroHammingDistance,
+                &mut rng,
+            )
             .unwrap();
         assert!(outcome.approved, "chip {} denied: {outcome}", chip.id());
         assert_eq!(outcome.mismatches, 0);
@@ -50,7 +56,13 @@ fn swapped_chip_is_denied() {
     // Present chip 1 under chip 0's identity.
     let mut impostor = ChipResponder::new(&lot.chips()[1], 2, Condition::NOMINAL, 3);
     let outcome = server
-        .authenticate(0, &mut impostor, 24, AuthPolicy::ZeroHammingDistance, &mut rng)
+        .authenticate(
+            0,
+            &mut impostor,
+            24,
+            AuthPolicy::ZeroHammingDistance,
+            &mut rng,
+        )
         .unwrap();
     assert!(!outcome.approved, "foreign die accepted: {outcome}");
     // Distinct dies disagree on roughly half the responses.
@@ -69,7 +81,13 @@ fn random_impostor_is_denied() {
     server.register(enroll(&lot.chips()[0], &EnrollmentConfig::small(2), &mut rng).unwrap());
     let mut impostor = RandomResponder::new(4);
     let outcome = server
-        .authenticate(0, &mut impostor, 24, AuthPolicy::ZeroHammingDistance, &mut rng)
+        .authenticate(
+            0,
+            &mut impostor,
+            24,
+            AuthPolicy::ZeroHammingDistance,
+            &mut rng,
+        )
         .unwrap();
     assert!(!outcome.approved);
 }
@@ -85,12 +103,15 @@ fn corner_authentication_with_all_condition_betas() {
     for cond in Condition::paper_grid() {
         let mut client = ChipResponder::new(chip, 2, cond, 5);
         let outcome = server
-            .authenticate(0, &mut client, 16, AuthPolicy::ZeroHammingDistance, &mut rng)
+            .authenticate(
+                0,
+                &mut client,
+                16,
+                AuthPolicy::ZeroHammingDistance,
+                &mut rng,
+            )
             .unwrap();
-        assert!(
-            outcome.approved,
-            "genuine chip denied at {cond}: {outcome}"
-        );
+        assert!(outcome.approved, "genuine chip denied at {cond}: {outcome}");
     }
 }
 
@@ -111,7 +132,13 @@ fn unknown_identity_is_an_error_not_a_denial() {
     server.register(enroll(&lot.chips()[0], &EnrollmentConfig::small(2), &mut rng).unwrap());
     let mut client = ChipResponder::new(&lot.chips()[0], 2, Condition::NOMINAL, 7);
     let err = server
-        .authenticate(42, &mut client, 8, AuthPolicy::ZeroHammingDistance, &mut rng)
+        .authenticate(
+            42,
+            &mut client,
+            8,
+            AuthPolicy::ZeroHammingDistance,
+            &mut rng,
+        )
         .unwrap_err();
     assert!(matches!(err, ProtocolError::UnknownChip { chip_id: 42 }));
 }
@@ -135,12 +162,24 @@ fn relaxed_policy_tolerates_bounded_mismatches() {
     }
     let mut flipper = OneFlip(ChipResponder::new(chip, 2, Condition::NOMINAL, 8));
     let strict = server
-        .authenticate(0, &mut flipper, 16, AuthPolicy::ZeroHammingDistance, &mut rng)
+        .authenticate(
+            0,
+            &mut flipper,
+            16,
+            AuthPolicy::ZeroHammingDistance,
+            &mut rng,
+        )
         .unwrap();
     assert!(!strict.approved, "zero-HD accepted a flipped bit");
     let mut flipper = OneFlip(ChipResponder::new(chip, 2, Condition::NOMINAL, 8));
     let relaxed = server
-        .authenticate(0, &mut flipper, 16, AuthPolicy::MaxHammingFraction(0.1), &mut rng)
+        .authenticate(
+            0,
+            &mut flipper,
+            16,
+            AuthPolicy::MaxHammingFraction(0.1),
+            &mut rng,
+        )
         .unwrap();
     assert!(relaxed.approved, "relaxed policy rejected 1/16 mismatch");
 }

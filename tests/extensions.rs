@@ -32,7 +32,13 @@ fn persisted_server_still_authenticates() {
     let restored = decode_server(&bytes).unwrap();
     let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 2);
     let outcome = restored
-        .authenticate(0, &mut client, 24, AuthPolicy::ZeroHammingDistance, &mut rng)
+        .authenticate(
+            0,
+            &mut client,
+            24,
+            AuthPolicy::ZeroHammingDistance,
+            &mut rng,
+        )
         .unwrap();
     assert!(outcome.approved, "restored server denied the genuine chip");
 }
@@ -60,7 +66,10 @@ fn salvage_authentication_with_relaxed_policy() {
     let rounds = 64;
     let tolerance = recommended_tolerance(&report, rounds, 5.0).max(2.5 / rounds as f64);
     let mut client = ChipResponder::new(&chip, n, Condition::NOMINAL, 3);
-    let challenges: Vec<_> = report.selected[..rounds].iter().map(|s| s.challenge).collect();
+    let challenges: Vec<_> = report.selected[..rounds]
+        .iter()
+        .map(|s| s.challenge)
+        .collect();
     let responses = client.respond(&challenges);
     let mismatches = report.selected[..rounds]
         .iter()
@@ -118,7 +127,10 @@ fn bifurcation_discriminates_and_leaks_noisy_labels() {
         }
     }
     let rate = wrong as f64 / view.len() as f64;
-    assert!(rate > 0.15, "bifurcation leaked clean labels: error rate {rate}");
+    assert!(
+        rate > 0.15,
+        "bifurcation leaked clean labels: error rate {rate}"
+    );
 }
 
 #[test]
@@ -165,7 +177,13 @@ fn aged_chip_fails_nominal_enrollment_margins_eventually() {
     let outcome = {
         let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 7);
         server
-            .authenticate(0, &mut client, 32, AuthPolicy::ZeroHammingDistance, &mut rng)
+            .authenticate(
+                0,
+                &mut client,
+                32,
+                AuthPolicy::ZeroHammingDistance,
+                &mut rng,
+            )
             .unwrap()
     };
     assert!(outcome.approved);
@@ -174,7 +192,13 @@ fn aged_chip_fails_nominal_enrollment_margins_eventually() {
     chip.set_age(1e7); // ~1,100 years of drift — guaranteed failure regime
     let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 8);
     let outcome = server
-        .authenticate(0, &mut client, 64, AuthPolicy::ZeroHammingDistance, &mut rng)
+        .authenticate(
+            0,
+            &mut client,
+            64,
+            AuthPolicy::ZeroHammingDistance,
+            &mut rng,
+        )
         .unwrap();
     assert!(
         outcome.mismatches > 0,

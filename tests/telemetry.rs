@@ -1,0 +1,179 @@
+//! Integration tests of the telemetry substrate through the `xorpuf`
+//! re-export: metrics aggregate across threads, a disabled registry records
+//! nothing, and the JSONL export round-trips by hand parsing — no JSON
+//! library involved, matching the crate's zero-dependency constraint.
+
+use xorpuf::telemetry::{Registry, Span};
+
+/// Hand-extracts the value of `"key":` from a one-line JSON object, up to
+/// the next `,` or `}` — sufficient for the flat numeric fields the
+/// exporter emits.
+fn json_field<'a>(line: &'a str, key: &str) -> &'a str {
+    let tag = format!("\"{key}\":");
+    let start = line
+        .find(&tag)
+        .unwrap_or_else(|| panic!("no {key} in {line}"))
+        + tag.len();
+    let rest = &line[start..];
+    if rest.starts_with('[') {
+        let end = rest.find(']').expect("unterminated array");
+        return &rest[..=end];
+    }
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    &rest[..end]
+}
+
+#[test]
+fn metrics_aggregate_across_threads() {
+    let registry = Registry::new(true);
+    let counter = registry.counter("test.threads.events");
+    let hist = registry.histogram("test.threads.latency");
+    let gauge = registry.gauge("test.threads.gauge");
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for i in 1..=1_000u64 {
+                    counter.inc();
+                    hist.record(i);
+                    gauge.add(1.0);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), 8_000);
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, 8_000);
+    assert_eq!(snap.min, 1);
+    assert_eq!(snap.max, 1_000);
+    assert_eq!(snap.sum, 8 * (1_000 * 1_001) / 2);
+    assert!((gauge.get() - 8_000.0).abs() < 1e-9, "CAS add lost updates");
+}
+
+#[test]
+fn spans_record_into_their_histogram_across_threads() {
+    let registry = Registry::new(true);
+    let hist = registry.histogram("test.threads.span");
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..50 {
+                    let span = Span::enter(hist);
+                    std::hint::black_box(2u64.wrapping_mul(3));
+                    drop(span);
+                }
+            });
+        }
+    });
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, 200);
+    assert!(snap.min > 0, "span elapsed time should be at least 1ns");
+}
+
+#[test]
+fn disabled_registry_records_nothing() {
+    let registry = Registry::new(false);
+    let counter = registry.counter("test.off.count");
+    let gauge = registry.gauge("test.off.gauge");
+    let hist = registry.histogram("test.off.hist");
+    let trace = registry.trace("test.off.trace");
+    counter.inc();
+    counter.add(41);
+    gauge.set(2.5);
+    gauge.add(1.0);
+    hist.record(1_234);
+    trace.push(0.5);
+    {
+        let span = Span::enter(hist);
+        assert!(
+            !span.is_armed(),
+            "span should not arm on a disabled registry"
+        );
+    }
+    assert_eq!(counter.get(), 0);
+    assert_eq!(gauge.get(), 0.0);
+    assert_eq!(hist.snapshot().count, 0);
+    assert_eq!(trace.snapshot().total, 0);
+
+    // Flipping the switch re-arms the very same handles.
+    registry.set_enabled(true);
+    counter.inc();
+    hist.record(7);
+    assert_eq!(counter.get(), 1);
+    assert_eq!(hist.snapshot().count, 1);
+}
+
+#[test]
+fn jsonl_round_trips_by_hand_parsing() {
+    let registry = Registry::new(true);
+    registry.counter("test.jsonl.count").add(42);
+    registry.gauge("test.jsonl.yield").set(0.125);
+    let hist = registry.histogram("test.jsonl.lat");
+    for v in [100, 200, 400] {
+        hist.record(v);
+    }
+    let trace = registry.trace("test.jsonl.loss");
+    trace.push(1.5);
+    trace.push(0.5);
+
+    let jsonl = registry.render_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), 4, "one object per metric:\n{jsonl}");
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not an object: {line}"
+        );
+    }
+    let find = |name: &str| {
+        *lines
+            .iter()
+            .find(|l| l.contains(&format!("\"name\":\"{name}\"")))
+            .unwrap_or_else(|| panic!("no {name} line in:\n{jsonl}"))
+    };
+
+    let counter_line = find("test.jsonl.count");
+    assert_eq!(json_field(counter_line, "kind"), "\"counter\"");
+    assert_eq!(
+        json_field(counter_line, "value").parse::<u64>().unwrap(),
+        42
+    );
+
+    let gauge_line = find("test.jsonl.yield");
+    assert_eq!(json_field(gauge_line, "kind"), "\"gauge\"");
+    let yield_value: f64 = json_field(gauge_line, "value").parse().unwrap();
+    assert!((yield_value - 0.125).abs() < 1e-12);
+
+    let hist_line = find("test.jsonl.lat");
+    assert_eq!(json_field(hist_line, "kind"), "\"histogram\"");
+    assert_eq!(json_field(hist_line, "count").parse::<u64>().unwrap(), 3);
+    assert_eq!(json_field(hist_line, "sum_ns").parse::<u64>().unwrap(), 700);
+    assert_eq!(json_field(hist_line, "min_ns").parse::<u64>().unwrap(), 100);
+    assert_eq!(json_field(hist_line, "max_ns").parse::<u64>().unwrap(), 400);
+    let p50: u64 = json_field(hist_line, "p50_ns").parse().unwrap();
+    assert!(
+        (100..=400).contains(&p50),
+        "p50 {p50} outside recorded range"
+    );
+
+    let trace_line = find("test.jsonl.loss");
+    assert_eq!(json_field(trace_line, "kind"), "\"trace\"");
+    assert_eq!(json_field(trace_line, "total").parse::<u64>().unwrap(), 2);
+    let values = json_field(trace_line, "values");
+    assert_eq!(values, "[1.5,0.5]");
+}
+
+#[test]
+fn global_registry_macros_and_runtime_switch() {
+    // The only test touching process-global state, so no cross-test races.
+    let was = xorpuf::telemetry::enabled();
+    xorpuf::telemetry::set_enabled(true);
+    xorpuf::telemetry::counter!("test.global.events").add(5);
+    {
+        let _span = xorpuf::telemetry::span!("test.global.span");
+    }
+    let table = xorpuf::telemetry::registry().render_table();
+    assert!(table.contains("test.global.events"), "{table}");
+    assert!(table.contains("test.global.span"), "{table}");
+    assert_eq!(xorpuf::telemetry::counter!("test.global.events").get(), 5);
+    xorpuf::telemetry::set_enabled(was);
+}

@@ -1,0 +1,400 @@
+//! Offline shim for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! The build environment has no crates-io access; the workspace patches
+//! `criterion` to this implementation. Measurement model: per benchmark,
+//! calibrate an iteration count targeting ~25 ms per sample, take
+//! `sample_size` samples, and report the median ns/iter (plus throughput
+//! when configured). No plots, no statistics beyond median/min/max, no
+//! baseline storage — numbers go to stdout and are meant to be pasted into
+//! EXPERIMENTS.md.
+//!
+//! Filtering works like upstream: `cargo bench -- <substring>` runs only
+//! benchmark ids containing the substring.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measurement sample.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(25);
+/// Iteration-count calibration floor.
+const CALIBRATION_TIME: Duration = Duration::from_millis(5);
+
+/// Throughput annotation for a benchmark (elements or bytes per iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost; the shim runs one routine call
+/// per setup call regardless, so this is advisory.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, e.g. `BenchmarkId::new("n", 4)` → `n/4`.
+    pub fn new<P: fmt::Display>(name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (the group name already scopes the id), e.g.
+    /// `BenchmarkId::from_parameter(5000)` → `5000`.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a flat benchmark-id string.
+pub trait IntoBenchmarkId {
+    /// The flat id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The per-benchmark timing driver passed to `bench_function` closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Median nanoseconds per iteration over all samples.
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            sample_size,
+            ..Self::default()
+        }
+    }
+
+    /// Times `routine` in a calibrated loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fill CALIBRATION_TIME?
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= CALIBRATION_TIME || iters >= u64::MAX / 2 {
+                let per_iter = elapsed.as_nanos().max(1) as u64 / iters;
+                iters = (TARGET_SAMPLE_TIME.as_nanos() as u64 / per_iter.max(1)).max(1);
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.record(samples);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate with a handful of timed single calls.
+        let mut per_iter = Duration::ZERO;
+        let mut calibration = 0u32;
+        while per_iter < CALIBRATION_TIME && calibration < 64 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            per_iter += start.elapsed();
+            calibration += 1;
+        }
+        let per_iter_ns =
+            (per_iter.as_nanos().max(1) as u64 / u64::from(calibration.max(1))).max(1);
+        let iters = (TARGET_SAMPLE_TIME.as_nanos() as u64 / per_iter_ns).clamp(1, 1_000_000);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            samples.push(total.as_nanos() as f64 / iters as f64);
+        }
+        self.record(samples);
+    }
+
+    fn record(&mut self, mut samples: Vec<f64>) {
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+        self.min_ns = samples[0];
+        self.max_ns = samples[samples.len() - 1];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn format_rate(per_second: f64) -> String {
+    if per_second >= 1e9 {
+        format!("{:.2} G", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.2} M", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.2} K", per_second / 1e3)
+    } else {
+        format!("{per_second:.1} ")
+    }
+}
+
+/// The benchmark harness entry point (mirrors `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            sample_size: 12,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a harness from the process arguments: the first non-flag
+    /// argument is a substring filter; harness flags are ignored.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            filter,
+            ..Self::default()
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        if !self.matches(id) {
+            return;
+        }
+        let mut bencher = Bencher::new(sample_size);
+        f(&mut bencher);
+        let mut line = format!(
+            "{id:<52} {:>12}/iter  [{} .. {}]",
+            format_ns(bencher.median_ns),
+            format_ns(bencher.min_ns),
+            format_ns(bencher.max_ns),
+        );
+        if let Some(tp) = throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let rate = count as f64 / (bencher.median_ns * 1e-9);
+            line.push_str(&format!("  {}{unit}", format_rate(rate)));
+        }
+        println!("{line}");
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(id, None, sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: self.sample_size,
+            criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample-size settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Upstream enforces >= 10; the shim just needs >= 1.
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates following benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let (tp, n) = (self.throughput, self.sample_size);
+        self.criterion.run_one(&full, tp, n, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let (tp, n) = (self.throughput, self.sample_size);
+        self.criterion.run_one(&full, tp, n, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(3);
+        b.iter(|| std::hint::black_box(2u64.wrapping_mul(3)));
+        assert!(b.median_ns > 0.0);
+        assert!(b.min_ns <= b.median_ns && b.median_ns <= b.max_ns);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(3);
+        b.iter_batched(
+            || 41u64,
+            |x| std::hint::black_box(x + 1),
+            BatchSize::SmallInput,
+        );
+        assert!(b.median_ns > 0.0);
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let c = Criterion {
+            filter: Some("eval".into()),
+            sample_size: 3,
+        };
+        assert!(c.matches("xor/eval_batch"));
+        assert!(!c.matches("train/lbfgs"));
+        let open = Criterion::default();
+        assert!(open.matches("anything"));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("n", 4).into_id(), "n/4");
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert_eq!(format_ns(12.3), "12.30 ns");
+        assert!(format_ns(4_500.0).ends_with("µs"));
+        assert!(format_rate(2.5e6).starts_with("2.50 M"));
+    }
+}

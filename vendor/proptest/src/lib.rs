@@ -1,0 +1,107 @@
+//! Offline shim for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build environment has no crates-io access; the workspace patches
+//! `proptest` to this implementation. Semantics: each `proptest!` test runs
+//! its body for [`test_runner::ProptestConfig::cases`] randomly sampled
+//! inputs from the given strategies, with a seed derived deterministically
+//! from the test's name. There is **no shrinking** — a failing case panics
+//! with the sampled inputs' debug representation via the normal assertion
+//! message instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-importable surface (mirrors `proptest::prelude`).
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: every `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` for each of `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::rng_for_test(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_runs_and_samples(x in 0usize..10, y in any::<u64>()) {
+            prop_assert!(x < 10);
+            let _ = y;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_macro_form(bits in any::<u128>()) {
+            prop_assert_eq!(bits, bits);
+        }
+    }
+
+    #[test]
+    fn composite_strategies_sample() {
+        let mut rng = crate::test_runner::rng_for_test("composite");
+        let strat = (1usize..=4, any::<u32>()).prop_flat_map(|(n, tag)| {
+            crate::collection::vec(-1.0f64..1.0, n).prop_map(move |v| (tag, v))
+        });
+        for _ in 0..100 {
+            let (_, v) = Strategy::sample(&strat, &mut rng);
+            assert!((1..=4).contains(&v.len()));
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+}

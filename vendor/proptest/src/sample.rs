@@ -1,0 +1,44 @@
+//! Sampling helper types (mirrors `proptest::sample`).
+
+/// A position into a collection of not-yet-known length.
+///
+/// Sampled via `any::<Index>()`; resolved against a concrete length with
+/// [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Wraps a raw draw (used by `any::<Index>()`).
+    pub(crate) fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Resolves to a position in `0..len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_resolves_in_bounds() {
+        for raw in [0u64, 1, 41, u64::MAX] {
+            assert!(Index::new(raw).index(7) < 7);
+        }
+        assert_eq!(Index::new(9).index(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn index_rejects_empty() {
+        let _ = Index::new(3).index(0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Test-run configuration and the RNG used by strategies.
+
+use rand::SeedableRng;
+
+/// The RNG handed to [`crate::strategy::Strategy::sample`].
+pub type TestRng = rand::rngs::StdRng;
+
+/// Per-test configuration (mirrors the used subset of
+/// `proptest::test_runner::Config`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled inputs per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256: without shrinking, raw case
+    /// count is the only cost knob, and these suites run in CI on every PR.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A deterministic RNG derived from the test's name (FNV-1a), so every test
+/// sees a stable but distinct stream across runs.
+pub fn rng_for_test(name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn distinct_tests_get_distinct_streams() {
+        let mut a = rng_for_test("alpha");
+        let mut b = rng_for_test("beta");
+        let mut a2 = rng_for_test("alpha");
+        assert_eq!(a.next_u64(), a2.next_u64());
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline marker shim for `serde`.
+//!
+//! Exists only so the workspace's *optional* `serde` dependency declarations
+//! resolve without crates-io access. The puf-* crates gate every serde
+//! derive behind their (disabled-by-default) `serde` cargo feature; enabling
+//! that feature against this shim will fail to compile, because no derive
+//! macros are provided. Restore the real `serde` in the workspace manifest
+//! if serialization support is ever needed and the registry is reachable.
+
+/// Placeholder trait; real serde's `Serialize` is a derive-backed trait.
+pub trait Serialize {}
+
+/// Placeholder trait; real serde's `Deserialize` carries a lifetime.
+pub trait Deserialize<'de> {}
