@@ -1,0 +1,81 @@
+//! Scalar vs batched XOR soft-response generation at (sampled) paper scale.
+//!
+//! The paper's measurement campaign evaluates 1,000,000 challenges across a
+//! 3×3 V/T grid — 9 million soft responses per XOR PUF. This bench replays a
+//! deterministic sample of that workload both ways:
+//!
+//! * `scalar`: per-challenge `XorPuf::soft_response`, recomputing the feature
+//!   vector for every (challenge, corner) pair — the pre-batch code path.
+//! * `batched`: one [`FeatureMatrix`] built up front and reused across all
+//!   nine corners via `XorPuf::soft_response_batch` — the feature transform
+//!   is amortised 9× and the dot products run through the unrolled kernel.
+//!
+//! Run: `cargo bench -p puf-bench --bench batch`
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use puf_core::batch::FeatureMatrix;
+use puf_core::{Challenge, Condition, Environment, XorPuf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Challenges sampled from the paper's 1M pool; each one is evaluated at all
+/// 9 grid corners, so one bench iteration covers `SAMPLE * 9` soft CRPs.
+const SAMPLE: usize = 16_384;
+const XOR_N: usize = 10;
+const STAGES: usize = 32;
+const BASE_SIGMA: f64 = 0.05;
+
+fn corner_sigmas(env: &Environment) -> Vec<f64> {
+    Condition::paper_grid()
+        .iter()
+        .map(|&cond| BASE_SIGMA * env.noise_scale(cond))
+        .collect()
+}
+
+fn bench_soft_response_grid(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    let xor = XorPuf::random(XOR_N, STAGES, &mut rng);
+    let challenges: Vec<Challenge> = (0..SAMPLE)
+        .map(|_| Challenge::random(STAGES, &mut rng))
+        .collect();
+    let env = Environment::paper_default();
+    let sigmas = corner_sigmas(&env);
+
+    let mut group = c.benchmark_group("xor_soft_grid_n10");
+    group.throughput(Throughput::Elements((SAMPLE * sigmas.len()) as u64));
+    group.sample_size(10);
+
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &sigma in &sigmas {
+                for ch in &challenges {
+                    acc += xor.soft_response(ch, sigma);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("batched", |b| {
+        // Matrix build is inside the timed loop: it is paid once and
+        // amortised over all nine corners, exactly as the harnesses do.
+        b.iter(|| {
+            let features = FeatureMatrix::from_challenges(&challenges).unwrap();
+            let mut acc = 0.0f64;
+            for &sigma in &sigmas {
+                acc += xor
+                    .soft_response_batch(&features, sigma)
+                    .iter()
+                    .sum::<f64>();
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_soft_response_grid);
+criterion_main!(benches);

@@ -3,6 +3,7 @@
 //! trillion CRP" campaign replays on a workstation.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use puf_core::batch::FeatureMatrix;
 use puf_core::{Challenge, Condition, XorPuf};
 use puf_silicon::{Chip, ChipConfig};
 use rand::rngs::StdRng;
@@ -32,6 +33,16 @@ fn bench_arbiter_eval(c: &mut Criterion) {
             black_box(acc)
         })
     });
+    // Same work through the batch engine: one prebuilt feature matrix, the
+    // unrolled kernel over contiguous rows.
+    let features = FeatureMatrix::from_challenges(&challenges).unwrap();
+    let mut deltas = vec![0.0f64; challenges.len()];
+    group.bench_function("delta_batch_1024", |b| {
+        b.iter(|| {
+            puf.delta_batch_into(&features, &mut deltas);
+            black_box(deltas.iter().sum::<f64>())
+        })
+    });
     group.finish();
 }
 
@@ -45,6 +56,45 @@ fn bench_xor_eval(c: &mut Criterion) {
             b.iter(|| black_box(xor.response(&challenge)))
         });
     }
+    group.finish();
+}
+
+/// Scalar per-challenge loop vs the batch engine for noiseless XOR response
+/// generation — the acceptance gate for the batch path is bit-exactness plus
+/// ≥ 4× single-thread throughput on this comparison.
+fn bench_xor_batch(c: &mut Criterion) {
+    const CHALLENGES: usize = 8_192;
+    let mut rng = StdRng::seed_from_u64(8);
+    let xor = XorPuf::random(10, 32, &mut rng);
+    let challenges: Vec<Challenge> = (0..CHALLENGES)
+        .map(|_| Challenge::random(32, &mut rng))
+        .collect();
+    let features = FeatureMatrix::from_challenges(&challenges).unwrap();
+
+    let mut group = c.benchmark_group("xor_batch_n10");
+    group.throughput(Throughput::Elements(CHALLENGES as u64));
+    group.bench_function("scalar_loop", |b| {
+        b.iter(|| {
+            let mut ones = 0usize;
+            for ch in &challenges {
+                ones += xor.response(ch) as usize;
+            }
+            black_box(ones)
+        })
+    });
+    group.bench_function("response_batch", |b| {
+        b.iter(|| {
+            let bits = xor.response_batch(&features);
+            black_box(bits.iter().filter(|&&b| b).count())
+        })
+    });
+    group.bench_function("response_batch_with_matrix_build", |b| {
+        b.iter(|| {
+            let fm = FeatureMatrix::from_challenges(&challenges).unwrap();
+            let bits = xor.response_batch(&fm);
+            black_box(bits.iter().filter(|&&b| b).count())
+        })
+    });
     group.finish();
 }
 
@@ -86,6 +136,7 @@ criterion_group!(
     bench_feature_transform,
     bench_arbiter_eval,
     bench_xor_eval,
+    bench_xor_batch,
     bench_counter_measurement
 );
 criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Evaluation-throughput harness: CRPs/s for the scalar and batched PUF
+//! evaluation paths, written to `results/BENCH_eval.json`.
+//!
+//! Measures, on one fixed challenge pool (32 stages):
+//!
+//! * single arbiter — per-challenge `delay_difference` vs `delta_batch_into`,
+//! * 10-XOR — per-challenge `response` vs `response_batch` (with and without
+//!   the feature-matrix build in the timed region),
+//! * 10-XOR batched fanned out over all worker threads via `par::par_map`.
+//!
+//! Each path is timed best-of-3 after a warmup pass, and the batched XOR
+//! bits are asserted bit-identical to the scalar loop before any timing.
+//!
+//! Run: `cargo run -p puf-bench --release --bin bench_eval`
+//! (`PUF_BENCH_CRPS=N` overrides the pool size, `PUF_THREADS=N` the fan-out)
+
+use puf_bench::par;
+use puf_core::batch::FeatureMatrix;
+use puf_core::{ArbiterPuf, Challenge, XorPuf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const STAGES: usize = 32;
+const XOR_N: usize = 10;
+const DEFAULT_CRPS: usize = 262_144;
+const REPS: usize = 3;
+
+/// Times `f` best-of-[`REPS`] after one warmup call and returns CRPs/s.
+fn throughput<F: FnMut() -> f64>(crps: usize, mut f: F) -> f64 {
+    black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    crps as f64 / best
+}
+
+fn main() {
+    let crps: usize = std::env::var("PUF_BENCH_CRPS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(DEFAULT_CRPS);
+
+    let mut rng = StdRng::seed_from_u64(0xE7A1);
+    let arbiter = ArbiterPuf::random(STAGES, &mut rng);
+    let xor = XorPuf::random(XOR_N, STAGES, &mut rng);
+    let challenges: Vec<Challenge> = (0..crps)
+        .map(|_| Challenge::random(STAGES, &mut rng))
+        .collect();
+    let features = FeatureMatrix::from_challenges(&challenges).expect("feature matrix");
+
+    // Bit-exactness gate before any timing: the batched path must reproduce
+    // the scalar loop exactly.
+    let scalar_bits: Vec<bool> = challenges.iter().map(|ch| xor.response(ch)).collect();
+    assert_eq!(
+        xor.response_batch(&features),
+        scalar_bits,
+        "batched XOR responses diverge from the scalar loop"
+    );
+
+    println!("eval throughput harness: {crps} challenges, {STAGES} stages, {XOR_N}-XOR");
+
+    let arbiter_scalar = throughput(crps, || {
+        challenges
+            .iter()
+            .map(|ch| arbiter.delay_difference(ch))
+            .sum()
+    });
+    let mut deltas = vec![0.0f64; crps];
+    let arbiter_batched = throughput(crps, || {
+        let fm = FeatureMatrix::from_challenges(&challenges).unwrap();
+        arbiter.delta_batch_into(&fm, &mut deltas);
+        deltas.iter().sum()
+    });
+    let xor_scalar = throughput(crps, || {
+        challenges.iter().filter(|ch| xor.response(ch)).count() as f64
+    });
+    let xor_batched = throughput(crps, || {
+        let fm = FeatureMatrix::from_challenges(&challenges).unwrap();
+        xor.response_batch(&fm).iter().filter(|&&b| b).count() as f64
+    });
+    let xor_batched_prebuilt = throughput(crps, || {
+        xor.response_batch(&features).iter().filter(|&&b| b).count() as f64
+    });
+
+    // Multi-thread batched path: shard the pool, one feature matrix per
+    // shard, fan out through the lock-free par_map.
+    let workers = par::worker_count(1 << 16);
+    let shards: Vec<&[Challenge]> = challenges.chunks(crps.div_ceil(workers * 4)).collect();
+    let xor_batched_mt = throughput(crps, || {
+        par::par_map(&shards, |_, chunk| {
+            let fm = FeatureMatrix::from_challenges(chunk).unwrap();
+            xor.response_batch(&fm).iter().filter(|&&b| b).count()
+        })
+        .iter()
+        .sum::<usize>() as f64
+    });
+
+    let speedup_1t = xor_batched / xor_scalar;
+    let speedup_mt = xor_batched_mt / xor_scalar;
+
+    let rows = [
+        ("arbiter scalar (1 thread)", arbiter_scalar),
+        ("arbiter batched (1 thread)", arbiter_batched),
+        ("10-XOR scalar (1 thread)", xor_scalar),
+        ("10-XOR batched (1 thread)", xor_batched),
+        ("10-XOR batched, prebuilt matrix", xor_batched_prebuilt),
+        ("10-XOR batched (all threads)", xor_batched_mt),
+    ];
+    for (label, v) in rows {
+        println!("  {label:34} {:>12.0} CRPs/s", v);
+    }
+    println!("  batched vs scalar 10-XOR: {speedup_1t:.2}× (1 thread), {speedup_mt:.2}× ({workers} threads)");
+
+    let json = format!(
+        "{{\n  \"stages\": {STAGES},\n  \"xor_n\": {XOR_N},\n  \"challenges\": {crps},\n  \"threads\": {workers},\n  \"crps_per_sec\": {{\n    \"arbiter_scalar_1t\": {arbiter_scalar:.0},\n    \"arbiter_batched_1t\": {arbiter_batched:.0},\n    \"xor10_scalar_1t\": {xor_scalar:.0},\n    \"xor10_batched_1t\": {xor_batched:.0},\n    \"xor10_batched_prebuilt_1t\": {xor_batched_prebuilt:.0},\n    \"xor10_batched_all_threads\": {xor_batched_mt:.0}\n  }},\n  \"speedup\": {{\n    \"xor10_batched_vs_scalar_1t\": {speedup_1t:.2},\n    \"xor10_batched_vs_scalar_all_threads\": {speedup_mt:.2}\n  }}\n}}\n"
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_eval.json", &json).expect("write BENCH_eval.json");
+    println!("\nwrote results/BENCH_eval.json");
+
+    puf_bench::emit_telemetry_report();
+}

@@ -8,7 +8,9 @@
 
 use puf_analysis::hist::Histogram;
 use puf_bench::{par, Scale};
-use puf_core::{Challenge, Condition};
+use puf_core::batch::FeatureMatrix;
+use puf_core::challenge::random_challenges;
+use puf_core::Condition;
 use puf_silicon::{Chip, ChipConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,14 +30,17 @@ fn main() {
     let shard_ids: Vec<u64> = (0..shards as u64).collect();
     let partials = par::par_map_progress("bench.fig02.shards", &shard_ids, |_, &shard| {
         let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0002 + shard * 7919));
+        // The shard's challenges go through the batch engine: one feature
+        // matrix, one kernel pass, counter draws in challenge order.
+        let challenges = random_challenges(chip.stages(), per_shard, &mut rng);
+        let features = FeatureMatrix::from_challenges(&challenges).expect("feature matrix");
+        let soft = chip
+            .measure_individual_soft_batch(0, &features, Condition::NOMINAL, scale.evals, &mut rng)
+            .expect("measurement failed");
         let mut hist = Histogram::soft_response();
         let mut stable0 = 0u64;
         let mut stable1 = 0u64;
-        for _ in 0..per_shard {
-            let c = Challenge::random(chip.stages(), &mut rng);
-            let s = chip
-                .measure_individual_soft(0, &c, Condition::NOMINAL, scale.evals, &mut rng)
-                .expect("measurement failed");
+        for s in soft {
             hist.add(s.value());
             if s.is_stable_zero() {
                 stable0 += 1;

@@ -9,7 +9,9 @@
 use puf_analysis::stability::{exponential_fit_r2, fit_exponential_base, StabilityPoint};
 use puf_analysis::Table;
 use puf_bench::{par, Scale};
-use puf_core::{Challenge, Condition};
+use puf_core::challenge::random_challenges;
+use puf_core::Condition;
+use puf_silicon::testbench::stable_prefix_counts;
 use puf_silicon::{Chip, ChipConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,19 +33,21 @@ fn main() {
     let shard_ids: Vec<u64> = (0..shards as u64).collect();
     let partials = par::par_map_progress("bench.fig03.shards", &shard_ids, |_, &shard| {
         let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0003 + shard * 7919));
+        // Batched: the per-member probabilities come from one kernel pass
+        // per member over the shard's feature matrix; the counter draws
+        // keep the scalar early-break order.
+        let challenges = random_challenges(chip.stages(), per_shard, &mut rng);
+        let counts = stable_prefix_counts(
+            &chip,
+            MAX_N,
+            &challenges,
+            Condition::NOMINAL,
+            scale.evals,
+            &mut rng,
+        )
+        .expect("measurement failed");
         let mut stable_upto = vec![0u64; MAX_N + 1]; // stable_upto[n] = #challenges stable for all first n
-        for _ in 0..per_shard {
-            let c = Challenge::random(chip.stages(), &mut rng);
-            let mut prefix_stable = MAX_N;
-            for puf in 0..MAX_N {
-                let s = chip
-                    .measure_individual_soft(puf, &c, Condition::NOMINAL, scale.evals, &mut rng)
-                    .expect("measurement failed");
-                if !s.is_stable() {
-                    prefix_stable = puf;
-                    break;
-                }
-            }
+        for prefix_stable in counts {
             for slot in &mut stable_upto[1..=prefix_stable] {
                 *slot += 1;
             }

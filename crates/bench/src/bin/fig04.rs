@@ -14,11 +14,12 @@
 
 use puf_analysis::Table;
 use puf_bench::{par, Scale};
+use puf_core::batch::FeatureMatrix;
 use puf_core::challenge::random_challenges;
 use puf_core::Condition;
 use puf_ml::features::{design_matrix, encode_bits};
 use puf_ml::{Mlp, MlpConfig};
-use puf_silicon::testbench::collect_stable_xor_crps;
+use puf_silicon::testbench::collect_stable_xor_crps_features;
 use puf_silicon::{dataset::CrpSet, Chip, ChipConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,24 +47,27 @@ fn main() {
     let pool = random_challenges(chip.stages(), scale.challenges, &mut rng);
     let split = pool.len() * 9 / 10;
     let (train_pool, test_pool) = pool.split_at(split);
+    // Feature matrices are built once and shared across every XOR width.
+    let fm_train = FeatureMatrix::from_challenges(train_pool).expect("train features");
+    let fm_test = FeatureMatrix::from_challenges(test_pool).expect("test features");
 
     println!("collecting stable CRPs per n (fuse-port measurements)…");
     let datasets: Vec<(usize, CrpSet, CrpSet)> =
         par::par_map_progress("bench.fig04.datasets", &n_values, |idx, &n| {
             let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0004 + idx as u64));
-            let train = collect_stable_xor_crps(
+            let train = collect_stable_xor_crps_features(
                 &chip,
                 n,
-                train_pool,
+                &fm_train,
                 Condition::NOMINAL,
                 scale.evals,
                 &mut rng,
             )
             .expect("train collection failed");
-            let test = collect_stable_xor_crps(
+            let test = collect_stable_xor_crps_features(
                 &chip,
                 n,
-                test_pool,
+                &fm_test,
                 Condition::NOMINAL,
                 scale.evals,
                 &mut rng,

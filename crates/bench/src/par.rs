@@ -2,9 +2,9 @@
 //! the fig harnesses only need an embarrassingly parallel indexed map.
 
 use puf_telemetry::Progress;
+use std::mem::{ManuallyDrop, MaybeUninit};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Number of worker threads to use: the `PUF_THREADS` environment variable
 /// if set to a positive integer, otherwise `available_parallelism`; always
@@ -32,8 +32,21 @@ fn env_thread_override() -> Option<usize> {
     }
 }
 
+/// Raw output cursor shared with the workers. Safety rests on the claiming
+/// protocol in [`par_map`]: each worker only writes slots inside ranges it
+/// claimed from the shared atomic, and ranges are disjoint by construction.
+struct SendPtr<U>(*mut MaybeUninit<U>);
+
+unsafe impl<U: Send> Send for SendPtr<U> {}
+unsafe impl<U: Send> Sync for SendPtr<U> {}
+
 /// Applies `f(index, &item)` to every item on a scoped thread pool and
 /// returns the results in input order.
+///
+/// Work distribution is lock-free: workers claim contiguous index chunks
+/// from one shared atomic cursor and write results straight into disjoint
+/// ranges of the pre-sized output buffer — no per-item mutex, no
+/// post-collection `Option` unwrapping pass.
 ///
 /// `f` must be `Sync` (shared across workers); per-item state (e.g. an RNG)
 /// should be derived inside `f` from the index so results are deterministic
@@ -52,26 +65,48 @@ where
     if workers == 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    // ~8 chunks per worker balances claim contention against tail latency
+    // when per-item cost is uneven.
+    let chunk = (n / (workers * 8)).max(1);
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<U>>> = Mutex::new((0..n).map(|_| None).collect());
+    let mut results: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit<U> needs no initialisation; every slot is written
+    // exactly once below before being read.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        results.set_len(n);
+    }
+    let out = SendPtr(results.as_mut_ptr());
+    let out = &out;
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
-                let out = f(i, &items[i]);
-                results.lock().expect("poisoned results")[i] = Some(out);
+                let end = (start + chunk).min(n);
+                // SAFETY: [start, end) was claimed exclusively by this
+                // worker via the fetch_add above and lies within the
+                // n-slot allocation, so ranges never alias.
+                let slots =
+                    unsafe { std::slice::from_raw_parts_mut(out.0.add(start), end - start) };
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    let i = start + off;
+                    slot.write(f(i, &items[i]));
+                }
             });
         }
     });
-    results
-        .into_inner()
-        .expect("poisoned results")
-        .into_iter()
-        .map(|o| o.expect("worker skipped an item"))
-        .collect()
+    // If a worker panicked, the scope has already propagated the panic and
+    // we never reach this point — `results` is then dropped as
+    // MaybeUninit (leaking written slots, but no use of uninitialised
+    // memory). On the success path every slot is initialised.
+    // SAFETY: all n slots are written; MaybeUninit<U> and U share layout.
+    unsafe {
+        let mut results = ManuallyDrop::new(results);
+        Vec::from_raw_parts(results.as_mut_ptr() as *mut U, n, results.capacity())
+    }
 }
 
 /// [`par_map`] with a [`Progress`] reporter: counts completed items under
@@ -149,6 +184,28 @@ mod tests {
         std::env::set_var("PUF_THREADS", "64");
         assert_eq!(worker_count(2), 2, "item count still caps the override");
         std::env::remove_var("PUF_THREADS");
+    }
+
+    #[test]
+    fn chunked_claiming_covers_every_index_with_heap_values() {
+        // Heap-allocated results catch double-writes/missed slots (drop
+        // bugs) that plain integers would hide.
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = par_map(&items, |i, &x| format!("{i}:{x}"));
+        assert_eq!(out.len(), items.len());
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s, &format!("{i}:{i}"));
+        }
+    }
+
+    #[test]
+    fn uneven_item_counts_cover_the_tail_chunk() {
+        // Counts around chunk boundaries: primes and off-by-ones.
+        for n in [1usize, 2, 7, 63, 64, 65, 997] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = par_map(&items, |i, &x| i + x);
+            assert_eq!(out, (0..n).map(|x| 2 * x).collect::<Vec<_>>());
+        }
     }
 
     #[test]

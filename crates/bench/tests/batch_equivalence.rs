@@ -1,0 +1,159 @@
+//! End-to-end equivalence of the batched evaluation engine with the scalar
+//! paths it replaced, across the crate boundaries the harnesses actually
+//! exercise: puf-core batch APIs, the silicon testbench collectors, and the
+//! enrollment measurement path.
+//!
+//! The unit/property tests in `puf-core::batch` already pin bit-exactness at
+//! the kernel level; this test pins it at the *pipeline* level — same seeds,
+//! same RNG draw order, same bits — so a regression anywhere in the chain
+//! (feature packing, block expansion, silicon replay order) fails loudly.
+
+use puf_core::batch::FeatureMatrix;
+use puf_core::challenge::random_challenges;
+use puf_core::{ArbiterPuf, Condition, XorPuf};
+use puf_silicon::testbench::{collect_stable_xor_crps_features, stable_prefix_counts};
+use puf_silicon::{Chip, ChipConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn core_batch_paths_are_bit_exact_across_widths() {
+    let mut rng = StdRng::seed_from_u64(0xB17E);
+    for stages in [1, 7, 32, 64, 99] {
+        let challenges = random_challenges(stages, 173, &mut rng);
+        let features = FeatureMatrix::from_challenges(&challenges).unwrap();
+
+        let arbiter = ArbiterPuf::random(stages, &mut rng);
+        for (i, ch) in challenges.iter().enumerate() {
+            assert_eq!(
+                arbiter.delta_batch(&features)[i].to_bits(),
+                arbiter.delay_difference(ch).to_bits(),
+                "arbiter delta diverges at stages={stages}, row {i}"
+            );
+        }
+
+        for n in [1, 4, 10] {
+            let xor = XorPuf::random(n, stages, &mut rng);
+            let scalar_bits: Vec<bool> = challenges.iter().map(|c| xor.response(c)).collect();
+            assert_eq!(xor.response_batch(&features), scalar_bits);
+
+            let sigma = 0.07;
+            let batched_soft = xor.soft_response_batch(&features, sigma);
+            for (i, ch) in challenges.iter().enumerate() {
+                assert_eq!(
+                    batched_soft[i].to_bits(),
+                    xor.soft_response(ch, sigma).to_bits(),
+                    "soft response diverges at stages={stages}, n={n}, row {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn noisy_batch_replays_the_scalar_rng_stream() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let challenges = random_challenges(48, 301, &mut rng);
+    let features = FeatureMatrix::from_challenges(&challenges).unwrap();
+    let xor = XorPuf::random(5, 48, &mut rng);
+    let sigma = 0.12;
+
+    let batched = xor.eval_noisy_batch(&features, sigma, &mut StdRng::seed_from_u64(7));
+    let mut scalar_rng = StdRng::seed_from_u64(7);
+    let scalar: Vec<bool> = challenges
+        .iter()
+        .map(|c| xor.eval_noisy(c, sigma, &mut scalar_rng))
+        .collect();
+    assert_eq!(
+        batched, scalar,
+        "noisy batch consumed a different RNG stream"
+    );
+
+    // Determinism: same seed, same bits, run-to-run.
+    assert_eq!(
+        batched,
+        xor.eval_noisy_batch(&features, sigma, &mut StdRng::seed_from_u64(7))
+    );
+}
+
+#[test]
+fn silicon_enrollment_batch_matches_scalar_measurements() {
+    let mut rng = StdRng::seed_from_u64(0xC819);
+    let chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+    let challenges = random_challenges(chip.stages(), 200, &mut rng);
+    let features = FeatureMatrix::from_challenges(&challenges).unwrap();
+    let evals = 1_000;
+
+    let batched = chip
+        .measure_individual_soft_batch(
+            1,
+            &features,
+            Condition::NOMINAL,
+            evals,
+            &mut StdRng::seed_from_u64(11),
+        )
+        .unwrap();
+    let mut scalar_rng = StdRng::seed_from_u64(11);
+    for (ch, got) in challenges.iter().zip(&batched) {
+        let want = chip
+            .measure_individual_soft(1, ch, Condition::NOMINAL, evals, &mut scalar_rng)
+            .unwrap();
+        assert_eq!(*got, want, "enrollment counter draws diverged");
+    }
+}
+
+#[test]
+fn silicon_stable_collectors_are_seed_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xFAB5);
+    let chip = Chip::fabricate(3, &ChipConfig::small(), &mut rng);
+    let challenges = random_challenges(chip.stages(), 150, &mut rng);
+    let features = FeatureMatrix::from_challenges(&challenges).unwrap();
+    let evals = 2_000;
+
+    let counts_a = stable_prefix_counts(
+        &chip,
+        4,
+        &challenges,
+        Condition::NOMINAL,
+        evals,
+        &mut StdRng::seed_from_u64(42),
+    )
+    .unwrap();
+    let counts_b = stable_prefix_counts(
+        &chip,
+        4,
+        &challenges,
+        Condition::NOMINAL,
+        evals,
+        &mut StdRng::seed_from_u64(42),
+    )
+    .unwrap();
+    assert_eq!(
+        counts_a, counts_b,
+        "stable_prefix_counts is not deterministic"
+    );
+
+    let set_a = collect_stable_xor_crps_features(
+        &chip,
+        3,
+        &features,
+        Condition::NOMINAL,
+        evals,
+        &mut StdRng::seed_from_u64(43),
+    )
+    .unwrap();
+    let set_b = collect_stable_xor_crps_features(
+        &chip,
+        3,
+        &features,
+        Condition::NOMINAL,
+        evals,
+        &mut StdRng::seed_from_u64(43),
+    )
+    .unwrap();
+    assert_eq!(set_a.len(), set_b.len());
+    for ((ca, ra), (cb, rb)) in set_a.iter().zip(set_b.iter()) {
+        assert_eq!(ca, cb);
+        assert_eq!(ra, rb);
+    }
+}

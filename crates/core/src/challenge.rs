@@ -128,16 +128,37 @@ impl Challenge {
     /// # Ok::<(), puf_core::PufError>(())
     /// ```
     pub fn features(&self) -> FeatureVector {
+        let mut phi = vec![0.0f64; self.stages() + 1];
+        self.features_into(&mut phi);
+        FeatureVector(phi)
+    }
+
+    /// Writes the parity feature transform `φ(c)` into a caller-provided
+    /// buffer — the allocation-free form of [`Challenge::features`] used by
+    /// batch evaluation and the ML training loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.stages() + 1`.
+    ///
+    /// ```
+    /// use puf_core::Challenge;
+    /// let c = Challenge::from_bits(0, 3)?;
+    /// let mut phi = [0.0f64; 4];
+    /// c.features_into(&mut phi);
+    /// assert_eq!(phi, [1.0, 1.0, 1.0, 1.0]);
+    /// # Ok::<(), puf_core::PufError>(())
+    /// ```
+    pub fn features_into(&self, out: &mut [f64]) {
         let k = self.stages();
-        let mut phi = vec![0.0f64; k + 1];
-        phi[k] = 1.0;
+        assert_eq!(out.len(), k + 1, "feature buffer length mismatch");
+        out[k] = 1.0;
         // Suffix products: φ_i = (1 − 2 c_i) · φ_{i+1}.
         let mut acc = 1.0;
         for i in (0..k).rev() {
             acc *= if self.bit(i) { -1.0 } else { 1.0 };
-            phi[i] = acc;
+            out[i] = acc;
         }
-        FeatureVector(phi)
     }
 }
 

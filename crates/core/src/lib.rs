@@ -47,6 +47,7 @@
 
 pub mod aging;
 pub mod arbiter;
+pub mod batch;
 pub mod challenge;
 pub mod env;
 pub mod feedforward;
@@ -58,6 +59,7 @@ pub mod xor;
 
 pub use aging::{AgingModel, DriftVector};
 pub use arbiter::ArbiterPuf;
+pub use batch::FeatureMatrix;
 pub use challenge::{Challenge, FeatureVector};
 pub use env::{Condition, Environment, Sensitivity};
 pub use feedforward::FeedForwardPuf;

@@ -108,10 +108,10 @@ impl XorPuf {
 
     /// Noiseless XOR responses for a whole challenge batch.
     ///
-    /// Semantically identical to mapping [`XorPuf::response`]; the batch
-    /// entry point exists so pipeline code gets per-batch latency telemetry
-    /// (`core.eval.batch` histogram, `core.eval.count` counter) instead of
-    /// per-bit overhead.
+    /// Bit-identical to mapping [`XorPuf::response`], but runs through the
+    /// [`crate::batch`] engine: one contiguous feature matrix, the unrolled
+    /// dot kernel, per-batch latency telemetry (`core.eval.batch` histogram,
+    /// `core.eval.count` counter) instead of per-bit overhead.
     ///
     /// # Panics
     ///
@@ -119,15 +119,12 @@ impl XorPuf {
     pub fn responses(&self, challenges: &[Challenge]) -> Vec<bool> {
         let _span = puf_telemetry::span!("core.eval.batch");
         puf_telemetry::counter!("core.eval.count").add(challenges.len() as u64);
-        challenges
-            .iter()
-            .map(|c| {
-                let features = c.features();
-                self.members.iter().fold(false, |acc, m| {
-                    acc ^ (m.delay_difference_from_features(&features) > 0.0)
-                })
-            })
-            .collect()
+        if challenges.is_empty() {
+            return Vec::new();
+        }
+        let features = crate::batch::FeatureMatrix::new(self.stages(), challenges)
+            .expect("challenge stage count does not match the PUF");
+        self.response_batch(&features)
     }
 
     /// One noisy evaluation: each member gets an independent noise draw,

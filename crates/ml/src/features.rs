@@ -20,8 +20,7 @@ pub fn design_matrix(challenges: &[Challenge]) -> Matrix {
     let mut m = Matrix::zeros(challenges.len(), cols);
     for (i, c) in challenges.iter().enumerate() {
         assert_eq!(c.stages(), stages, "inconsistent challenge stage counts");
-        let phi = c.features();
-        m.row_mut(i).copy_from_slice(phi.as_slice());
+        c.features_into(m.row_mut(i));
     }
     m
 }

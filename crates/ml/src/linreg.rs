@@ -98,9 +98,22 @@ impl LinearRegression {
         dot(features, &self.theta)
     }
 
-    /// Predictions for a batch of challenges.
+    /// Predictions for a batch of challenges. One feature buffer is reused
+    /// across the batch instead of allocating per challenge.
     pub fn predict_batch(&self, challenges: &[Challenge]) -> Vec<f64> {
-        challenges.iter().map(|c| self.predict(c)).collect()
+        let mut phi = vec![0.0f64; self.theta.len()];
+        challenges
+            .iter()
+            .map(|c| {
+                assert_eq!(
+                    c.stages() + 1,
+                    self.theta.len(),
+                    "challenge stage count does not match model"
+                );
+                c.features_into(&mut phi);
+                dot(&phi, &self.theta)
+            })
+            .collect()
     }
 
     /// Mean squared error against targets.
@@ -111,9 +124,16 @@ impl LinearRegression {
     pub fn mse(&self, challenges: &[Challenge], targets: &[f64]) -> f64 {
         assert_eq!(challenges.len(), targets.len(), "length mismatch");
         assert!(!challenges.is_empty(), "empty batch");
+        let mut phi = vec![0.0f64; self.theta.len()];
         let mut acc = 0.0;
         for (c, &t) in challenges.iter().zip(targets) {
-            let e = self.predict(c) - t;
+            assert_eq!(
+                c.stages() + 1,
+                self.theta.len(),
+                "challenge stage count does not match model"
+            );
+            c.features_into(&mut phi);
+            let e = dot(&phi, &self.theta) - t;
             acc += e * e;
         }
         acc / challenges.len() as f64

@@ -148,10 +148,17 @@ impl LogisticRegression {
     pub fn accuracy(&self, challenges: &[Challenge], responses: &[bool]) -> f64 {
         assert_eq!(challenges.len(), responses.len(), "length mismatch");
         assert!(!challenges.is_empty(), "empty evaluation set");
+        // Reused feature buffer: same comparison as `predict`, minus the
+        // per-challenge allocation.
+        let mut phi = vec![0.0f64; self.theta.len()];
         let correct = challenges
             .iter()
             .zip(responses)
-            .filter(|(c, &r)| self.predict(c) == r)
+            .filter(|(c, &r)| {
+                assert_eq!(c.stages() + 1, self.theta.len(), "stage mismatch");
+                c.features_into(&mut phi);
+                (sigmoid(dot(&phi, &self.theta)) > 0.5) == r
+            })
             .count();
         correct as f64 / challenges.len() as f64
     }

@@ -20,9 +20,10 @@
 //! zero out `u(c)`'s variance and blind this attack.
 
 use crate::ProtocolError;
+use puf_core::batch::FeatureMatrix;
 use puf_core::{Challenge, Condition};
 use puf_ml::cmaes::{self, CmaesConfig, CmaesResult};
-use puf_silicon::Chip;
+use puf_silicon::{Chip, SiliconError};
 use rand::Rng;
 
 /// Configuration of the reliability attack.
@@ -83,12 +84,27 @@ pub fn measure_unreliability<R: Rng + ?Sized>(
     evals: u64,
     rng: &mut R,
 ) -> Result<Vec<f64>, ProtocolError> {
-    let mut out = Vec::with_capacity(challenges.len());
-    for c in challenges {
-        let s = chip.measure_xor_soft(n, c, cond, evals, rng)?.value();
-        out.push(0.5 - (s - 0.5).abs());
+    if challenges.is_empty() {
+        return Ok(Vec::new());
     }
-    Ok(out)
+    let features = FeatureMatrix::new(chip.stages(), challenges).map_err(|_| {
+        let actual = challenges
+            .iter()
+            .find(|c| c.stages() != chip.stages())
+            .map_or(chip.stages(), Challenge::stages);
+        ProtocolError::Silicon(SiliconError::StageMismatch {
+            expected: chip.stages(),
+            actual,
+        })
+    })?;
+    Ok(chip
+        .measure_xor_soft_batch(n, &features, cond, evals, rng)?
+        .iter()
+        .map(|s| {
+            let v = s.value();
+            0.5 - (v - 0.5).abs()
+        })
+        .collect())
 }
 
 /// Runs the full attack: measure, then `restarts` CMA-ES searches.
@@ -114,11 +130,10 @@ pub fn reliability_attack<R: Rng + ?Sized>(
         .map(|_| Challenge::random(chip.stages(), rng))
         .collect();
     let unreliability = measure_unreliability(chip, n, &challenges, cond, config.evals, rng)?;
-    // Precompute feature rows once; fitness evaluations dominate the run.
-    let features: Vec<Vec<f64>> = challenges
-        .iter()
-        .map(|c| c.features().into_inner())
-        .collect();
+    // Precompute the feature matrix once; the fitness evaluations that
+    // dominate the run then go through the batched dot kernel.
+    let features = FeatureMatrix::new(chip.stages(), &challenges)
+        .expect("attack challenges match the chip's stage count");
 
     let dim = chip.stages() + 1;
     let mut models = Vec::with_capacity(config.restarts);
@@ -129,10 +144,11 @@ pub fn reliability_attack<R: Rng + ?Sized>(
             .collect();
         let fitness = |w: &[f64]| {
             // Hypothetical reliability = |w·φ|; target = −unreliability.
-            let margins: Vec<f64> = features
-                .iter()
-                .map(|phi| phi.iter().zip(w).map(|(a, b)| a * b).sum::<f64>().abs())
-                .collect();
+            let mut margins = vec![0.0f64; features.len()];
+            features.deltas_into(w, &mut margins);
+            for m in &mut margins {
+                *m = m.abs();
+            }
             let corr = puf_core::math::pearson(&margins, &unreliability);
             if corr.is_nan() {
                 -1.0
@@ -192,10 +208,21 @@ impl XorClone {
     pub fn accuracy(&self, challenges: &[Challenge], responses: &[bool]) -> f64 {
         assert_eq!(challenges.len(), responses.len(), "length mismatch");
         assert!(!challenges.is_empty(), "empty evaluation set");
+        // Reused feature buffer: same fold as `predict`, minus the
+        // per-challenge allocation.
+        let width = self.members[0].len();
+        let mut phi = vec![0.0f64; width];
         let correct = challenges
             .iter()
             .zip(responses)
-            .filter(|(c, &r)| self.predict(c) == r)
+            .filter(|(c, &r)| {
+                assert_eq!(c.stages() + 1, width, "stage mismatch");
+                c.features_into(&mut phi);
+                let bit = self.members.iter().fold(self.invert, |acc, w| {
+                    acc ^ (puf_core::batch::dot(&phi, w) > 0.0)
+                });
+                bit == r
+            })
             .count();
         correct as f64 / challenges.len() as f64
     }

@@ -16,9 +16,10 @@
 
 use crate::threshold::{fit_betas, Betas, StabilityClass, Thresholds};
 use crate::ProtocolError;
+use puf_core::batch::FeatureMatrix;
 use puf_core::{challenge::random_challenges, Challenge, Condition};
 use puf_ml::LinearRegression;
-use puf_silicon::Chip;
+use puf_silicon::{counter, Chip, SiliconError, SoftResponse};
 use rand::Rng;
 
 /// Enrollment hyper-parameters.
@@ -206,24 +207,32 @@ pub fn enroll_with_challenges<R: Rng + ?Sized>(
     }
     let _span = puf_telemetry::span!("protocol.enroll.duration");
     puf_telemetry::counter!("protocol.enroll.pufs").add(config.n as u64);
+    // Feature matrices are built once and reused across every member PUF
+    // and every validation condition.
+    let fm_train = features_for(chip, training)?;
+    let fm_val = if validation.is_empty() {
+        None
+    } else {
+        Some(features_for(chip, validation)?)
+    };
     let mut pufs = Vec::with_capacity(config.n);
     for puf_idx in 0..config.n {
-        // 1. Counter measurements of the training set.
-        let mut soft_values = Vec::with_capacity(training.len());
-        for c in training {
-            let s =
-                chip.measure_individual_soft(puf_idx, c, config.condition, config.evals, rng)?;
-            soft_values.push(s.value());
-        }
+        // 1. Counter measurements of the training set (batched; the draws
+        //    happen in challenge order, identical to per-challenge calls).
+        let soft_values: Vec<f64> = chip
+            .measure_individual_soft_batch(puf_idx, &fm_train, config.condition, config.evals, rng)?
+            .iter()
+            .map(SoftResponse::value)
+            .collect();
 
         // 2. Linear regression on the soft responses.
         let model = LinearRegression::fit_challenges(training, &soft_values, config.ridge)?;
 
         // 3. Thresholds from predicted-vs-measured comparison.
-        let pairs: Vec<(f64, f64)> = training
-            .iter()
-            .zip(&soft_values)
-            .map(|(c, &s)| (model.predict(c), s))
+        let pairs: Vec<(f64, f64)> = model
+            .predict_batch(training)
+            .into_iter()
+            .zip(soft_values)
             .collect();
         let thresholds = Thresholds::from_training(&pairs)
             .ok_or(ProtocolError::DegenerateTraining { puf: puf_idx })?;
@@ -231,20 +240,18 @@ pub fn enroll_with_challenges<R: Rng + ?Sized>(
         // 4. β fitting on held-out measurements; a challenge only counts as
         //    stable if it measures 100 % stable at every validation
         //    condition.
-        let mut triples = Vec::with_capacity(validation.len());
-        for c in validation {
-            let mut stable0 = true;
-            let mut stable1 = true;
-            for &cond in &config.validation_conditions {
-                let s = chip.measure_individual_soft(puf_idx, c, cond, config.evals, rng)?;
-                stable0 &= s.is_stable_zero();
-                stable1 &= s.is_stable_one();
-                if !stable0 && !stable1 {
-                    break;
-                }
-            }
-            triples.push((model.predict(c), stable0, stable1));
-        }
+        let triples = match &fm_val {
+            Some(fm_val) => stability_triples(
+                chip,
+                puf_idx,
+                &model,
+                fm_val,
+                &config.validation_conditions,
+                config.evals,
+                rng,
+            )?,
+            None => Vec::new(),
+        };
         let betas = if triples.is_empty() {
             Betas::IDENTITY
         } else {
@@ -294,21 +301,69 @@ pub fn fit_betas_on_measurements<R: Rng + ?Sized>(
 ) -> Result<Betas, ProtocolError> {
     assert!(!challenges.is_empty(), "need challenges to fit betas");
     assert!(!conditions.is_empty(), "need at least one condition");
-    let mut triples = Vec::with_capacity(challenges.len());
-    for c in challenges {
+    let features = features_for(chip, challenges)?;
+    let triples = stability_triples(chip, puf, model, &features, conditions, evals, rng)?;
+    fit_betas(thresholds, &triples).ok_or(ProtocolError::BetaFitFailed { puf })
+}
+
+/// Builds the enrollment feature matrix, mapping a core-layer stage error
+/// onto the silicon error the per-challenge measurement path would have
+/// produced.
+fn features_for(chip: &Chip, challenges: &[Challenge]) -> Result<FeatureMatrix, ProtocolError> {
+    FeatureMatrix::new(chip.stages(), challenges).map_err(|_| {
+        let actual = challenges
+            .iter()
+            .find(|c| c.stages() != chip.stages())
+            .map_or(chip.stages(), Challenge::stages);
+        ProtocolError::Silicon(SiliconError::StageMismatch {
+            expected: chip.stages(),
+            actual,
+        })
+    })
+}
+
+/// `(prediction, measured-stable-0, measured-stable-1)` per challenge —
+/// enrollment-only (individual-PUF) measurements, batched.
+///
+/// The ground-truth probabilities come from one batched kernel pass per
+/// condition; the counter draws then replay the scalar order (challenge
+/// outer, condition inner, early break once both stabilities are lost), so
+/// seeded results are bit-identical to per-challenge measurement.
+fn stability_triples<R: Rng + ?Sized>(
+    chip: &Chip,
+    puf: usize,
+    model: &LinearRegression,
+    features: &FeatureMatrix,
+    conditions: &[Condition],
+    evals: u64,
+    rng: &mut R,
+) -> Result<Vec<(f64, bool, bool)>, ProtocolError> {
+    if !chip.fuses_intact() {
+        return Err(ProtocolError::Silicon(SiliconError::FusesBlown));
+    }
+    let cond_probs = conditions
+        .iter()
+        .map(|&cond| chip.ground_truth_soft_batch(puf, features, cond))
+        .collect::<Result<Vec<_>, _>>()?;
+    let preds = model.predict_batch(features.challenges());
+    let mut draws = 0u64;
+    let mut triples = Vec::with_capacity(features.len());
+    for (i, pred) in preds.into_iter().enumerate() {
         let mut stable0 = true;
         let mut stable1 = true;
-        for &cond in conditions {
-            let s = chip.measure_individual_soft(puf, c, cond, evals, rng)?;
+        for probs in &cond_probs {
+            draws += 1;
+            let s = counter::measure(probs[i], evals, rng);
             stable0 &= s.is_stable_zero();
             stable1 &= s.is_stable_one();
             if !stable0 && !stable1 {
                 break;
             }
         }
-        triples.push((model.predict(c), stable0, stable1));
+        triples.push((pred, stable0, stable1));
     }
-    fit_betas(thresholds, &triples).ok_or(ProtocolError::BetaFitFailed { puf })
+    puf_telemetry::counter!("silicon.measure.evals").add(draws * evals);
+    Ok(triples)
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use crate::counter::{self, SoftResponse};
 use crate::fuse::FuseBank;
 use crate::SiliconError;
+use puf_core::batch::{throughput_guard, FeatureMatrix};
 use puf_core::{
     AgingModel, ArbiterPuf, Challenge, Condition, DriftVector, Environment, NoiseModel, Sensitivity,
 };
@@ -232,6 +233,16 @@ impl Chip {
         Ok(())
     }
 
+    fn check_feature_stages(&self, features: &FeatureMatrix) -> Result<(), SiliconError> {
+        if features.stages() != self.stages() {
+            return Err(SiliconError::StageMismatch {
+                expected: self.stages(),
+                actual: features.stages(),
+            });
+        }
+        Ok(())
+    }
+
     fn check_xor_width(&self, n: usize) -> Result<(), SiliconError> {
         if n == 0 || n > self.bank_size() {
             return Err(SiliconError::XorWidthOutOfRange {
@@ -292,6 +303,45 @@ impl Chip {
         Ok(self.noise_at(cond).soft_response(delta))
     }
 
+    /// Batched [`Chip::ground_truth_soft`] over a whole feature matrix:
+    /// the condition-adjusted (and aged) PUF is built **once** for the batch
+    /// and its deltas run through the unrolled kernel, instead of paying the
+    /// clone + adjustment per challenge. Bit-identical to the scalar call
+    /// per row.
+    ///
+    /// # Errors
+    ///
+    /// Bad index or stage mismatch.
+    pub fn ground_truth_soft_batch(
+        &self,
+        puf: usize,
+        features: &FeatureMatrix,
+        cond: Condition,
+    ) -> Result<Vec<f64>, SiliconError> {
+        self.check_puf(puf)?;
+        self.check_feature_stages(features)?;
+        let _span = puf_telemetry::span!("eval.batch");
+        let _throughput = throughput_guard(features.len());
+        let aged = if self.age_hours > 0.0 {
+            self.drifts[puf].aged_puf(&self.pufs[puf], &self.aging, self.age_hours)
+        } else {
+            self.pufs[puf].clone()
+        };
+        let adjusted = self
+            .environment
+            .puf_at(&aged, &self.sensitivities[puf], cond);
+        let noise = self.noise_at(cond);
+        let mut out = vec![0.0f64; features.len()];
+        adjusted.delta_batch_into(features, &mut out);
+        let nonce = self.mismatch_nonces[puf];
+        for (d, c) in out.iter_mut().zip(features.challenges()) {
+            let delta =
+                *d + self.model_mismatch_sigma * puf_core::rngx::gaussian_hash(nonce, c.bits());
+            *d = noise.soft_response(delta);
+        }
+        Ok(out)
+    }
+
     /// One noisy evaluation of an individual PUF — **enrollment only**.
     ///
     /// # Errors
@@ -334,6 +384,37 @@ impl Chip {
         puf_telemetry::counter!("silicon.measure.evals").add(evals);
         let p = self.ground_truth_soft(puf, challenge, cond)?;
         Ok(counter::measure(p, evals, rng))
+    }
+
+    /// Batched [`Chip::measure_individual_soft`] over a whole feature
+    /// matrix — **enrollment only**. The per-challenge counter draws happen
+    /// in row order, so with the same RNG state the result is bit-identical
+    /// to calling the scalar method per challenge.
+    ///
+    /// # Errors
+    ///
+    /// [`SiliconError::FusesBlown`] after deployment; bad index or stage
+    /// mismatch otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evals` is zero (and the batch is non-empty).
+    pub fn measure_individual_soft_batch<R: Rng + ?Sized>(
+        &self,
+        puf: usize,
+        features: &FeatureMatrix,
+        cond: Condition,
+        evals: u64,
+        rng: &mut R,
+    ) -> Result<Vec<SoftResponse>, SiliconError> {
+        self.check_fuses()?;
+        let _span = puf_telemetry::span!("silicon.measure.individual");
+        puf_telemetry::counter!("silicon.measure.evals").add(evals * features.len() as u64);
+        let probs = self.ground_truth_soft_batch(puf, features, cond)?;
+        Ok(probs
+            .into_iter()
+            .map(|p| counter::measure(p, evals, rng))
+            .collect())
     }
 
     /// One noisy evaluation of the `n`-input XOR output — always available,
@@ -391,6 +472,84 @@ impl Chip {
         }
         let p_xor = (1.0 - prod) / 2.0;
         Ok(counter::measure(p_xor, evals, rng))
+    }
+
+    /// Batched [`Chip::eval_xor_once`] over a whole feature matrix. The
+    /// per-member probabilities are computed batch-wise (one adjusted PUF
+    /// per member), then the noise draws replay the scalar order —
+    /// challenge-major, member-minor — so seeded runs are bit-identical to
+    /// the scalar loop.
+    ///
+    /// # Errors
+    ///
+    /// Bad XOR width or stage mismatch.
+    pub fn eval_xor_batch<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        features: &FeatureMatrix,
+        cond: Condition,
+        rng: &mut R,
+    ) -> Result<Vec<bool>, SiliconError> {
+        self.check_xor_width(n)?;
+        self.check_feature_stages(features)?;
+        let _span = puf_telemetry::span!("eval.batch");
+        let _throughput = throughput_guard(features.len());
+        puf_telemetry::counter!("core.eval.count").add(features.len() as u64);
+        let member_probs = self.member_probs(n, features, cond)?;
+        let rows = features.len();
+        Ok((0..rows)
+            .map(|i| {
+                (0..n).fold(false, |acc, puf| {
+                    acc ^ (rng.gen::<f64>() < member_probs[puf][i])
+                })
+            })
+            .collect())
+    }
+
+    /// Batched [`Chip::measure_xor_soft`] over a whole feature matrix. The
+    /// counter draws happen in row order, so with the same RNG state the
+    /// result is bit-identical to calling the scalar method per challenge.
+    ///
+    /// # Errors
+    ///
+    /// Bad XOR width or stage mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `evals` is zero (and the batch is non-empty).
+    pub fn measure_xor_soft_batch<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        features: &FeatureMatrix,
+        cond: Condition,
+        evals: u64,
+        rng: &mut R,
+    ) -> Result<Vec<SoftResponse>, SiliconError> {
+        self.check_xor_width(n)?;
+        self.check_feature_stages(features)?;
+        let _span = puf_telemetry::span!("silicon.measure.xor");
+        puf_telemetry::counter!("silicon.measure.evals").add(evals * features.len() as u64);
+        let member_probs = self.member_probs(n, features, cond)?;
+        Ok((0..features.len())
+            .map(|i| {
+                // P(xor = 1) via the piling-up identity, members in order.
+                let prod = (0..n).fold(1.0, |prod, puf| prod * (1.0 - 2.0 * member_probs[puf][i]));
+                counter::measure((1.0 - prod) / 2.0, evals, rng)
+            })
+            .collect())
+    }
+
+    /// Per-member soft-response vectors for the first `n` PUFs, one
+    /// [`Chip::ground_truth_soft_batch`] each.
+    fn member_probs(
+        &self,
+        n: usize,
+        features: &FeatureMatrix,
+        cond: Condition,
+    ) -> Result<Vec<Vec<f64>>, SiliconError> {
+        (0..n)
+            .map(|puf| self.ground_truth_soft_batch(puf, features, cond))
+            .collect()
     }
 
     /// Noiseless (majority) XOR response — convenience ground truth used by
@@ -638,6 +797,88 @@ mod tests {
         let mut chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
         chip.set_age(100.0);
         chip.set_age(50.0);
+    }
+
+    #[test]
+    fn batch_measurements_replay_scalar_streams() {
+        let mut chip = test_chip(13);
+        chip.set_age(5_000.0); // exercise the aged path too
+        let mut rng = StdRng::seed_from_u64(14);
+        let cs: Vec<Challenge> = (0..37)
+            .map(|_| Challenge::random(chip.stages(), &mut rng))
+            .collect();
+        let fm = FeatureMatrix::from_challenges(&cs).unwrap();
+        let cond = Condition::new(0.8, 60.0);
+
+        let probs = chip.ground_truth_soft_batch(1, &fm, cond).unwrap();
+        for (c, &p) in cs.iter().zip(&probs) {
+            assert_eq!(
+                p.to_bits(),
+                chip.ground_truth_soft(1, c, cond).unwrap().to_bits()
+            );
+        }
+
+        let batch = chip
+            .measure_individual_soft_batch(1, &fm, cond, 500, &mut StdRng::seed_from_u64(15))
+            .unwrap();
+        let mut scalar_rng = StdRng::seed_from_u64(15);
+        for (c, got) in cs.iter().zip(&batch) {
+            let want = chip
+                .measure_individual_soft(1, c, cond, 500, &mut scalar_rng)
+                .unwrap();
+            assert_eq!(*got, want);
+        }
+
+        let batch = chip
+            .eval_xor_batch(3, &fm, cond, &mut StdRng::seed_from_u64(16))
+            .unwrap();
+        let mut scalar_rng = StdRng::seed_from_u64(16);
+        for (c, &got) in cs.iter().zip(&batch) {
+            assert_eq!(
+                got,
+                chip.eval_xor_once(3, c, cond, &mut scalar_rng).unwrap()
+            );
+        }
+
+        let batch = chip
+            .measure_xor_soft_batch(3, &fm, cond, 500, &mut StdRng::seed_from_u64(17))
+            .unwrap();
+        let mut scalar_rng = StdRng::seed_from_u64(17);
+        for (c, got) in cs.iter().zip(&batch) {
+            let want = chip
+                .measure_xor_soft(3, c, cond, 500, &mut scalar_rng)
+                .unwrap();
+            assert_eq!(*got, want);
+        }
+    }
+
+    #[test]
+    fn batch_measurements_validate() {
+        let mut chip = test_chip(18);
+        let mut rng = StdRng::seed_from_u64(19);
+        let fm = FeatureMatrix::from_challenges(&[Challenge::zero(8)]).unwrap();
+        assert!(matches!(
+            chip.ground_truth_soft_batch(0, &fm, Condition::NOMINAL),
+            Err(SiliconError::StageMismatch { .. })
+        ));
+        let fm = FeatureMatrix::from_challenges(&[Challenge::zero(chip.stages())]).unwrap();
+        assert!(matches!(
+            chip.ground_truth_soft_batch(99, &fm, Condition::NOMINAL),
+            Err(SiliconError::PufIndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            chip.eval_xor_batch(0, &fm, Condition::NOMINAL, &mut rng),
+            Err(SiliconError::XorWidthOutOfRange { .. })
+        ));
+        chip.blow_fuses();
+        assert_eq!(
+            chip.measure_individual_soft_batch(0, &fm, Condition::NOMINAL, 100, &mut rng),
+            Err(SiliconError::FusesBlown)
+        );
+        // XOR access survives fuse blow.
+        assert!(chip
+            .measure_xor_soft_batch(2, &fm, Condition::NOMINAL, 100, &mut rng)
+            .is_ok());
     }
 
     #[test]

@@ -1,11 +1,43 @@
 //! PXI-style test bench: challenge sweeps, stability characterization and
 //! CRP dataset collection, mirroring the paper's measurement campaign.
+//!
+//! Every sweep routes through the [`puf_core::batch`] engine: the parity
+//! feature matrix of the challenge batch is built once (or accepted
+//! prebuilt via the `*_features` variants) and the per-member soft-response
+//! probabilities come from one batched kernel pass per member, with the
+//! stochastic counter draws replayed in exactly the scalar call order — so
+//! seeded results are bit-identical to challenge-by-challenge measurement.
 
 use crate::chip::Chip;
+use crate::counter;
 use crate::dataset::{CrpSet, SoftCrpSet};
 use crate::SiliconError;
+use puf_core::batch::FeatureMatrix;
 use puf_core::{Challenge, Condition};
 use rand::Rng;
+
+fn build_features(chip: &Chip, challenges: &[Challenge]) -> Result<FeatureMatrix, SiliconError> {
+    FeatureMatrix::new(chip.stages(), challenges).map_err(|_| {
+        let actual = challenges
+            .iter()
+            .find(|c| c.stages() != chip.stages())
+            .map_or(chip.stages(), Challenge::stages);
+        SiliconError::StageMismatch {
+            expected: chip.stages(),
+            actual,
+        }
+    })
+}
+
+fn check_xor_width(chip: &Chip, n: usize) -> Result<(), SiliconError> {
+    if n == 0 || n > chip.bank_size() {
+        return Err(SiliconError::XorWidthOutOfRange {
+            n,
+            bank_size: chip.bank_size(),
+        });
+    }
+    Ok(())
+}
 
 /// Measures the soft response of one individual PUF for every challenge in
 /// the sweep (fuse-gated enrollment access).
@@ -21,9 +53,32 @@ pub fn soft_sweep<R: Rng + ?Sized>(
     evals: u64,
     rng: &mut R,
 ) -> Result<SoftCrpSet, SiliconError> {
+    if challenges.is_empty() {
+        return Ok(SoftCrpSet::new());
+    }
+    let features = build_features(chip, challenges)?;
+    soft_sweep_features(chip, puf, &features, cond, evals, rng)
+}
+
+/// [`soft_sweep`] over a prebuilt feature matrix — use this when the same
+/// challenge batch is swept repeatedly (several PUFs, conditions or
+/// repeats) so the parity transform is paid once.
+///
+/// # Errors
+///
+/// Fails fast on blown fuses, a bad PUF index or a stage mismatch.
+pub fn soft_sweep_features<R: Rng + ?Sized>(
+    chip: &Chip,
+    puf: usize,
+    features: &FeatureMatrix,
+    cond: Condition,
+    evals: u64,
+    rng: &mut R,
+) -> Result<SoftCrpSet, SiliconError> {
+    let soft = chip.measure_individual_soft_batch(puf, features, cond, evals, rng)?;
     let mut out = SoftCrpSet::new();
-    for c in challenges {
-        out.push(*c, chip.measure_individual_soft(puf, c, cond, evals, rng)?);
+    for (c, s) in features.challenges().iter().zip(soft) {
+        out.push(*c, s);
     }
     Ok(out)
 }
@@ -44,24 +99,33 @@ pub fn xor_stable_mask<R: Rng + ?Sized>(
     evals: u64,
     rng: &mut R,
 ) -> Result<Vec<bool>, SiliconError> {
-    if n == 0 || n > chip.bank_size() {
-        return Err(SiliconError::XorWidthOutOfRange {
-            n,
-            bank_size: chip.bank_size(),
-        });
+    check_xor_width(chip, n)?;
+    if challenges.is_empty() {
+        return Ok(Vec::new());
     }
-    let mut mask = Vec::with_capacity(challenges.len());
-    for c in challenges {
-        let mut all_stable = true;
-        for puf in 0..n {
-            let s = chip.measure_individual_soft(puf, c, cond, evals, rng)?;
-            if !s.is_stable() {
-                all_stable = false;
-                break;
+    if !chip.fuses_intact() {
+        return Err(SiliconError::FusesBlown);
+    }
+    let features = build_features(chip, challenges)?;
+    let probs = member_probs(chip, n, &features, cond)?;
+    // Replay the scalar draw order: per challenge, members in order, break
+    // at the first unstable one — the counter draws consume the identical
+    // RNG stream, so seeded results match the scalar loop bit for bit.
+    let mut draws = 0u64;
+    let mask = (0..features.len())
+        .map(|i| {
+            let mut all_stable = true;
+            for member in &probs {
+                draws += 1;
+                if !counter::measure(member[i], evals, rng).is_stable() {
+                    all_stable = false;
+                    break;
+                }
             }
-        }
-        mask.push(all_stable);
-    }
+            all_stable
+        })
+        .collect();
+    puf_telemetry::counter!("silicon.measure.evals").add(draws * evals);
     Ok(mask)
 }
 
@@ -78,9 +142,15 @@ pub fn collect_xor_crps<R: Rng + ?Sized>(
     cond: Condition,
     rng: &mut R,
 ) -> Result<CrpSet, SiliconError> {
+    check_xor_width(chip, n)?;
+    if challenges.is_empty() {
+        return Ok(CrpSet::new());
+    }
+    let features = build_features(chip, challenges)?;
+    let bits = chip.eval_xor_batch(n, &features, cond, rng)?;
     let mut out = CrpSet::new();
-    for c in challenges {
-        out.push(*c, chip.eval_xor_once(n, c, cond, rng)?);
+    for (c, b) in challenges.iter().zip(bits) {
+        out.push(*c, b);
     }
     Ok(out)
 }
@@ -103,17 +173,47 @@ pub fn collect_stable_xor_crps<R: Rng + ?Sized>(
     evals: u64,
     rng: &mut R,
 ) -> Result<CrpSet, SiliconError> {
-    if n == 0 || n > chip.bank_size() {
-        return Err(SiliconError::XorWidthOutOfRange {
-            n,
-            bank_size: chip.bank_size(),
-        });
+    check_xor_width(chip, n)?;
+    if challenges.is_empty() {
+        return Ok(CrpSet::new());
     }
+    let features = build_features(chip, challenges)?;
+    collect_stable_xor_crps_features(chip, n, &features, cond, evals, rng)
+}
+
+/// [`collect_stable_xor_crps`] over a prebuilt feature matrix — for
+/// harnesses that reuse one challenge pool across several XOR widths or
+/// conditions.
+///
+/// # Errors
+///
+/// Fails fast on blown fuses, a bad XOR width or a stage mismatch.
+pub fn collect_stable_xor_crps_features<R: Rng + ?Sized>(
+    chip: &Chip,
+    n: usize,
+    features: &FeatureMatrix,
+    cond: Condition,
+    evals: u64,
+    rng: &mut R,
+) -> Result<CrpSet, SiliconError> {
+    check_xor_width(chip, n)?;
     let mut out = CrpSet::new();
-    'challenge: for c in challenges {
+    if features.is_empty() {
+        return Ok(out);
+    }
+    if !chip.fuses_intact() {
+        return Err(SiliconError::FusesBlown);
+    }
+    let probs = member_probs(chip, n, features, cond)?;
+    // Replay the scalar draw order (skip to the next challenge at the first
+    // unstable member) so seeded results match challenge-by-challenge
+    // collection bit for bit.
+    let mut draws = 0u64;
+    'challenge: for (i, c) in features.challenges().iter().enumerate() {
         let mut xor_bit = false;
-        for puf in 0..n {
-            let s = chip.measure_individual_soft(puf, c, cond, evals, rng)?;
+        for member in &probs {
+            draws += 1;
+            let s = counter::measure(member[i], evals, rng);
             if !s.is_stable() {
                 continue 'challenge;
             }
@@ -121,12 +221,60 @@ pub fn collect_stable_xor_crps<R: Rng + ?Sized>(
         }
         out.push(*c, xor_bit);
     }
+    puf_telemetry::counter!("silicon.measure.evals").add(draws * evals);
     Ok(out)
+}
+
+/// For each challenge, the number of leading member PUFs (0..=`max_n`) that
+/// measured 100 % stable before the first unstable one — the quantity the
+/// Fig. 3 sweep tallies: an `n`-input XOR PUF's CRP is usable iff the
+/// prefix count is ≥ `n`.
+///
+/// Draw order matches measuring members 0..`max_n` per challenge with an
+/// early break, so seeded results are bit-identical to the scalar loop.
+///
+/// # Errors
+///
+/// Fails fast on blown fuses, a bad XOR width or a stage mismatch.
+pub fn stable_prefix_counts<R: Rng + ?Sized>(
+    chip: &Chip,
+    max_n: usize,
+    challenges: &[Challenge],
+    cond: Condition,
+    evals: u64,
+    rng: &mut R,
+) -> Result<Vec<usize>, SiliconError> {
+    check_xor_width(chip, max_n)?;
+    if challenges.is_empty() {
+        return Ok(Vec::new());
+    }
+    if !chip.fuses_intact() {
+        return Err(SiliconError::FusesBlown);
+    }
+    let features = build_features(chip, challenges)?;
+    let probs = member_probs(chip, max_n, &features, cond)?;
+    let mut draws = 0u64;
+    let counts = (0..features.len())
+        .map(|i| {
+            let mut prefix = max_n;
+            for (puf, member) in probs.iter().enumerate() {
+                draws += 1;
+                if !counter::measure(member[i], evals, rng).is_stable() {
+                    prefix = puf;
+                    break;
+                }
+            }
+            prefix
+        })
+        .collect();
+    puf_telemetry::counter!("silicon.measure.evals").add(draws * evals);
+    Ok(counts)
 }
 
 /// Measures one PUF's soft responses for the same challenges at every
 /// condition of a grid, returning one [`SoftCrpSet`] per condition in grid
-/// order — the paper's 9-corner campaign (its Fig. 11 test set).
+/// order — the paper's 9-corner campaign (its Fig. 11 test set). The
+/// feature matrix is built once and reused across all conditions.
 ///
 /// # Errors
 ///
@@ -139,9 +287,25 @@ pub fn condition_sweep<R: Rng + ?Sized>(
     evals: u64,
     rng: &mut R,
 ) -> Result<Vec<SoftCrpSet>, SiliconError> {
+    if challenges.is_empty() {
+        return Ok(conditions.iter().map(|_| SoftCrpSet::new()).collect());
+    }
+    let features = build_features(chip, challenges)?;
     conditions
         .iter()
-        .map(|&cond| soft_sweep(chip, puf, challenges, cond, evals, rng))
+        .map(|&cond| soft_sweep_features(chip, puf, &features, cond, evals, rng))
+        .collect()
+}
+
+/// Per-member ground-truth probability vectors for the first `n` PUFs.
+fn member_probs(
+    chip: &Chip,
+    n: usize,
+    features: &FeatureMatrix,
+    cond: Condition,
+) -> Result<Vec<Vec<f64>>, SiliconError> {
+    (0..n)
+        .map(|puf| chip.ground_truth_soft_batch(puf, features, cond))
         .collect()
 }
 
@@ -167,6 +331,124 @@ mod tests {
         assert_eq!(set.len(), 200);
         // Most challenges on a healthy PUF are stable.
         assert!(set.stable_fraction() > 0.5);
+    }
+
+    #[test]
+    fn soft_sweep_matches_scalar_measurement() {
+        let (chip, mut rng) = chip_and_rng(7);
+        let cs = random_challenges(chip.stages(), 60, &mut rng);
+        let set = soft_sweep(
+            &chip,
+            1,
+            &cs,
+            Condition::NOMINAL,
+            500,
+            &mut StdRng::seed_from_u64(70),
+        )
+        .unwrap();
+        let mut scalar_rng = StdRng::seed_from_u64(70);
+        for ((c, s), want_c) in set.iter().zip(&cs) {
+            assert_eq!(c, want_c);
+            let want = chip
+                .measure_individual_soft(1, c, Condition::NOMINAL, 500, &mut scalar_rng)
+                .unwrap();
+            assert_eq!(s, want);
+        }
+    }
+
+    #[test]
+    fn stable_collectors_replay_scalar_draw_order() {
+        // The batched collectors must consume the identical RNG stream as
+        // the scalar early-break loops they replaced.
+        let (chip, mut rng) = chip_and_rng(8);
+        let cs = random_challenges(chip.stages(), 300, &mut rng);
+        let evals = 2_000;
+
+        let mask = xor_stable_mask(
+            &chip,
+            3,
+            &cs,
+            Condition::NOMINAL,
+            evals,
+            &mut StdRng::seed_from_u64(80),
+        )
+        .unwrap();
+        let mut scalar_rng = StdRng::seed_from_u64(80);
+        for (c, &got) in cs.iter().zip(&mask) {
+            let mut want = true;
+            for puf in 0..3 {
+                let s = chip
+                    .measure_individual_soft(puf, c, Condition::NOMINAL, evals, &mut scalar_rng)
+                    .unwrap();
+                if !s.is_stable() {
+                    want = false;
+                    break;
+                }
+            }
+            assert_eq!(got, want);
+        }
+
+        let set = collect_stable_xor_crps(
+            &chip,
+            3,
+            &cs,
+            Condition::NOMINAL,
+            evals,
+            &mut StdRng::seed_from_u64(81),
+        )
+        .unwrap();
+        let mut scalar_rng = StdRng::seed_from_u64(81);
+        let mut want_set = CrpSet::new();
+        'challenge: for c in &cs {
+            let mut xor_bit = false;
+            for puf in 0..3 {
+                let s = chip
+                    .measure_individual_soft(puf, c, Condition::NOMINAL, evals, &mut scalar_rng)
+                    .unwrap();
+                if !s.is_stable() {
+                    continue 'challenge;
+                }
+                xor_bit ^= s.is_stable_one();
+            }
+            want_set.push(*c, xor_bit);
+        }
+        assert_eq!(set.len(), want_set.len());
+        for ((c, r), (wc, wr)) in set.iter().zip(want_set.iter()) {
+            assert_eq!(c, wc);
+            assert_eq!(r, wr);
+        }
+    }
+
+    #[test]
+    fn stable_prefix_counts_match_mask_semantics() {
+        let (chip, mut rng) = chip_and_rng(9);
+        let cs = random_challenges(chip.stages(), 250, &mut rng);
+        let evals = 2_000;
+        let counts = stable_prefix_counts(
+            &chip,
+            4,
+            &cs,
+            Condition::NOMINAL,
+            evals,
+            &mut StdRng::seed_from_u64(90),
+        )
+        .unwrap();
+        assert_eq!(counts.len(), cs.len());
+        // Same RNG stream as xor_stable_mask at full width: the mask is
+        // exactly "prefix count == max_n".
+        let mask = xor_stable_mask(
+            &chip,
+            4,
+            &cs,
+            Condition::NOMINAL,
+            evals,
+            &mut StdRng::seed_from_u64(90),
+        )
+        .unwrap();
+        for (&count, &stable) in counts.iter().zip(&mask) {
+            assert!(count <= 4);
+            assert_eq!(count == 4, stable);
+        }
     }
 
     #[test]
@@ -204,15 +486,44 @@ mod tests {
     }
 
     #[test]
+    fn collect_xor_crps_matches_scalar_evaluation() {
+        let (chip, mut rng) = chip_and_rng(10);
+        let cs = random_challenges(chip.stages(), 80, &mut rng);
+        let set = collect_xor_crps(
+            &chip,
+            2,
+            &cs,
+            Condition::NOMINAL,
+            &mut StdRng::seed_from_u64(100),
+        )
+        .unwrap();
+        let mut scalar_rng = StdRng::seed_from_u64(100);
+        for (c, r) in set.iter() {
+            let want = chip
+                .eval_xor_once(2, c, Condition::NOMINAL, &mut scalar_rng)
+                .unwrap();
+            assert_eq!(r, want);
+        }
+    }
+
+    #[test]
     fn collect_xor_crps_works_with_blown_fuses() {
         let (mut chip, mut rng) = chip_and_rng(4);
         chip.blow_fuses();
         let cs = random_challenges(chip.stages(), 50, &mut rng);
         let set = collect_xor_crps(&chip, 2, &cs, Condition::NOMINAL, &mut rng).unwrap();
         assert_eq!(set.len(), 50);
-        // But the stable collector needs the fuses.
+        // But the stable collectors need the fuses.
         assert_eq!(
             collect_stable_xor_crps(&chip, 2, &cs, Condition::NOMINAL, 100, &mut rng),
+            Err(SiliconError::FusesBlown)
+        );
+        assert_eq!(
+            xor_stable_mask(&chip, 2, &cs, Condition::NOMINAL, 100, &mut rng),
+            Err(SiliconError::FusesBlown)
+        );
+        assert_eq!(
+            stable_prefix_counts(&chip, 2, &cs, Condition::NOMINAL, 100, &mut rng),
             Err(SiliconError::FusesBlown)
         );
     }
@@ -239,6 +550,10 @@ mod tests {
         ));
         assert!(matches!(
             collect_stable_xor_crps(&chip, 99, &cs, Condition::NOMINAL, 10, &mut rng),
+            Err(SiliconError::XorWidthOutOfRange { .. })
+        ));
+        assert!(matches!(
+            stable_prefix_counts(&chip, 0, &cs, Condition::NOMINAL, 10, &mut rng),
             Err(SiliconError::XorWidthOutOfRange { .. })
         ));
     }

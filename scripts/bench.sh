@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Evaluation-throughput benchmark: builds the workspace in release mode and
+# runs the bench_eval harness, which times the scalar and batched PUF
+# evaluation paths and writes results/BENCH_eval.json.
+#
+# Environment:
+#   PUF_BENCH_CRPS=N   challenge-pool size (default 262144)
+#   PUF_THREADS=N      worker threads for the multi-thread fan-out
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p puf-bench --bin bench_eval"
+cargo build --release -p puf-bench --bin bench_eval
+
+echo "==> bench_eval (writes results/BENCH_eval.json)"
+./target/release/bench_eval

@@ -14,4 +14,7 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --workspace --no-run
+
 echo "==> all checks passed"
