@@ -19,6 +19,7 @@
 //! assert_eq!(h.counts()[19], 2);  // 0.97 and 1.00 both land in the top bin
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

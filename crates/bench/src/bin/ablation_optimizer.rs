@@ -93,6 +93,7 @@ fn main() {
             x: &x,
             y: &y,
         };
+        // puf-lint: allow(L3): wall-clock reports optimizer cost in the table prose; accuracies are seed-deterministic
         let t0 = Instant::now();
         let result = match name {
             "lbfgs" => Lbfgs::new()

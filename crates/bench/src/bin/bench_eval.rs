@@ -32,6 +32,7 @@ fn throughput<F: FnMut() -> f64>(crps: usize, mut f: F) -> f64 {
     black_box(f());
     let mut best = f64::INFINITY;
     for _ in 0..REPS {
+        // puf-lint: allow(L3): this binary measures throughput; timing is its output by design
         let t0 = Instant::now();
         black_box(f());
         best = best.min(t0.elapsed().as_secs_f64());

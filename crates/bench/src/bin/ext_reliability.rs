@@ -52,13 +52,15 @@ fn main() {
         "attacker budget: {} challenges × {} repeated evaluations, {} CMA-ES restarts\n",
         config.measurements, config.evals, config.restarts
     );
+    // puf-lint: allow(L3): wall-clock only reports attack cost on stderr/stdout prose, never in figure data
     let t0 = Instant::now();
     let models =
         reliability_attack(&chip, n, Condition::NOMINAL, &config, &mut rng).expect("attack failed");
     let elapsed = t0.elapsed();
 
     let mut table = Table::new(["restart", "fitness (corr)", "best member match", "member"]);
-    let mut members_recovered = std::collections::HashSet::new();
+    // BTreeSet: recovered-member count/order must not vary run to run.
+    let mut members_recovered = std::collections::BTreeSet::new();
     for (i, model) in models.iter().enumerate() {
         let matches = member_match(&chip, n, model, Condition::NOMINAL).expect("diagnostic");
         let (best_member, best) = matches

@@ -118,6 +118,7 @@ fn main() {
         let config = MlpConfig::paper_default();
         let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0104 + ji as u64));
         let mut mlp = Mlp::new(x.cols(), &config, &mut rng);
+        // puf-lint: allow(L3): wall-clock reports attack cost on stderr; figure data is seed-deterministic
         let t0 = Instant::now();
         let diag = mlp.train(&x, &y, &config);
         let train_time = t0.elapsed();

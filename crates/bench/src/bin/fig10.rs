@@ -62,6 +62,7 @@ fn main() {
                     .value()
             })
             .collect();
+        // puf-lint: allow(L3): wall-clock reports training cost in the table prose; figure data is seed-deterministic
         let t0 = Instant::now();
         let model =
             LinearRegression::fit_challenges(training, &soft, 1e-6).expect("regression failed");

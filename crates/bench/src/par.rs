@@ -1,10 +1,35 @@
 //! Tiny scoped-thread fan-out: the allowed dependency set has no rayon, and
 //! the fig harnesses only need an embarrassingly parallel indexed map.
+//!
+//! ## Safety architecture
+//!
+//! This module carries the workspace's only `unsafe` code (the crate root
+//! denies it everywhere else; `cargo xtask lint` rule L2 enforces that this
+//! module stays the single opt-in). The design in one paragraph: workers
+//! claim disjoint `[start, end)` index chunks from a single shared atomic
+//! cursor, write each result exactly once into a pre-sized `MaybeUninit`
+//! buffer, and record every initialized range in a shared ledger
+//! ([`InitRanges`]) — on the success path the ledger is provably the full
+//! `[0, n)` and the buffer is transmuted to `Vec<U>`; on a panic inside the
+//! caller's closure the ledger holds exactly the initialized slots, and
+//! [`OutputGuard`] drops precisely those during unwind, so no result is
+//! leaked and nothing uninitialized is touched.
+//!
+//! Two machine checks back the hand-written SAFETY arguments:
+//!
+//! - [`crate::par_model`] exhaustively explores every interleaving of the
+//!   claim/write/panic steps for small configurations (a hand-rolled,
+//!   loom-style model checker) and proves the claimed ranges are disjoint,
+//!   cover `[0, n)`, and that the ledger equals the initialized set even
+//!   under mid-chunk panics.
+//! - `scripts/sanitize.sh` runs these tests under Miri and ThreadSanitizer
+//!   when the nightly components are available.
 
 use puf_telemetry::Progress;
 use std::mem::{ManuallyDrop, MaybeUninit};
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Number of worker threads to use: the `PUF_THREADS` environment variable
 /// if set to a positive integer, otherwise `available_parallelism`; always
@@ -33,12 +58,120 @@ fn env_thread_override() -> Option<usize> {
 }
 
 /// Raw output cursor shared with the workers. Safety rests on the claiming
-/// protocol in [`par_map`]: each worker only writes slots inside ranges it
-/// claimed from the shared atomic, and ranges are disjoint by construction.
+/// protocol in [`par_map_with_workers`]: each worker only writes slots
+/// inside ranges it claimed from the shared atomic, and ranges are disjoint
+/// by construction.
 struct SendPtr<U>(*mut MaybeUninit<U>);
 
+// SAFETY: the pointer refers to the output buffer, whose slots are only
+// accessed through the disjoint ranges handed out by the atomic cursor —
+// no two threads ever touch the same slot, and the buffer outlives the
+// thread scope. Sending/sharing the cursor is therefore sound whenever the
+// element type itself can move between threads (`U: Send`).
 unsafe impl<U: Send> Send for SendPtr<U> {}
+// SAFETY: see the Send impl above; `&SendPtr` only exposes the raw pointer,
+// and all dereferences are confined to exclusively claimed ranges.
 unsafe impl<U: Send> Sync for SendPtr<U> {}
+
+/// Ledger of `[start, end)` output ranges whose slots are fully
+/// initialized. Workers append under a mutex: a completed chunk pushes its
+/// whole range, a chunk unwinding out of the caller's closure pushes the
+/// prefix written before the panic. Ranges are disjoint because claimed
+/// chunks are disjoint.
+#[derive(Default)]
+struct InitRanges(Mutex<Vec<(usize, usize)>>);
+
+impl InitRanges {
+    fn push(&self, start: usize, end: usize) {
+        if start == end {
+            return;
+        }
+        // A worker can only reach this line while no other panic is in
+        // flight *in this mutex* (pushes never panic), but the mutex may
+        // still be poisoned if the process is already unwinding elsewhere;
+        // the ledger must keep recording regardless, so ignore poison.
+        let mut ranges = match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        ranges.push((start, end));
+    }
+}
+
+/// Per-chunk panic guard: counts the slots written so far and, on drop
+/// (normal completion *or* unwind out of `f`), records the initialized
+/// prefix of the chunk in the shared ledger.
+struct ChunkGuard<'a> {
+    init: &'a InitRanges,
+    start: usize,
+    written: usize,
+}
+
+impl Drop for ChunkGuard<'_> {
+    fn drop(&mut self) {
+        self.init.push(self.start, self.start + self.written);
+    }
+}
+
+/// Owns the `MaybeUninit` output buffer during the parallel phase. If the
+/// thread scope propagates a worker panic, this guard's `Drop` runs during
+/// unwind on the caller's thread — after every worker has been joined — and
+/// drops exactly the slots the ledger records as initialized, so a panic in
+/// the caller's closure leaks none of the already-computed results.
+struct OutputGuard<'a, U> {
+    buf: Vec<MaybeUninit<U>>,
+    init: &'a InitRanges,
+}
+
+impl<'a, U> OutputGuard<'a, U> {
+    fn new(n: usize, init: &'a InitRanges) -> Self {
+        // `MaybeUninit::uninit()` is a no-op per element; this is just a
+        // sized allocation, with no unsafe `set_len` needed.
+        let buf: Vec<MaybeUninit<U>> = (0..n).map(|_| MaybeUninit::uninit()).collect();
+        OutputGuard { buf, init }
+    }
+
+    fn as_mut_ptr(&mut self) -> *mut MaybeUninit<U> {
+        self.buf.as_mut_ptr()
+    }
+
+    /// Success path: every slot is initialized; reinterpret the buffer.
+    fn into_vec(self) -> Vec<U> {
+        let me = ManuallyDrop::new(self);
+        // SAFETY: `me` is never used again and its `Drop` is suppressed, so
+        // reading `buf` out of it cannot double-free.
+        let buf = unsafe { std::ptr::read(&me.buf) };
+        let mut buf = ManuallyDrop::new(buf);
+        let (ptr, len, cap) = (buf.as_mut_ptr(), buf.len(), buf.capacity());
+        // SAFETY: all `len` slots were written exactly once by the workers
+        // (the scope completed without panicking, so every claimed chunk ran
+        // to completion and the chunks cover [0, n)); `MaybeUninit<U>` and
+        // `U` have identical layout, and the original Vec is forgotten, so
+        // ownership of the allocation transfers without aliasing.
+        unsafe { Vec::from_raw_parts(ptr as *mut U, len, cap) }
+    }
+}
+
+impl<U> Drop for OutputGuard<'_, U> {
+    fn drop(&mut self) {
+        // Only reached during unwind (the success path consumes `self` via
+        // `into_vec`). All workers are already joined, so this thread has
+        // exclusive access to the buffer and the ledger.
+        let ranges = match self.init.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for &(start, end) in ranges.iter() {
+            for i in start..end {
+                // SAFETY: the ledger records exactly the initialized slots:
+                // disjoint claimed ranges, each pushed once, covering every
+                // slot whose `slot.write` completed and no slot whose write
+                // never ran. Dropping each such value exactly once is sound.
+                unsafe { self.buf[i].assume_init_drop() };
+            }
+        }
+    }
+}
 
 /// Applies `f(index, &item)` to every item on a scoped thread pool and
 /// returns the results in input order.
@@ -51,7 +184,25 @@ unsafe impl<U: Send> Sync for SendPtr<U> {}
 /// `f` must be `Sync` (shared across workers); per-item state (e.g. an RNG)
 /// should be derived inside `f` from the index so results are deterministic
 /// regardless of scheduling.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`. Already-computed results are dropped, not
+/// leaked (see the module docs for the guard architecture).
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_with_workers(worker_count(items.len()), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (still capped at the item
+/// count and clamped to at least 1). Exposed so tests — and the sanitizer
+/// harness — can exercise the parallel path deterministically on machines
+/// where `available_parallelism` would report a single core.
+pub fn par_map_with_workers<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
@@ -61,7 +212,7 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = worker_count(n);
+    let workers = workers.min(n).max(1);
     if workers == 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -69,14 +220,9 @@ where
     // when per-item cost is uneven.
     let chunk = (n / (workers * 8)).max(1);
     let next = AtomicUsize::new(0);
-    let mut results: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
-    // SAFETY: MaybeUninit<U> needs no initialisation; every slot is written
-    // exactly once below before being read.
-    #[allow(clippy::uninit_vec)]
-    unsafe {
-        results.set_len(n);
-    }
-    let out = SendPtr(results.as_mut_ptr());
+    let init = InitRanges::default();
+    let mut guard = OutputGuard::new(n, &init);
+    let out = SendPtr(guard.as_mut_ptr());
     let out = &out;
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -86,27 +232,32 @@ where
                     break;
                 }
                 let end = (start + chunk).min(n);
+                let mut chunk_guard = ChunkGuard {
+                    init: &init,
+                    start,
+                    written: 0,
+                };
                 // SAFETY: [start, end) was claimed exclusively by this
-                // worker via the fetch_add above and lies within the
-                // n-slot allocation, so ranges never alias.
+                // worker via the fetch_add above and lies within the n-slot
+                // allocation, so ranges never alias and stay in bounds.
                 let slots =
                     unsafe { std::slice::from_raw_parts_mut(out.0.add(start), end - start) };
                 for (off, slot) in slots.iter_mut().enumerate() {
                     let i = start + off;
                     slot.write(f(i, &items[i]));
+                    // Only count a slot after its write completed: if `f`
+                    // panics, the in-flight slot stays uninitialized and
+                    // must not be recorded.
+                    chunk_guard.written += 1;
                 }
+                // Normal completion: the guard's drop records [start, end).
+                drop(chunk_guard);
             });
         }
     });
-    // If a worker panicked, the scope has already propagated the panic and
-    // we never reach this point — `results` is then dropped as
-    // MaybeUninit (leaking written slots, but no use of uninitialised
-    // memory). On the success path every slot is initialised.
-    // SAFETY: all n slots are written; MaybeUninit<U> and U share layout.
-    unsafe {
-        let mut results = ManuallyDrop::new(results);
-        Vec::from_raw_parts(results.as_mut_ptr() as *mut U, n, results.capacity())
-    }
+    // The scope returned normally, so no worker panicked: every claimed
+    // chunk completed, the cursor passed n, and all n slots are initialized.
+    guard.into_vec()
 }
 
 /// [`par_map`] with a [`Progress`] reporter: counts completed items under
@@ -131,6 +282,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
 
     #[test]
     fn preserves_order_and_values() {
@@ -189,9 +343,10 @@ mod tests {
     #[test]
     fn chunked_claiming_covers_every_index_with_heap_values() {
         // Heap-allocated results catch double-writes/missed slots (drop
-        // bugs) that plain integers would hide.
+        // bugs) that plain integers would hide. Explicit worker count: the
+        // parallel path must run even on single-core CI.
         let items: Vec<u64> = (0..10_000).collect();
-        let out = par_map(&items, |i, &x| format!("{i}:{x}"));
+        let out = par_map_with_workers(4, &items, |i, &x| format!("{i}:{x}"));
         assert_eq!(out.len(), items.len());
         for (i, s) in out.iter().enumerate() {
             assert_eq!(s, &format!("{i}:{i}"));
@@ -203,7 +358,7 @@ mod tests {
         // Counts around chunk boundaries: primes and off-by-ones.
         for n in [1usize, 2, 7, 63, 64, 65, 997] {
             let items: Vec<usize> = (0..n).collect();
-            let out = par_map(&items, |i, &x| i + x);
+            let out = par_map_with_workers(3, &items, |i, &x| i + x);
             assert_eq!(out, (0..n).map(|x| 2 * x).collect::<Vec<_>>());
         }
     }
@@ -213,5 +368,90 @@ mod tests {
         let items: Vec<u64> = (0..100).collect();
         let out = par_map_progress("test.par.progress", &items, |_, &x| x + 1);
         assert_eq!(out, (1..=100).collect::<Vec<_>>());
+    }
+
+    /// A result type whose constructions and drops are counted, with a heap
+    /// payload so Miri's leak checker also sees any slot the guards miss.
+    struct Tracked {
+        _payload: Box<u64>,
+        drops: Arc<AtomicUsize>,
+    }
+
+    impl Tracked {
+        fn new(i: u64, created: &Arc<AtomicUsize>, drops: &Arc<AtomicUsize>) -> Tracked {
+            created.fetch_add(1, Ordering::SeqCst);
+            Tracked {
+                _payload: Box::new(i),
+                drops: Arc::clone(drops),
+            }
+        }
+    }
+
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn panic_in_f_drops_every_written_result() {
+        let created = Arc::new(AtomicUsize::new(0));
+        let drops = Arc::new(AtomicUsize::new(0));
+        let items: Vec<u64> = (0..1_000).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_with_workers(4, &items, |i, &x| {
+                if i == 500 {
+                    panic!("mid-chunk failure injected by test");
+                }
+                Tracked::new(x, &created, &drops)
+            })
+        }));
+        assert!(result.is_err(), "the worker panic must propagate");
+        // Every successfully constructed result must have been dropped by
+        // the guards — nothing leaked, nothing double-dropped.
+        assert_eq!(
+            created.load(Ordering::SeqCst),
+            drops.load(Ordering::SeqCst),
+            "partially-written par_map output leaked results on panic"
+        );
+        assert!(
+            created.load(Ordering::SeqCst) > 0,
+            "some work ran before the panic"
+        );
+    }
+
+    #[test]
+    fn multiple_panicking_workers_still_account_for_all_results() {
+        let created = Arc::new(AtomicUsize::new(0));
+        let drops = Arc::new(AtomicUsize::new(0));
+        let items: Vec<u64> = (0..600).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map_with_workers(3, &items, |i, &x| {
+                if i % 149 == 0 {
+                    panic!("repeated failure injected by test");
+                }
+                Tracked::new(x, &created, &drops)
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(created.load(Ordering::SeqCst), drops.load(Ordering::SeqCst));
+    }
+
+    /// The regression the drop-guard exists for, in `should_panic` form so
+    /// Miri's leak checker exercises the unwind path directly
+    /// (`scripts/sanitize.sh` runs it): before the guard, every `String`
+    /// written ahead of the panic was leaked from the `MaybeUninit` buffer.
+    // No `expected` string: `std::thread::scope` replaces the payload with
+    // its own "a scoped thread panicked" when a worker dies.
+    #[test]
+    #[should_panic]
+    fn panicking_f_propagates_and_leaks_nothing() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map_with_workers(3, &items, |i, &x| {
+            if i == 47 {
+                panic!("injected");
+            }
+            format!("heap value {x}")
+        });
     }
 }

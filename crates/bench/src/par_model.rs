@@ -1,0 +1,338 @@
+//! Hand-rolled, loom-style exhaustive interleaving model of the
+//! [`crate::par`] chunk-claim protocol.
+//!
+//! The `unsafe` fan-out in `par.rs` stands on three claims:
+//!
+//! 1. ranges claimed from the shared atomic cursor are pairwise disjoint,
+//! 2. on the success path every output slot in `[0, n)` is written exactly
+//!    once before the buffer is reinterpreted as `Vec<U>`,
+//! 3. under a panic in the caller's closure, the [`InitRanges`]-style
+//!    ledger records *exactly* the initialized slots — the set the
+//!    `OutputGuard` must drop (anything less leaks, anything more is a
+//!    drop of uninitialized memory).
+//!
+//! Rather than trusting the SAFETY comments, this module re-expresses the
+//! worker loop as an explicit state machine whose atomic steps —
+//! `fetch_add` claims, per-slot writes, panic at a chosen slot, ledger
+//! pushes — are interleaved *in every possible order* by a depth-first
+//! scheduler with state memoization. For the small configurations explored
+//! this is a proof by enumeration of claims 1–3; `scripts/sanitize.sh`
+//! complements it with Miri/TSan runs of the real implementation, and
+//! deeper configurations run under `--cfg puf_model_check`
+//! (`RUSTFLAGS="--cfg puf_model_check" cargo test -p puf-bench`).
+//!
+//! The module is ordinary safe code over a *model* of the buffer (a vector
+//! of write counts), so it compiles under the crate's `deny(unsafe_code)`.
+
+use std::collections::BTreeSet;
+
+/// One model configuration: `n` items, fixed `chunk`, `workers` threads,
+/// and optionally a global item index at which the closure panics.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Item count (output buffer length).
+    pub n: usize,
+    /// Chunk size claimed per `fetch_add`.
+    pub chunk: usize,
+    /// Worker thread count.
+    pub workers: usize,
+    /// `Some(i)`: the closure panics when asked to compute item `i`.
+    pub panic_at: Option<usize>,
+}
+
+/// What one worker does next. Mirrors the loop in `par_map_with_workers`:
+/// claim → write slots of the claimed chunk one at a time (recording the
+/// chunk in the ledger when it completes or when a panic unwinds it) →
+/// claim again, until the cursor passes `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Worker {
+    /// About to `fetch_add` the cursor.
+    Claiming,
+    /// Writing `next` within claimed `[start, end)`.
+    Writing {
+        start: usize,
+        end: usize,
+        next: usize,
+    },
+    /// Unwound out of the closure (chunk prefix already in the ledger).
+    Panicked,
+    /// Observed `start >= n` and exited the loop.
+    Done,
+}
+
+/// A global model state between atomic steps.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct State {
+    cursor: usize,
+    workers: Vec<Worker>,
+    /// Per-slot write count; a value > 1 is an aliasing bug.
+    writes: Vec<u8>,
+    /// Ledger of ranges recorded as fully initialized (sorted set — push
+    /// order does not matter to the drop guard).
+    ledger: BTreeSet<(usize, usize)>,
+}
+
+/// Outcome statistics of one exhaustive exploration.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Explored {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Distinct terminal states reached.
+    pub terminals: usize,
+}
+
+/// Exhaustively explores every interleaving of `cfg`, checking the
+/// protocol invariants at every step and every terminal state.
+///
+/// # Panics
+///
+/// Panics with a diagnostic if any interleaving violates an invariant —
+/// overlapping claims, a double write, a missed slot, or a ledger that
+/// disagrees with the initialized set.
+pub fn check(cfg: Config) -> Explored {
+    assert!(cfg.chunk >= 1, "chunk must be at least 1");
+    assert!(cfg.workers >= 1, "need at least one worker");
+    let initial = State {
+        cursor: 0,
+        workers: vec![Worker::Claiming; cfg.workers],
+        writes: vec![0; cfg.n],
+        ledger: BTreeSet::new(),
+    };
+    let mut visited: BTreeSet<State> = BTreeSet::new();
+    let mut stats = Explored::default();
+    let mut stack = vec![initial];
+    while let Some(state) = stack.pop() {
+        if !visited.insert(state.clone()) {
+            continue;
+        }
+        stats.states += 1;
+        let runnable: Vec<usize> = state
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| matches!(w, Worker::Claiming | Worker::Writing { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            stats.terminals += 1;
+            check_terminal(&cfg, &state);
+            continue;
+        }
+        for wid in runnable {
+            stack.push(step(&cfg, &state, wid));
+        }
+    }
+    stats
+}
+
+/// Advances worker `wid` by one atomic step, checking step invariants.
+fn step(cfg: &Config, state: &State, wid: usize) -> State {
+    let mut next = state.clone();
+    match state.workers[wid] {
+        Worker::Claiming => {
+            // fetch_add(chunk): the returned start is the pre-increment
+            // cursor; the increment is atomic, so no two workers can
+            // observe the same start.
+            let start = next.cursor;
+            next.cursor += cfg.chunk;
+            next.workers[wid] = if start >= cfg.n {
+                Worker::Done
+            } else {
+                Worker::Writing {
+                    start,
+                    end: (start + cfg.chunk).min(cfg.n),
+                    next: start,
+                }
+            };
+        }
+        Worker::Writing {
+            start,
+            end,
+            next: slot,
+        } => {
+            if cfg.panic_at == Some(slot) {
+                // The closure unwinds before the slot is written; the
+                // chunk guard records the prefix written so far.
+                if slot > start {
+                    next.ledger.insert((start, slot));
+                }
+                next.workers[wid] = Worker::Panicked;
+            } else {
+                assert!(
+                    slot < cfg.n,
+                    "write past the buffer: slot {slot} with n={}",
+                    cfg.n
+                );
+                next.writes[slot] += 1;
+                assert!(
+                    next.writes[slot] == 1,
+                    "slot {slot} written twice — claimed ranges alias \
+                     (cursor={}, worker={wid})",
+                    state.cursor
+                );
+                let written = slot + 1;
+                next.workers[wid] = if written == end {
+                    next.ledger.insert((start, end));
+                    Worker::Claiming
+                } else {
+                    Worker::Writing {
+                        start,
+                        end,
+                        next: written,
+                    }
+                };
+            }
+        }
+        Worker::Panicked | Worker::Done => unreachable!("terminal workers are not runnable"),
+    }
+    next
+}
+
+/// Terminal-state invariants: see claims 1–3 in the module docs.
+fn check_terminal(cfg: &Config, state: &State) {
+    // Ledger ranges are pairwise disjoint (BTreeSet order makes the scan
+    // linear) and every recorded slot was written.
+    let mut prev_end = 0usize;
+    for &(start, end) in &state.ledger {
+        assert!(start < end, "empty range in ledger");
+        assert!(
+            start >= prev_end,
+            "ledger ranges overlap: ({start}, {end}) after end {prev_end}"
+        );
+        prev_end = end;
+        for slot in start..end {
+            assert!(
+                state.writes[slot] == 1,
+                "ledger claims slot {slot} initialized but it was never written"
+            );
+        }
+    }
+    let ledger_slots: usize = state.ledger.iter().map(|&(s, e)| e - s).sum();
+    let written_slots = state.writes.iter().filter(|&&w| w > 0).count();
+    assert_eq!(
+        ledger_slots, written_slots,
+        "ledger does not account for every initialized slot — the drop \
+         guard would leak (writes={:?}, ledger={:?})",
+        state.writes, state.ledger
+    );
+    if cfg.panic_at.is_none() {
+        // Success path: full coverage, every slot exactly once.
+        assert!(
+            state.writes.iter().all(|&w| w == 1),
+            "missed or repeated slot on the success path: {:?}",
+            state.writes
+        );
+        assert_eq!(ledger_slots, cfg.n, "ledger must cover [0, n) on success");
+    } else {
+        let any_panicked = state.workers.contains(&Worker::Panicked);
+        assert!(
+            any_panicked,
+            "panic_at={:?} was claimed by nobody despite termination",
+            cfg.panic_at
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_paths_exhaustively_verified() {
+        // Small but adversarial shapes: chunk == 1 (max interleaving),
+        // chunk not dividing n (tail chunk), chunk > n (single claim wins),
+        // more workers than chunks.
+        for cfg in [
+            Config {
+                n: 4,
+                chunk: 1,
+                workers: 2,
+                panic_at: None,
+            },
+            Config {
+                n: 5,
+                chunk: 2,
+                workers: 2,
+                panic_at: None,
+            },
+            Config {
+                n: 3,
+                chunk: 4,
+                workers: 2,
+                panic_at: None,
+            },
+            Config {
+                n: 6,
+                chunk: 2,
+                workers: 3,
+                panic_at: None,
+            },
+        ] {
+            let stats = check(cfg);
+            assert!(stats.states > 1, "model must actually branch: {cfg:?}");
+            assert!(stats.terminals >= 1);
+        }
+    }
+
+    #[test]
+    fn every_panic_site_keeps_the_ledger_exact() {
+        // A panic at each possible item index, under contention.
+        let base = Config {
+            n: 5,
+            chunk: 2,
+            workers: 2,
+            panic_at: None,
+        };
+        for at in 0..base.n {
+            check(Config {
+                panic_at: Some(at),
+                ..base
+            });
+        }
+    }
+
+    #[test]
+    fn panic_with_three_workers_and_tail_chunk() {
+        for at in [0, 2, 4] {
+            check(Config {
+                n: 5,
+                chunk: 2,
+                workers: 3,
+                panic_at: Some(at),
+            });
+        }
+    }
+
+    /// Deeper configurations for the dedicated model-check run:
+    /// `RUSTFLAGS="--cfg puf_model_check" cargo test -p puf-bench par_model`.
+    #[cfg(puf_model_check)]
+    #[test]
+    fn deep_configurations_under_cfg_flag() {
+        for cfg in [
+            Config {
+                n: 8,
+                chunk: 1,
+                workers: 3,
+                panic_at: None,
+            },
+            Config {
+                n: 10,
+                chunk: 3,
+                workers: 3,
+                panic_at: None,
+            },
+            Config {
+                n: 9,
+                chunk: 2,
+                workers: 4,
+                panic_at: Some(5),
+            },
+        ] {
+            let stats = check(cfg);
+            assert!(
+                stats.states > 100,
+                "deep config should branch widely: {cfg:?}"
+            );
+        }
+    }
+}

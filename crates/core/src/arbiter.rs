@@ -102,6 +102,7 @@ impl ArbiterPuf {
     /// [`ArbiterPuf::try_delay_difference`] for a fallible variant.
     pub fn delay_difference(&self, challenge: &Challenge) -> f64 {
         self.try_delay_difference(challenge)
+            // puf-lint: allow(L4): documented panicking variant; try_delay_difference is the fallible API
             .expect("challenge/PUF stage mismatch")
     }
 

@@ -158,6 +158,7 @@ pub struct ThroughputGuard {
 pub fn throughput_guard(crps: usize) -> ThroughputGuard {
     ThroughputGuard {
         crps: crps as u64,
+        // puf-lint: allow(L3): telemetry-only timing; feeds the crps_per_sec gauge, never results
         start: std::time::Instant::now(),
     }
 }

@@ -65,6 +65,7 @@ impl Challenge {
     ///
     /// Panics if `stages` is 0 or exceeds [`MAX_STAGES`].
     pub fn zero(stages: usize) -> Self {
+        // puf-lint: allow(L4): documented panic contract; from_bits is the fallible API
         Self::from_bits(0, stages).expect("invalid stage count")
     }
 
@@ -74,6 +75,7 @@ impl Challenge {
     ///
     /// Panics if `stages` is 0 or exceeds [`MAX_STAGES`].
     pub fn random<R: Rng + ?Sized>(stages: usize, rng: &mut R) -> Self {
+        // puf-lint: allow(L4): documented panic contract; from_bits is the fallible API
         Self::from_bits(rng.gen::<u128>(), stages).expect("invalid stage count")
     }
 

@@ -81,6 +81,7 @@ impl FeedForwardPuf {
     ///
     /// Never — the hard-coded geometry is valid.
     pub fn random_paper_geometry<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // puf-lint: allow(L4): hard-coded geometry constants are statically valid
         Self::random(crate::PAPER_STAGES, 7, 23, rng).expect("valid geometry")
     }
 

@@ -88,6 +88,7 @@ impl InterposePuf {
         let low = bits & ((1u128 << m) - 1);
         let high = (bits >> m) << (m + 1);
         let mid = u128::from(bit) << m;
+        // puf-lint: allow(L4): k+1 <= MAX_STAGES was validated when the PUF was built
         Challenge::from_bits(low | mid | high, k + 1).expect("stage count validated at build")
     }
 

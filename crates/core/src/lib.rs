@@ -42,6 +42,7 @@
 //! assert_eq!(bit, puf.response(&challenge)); // noiseless responses repeat
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

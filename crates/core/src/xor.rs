@@ -123,6 +123,7 @@ impl XorPuf {
             return Vec::new();
         }
         let features = crate::batch::FeatureMatrix::new(self.stages(), challenges)
+            // puf-lint: allow(L4): documented panic contract of the batch entry point
             .expect("challenge stage count does not match the PUF");
         self.response_batch(&features)
     }

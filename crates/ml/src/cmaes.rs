@@ -181,6 +181,7 @@ where
             let f = fitness(&x);
             candidates.push((f, x, y));
         }
+        // puf-lint: allow(L4): fitness is a finite correlation by construction; NaN is a programming error
         candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN fitness"));
         if candidates[0].0 > best_fitness {
             best_fitness = candidates[0].0;

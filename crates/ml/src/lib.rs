@@ -26,6 +26,7 @@
 //! let _guess = model.predict(&c);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

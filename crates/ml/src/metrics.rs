@@ -104,6 +104,7 @@ pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
         return f64::NAN;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
+    // puf-lint: allow(L4): NaN scores are rejected by the early return above
     order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
     // Average ranks over tie groups.
     let mut rank_sum_pos = 0.0;

@@ -166,6 +166,7 @@ impl Mlp {
         let activations = self.forward_all(params, x);
         activations
             .last()
+            // puf-lint: allow(L4): forward_all always returns >= 1 activation (the input layer)
             .expect("network has layers")
             .as_slice()
             .to_vec()
@@ -185,6 +186,7 @@ impl Mlp {
             let weights = &params[offset..offset + n_in * n_out];
             let biases = &params[offset + n_in * n_out..offset + n_in * n_out + n_out];
             offset += n_in * n_out + n_out;
+            // puf-lint: allow(L4): the vector is seeded with the input activation before the loop
             let prev = activations.last().expect("at least the input");
             let mut z = Matrix::zeros(m, n_out);
             for i in 0..m {
@@ -337,6 +339,7 @@ impl Mlp {
         let m = x.rows();
         let m_f = m as f64;
         let activations = self.forward_all(params, x);
+        // puf-lint: allow(L4): forward_all always returns >= 1 activation (the input layer)
         let logits = activations.last().expect("output layer");
 
         // Loss.

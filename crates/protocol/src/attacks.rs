@@ -133,6 +133,7 @@ pub fn reliability_attack<R: Rng + ?Sized>(
     // Precompute the feature matrix once; the fitness evaluations that
     // dominate the run then go through the batched dot kernel.
     let features = FeatureMatrix::new(chip.stages(), &challenges)
+        // puf-lint: allow(L4): challenges were drawn with chip.stages() three lines up
         .expect("attack challenges match the chip's stage count");
 
     let dim = chip.stages() + 1;
@@ -168,6 +169,7 @@ pub fn reliability_attack<R: Rng + ?Sized>(
             generations,
         });
     }
+    // puf-lint: allow(L4): fitness is a finite correlation by construction; NaN is a programming error
     models.sort_by(|a, b| b.fitness.partial_cmp(&a.fitness).expect("NaN fitness"));
     Ok(models)
 }

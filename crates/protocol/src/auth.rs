@@ -134,6 +134,7 @@ impl Responder for ChipResponder<'_> {
             .map(|c| {
                 self.chip
                     .eval_xor_once(self.n, c, self.condition, &mut self.rng)
+                    // puf-lint: allow(L4): server challenges match the enrolled stage count by protocol
                     .expect("chip rejected an authentication challenge")
             })
             .collect()
@@ -238,6 +239,7 @@ impl Responder for MajorityVoteResponder<'_> {
                     if self
                         .chip
                         .eval_xor_once(self.n, c, self.condition, &mut self.rng)
+                        // puf-lint: allow(L4): server challenges match the enrolled stage count by protocol
                         .expect("chip rejected an authentication challenge")
                     {
                         ones += 1;

@@ -40,6 +40,7 @@
 //! # Ok::<(), puf_protocol::ProtocolError>(())
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -6,7 +6,7 @@ use crate::enrollment::EnrolledChip;
 use crate::ProtocolError;
 use puf_core::Challenge;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A selected challenge together with the server's predicted XOR response.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,9 +22,14 @@ pub struct SelectedChallenge {
 /// Matching the paper's storage argument (Refs. 4, 6-7), the server keeps
 /// only delay parameters and thresholds — `n · (stages + 1)` floats per chip
 /// — instead of an exhaustive CRP table.
+///
+/// Records live in a `BTreeMap` so every listing and serialization of the
+/// database walks chips in ascending id order: `HashMap` iteration order
+/// varies per process, which would leak nondeterminism into exported
+/// enrollment snapshots (lint rule L3 bans it in result-producing crates).
 #[derive(Clone, Debug, Default)]
 pub struct Server {
-    records: HashMap<u32, EnrolledChip>,
+    records: BTreeMap<u32, EnrolledChip>,
 }
 
 impl Server {
@@ -55,9 +60,15 @@ impl Server {
         self.records.get(&chip_id)
     }
 
-    /// The ids of all registered chips (unordered).
+    /// The ids of all registered chips, in ascending order.
     pub fn chip_ids(&self) -> impl Iterator<Item = u32> + '_ {
         self.records.keys().copied()
+    }
+
+    /// All enrollment records, in ascending chip-id order (the iteration
+    /// order serialization relies on).
+    pub fn records(&self) -> impl Iterator<Item = &EnrolledChip> + '_ {
+        self.records.values()
     }
 
     /// Generates random challenges and keeps the ones predicted stable on

@@ -164,14 +164,14 @@ pub fn encode_record(record: &EnrolledChip) -> Bytes {
 /// Encodes a whole server database (records in ascending chip-id order, so
 /// encoding is deterministic).
 pub fn encode_server(server: &Server) -> Bytes {
-    let mut ids: Vec<u32> = server.chip_ids().collect();
-    ids.sort_unstable();
     let mut out = BytesMut::new();
     out.put_slice(MAGIC);
     out.put_u16_le(VERSION);
-    out.put_u32_le(ids.len() as u32);
-    for id in ids {
-        put_record(&mut out, server.record(id).expect("id listed but missing"));
+    out.put_u32_le(server.len() as u32);
+    // Server::records iterates in ascending chip-id order, which is what
+    // makes this encoding byte-deterministic.
+    for record in server.records() {
+        put_record(&mut out, record);
     }
     out.freeze()
 }

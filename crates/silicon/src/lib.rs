@@ -47,6 +47,7 @@
 //! # Ok::<(), puf_silicon::SiliconError>(())
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -40,6 +40,7 @@
 //! puf_telemetry::set_enabled(false);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

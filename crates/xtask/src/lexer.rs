@@ -1,0 +1,366 @@
+//! A minimal line-oriented Rust lexer: separates code from comments and
+//! string/char literals so the rule passes can match tokens without false
+//! positives from doc examples, message strings, or `#[doc]` attributes.
+//!
+//! The output preserves the *shape* of the source: one [`Line`] per input
+//! line, where `code` is the original line with every comment and literal
+//! replaced by spaces (columns preserved, measured in characters), and the
+//! comment text / string contents are carried alongside for the rules that
+//! need them (`// SAFETY:` detection, telemetry name checks, exemption
+//! annotations).
+//!
+//! Handled: line comments, nested block comments, string literals with
+//! escapes, raw (and byte/raw-byte) strings with arbitrary `#` fences,
+//! char literals (including escapes), and lifetimes (`'a` is *not* an
+//! unterminated char literal).
+
+/// One lexed source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// The line's code with comments and literals masked out by spaces.
+    /// Character columns match the original source.
+    pub code: String,
+    /// Concatenated comment text appearing on this line, with the comment
+    /// markers (`//`, `///`, `//!`, `/*`, `*/`) stripped.
+    pub comment: String,
+    /// String literals *starting* on this line: `(char_column, contents)`.
+    /// A multi-line literal is attributed to its opening line.
+    pub strings: Vec<(usize, String)>,
+}
+
+impl Line {
+    /// Whether the line contains no code (only whitespace, comments or
+    /// literal spill-over from a previous line).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+/// A fully lexed file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Lines in order; index 0 is source line 1.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested depth.
+    BlockComment(u32),
+    /// Inside `"…"`; `true` = next char is escaped.
+    Str(bool),
+    /// Inside a raw string closed by `"` + this many `#`.
+    RawStr(u32),
+    /// Inside `'…'`; `true` = next char is escaped.
+    Char(bool),
+}
+
+/// Lexes `src` into per-line masked code, comments and string literals.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut col = 0usize; // char column on the current line
+    let mut state = State::Code;
+    // The literal currently being filled: (index into `lines` at open time —
+    // equal to `lines.len()` while the opening line is still `cur` — and the
+    // index into that line's `strings`).
+    let mut open_string: Option<(usize, usize)> = None;
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            col = 0;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    state = State::LineComment;
+                    cur.code.push_str("  ");
+                    col += 2;
+                    i += 2;
+                    // Skip doc-comment markers so `comment` starts at the
+                    // text (`/// x` and `//! x` → ` x`).
+                    while chars.get(i) == Some(&'/') || chars.get(i) == Some(&'!') {
+                        cur.code.push(' ');
+                        col += 1;
+                        i += 1;
+                    }
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    state = State::BlockComment(1);
+                    cur.code.push_str("  ");
+                    col += 2;
+                    i += 2;
+                }
+                '"' => {
+                    cur.strings.push((col, String::new()));
+                    open_string = Some((lines.len(), cur.strings.len() - 1));
+                    state = State::Str(false);
+                    cur.code.push(' ');
+                    col += 1;
+                    i += 1;
+                }
+                'r' | 'b' if !prev_is_ident(&chars, i) => {
+                    // Possible literal prefix: r", r#"…, br", b".
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let raw = c == 'r' || j > i + 1;
+                    let mut hashes = 0u32;
+                    while raw && chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        // Mask the prefix and opening quote.
+                        for _ in i..=j {
+                            cur.code.push(' ');
+                            col += 1;
+                        }
+                        cur.strings.push((col - 1, String::new()));
+                        open_string = Some((lines.len(), cur.strings.len() - 1));
+                        state = if raw {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str(false)
+                        };
+                        i = j + 1;
+                    } else {
+                        cur.code.push(c);
+                        col += 1;
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    let next = chars.get(i + 1);
+                    let after = chars.get(i + 2);
+                    if next == Some(&'\\') || (next.is_some() && after == Some(&'\'')) {
+                        // Char literal: mask the opening quote.
+                        state = State::Char(false);
+                        cur.code.push(' ');
+                    } else {
+                        // Lifetime: keep as code.
+                        cur.code.push('\'');
+                    }
+                    col += 1;
+                    i += 1;
+                }
+                _ => {
+                    cur.code.push(c);
+                    col += 1;
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                cur.comment.push(c);
+                cur.code.push(' ');
+                col += 1;
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    cur.code.push_str("  ");
+                    col += 2;
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    cur.code.push_str("  ");
+                    col += 2;
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    cur.code.push(' ');
+                    col += 1;
+                    i += 1;
+                }
+            }
+            State::Str(escaped) => {
+                if escaped {
+                    push_string_char(&mut lines, &mut cur, open_string, c);
+                    state = State::Str(false);
+                } else if c == '\\' {
+                    state = State::Str(true);
+                } else if c == '"' {
+                    state = State::Code;
+                    open_string = None;
+                } else {
+                    push_string_char(&mut lines, &mut cur, open_string, c);
+                }
+                cur.code.push(' ');
+                col += 1;
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        for _ in i..j {
+                            cur.code.push(' ');
+                            col += 1;
+                        }
+                        state = State::Code;
+                        open_string = None;
+                        i = j;
+                        continue;
+                    }
+                }
+                push_string_char(&mut lines, &mut cur, open_string, c);
+                cur.code.push(' ');
+                col += 1;
+                i += 1;
+            }
+            State::Char(escaped) => {
+                if escaped {
+                    // Consume a `\u{…}` payload wholesale.
+                    if c == 'u' && chars.get(i + 1) == Some(&'{') {
+                        while i < chars.len() && chars[i] != '}' {
+                            cur.code.push(' ');
+                            col += 1;
+                            i += 1;
+                        }
+                    }
+                    state = State::Char(false);
+                } else if c == '\\' {
+                    state = State::Char(true);
+                } else if c == '\'' {
+                    state = State::Code;
+                }
+                cur.code.push(' ');
+                col += 1;
+                i += 1;
+            }
+        }
+    }
+    lines.push(cur);
+    Lexed { lines }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Appends `c` to the string literal currently open, wherever its opening
+/// line now lives (still `cur`, or already flushed into `lines`).
+fn push_string_char(lines: &mut [Line], cur: &mut Line, open: Option<(usize, usize)>, c: char) {
+    let Some((line_idx, str_idx)) = open else {
+        return;
+    };
+    let line = if line_idx == lines.len() {
+        cur
+    } else {
+        match lines.get_mut(line_idx) {
+            Some(l) => l,
+            None => return,
+        }
+    };
+    if let Some(s) = line.strings.get_mut(str_idx) {
+        s.1.push(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_masked_and_collected() {
+        let l = lex("let x = 1; // trailing note\n/* block */ let y = 2;");
+        assert_eq!(l.lines[0].code.trim_end(), "let x = 1;");
+        assert_eq!(l.lines[0].comment.trim(), "trailing note");
+        assert!(l.lines[1].code.contains("let y = 2;"));
+        assert_eq!(l.lines[1].comment.trim(), "block");
+    }
+
+    #[test]
+    fn doc_comments_hide_code_like_text() {
+        let l = lex("/// call .unwrap() freely here\nfn f() {}\n//! HashMap too");
+        assert!(!l.lines[0].code.contains("unwrap"));
+        assert!(l.lines[0].comment.contains(".unwrap()"));
+        assert!(!l.lines[2].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn strings_are_masked_and_captured() {
+        let l = lex(r#"let s = "panic!(no)"; s.len();"#);
+        assert!(!l.lines[0].code.contains("panic"));
+        assert_eq!(l.lines[0].strings.len(), 1);
+        assert_eq!(l.lines[0].strings[0].1, "panic!(no)");
+        assert!(l.lines[0].code.contains("s.len();"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let l = lex(r#"let s = "a\"b"; let t = 1;"#);
+        assert_eq!(l.lines[0].strings[0].1, "a\"b");
+        assert!(l.lines[0].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let l = lex("let s = r#\"has \"quotes\" and unwrap()\"#; let u = 2;");
+        assert!(!l.lines[0].code.contains("unwrap"));
+        assert!(l.lines[0].code.contains("let u = 2;"));
+        assert_eq!(l.lines[0].strings[0].1, "has \"quotes\" and unwrap()");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let l = lex("let a = b\"bytes panic!\"; let b2 = br#\"raw unwrap()\"#; done();");
+        assert!(!l.lines[0].code.contains("panic"));
+        assert!(!l.lines[0].code.contains("unwrap"));
+        assert!(l.lines[0].code.contains("done();"));
+        assert_eq!(l.lines[0].strings[0].1, "bytes panic!");
+        assert_eq!(l.lines[0].strings[1].1, "raw unwrap()");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { '\\'' }\nlet q = '\"'; let z = 'y';");
+        assert!(l.lines[0].code.contains("fn f<'a>(x: &'a str)"));
+        assert!(!l.lines[1].code.contains('"'), "quote char literal masked");
+        assert!(l.lines[1].code.contains("let z ="));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still comment */ let a = 1;");
+        assert!(l.lines[0].code.contains("let a = 1;"));
+        assert!(!l.lines[0].code.contains("inner"));
+    }
+
+    #[test]
+    fn multiline_string_attributed_to_opening_line() {
+        let l = lex("let s = \"first\nsecond\nthird\"; let after = 3;");
+        assert_eq!(l.lines[0].strings[0].1, "firstsecondthird");
+        assert!(l.lines[2].code.contains("let after = 3;"));
+        assert!(l.lines[1].strings.is_empty());
+    }
+
+    #[test]
+    fn columns_are_preserved() {
+        let l = lex("abc \"xy\" unsafe");
+        let col = l.lines[0].code.find("unsafe").unwrap();
+        assert_eq!(col, 9);
+    }
+}

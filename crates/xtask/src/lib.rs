@@ -1,0 +1,161 @@
+//! # xtask
+//!
+//! Workspace static analysis for the xorpuf repo, run as `cargo xtask lint`.
+//!
+//! The paper's methodology stands on invariants no general-purpose linter
+//! checks: the 1T-CRP replay must be seeded-deterministic (soft responses
+//! averaged over 100k repeats are only comparable across V/T corners if
+//! every run visits the same CRPs), the batched evaluation path must stay
+//! bit-identical to the scalar one, and the lone `unsafe` fan-out in
+//! `bench::par` must keep its claiming protocol auditable. This crate
+//! encodes those invariants as repo-specific lint rules over the workspace
+//! sources — zero external dependencies, like `puf-telemetry`.
+//!
+//! ## Rule catalog
+//!
+//! | id | rule |
+//! |----|------|
+//! | L0 | malformed `puf-lint` exemption annotation (missing reason / unknown rule id) |
+//! | L1 | every `unsafe` block/impl/fn must be justified by a `// SAFETY:` comment |
+//! | L2 | every crate root carries `#![deny(unsafe_code)]`; `allow(unsafe_code)` only at allowlisted sites |
+//! | L3 | nondeterminism ban in result-producing crates (`thread_rng`, `from_entropy`, `Instant::now`, `SystemTime`, `HashMap`/`HashSet`) |
+//! | L4 | no `unwrap`/`expect`/`panic!` family in library code of `core`/`ml`/`protocol`/`silicon` |
+//! | L5 | telemetry metric names are dotted lowercase `subsystem.verb[.detail]` at registration sites |
+//!
+//! ## Exemptions
+//!
+//! A violation that is *intended* must say why, next to the code:
+//!
+//! ```text
+//! // puf-lint: allow(L3): timing guard feeds a telemetry gauge, not results
+//! let start = std::time::Instant::now();
+//! ```
+//!
+//! The annotation goes on the offending line (trailing) or the line
+//! directly above; `allow-file(L3)` in the first 25 lines exempts a whole
+//! file. The reason after the second `:` is mandatory — a reasonless or
+//! unknown-rule annotation is itself a violation (L0). `#[cfg(test)]`
+//! items and `tests/`/`benches/`/`examples/`/`src/bin` paths are exempt
+//! from L3/L4 automatically.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Malformed or unknown exemption annotation.
+    L0,
+    /// `unsafe` without a `// SAFETY:` justification.
+    L1,
+    /// Missing `#![deny(unsafe_code)]` / non-allowlisted `allow(unsafe_code)`.
+    L2,
+    /// Nondeterminism source in a result-producing crate.
+    L3,
+    /// Panic path (`unwrap`/`expect`/`panic!`…) in library code.
+    L4,
+    /// Telemetry name not dotted lowercase.
+    L5,
+}
+
+impl RuleId {
+    /// The short stable id, e.g. `"L3"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::L0 => "L0",
+            RuleId::L1 => "L1",
+            RuleId::L2 => "L2",
+            RuleId::L3 => "L3",
+            RuleId::L4 => "L4",
+            RuleId::L5 => "L5",
+        }
+    }
+
+    /// Parses `"L0"`‥`"L5"`.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s.trim() {
+            "L0" => Some(RuleId::L0),
+            "L1" => Some(RuleId::L1),
+            "L2" => Some(RuleId::L2),
+            "L3" => Some(RuleId::L3),
+            "L4" => Some(RuleId::L4),
+            "L5" => Some(RuleId::L5),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lint finding, anchored to a workspace-relative path and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lints one file given its workspace-relative path and contents.
+///
+/// The path determines rule scope (which crate the file belongs to, whether
+/// it is a crate root, a binary, or test code), so fixture tests can probe
+/// scoping by passing pretend paths.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    rules::lint_source(rel_path, src)
+}
+
+/// Lints the whole workspace rooted at `root`; diagnostics are sorted by
+/// path and line. Emits `xtask.lint.*` telemetry.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let _span = puf_telemetry::span!("xtask.lint.duration");
+    let files = walk::workspace_sources(root)?;
+    puf_telemetry::counter!("xtask.lint.files").add(files.len() as u64);
+    let mut diags = Vec::new();
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(_) => continue, // non-UTF-8 or unreadable: not lintable source
+        };
+        let rel = rel_slash(root, file);
+        diags.extend(rules::lint_source(&rel, &src));
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    puf_telemetry::counter!("xtask.lint.violations").add(diags.len() as u64);
+    Ok(diags)
+}
+
+/// `file` relative to `root`, `/`-separated regardless of platform.
+fn rel_slash(root: &Path, file: &Path) -> String {
+    let rel: PathBuf = file.strip_prefix(root).unwrap_or(file).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,115 @@
+//! `cargo xtask` — workspace automation. Currently one subcommand:
+//!
+//! ```text
+//! cargo xtask lint [--root PATH] [--quiet]
+//! ```
+//!
+//! Runs the repo-specific static-analysis rules (L1–L5, see the crate docs
+//! and DESIGN.md §"Static analysis & verification") over every workspace
+//! source and exits non-zero if any violation is found. `scripts/check.sh`
+//! runs this before clippy, so the gate fails on any new violation.
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask subcommand `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask lint [--root PATH] [--quiet]");
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown flag `{other}` for xtask lint");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("could not locate the workspace root (no Cargo.toml with [workspace])");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if std::env::var("PUF_TELEMETRY")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        puf_telemetry::set_enabled(true);
+    }
+    let diags = match xtask::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask lint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if puf_telemetry::enabled() {
+        eprint!("{}", puf_telemetry::registry().render_table());
+    }
+    if diags.is_empty() {
+        if !quiet {
+            println!("xtask lint: workspace clean");
+        }
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    eprintln!(
+        "xtask lint: {} violation{} (rules are documented in DESIGN.md; intended \
+         exceptions need `// puf-lint: allow(Lx): <reason>`)",
+        diags.len(),
+        if diags.len() == 1 { "" } else { "s" },
+    );
+    ExitCode::FAILURE
+}
+
+/// Walks upward from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,722 @@
+//! The lint rules (L0–L5) over lexed sources.
+//!
+//! Every rule works on the masked `code` of a [`crate::lexer::Line`] —
+//! comments and string/char literals are already blanked out — so doc
+//! examples and message strings can never fire a rule, while comment text
+//! and literal contents remain available where a rule needs them
+//! (`// SAFETY:` for L1, metric names for L5, exemption annotations).
+
+use crate::lexer::{lex, Lexed};
+use crate::{Diagnostic, RuleId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Crates whose outputs feed serialized results or figures: nondeterminism
+/// sources are banned here (rule L3).
+const RESULT_CRATES: &[&str] = &["core", "silicon", "ml", "protocol", "analysis", "bench"];
+
+/// Crates whose `src/` is library code: panic paths are banned (rule L4).
+const LIB_CRATES: &[&str] = &["core", "ml", "protocol", "silicon"];
+
+/// The only places allowed to carry `allow(unsafe_code)`: the bench crate
+/// root, where the `par` fan-out module is opted back in. The second field
+/// must appear within two lines of the attribute, anchoring the allowance
+/// to that module declaration.
+const ALLOW_UNSAFE_SITES: &[(&str, &str)] = &[("crates/bench/src/lib.rs", "mod par")];
+
+/// Where a file sits in the workspace, derived purely from its path.
+#[derive(Debug)]
+struct Scope {
+    /// `Some("core")` for `crates/core/…`, `Some("xorpuf")` for `src/…`.
+    crate_name: Option<String>,
+    /// `src/lib.rs` of the root package or of any `crates/*` member.
+    is_crate_root: bool,
+    /// Rule L3 applies (result-producing crate, non-test path).
+    in_l3: bool,
+    /// Rule L4 applies (library source of a core crate).
+    in_l4: bool,
+}
+
+impl Scope {
+    fn of(rel: &str) -> Scope {
+        let segs: Vec<&str> = rel.split('/').collect();
+        let crate_name = match segs.first() {
+            Some(&"crates") if segs.len() >= 2 => Some(segs[1].to_string()),
+            Some(&"src") => Some("xorpuf".to_string()),
+            _ => None,
+        };
+        let is_crate_root = rel == "src/lib.rs"
+            || (segs.len() == 4 && segs[0] == "crates" && segs[2] == "src" && segs[3] == "lib.rs");
+        let test_path = segs
+            .iter()
+            .any(|s| matches!(*s, "tests" | "benches" | "examples"));
+        let bin_path = segs.contains(&"bin");
+        let name = crate_name.as_deref().unwrap_or("");
+        let in_l3 = RESULT_CRATES.contains(&name) && !test_path;
+        let in_l4 =
+            LIB_CRATES.contains(&name) && segs.get(2) == Some(&"src") && !test_path && !bin_path;
+        Scope {
+            crate_name,
+            is_crate_root,
+            in_l3,
+            in_l4,
+        }
+    }
+}
+
+/// Parsed `puf-lint` exemption annotations for one file.
+#[derive(Debug, Default)]
+struct Annotations {
+    /// Rules exempted for the whole file (`allow-file`, first 25 lines).
+    file_allow: BTreeSet<RuleId>,
+    /// Rules exempted per 1-based line (an annotation covers its own line
+    /// and the line below, so it can trail the code or sit above it).
+    line_allow: BTreeMap<usize, BTreeSet<RuleId>>,
+    /// L0 findings produced while parsing.
+    diags: Vec<Diagnostic>,
+}
+
+impl Annotations {
+    fn parse(rel: &str, lexed: &Lexed) -> Annotations {
+        let mut ann = Annotations::default();
+        for (idx, line) in lexed.lines.iter().enumerate() {
+            let lineno = idx + 1;
+            let Some(pos) = line.comment.find("puf-lint:") else {
+                continue;
+            };
+            let rest = line.comment[pos + "puf-lint:".len()..].trim_start();
+            let (file_scope, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+                (true, r)
+            } else if let Some(r) = rest.strip_prefix("allow(") {
+                (false, r)
+            } else {
+                ann.diags.push(Diagnostic {
+                    rule: RuleId::L0,
+                    path: rel.to_string(),
+                    line: lineno,
+                    message: "malformed puf-lint annotation: expected \
+                              `allow(<rules>): <reason>` or `allow-file(<rules>): <reason>`"
+                        .to_string(),
+                });
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                ann.push_l0(rel, lineno, "unclosed rule list");
+                continue;
+            };
+            let mut rules = BTreeSet::new();
+            let mut bad = false;
+            for id in rest[..close].split(',') {
+                match RuleId::parse(id) {
+                    Some(r) => {
+                        rules.insert(r);
+                    }
+                    None => {
+                        ann.push_l0(rel, lineno, &format!("unknown rule id `{}`", id.trim()));
+                        bad = true;
+                    }
+                }
+            }
+            let after = rest[close + 1..].trim_start();
+            let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+            if reason.is_empty() {
+                ann.push_l0(
+                    rel,
+                    lineno,
+                    "exemption must state a reason: `allow(Lx): <why this is sound>`",
+                );
+                bad = true;
+            }
+            if bad || rules.is_empty() {
+                continue;
+            }
+            if file_scope {
+                if lineno <= 25 {
+                    ann.file_allow.extend(rules);
+                } else {
+                    ann.push_l0(rel, lineno, "allow-file must appear in the first 25 lines");
+                }
+            } else {
+                ann.line_allow.entry(lineno).or_default().extend(&rules);
+                ann.line_allow.entry(lineno + 1).or_default().extend(&rules);
+            }
+        }
+        ann
+    }
+
+    fn push_l0(&mut self, rel: &str, line: usize, msg: &str) {
+        self.diags.push(Diagnostic {
+            rule: RuleId::L0,
+            path: rel.to_string(),
+            line,
+            message: format!("malformed puf-lint annotation: {msg}"),
+        });
+    }
+
+    fn allowed(&self, line: usize, rule: RuleId) -> bool {
+        self.file_allow.contains(&rule)
+            || self
+                .line_allow
+                .get(&line)
+                .is_some_and(|set| set.contains(&rule))
+    }
+}
+
+/// 1-based line numbers covered by `#[cfg(test)]`-gated items (including
+/// `cfg(any(test, …))` unions, excluding `cfg(not(test))`).
+fn test_region_lines(lexed: &Lexed) -> BTreeSet<usize> {
+    let mut exempt = BTreeSet::new();
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let code = &line.code;
+        let Some(attr_pos) = code.find("#[cfg(") else {
+            continue;
+        };
+        let tail = &code[attr_pos..];
+        if !has_word(tail, "test") || tail.contains("not(test") {
+            continue;
+        }
+        // The gated item: everything from the attribute to the end of the
+        // next braced block (or the first top-level `;` for gated
+        // `use`/`mod x;` items).
+        let mut depth = 0usize;
+        let mut end = idx;
+        'scan: for (j, l) in lexed.lines.iter().enumerate().skip(idx) {
+            let start_col = if j == idx { attr_pos } else { 0 };
+            for ch in l.code[start_col..].chars() {
+                match ch {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            end = j;
+                            break 'scan;
+                        }
+                    }
+                    ';' if depth == 0 => {
+                        end = j;
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+            end = j;
+        }
+        for l in idx..=end {
+            exempt.insert(l + 1);
+        }
+    }
+    exempt
+}
+
+/// Byte positions of `word` in `code` with non-identifier boundaries.
+fn word_positions(code: &str, word: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    code.match_indices(word)
+        .filter(|&(pos, _)| {
+            let before_ok = pos == 0 || !is_ident(bytes[pos - 1]);
+            let after = pos + word.len();
+            let after_ok = after >= bytes.len() || !is_ident(bytes[after]);
+            before_ok && after_ok
+        })
+        .map(|(pos, _)| pos)
+        .collect()
+}
+
+fn has_word(code: &str, word: &str) -> bool {
+    !word_positions(code, word).is_empty()
+}
+
+/// Lints one lexed file; see [`crate::lint_source`].
+pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let lexed = lex(src);
+    let scope = Scope::of(rel);
+    let ann = Annotations::parse(rel, &lexed);
+    let test_lines = test_region_lines(&lexed);
+    let mut diags = ann.diags.clone();
+
+    l1_unsafe_needs_safety(rel, &lexed, &ann, &mut diags);
+    l2_deny_unsafe_code(rel, &lexed, &scope, &ann, &mut diags);
+    if scope.in_l3 {
+        l3_nondeterminism(rel, &lexed, &ann, &test_lines, &mut diags);
+    }
+    if scope.in_l4 {
+        l4_no_panics(rel, &lexed, &ann, &test_lines, &mut diags);
+    }
+    l5_telemetry_names(rel, &lexed, &ann, &mut diags);
+
+    diags.sort_by_key(|d| (d.line, d.rule));
+    diags
+}
+
+fn comment_states_safety(comment: &str) -> bool {
+    comment.trim_start().starts_with("SAFETY")
+}
+
+/// L1: every line containing the `unsafe` keyword must have a `// SAFETY:`
+/// comment on it, or in the comment/attribute run directly above its
+/// statement (continuation lines such as `let x =` are looked through).
+fn l1_unsafe_needs_safety(
+    rel: &str,
+    lexed: &Lexed,
+    ann: &Annotations,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if !has_word(&line.code, "unsafe") || ann.allowed(lineno, RuleId::L1) {
+            continue;
+        }
+        if has_safety_comment(lexed, idx) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: RuleId::L1,
+            path: rel.to_string(),
+            line: lineno,
+            message: "`unsafe` without a `// SAFETY:` comment justifying it".to_string(),
+        });
+    }
+}
+
+fn has_safety_comment(lexed: &Lexed, idx: usize) -> bool {
+    if comment_states_safety(&lexed.lines[idx].comment) {
+        return true;
+    }
+    let mut j = idx;
+    for _ in 0..8 {
+        if j == 0 {
+            return false;
+        }
+        j -= 1;
+        let l = &lexed.lines[j];
+        if comment_states_safety(&l.comment) {
+            return true;
+        }
+        let code = l.code.trim();
+        if code.is_empty() || code.starts_with("#[") || code.starts_with("#![") {
+            continue;
+        }
+        if code.ends_with(';') || code.ends_with('}') || code.ends_with('{') {
+            return false; // previous statement/block: the run above ended
+        }
+        // otherwise: continuation of the same statement — keep looking up
+    }
+    false
+}
+
+/// L2: crate roots must carry `#![deny(unsafe_code)]`; `allow(unsafe_code)`
+/// is only legal at the allowlisted module-declaration sites.
+fn l2_deny_unsafe_code(
+    rel: &str,
+    lexed: &Lexed,
+    scope: &Scope,
+    ann: &Annotations,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if scope.is_crate_root {
+        let has_deny = lexed
+            .lines
+            .iter()
+            .any(|l| l.code.contains("#![deny(unsafe_code)]"));
+        if !has_deny && !ann.allowed(1, RuleId::L2) {
+            diags.push(Diagnostic {
+                rule: RuleId::L2,
+                path: rel.to_string(),
+                line: 1,
+                message: format!(
+                    "crate root of `{}` is missing `#![deny(unsafe_code)]`",
+                    scope.crate_name.as_deref().unwrap_or("?")
+                ),
+            });
+        }
+    }
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if !line.code.contains("allow(unsafe_code)") || ann.allowed(lineno, RuleId::L2) {
+            continue;
+        }
+        let site_ok = ALLOW_UNSAFE_SITES.iter().any(|&(path, anchor)| {
+            rel == path
+                && lexed.lines[idx..(idx + 3).min(lexed.lines.len())]
+                    .iter()
+                    .any(|l| l.code.contains(anchor))
+        });
+        if !site_ok {
+            diags.push(Diagnostic {
+                rule: RuleId::L2,
+                path: rel.to_string(),
+                line: lineno,
+                message: "`allow(unsafe_code)` outside the allowlist (only `bench::par` \
+                          may opt back in)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// L3: sources of run-to-run nondeterminism are banned in result-producing
+/// crates — ambient RNGs, wall-clock reads, and unordered hash collections
+/// (iteration order would leak into serialized results and figures).
+fn l3_nondeterminism(
+    rel: &str,
+    lexed: &Lexed,
+    ann: &Annotations,
+    test_lines: &BTreeSet<usize>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    const BANNED: &[(&str, &str)] = &[
+        ("thread_rng", "ambient OS-seeded RNG breaks seeded replay"),
+        ("from_entropy", "OS-entropy seeding breaks seeded replay"),
+        (
+            "Instant::now",
+            "wall-clock read outside puf-telemetry; results must not depend on time",
+        ),
+        (
+            "SystemTime",
+            "wall-clock read outside puf-telemetry; results must not depend on time",
+        ),
+        (
+            "HashMap",
+            "unordered iteration leaks into serialized output; use BTreeMap",
+        ),
+        (
+            "HashSet",
+            "unordered iteration leaks into serialized output; use BTreeSet",
+        ),
+    ];
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if test_lines.contains(&lineno) || ann.allowed(lineno, RuleId::L3) {
+            continue;
+        }
+        for &(pat, why) in BANNED {
+            let hit = if pat.contains("::") {
+                // Qualified pattern: substring with an ident boundary before.
+                line.code.find(pat).is_some_and(|pos| {
+                    pos == 0 || {
+                        let b = line.code.as_bytes()[pos - 1];
+                        !(b.is_ascii_alphanumeric() || b == b'_')
+                    }
+                })
+            } else {
+                has_word(&line.code, pat)
+            };
+            if hit {
+                diags.push(Diagnostic {
+                    rule: RuleId::L3,
+                    path: rel.to_string(),
+                    line: lineno,
+                    message: format!("nondeterminism source `{pat}`: {why}"),
+                });
+            }
+        }
+    }
+}
+
+/// L4: library code in the core crates must surface errors as `Result`,
+/// not panic — `unwrap`/`expect`/`panic!`-family calls are banned.
+fn l4_no_panics(
+    rel: &str,
+    lexed: &Lexed,
+    ann: &Annotations,
+    test_lines: &BTreeSet<usize>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    const SUBSTR: &[&str] = &[".unwrap()", ".expect("];
+    const MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if test_lines.contains(&lineno) || ann.allowed(lineno, RuleId::L4) {
+            continue;
+        }
+        for pat in SUBSTR {
+            if line.code.contains(pat) {
+                diags.push(Diagnostic {
+                    rule: RuleId::L4,
+                    path: rel.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "`{pat}…` in library code: return a Result or annotate the invariant",
+                    ),
+                });
+            }
+        }
+        for mac in MACROS {
+            let word = &mac[..mac.len() - 1];
+            let fired = word_positions(&line.code, word)
+                .iter()
+                .any(|&pos| line.code.as_bytes().get(pos + word.len()) == Some(&b'!'));
+            if fired {
+                diags.push(Diagnostic {
+                    rule: RuleId::L4,
+                    path: rel.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "`{mac}` in library code: return a Result or annotate the invariant",
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L5: telemetry names registered through the `puf_telemetry` macros (and
+/// `Progress::start`) must be dotted lowercase `subsystem.verb[.detail]`.
+fn l5_telemetry_names(rel: &str, lexed: &Lexed, ann: &Annotations, diags: &mut Vec<Diagnostic>) {
+    const MARKERS: &[&str] = &[
+        "counter!",
+        "gauge!",
+        "span!",
+        "trace!",
+        "histogram!",
+        "Progress::start",
+    ];
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if ann.allowed(lineno, RuleId::L5) {
+            continue;
+        }
+        for marker in MARKERS {
+            let word = marker.trim_end_matches('!');
+            for pos in word_positions(&line.code, word) {
+                if marker.ends_with('!')
+                    && line.code.as_bytes().get(pos + word.len()) != Some(&b'!')
+                {
+                    continue;
+                }
+                let marker_col = line.code[..pos].chars().count();
+                // The registered name: first string literal after the
+                // marker — same line, or (only when the call is not closed
+                // on this line) the next two lines of a wrapped call.
+                let call_wraps = !line.code[pos..].contains(')');
+                let name = line
+                    .strings
+                    .iter()
+                    .find(|&&(col, _)| col > marker_col)
+                    .or_else(|| {
+                        if !call_wraps {
+                            return None;
+                        }
+                        lexed.lines[idx + 1..(idx + 3).min(lexed.lines.len())]
+                            .iter()
+                            .find_map(|l| l.strings.first())
+                    });
+                let Some((_, name)) = name else {
+                    continue; // dynamically built name: out of L5's reach
+                };
+                if !is_valid_metric_name(name) {
+                    diags.push(Diagnostic {
+                        rule: RuleId::L5,
+                        path: rel.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "telemetry name `{name}` is not dotted lowercase \
+                             `subsystem.verb[.detail]`",
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `subsystem.verb[.detail…]`: ≥ 2 non-empty segments, each starting with a
+/// lowercase letter and containing only `[a-z0-9_]`.
+fn is_valid_metric_name(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('.').collect();
+    segments.len() >= 2
+        && segments.iter().all(|seg| {
+            seg.starts_with(|c: char| c.is_ascii_lowercase())
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(diags: &[Diagnostic]) -> Vec<(RuleId, usize)> {
+        diags.iter().map(|d| (d.rule, d.line)).collect()
+    }
+
+    #[test]
+    fn scope_derivation() {
+        let s = Scope::of("crates/core/src/arbiter.rs");
+        assert!(s.in_l3 && s.in_l4);
+        let s = Scope::of("crates/core/src/bin/tool.rs");
+        assert!(s.in_l3 && !s.in_l4, "bins: figure paths yes, library no");
+        let s = Scope::of("crates/telemetry/src/span.rs");
+        assert!(!s.in_l3 && !s.in_l4);
+        let s = Scope::of("crates/core/tests/it.rs");
+        assert!(!s.in_l3 && !s.in_l4);
+        assert!(Scope::of("crates/ml/src/lib.rs").is_crate_root);
+        assert!(Scope::of("src/lib.rs").is_crate_root);
+        assert!(!Scope::of("src/bin/xorpuf.rs").is_crate_root);
+    }
+
+    #[test]
+    fn l1_flags_bare_unsafe_and_accepts_safety() {
+        let src = "\
+fn f() {
+    let x = unsafe { danger() };
+}
+// SAFETY: justified because reasons.
+unsafe fn g() {}
+";
+        let diags = lint_source("crates/bench/src/x.rs", src);
+        assert_eq!(ids(&diags), vec![(RuleId::L1, 2)]);
+    }
+
+    #[test]
+    fn l1_looks_through_continuation_lines() {
+        let src = "\
+fn f() {
+    // SAFETY: the range is exclusively claimed.
+    let slots =
+        unsafe { raw() };
+}
+";
+        assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l2_requires_deny_in_crate_roots() {
+        let diags = lint_source("crates/demo/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(ids(&diags), vec![(RuleId::L2, 1)]);
+        let clean = lint_source(
+            "crates/demo/src/lib.rs",
+            "#![deny(unsafe_code)]\npub fn f() {}\n",
+        );
+        assert!(clean.is_empty());
+    }
+
+    #[test]
+    fn l2_rejects_stray_allow_unsafe() {
+        let src = "#![deny(unsafe_code)]\n#[allow(unsafe_code)]\nmod evil;\n";
+        let diags = lint_source("crates/demo/src/lib.rs", src);
+        assert_eq!(ids(&diags), vec![(RuleId::L2, 2)]);
+    }
+
+    #[test]
+    fn l2_allowlists_bench_par() {
+        let src = "#![deny(unsafe_code)]\n#[allow(unsafe_code)]\npub mod par;\n";
+        assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l3_fires_in_result_crates_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            ids(&lint_source("crates/protocol/src/db.rs", src)),
+            vec![(RuleId::L3, 1)]
+        );
+        assert!(lint_source("crates/telemetry/src/db.rs", src).is_empty());
+        assert!(lint_source("crates/protocol/tests/db.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l3_exempts_cfg_test_regions() {
+        let src = "\
+pub fn f() {}
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    #[test]
+    fn t() { let _ = std::time::Instant::now(); }
+}
+";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l3_annotation_exempts_with_reason() {
+        let src = "\
+// puf-lint: allow(L3): timing feeds a telemetry gauge only
+let t0 = std::time::Instant::now();
+";
+        assert!(lint_source("crates/bench/src/bin/fig.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l4_flags_panic_family() {
+        let src = "\
+pub fn f(x: Option<u8>) -> u8 {
+    let a = x.unwrap();
+    let b = x.expect(\"msg\");
+    if a > b { panic!(\"boom\") }
+    unreachable!()
+}
+";
+        let diags = lint_source("crates/ml/src/m.rs", src);
+        assert_eq!(
+            ids(&diags),
+            vec![
+                (RuleId::L4, 2),
+                (RuleId::L4, 3),
+                (RuleId::L4, 4),
+                (RuleId::L4, 5)
+            ]
+        );
+        // Same file outside the L4 crates: clean.
+        assert!(lint_source("crates/analysis/src/m.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l4_ignores_unwrap_or_and_doc_examples() {
+        let src = "\
+/// let y = x.unwrap();
+pub fn f(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l5_checks_names_at_registration_sites() {
+        let src = "\
+puf_telemetry::counter!(\"core.eval.count\").inc();
+puf_telemetry::gauge!(\"BadName\").set(1.0);
+puf_telemetry::span!(\"nodots\");
+let p = Progress::start(\"ok.name\", 10);
+";
+        let diags = lint_source("crates/analysis/src/t.rs", src);
+        assert_eq!(ids(&diags), vec![(RuleId::L5, 2), (RuleId::L5, 3)]);
+    }
+
+    #[test]
+    fn l0_flags_reasonless_or_unknown_annotations() {
+        let src = "\
+// puf-lint: allow(L4)
+let x = 1;
+// puf-lint: allow(L9): not a rule
+let y = 2;
+";
+        let diags = lint_source("crates/bench/src/x.rs", src);
+        assert_eq!(ids(&diags), vec![(RuleId::L0, 1), (RuleId::L0, 3)]);
+    }
+
+    #[test]
+    fn allow_file_covers_whole_file() {
+        let src = "\
+// puf-lint: allow-file(L3): exhaustive model checker, test-only harness
+use std::collections::HashSet;
+fn f() { let _ = std::collections::HashMap::<u8, u8>::new(); }
+";
+        assert!(lint_source("crates/bench/src/model.rs", src).is_empty());
+    }
+
+    #[test]
+    fn metric_name_validation() {
+        assert!(is_valid_metric_name("core.eval"));
+        assert!(is_valid_metric_name("ml.train.lbfgs.loss"));
+        assert!(!is_valid_metric_name("single"));
+        assert!(!is_valid_metric_name("Bad.Name"));
+        assert!(!is_valid_metric_name("trailing."));
+        assert!(!is_valid_metric_name(".leading"));
+        assert!(!is_valid_metric_name("has.1digitstart"));
+        assert!(is_valid_metric_name("has.x1digit_ok"));
+    }
+}

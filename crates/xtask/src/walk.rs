@@ -1,0 +1,40 @@
+//! Workspace source discovery: every `.rs` file the lint rules apply to,
+//! in deterministic (sorted) order.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into, wherever they appear.
+const PRUNED: &[&str] = &["target", ".git", "vendor", "fixtures"];
+
+/// Collects all lintable `.rs` files under `root`, sorted.
+///
+/// Pruned: `target/` (build output), `vendor/` (offline dependency shims —
+/// external code, not ours to lint), `.git`, and any `fixtures/` directory
+/// (the lint engine's own seeded-violation corpus must not fail the real
+/// gate).
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    visit(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn visit(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if PRUNED.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            visit(&path, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! End-to-end over the `xtask` binary: plant each seeded fixture in a
+//! scratch workspace at the path its rule scope expects, run
+//! `xtask lint --root <dir>`, and assert the exit code and report — the
+//! same contract `scripts/check.sh` relies on.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scratch_workspace(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xtask-lint-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear stale scratch dir");
+    }
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("write manifest");
+    dir
+}
+
+fn plant(root: &Path, rel: &str, fixture: &str) {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let dst = root.join(rel);
+    fs::create_dir_all(dst.parent().expect("rel has a parent")).expect("create crate dirs");
+    fs::copy(&src, &dst).expect("copy fixture into scratch workspace");
+}
+
+fn run_lint(root: &Path) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("lint")
+        .arg("--root")
+        .arg(root)
+        .output()
+        .expect("spawn xtask binary");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn exits_nonzero_on_each_seeded_fixture() {
+    let cases: &[(&str, &str, &str)] = &[
+        ("l1_unsafe.rs", "crates/bench/src/l1_unsafe.rs", "[L1]"),
+        ("l2_root.rs", "crates/fixture/src/lib.rs", "[L2]"),
+        ("l3_nondet.rs", "crates/silicon/src/l3_nondet.rs", "[L3]"),
+        ("l4_panics.rs", "crates/protocol/src/l4_panics.rs", "[L4]"),
+        ("l5_names.rs", "crates/analysis/src/l5_names.rs", "[L5]"),
+        (
+            "l0_annotations.rs",
+            "crates/bench/src/l0_annotations.rs",
+            "[L0]",
+        ),
+    ];
+    for (i, (fixture, rel, tag)) in cases.iter().enumerate() {
+        let root = scratch_workspace(&format!("viol{i}"));
+        plant(&root, rel, fixture);
+        let (code, stdout, stderr) = run_lint(&root);
+        assert_eq!(
+            code, 1,
+            "{fixture}: want exit 1\nstdout:\n{stdout}stderr:\n{stderr}"
+        );
+        assert!(
+            stdout.contains(tag),
+            "{fixture}: report should carry {tag}\n{stdout}"
+        );
+        assert!(
+            stdout.contains(rel),
+            "{fixture}: report should name {rel}\n{stdout}"
+        );
+        assert!(stderr.contains("violation"), "{fixture}: summary on stderr");
+        fs::remove_dir_all(&root).ok();
+    }
+}
+
+#[test]
+fn exits_zero_on_a_clean_tree() {
+    let root = scratch_workspace("clean");
+    plant(&root, "crates/core/src/clean.rs", "clean.rs");
+    let (code, stdout, _stderr) = run_lint(&root);
+    assert_eq!(code, 0, "clean tree must pass:\n{stdout}");
+    assert!(stdout.contains("workspace clean"), "{stdout}");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn unknown_subcommand_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .arg("frobnicate")
+        .output()
+        .expect("spawn xtask binary");
+    assert_eq!(out.status.code(), Some(2));
+}

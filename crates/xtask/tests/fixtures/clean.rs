@@ -1,0 +1,32 @@
+// Fixture: clean — near-miss constructs that must never fire a rule.
+pub fn near_misses(x: Result<u8, u8>) -> u8 {
+    // Words like unwrap(), panic!, unsafe, HashMap are fine in comments.
+    let a = x.unwrap_or(1);
+    let b = x.unwrap_or_else(|_| 2);
+    let msg = "calls .unwrap() and panic! inside a string literal";
+    let _ = msg.len();
+    a + b
+}
+
+/// ```
+/// use std::collections::HashMap;
+/// let m: HashMap<u8, u8> = HashMap::new();
+/// assert!(m.get(&0).is_none());
+/// ```
+pub fn doc_example_only() {}
+
+pub fn telemetry_ok() {
+    puf_telemetry::counter!("core.fixture.count").inc();
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_do_anything() {
+        let m: HashMap<u8, u8> = HashMap::new();
+        assert_eq!(m.get(&0).copied().unwrap_or(0), 0);
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: L1 — `unsafe` must carry a `// SAFETY:` justification.
+pub fn justified() -> u8 {
+    // SAFETY: reading a freshly written stack value is always defined.
+    unsafe { std::ptr::read(&7u8) }
+}
+
+pub fn bare_block() -> u8 {
+    unsafe { std::ptr::read(&9u8) }
+}
+
+unsafe fn bare_fn() {}
+
+pub fn continuation() -> u8 {
+    // SAFETY: continuation lines between the comment and the keyword are fine.
+    let value =
+        unsafe { std::ptr::read(&1u8) };
+    value
+}

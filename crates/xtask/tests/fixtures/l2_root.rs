@@ -1,0 +1,4 @@
+// Fixture: L2 — a crate root missing `#![deny(unsafe_code)]`, plus a
+// stray `allow(unsafe_code)` outside the bench::par allowlist.
+#[allow(unsafe_code)]
+pub mod evil {}

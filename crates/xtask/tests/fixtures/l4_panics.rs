@@ -1,0 +1,31 @@
+// Fixture: L4 — panic paths banned in library code of the core crates.
+pub fn takes_shortcuts(x: Option<u8>) -> u8 {
+    let a = x.unwrap();
+    let b = Some(a).expect("present");
+    if a > b {
+        panic!("impossible");
+    }
+    unreachable!()
+}
+
+pub fn fine(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+/// ```
+/// let y = Some(1).unwrap(); // doc example: masked by the lexer
+/// ```
+pub fn documented(x: Option<u8>) -> u8 {
+    x.unwrap_or_else(|| 0)
+}
+
+// puf-lint: allow(L4): fixture proving the annotation covers the next line
+pub fn annotated(x: Option<u8>) -> u8 { x.unwrap() }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        assert_eq!(super::fine(None).checked_add(1).unwrap(), 1);
+    }
+}

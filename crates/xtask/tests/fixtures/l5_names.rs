@@ -1,0 +1,14 @@
+// Fixture: L5 — telemetry names must be dotted lowercase at registration.
+pub fn record() {
+    puf_telemetry::counter!("fixture.lint.count").inc();
+    puf_telemetry::counter!("BadName").inc();
+    puf_telemetry::gauge!("nodots").set(1.0);
+    let _span = puf_telemetry::span!("Fixture.Span");
+    let _p = puf_telemetry::Progress::start("fixture.progress", 10);
+    let _q = puf_telemetry::Progress::start("Bad.Progress", 10);
+    puf_telemetry::histogram!(
+        "fixture.lint.latency_ns",
+    )
+    .record(1);
+    puf_telemetry::trace!("fixture.trace.event");
+}

@@ -1,0 +1,153 @@
+//! The seeded-violation corpus under `tests/fixtures/`.
+//!
+//! Each fixture file plants violations of one rule; the assertions pin the
+//! exact rule ids *and* 1-based line numbers, so a regression that shifts a
+//! span or silences a rule fails loudly. Fixtures are fed through
+//! [`xtask::lint_source`] with pretend workspace paths, because rule scope
+//! (L3/L4 crate lists, crate-root detection) is derived purely from the
+//! path — the corpus can probe every scope without living in those crates.
+
+use std::path::Path;
+use xtask::{lint_source, Diagnostic, RuleId};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn spans(diags: &[Diagnostic]) -> Vec<(RuleId, usize)> {
+    diags.iter().map(|d| (d.rule, d.line)).collect()
+}
+
+#[test]
+fn l1_bare_unsafe_is_flagged_with_exact_lines() {
+    let rel = "crates/bench/src/l1_unsafe.rs";
+    let diags = lint_source(rel, &fixture("l1_unsafe.rs"));
+    assert_eq!(spans(&diags), vec![(RuleId::L1, 8), (RuleId::L1, 11)]);
+    // Rendered form is `path:line: [Lx] message` — what check.sh prints.
+    assert_eq!(
+        diags[0].to_string(),
+        format!("{rel}:8: [L1] `unsafe` without a `// SAFETY:` comment justifying it")
+    );
+}
+
+#[test]
+fn l1_applies_everywhere_even_outside_core_crates() {
+    let diags = lint_source(
+        "crates/telemetry/src/l1_unsafe.rs",
+        &fixture("l1_unsafe.rs"),
+    );
+    assert_eq!(spans(&diags), vec![(RuleId::L1, 8), (RuleId::L1, 11)]);
+}
+
+#[test]
+fn l2_crate_root_missing_deny_and_stray_allow() {
+    let diags = lint_source("crates/fixture/src/lib.rs", &fixture("l2_root.rs"));
+    assert_eq!(spans(&diags), vec![(RuleId::L2, 1), (RuleId::L2, 3)]);
+    assert!(diags[0].message.contains("missing `#![deny(unsafe_code)]`"));
+    assert!(diags[1].message.contains("outside the allowlist"));
+}
+
+#[test]
+fn l2_non_root_file_only_flags_the_stray_allow() {
+    let diags = lint_source("crates/fixture/src/other.rs", &fixture("l2_root.rs"));
+    assert_eq!(spans(&diags), vec![(RuleId::L2, 3)]);
+}
+
+#[test]
+fn l3_nondeterminism_sources_in_a_result_crate() {
+    let diags = lint_source("crates/silicon/src/l3_nondet.rs", &fixture("l3_nondet.rs"));
+    assert_eq!(
+        spans(&diags),
+        vec![
+            (RuleId::L3, 2),  // HashMap
+            (RuleId::L3, 3),  // HashSet
+            (RuleId::L3, 6),  // Instant::now
+            (RuleId::L3, 7),  // SystemTime
+            (RuleId::L3, 12), // thread_rng
+        ]
+    );
+    // The annotated HashMap (line 17) and the #[cfg(test)] module stay quiet.
+}
+
+#[test]
+fn l3_is_silent_outside_result_crates_and_in_test_paths() {
+    assert!(lint_source(
+        "crates/telemetry/src/l3_nondet.rs",
+        &fixture("l3_nondet.rs")
+    )
+    .is_empty());
+    assert!(lint_source(
+        "crates/silicon/tests/l3_nondet.rs",
+        &fixture("l3_nondet.rs")
+    )
+    .is_empty());
+}
+
+#[test]
+fn l4_panic_family_in_library_code() {
+    let diags = lint_source("crates/protocol/src/l4_panics.rs", &fixture("l4_panics.rs"));
+    assert_eq!(
+        spans(&diags),
+        vec![
+            (RuleId::L4, 3), // .unwrap()
+            (RuleId::L4, 4), // .expect(
+            (RuleId::L4, 6), // panic!
+            (RuleId::L4, 8), // unreachable!
+        ]
+    );
+    // unwrap_or / unwrap_or_else, the doc example, the annotated line and
+    // the #[cfg(test)] module must not appear above.
+}
+
+#[test]
+fn l4_exempts_bins_and_non_library_crates() {
+    assert!(lint_source("crates/protocol/src/bin/tool.rs", &fixture("l4_panics.rs")).is_empty());
+    assert!(lint_source("crates/analysis/src/l4_panics.rs", &fixture("l4_panics.rs")).is_empty());
+}
+
+#[test]
+fn l5_telemetry_names_at_registration_sites() {
+    let diags = lint_source("crates/analysis/src/l5_names.rs", &fixture("l5_names.rs"));
+    assert_eq!(
+        spans(&diags),
+        vec![
+            (RuleId::L5, 4), // "BadName"
+            (RuleId::L5, 5), // "nodots"
+            (RuleId::L5, 6), // "Fixture.Span"
+            (RuleId::L5, 8), // "Bad.Progress"
+        ]
+    );
+    // The wrapped histogram! call (lines 9-12) carries a valid name and
+    // must not fire.
+    assert!(diags.iter().all(|d| d.line < 9));
+}
+
+#[test]
+fn l0_malformed_annotations_are_themselves_violations() {
+    let diags = lint_source(
+        "crates/bench/src/l0_annotations.rs",
+        &fixture("l0_annotations.rs"),
+    );
+    assert_eq!(
+        spans(&diags),
+        vec![
+            (RuleId::L0, 2), // reasonless allow(L4)
+            (RuleId::L0, 4), // unknown rule id L9
+            (RuleId::L0, 6), // wrong verb `deny`
+        ]
+    );
+    assert!(diags[0].message.contains("must state a reason"));
+    assert!(diags[1].message.contains("unknown rule id"));
+}
+
+#[test]
+fn clean_fixture_passes_in_the_strictest_scope() {
+    // crates/core/src/… is in scope for every rule (L1-L5) — the file's
+    // near-miss constructs (unwrap_or, strings, comments, doc examples,
+    // test-gated code) must not trip any of them.
+    let diags = lint_source("crates/core/src/clean.rs", &fixture("clean.rs"));
+    assert!(diags.is_empty(), "clean fixture fired: {diags:?}");
+}

@@ -1,0 +1,29 @@
+//! The real workspace must lint clean. This test is the enforcement hook
+//! inside `cargo test` itself: a violation anywhere in the repo fails the
+//! tier-1 gate even if `scripts/check.sh` is skipped.
+
+use std::path::Path;
+
+#[test]
+fn real_workspace_has_no_lint_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("resolve workspace root");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "expected the workspace root at {}",
+        root.display()
+    );
+    let diags = xtask::lint_workspace(&root).expect("scan workspace sources");
+    assert!(
+        diags.is_empty(),
+        "workspace has {} lint violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

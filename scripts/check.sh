@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, lints, and the tier-1 verify from ROADMAP.md.
-# Run from anywhere; everything executes at the repository root.
+# Full local gate: repo lint, formatting, clippy, and the tier-1 verify from
+# ROADMAP.md. Run from anywhere; everything executes at the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo xtask lint (repo-specific rules L0-L5, see DESIGN.md)"
+cargo xtask lint
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

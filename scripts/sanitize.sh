@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Best-effort dynamic verification of the one unsafe region in the workspace
+# (bench::par) plus the exhaustive interleaving model:
+#
+#   1. Miri over the puf-bench unit tests — UB + leak detection for the
+#      MaybeUninit claim/write/ledger protocol, including the should_panic
+#      leak test (`panicking_f_propagates_and_leaks_nothing`).
+#   2. ThreadSanitizer over the same tests — data-race detection on the
+#      real multi-threaded path.
+#   3. The deep model-checker configurations behind `--cfg puf_model_check`
+#      (pure safe Rust, always runnable).
+#
+# Miri and TSan need a nightly toolchain with the `miri` and `rust-src`
+# components. Neither is guaranteed in this container, so each step probes
+# for its prerequisites and SKIPS with a clear message instead of failing:
+# the deterministic fallback for the same invariants is `cargo test -p
+# puf-bench` (drop-ledger accounting tests) plus the model checker, which
+# always run. scripts/check.sh stays the authoritative gate.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+ran_any=0
+
+have_nightly() {
+    rustup toolchain list 2>/dev/null | grep -q nightly
+}
+
+echo "==> probe: nightly toolchain"
+if ! command -v rustup >/dev/null 2>&1 || ! have_nightly; then
+    echo "    SKIP: no nightly toolchain installed (rustup toolchain install nightly)"
+else
+    echo "    found: $(rustup run nightly rustc --version 2>/dev/null || echo '?')"
+
+    echo "==> miri: cargo +nightly miri test -p puf-bench --lib"
+    if rustup component list --toolchain nightly 2>/dev/null \
+            | grep -q '^miri.*(installed)'; then
+        # Miri provides no real threads beyond what it interprets; keep the
+        # worker counts from the tests as-is (they use explicit workers).
+        if MIRIFLAGS="-Zmiri-strict-provenance" \
+                cargo +nightly miri test -p puf-bench --lib par; then
+            echo "    miri: PASS (no UB, no leaks under panic)"
+            ran_any=1
+        else
+            echo "    miri: FAIL"
+            status=1
+        fi
+    else
+        echo "    SKIP: miri component not installed" \
+             "(rustup component add miri --toolchain nightly)"
+    fi
+
+    echo "==> tsan: RUSTFLAGS=-Zsanitizer=thread cargo +nightly test -p puf-bench --lib par"
+    if rustup component list --toolchain nightly 2>/dev/null \
+            | grep -q '^rust-src.*(installed)'; then
+        host=$(rustup run nightly rustc -vV | sed -n 's/^host: //p')
+        # -Z build-std: TSan must instrument std too, or every std sync
+        # primitive looks like a race.
+        if RUSTFLAGS="-Zsanitizer=thread" \
+                cargo +nightly test -p puf-bench --lib par \
+                -Z build-std --target "$host"; then
+            echo "    tsan: PASS (no data races)"
+            ran_any=1
+        else
+            echo "    tsan: FAIL"
+            status=1
+        fi
+    else
+        echo "    SKIP: rust-src component not installed" \
+             "(rustup component add rust-src --toolchain nightly)"
+    fi
+fi
+
+echo "==> model check: exhaustive interleavings of the par claim protocol"
+if RUSTFLAGS="--cfg puf_model_check" cargo test -p puf-bench --lib par_model -q; then
+    echo "    model: PASS"
+    ran_any=1
+else
+    echo "    model: FAIL"
+    status=1
+fi
+
+if [ "$status" -ne 0 ]; then
+    echo "==> sanitize: FAILURES above"
+elif [ "$ran_any" -eq 0 ]; then
+    echo "==> sanitize: nothing ran (all steps skipped)"
+    status=1
+else
+    echo "==> sanitize: all runnable steps passed"
+fi
+exit "$status"

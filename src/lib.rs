@@ -27,6 +27,8 @@
 //! let _bit = puf.response(&c);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub use puf_analysis as analysis;
 pub use puf_core as core;
 pub use puf_ml as ml;
