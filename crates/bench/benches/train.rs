@@ -7,7 +7,7 @@ use puf_core::challenge::random_challenges;
 use puf_core::Condition;
 use puf_ml::features::{design_matrix, encode_bits};
 use puf_ml::logreg::{LogisticConfig, LogisticRegression};
-use puf_ml::{Matrix, Mlp, MlpConfig};
+use puf_ml::{Matrix, Mlp, MlpConfig, Objective};
 use puf_silicon::testbench::collect_stable_xor_crps;
 use puf_silicon::{Chip, ChipConfig};
 use rand::rngs::StdRng;
@@ -51,6 +51,33 @@ fn bench_mlp_training(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+}
+
+/// One full-batch loss+gradient evaluation of the paper's 35-25-25 MLP on a
+/// 10-XOR dataset — the unit of work L-BFGS repeats hundreds of times per
+/// attack. `fused` is the blocked-GEMM workspace path (single worker, so the
+/// comparison is a pure kernel speedup); `naive` is the retained pre-blocking
+/// reference implementation.
+fn bench_mlp_training_step(c: &mut Criterion) {
+    let size = 4_000;
+    let (x, y) = attack_dataset(10, size, 300);
+    let config = MlpConfig::paper_default();
+    let mut rng = StdRng::seed_from_u64(10);
+    let mlp = Mlp::new(x.cols(), &config, &mut rng);
+    let params = mlp.params().to_vec();
+    let mut grad = vec![0.0; params.len()];
+    let mut group = c.benchmark_group("attack/mlp_step");
+    group.throughput(Throughput::Elements(size as u64));
+    group.bench_function("xor10_fused_1t", |b| {
+        let objective = mlp.objective(&x, &y, config.alpha, 1);
+        b.iter(|| black_box(objective.value_grad(&params, &mut grad)))
+    });
+    group.bench_function("xor10_naive_1t", |b| {
+        b.iter(|| {
+            black_box(mlp.loss_value_grad_reference(&params, &x, &y, config.alpha, &mut grad))
+        })
+    });
     group.finish();
 }
 
@@ -98,6 +125,7 @@ fn bench_logistic_training(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_mlp_training,
+    bench_mlp_training_step,
     bench_mlp_inference,
     bench_logistic_training
 );

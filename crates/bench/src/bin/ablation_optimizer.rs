@@ -13,30 +13,13 @@ use puf_bench::Scale;
 use puf_core::challenge::random_challenges;
 use puf_core::Condition;
 use puf_ml::features::{design_matrix, encode_bits};
-use puf_ml::opt::{Adam, GradientDescent, Lbfgs, Objective};
-use puf_ml::{Matrix, Mlp, MlpConfig};
+use puf_ml::opt::{Adam, GradientDescent, Lbfgs};
+use puf_ml::{Mlp, MlpConfig};
 use puf_silicon::testbench::collect_stable_xor_crps;
 use puf_silicon::{Chip, ChipConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
-
-/// Wraps an MLP + dataset as a bare objective so every optimizer sees the
-/// identical loss surface.
-struct AttackObjective<'a> {
-    mlp: &'a Mlp,
-    x: &'a Matrix,
-    y: &'a [f64],
-}
-
-impl Objective for AttackObjective<'_> {
-    fn dim(&self) -> usize {
-        self.mlp.num_params()
-    }
-    fn value_grad(&self, params: &[f64], grad: &mut [f64]) -> f64 {
-        self.mlp.loss_value_grad(params, self.x, self.y, 1e-4, grad)
-    }
-}
 
 fn main() {
     let scale = Scale::from_env();
@@ -88,11 +71,10 @@ fn main() {
     for name in ["lbfgs", "adam", "gd"] {
         let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xAB1A);
         let mut mlp = Mlp::new(x.cols(), &config, &mut rng);
-        let objective = AttackObjective {
-            mlp: &mlp,
-            x: &x,
-            y: &y,
-        };
+        // The pooled objective reuses fused-kernel workspaces across every
+        // gradient evaluation, so all three optimizers see the identical
+        // loss surface through the same fast path.
+        let objective = mlp.objective(&x, &y, 1e-4, 0);
         // puf-lint: allow(L3): wall-clock reports optimizer cost in the table prose; accuracies are seed-deterministic
         let t0 = Instant::now();
         let result = match name {

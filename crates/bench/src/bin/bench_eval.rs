@@ -90,11 +90,15 @@ fn main() {
     });
 
     // Multi-thread batched path: shard the pool, one feature matrix per
-    // shard, fan out through the lock-free par_map.
-    let workers = par::worker_count(1 << 16);
+    // shard, fan out with an explicitly pinned worker count so the
+    // `threads` field in the JSON is exactly the width that ran (an earlier
+    // revision let par_map re-derive its own count from the shard total,
+    // so the recorded number was not provably the measured one; on 1-core
+    // hosts all_threads ≈ 1t is the *correct* reading, not an anomaly).
+    let workers = par::worker_count(crps);
     let shards: Vec<&[Challenge]> = challenges.chunks(crps.div_ceil(workers * 4)).collect();
     let xor_batched_mt = throughput(crps, || {
-        par::par_map(&shards, |_, chunk| {
+        par::par_map_with_workers(workers, &shards, |_, chunk| {
             let fm = FeatureMatrix::from_challenges(chunk).unwrap();
             xor.response_batch(&fm).iter().filter(|&&b| b).count()
         })

@@ -115,7 +115,14 @@ fn main() {
         let train = train.truncated(job.size);
         let x = design_matrix(train.challenges());
         let y = encode_bits(train.responses());
-        let config = MlpConfig::paper_default();
+        // Jobs are already fanned out one-per-thread here, so pin the
+        // inner row-parallel gradient to one worker — the trained model is
+        // bit-identical either way (deterministic fixed-order reduction),
+        // this only avoids thread oversubscription.
+        let config = MlpConfig {
+            workers: 1,
+            ..MlpConfig::paper_default()
+        };
         let mut rng = StdRng::seed_from_u64(scale.seed ^ (0xF16_0104 + ji as u64));
         let mut mlp = Mlp::new(x.cols(), &config, &mut rng);
         // puf-lint: allow(L3): wall-clock reports attack cost on stderr; figure data is seed-deterministic

@@ -1,0 +1,153 @@
+//! Branch-free, auto-vectorizable elementwise math for the training hot
+//! path.
+//!
+//! `f64::tanh` goes through libm's scalar, multi-branch implementation —
+//! at ~20 ns per call it dominates the fused MLP forward pass (the paper's
+//! 35-25-25 network evaluates 85 tanh per CRP per L-BFGS iteration, more
+//! than its GEMM time once those are blocked). [`tanh_slice`] replaces it
+//! with a branch-free `expm1`-style formulation whose scalar body LLVM
+//! vectorizes 8-wide under the workspace-wide `-C target-cpu=native`
+//! (AVX-512 on the bench hosts), at a few ULP of accuracy
+//! (test-enforced ≤ 1e-14 relative against libm).
+//!
+//! Everything here is a pure function of the input bits — no tables, no
+//! FMA contraction ambiguity, no thread or machine dependence beyond the
+//! ISA's IEEE semantics — so the deterministic-training guarantee
+//! (bit-identical models at any thread count) is unaffected.
+
+// The Cody–Waite split constants and 1/n! Horner coefficients are written
+// to full decimal length on purpose — truncating them to the nearest-f64
+// shortest form would obscure which exact values the error analysis uses.
+#![allow(clippy::excessive_precision)]
+
+/// Natural-log base-2 conversion factor (`log2(e)`).
+const LOG2E: f64 = std::f64::consts::LOG2_E;
+/// High half of ln 2 for Cody–Waite range reduction.
+const LN2_HI: f64 = 6.931_471_803_691_238_164_9e-1;
+/// Low half of ln 2 (ln 2 − [`LN2_HI`]).
+const LN2_LO: f64 = 1.908_214_929_270_587_700_02e-10;
+/// |x| above which `tanh(x)` rounds to ±1 in f64 (`tanh(19.1) = 1 − 1e-17`).
+const TANH_SATURATION: f64 = 20.0;
+
+/// `exp(y) − 1` for `y ∈ [−2·TANH_SATURATION, 0]`, branch-free.
+///
+/// Classic reduction `y = k·ln2 + r`, `|r| ≤ ln2/2`, with a degree-13
+/// Taylor–Horner core (truncation ≤ 4e-18 on the reduced range). The −1 is
+/// folded in *before* the scale-by-2ᵏ: `exp(y) − 1 = pm1·2ᵏ + (2ᵏ − 1)`
+/// where `pm1 = exp(r) − 1` comes straight from the polynomial without the
+/// trailing `+1`, so there is no catastrophic cancellation near `y = 0`
+/// (where `k = 0` and `2ᵏ − 1` is exactly zero). `k ∈ [−58, 0]` keeps the
+/// scale factor normal, so no denormal or overflow paths exist.
+#[inline(always)]
+fn expm1_negative(y: f64) -> f64 {
+    let kf = (y * LOG2E).round();
+    let r = (y - kf * LN2_HI) - kf * LN2_LO;
+    // Horner over 1/n! for n = 13 down to 1: p = (exp(r) − 1)/r.
+    let mut p = 1.605_904_383_682_161_5e-10; // 1/13!
+    p = p * r + 2.087_675_698_786_809_9e-9; // 1/12!
+    p = p * r + 2.505_210_838_544_171_9e-8; // 1/11!
+    p = p * r + 2.755_731_922_398_589_1e-7; // 1/10!
+    p = p * r + 2.755_731_922_398_589_0e-6; // 1/9!
+    p = p * r + 2.480_158_730_158_730_2e-5; // 1/8!
+    p = p * r + 1.984_126_984_126_984_1e-4; // 1/7!
+    p = p * r + 1.388_888_888_888_888_9e-3; // 1/6!
+    p = p * r + 8.333_333_333_333_333_3e-3; // 1/5!
+    p = p * r + 4.166_666_666_666_666_6e-2; // 1/4!
+    p = p * r + 1.666_666_666_666_666_6e-1; // 1/3!
+    p = p * r + 5.0e-1; // 1/2!
+    p = p * r + 1.0;
+    let pm1 = p * r;
+    // 2^k via direct exponent assembly; k ≥ −58 keeps this normal.
+    let scale = f64::from_bits(((kf as i64 + 1023) as u64) << 52);
+    pm1 * scale + (scale - 1.0)
+}
+
+/// Branch-free `tanh` via `tanh(|x|) = −em1 / (2 + em1)` with
+/// `em1 = exp(−2|x|) − 1`, restoring the sign at the end. The expm1 form
+/// avoids the `1 − e^{−2x}` cancellation that would otherwise cost ~10
+/// bits near zero.
+///
+/// Matches libm to a few ULP on finite inputs (test-enforced); saturated
+/// inputs (`|x| ≥ 20`) return exactly ±1. Not IEEE-complete: NaN maps to
+/// ±1 instead of propagating — acceptable for activations, which the
+/// training loop keeps finite by construction.
+#[inline(always)]
+pub fn tanh(x: f64) -> f64 {
+    let t = x.abs().min(TANH_SATURATION);
+    let em1 = expm1_negative(-2.0 * t);
+    (-em1 / (2.0 + em1)).copysign(x)
+}
+
+/// Applies [`tanh`] elementwise in place — the vectorized activation pass
+/// of the fused MLP forward kernel.
+pub fn tanh_slice(v: &mut [f64]) {
+    for x in v {
+        *x = tanh(*x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ULP distance between two finite f64 of the same sign.
+    fn ulp_diff(a: f64, b: f64) -> u64 {
+        let (ia, ib) = (a.to_bits() as i64, b.to_bits() as i64);
+        ia.abs_diff(ib)
+    }
+
+    #[test]
+    fn matches_libm_to_a_few_ulp() {
+        // Dense sweep over the active range plus the saturation shoulder.
+        let mut worst = 0u64;
+        let mut x = -22.0;
+        while x < 22.0 {
+            let got = tanh(x);
+            let want = x.tanh();
+            let d = if want.abs() >= 1.0 - 1e-16 {
+                // At saturation both are ±1 up to one ulp.
+                assert!((got - want).abs() < 1e-15, "x={x}: {got} vs {want}");
+                0
+            } else {
+                ulp_diff(got, want)
+            };
+            worst = worst.max(d);
+            assert!(
+                (got - want).abs() <= 1e-14 * (1.0 + want.abs()),
+                "x={x}: {got} vs {want}"
+            );
+            x += 0.000_37;
+        }
+        assert!(worst <= 8, "worst-case ulp distance {worst}");
+    }
+
+    #[test]
+    fn exact_special_values() {
+        assert_eq!(tanh(0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(tanh(-0.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(tanh(1e3), 1.0);
+        assert_eq!(tanh(-1e3), -1.0);
+        assert_eq!(tanh(f64::INFINITY), 1.0);
+        assert_eq!(tanh(f64::NEG_INFINITY), -1.0);
+    }
+
+    #[test]
+    fn odd_symmetry_is_bitwise() {
+        let mut x = 0.001;
+        while x < 21.0 {
+            assert_eq!(tanh(-x).to_bits(), (-tanh(x)).to_bits(), "x={x}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn slice_matches_scalar() {
+        let mut v: Vec<f64> = (-40..40).map(|i| i as f64 * 0.31).collect();
+        let want: Vec<f64> = v.iter().map(|&x| tanh(x)).collect();
+        tanh_slice(&mut v);
+        assert_eq!(
+            v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -4,6 +4,9 @@
 //! scikit-learn dependency (the known reproduction gate for Rust):
 //!
 //! - [`linalg`] — dense matrices, Cholesky solves, vector kernels.
+//! - [`gemm`] — cache-blocked GEMM kernels with packed panels.
+//! - [`fastmath`] — branch-free vectorizable tanh for the activation pass.
+//! - [`parallel`] — deterministic chunked row-parallel reduction.
 //! - [`features`] — transformed-challenge design matrices.
 //! - [`linreg`] — ridge linear regression (the enrollment estimator, §4).
 //! - [`logreg`] — logistic regression (the classical attack, Refs. 2-5).
@@ -32,13 +35,16 @@
 
 pub mod cmaes;
 pub mod crossval;
+pub mod fastmath;
 pub mod features;
+pub mod gemm;
 pub mod linalg;
 pub mod linreg;
 pub mod logreg;
 pub mod metrics;
 pub mod mlp;
 pub mod opt;
+pub mod parallel;
 pub mod probit;
 
 pub use linalg::Matrix;

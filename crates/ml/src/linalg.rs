@@ -3,7 +3,12 @@
 //!
 //! Deliberately small — just enough for ridge-regularised normal equations
 //! (enrollment linear regression) and batched MLP forward/backward passes.
+//! Products route through the cache-blocked kernels in [`crate::gemm`];
+//! the naive loops survive as [`Matrix::matmul_reference`] for the
+//! proptests and before/after benchmarks.
 
+use crate::gemm::{self, GemmScratch};
+use crate::parallel;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -122,32 +127,79 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self · other`.
+    /// Matrix product `self · other` through the blocked kernel.
     ///
     /// # Panics
     ///
     /// Panics on an inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into_with(other, &mut out, &mut GemmScratch::default());
+        out
+    }
+
+    /// Matrix product `self · other` written into `out` (fully
+    /// overwritten) — the allocation-free form of [`Matrix::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inner-dimension mismatch or if `out` has the wrong
+    /// shape.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_into_with(other, out, &mut GemmScratch::default());
+    }
+
+    /// [`Matrix::matmul_into`] with a caller-held [`GemmScratch`], so hot
+    /// loops also reuse the packing panel across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inner-dimension mismatch or if `out` has the wrong
+    /// shape.
+    pub fn matmul_into_with(&self, other: &Matrix, out: &mut Matrix, scratch: &mut GemmScratch) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "matmul output shape mismatch"
+        );
+        gemm::gemm_into(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            scratch,
+        );
+    }
+
+    /// Naive triple-loop product — the pre-blocking reference kept as the
+    /// correctness oracle for the blocked kernel (proptests) and the
+    /// baseline for the before/after benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul_reference(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order: streams through `other` rows, cache-friendly.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = other.row(k);
-                let orow = out.row_mut(i);
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        gemm::gemm_reference(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         out
     }
 
@@ -241,6 +293,48 @@ impl fmt::Debug for Matrix {
         }
         write!(f, "]")
     }
+}
+
+/// Fused normal-equation products: one streaming pass over `x` yields both
+/// `xᵀx + ridge·I` and `xᵀy`, with no transpose and no intermediate
+/// allocation beyond the outputs.
+///
+/// The row sum is fanned out over [`crate::parallel`]'s fixed-order chunked
+/// reduction, so the result is bit-identical at any thread count; only the
+/// upper triangle is accumulated, then mirrored.
+///
+/// # Panics
+///
+/// Panics if `y.len() != x.rows()` or `ridge < 0`.
+pub fn normal_equations(x: &Matrix, y: &[f64], ridge: f64) -> (Matrix, Vec<f64>) {
+    assert_eq!(y.len(), x.rows(), "target length mismatch");
+    assert!(ridge >= 0.0, "ridge must be non-negative");
+    let n = x.cols();
+    let rows = x.rows();
+    puf_telemetry::counter!("ml.linreg.normal_eq.rows").add(rows as u64);
+    let mut acc = vec![0.0; n * n + n];
+    let pool = parallel::Pool::new();
+    parallel::reduce_rows(
+        rows,
+        parallel::worker_count(rows),
+        &mut acc,
+        &pool,
+        || (),
+        |(), range, acc| {
+            let x_rows = &x.as_slice()[range.start * n..range.end * n];
+            gemm::syrk_xtv_accumulate(n, x_rows, &y[range], acc);
+            0.0
+        },
+    );
+    let xtv = acc.split_off(n * n);
+    let mut gram = Matrix::from_vec(n, n, acc);
+    for i in 0..n {
+        gram[(i, i)] += ridge;
+        for j in (i + 1)..n {
+            gram[(j, i)] = gram[(i, j)];
+        }
+    }
+    (gram, xtv)
 }
 
 /// Error raised when a Cholesky factorisation encounters a non-positive
@@ -377,6 +471,62 @@ mod tests {
         let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
         let c = a.matmul(&b);
         assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference_on_odd_shapes() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, k, n) in &[(1, 1, 1), (3, 66, 35), (17, 300, 5), (4, 8, 8), (2, 259, 9)] {
+            let mut a = Matrix::zeros(m, k);
+            let mut b = Matrix::zeros(k, n);
+            for v in a.as_mut_slice() {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+            for v in b.as_mut_slice() {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+            let blocked = a.matmul(&b);
+            let reference = a.matmul_reference(&b);
+            for (g, w) in blocked.as_slice().iter().zip(reference.as_slice()) {
+                assert!((g - w).abs() < 1e-12 * (1.0 + w.abs()), "{m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, -1.0], vec![0.5, -3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![2.0, 0.0], vec![1.0, 1.0], vec![-1.0, 3.0]]);
+        let mut out = Matrix::zeros(2, 2);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+    }
+
+    #[test]
+    fn normal_equations_match_gram_ridge_and_t_matvec() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut x = Matrix::zeros(57, 9);
+        for v in x.as_mut_slice() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let y: Vec<f64> = (0..57).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let (gram, xtv) = normal_equations(&x, &y, 0.25);
+        let want_gram = x.gram_ridge(0.25);
+        let want_xtv = x.t_matvec(&y);
+        for (g, w) in gram.as_slice().iter().zip(want_gram.as_slice()) {
+            assert!((g - w).abs() < 1e-10);
+        }
+        for (g, w) in xtv.iter().zip(&want_xtv) {
+            assert!((g - w).abs() < 1e-10);
+        }
+        // Symmetry is exact (mirrored, not recomputed).
+        for i in 0..9 {
+            for j in 0..9 {
+                assert_eq!(gram[(i, j)].to_bits(), gram[(j, i)].to_bits());
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! range, which is exactly what an unclipped linear model produces and what
 //! the three-way thresholding exploits as a stability margin signal.
 
-use crate::linalg::{cholesky_solve, dot, Matrix, NotPositiveDefiniteError};
+use crate::linalg::{cholesky_solve, dot, normal_equations, Matrix, NotPositiveDefiniteError};
 use puf_core::Challenge;
 
 /// A fitted ridge-regularised linear model over transformed challenges.
@@ -34,8 +34,10 @@ impl LinearRegression {
     /// Panics if `y.len() != x.rows()` or `ridge < 0`.
     pub fn fit(x: &Matrix, y: &[f64], ridge: f64) -> Result<Self, NotPositiveDefiniteError> {
         assert_eq!(y.len(), x.rows(), "target length mismatch");
-        let gram = x.gram_ridge(ridge);
-        let xty = x.t_matvec(y);
+        // Fused single-pass kernel: Gram matrix and Xᵀy accumulate together
+        // while streaming the design matrix once — no transpose, no second
+        // pass (deterministically row-parallel on large enrollments).
+        let (gram, xty) = normal_equations(x, y, ridge);
         let theta = cholesky_solve(&gram, &xty)?;
         Ok(Self { theta })
     }

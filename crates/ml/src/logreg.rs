@@ -4,6 +4,7 @@
 
 use crate::linalg::{dot, Matrix};
 use crate::opt::{Lbfgs, Objective, OptimizeResult};
+use crate::parallel;
 use puf_core::Challenge;
 
 /// L2-regularised logistic regression over transformed challenges, trained
@@ -47,6 +48,8 @@ struct LogisticObjective<'a> {
     x: &'a Matrix,
     y: &'a [f64],
     alpha: f64,
+    workers: usize,
+    pool: parallel::Pool<()>,
 }
 
 impl Objective for LogisticObjective<'_> {
@@ -56,18 +59,31 @@ impl Objective for LogisticObjective<'_> {
 
     fn value_grad(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
         let m = self.x.rows() as f64;
-        grad.fill(0.0);
-        let mut loss = 0.0;
-        for i in 0..self.x.rows() {
-            let row = self.x.row(i);
-            let z = dot(row, theta);
-            let y = self.y[i];
-            loss += z.max(0.0) - z * y + (-z.abs()).exp().ln_1p();
-            let err = (sigmoid(z) - y) / m;
-            for (g, &xk) in grad.iter_mut().zip(row) {
-                *g += err * xk;
-            }
-        }
+        let x = self.x;
+        let y = self.y;
+        // Per-row loss/gradient terms fanned out over the deterministic
+        // fixed-order chunked reduction: bit-identical at any thread count.
+        let mut loss = parallel::reduce_rows(
+            x.rows(),
+            self.workers,
+            grad,
+            &self.pool,
+            || (),
+            |(), range, acc| {
+                let mut l = 0.0;
+                for i in range {
+                    let row = x.row(i);
+                    let z = dot(row, theta);
+                    let yi = y[i];
+                    l += z.max(0.0) - z * yi + (-z.abs()).exp().ln_1p();
+                    let err = (sigmoid(z) - yi) / m;
+                    for (g, &xk) in acc.iter_mut().zip(row) {
+                        *g += err * xk;
+                    }
+                }
+                l
+            },
+        );
         loss /= m;
         for (g, &t) in grad.iter_mut().zip(theta) {
             *g += self.alpha * t / m;
@@ -89,6 +105,8 @@ impl LogisticRegression {
             x,
             y,
             alpha: config.alpha,
+            workers: parallel::worker_count(x.rows()),
+            pool: parallel::Pool::new(),
         };
         let result = Lbfgs::new()
             .with_max_iterations(config.max_iterations)

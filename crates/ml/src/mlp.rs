@@ -8,9 +8,21 @@
 //! implements exactly that: tanh hidden layers, a sigmoid output unit,
 //! mean binary cross-entropy with L2 weight decay, trained full-batch with
 //! [`crate::opt::Lbfgs`].
+//!
+//! The training hot path is fused and blocked: forward and backward run
+//! through the cache-blocked kernels in [`crate::gemm`] over preallocated
+//! [`MlpWorkspace`] buffers (reused across every L-BFGS line-search
+//! evaluation via a [`crate::parallel::Pool`]), and the per-row gradient
+//! sum fans out over [`crate::parallel::reduce_rows`]'s fixed-order
+//! chunked reduction — so trained models are **bit-identical at any
+//! thread count**. The pre-blocking implementation survives as
+//! [`Mlp::loss_value_grad_reference`], the oracle for the equivalence
+//! proptests and the baseline of the before/after benchmarks.
 
+use crate::gemm::{self, GemmScratch};
 use crate::linalg::Matrix;
 use crate::opt::{Lbfgs, Objective, OptimizeResult};
+use crate::parallel;
 use rand::Rng;
 use std::fmt;
 
@@ -25,6 +37,12 @@ pub struct MlpConfig {
     pub max_iterations: usize,
     /// L-BFGS gradient tolerance. Default 1e-5.
     pub tolerance: f64,
+    /// Worker threads for the row-parallel gradient; `0` (the default)
+    /// auto-detects from `PUF_THREADS` / available cores. Trained models
+    /// are bit-identical for every value — this knob trades wall-clock
+    /// only, e.g. to pin inner training to one thread under an outer
+    /// harness fan-out.
+    pub workers: usize,
 }
 
 impl MlpConfig {
@@ -35,6 +53,7 @@ impl MlpConfig {
             alpha: 1e-4,
             max_iterations: 200,
             tolerance: 1e-5,
+            workers: 0,
         }
     }
 
@@ -45,6 +64,7 @@ impl MlpConfig {
             alpha: 1e-4,
             max_iterations: 200,
             tolerance: 1e-6,
+            workers: 0,
         }
     }
 }
@@ -94,6 +114,67 @@ fn bce_from_logit(z: f64, y: f64) -> f64 {
 
 fn param_count(sizes: &[usize]) -> usize {
     sizes.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+}
+
+/// Preallocated buffers for one worker's fused forward/backward pass over
+/// a row chunk. Created once per worker per training run (pooled by
+/// [`MlpObjective`]) instead of once per gradient evaluation.
+#[derive(Debug)]
+pub struct MlpWorkspace {
+    /// Row capacity the buffers are sized for.
+    cap_rows: usize,
+    /// Post-activation buffer per layer: `acts[l]` holds `rows × sizes[l+1]`
+    /// values (tanh outputs for hidden layers, raw logits for the last).
+    acts: Vec<Vec<f64>>,
+    /// Ping-pong delta buffers, sized to the widest non-input layer.
+    delta: Vec<f64>,
+    delta_next: Vec<f64>,
+    /// Transposed-weight scratch for the forward GEMM (largest layer).
+    wt: Vec<f64>,
+    /// Flat-parameter offset of each layer's weight block.
+    offsets: Vec<usize>,
+    /// Packing panel shared by all GEMM calls in this workspace.
+    scratch: GemmScratch,
+}
+
+impl MlpWorkspace {
+    fn new(sizes: &[usize], cap_rows: usize) -> Self {
+        let mut offsets = Vec::with_capacity(sizes.len() - 1);
+        let mut acc = 0;
+        for w in sizes.windows(2) {
+            offsets.push(acc);
+            acc += w[0] * w[1] + w[1];
+        }
+        let max_width = sizes[1..].iter().copied().max().unwrap_or(1);
+        let max_wmat = sizes.windows(2).map(|w| w[0] * w[1]).max().unwrap_or(0);
+        Self {
+            cap_rows,
+            acts: sizes[1..]
+                .iter()
+                .map(|&w| vec![0.0; cap_rows * w])
+                .collect(),
+            delta: vec![0.0; cap_rows * max_width],
+            delta_next: vec![0.0; cap_rows * max_width],
+            wt: vec![0.0; max_wmat],
+            offsets,
+            scratch: GemmScratch::default(),
+        }
+    }
+
+    /// Grows the row capacity if a pooled workspace is smaller than the
+    /// chunk at hand (e.g. the full-batch pass after minibatch SGD).
+    fn ensure_rows(&mut self, sizes: &[usize], rows: usize) {
+        if rows <= self.cap_rows {
+            return;
+        }
+        let max_width = sizes[1..].iter().copied().max().unwrap_or(1);
+        for (buf, &w) in self.acts.iter_mut().zip(&sizes[1..]) {
+            buf.resize(rows * w, 0.0);
+        }
+        self.delta.resize(rows * max_width, 0.0);
+        self.delta_next.resize(rows * max_width, 0.0);
+        self.cap_rows = rows;
+    }
 }
 
 impl Mlp {
@@ -163,54 +244,125 @@ impl Mlp {
 
     fn forward_logits_with(&self, params: &[f64], x: &Matrix) -> Vec<f64> {
         assert_eq!(x.cols(), self.sizes[0], "input width mismatch");
-        let activations = self.forward_all(params, x);
-        activations
-            .last()
-            // puf-lint: allow(L4): forward_all always returns >= 1 activation (the input layer)
-            .expect("network has layers")
-            .as_slice()
-            .to_vec()
+        // Bounded chunks keep the activation workspace cache-friendly on
+        // large prediction batches; forward values are elementwise per row,
+        // so chunking cannot change a single bit of any logit.
+        const PREDICT_ROWS: usize = 8192;
+        let m = x.rows();
+        let d = self.sizes[0];
+        let mut ws = MlpWorkspace::new(&self.sizes, m.min(PREDICT_ROWS));
+        let mut logits = Vec::with_capacity(m);
+        let mut r0 = 0;
+        while r0 < m {
+            let r1 = (r0 + PREDICT_ROWS).min(m);
+            self.forward_chunk(params, &x.as_slice()[r0 * d..r1 * d], r1 - r0, &mut ws);
+            logits.extend_from_slice(&ws.acts[self.sizes.len() - 2][..r1 - r0]);
+            r0 = r1;
+        }
+        logits
     }
 
-    /// Runs the full forward pass, returning per-layer activations
-    /// (`activations[0]` is a copy of the input; the final entry holds raw
-    /// logits, not sigmoid outputs).
-    fn forward_all(&self, params: &[f64], x: &Matrix) -> Vec<Matrix> {
-        let m = x.rows();
-        let mut activations: Vec<Matrix> = Vec::with_capacity(self.sizes.len());
-        activations.push(x.clone());
-        let mut offset = 0;
-        let last_layer = self.sizes.len() - 2;
+    /// Fused forward pass over one row chunk: fills `ws.acts` (tanh
+    /// activations per hidden layer, raw logits for the output layer).
+    fn forward_chunk(&self, params: &[f64], x_rows: &[f64], mr: usize, ws: &mut MlpWorkspace) {
+        debug_assert_eq!(x_rows.len(), mr * self.sizes[0]);
+        debug_assert!(mr <= ws.cap_rows);
+        let last = self.sizes.len() - 2;
         for (l, w) in self.sizes.windows(2).enumerate() {
             let (n_in, n_out) = (w[0], w[1]);
+            let offset = ws.offsets[l];
             let weights = &params[offset..offset + n_in * n_out];
             let biases = &params[offset + n_in * n_out..offset + n_in * n_out + n_out];
-            offset += n_in * n_out + n_out;
-            // puf-lint: allow(L4): the vector is seeded with the input activation before the loop
-            let prev = activations.last().expect("at least the input");
-            let mut z = Matrix::zeros(m, n_out);
-            for i in 0..m {
-                let arow = prev.row(i);
-                let zrow = z.row_mut(i);
-                zrow.copy_from_slice(biases);
-                for (k, &a) in arow.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
+            // Transpose W (n_out × n_in) into wt (n_in × n_out): the layer
+            // matrices are tiny, so this is cheap, and it turns the forward
+            // product into a plain row-major GEMM with packed panels.
+            let wt = &mut ws.wt[..n_in * n_out];
+            for (j, wrow) in weights.chunks_exact(n_in).enumerate() {
+                for (kk, &wv) in wrow.iter().enumerate() {
+                    wt[kk * n_out + j] = wv;
+                }
+            }
+            let (done, rest) = ws.acts.split_at_mut(l);
+            let prev: &[f64] = if l == 0 {
+                x_rows
+            } else {
+                &done[l - 1][..mr * n_in]
+            };
+            let z = &mut rest[0][..mr * n_out];
+            gemm::gemm_into(mr, n_in, n_out, prev, wt, z, &mut ws.scratch);
+            if l < last {
+                for zrow in z.chunks_exact_mut(n_out) {
+                    for (zv, &bv) in zrow.iter_mut().zip(biases) {
+                        *zv += bv;
                     }
-                    // W is row-major (n_out × n_in): W[j][k] at j*n_in + k.
-                    for (j, zj) in zrow.iter_mut().enumerate() {
-                        *zj += a * weights[j * n_in + k];
+                }
+                // Vectorized activation pass (matches libm tanh to a few
+                // ULP; see `fastmath` — libm's scalar tanh would dominate
+                // the whole fused step otherwise).
+                crate::fastmath::tanh_slice(z);
+            } else {
+                for zrow in z.chunks_exact_mut(n_out) {
+                    for (zv, &bv) in zrow.iter_mut().zip(biases) {
+                        *zv += bv;
                     }
                 }
             }
-            if l < last_layer {
-                for v in z.as_mut_slice() {
-                    *v = v.tanh();
-                }
-            }
-            activations.push(z);
         }
-        activations
+    }
+
+    /// Fused backward pass over one row chunk (after [`Mlp::forward_chunk`]
+    /// on the same rows): accumulates the data-term gradient into `acc`
+    /// (laid out like the parameter vector) and returns the chunk's summed
+    /// cross-entropy. `m_f` is the full-batch row count, so per-chunk
+    /// contributions are already scaled for the mean.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_chunk(
+        &self,
+        params: &[f64],
+        x_rows: &[f64],
+        y: &[f64],
+        mr: usize,
+        m_f: f64,
+        ws: &mut MlpWorkspace,
+        acc: &mut [f64],
+    ) -> f64 {
+        let n_layers = self.sizes.len() - 1;
+        let mut loss = 0.0;
+        {
+            let logits = &ws.acts[n_layers - 1][..mr];
+            let delta = &mut ws.delta[..mr];
+            for ((d, &z), &yi) in delta.iter_mut().zip(logits).zip(y) {
+                loss += bce_from_logit(z, yi);
+                *d = (sigmoid(z) - yi) / m_f;
+            }
+        }
+        for l in (0..n_layers).rev() {
+            let (n_in, n_out) = (self.sizes[l], self.sizes[l + 1]);
+            let offset = ws.offsets[l];
+            let a_prev: &[f64] = if l == 0 {
+                x_rows
+            } else {
+                &ws.acts[l - 1][..mr * n_in]
+            };
+            let delta_cur = &ws.delta[..mr * n_out];
+            // Weight gradient gW = δᵀ·a_prev with the bias column sums
+            // fused into the same streaming pass.
+            let (gw, gb) = acc[offset..offset + n_in * n_out + n_out].split_at_mut(n_in * n_out);
+            gemm::gemm_atb_into(mr, n_out, n_in, delta_cur, a_prev, gw, Some(gb));
+            if l > 0 {
+                // Propagate: δ_prev = (δ·W) ⊙ tanh'(a_prev).
+                let weights = &params[offset..offset + n_in * n_out];
+                let nd = &mut ws.delta_next[..mr * n_in];
+                gemm::gemm_into(mr, n_out, n_in, delta_cur, weights, nd, &mut ws.scratch);
+                for (ndrow, arow) in nd.chunks_exact_mut(n_in).zip(a_prev.chunks_exact(n_in)) {
+                    for (d, &a) in ndrow.iter_mut().zip(arow) {
+                        *d *= 1.0 - a * a;
+                    }
+                }
+                std::mem::swap(&mut ws.delta, &mut ws.delta_next);
+            }
+        }
+        loss
     }
 
     /// Predicted probability `P(response = 1)` for each input row.
@@ -226,6 +378,39 @@ impl Mlp {
             .collect()
     }
 
+    /// The full-batch training objective over `(x, y)`, with a workspace
+    /// pool reused across every evaluation — hand this to any
+    /// [`crate::opt`] optimizer to train on the exact paper loss.
+    /// `workers = 0` auto-detects the thread count; results are
+    /// bit-identical for every value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn objective<'a>(
+        &'a self,
+        x: &'a Matrix,
+        y: &'a [f64],
+        alpha: f64,
+        workers: usize,
+    ) -> MlpObjective<'a> {
+        assert_eq!(x.rows(), y.len(), "sample/target count mismatch");
+        assert_eq!(x.cols(), self.sizes[0], "input width mismatch");
+        let workers = if workers == 0 {
+            parallel::worker_count(x.rows())
+        } else {
+            workers
+        };
+        MlpObjective {
+            mlp: self,
+            x,
+            y,
+            alpha,
+            workers,
+            pool: parallel::Pool::new(),
+        }
+    }
+
     /// Trains the network in place on `(x, y)` with L-BFGS and returns the
     /// optimizer diagnostics. `y` entries must be 0.0 or 1.0.
     ///
@@ -233,13 +418,7 @@ impl Mlp {
     ///
     /// Panics on shape mismatches.
     pub fn train(&mut self, x: &Matrix, y: &[f64], config: &MlpConfig) -> OptimizeResult {
-        assert_eq!(x.rows(), y.len(), "sample/target count mismatch");
-        let objective = MlpObjective {
-            mlp: self,
-            x,
-            y,
-            alpha: config.alpha,
-        };
+        let objective = self.objective(x, y, config.alpha, config.workers);
         let result = Lbfgs::new()
             .with_max_iterations(config.max_iterations)
             .with_tolerance(config.tolerance)
@@ -272,6 +451,9 @@ impl Mlp {
         let mut grad = vec![0.0; dim];
         let mut order: Vec<usize> = (0..n).collect();
         let mut t = 0i32;
+        // Minibatches are too small to fan out; one pooled workspace is
+        // reused across every batch of every epoch.
+        let pool = parallel::Pool::new();
         let _span = puf_telemetry::span!("ml.train.sgd");
         for _ in 0..config.epochs {
             // Fisher–Yates shuffle.
@@ -285,7 +467,9 @@ impl Mlp {
                     bx.row_mut(row).copy_from_slice(x.row(idx));
                     by.push(y[idx]);
                 }
-                self.loss_grad(&self.params.clone(), &bx, &by, config.alpha, &mut grad);
+                let params = std::mem::take(&mut self.params);
+                self.loss_grad_pooled(&params, &bx, &by, config.alpha, &mut grad, 1, &pool);
+                self.params = params;
                 t += 1;
                 for i in 0..dim {
                     m[i] = 0.9 * m[i] + 0.1 * grad[i];
@@ -297,11 +481,16 @@ impl Mlp {
             }
             puf_telemetry::counter!("ml.train.sgd.epochs").inc();
             if puf_telemetry::enabled() {
-                let loss = self.loss_grad(&self.params.clone(), x, y, config.alpha, &mut grad);
+                let params = std::mem::take(&mut self.params);
+                let loss = self.loss_grad_pooled(&params, x, y, config.alpha, &mut grad, 1, &pool);
+                self.params = params;
                 puf_telemetry::trace!("ml.train.sgd.loss").push(loss);
             }
         }
-        self.loss_grad(&self.params.clone(), x, y, config.alpha, &mut grad)
+        let params = std::mem::take(&mut self.params);
+        let loss = self.loss_grad_pooled(&params, x, y, config.alpha, &mut grad, 1, &pool);
+        self.params = params;
+        loss
     }
 
     /// Regularised cross-entropy loss and its gradient at an arbitrary
@@ -309,7 +498,8 @@ impl Mlp {
     ///
     /// Exposed so external optimizers and ablation harnesses can drive the
     /// exact training objective; `grad` must have length
-    /// [`Mlp::num_params`].
+    /// [`Mlp::num_params`]. For repeated evaluations prefer
+    /// [`Mlp::objective`], which reuses workspaces across calls.
     ///
     /// # Panics
     ///
@@ -324,11 +514,75 @@ impl Mlp {
     ) -> f64 {
         assert_eq!(x.rows(), y.len(), "sample/target count mismatch");
         assert_eq!(grad.len(), self.params.len(), "gradient length mismatch");
-        self.loss_grad(params, x, y, alpha, grad)
+        let pool = parallel::Pool::new();
+        self.loss_grad_pooled(
+            params,
+            x,
+            y,
+            alpha,
+            grad,
+            parallel::worker_count(x.rows()),
+            &pool,
+        )
     }
 
-    /// Loss and gradient at `params` — the objective adapter's core.
-    fn loss_grad(
+    /// Loss and gradient through the fused chunked kernels — the core every
+    /// public entry point routes through.
+    #[allow(clippy::too_many_arguments)]
+    fn loss_grad_pooled(
+        &self,
+        params: &[f64],
+        x: &Matrix,
+        y: &[f64],
+        alpha: f64,
+        grad: &mut [f64],
+        workers: usize,
+        pool: &parallel::Pool<MlpWorkspace>,
+    ) -> f64 {
+        let m = x.rows();
+        let m_f = m as f64;
+        let d = self.sizes[0];
+        let cap_rows = m.div_ceil(parallel::chunk_count(m));
+        let sizes = &self.sizes;
+        let data_loss = parallel::reduce_rows(
+            m,
+            workers,
+            grad,
+            pool,
+            || MlpWorkspace::new(sizes, cap_rows),
+            |ws, range, acc| {
+                let mr = range.len();
+                ws.ensure_rows(sizes, mr);
+                let x_rows = &x.as_slice()[range.start * d..range.end * d];
+                self.forward_chunk(params, x_rows, mr, ws);
+                self.backward_chunk(params, x_rows, &y[range], mr, m_f, ws, acc)
+            },
+        );
+        // L2 penalty on weights only, applied once after the reduction.
+        let mut l2 = 0.0;
+        let mut offset = 0;
+        for w in self.sizes.windows(2) {
+            let (n_in, n_out) = (w[0], w[1]);
+            let weights = &params[offset..offset + n_in * n_out];
+            let gw = &mut grad[offset..offset + n_in * n_out];
+            for (g, &p) in gw.iter_mut().zip(weights) {
+                l2 += p * p;
+                *g += alpha * p / m_f;
+            }
+            offset += n_in * n_out + n_out;
+        }
+        data_loss / m_f + 0.5 * alpha * l2 / m_f
+    }
+
+    /// The pre-blocking naive loss/gradient — row-by-row loops with
+    /// per-call activation allocation, kept verbatim as the correctness
+    /// oracle for the fused kernels and the baseline for the before/after
+    /// training-step benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn loss_value_grad_reference(
         &self,
         params: &[f64],
         x: &Matrix,
@@ -336,10 +590,12 @@ impl Mlp {
         alpha: f64,
         grad: &mut [f64],
     ) -> f64 {
+        assert_eq!(x.rows(), y.len(), "sample/target count mismatch");
+        assert_eq!(grad.len(), self.params.len(), "gradient length mismatch");
         let m = x.rows();
         let m_f = m as f64;
-        let activations = self.forward_all(params, x);
-        // puf-lint: allow(L4): forward_all always returns >= 1 activation (the input layer)
+        let activations = self.forward_all_reference(params, x);
+        // puf-lint: allow(L4): forward_all_reference always returns >= 1 activation
         let logits = activations.last().expect("output layer");
 
         // Loss.
@@ -433,6 +689,48 @@ impl Mlp {
         }
         loss
     }
+
+    /// Naive full forward pass, returning per-layer activations
+    /// (`activations[0]` is a copy of the input; the final entry holds raw
+    /// logits). Reference-path companion of
+    /// [`Mlp::loss_value_grad_reference`].
+    fn forward_all_reference(&self, params: &[f64], x: &Matrix) -> Vec<Matrix> {
+        let m = x.rows();
+        let mut activations: Vec<Matrix> = Vec::with_capacity(self.sizes.len());
+        activations.push(x.clone());
+        let mut offset = 0;
+        let last_layer = self.sizes.len() - 2;
+        for (l, w) in self.sizes.windows(2).enumerate() {
+            let (n_in, n_out) = (w[0], w[1]);
+            let weights = &params[offset..offset + n_in * n_out];
+            let biases = &params[offset + n_in * n_out..offset + n_in * n_out + n_out];
+            offset += n_in * n_out + n_out;
+            // puf-lint: allow(L4): the vector is seeded with the input activation before the loop
+            let prev = activations.last().expect("at least the input");
+            let mut z = Matrix::zeros(m, n_out);
+            for i in 0..m {
+                let arow = prev.row(i);
+                let zrow = z.row_mut(i);
+                zrow.copy_from_slice(biases);
+                for (k, &a) in arow.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    // W is row-major (n_out × n_in): W[j][k] at j*n_in + k.
+                    for (j, zj) in zrow.iter_mut().enumerate() {
+                        *zj += a * weights[j * n_in + k];
+                    }
+                }
+            }
+            if l < last_layer {
+                for v in z.as_mut_slice() {
+                    *v = v.tanh();
+                }
+            }
+            activations.push(z);
+        }
+        activations
+    }
 }
 
 /// Hyper-parameters of [`Mlp::train_sgd`].
@@ -459,12 +757,17 @@ impl Default for SgdConfig {
     }
 }
 
-/// Objective adapter: full-batch cross-entropy of an [`Mlp`] on a dataset.
-struct MlpObjective<'a> {
+/// Full-batch cross-entropy objective of an [`Mlp`] on a dataset, with a
+/// workspace pool shared across evaluations — build one with
+/// [`Mlp::objective`].
+#[derive(Debug)]
+pub struct MlpObjective<'a> {
     mlp: &'a Mlp,
     x: &'a Matrix,
     y: &'a [f64],
     alpha: f64,
+    workers: usize,
+    pool: parallel::Pool<MlpWorkspace>,
 }
 
 impl Objective for MlpObjective<'_> {
@@ -473,7 +776,15 @@ impl Objective for MlpObjective<'_> {
     }
 
     fn value_grad(&self, params: &[f64], grad: &mut [f64]) -> f64 {
-        self.mlp.loss_grad(params, self.x, self.y, self.alpha, grad)
+        self.mlp.loss_grad_pooled(
+            params,
+            self.x,
+            self.y,
+            self.alpha,
+            grad,
+            self.workers,
+            &self.pool,
+        )
     }
 }
 
@@ -540,7 +851,7 @@ mod tests {
         let y = vec![1.0, 0.0, 1.0];
         let params = mlp.params().to_vec();
         let mut grad = vec![0.0; params.len()];
-        let loss = mlp.loss_grad(&params, &x, &y, config.alpha, &mut grad);
+        let loss = mlp.loss_value_grad(&params, &x, &y, config.alpha, &mut grad);
         assert!(loss.is_finite());
 
         let eps = 1e-6;
@@ -550,13 +861,42 @@ mod tests {
             p_plus[idx] += eps;
             let mut p_minus = params.clone();
             p_minus[idx] -= eps;
-            let f_plus = mlp.loss_grad(&p_plus, &x, &y, config.alpha, &mut scratch);
-            let f_minus = mlp.loss_grad(&p_minus, &x, &y, config.alpha, &mut scratch);
+            let f_plus = mlp.loss_value_grad(&p_plus, &x, &y, config.alpha, &mut scratch);
+            let f_minus = mlp.loss_value_grad(&p_minus, &x, &y, config.alpha, &mut scratch);
             let fd = (f_plus - f_minus) / (2.0 * eps);
             assert!(
                 (grad[idx] - fd).abs() < 1e-5 * (1.0 + fd.abs()),
                 "param {idx}: analytic {} vs fd {fd}",
                 grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn fused_path_matches_reference_loss_grad() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = MlpConfig {
+            hidden: vec![6, 5],
+            alpha: 0.02,
+            ..MlpConfig::tiny()
+        };
+        let mlp = Mlp::new(4, &config, &mut rng);
+        use rand::Rng;
+        let mut x = Matrix::zeros(37, 4);
+        for v in x.as_mut_slice() {
+            *v = rng.gen_range(-2.0..2.0);
+        }
+        let y: Vec<f64> = (0..37).map(|i| f64::from(i % 2 == 0)).collect();
+        let params = mlp.params().to_vec();
+        let mut grad_fused = vec![0.0; params.len()];
+        let mut grad_ref = vec![0.0; params.len()];
+        let fused = mlp.loss_value_grad(&params, &x, &y, config.alpha, &mut grad_fused);
+        let reference = mlp.loss_value_grad_reference(&params, &x, &y, config.alpha, &mut grad_ref);
+        assert!((fused - reference).abs() < 1e-12 * (1.0 + reference.abs()));
+        for (i, (g, r)) in grad_fused.iter().zip(&grad_ref).enumerate() {
+            assert!(
+                (g - r).abs() < 1e-12 * (1.0 + r.abs()),
+                "grad[{i}]: {g} vs {r}"
             );
         }
     }
@@ -569,6 +909,7 @@ mod tests {
             alpha: 1e-5,
             max_iterations: 500,
             tolerance: 1e-8,
+            ..MlpConfig::tiny()
         };
         // XOR has bad local minima for tiny nets; try a few seeds.
         let mut solved = false;
@@ -603,7 +944,7 @@ mod tests {
         let mut mlp = Mlp::new(2, &config, &mut rng);
         let (x, y) = xor_dataset();
         let mut grad = vec![0.0; mlp.num_params()];
-        let before = mlp.loss_grad(mlp.params(), &x, &y, config.alpha, &mut grad);
+        let before = mlp.loss_value_grad(mlp.params(), &x, &y, config.alpha, &mut grad);
         let result = mlp.train(&x, &y, &config);
         assert!(
             result.value < before,

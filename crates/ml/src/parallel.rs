@@ -1,0 +1,295 @@
+//! Deterministic, chunked row-parallel reduction for training objectives.
+//!
+//! Every full-batch loss/gradient in this crate is a sum of independent
+//! per-row contributions. This module fans that sum out over scoped worker
+//! threads while keeping the result **bit-identical at any thread count**:
+//!
+//! * rows are split into a fixed number of chunks that depends only on the
+//!   row count ([`chunk_count`]), never on the worker count;
+//! * each chunk's partial (loss scalar + flat accumulator vector) is
+//!   computed independently, with per-row streaming in ascending row order;
+//! * partials are reduced **in ascending chunk order** on the calling
+//!   thread, so the floating-point summation tree is a pure function of
+//!   the data shape.
+//!
+//! Changing `PUF_THREADS` therefore changes wall-clock time, not a single
+//! bit of any trained model, figure, or ablation output (test-enforced in
+//! `crates/ml/tests/kernels.rs`).
+//!
+//! Unlike the harness-level `puf_bench::par` fan-out (which needs `unsafe`
+//! to scatter arbitrary results into one buffer), this reduction is plain
+//! safe Rust: each worker owns its chunk partials outright and hands them
+//! back through the scoped-thread join. A panic inside the closure is
+//! re-raised on the caller via [`std::panic::resume_unwind`]; partial
+//! buffers are ordinary `Vec`s and are simply dropped.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Minimum rows per chunk: below this, parallelism overhead beats the win.
+const MIN_CHUNK_ROWS: usize = 1024;
+/// Chunk-count ceiling: bounds the memory held in per-chunk partials.
+const MAX_CHUNKS: usize = 64;
+
+/// Number of fixed reduction chunks for `rows` rows — a function of the
+/// data size only, never of the machine, so the summation order (and thus
+/// every trained model) is reproducible across hosts and thread counts.
+pub fn chunk_count(rows: usize) -> usize {
+    (rows / MIN_CHUNK_ROWS).clamp(1, MAX_CHUNKS)
+}
+
+/// The half-open row range of chunk `c` of `chunks` over `rows` rows.
+/// Chunk sizes differ by at most one row.
+pub fn chunk_range(rows: usize, chunks: usize, c: usize) -> Range<usize> {
+    (c * rows / chunks)..((c + 1) * rows / chunks)
+}
+
+/// Worker threads to use for a `rows`-row reduction: the `PUF_THREADS`
+/// environment variable if set to a positive integer, otherwise
+/// `available_parallelism`, capped at [`chunk_count`] (more workers than
+/// chunks would idle).
+pub fn worker_count(rows: usize) -> usize {
+    let cpus = std::env::var("PUF_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    cpus.clamp(1, chunk_count(rows))
+}
+
+/// A small free-list of per-worker workspaces, reused across the hundreds
+/// of objective evaluations one L-BFGS run performs so activation and
+/// gradient buffers are allocated once per training run, not once per
+/// gradient call.
+///
+/// Reuse order never affects results: workspaces are scratch that every
+/// chunk pass fully overwrites.
+#[derive(Debug, Default)]
+pub struct Pool<W>(Mutex<Vec<W>>);
+
+impl<W> Pool<W> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Pool(Mutex::new(Vec::new()))
+    }
+
+    fn take(&self) -> Option<W> {
+        match self.0.lock() {
+            Ok(mut v) => v.pop(),
+            // A poisoned pool just means a previous reduction panicked;
+            // scratch buffers are still perfectly reusable.
+            Err(poisoned) => poisoned.into_inner().pop(),
+        }
+    }
+
+    fn put(&self, w: W) {
+        match self.0.lock() {
+            Ok(mut v) => v.push(w),
+            Err(poisoned) => poisoned.into_inner().push(w),
+        }
+    }
+}
+
+/// Runs `f` over every fixed chunk of `rows` rows on up to `workers`
+/// threads and reduces the partials in ascending chunk order: returns the
+/// summed loss and adds each chunk's accumulator into `acc` element-wise
+/// (`acc` is zeroed first).
+///
+/// `f(ws, range, chunk_acc)` must write the chunk's contribution into
+/// `chunk_acc` (pre-zeroed, same length as `acc`) and return the chunk's
+/// loss term. Workspaces come from `pool` when available, else from
+/// `make_ws`; they are returned to the pool afterwards.
+///
+/// The single-worker path runs the identical chunk decomposition and
+/// reduction order, so results are bit-identical for every `workers`
+/// value — the property the thread-count determinism tests pin down.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` (after all workers have been joined).
+pub fn reduce_rows<W, M, F>(
+    rows: usize,
+    workers: usize,
+    acc: &mut [f64],
+    pool: &Pool<W>,
+    make_ws: M,
+    f: F,
+) -> f64
+where
+    W: Send,
+    M: Fn() -> W + Sync,
+    F: Fn(&mut W, Range<usize>, &mut [f64]) -> f64 + Sync,
+{
+    let chunks = chunk_count(rows);
+    let workers = workers.clamp(1, chunks);
+    puf_telemetry::gauge!("ml.train.reduce.workers").set(workers as f64);
+    puf_telemetry::counter!("ml.train.reduce.chunks").add(chunks as u64);
+    acc.fill(0.0);
+
+    if workers == 1 {
+        let mut ws = pool.take().unwrap_or_else(&make_ws);
+        let mut buf = vec![0.0; acc.len()];
+        let mut loss = 0.0;
+        for c in 0..chunks {
+            buf.fill(0.0);
+            loss += f(&mut ws, chunk_range(rows, chunks, c), &mut buf);
+            for (a, &v) in acc.iter_mut().zip(&buf) {
+                *a += v;
+            }
+        }
+        pool.put(ws);
+        return loss;
+    }
+
+    // Static strided ownership: worker w computes chunks w, w+W, w+2W, …
+    // Chunks are near-equal in rows, so striding balances load without any
+    // shared cursor; each worker hands its partials back through join.
+    let acc_len = acc.len();
+    let worker_results: Vec<Vec<(usize, f64, Vec<f64>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let make_ws = &make_ws;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut ws = pool.take().unwrap_or_else(make_ws);
+                    let mut partials = Vec::new();
+                    let mut c = w;
+                    while c < chunks {
+                        let mut buf = vec![0.0; acc_len];
+                        let loss = f(&mut ws, chunk_range(rows, chunks, c), &mut buf);
+                        partials.push((c, loss, buf));
+                        c += workers;
+                    }
+                    pool.put(ws);
+                    partials
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise the worker's own panic payload on the caller.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    // Fixed-order reduction: chunk 0 first, regardless of which worker
+    // produced it or when it finished.
+    let mut slots: Vec<Option<(f64, Vec<f64>)>> = (0..chunks).map(|_| None).collect();
+    for partials in worker_results {
+        for (c, loss, buf) in partials {
+            slots[c] = Some((loss, buf));
+        }
+    }
+    let mut loss = 0.0;
+    for (l, buf) in slots.into_iter().flatten() {
+        debug_assert_eq!(buf.len(), acc_len);
+        loss += l;
+        for (a, &v) in acc.iter_mut().zip(&buf) {
+            *a += v;
+        }
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_partition_the_rows() {
+        for rows in [1usize, 5, 1023, 1024, 1025, 70_000, 1_000_000] {
+            let k = chunk_count(rows);
+            let mut next = 0;
+            for c in 0..k {
+                let r = chunk_range(rows, k, c);
+                assert_eq!(r.start, next, "gap before chunk {c} at rows={rows}");
+                assert!(!r.is_empty() || rows == 0);
+                next = r.end;
+            }
+            assert_eq!(next, rows);
+        }
+    }
+
+    #[test]
+    fn chunk_count_depends_only_on_rows() {
+        assert_eq!(chunk_count(1), 1);
+        assert_eq!(chunk_count(1023), 1);
+        assert_eq!(chunk_count(4096), 4);
+        assert_eq!(chunk_count(usize::MAX / 2), MAX_CHUNKS);
+    }
+
+    /// The core guarantee: identical bits for every worker count.
+    #[test]
+    fn reduction_is_bit_identical_across_worker_counts() {
+        let rows = 10_000;
+        let data: Vec<f64> = (0..rows).map(|i| ((i * 37) % 101) as f64 * 0.013).collect();
+        let run = |workers: usize| {
+            let mut acc = vec![0.0; 3];
+            let pool = Pool::new();
+            let loss = reduce_rows(
+                rows,
+                workers,
+                &mut acc,
+                &pool,
+                Vec::<f64>::new,
+                |_ws, range, acc| {
+                    let mut l = 0.0;
+                    for i in range {
+                        let v = data[i];
+                        acc[0] += v;
+                        acc[1] += v * v;
+                        acc[2] += v.sin();
+                        l += v * 0.5;
+                    }
+                    l
+                },
+            );
+            (
+                loss.to_bits(),
+                acc.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            )
+        };
+        let base = run(1);
+        for workers in [2, 3, 7, 64] {
+            assert_eq!(run(workers), base, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn pool_reuses_workspaces() {
+        let pool: Pool<Vec<u8>> = Pool::new();
+        pool.put(vec![1, 2, 3]);
+        assert_eq!(pool.take(), Some(vec![1, 2, 3]));
+        assert_eq!(pool.take(), None);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool: Pool<()> = Pool::new();
+        let mut acc = vec![0.0; 1];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            reduce_rows(
+                8192,
+                4,
+                &mut acc,
+                &pool,
+                || (),
+                |_, range, _| {
+                    if range.start >= 4096 {
+                        panic!("chunk failure injected by test");
+                    }
+                    0.0
+                },
+            )
+        }));
+        assert!(result.is_err());
+    }
+}

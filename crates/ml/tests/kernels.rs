@@ -1,0 +1,169 @@
+//! Property tests for the blocked GEMM / fused-training kernels, plus the
+//! thread-count determinism guarantee for trained models.
+//!
+//! The blocked kernels must agree with the naive triple-loop reference
+//! within ULP-scale tolerance on *every* shape — especially the awkward
+//! ones (1×1, tall-skinny, wide, sizes that are not multiples of the
+//! register tile) — and training an MLP must produce bit-identical
+//! parameters no matter how many worker threads carry the gradient.
+
+use proptest::prelude::*;
+use puf_ml::gemm::{gemm_into, gemm_reference, GemmScratch};
+use puf_ml::linalg::Matrix;
+use puf_ml::mlp::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Relative tolerance for blocked-vs-reference comparisons: the blocked
+/// kernel reassociates sums within a k-block, so demand agreement to a few
+/// hundred ULPs of the accumulated magnitude, far tighter than any model
+/// quality effect.
+fn close(a: f64, b: f64, scale: f64) -> bool {
+    (a - b).abs() <= 1e-12 * (1.0 + scale)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Blocked GEMM == reference GEMM on arbitrary small shapes, including
+    /// 1×1 and every non-multiple-of-block remainder combination.
+    #[test]
+    fn blocked_gemm_matches_reference(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mut blocked = vec![0.0; m * n];
+        let mut reference = vec![0.0; m * n];
+        gemm_into(m, k, n, &a, &b, &mut blocked, &mut GemmScratch::default());
+        gemm_reference(m, k, n, &a, &b, &mut reference);
+        let scale = k as f64 * 4.0;
+        for (i, (&got, &want)) in blocked.iter().zip(&reference).enumerate() {
+            prop_assert!(close(got, want, scale), "element {i}: {got} vs {want}");
+        }
+    }
+
+    /// Tall-skinny and wide extremes: dimensions that stress panel packing
+    /// (k spanning multiple KC blocks needs k > 256, covered by the
+    /// dedicated case below; here rows ≫ cols and cols ≫ rows).
+    #[test]
+    fn blocked_gemm_matches_reference_on_skewed_shapes(
+        long in 30usize..120,
+        short in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for &(m, k, n) in &[(long, short, short), (short, long, short), (short, short, long)] {
+            let a: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let b: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let mut blocked = vec![0.0; m * n];
+            let mut reference = vec![0.0; m * n];
+            gemm_into(m, k, n, &a, &b, &mut blocked, &mut GemmScratch::default());
+            gemm_reference(m, k, n, &a, &b, &mut reference);
+            let scale = k as f64 * 4.0;
+            for (&got, &want) in blocked.iter().zip(&reference) {
+                prop_assert!(close(got, want, scale), "({m}×{k}×{n}): {got} vs {want}");
+            }
+        }
+    }
+
+    /// Fused MLP forward+backward == the retained naive reference
+    /// implementation, across random architectures and batch sizes.
+    #[test]
+    fn fused_mlp_loss_grad_matches_reference(
+        rows in 1usize..48,
+        dim in 1usize..8,
+        h1 in 1usize..9,
+        h2 in 0usize..7,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hidden = if h2 == 0 { vec![h1] } else { vec![h1, h2] };
+        let config = MlpConfig { hidden, alpha: 0.01, ..MlpConfig::tiny() };
+        let mlp = Mlp::new(dim, &config, &mut rng);
+        let mut x = Matrix::zeros(rows, dim);
+        for v in x.as_mut_slice() {
+            *v = rng.gen_range(-2.0..2.0);
+        }
+        let y: Vec<f64> = (0..rows).map(|_| f64::from(rng.gen::<bool>())).collect();
+        let params = mlp.params().to_vec();
+        let mut grad_fused = vec![0.0; params.len()];
+        let mut grad_ref = vec![0.0; params.len()];
+        let fused = mlp.loss_value_grad(&params, &x, &y, config.alpha, &mut grad_fused);
+        let reference =
+            mlp.loss_value_grad_reference(&params, &x, &y, config.alpha, &mut grad_ref);
+        prop_assert!(close(fused, reference, reference.abs()), "loss {fused} vs {reference}");
+        let scale = rows as f64;
+        for (i, (&g, &r)) in grad_fused.iter().zip(&grad_ref).enumerate() {
+            prop_assert!(close(g, r, scale + r.abs()), "grad[{i}]: {g} vs {r}");
+        }
+    }
+}
+
+/// k > KC (256) forces the multi-panel k-blocking path.
+#[test]
+fn blocked_gemm_spans_multiple_k_blocks() {
+    let (m, k, n) = (7, 600, 11);
+    let mut rng = StdRng::seed_from_u64(99);
+    let a: Vec<f64> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let b: Vec<f64> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut blocked = vec![0.0; m * n];
+    let mut reference = vec![0.0; m * n];
+    gemm_into(m, k, n, &a, &b, &mut blocked, &mut GemmScratch::default());
+    gemm_reference(m, k, n, &a, &b, &mut reference);
+    for (&got, &want) in blocked.iter().zip(&reference) {
+        assert!(close(got, want, k as f64), "{got} vs {want}");
+    }
+}
+
+/// The acceptance-criterion test: a trained model's parameters are
+/// bit-for-bit identical whether the gradient ran on 1, 2, or many worker
+/// threads. The dataset is large enough (4096 rows → 4 reduction chunks)
+/// that multi-worker runs genuinely fan out.
+#[test]
+fn trained_model_is_bit_identical_across_worker_counts() {
+    let rows = 4096;
+    let stages = 16;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut x = Matrix::zeros(rows, stages);
+    for v in x.as_mut_slice() {
+        *v = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+    }
+    let secret: Vec<f64> = (0..stages).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let y: Vec<f64> = (0..rows)
+        .map(|i| {
+            let s: f64 = x.row(i).iter().zip(&secret).map(|(a, b)| a * b).sum();
+            f64::from(s > 0.0)
+        })
+        .collect();
+
+    let train_with = |workers: usize| {
+        let config = MlpConfig {
+            hidden: vec![8, 6],
+            alpha: 1e-4,
+            max_iterations: 12,
+            tolerance: 1e-9,
+            workers,
+        };
+        let mut seed_rng = StdRng::seed_from_u64(42);
+        let mut mlp = Mlp::new(stages, &config, &mut seed_rng);
+        mlp.train(&x, &y, &config);
+        mlp.params()
+            .iter()
+            .map(|p| p.to_bits())
+            .collect::<Vec<u64>>()
+    };
+
+    let one = train_with(1);
+    for workers in [2, 3, 8] {
+        assert_eq!(
+            train_with(workers),
+            one,
+            "training with {workers} workers diverged from single-thread bits"
+        );
+    }
+}

@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# Evaluation-throughput benchmark: builds the workspace in release mode and
-# runs the bench_eval harness, which times the scalar and batched PUF
-# evaluation paths and writes results/BENCH_eval.json.
+# Throughput benchmarks: builds the workspace in release mode and runs the
+# bench harnesses — bench_eval times the scalar and batched PUF evaluation
+# paths (results/BENCH_eval.json); bench_ml times the naive vs fused ML
+# attack-training kernels and the linreg normal-equation paths
+# (results/BENCH_ml.json).
 #
 # Environment:
-#   PUF_BENCH_CRPS=N   challenge-pool size (default 262144)
+#   PUF_BENCH_CRPS=N   challenge-pool size (default 262144 eval / 8192 ml)
 #   PUF_THREADS=N      worker threads for the multi-thread fan-out
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release -p puf-bench --bin bench_eval"
-cargo build --release -p puf-bench --bin bench_eval
+echo "==> cargo build --release -p puf-bench --bin bench_eval --bin bench_ml"
+cargo build --release -p puf-bench --bin bench_eval --bin bench_ml
 
 echo "==> bench_eval (writes results/BENCH_eval.json)"
 ./target/release/bench_eval
+
+echo "==> bench_ml (writes results/BENCH_ml.json)"
+./target/release/bench_ml

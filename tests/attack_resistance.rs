@@ -26,6 +26,7 @@ fn tiny_mlp_config() -> MlpConfig {
         alpha: 1e-4,
         max_iterations: 150,
         tolerance: 1e-6,
+        workers: 0,
     }
 }
 
