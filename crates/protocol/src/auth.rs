@@ -6,6 +6,7 @@
 //! zero Hamming distance)" — a much stricter criterion than the classic
 //! Hamming-distance-threshold policies, which improves security for free.
 
+use crate::ProtocolError;
 use puf_core::{Challenge, Condition};
 use puf_silicon::Chip;
 use rand::rngs::StdRng;
@@ -24,17 +25,53 @@ pub enum AuthPolicy {
 }
 
 impl AuthPolicy {
+    /// Checks that the policy is internally consistent (a Hamming-fraction
+    /// bound must lie in `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidPolicy`] on an out-of-range bound.
+    pub fn validate(self) -> Result<(), ProtocolError> {
+        match self {
+            AuthPolicy::ZeroHammingDistance => Ok(()),
+            AuthPolicy::MaxHammingFraction(bound) => {
+                if (0.0..=1.0).contains(&bound) {
+                    Ok(())
+                } else {
+                    Err(ProtocolError::InvalidPolicy {
+                        reason: "Hamming-fraction bound must be in [0, 1]",
+                    })
+                }
+            }
+        }
+    }
+
     /// Whether `mismatches` out of `total` responses pass the policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::EmptyRound`] when `total` is zero — an empty round
+    /// carries no evidence either way and must never be approved.
+    pub fn try_accepts(self, total: usize, mismatches: usize) -> Result<bool, ProtocolError> {
+        if total == 0 {
+            return Err(ProtocolError::EmptyRound);
+        }
+        Ok(match self {
+            AuthPolicy::ZeroHammingDistance => mismatches == 0,
+            AuthPolicy::MaxHammingFraction(bound) => (mismatches as f64 / total as f64) <= bound,
+        })
+    }
+
+    /// Panicking convenience wrapper around [`AuthPolicy::try_accepts`] for
+    /// callers that construct their rounds statically.
     ///
     /// # Panics
     ///
     /// Panics if `total` is zero.
     pub fn accepts(self, total: usize, mismatches: usize) -> bool {
         assert!(total > 0, "cannot judge an empty authentication round");
-        match self {
-            AuthPolicy::ZeroHammingDistance => mismatches == 0,
-            AuthPolicy::MaxHammingFraction(bound) => (mismatches as f64 / total as f64) <= bound,
-        }
+        // total > 0 ⇒ try_accepts cannot fail.
+        self.try_accepts(total, mismatches).unwrap_or(false)
     }
 }
 
@@ -60,6 +97,23 @@ pub struct AuthOutcome {
 
 impl AuthOutcome {
     /// Applies a policy to a mismatch count.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::EmptyRound`] when `challenges_used` is zero.
+    pub fn try_judge(
+        policy: AuthPolicy,
+        challenges_used: usize,
+        mismatches: usize,
+    ) -> Result<Self, ProtocolError> {
+        Ok(Self {
+            approved: policy.try_accepts(challenges_used, mismatches)?,
+            mismatches,
+            challenges_used,
+        })
+    }
+
+    /// Panicking convenience wrapper around [`AuthOutcome::try_judge`].
     ///
     /// # Panics
     ///
@@ -95,6 +149,17 @@ impl fmt::Display for AuthOutcome {
 pub trait Responder {
     /// Produces one response per challenge, in order.
     fn respond(&mut self, challenges: &[Challenge]) -> Vec<bool>;
+
+    /// Fallible variant of [`Responder::respond`] for clients whose
+    /// measurement path can fail (e.g. a transient fuse-sense glitch under
+    /// fault injection). The default forwards to the infallible path.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; the default never fails.
+    fn try_respond(&mut self, challenges: &[Challenge]) -> Result<Vec<bool>, ProtocolError> {
+        Ok(self.respond(challenges))
+    }
 }
 
 /// The genuine client: one-shot noisy XOR evaluations of a physical chip at
@@ -129,13 +194,18 @@ impl<'a> ChipResponder<'a> {
 
 impl Responder for ChipResponder<'_> {
     fn respond(&mut self, challenges: &[Challenge]) -> Vec<bool> {
+        self.try_respond(challenges)
+            // puf-lint: allow(L4): server challenges match the enrolled stage count by protocol
+            .expect("chip rejected an authentication challenge")
+    }
+
+    fn try_respond(&mut self, challenges: &[Challenge]) -> Result<Vec<bool>, ProtocolError> {
         challenges
             .iter()
             .map(|c| {
                 self.chip
                     .eval_xor_once(self.n, c, self.condition, &mut self.rng)
-                    // puf-lint: allow(L4): server challenges match the enrolled stage count by protocol
-                    .expect("chip rejected an authentication challenge")
+                    .map_err(ProtocolError::from)
             })
             .collect()
     }
@@ -231,6 +301,12 @@ impl<'a> MajorityVoteResponder<'a> {
 
 impl Responder for MajorityVoteResponder<'_> {
     fn respond(&mut self, challenges: &[Challenge]) -> Vec<bool> {
+        self.try_respond(challenges)
+            // puf-lint: allow(L4): server challenges match the enrolled stage count by protocol
+            .expect("chip rejected an authentication challenge")
+    }
+
+    fn try_respond(&mut self, challenges: &[Challenge]) -> Result<Vec<bool>, ProtocolError> {
         challenges
             .iter()
             .map(|c| {
@@ -238,14 +314,12 @@ impl Responder for MajorityVoteResponder<'_> {
                 for _ in 0..self.votes {
                     if self
                         .chip
-                        .eval_xor_once(self.n, c, self.condition, &mut self.rng)
-                        // puf-lint: allow(L4): server challenges match the enrolled stage count by protocol
-                        .expect("chip rejected an authentication challenge")
+                        .eval_xor_once(self.n, c, self.condition, &mut self.rng)?
                     {
                         ones += 1;
                     }
                 }
-                2 * ones > self.votes
+                Ok(2 * ones > self.votes)
             })
             .collect()
     }
@@ -315,6 +389,62 @@ mod tests {
     #[should_panic(expected = "empty authentication")]
     fn policy_rejects_empty_round() {
         AuthPolicy::ZeroHammingDistance.accepts(0, 0);
+    }
+
+    #[test]
+    fn try_accepts_returns_empty_round_error() {
+        assert_eq!(
+            AuthPolicy::ZeroHammingDistance.try_accepts(0, 0),
+            Err(ProtocolError::EmptyRound)
+        );
+        assert_eq!(
+            AuthPolicy::MaxHammingFraction(0.5).try_accepts(0, 0),
+            Err(ProtocolError::EmptyRound)
+        );
+        assert_eq!(AuthPolicy::ZeroHammingDistance.try_accepts(10, 0), Ok(true));
+        assert_eq!(
+            AuthPolicy::ZeroHammingDistance.try_accepts(10, 1),
+            Ok(false)
+        );
+        assert_eq!(
+            AuthOutcome::try_judge(AuthPolicy::ZeroHammingDistance, 0, 0),
+            Err(ProtocolError::EmptyRound)
+        );
+        let ok = AuthOutcome::try_judge(AuthPolicy::ZeroHammingDistance, 20, 0).unwrap();
+        assert!(ok.approved);
+    }
+
+    #[test]
+    fn policy_validation_bounds_fraction() {
+        assert!(AuthPolicy::ZeroHammingDistance.validate().is_ok());
+        assert!(AuthPolicy::MaxHammingFraction(0.0).validate().is_ok());
+        assert!(AuthPolicy::MaxHammingFraction(1.0).validate().is_ok());
+        assert!(matches!(
+            AuthPolicy::MaxHammingFraction(1.5).validate(),
+            Err(ProtocolError::InvalidPolicy { .. })
+        ));
+        assert!(matches!(
+            AuthPolicy::MaxHammingFraction(-0.1).validate(),
+            Err(ProtocolError::InvalidPolicy { .. })
+        ));
+    }
+
+    #[test]
+    fn try_respond_propagates_silicon_errors() {
+        use puf_silicon::{Chip, ChipConfig};
+        let mut rng = StdRng::seed_from_u64(30);
+        let chip = Chip::fabricate(0, &ChipConfig::small(), &mut rng);
+        let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 31);
+        let wrong_stages = [Challenge::zero(8)];
+        assert!(matches!(
+            client.try_respond(&wrong_stages),
+            Err(ProtocolError::Silicon(_))
+        ));
+        let ok = [Challenge::zero(chip.stages())];
+        assert_eq!(client.try_respond(&ok).unwrap().len(), 1);
+        // The default trait impl never fails.
+        let mut random = RandomResponder::new(1);
+        assert_eq!(random.try_respond(&ok).unwrap().len(), 1);
     }
 
     #[test]

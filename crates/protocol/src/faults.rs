@@ -1,0 +1,512 @@
+//! Deterministic, seeded fault injection for the device↔server path.
+//!
+//! Every fault in a chaos run is drawn from an [`rand::rngs::StdRng`]
+//! derived from one [`FaultPlan::seed`], with independent splitmix64 lanes
+//! for the response path, the channel and the environment — so the same
+//! plan replays bit-identically no matter how the components interleave,
+//! and disarming a fault never shifts another lane's stream. Nothing here
+//! reads the clock or a global RNG (lint rule L3).
+//!
+//! The taxonomy (DESIGN.md §10):
+//!
+//! | fault | layer | knob |
+//! |---|---|---|
+//! | response bit flips | silicon / device | [`FaultPlan::response_flip_rate`] |
+//! | V/T drift beyond the 3×3 grid | environment | [`ConditionJitter`] |
+//! | counter saturation | silicon | [`puf_silicon::MeasurementFaults`] |
+//! | fuse-read failures | silicon | [`puf_silicon::MeasurementFaults`] |
+//! | message drop / corruption / duplication / reorder | channel | [`ChannelFaultPlan`] |
+//! | stragglers (timeouts) | channel | [`ChannelFaultPlan::straggle_rate`] |
+
+use crate::auth::Responder;
+use crate::session::{Channel, Delivery};
+use crate::ProtocolError;
+use puf_core::{rngx, Challenge, Condition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// splitmix64 finalizer — derives statistically independent lane seeds from
+/// one plan seed (the standard seeding recommendation for split streams).
+fn splitmix64(seed: u64, lane: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(lane.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Gaussian voltage/temperature perturbation applied on top of a nominal
+/// [`Condition`] — operating excursions beyond the paper's 3×3 grid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConditionJitter {
+    /// Standard deviation of the supply-voltage excursion, in volts.
+    pub sigma_vdd: f64,
+    /// Standard deviation of the temperature excursion, in °C.
+    pub sigma_temp: f64,
+}
+
+impl ConditionJitter {
+    /// No jitter.
+    pub const NONE: Self = Self {
+        sigma_vdd: 0.0,
+        sigma_temp: 0.0,
+    };
+
+    /// Whether both excursions are disabled.
+    pub fn is_none(&self) -> bool {
+        self.sigma_vdd <= 0.0 && self.sigma_temp <= 0.0
+    }
+}
+
+/// Message-path fault rates, each the per-message probability of the event.
+/// Events are drawn in a fixed order (drop, straggle, duplicate, reorder,
+/// corrupt) and a draw is taken only when its rate is armed, so disarming
+/// one fault never shifts the others' streams.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChannelFaultPlan {
+    /// Message lost entirely.
+    pub drop_rate: f64,
+    /// Message arrives past the server's deadline (timeout).
+    pub straggle_rate: f64,
+    /// Message delivered twice; the session's lockstep sequence numbering
+    /// absorbs the duplicate, so only the `faults.channel.duplicates`
+    /// counter observes it.
+    pub duplicate_rate: f64,
+    /// Message overtakes a neighbour in flight; reassembly absorbs it, so
+    /// only the `faults.channel.reorders` counter observes it.
+    pub reorder_rate: f64,
+    /// One uniformly chosen response bit flips in flight.
+    pub corrupt_rate: f64,
+}
+
+impl ChannelFaultPlan {
+    /// A perfectly behaved channel.
+    pub const NONE: Self = Self {
+        drop_rate: 0.0,
+        straggle_rate: 0.0,
+        duplicate_rate: 0.0,
+        reorder_rate: 0.0,
+        corrupt_rate: 0.0,
+    };
+
+    /// Whether every channel fault is disarmed.
+    pub fn is_none(&self) -> bool {
+        self.drop_rate <= 0.0
+            && self.straggle_rate <= 0.0
+            && self.duplicate_rate <= 0.0
+            && self.reorder_rate <= 0.0
+            && self.corrupt_rate <= 0.0
+    }
+
+    fn rates(&self) -> [(f64, &'static str); 5] {
+        [
+            (self.drop_rate, "channel drop rate"),
+            (self.straggle_rate, "channel straggle rate"),
+            (self.duplicate_rate, "channel duplicate rate"),
+            (self.reorder_rate, "channel reorder rate"),
+            (self.corrupt_rate, "channel corrupt rate"),
+        ]
+    }
+}
+
+/// A complete, seeded description of every fault in a chaos scenario.
+///
+/// Identical plans replay bit-identically; [`FaultPlan::none`] disarms
+/// everything.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; each fault lane derives its own stream from it.
+    pub seed: u64,
+    /// Per-bit probability that a device response flips before transmission
+    /// (brownout on the arbiter sense path).
+    pub response_flip_rate: f64,
+    /// Environment excursions applied per session.
+    pub jitter: ConditionJitter,
+    /// Message-path fault rates.
+    pub channel: ChannelFaultPlan,
+    /// Silicon-level measurement faults (counter saturation, fuse
+    /// glitches) forwarded to [`puf_silicon::testbench`].
+    pub measurement: puf_silicon::MeasurementFaults,
+}
+
+impl FaultPlan {
+    /// A plan with every fault disarmed.
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            response_flip_rate: 0.0,
+            jitter: ConditionJitter::NONE,
+            channel: ChannelFaultPlan::NONE,
+            measurement: puf_silicon::MeasurementFaults::NONE,
+        }
+    }
+
+    /// Sets the per-bit response flip rate (builder style).
+    pub fn with_response_flips(mut self, rate: f64) -> Self {
+        self.response_flip_rate = rate;
+        self.measurement.response_flip_rate = rate;
+        self
+    }
+
+    /// Sets the V/T jitter sigmas (builder style).
+    pub fn with_condition_jitter(mut self, sigma_vdd: f64, sigma_temp: f64) -> Self {
+        self.jitter = ConditionJitter {
+            sigma_vdd,
+            sigma_temp,
+        };
+        self
+    }
+
+    /// Sets the channel fault rates (builder style).
+    pub fn with_channel(mut self, channel: ChannelFaultPlan) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Sets the counter saturation cap (builder style).
+    pub fn with_counter_cap(mut self, cap: u64) -> Self {
+        self.measurement.counter_cap = Some(cap);
+        self
+    }
+
+    /// Sets the fuse-sense glitch rate (builder style).
+    pub fn with_fuse_glitches(mut self, rate: f64) -> Self {
+        self.measurement.fuse_glitch_rate = rate;
+        self
+    }
+
+    /// Checks that every rate is a probability and every sigma is finite
+    /// and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidPolicy`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), ProtocolError> {
+        let rate_checks = [
+            (self.response_flip_rate, "response flip rate"),
+            (self.measurement.response_flip_rate, "measurement flip rate"),
+            (self.measurement.fuse_glitch_rate, "fuse glitch rate"),
+        ];
+        for (rate, reason) in rate_checks.into_iter().chain(self.channel.rates()) {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(ProtocolError::InvalidPolicy { reason });
+            }
+        }
+        for (sigma, reason) in [
+            (self.jitter.sigma_vdd, "vdd jitter sigma"),
+            (self.jitter.sigma_temp, "temperature jitter sigma"),
+        ] {
+            if !sigma.is_finite() || sigma < 0.0 {
+                return Err(ProtocolError::InvalidPolicy { reason });
+            }
+        }
+        Ok(())
+    }
+
+    /// The seeded RNG for lane `lane` — distinct lanes give independent
+    /// streams from the same plan seed.
+    pub fn lane_rng(&self, lane: u64) -> StdRng {
+        StdRng::seed_from_u64(splitmix64(self.seed, lane))
+    }
+
+    /// The response-path injector (lane 0).
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector {
+            rng: self.lane_rng(0),
+            flip_rate: self.response_flip_rate,
+            jitter: self.jitter,
+        }
+    }
+
+    /// The message-path channel (lane 1).
+    pub fn channel_faults(&self) -> FaultyChannel {
+        FaultyChannel {
+            rng: self.lane_rng(1),
+            plan: self.channel,
+        }
+    }
+
+    /// The silicon measurement faults, for the `puf_silicon::testbench`
+    /// `*_faulty` sweeps (lane 2 is reserved for their RNG).
+    pub fn measurement_faults(&self) -> puf_silicon::MeasurementFaults {
+        self.measurement
+    }
+}
+
+/// Response-path fault injector: per-bit flips and V/T perturbation, all
+/// from one seeded lane.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    rng: StdRng,
+    flip_rate: f64,
+    jitter: ConditionJitter,
+}
+
+impl FaultInjector {
+    /// Flips each bit independently with the plan's flip rate, returning
+    /// how many flipped. Draws are taken only when the rate is armed, and
+    /// each flip increments `faults.response.flips`.
+    pub fn flip_bits(&mut self, bits: &mut [bool]) -> u64 {
+        if self.flip_rate <= 0.0 {
+            return 0;
+        }
+        let mut flips = 0u64;
+        for b in bits.iter_mut() {
+            if self.rng.gen::<f64>() < self.flip_rate {
+                *b = !*b;
+                flips += 1;
+            }
+        }
+        if flips > 0 {
+            puf_telemetry::counter!("faults.response.flips").add(flips);
+        }
+        flips
+    }
+
+    /// Perturbs an operating condition by the plan's V/T jitter — drift
+    /// beyond the characterized 3×3 grid. Draws are taken only for armed
+    /// sigmas; each perturbation increments `faults.condition.perturbations`.
+    pub fn perturb(&mut self, cond: Condition) -> Condition {
+        if self.jitter.is_none() {
+            return cond;
+        }
+        let vdd = if self.jitter.sigma_vdd > 0.0 {
+            rngx::normal(&mut self.rng, cond.vdd, self.jitter.sigma_vdd)
+        } else {
+            cond.vdd
+        };
+        let temp_c = if self.jitter.sigma_temp > 0.0 {
+            rngx::normal(&mut self.rng, cond.temp_c, self.jitter.sigma_temp)
+        } else {
+            cond.temp_c
+        };
+        puf_telemetry::counter!("faults.condition.perturbations").inc();
+        Condition { vdd, temp_c }
+    }
+}
+
+/// A [`Channel`] that drops, delays, duplicates, reorders and corrupts
+/// messages per a seeded [`ChannelFaultPlan`].
+#[derive(Clone, Debug)]
+pub struct FaultyChannel {
+    rng: StdRng,
+    plan: ChannelFaultPlan,
+}
+
+impl Channel for FaultyChannel {
+    fn transmit(&mut self, mut response: Vec<bool>) -> Delivery {
+        let plan = self.plan;
+        if plan.drop_rate > 0.0 && self.rng.gen::<f64>() < plan.drop_rate {
+            puf_telemetry::counter!("faults.channel.drops").inc();
+            return Delivery::Dropped;
+        }
+        if plan.straggle_rate > 0.0 && self.rng.gen::<f64>() < plan.straggle_rate {
+            puf_telemetry::counter!("faults.channel.stragglers").inc();
+            return Delivery::Straggled;
+        }
+        // Duplicates and reorders are absorbed by the session's lockstep
+        // sequence numbering; they are observable only through telemetry.
+        if plan.duplicate_rate > 0.0 && self.rng.gen::<f64>() < plan.duplicate_rate {
+            puf_telemetry::counter!("faults.channel.duplicates").inc();
+        }
+        if plan.reorder_rate > 0.0 && self.rng.gen::<f64>() < plan.reorder_rate {
+            puf_telemetry::counter!("faults.channel.reorders").inc();
+        }
+        if plan.corrupt_rate > 0.0
+            && !response.is_empty()
+            && self.rng.gen::<f64>() < plan.corrupt_rate
+        {
+            let idx = self.rng.gen_range(0..response.len());
+            if let Some(bit) = response.get_mut(idx) {
+                *bit = !*bit;
+            }
+            puf_telemetry::counter!("faults.channel.corruptions").inc();
+        }
+        Delivery::Delivered(response)
+    }
+}
+
+/// A [`Responder`] wrapper that routes the inner client's responses through
+/// a [`FaultInjector`] — the device-side brownout view of any client.
+#[derive(Debug)]
+pub struct FaultyResponder<C> {
+    inner: C,
+    injector: FaultInjector,
+}
+
+impl<C: Responder> FaultyResponder<C> {
+    /// Wraps `inner` with the plan's response-path injector.
+    pub fn new(inner: C, plan: &FaultPlan) -> Self {
+        Self {
+            inner,
+            injector: plan.injector(),
+        }
+    }
+
+    /// The wrapped client.
+    pub fn inner_mut(&mut self) -> &mut C {
+        &mut self.inner
+    }
+}
+
+impl<C: Responder> Responder for FaultyResponder<C> {
+    fn respond(&mut self, challenges: &[Challenge]) -> Vec<bool> {
+        // Errors surface through try_respond; the infallible path returns
+        // an empty frame, which the session treats as a frame mismatch.
+        self.try_respond(challenges).unwrap_or_default()
+    }
+
+    fn try_respond(&mut self, challenges: &[Challenge]) -> Result<Vec<bool>, ProtocolError> {
+        let mut bits = self.inner.try_respond(challenges)?;
+        self.injector.flip_bits(&mut bits);
+        Ok(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::RandomResponder;
+    use crate::session::PerfectChannel;
+
+    #[test]
+    fn lane_seeds_are_independent_and_stable() {
+        let plan = FaultPlan::none(42);
+        let mut a = plan.lane_rng(0);
+        let mut b = plan.lane_rng(0);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "same lane must replay");
+        let mut c = plan.lane_rng(1);
+        assert_ne!(
+            plan.lane_rng(0).gen::<u64>(),
+            c.gen::<u64>(),
+            "distinct lanes must diverge"
+        );
+    }
+
+    #[test]
+    fn validation_names_bad_knobs() {
+        assert!(FaultPlan::none(1).validate().is_ok());
+        assert!(FaultPlan::none(1)
+            .with_response_flips(1.5)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none(1)
+            .with_fuse_glitches(-0.1)
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none(1)
+            .with_condition_jitter(f64::NAN, 0.0)
+            .validate()
+            .is_err());
+        let bad_channel = ChannelFaultPlan {
+            drop_rate: 2.0,
+            ..ChannelFaultPlan::NONE
+        };
+        assert!(FaultPlan::none(1)
+            .with_channel(bad_channel)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn injector_replays_bit_identically() {
+        let plan = FaultPlan::none(7).with_response_flips(0.3);
+        let mut bits_a = vec![false; 500];
+        let mut bits_b = vec![false; 500];
+        let flips_a = plan.injector().flip_bits(&mut bits_a);
+        let flips_b = plan.injector().flip_bits(&mut bits_b);
+        assert_eq!(bits_a, bits_b, "same plan must flip the same bits");
+        assert_eq!(flips_a, flips_b);
+        assert!(flips_a > 0, "30 % over 500 bits flipped nothing");
+    }
+
+    #[test]
+    fn disarmed_injector_is_transparent() {
+        let plan = FaultPlan::none(8);
+        let mut injector = plan.injector();
+        let mut bits = vec![true; 100];
+        assert_eq!(injector.flip_bits(&mut bits), 0);
+        assert!(bits.iter().all(|&b| b));
+        let cond = Condition::NOMINAL;
+        assert_eq!(injector.perturb(cond), cond);
+    }
+
+    #[test]
+    fn perturb_moves_conditions() {
+        let plan = FaultPlan::none(9).with_condition_jitter(0.05, 10.0);
+        let mut injector = plan.injector();
+        let jittered = injector.perturb(Condition::NOMINAL);
+        assert_ne!(jittered, Condition::NOMINAL);
+        // Replay: a fresh injector from the same plan lands identically.
+        let again = plan.injector().perturb(Condition::NOMINAL);
+        assert_eq!(jittered, again);
+    }
+
+    #[test]
+    fn channel_faults_fire_at_expected_rates() {
+        let plan = FaultPlan::none(10).with_channel(ChannelFaultPlan {
+            drop_rate: 0.3,
+            straggle_rate: 0.1,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+            corrupt_rate: 0.2,
+        });
+        let mut channel = plan.channel_faults();
+        let (mut drops, mut straggles, mut corrupt, mut clean) = (0, 0, 0, 0);
+        for _ in 0..2_000 {
+            match channel.transmit(vec![false; 8]) {
+                Delivery::Dropped => drops += 1,
+                Delivery::Straggled => straggles += 1,
+                Delivery::Delivered(bits) => {
+                    if bits.iter().any(|&b| b) {
+                        corrupt += 1;
+                    } else {
+                        clean += 1;
+                    }
+                }
+            }
+        }
+        assert!((drops as f64 / 2_000.0 - 0.3).abs() < 0.05, "drops {drops}");
+        assert!(straggles > 0 && corrupt > 0 && clean > 0);
+        // Exactly one bit flips per corruption event.
+        let mut channel = plan.channel_faults();
+        for _ in 0..500 {
+            if let Delivery::Delivered(bits) = channel.transmit(vec![false; 8]) {
+                assert!(bits.iter().filter(|&&b| b).count() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_channel_plan_is_transparent() {
+        let plan = FaultPlan::none(11);
+        assert!(plan.channel.is_none());
+        let mut channel = plan.channel_faults();
+        let payload = vec![true, false, true];
+        assert_eq!(
+            channel.transmit(payload.clone()),
+            Delivery::Delivered(payload.clone())
+        );
+        assert_eq!(
+            PerfectChannel.transmit(payload.clone()),
+            Delivery::Delivered(payload)
+        );
+    }
+
+    #[test]
+    fn faulty_responder_flips_inner_bits_deterministically() {
+        let plan = FaultPlan::none(12).with_response_flips(0.5);
+        let challenges: Vec<Challenge> = (0..64)
+            .map(|i| Challenge::from_bits(i, 16).unwrap())
+            .collect();
+        let mut a = FaultyResponder::new(RandomResponder::new(3), &plan);
+        let mut b = FaultyResponder::new(RandomResponder::new(3), &plan);
+        assert_eq!(a.respond(&challenges), b.respond(&challenges));
+        // And differs from the unfaulted inner stream.
+        let clean = RandomResponder::new(3).respond(&challenges);
+        let faulted = FaultyResponder::new(RandomResponder::new(3), &plan).respond(&challenges);
+        assert_ne!(clean, faulted);
+        assert_eq!(a.inner_mut().respond(&challenges).len(), 64);
+    }
+}

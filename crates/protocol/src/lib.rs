@@ -49,16 +49,22 @@ pub mod auth;
 pub mod baselines;
 pub mod bifurcation;
 pub mod enrollment;
+pub mod faults;
 pub mod keygen;
 pub mod lockdown;
 pub mod salvage;
 pub mod server;
+pub mod session;
 pub mod storage;
 pub mod threshold;
 
 pub use auth::{AuthOutcome, AuthPolicy, ChipResponder, RandomResponder, Responder};
 pub use enrollment::{enroll, EnrolledChip, EnrolledPuf, EnrollmentConfig};
+pub use faults::{ChannelFaultPlan, FaultInjector, FaultPlan, FaultyChannel, FaultyResponder};
 pub use server::{SelectedChallenge, Server};
+pub use session::{
+    Channel, Delivery, PerfectChannel, SessionManager, SessionOutcome, SessionPolicy, SessionReport,
+};
 pub use threshold::{fit_betas, Betas, StabilityClass, Thresholds};
 
 use puf_ml::linalg::NotPositiveDefiniteError;
@@ -112,6 +118,29 @@ pub enum ProtocolError {
         /// Challenges answered before the budget ran out.
         answered: u64,
     },
+    /// An authentication round carried zero challenges — nothing to judge.
+    EmptyRound,
+    /// A policy or session configuration is internally inconsistent (e.g. a
+    /// Hamming-fraction bound outside `[0, 1]`, a zero retry budget, or a
+    /// fault rate outside `[0, 1]`).
+    InvalidPolicy {
+        /// What is wrong with the configuration.
+        reason: &'static str,
+    },
+    /// The chip is locked out after too many consecutive failed rounds; the
+    /// server refuses to issue further challenges until it is reinstated.
+    ChipLockedOut {
+        /// The locked-out chip id.
+        chip_id: u32,
+        /// Consecutive failed rounds recorded at lockout.
+        consecutive_failures: u32,
+    },
+    /// The transport dropped or timed out the exchange; no responses
+    /// arrived to judge. Transient — the session layer retries these.
+    TransportFailure {
+        /// What the channel did to the exchange.
+        kind: session::TransportFailureKind,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -144,6 +173,22 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::CrpBudgetExhausted { answered } => {
                 write!(f, "lockdown CRP budget exhausted after {answered} answers")
+            }
+            ProtocolError::EmptyRound => {
+                write!(f, "cannot judge an authentication round with no challenges")
+            }
+            ProtocolError::InvalidPolicy { reason } => {
+                write!(f, "invalid policy configuration: {reason}")
+            }
+            ProtocolError::ChipLockedOut {
+                chip_id,
+                consecutive_failures,
+            } => write!(
+                f,
+                "chip {chip_id} is locked out after {consecutive_failures} consecutive failures"
+            ),
+            ProtocolError::TransportFailure { kind } => {
+                write!(f, "transport failure: {kind}")
             }
         }
     }

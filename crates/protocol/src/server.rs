@@ -6,7 +6,7 @@ use crate::enrollment::EnrolledChip;
 use crate::ProtocolError;
 use puf_core::Challenge;
 use rand::Rng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A selected challenge together with the server's predicted XOR response.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,6 +88,29 @@ impl Server {
         max_attempts: usize,
         rng: &mut R,
     ) -> Result<Vec<SelectedChallenge>, ProtocolError> {
+        static NO_EXCLUSIONS: BTreeSet<u128> = BTreeSet::new();
+        self.select_challenges_excluding(chip_id, count, max_attempts, &NO_EXCLUSIONS, rng)
+    }
+
+    /// [`Server::select_challenges`] with an exclusion set: challenges whose
+    /// bit patterns appear in `exclude` are never selected. The session
+    /// layer uses this to guarantee that a retry after a failed round draws
+    /// *fresh* challenges — re-exposing a failed set would hand an
+    /// eavesdropper repeated observations of the same CRPs.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::select_challenges`]; a large exclusion set makes
+    /// [`ProtocolError::ChallengeSelectionExhausted`] correspondingly more
+    /// likely.
+    pub fn select_challenges_excluding<R: Rng + ?Sized>(
+        &self,
+        chip_id: u32,
+        count: usize,
+        max_attempts: usize,
+        exclude: &BTreeSet<u128>,
+        rng: &mut R,
+    ) -> Result<Vec<SelectedChallenge>, ProtocolError> {
         let record = self
             .records
             .get(&chip_id)
@@ -101,6 +124,9 @@ impl Server {
             }
             attempted += 1;
             let challenge = Challenge::random(record.stages, rng);
+            if exclude.contains(&challenge.bits()) {
+                continue;
+            }
             if let Some(expected) = record.predict_stable_xor(&challenge) {
                 selected.push(SelectedChallenge {
                     challenge,
@@ -149,7 +175,7 @@ impl Server {
         let max_attempts = count.saturating_mul(200_000).max(100_000);
         let selected = self.select_challenges(chip_id, count, max_attempts, rng)?;
         let challenges: Vec<Challenge> = selected.iter().map(|s| s.challenge).collect();
-        let responses = client.respond(&challenges);
+        let responses = client.try_respond(&challenges)?;
         if responses.len() != challenges.len() {
             return Err(ProtocolError::ResponseCountMismatch {
                 expected: challenges.len(),
@@ -161,7 +187,7 @@ impl Server {
             .zip(&responses)
             .filter(|(s, &r)| s.expected != r)
             .count();
-        let outcome = AuthOutcome::judge(policy, count, mismatches);
+        let outcome = AuthOutcome::try_judge(policy, count, mismatches)?;
         if outcome.approved {
             puf_telemetry::counter!("protocol.auth.accepts").inc();
         } else {
@@ -228,6 +254,46 @@ mod tests {
             }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn exclusion_set_forces_fresh_challenges() {
+        let (_, server, mut rng) = setup(6);
+        let first = server.select_challenges(3, 20, 200_000, &mut rng).unwrap();
+        let exclude: BTreeSet<u128> = first.iter().map(|s| s.challenge.bits()).collect();
+        let second = server
+            .select_challenges_excluding(3, 20, 200_000, &exclude, &mut rng)
+            .unwrap();
+        for s in &second {
+            assert!(
+                !exclude.contains(&s.challenge.bits()),
+                "excluded challenge was re-selected"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_exclusion_errors_instead_of_underfilling() {
+        // Regression: with the entire (tiny) stable pool excluded the server
+        // must report ChallengeSelectionExhausted, never silently under-fill
+        // or hand back an excluded challenge. A 16-stage chip has 2^16
+        // challenges, so exclude every single stable one.
+        let (_, server, mut rng) = setup(7);
+        let record = server.record(3).unwrap();
+        let exclude: BTreeSet<u128> = (0..(1u128 << 16))
+            .filter(|&bits| {
+                let c = Challenge::from_bits(bits, 16).unwrap();
+                record.predict_stable_xor(&c).is_some()
+            })
+            .collect();
+        assert!(!exclude.is_empty(), "test setup: no stable challenges");
+        let err = server
+            .select_challenges_excluding(3, 5, 20_000, &exclude, &mut rng)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::ChallengeSelectionExhausted { found: 0, .. }
+        ));
     }
 
     #[test]

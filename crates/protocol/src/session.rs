@@ -1,0 +1,815 @@
+//! Resilient authentication sessions: retry, lockout and graceful
+//! degradation on top of the one-shot [`Server`] verification round.
+//!
+//! The paper's Fig. 7 protocol is a single round: select predicted-stable
+//! challenges, sample the chip once, accept on zero Hamming distance. Real
+//! deployments see flipped bits from brownouts, saturated counters and
+//! corrupted frames — and a single flip rejects a legitimate chip. This
+//! module turns the one-shot round into a *session* state machine:
+//!
+//! - **Bounded retries** — a failed round is retried up to
+//!   [`SessionPolicy::max_retries`] times, and every retry draws *fresh*
+//!   predicted-stable challenges through
+//!   [`Server::select_challenges_excluding`]; a failed challenge set is
+//!   never re-exposed (re-sending it would hand an eavesdropper repeated
+//!   observations of the same CRPs — the chosen-challenge harvesting risk).
+//! - **Deterministic backoff bookkeeping** — retries accrue exponential
+//!   backoff *ticks* (`base · 2^(attempt−1)`, capped); the session never
+//!   sleeps, it records the schedule so callers and tests stay
+//!   deterministic.
+//! - **Lockout** — each chip carries a consecutive-failure counter that
+//!   only a clean acceptance clears. At
+//!   [`SessionPolicy::lockout_threshold`] the chip locks out and the server
+//!   refuses to issue further challenges until [`SessionManager::reinstate`]
+//!   is called. Transport failures (drops, stragglers, glitched
+//!   measurements) consume retry budget but do **not** advance the counter:
+//!   they carry no evidence about who is responding.
+//! - **Graceful degradation** — when every retry fails under the strict
+//!   zero-Hamming-distance policy, an optional
+//!   [`AuthPolicy::MaxHammingFraction`] fallback re-judges the *last
+//!   verified* round. Passing the fallback yields an explicit
+//!   [`SessionOutcome::Degraded`] that flags the chip for re-enrollment —
+//!   security is never weakened silently.
+//!
+//! Every transition increments a `protocol.session.*` telemetry counter
+//! (see the README's observability table).
+
+use crate::auth::{AuthOutcome, AuthPolicy, Responder};
+use crate::server::Server;
+use crate::ProtocolError;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How a transport-level exchange failed (no judgement was possible).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportFailureKind {
+    /// The message never arrived.
+    Dropped,
+    /// The device straggled past the response deadline.
+    Straggled,
+    /// The frame arrived with the wrong number of response bits.
+    FrameMismatch,
+    /// The device's measurement path glitched transiently (e.g. a fuse
+    /// sense failure) and produced no responses.
+    MeasurementGlitch,
+}
+
+impl fmt::Display for TransportFailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportFailureKind::Dropped => write!(f, "message dropped"),
+            TransportFailureKind::Straggled => write!(f, "device straggled past the deadline"),
+            TransportFailureKind::FrameMismatch => write!(f, "frame carried a wrong bit count"),
+            TransportFailureKind::MeasurementGlitch => {
+                write!(f, "device measurement glitched transiently")
+            }
+        }
+    }
+}
+
+/// What a channel did to one response message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Delivery {
+    /// The payload arrived (possibly corrupted in flight).
+    Delivered(Vec<bool>),
+    /// The message was lost.
+    Dropped,
+    /// The message arrived after the server's deadline — a straggler, which
+    /// the server treats exactly like a timeout.
+    Straggled,
+}
+
+/// The device→server response path. Implementations may drop, corrupt,
+/// duplicate, reorder or delay messages; the session layer only observes
+/// the resulting [`Delivery`].
+pub trait Channel {
+    /// Transmits one response frame.
+    fn transmit(&mut self, response: Vec<bool>) -> Delivery;
+}
+
+/// A lossless, instantaneous channel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PerfectChannel;
+
+impl Channel for PerfectChannel {
+    fn transmit(&mut self, response: Vec<bool>) -> Delivery {
+        Delivery::Delivered(response)
+    }
+}
+
+/// Configuration of the session state machine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SessionPolicy {
+    /// Challenges per authentication attempt.
+    pub rounds: usize,
+    /// Additional attempts after the first (0 = one-shot).
+    pub max_retries: u32,
+    /// Backoff ticks scheduled before the first retry.
+    pub backoff_base_ticks: u64,
+    /// Ceiling on the per-retry backoff ticks.
+    pub backoff_cap_ticks: u64,
+    /// Consecutive failed *verification* rounds before the chip locks out.
+    pub lockout_threshold: u32,
+    /// The primary acceptance policy (the paper's zero Hamming distance).
+    pub primary: AuthPolicy,
+    /// Optional degraded-mode fallback, judged on the last verified round
+    /// only after every retry failed the primary policy. Accepting through
+    /// it yields [`SessionOutcome::Degraded`] and flags re-enrollment.
+    pub fallback: Option<AuthPolicy>,
+}
+
+impl SessionPolicy {
+    /// The paper's strict protocol: one shot, zero Hamming distance, no
+    /// fallback, lockout after 3 consecutive failures.
+    pub fn strict(rounds: usize) -> Self {
+        Self {
+            rounds,
+            max_retries: 0,
+            backoff_base_ticks: 1,
+            backoff_cap_ticks: 64,
+            lockout_threshold: 3,
+            primary: AuthPolicy::ZeroHammingDistance,
+            fallback: None,
+        }
+    }
+
+    /// Production preset: up to 3 retries with exponential backoff, lockout
+    /// after 8 consecutive failures, no degraded fallback.
+    pub fn resilient(rounds: usize) -> Self {
+        Self {
+            rounds,
+            max_retries: 3,
+            backoff_base_ticks: 1,
+            backoff_cap_ticks: 64,
+            lockout_threshold: 8,
+            primary: AuthPolicy::ZeroHammingDistance,
+            fallback: None,
+        }
+    }
+
+    /// [`SessionPolicy::resilient`] plus a degraded-mode ladder: after the
+    /// retries are spent, a round within `fallback_fraction` Hamming
+    /// fraction is accepted as [`SessionOutcome::Degraded`] and the chip is
+    /// flagged for re-enrollment.
+    pub fn degraded(rounds: usize, fallback_fraction: f64) -> Self {
+        Self {
+            fallback: Some(AuthPolicy::MaxHammingFraction(fallback_fraction)),
+            ..Self::resilient(rounds)
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidPolicy`] on zero rounds, a zero lockout
+    /// threshold, a backoff cap below the base, or an invalid acceptance
+    /// policy.
+    pub fn validate(&self) -> Result<(), ProtocolError> {
+        if self.rounds == 0 {
+            return Err(ProtocolError::InvalidPolicy {
+                reason: "session rounds must be positive",
+            });
+        }
+        if self.lockout_threshold == 0 {
+            return Err(ProtocolError::InvalidPolicy {
+                reason: "lockout threshold must be positive",
+            });
+        }
+        if self.backoff_cap_ticks < self.backoff_base_ticks {
+            return Err(ProtocolError::InvalidPolicy {
+                reason: "backoff cap must be at least the base",
+            });
+        }
+        self.primary.validate()?;
+        if let Some(fallback) = self.fallback {
+            fallback.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Backoff ticks scheduled after failed attempt number `attempt`
+    /// (1-based): `base · 2^(attempt−1)`, saturating, capped at
+    /// [`SessionPolicy::backoff_cap_ticks`].
+    pub fn backoff_ticks(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(63);
+        let doubled = if shift >= self.backoff_base_ticks.leading_zeros() {
+            u64::MAX // the shift would overflow: saturate
+        } else {
+            self.backoff_base_ticks << shift
+        };
+        doubled.min(self.backoff_cap_ticks)
+    }
+}
+
+/// Terminal state of one authentication session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// A round passed the primary policy.
+    Accepted,
+    /// Every retry failed the primary policy but the last verified round
+    /// passed the degraded fallback; the chip is flagged for re-enrollment.
+    Degraded,
+    /// All attempts failed; no fallback applied (or the fallback also
+    /// failed).
+    Rejected,
+    /// The consecutive-failure counter crossed the lockout threshold during
+    /// this session.
+    LockedOut,
+}
+
+impl SessionOutcome {
+    /// Whether this outcome grants the client access ([`Accepted`] or the
+    /// explicitly flagged [`Degraded`]).
+    ///
+    /// [`Accepted`]: SessionOutcome::Accepted
+    /// [`Degraded`]: SessionOutcome::Degraded
+    pub fn grants_access(&self) -> bool {
+        matches!(self, SessionOutcome::Accepted | SessionOutcome::Degraded)
+    }
+}
+
+impl fmt::Display for SessionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionOutcome::Accepted => write!(f, "accepted"),
+            SessionOutcome::Degraded => write!(f, "degraded accept (re-enroll)"),
+            SessionOutcome::Rejected => write!(f, "rejected"),
+            SessionOutcome::LockedOut => write!(f, "locked out"),
+        }
+    }
+}
+
+/// One transition in a session, in order of occurrence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SessionEvent {
+    /// A fresh-challenge attempt began (1-based).
+    AttemptStarted {
+        /// Attempt number.
+        attempt: u32,
+    },
+    /// The exchange failed at the transport layer; no judgement happened.
+    TransportFailed {
+        /// Attempt number.
+        attempt: u32,
+        /// What went wrong.
+        kind: TransportFailureKind,
+    },
+    /// A verified round failed the primary policy.
+    VerificationFailed {
+        /// Attempt number.
+        attempt: u32,
+        /// Mismatching bits in the round.
+        mismatches: usize,
+    },
+    /// Backoff ticks were scheduled before the next attempt.
+    BackoffScheduled {
+        /// Attempt that just failed.
+        attempt: u32,
+        /// Ticks scheduled.
+        ticks: u64,
+    },
+    /// A round passed the primary policy.
+    Accepted {
+        /// Attempt number.
+        attempt: u32,
+    },
+    /// The last verified round passed the degraded fallback.
+    DegradedAccept {
+        /// Mismatches tolerated by the fallback.
+        mismatches: usize,
+    },
+    /// The chip crossed the lockout threshold.
+    LockedOut {
+        /// Consecutive failures recorded at lockout.
+        consecutive_failures: u32,
+    },
+}
+
+/// Full account of one session: terminal outcome plus the transition log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionReport {
+    /// Terminal state.
+    pub outcome: SessionOutcome,
+    /// Attempts consumed (including the final one).
+    pub attempts: u32,
+    /// Total backoff ticks scheduled across all retries.
+    pub backoff_ticks_total: u64,
+    /// Distinct challenges issued over the whole session.
+    pub challenges_issued: usize,
+    /// Whether the session flagged the chip for re-enrollment.
+    pub needs_reenrollment: bool,
+    /// The judged outcome of the last round that reached verification.
+    pub last_verification: Option<AuthOutcome>,
+    /// Ordered transition log.
+    pub events: Vec<SessionEvent>,
+}
+
+/// Per-chip session bookkeeping held by the [`SessionManager`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChipSessionState {
+    /// Consecutive failed verification rounds. Only a clean
+    /// [`SessionOutcome::Accepted`] resets it — a degraded accept does not
+    /// (lockout progress is monotone across failed retries).
+    pub consecutive_failures: u32,
+    /// Whether the chip is locked out.
+    pub locked_out: bool,
+    /// Whether a degraded accept flagged the chip for re-enrollment.
+    pub needs_reenrollment: bool,
+    /// Sessions started for this chip.
+    pub sessions: u64,
+    /// Sessions that ended in a clean accept.
+    pub clean_accepts: u64,
+}
+
+/// Drives resilient authentication sessions against a [`Server`].
+#[derive(Clone, Debug)]
+pub struct SessionManager {
+    server: Server,
+    policy: SessionPolicy,
+    states: BTreeMap<u32, ChipSessionState>,
+}
+
+impl SessionManager {
+    /// Wraps a server with a session policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidPolicy`] if the policy is inconsistent.
+    pub fn new(server: Server, policy: SessionPolicy) -> Result<Self, ProtocolError> {
+        policy.validate()?;
+        Ok(Self {
+            server,
+            policy,
+            states: BTreeMap::new(),
+        })
+    }
+
+    /// The wrapped server.
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// The session policy.
+    pub fn policy(&self) -> &SessionPolicy {
+        &self.policy
+    }
+
+    /// Per-chip session state, if the chip has ever started a session.
+    pub fn state(&self, chip_id: u32) -> Option<&ChipSessionState> {
+        self.states.get(&chip_id)
+    }
+
+    /// Whether the chip is currently locked out.
+    pub fn is_locked_out(&self, chip_id: u32) -> bool {
+        self.states.get(&chip_id).is_some_and(|s| s.locked_out)
+    }
+
+    /// Administratively clears a lockout (e.g. after out-of-band vetting)
+    /// and resets the consecutive-failure counter. This is the **only**
+    /// path out of lockout.
+    pub fn reinstate(&mut self, chip_id: u32) {
+        if let Some(state) = self.states.get_mut(&chip_id) {
+            state.locked_out = false;
+            state.consecutive_failures = 0;
+            puf_telemetry::counter!("protocol.session.reinstates").inc();
+        }
+    }
+
+    /// Runs one full authentication session: up to `1 + max_retries`
+    /// attempts, each over fresh predicted-stable challenges, with lockout
+    /// and degraded-fallback bookkeeping. See the module docs for the state
+    /// machine.
+    ///
+    /// # Errors
+    ///
+    /// - [`ProtocolError::ChipLockedOut`] if the chip is locked out on
+    ///   entry (no challenges are exposed to a locked-out requester).
+    /// - [`ProtocolError::UnknownChip`] /
+    ///   [`ProtocolError::ChallengeSelectionExhausted`] from challenge
+    ///   selection.
+    /// - Non-transient responder errors (e.g. a stage mismatch) propagate;
+    ///   transient measurement glitches are treated as transport failures
+    ///   and retried.
+    pub fn authenticate<R, C, Ch>(
+        &mut self,
+        chip_id: u32,
+        client: &mut C,
+        channel: &mut Ch,
+        rng: &mut R,
+    ) -> Result<SessionReport, ProtocolError>
+    where
+        R: Rng + ?Sized,
+        C: Responder,
+        Ch: Channel,
+    {
+        let state = self.states.entry(chip_id).or_default();
+        if state.locked_out {
+            puf_telemetry::counter!("protocol.session.lockout_hits").inc();
+            return Err(ProtocolError::ChipLockedOut {
+                chip_id,
+                consecutive_failures: state.consecutive_failures,
+            });
+        }
+        state.sessions += 1;
+        puf_telemetry::counter!("protocol.session.starts").inc();
+        let _span = puf_telemetry::span!("protocol.session.duration");
+
+        let mut events = Vec::new();
+        let mut exclude: BTreeSet<u128> = BTreeSet::new();
+        let mut backoff_ticks_total = 0u64;
+        let mut last_verification: Option<AuthOutcome> = None;
+        let total_attempts = self.policy.max_retries.saturating_add(1);
+        // Draw generously per attempt; genuinely exhausted pools error out.
+        let select_budget = self.policy.rounds.saturating_mul(200_000).max(100_000);
+
+        let mut attempt = 0u32;
+        let outcome = loop {
+            attempt += 1;
+            events.push(SessionEvent::AttemptStarted { attempt });
+            puf_telemetry::counter!("protocol.session.attempts").inc();
+
+            // Fresh challenges: everything issued earlier in this session
+            // is excluded, so a failed set is never re-exposed.
+            let selected = self.server.select_challenges_excluding(
+                chip_id,
+                self.policy.rounds,
+                select_budget,
+                &exclude,
+                rng,
+            )?;
+            for s in &selected {
+                exclude.insert(s.challenge.bits());
+            }
+            puf_telemetry::counter!("protocol.session.fresh_challenges").add(selected.len() as u64);
+
+            let challenges: Vec<_> = selected.iter().map(|s| s.challenge).collect();
+            let transport_failure = match client.try_respond(&challenges) {
+                Ok(response) => match channel.transmit(response) {
+                    Delivery::Delivered(bits) if bits.len() == challenges.len() => {
+                        let mismatches = selected
+                            .iter()
+                            .zip(&bits)
+                            .filter(|(s, &r)| s.expected != r)
+                            .count();
+                        let judged = AuthOutcome::try_judge(
+                            self.policy.primary,
+                            challenges.len(),
+                            mismatches,
+                        )?;
+                        last_verification = Some(judged);
+                        if judged.approved {
+                            events.push(SessionEvent::Accepted { attempt });
+                            puf_telemetry::counter!("protocol.session.accepts").inc();
+                            break SessionOutcome::Accepted;
+                        }
+                        events.push(SessionEvent::VerificationFailed {
+                            attempt,
+                            mismatches,
+                        });
+                        puf_telemetry::counter!("protocol.session.verify_failures").inc();
+                        // Verification failure is evidence against the
+                        // responder: advance the lockout counter now, so a
+                        // retry storm cannot outrun the threshold.
+                        let failures = {
+                            let state = self.states.entry(chip_id).or_default();
+                            state.consecutive_failures =
+                                state.consecutive_failures.saturating_add(1);
+                            state.consecutive_failures
+                        };
+                        if failures >= self.policy.lockout_threshold {
+                            if let Some(state) = self.states.get_mut(&chip_id) {
+                                state.locked_out = true;
+                            }
+                            events.push(SessionEvent::LockedOut {
+                                consecutive_failures: failures,
+                            });
+                            puf_telemetry::counter!("protocol.session.lockouts").inc();
+                            break SessionOutcome::LockedOut;
+                        }
+                        None
+                    }
+                    Delivery::Delivered(_) => Some(TransportFailureKind::FrameMismatch),
+                    Delivery::Dropped => Some(TransportFailureKind::Dropped),
+                    Delivery::Straggled => Some(TransportFailureKind::Straggled),
+                },
+                // A transient fuse-sense glitch produced no responses: the
+                // exchange failed before any evidence arrived. Everything
+                // else (stage mismatch, blown fuses, …) is permanent.
+                Err(ProtocolError::Silicon(puf_silicon::SiliconError::FuseReadFailure)) => {
+                    Some(TransportFailureKind::MeasurementGlitch)
+                }
+                Err(e) => return Err(e),
+            };
+
+            if let Some(kind) = transport_failure {
+                events.push(SessionEvent::TransportFailed { attempt, kind });
+                puf_telemetry::counter!("protocol.session.transport_failures").inc();
+            }
+
+            if attempt >= total_attempts {
+                // Attempts exhausted: try the degraded ladder on the last
+                // round that actually reached verification.
+                if let (Some(fallback), Some(last)) = (self.policy.fallback, last_verification) {
+                    if fallback.try_accepts(last.challenges_used, last.mismatches)? {
+                        events.push(SessionEvent::DegradedAccept {
+                            mismatches: last.mismatches,
+                        });
+                        puf_telemetry::counter!("protocol.session.degraded").inc();
+                        break SessionOutcome::Degraded;
+                    }
+                }
+                puf_telemetry::counter!("protocol.session.rejects").inc();
+                break SessionOutcome::Rejected;
+            }
+
+            let ticks = self.policy.backoff_ticks(attempt);
+            backoff_ticks_total = backoff_ticks_total.saturating_add(ticks);
+            events.push(SessionEvent::BackoffScheduled { attempt, ticks });
+            puf_telemetry::counter!("protocol.session.retries").inc();
+            puf_telemetry::counter!("protocol.session.backoff_ticks").add(ticks);
+        };
+
+        let state = self.states.entry(chip_id).or_default();
+        match outcome {
+            SessionOutcome::Accepted => {
+                // Only a clean accept clears lockout progress.
+                state.consecutive_failures = 0;
+                state.clean_accepts += 1;
+            }
+            SessionOutcome::Degraded => {
+                state.needs_reenrollment = true;
+            }
+            SessionOutcome::Rejected | SessionOutcome::LockedOut => {}
+        }
+        Ok(SessionReport {
+            outcome,
+            attempts: attempt,
+            backoff_ticks_total,
+            challenges_issued: exclude.len(),
+            needs_reenrollment: state.needs_reenrollment,
+            last_verification,
+            events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::{ChipResponder, RandomResponder};
+    use crate::enrollment::{enroll, EnrollmentConfig};
+    use puf_core::Condition;
+    use puf_silicon::{Chip, ChipConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (Chip, Server, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chip = Chip::fabricate(3, &ChipConfig::small(), &mut rng);
+        let enrolled = enroll(&chip, &EnrollmentConfig::small(2), &mut rng).unwrap();
+        let mut server = Server::new();
+        server.register(enrolled);
+        (chip, server, rng)
+    }
+
+    #[test]
+    fn policy_presets_validate() {
+        assert!(SessionPolicy::strict(20).validate().is_ok());
+        assert!(SessionPolicy::resilient(20).validate().is_ok());
+        assert!(SessionPolicy::degraded(20, 0.1).validate().is_ok());
+        assert!(matches!(
+            SessionPolicy::strict(0).validate(),
+            Err(ProtocolError::InvalidPolicy { .. })
+        ));
+        assert!(matches!(
+            SessionPolicy::degraded(20, 1.5).validate(),
+            Err(ProtocolError::InvalidPolicy { .. })
+        ));
+        let bad = SessionPolicy {
+            lockout_threshold: 0,
+            ..SessionPolicy::strict(20)
+        };
+        assert!(bad.validate().is_err());
+        let bad = SessionPolicy {
+            backoff_base_ticks: 100,
+            backoff_cap_ticks: 10,
+            ..SessionPolicy::strict(20)
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = SessionPolicy {
+            backoff_base_ticks: 2,
+            backoff_cap_ticks: 10,
+            ..SessionPolicy::resilient(20)
+        };
+        assert_eq!(policy.backoff_ticks(1), 2);
+        assert_eq!(policy.backoff_ticks(2), 4);
+        assert_eq!(policy.backoff_ticks(3), 8);
+        assert_eq!(policy.backoff_ticks(4), 10);
+        assert_eq!(policy.backoff_ticks(200), 10, "shift must clamp, not UB");
+    }
+
+    #[test]
+    fn genuine_chip_accepts_cleanly() {
+        let (chip, server, mut rng) = setup(1);
+        let mut mgr = SessionManager::new(server, SessionPolicy::resilient(20)).unwrap();
+        let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 5);
+        let report = mgr
+            .authenticate(3, &mut client, &mut PerfectChannel, &mut rng)
+            .unwrap();
+        assert_eq!(report.outcome, SessionOutcome::Accepted);
+        assert!(report.outcome.grants_access());
+        assert!(!report.needs_reenrollment);
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.backoff_ticks_total, 0);
+        assert_eq!(mgr.state(3).unwrap().consecutive_failures, 0);
+        assert_eq!(mgr.state(3).unwrap().clean_accepts, 1);
+    }
+
+    #[test]
+    fn impostor_locks_out_and_stays_locked() {
+        let (_, server, mut rng) = setup(2);
+        let policy = SessionPolicy {
+            lockout_threshold: 4,
+            ..SessionPolicy::resilient(10)
+        };
+        let mut mgr = SessionManager::new(server, policy).unwrap();
+        let mut impostor = RandomResponder::new(9);
+        let report = mgr
+            .authenticate(3, &mut impostor, &mut PerfectChannel, &mut rng)
+            .unwrap();
+        // 4 attempts, each a verification failure: locked out in-session.
+        assert_eq!(report.outcome, SessionOutcome::LockedOut);
+        assert!(!report.outcome.grants_access());
+        assert!(mgr.is_locked_out(3));
+        // A locked-out chip gets no challenges at all.
+        assert!(matches!(
+            mgr.authenticate(3, &mut impostor, &mut PerfectChannel, &mut rng),
+            Err(ProtocolError::ChipLockedOut { chip_id: 3, .. })
+        ));
+        // Reinstatement is the only way back.
+        mgr.reinstate(3);
+        assert!(!mgr.is_locked_out(3));
+        assert_eq!(mgr.state(3).unwrap().consecutive_failures, 0);
+    }
+
+    #[test]
+    fn failure_counter_is_monotone_across_sessions() {
+        let (_, server, mut rng) = setup(3);
+        let policy = SessionPolicy {
+            max_retries: 1,
+            lockout_threshold: 10,
+            ..SessionPolicy::resilient(10)
+        };
+        let mut mgr = SessionManager::new(server, policy).unwrap();
+        let mut impostor = RandomResponder::new(10);
+        let mut last = 0;
+        for _ in 0..3 {
+            let report = mgr
+                .authenticate(3, &mut impostor, &mut PerfectChannel, &mut rng)
+                .unwrap();
+            assert_eq!(report.outcome, SessionOutcome::Rejected);
+            let now = mgr.state(3).unwrap().consecutive_failures;
+            assert!(now > last, "failed retries must never reset the counter");
+            last = now;
+        }
+        assert_eq!(last, 6, "2 verification failures per session × 3");
+    }
+
+    #[test]
+    fn retries_draw_fresh_challenges() {
+        let (_, server, mut rng) = setup(4);
+        let policy = SessionPolicy {
+            max_retries: 3,
+            lockout_threshold: 100,
+            ..SessionPolicy::resilient(15)
+        };
+        let mut mgr = SessionManager::new(server, policy).unwrap();
+        let mut impostor = RandomResponder::new(11);
+        let report = mgr
+            .authenticate(3, &mut impostor, &mut PerfectChannel, &mut rng)
+            .unwrap();
+        assert_eq!(report.attempts, 4);
+        // 4 attempts × 15 rounds; sets across attempts are disjoint by
+        // construction (within one round the server may rarely re-draw).
+        assert!(report.challenges_issued > 45);
+        assert_eq!(report.backoff_ticks_total, 1 + 2 + 4);
+    }
+
+    #[test]
+    fn dropped_messages_consume_retries_without_lockout_progress() {
+        struct DropAll;
+        impl Channel for DropAll {
+            fn transmit(&mut self, _: Vec<bool>) -> Delivery {
+                Delivery::Dropped
+            }
+        }
+        let (chip, server, mut rng) = setup(5);
+        let policy = SessionPolicy {
+            max_retries: 2,
+            ..SessionPolicy::resilient(10)
+        };
+        let mut mgr = SessionManager::new(server, policy).unwrap();
+        let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 6);
+        let report = mgr
+            .authenticate(3, &mut client, &mut DropAll, &mut rng)
+            .unwrap();
+        assert_eq!(report.outcome, SessionOutcome::Rejected);
+        assert_eq!(report.attempts, 3);
+        assert!(report.last_verification.is_none());
+        // Transport failures are not evidence of an impostor.
+        assert_eq!(mgr.state(3).unwrap().consecutive_failures, 0);
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::TransportFailed { .. })));
+    }
+
+    #[test]
+    fn frame_mismatch_is_a_transport_failure() {
+        struct Truncating;
+        impl Channel for Truncating {
+            fn transmit(&mut self, mut r: Vec<bool>) -> Delivery {
+                r.pop();
+                Delivery::Delivered(r)
+            }
+        }
+        let (chip, server, mut rng) = setup(6);
+        let mut mgr = SessionManager::new(
+            server,
+            SessionPolicy {
+                max_retries: 1,
+                ..SessionPolicy::resilient(10)
+            },
+        )
+        .unwrap();
+        let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 7);
+        let report = mgr
+            .authenticate(3, &mut client, &mut Truncating, &mut rng)
+            .unwrap();
+        assert_eq!(report.outcome, SessionOutcome::Rejected);
+        assert!(report.events.iter().any(|e| matches!(
+            e,
+            SessionEvent::TransportFailed {
+                kind: TransportFailureKind::FrameMismatch,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn degraded_fallback_flags_reenrollment() {
+        // An impostor that mirrors the chip but flips a small fraction of
+        // bits: fails zero-HD every time, passes a loose fallback.
+        struct NearMiss<'a> {
+            inner: ChipResponder<'a>,
+            flip_every: usize,
+        }
+        impl Responder for NearMiss<'_> {
+            fn respond(&mut self, challenges: &[puf_core::Challenge]) -> Vec<bool> {
+                let mut bits = self.inner.respond(challenges);
+                for (i, b) in bits.iter_mut().enumerate() {
+                    if i % self.flip_every == 0 {
+                        *b = !*b;
+                    }
+                }
+                bits
+            }
+        }
+        let (chip, server, mut rng) = setup(7);
+        let policy = SessionPolicy {
+            lockout_threshold: 100,
+            ..SessionPolicy::degraded(20, 0.25)
+        };
+        let mut mgr = SessionManager::new(server, policy).unwrap();
+        let mut client = NearMiss {
+            inner: ChipResponder::new(&chip, 2, Condition::NOMINAL, 8),
+            flip_every: 10,
+        };
+        let report = mgr
+            .authenticate(3, &mut client, &mut PerfectChannel, &mut rng)
+            .unwrap();
+        assert_eq!(report.outcome, SessionOutcome::Degraded);
+        assert!(report.outcome.grants_access());
+        assert!(report.needs_reenrollment);
+        assert!(mgr.state(3).unwrap().needs_reenrollment);
+        // Degraded accept does not clear the failure counter.
+        assert!(mgr.state(3).unwrap().consecutive_failures > 0);
+    }
+
+    #[test]
+    fn unknown_chip_propagates() {
+        let (_, server, mut rng) = setup(8);
+        let mut mgr = SessionManager::new(server, SessionPolicy::resilient(10)).unwrap();
+        let mut client = RandomResponder::new(12);
+        assert!(matches!(
+            mgr.authenticate(99, &mut client, &mut PerfectChannel, &mut rng),
+            Err(ProtocolError::UnknownChip { chip_id: 99 })
+        ));
+    }
+}

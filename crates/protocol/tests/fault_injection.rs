@@ -1,0 +1,374 @@
+//! Integration property tests for the fault-injection layer: seeded fault
+//! plans must replay bit-identically through every component they touch
+//! (sessions, salvage, lockdown, silicon sweeps), and lockout state must be
+//! monotone — a failed retry never winds the consecutive-failure counter
+//! back, under any injected fault.
+
+use puf_core::{Challenge, Condition};
+use puf_protocol::enrollment::{enroll, EnrollmentConfig};
+use puf_protocol::lockdown::LockdownInterface;
+use puf_protocol::salvage::{recommended_tolerance, salvage_select, SalvageConfig};
+use puf_protocol::session::{Channel, Delivery, SessionOutcome, SessionPolicy};
+use puf_protocol::{
+    AuthPolicy, ChannelFaultPlan, ChipResponder, FaultPlan, FaultyResponder, ProtocolError,
+    RandomResponder, Responder, Server, SessionManager,
+};
+use puf_silicon::testbench::{collect_xor_crps_faulty, soft_sweep_faulty};
+use puf_silicon::{Chip, ChipConfig, MeasurementFaults};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CHIP_ID: u32 = 3;
+
+fn setup(seed: u64) -> (Chip, Server, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let chip = Chip::fabricate(3, &ChipConfig::small(), &mut rng);
+    let enrolled = enroll(&chip, &EnrollmentConfig::small(2), &mut rng).unwrap();
+    let mut server = Server::new();
+    server.register(enrolled);
+    (chip, server, rng)
+}
+
+fn challenges(stages: usize, count: u128) -> Vec<Challenge> {
+    (0..count)
+        .map(|i| Challenge::from_bits(i * 257, stages).unwrap())
+        .collect()
+}
+
+/// One full faulted session, reconstructed from scratch for a given seed —
+/// the replay property quantifies over everything: chip fabrication,
+/// enrollment, challenge selection, response flips and channel faults.
+fn run_faulted_session(
+    world_seed: u64,
+    plan: FaultPlan,
+    policy: SessionPolicy,
+) -> (puf_protocol::SessionReport, Vec<u32>) {
+    let (chip, server, mut rng) = setup(world_seed);
+    let mut mgr = SessionManager::new(server, policy).unwrap();
+    let inner = ChipResponder::new(&chip, 2, Condition::NOMINAL, world_seed ^ 0xDEAD);
+    let mut client = FaultyResponder::new(inner, &plan);
+    let mut channel = plan.channel_faults();
+    let report = mgr
+        .authenticate(CHIP_ID, &mut client, &mut channel, &mut rng)
+        .unwrap();
+    let failures = mgr.state(CHIP_ID).unwrap().consecutive_failures;
+    (report, vec![failures])
+}
+
+#[test]
+fn faulted_sessions_replay_bit_identically() {
+    // Response flips + channel drops/corruption, rebuilt twice from the
+    // same seeds: the full transition log must match event for event.
+    let plan = FaultPlan::none(101)
+        .with_response_flips(0.1)
+        .with_channel(ChannelFaultPlan {
+            drop_rate: 0.2,
+            corrupt_rate: 0.1,
+            ..ChannelFaultPlan::NONE
+        });
+    plan.validate().unwrap();
+    let policy = SessionPolicy {
+        lockout_threshold: 50,
+        ..SessionPolicy::resilient(20)
+    };
+    let (report_a, state_a) = run_faulted_session(7, plan, policy);
+    let (report_b, state_b) = run_faulted_session(7, plan, policy);
+    assert_eq!(
+        report_a, report_b,
+        "same seeds must replay the same session"
+    );
+    assert_eq!(state_a, state_b);
+    // And a different fault seed genuinely changes the injected stream.
+    let other = FaultPlan { seed: 102, ..plan };
+    let (report_c, _) = run_faulted_session(7, other, policy);
+    assert_ne!(
+        report_a.events, report_c.events,
+        "a different fault seed should perturb the transition log"
+    );
+}
+
+#[test]
+fn measurement_fault_sweeps_replay_bit_identically() {
+    let (chip, _, _) = setup(11);
+    let cs = challenges(16, 200);
+    let faults = MeasurementFaults {
+        response_flip_rate: 0.05,
+        counter_cap: Some(3),
+        fuse_glitch_rate: 0.0,
+    };
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let crps =
+            collect_xor_crps_faulty(&chip, 2, &cs, Condition::NOMINAL, &faults, &mut rng).unwrap();
+        crps.responses().to_vec()
+    };
+    assert_eq!(run(5), run(5), "faulted CRP sweep must replay");
+    assert_ne!(run(5), run(6), "different seeds must differ");
+
+    let soft = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        soft_sweep_faulty(&chip, 0, &cs, Condition::NOMINAL, 50, &faults, &mut rng)
+            .unwrap()
+            .iter()
+            .map(|(_, s)| s.value())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(soft(9), soft(9), "faulted soft sweep must replay");
+}
+
+#[test]
+fn lockout_counter_is_monotone_under_every_fault_mix() {
+    // An impostor hammering the server through a lossy channel: across
+    // sessions and retries the consecutive-failure counter may only grow
+    // (transport failures hold it constant) until lockout, which latches.
+    let (_, server, mut rng) = setup(21);
+    let policy = SessionPolicy {
+        max_retries: 2,
+        lockout_threshold: 7,
+        ..SessionPolicy::resilient(10)
+    };
+    let mut mgr = SessionManager::new(server, policy).unwrap();
+    let plan = FaultPlan::none(303)
+        .with_response_flips(0.3)
+        .with_channel(ChannelFaultPlan {
+            drop_rate: 0.2,
+            straggle_rate: 0.1,
+            ..ChannelFaultPlan::NONE
+        });
+    let mut impostor = FaultyResponder::new(RandomResponder::new(99), &plan);
+    let mut channel = plan.channel_faults();
+    let mut last_failures = 0u32;
+    let mut was_locked = false;
+    for _ in 0..12 {
+        match mgr.authenticate(CHIP_ID, &mut impostor, &mut channel, &mut rng) {
+            Ok(report) => {
+                assert!(
+                    !report.outcome.grants_access(),
+                    "an impostor must never be granted access"
+                );
+                let state = mgr.state(CHIP_ID).unwrap();
+                assert!(
+                    state.consecutive_failures >= last_failures,
+                    "failure counter regressed {last_failures} -> {}",
+                    state.consecutive_failures
+                );
+                last_failures = state.consecutive_failures;
+                if report.outcome == SessionOutcome::LockedOut {
+                    was_locked = true;
+                }
+            }
+            Err(ProtocolError::ChipLockedOut { .. }) => {
+                assert!(was_locked, "lockout error without a lockout transition");
+                assert!(mgr.is_locked_out(CHIP_ID), "lockout must latch");
+            }
+            Err(e) => panic!("unexpected session error: {e}"),
+        }
+    }
+    assert!(was_locked, "a random impostor must eventually lock out");
+    assert!(mgr.is_locked_out(CHIP_ID), "lockout never resets by itself");
+}
+
+#[test]
+fn genuine_chip_transport_faults_never_advance_lockout() {
+    // A channel that drops everything: the legitimate chip burns its retry
+    // budget but accumulates zero lockout progress — transport failures
+    // carry no evidence about who is responding.
+    struct DropAll;
+    impl Channel for DropAll {
+        fn transmit(&mut self, _: Vec<bool>) -> Delivery {
+            Delivery::Dropped
+        }
+    }
+    let (chip, server, mut rng) = setup(31);
+    let policy = SessionPolicy {
+        max_retries: 3,
+        ..SessionPolicy::resilient(10)
+    };
+    let mut mgr = SessionManager::new(server, policy).unwrap();
+    let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 17);
+    for _ in 0..4 {
+        let report = mgr
+            .authenticate(CHIP_ID, &mut client, &mut DropAll, &mut rng)
+            .unwrap();
+        assert_eq!(report.outcome, SessionOutcome::Rejected);
+        assert_eq!(report.attempts, 4);
+        assert_eq!(mgr.state(CHIP_ID).unwrap().consecutive_failures, 0);
+    }
+    assert!(!mgr.is_locked_out(CHIP_ID));
+}
+
+#[test]
+fn salvage_replays_bit_identically_with_blown_fuses() {
+    // Salvage runs on the *deployed* chip; the whole campaign (soft
+    // measurements included) must be a pure function of the seed.
+    let (mut chip, _, _) = setup(41);
+    chip.blow_fuses();
+    let cs = challenges(16, 150);
+    let config = SalvageConfig {
+        soft_margin: 0.05,
+        evals: 200,
+    };
+    let run = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        salvage_select(&chip, 2, &cs, Condition::NOMINAL, &config, &mut rng).unwrap()
+    };
+    let a = run(13);
+    let b = run(13);
+    assert_eq!(a, b, "salvage campaign must replay bit-identically");
+    assert_eq!(a.tested, 150);
+    assert!(
+        !a.selected.is_empty(),
+        "a 5% margin over 150 challenges salvaged nothing"
+    );
+}
+
+#[test]
+fn salvaged_crps_authenticate_under_injected_flips() {
+    // End-to-end: salvage a challenge set, then verify the chip over it
+    // while a fault plan flips response bits. The recommended tolerance
+    // must absorb both the salvage error rate and the injected flips when
+    // it is widened by the flip rate; zero-HD would be far too brittle.
+    let (mut chip, _, _) = setup(43);
+    chip.blow_fuses();
+    let cs = challenges(16, 400);
+    let config = SalvageConfig {
+        soft_margin: 0.02,
+        evals: 400,
+    };
+    let mut rng = StdRng::seed_from_u64(19);
+    let report = salvage_select(&chip, 2, &cs, Condition::NOMINAL, &config, &mut rng).unwrap();
+    let rounds = report.selected.len();
+    assert!(rounds >= 20, "need a usable salvaged set, got {rounds}");
+
+    let flip_rate = 0.01;
+    let plan = FaultPlan::none(404).with_response_flips(flip_rate);
+    let inner = ChipResponder::new(&chip, 2, Condition::NOMINAL, 23);
+    let mut client = FaultyResponder::new(inner, &plan);
+    let selected: Vec<Challenge> = report.selected.iter().map(|s| s.challenge).collect();
+    let bits = client.try_respond(&selected).unwrap();
+    let mismatches = report
+        .selected
+        .iter()
+        .zip(&bits)
+        .filter(|(s, &b)| s.expected != b)
+        .count();
+    // recommended_tolerance covers salvage noise; widen by the injected
+    // flip rate (independent error sources add) plus its own headroom.
+    let tol = recommended_tolerance(&report, rounds, 4.0)
+        + flip_rate
+        + 4.0 * (flip_rate * (1.0 - flip_rate) / rounds as f64).sqrt();
+    let policy = AuthPolicy::MaxHammingFraction(tol);
+    assert!(
+        policy.try_accepts(rounds, mismatches).unwrap(),
+        "genuine chip rejected: {mismatches}/{rounds} vs tolerance {tol:.4}"
+    );
+}
+
+#[test]
+fn lockdown_budget_holds_under_channel_faults() {
+    // An attacker harvesting CRPs through a lossy channel: every answered
+    // query costs budget whether or not the reply survives the channel, so
+    // the lifetime CRP bound holds regardless of transport faults.
+    let (chip, _, _) = setup(53);
+    let mut iface = LockdownInterface::new(&chip, 2, Condition::NOMINAL, 8, 3, 61);
+    let plan = FaultPlan::none(505).with_channel(ChannelFaultPlan {
+        drop_rate: 0.4,
+        corrupt_rate: 0.2,
+        ..ChannelFaultPlan::NONE
+    });
+    let mut channel = plan.channel_faults();
+    let cs = challenges(16, 64);
+    let mut harvested = 0u64;
+    let mut exhausted = false;
+    'outer: for _ in 0..4 {
+        match iface.open_session() {
+            Ok(()) => {}
+            Err(ProtocolError::CrpBudgetExhausted { answered }) => {
+                assert_eq!(answered, iface.total_answered());
+                exhausted = true;
+                break;
+            }
+            Err(e) => panic!("unexpected lockdown error: {e}"),
+        }
+        for c in &cs {
+            match iface.query(c) {
+                Ok(bit) => {
+                    // The reply still rides the faulty channel; only
+                    // delivered, uncorrupted bits are useful to the
+                    // attacker — but the budget was spent either way.
+                    if let Delivery::Delivered(bits) = channel.transmit(vec![bit]) {
+                        harvested += bits.len() as u64;
+                    }
+                }
+                Err(ProtocolError::CrpBudgetExhausted { .. }) => continue 'outer,
+                Err(e) => panic!("unexpected query error: {e}"),
+            }
+        }
+    }
+    assert!(exhausted, "the session cap never bit");
+    assert_eq!(iface.total_answered(), iface.lifetime_budget());
+    assert!(
+        harvested <= iface.lifetime_budget(),
+        "channel faults cannot mint extra CRPs"
+    );
+    assert!(
+        harvested < iface.lifetime_budget(),
+        "a 40% drop rate should lose some of the harvest"
+    );
+}
+
+#[test]
+fn lockdown_replies_replay_bit_identically() {
+    let (chip, _, _) = setup(59);
+    let cs = challenges(16, 30);
+    let run = |seed: u64| {
+        let mut iface = LockdownInterface::new(&chip, 2, Condition::NOMINAL, 30, 1, seed);
+        iface.open_session().unwrap();
+        cs.iter()
+            .map(|c| iface.query(c).unwrap())
+            .collect::<Vec<bool>>()
+    };
+    assert_eq!(run(71), run(71), "lockdown readout must replay");
+}
+
+#[test]
+fn fuse_glitches_are_retried_transparently_in_sessions() {
+    // A responder whose measurement path glitches on its first exchange:
+    // the session treats it as a transport failure, retries with fresh
+    // challenges, and still accepts the genuine chip cleanly.
+    struct GlitchOnce<'a> {
+        inner: ChipResponder<'a>,
+        glitched: bool,
+    }
+    impl Responder for GlitchOnce<'_> {
+        fn respond(&mut self, challenges: &[Challenge]) -> Vec<bool> {
+            self.inner.respond(challenges)
+        }
+        fn try_respond(&mut self, challenges: &[Challenge]) -> Result<Vec<bool>, ProtocolError> {
+            if !self.glitched {
+                self.glitched = true;
+                return Err(ProtocolError::Silicon(
+                    puf_silicon::SiliconError::FuseReadFailure,
+                ));
+            }
+            self.inner.try_respond(challenges)
+        }
+    }
+    let (chip, server, mut rng) = setup(61);
+    let mut mgr = SessionManager::new(server, SessionPolicy::resilient(15)).unwrap();
+    let mut client = GlitchOnce {
+        inner: ChipResponder::new(&chip, 2, Condition::NOMINAL, 29),
+        glitched: false,
+    };
+    let report = mgr
+        .authenticate(
+            CHIP_ID,
+            &mut client,
+            &mut puf_protocol::PerfectChannel,
+            &mut rng,
+        )
+        .unwrap();
+    assert_eq!(report.outcome, SessionOutcome::Accepted);
+    assert_eq!(report.attempts, 2, "one glitch, one clean retry");
+    assert_eq!(mgr.state(CHIP_ID).unwrap().consecutive_failures, 0);
+}

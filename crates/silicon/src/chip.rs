@@ -206,6 +206,13 @@ impl Chip {
         self.fuses.blow();
     }
 
+    /// Reads the fuse state through the sense path; `glitch` models one
+    /// transient sense failure drawn by the caller's seeded fault plan (see
+    /// [`crate::fuse::FuseBank::sense`]).
+    pub fn fuse_sense(&self, glitch: bool) -> crate::fuse::FuseSense {
+        self.fuses.sense(glitch)
+    }
+
     fn check_puf(&self, puf: usize) -> Result<(), SiliconError> {
         if puf >= self.bank_size() {
             return Err(SiliconError::PufIndexOutOfRange {

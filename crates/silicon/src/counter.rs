@@ -73,6 +73,23 @@ impl SoftResponse {
     pub fn majority_bit(&self) -> bool {
         2 * self.count >= self.evals
     }
+
+    /// The same measurement read back through a counter register that
+    /// saturates at `cap`: counts above the cap are clamped, so the read
+    /// under-reports the true soft response (a `cap` of 0 reads every CRP
+    /// as a 100 % stable 0). This is the silicon-level fault hook for the
+    /// chaos experiments — a too-narrow counter silently biases the
+    /// stability classification toward 0.
+    pub fn saturated(self, cap: u64) -> SoftResponse {
+        if self.count <= cap {
+            return self;
+        }
+        puf_telemetry::counter!("faults.counter.saturations").inc();
+        SoftResponse {
+            count: cap,
+            evals: self.evals,
+        }
+    }
 }
 
 impl fmt::Display for SoftResponse {
@@ -91,6 +108,23 @@ impl fmt::Display for SoftResponse {
 pub fn measure<R: Rng + ?Sized>(p: f64, evals: u64, rng: &mut R) -> SoftResponse {
     assert!(evals > 0, "evals must be positive");
     SoftResponse::new(rngx::binomial(rng, evals, p), evals)
+}
+
+/// [`measure`] through a saturating counter register: the drawn count is
+/// clamped at `cap` (see [`SoftResponse::saturated`]). Consumes exactly the
+/// same RNG stream as [`measure`], so a fault-injected run stays replayable
+/// against a clean run of the same seed.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `evals` is zero.
+pub fn measure_saturating<R: Rng + ?Sized>(
+    p: f64,
+    evals: u64,
+    cap: u64,
+    rng: &mut R,
+) -> SoftResponse {
+    measure(p, evals, rng).saturated(cap)
 }
 
 /// Literal counter measurement: runs `eval` once per evaluation and counts
@@ -170,6 +204,38 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         assert!(measure(0.0, 100_000, &mut rng).is_stable_zero());
         assert!(measure(1.0, 100_000, &mut rng).is_stable_one());
+    }
+
+    #[test]
+    fn saturated_counter_clamps_and_biases_toward_zero() {
+        let s = SoftResponse::new(900, 1_000);
+        let capped = s.saturated(100);
+        assert_eq!(capped.count(), 100);
+        assert_eq!(capped.evals(), 1_000);
+        assert!(
+            !capped.is_stable_one(),
+            "saturation destroys stable-1 reads"
+        );
+        // A cap of zero reads everything as a 100 % stable 0.
+        assert!(s.saturated(0).is_stable_zero());
+        // Counts at or below the cap pass through untouched.
+        assert_eq!(
+            SoftResponse::new(5, 10).saturated(5),
+            SoftResponse::new(5, 10)
+        );
+    }
+
+    #[test]
+    fn measure_saturating_replays_the_measure_stream() {
+        let mut a = StdRng::seed_from_u64(20);
+        let mut b = StdRng::seed_from_u64(20);
+        for _ in 0..200 {
+            let clean = measure(0.7, 500, &mut a);
+            let faulty = measure_saturating(0.7, 500, 300, &mut b);
+            assert_eq!(faulty, clean.saturated(300));
+        }
+        // Both rngs consumed identical draws.
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
     }
 
     #[test]

@@ -9,6 +9,22 @@
 
 use std::fmt;
 
+/// What a (possibly glitching) read of the fuse sense path reports.
+///
+/// The enrollment tester senses the fuse state before every individual-PUF
+/// measurement; a marginal sense amplifier can transiently return an
+/// indeterminate level — neither reliably intact nor reliably blown — in
+/// which case the measurement must be retried rather than trusted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuseSense {
+    /// The fuses read intact: individual PUF outputs are accessible.
+    Intact,
+    /// The fuses read blown: only the XOR output is accessible.
+    Blown,
+    /// The sense path glitched; the true state was not observable.
+    Indeterminate,
+}
+
 /// A bank of fuses guarding individual PUF outputs.
 ///
 /// Starts intact; [`FuseBank::blow`] is irreversible. The chip consults the
@@ -48,6 +64,23 @@ impl FuseBank {
     pub fn blow_count(&self) -> u32 {
         self.blow_count
     }
+
+    /// Reads the fuse state through the sense path. `glitch` models one
+    /// transient sense failure (drawn by the caller's seeded fault plan):
+    /// when set, the read returns [`FuseSense::Indeterminate`] instead of
+    /// the true state, and the caller must retry. The fuse state itself is
+    /// never altered by a glitched read.
+    pub fn sense(&self, glitch: bool) -> FuseSense {
+        if glitch {
+            puf_telemetry::counter!("faults.fuse.glitches").inc();
+            return FuseSense::Indeterminate;
+        }
+        if self.blown {
+            FuseSense::Blown
+        } else {
+            FuseSense::Intact
+        }
+    }
 }
 
 impl fmt::Display for FuseBank {
@@ -76,6 +109,19 @@ mod tests {
         bank.blow();
         assert!(bank.is_blown());
         assert_eq!(bank.blow_count(), 2);
+    }
+
+    #[test]
+    fn sense_reports_state_and_glitches_transiently() {
+        let mut bank = FuseBank::new();
+        assert_eq!(bank.sense(false), FuseSense::Intact);
+        assert_eq!(bank.sense(true), FuseSense::Indeterminate);
+        // A glitched read does not disturb the stored state.
+        assert_eq!(bank.sense(false), FuseSense::Intact);
+        bank.blow();
+        assert_eq!(bank.sense(false), FuseSense::Blown);
+        assert_eq!(bank.sense(true), FuseSense::Indeterminate);
+        assert!(bank.is_blown());
     }
 
     #[test]

@@ -60,7 +60,8 @@ pub mod testbench;
 pub use chip::{Chip, ChipConfig, ChipLot};
 pub use counter::SoftResponse;
 pub use dataset::{CrpSet, SoftCrpSet};
-pub use fuse::FuseBank;
+pub use fuse::{FuseBank, FuseSense};
+pub use testbench::MeasurementFaults;
 
 use std::error::Error as StdError;
 use std::fmt;
@@ -92,6 +93,12 @@ pub enum SiliconError {
         /// Stages the challenge carries.
         actual: usize,
     },
+    /// A transient glitch on the fuse sense path left the access-control
+    /// state unreadable for this measurement. Unlike [`FusesBlown`] this is
+    /// not a permanent condition: the caller should retry the measurement.
+    ///
+    /// [`FusesBlown`]: SiliconError::FusesBlown
+    FuseReadFailure,
 }
 
 impl fmt::Display for SiliconError {
@@ -108,6 +115,12 @@ impl fmt::Display for SiliconError {
             }
             SiliconError::StageMismatch { expected, actual } => {
                 write!(f, "challenge has {actual} stages, chip expects {expected}")
+            }
+            SiliconError::FuseReadFailure => {
+                write!(
+                    f,
+                    "fuse sense path glitched (transient): retry the measurement"
+                )
             }
         }
     }

@@ -11,10 +11,118 @@
 use crate::chip::Chip;
 use crate::counter;
 use crate::dataset::{CrpSet, SoftCrpSet};
+use crate::fuse::FuseSense;
 use crate::SiliconError;
 use puf_core::batch::FeatureMatrix;
 use puf_core::{Challenge, Condition};
 use rand::Rng;
+
+/// Silicon-level fault knobs for the chaos experiments. All draws come from
+/// the caller's seeded RNG, so fault-injected sweeps are bit-reproducible;
+/// with [`MeasurementFaults::NONE`] the faulty sweep variants consume the
+/// identical RNG stream as their clean counterparts and return identical
+/// results (fault draws are only taken when the corresponding rate is
+/// armed).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeasurementFaults {
+    /// Per-bit probability that a collected XOR response flips after
+    /// measurement — a voltage brownout or marginal arbiter sense window.
+    /// Each flip increments the `faults.response.flips` counter.
+    pub response_flip_rate: f64,
+    /// Counter register saturation cap: counts above it clamp (see
+    /// [`crate::SoftResponse::saturated`]), silently biasing soft responses
+    /// toward 0. `None` models a full-width counter.
+    pub counter_cap: Option<u64>,
+    /// Per-sweep probability that the fuse sense path glitches, failing the
+    /// enrollment sweep with [`SiliconError::FuseReadFailure`] (retryable).
+    /// Each glitch increments the `faults.fuse.glitches` counter.
+    pub fuse_glitch_rate: f64,
+}
+
+impl MeasurementFaults {
+    /// No faults: the faulty sweeps degenerate to their clean counterparts.
+    pub const NONE: Self = Self {
+        response_flip_rate: 0.0,
+        counter_cap: None,
+        fuse_glitch_rate: 0.0,
+    };
+
+    /// Whether every fault channel is disarmed.
+    pub fn is_none(&self) -> bool {
+        self.response_flip_rate <= 0.0 && self.counter_cap.is_none() && self.fuse_glitch_rate <= 0.0
+    }
+}
+
+/// [`soft_sweep`] through the fault layer: the fuse state is read through
+/// the (possibly glitching) sense path first, and every counter measurement
+/// is read back through a register that saturates at `faults.counter_cap`.
+///
+/// With [`MeasurementFaults::NONE`] this is bit-identical to [`soft_sweep`]
+/// on the same RNG state.
+///
+/// # Errors
+///
+/// [`SiliconError::FuseReadFailure`] when the sense path glitches (the
+/// caller should retry); otherwise as [`soft_sweep`].
+pub fn soft_sweep_faulty<R: Rng + ?Sized>(
+    chip: &Chip,
+    puf: usize,
+    challenges: &[Challenge],
+    cond: Condition,
+    evals: u64,
+    faults: &MeasurementFaults,
+    rng: &mut R,
+) -> Result<SoftCrpSet, SiliconError> {
+    // The glitch draw is taken only when the fault is armed so the clean
+    // path replays soft_sweep's RNG stream exactly.
+    if faults.fuse_glitch_rate > 0.0 {
+        let glitch = rng.gen::<f64>() < faults.fuse_glitch_rate;
+        if chip.fuse_sense(glitch) == FuseSense::Indeterminate {
+            return Err(SiliconError::FuseReadFailure);
+        }
+    }
+    let clean = soft_sweep(chip, puf, challenges, cond, evals, rng)?;
+    match faults.counter_cap {
+        None => Ok(clean),
+        Some(cap) => Ok(clean.iter().map(|(c, s)| (*c, s.saturated(cap))).collect()),
+    }
+}
+
+/// [`collect_xor_crps`] through the fault layer: after measurement, each
+/// response bit flips independently with `faults.response_flip_rate` — the
+/// deployed-device view under a brownout. Flip draws are taken only when the
+/// rate is armed, so [`MeasurementFaults::NONE`] replays [`collect_xor_crps`]
+/// bit for bit.
+///
+/// # Errors
+///
+/// As [`collect_xor_crps`] (fuses do not gate the XOR path).
+pub fn collect_xor_crps_faulty<R: Rng + ?Sized>(
+    chip: &Chip,
+    n: usize,
+    challenges: &[Challenge],
+    cond: Condition,
+    faults: &MeasurementFaults,
+    rng: &mut R,
+) -> Result<CrpSet, SiliconError> {
+    let clean = collect_xor_crps(chip, n, challenges, cond, rng)?;
+    if faults.response_flip_rate <= 0.0 {
+        return Ok(clean);
+    }
+    let mut flips = 0u64;
+    let out = clean
+        .iter()
+        .map(|(c, r)| {
+            let flip = rng.gen::<f64>() < faults.response_flip_rate;
+            flips += u64::from(flip);
+            (*c, r ^ flip)
+        })
+        .collect();
+    if flips > 0 {
+        puf_telemetry::counter!("faults.response.flips").add(flips);
+    }
+    Ok(out)
+}
 
 fn build_features(chip: &Chip, challenges: &[Challenge]) -> Result<FeatureMatrix, SiliconError> {
     FeatureMatrix::new(chip.stages(), challenges).map_err(|_| {
@@ -538,6 +646,161 @@ mod tests {
         for s in &sets {
             assert_eq!(s.len(), 100);
         }
+    }
+
+    #[test]
+    fn faultless_faulty_sweeps_replay_clean_streams() {
+        // MeasurementFaults::NONE must take zero extra RNG draws.
+        let (chip, mut rng) = chip_and_rng(20);
+        let cs = random_challenges(chip.stages(), 120, &mut rng);
+        assert!(MeasurementFaults::NONE.is_none());
+
+        let clean = soft_sweep(
+            &chip,
+            0,
+            &cs,
+            Condition::NOMINAL,
+            400,
+            &mut StdRng::seed_from_u64(200),
+        )
+        .unwrap();
+        let faulty = soft_sweep_faulty(
+            &chip,
+            0,
+            &cs,
+            Condition::NOMINAL,
+            400,
+            &MeasurementFaults::NONE,
+            &mut StdRng::seed_from_u64(200),
+        )
+        .unwrap();
+        assert_eq!(clean, faulty);
+
+        let clean = collect_xor_crps(
+            &chip,
+            3,
+            &cs,
+            Condition::NOMINAL,
+            &mut StdRng::seed_from_u64(201),
+        )
+        .unwrap();
+        let faulty = collect_xor_crps_faulty(
+            &chip,
+            3,
+            &cs,
+            Condition::NOMINAL,
+            &MeasurementFaults::NONE,
+            &mut StdRng::seed_from_u64(201),
+        )
+        .unwrap();
+        assert_eq!(clean, faulty);
+    }
+
+    #[test]
+    fn faulty_sweeps_are_seed_reproducible() {
+        let (chip, mut rng) = chip_and_rng(21);
+        let cs = random_challenges(chip.stages(), 150, &mut rng);
+        let faults = MeasurementFaults {
+            response_flip_rate: 0.05,
+            counter_cap: Some(300),
+            fuse_glitch_rate: 0.0,
+        };
+        assert!(!faults.is_none());
+        let a = collect_xor_crps_faulty(
+            &chip,
+            3,
+            &cs,
+            Condition::NOMINAL,
+            &faults,
+            &mut StdRng::seed_from_u64(210),
+        )
+        .unwrap();
+        let b = collect_xor_crps_faulty(
+            &chip,
+            3,
+            &cs,
+            Condition::NOMINAL,
+            &faults,
+            &mut StdRng::seed_from_u64(210),
+        )
+        .unwrap();
+        assert_eq!(a, b, "same seed + plan must replay bit-identically");
+        // And the flips really happened relative to the clean stream-prefix
+        // run (the faulty run consumes extra draws, so compare responses
+        // against a clean run of the same seed's prefix).
+        let clean = collect_xor_crps(
+            &chip,
+            3,
+            &cs,
+            Condition::NOMINAL,
+            &mut StdRng::seed_from_u64(210),
+        )
+        .unwrap();
+        let flipped = clean
+            .responses()
+            .iter()
+            .zip(a.responses())
+            .filter(|(c, f)| c != f)
+            .count();
+        assert!(flipped > 0, "5 % flip rate over 150 CRPs flipped nothing");
+    }
+
+    #[test]
+    fn counter_cap_biases_soft_sweep_toward_zero() {
+        let (chip, mut rng) = chip_and_rng(22);
+        let cs = random_challenges(chip.stages(), 100, &mut rng);
+        let faults = MeasurementFaults {
+            response_flip_rate: 0.0,
+            counter_cap: Some(0),
+            fuse_glitch_rate: 0.0,
+        };
+        let set = soft_sweep_faulty(
+            &chip,
+            0,
+            &cs,
+            Condition::NOMINAL,
+            500,
+            &faults,
+            &mut StdRng::seed_from_u64(220),
+        )
+        .unwrap();
+        for (_, s) in set.iter() {
+            assert!(s.is_stable_zero(), "cap 0 must clamp every count to 0");
+        }
+    }
+
+    #[test]
+    fn certain_fuse_glitch_fails_soft_sweep() {
+        let (chip, mut rng) = chip_and_rng(23);
+        let cs = random_challenges(chip.stages(), 10, &mut rng);
+        let faults = MeasurementFaults {
+            response_flip_rate: 0.0,
+            counter_cap: None,
+            fuse_glitch_rate: 1.0,
+        };
+        assert_eq!(
+            soft_sweep_faulty(
+                &chip,
+                0,
+                &cs,
+                Condition::NOMINAL,
+                100,
+                &faults,
+                &mut StdRng::seed_from_u64(230),
+            ),
+            Err(SiliconError::FuseReadFailure)
+        );
+        // The failure is transient: a glitch-free retry succeeds.
+        assert!(soft_sweep_faulty(
+            &chip,
+            0,
+            &cs,
+            Condition::NOMINAL,
+            100,
+            &MeasurementFaults::NONE,
+            &mut StdRng::seed_from_u64(230),
+        )
+        .is_ok());
     }
 
     #[test]

@@ -17,6 +17,16 @@ const RESULT_CRATES: &[&str] = &["core", "silicon", "ml", "protocol", "analysis"
 /// Crates whose `src/` is library code: panic paths are banned (rule L4).
 const LIB_CRATES: &[&str] = &["core", "ml", "protocol", "silicon"];
 
+/// Files held to the *strict* L4 profile: on top of the panic-path ban,
+/// the `assert!` family is banned outside `#[cfg(test)]` regions. These are
+/// the fault-injection and session-resilience modules, whose whole point is
+/// that no input — however faulty — aborts the process: every path must
+/// surface a typed error instead.
+const L4_STRICT_FILES: &[&str] = &[
+    "crates/protocol/src/faults.rs",
+    "crates/protocol/src/session.rs",
+];
+
 /// The only places allowed to carry `allow(unsafe_code)`: the bench crate
 /// root, where the `par` fan-out module is opted back in. The second field
 /// must appear within two lines of the attribute, anchoring the allowance
@@ -34,6 +44,8 @@ struct Scope {
     in_l3: bool,
     /// Rule L4 applies (library source of a core crate).
     in_l4: bool,
+    /// The strict L4 profile applies (see [`L4_STRICT_FILES`]).
+    in_l4_strict: bool,
 }
 
 impl Scope {
@@ -54,11 +66,13 @@ impl Scope {
         let in_l3 = RESULT_CRATES.contains(&name) && !test_path;
         let in_l4 =
             LIB_CRATES.contains(&name) && segs.get(2) == Some(&"src") && !test_path && !bin_path;
+        let in_l4_strict = in_l4 && L4_STRICT_FILES.contains(&rel);
         Scope {
             crate_name,
             is_crate_root,
             in_l3,
             in_l4,
+            in_l4_strict,
         }
     }
 }
@@ -241,6 +255,9 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
     }
     if scope.in_l4 {
         l4_no_panics(rel, &lexed, &ann, &test_lines, &mut diags);
+    }
+    if scope.in_l4_strict {
+        l4_strict_no_asserts(rel, &lexed, &ann, &test_lines, &mut diags);
     }
     l5_telemetry_names(rel, &lexed, &ann, &mut diags);
 
@@ -460,6 +477,50 @@ fn l4_no_panics(
     }
 }
 
+/// Strict L4 profile for the fault-injection and session modules: the
+/// `assert!` family is banned alongside the panic paths — a fault handler
+/// that aborts on a surprising input defeats its purpose. Exempt with
+/// `allow(L4)` like the base rule.
+fn l4_strict_no_asserts(
+    rel: &str,
+    lexed: &Lexed,
+    ann: &Annotations,
+    test_lines: &BTreeSet<usize>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    const MACROS: &[&str] = &[
+        "assert!",
+        "assert_eq!",
+        "assert_ne!",
+        "debug_assert!",
+        "debug_assert_eq!",
+        "debug_assert_ne!",
+    ];
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if test_lines.contains(&lineno) || ann.allowed(lineno, RuleId::L4) {
+            continue;
+        }
+        for mac in MACROS {
+            let word = &mac[..mac.len() - 1];
+            let fired = word_positions(&line.code, word)
+                .iter()
+                .any(|&pos| line.code.as_bytes().get(pos + word.len()) == Some(&b'!'));
+            if fired {
+                diags.push(Diagnostic {
+                    rule: RuleId::L4,
+                    path: rel.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "`{mac}` in a fault-handling module (strict L4): \
+                         surface a typed error instead of aborting",
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// L5: telemetry names registered through the `puf_telemetry` macros (and
 /// `Progress::start`) must be dotted lowercase `subsystem.verb[.detail]`.
 fn l5_telemetry_names(rel: &str, lexed: &Lexed, ann: &Annotations, diags: &mut Vec<Diagnostic>) {
@@ -661,6 +722,54 @@ pub fn f(x: Option<u8>) -> u8 {
         );
         // Same file outside the L4 crates: clean.
         assert!(lint_source("crates/analysis/src/m.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l4_strict_bans_asserts_in_fault_modules() {
+        let src = "\
+pub fn f(total: usize) {
+    assert!(total > 0, \"boom\");
+    assert_eq!(total, 1);
+    debug_assert_ne!(total, 2);
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { assert!(true); }
+}
+";
+        // The fault/session modules run the strict profile…
+        let diags = lint_source("crates/protocol/src/session.rs", src);
+        assert_eq!(
+            ids(&diags),
+            vec![(RuleId::L4, 2), (RuleId::L4, 3), (RuleId::L4, 4)]
+        );
+        let diags = lint_source("crates/protocol/src/faults.rs", src);
+        assert_eq!(diags.len(), 3);
+        // …other protocol library files keep the base profile (asserts ok).
+        assert!(lint_source("crates/protocol/src/auth.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l4_strict_scope_pins_the_new_modules() {
+        assert!(Scope::of("crates/protocol/src/session.rs").in_l4_strict);
+        assert!(Scope::of("crates/protocol/src/faults.rs").in_l4_strict);
+        assert!(!Scope::of("crates/protocol/src/server.rs").in_l4_strict);
+        assert!(!Scope::of("crates/protocol/tests/fault_injection.rs").in_l4_strict);
+        // Strict implies base L4 coverage.
+        for rel in L4_STRICT_FILES {
+            let s = Scope::of(rel);
+            assert!(s.in_l4 && s.in_l4_strict, "{rel} must be L4-covered");
+        }
+    }
+
+    #[test]
+    fn l4_strict_honors_allow_annotations() {
+        let src = "\
+// puf-lint: allow(L4): invariant upheld by validate() at construction
+pub fn f() { assert!(true); }
+";
+        assert!(lint_source("crates/protocol/src/faults.rs", src).is_empty());
     }
 
     #[test]

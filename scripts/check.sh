@@ -20,4 +20,7 @@ cargo test -q
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run
 
+echo "==> chaos smoke: bounded fault-injection sweep (FAR/FRR envelopes)"
+cargo run -q --release -p puf-bench --bin chaos -- --smoke
+
 echo "==> all checks passed"
