@@ -122,8 +122,9 @@ fn main() {
     }
     println!("  batched vs scalar 10-XOR: {speedup_1t:.2}× (1 thread), {speedup_mt:.2}× ({workers} threads)");
 
+    let schema = puf_bench::SchemaHeader::capture().to_json_member(2);
     let json = format!(
-        "{{\n  \"stages\": {STAGES},\n  \"xor_n\": {XOR_N},\n  \"challenges\": {crps},\n  \"threads\": {workers},\n  \"crps_per_sec\": {{\n    \"arbiter_scalar_1t\": {arbiter_scalar:.0},\n    \"arbiter_batched_1t\": {arbiter_batched:.0},\n    \"xor10_scalar_1t\": {xor_scalar:.0},\n    \"xor10_batched_1t\": {xor_batched:.0},\n    \"xor10_batched_prebuilt_1t\": {xor_batched_prebuilt:.0},\n    \"xor10_batched_all_threads\": {xor_batched_mt:.0}\n  }},\n  \"speedup\": {{\n    \"xor10_batched_vs_scalar_1t\": {speedup_1t:.2},\n    \"xor10_batched_vs_scalar_all_threads\": {speedup_mt:.2}\n  }}\n}}\n"
+        "{{\n{schema},\n  \"stages\": {STAGES},\n  \"xor_n\": {XOR_N},\n  \"challenges\": {crps},\n  \"threads\": {workers},\n  \"crps_per_sec\": {{\n    \"arbiter_scalar_1t\": {arbiter_scalar:.0},\n    \"arbiter_batched_1t\": {arbiter_batched:.0},\n    \"xor10_scalar_1t\": {xor_scalar:.0},\n    \"xor10_batched_1t\": {xor_batched:.0},\n    \"xor10_batched_prebuilt_1t\": {xor_batched_prebuilt:.0},\n    \"xor10_batched_all_threads\": {xor_batched_mt:.0}\n  }},\n  \"speedup\": {{\n    \"xor10_batched_vs_scalar_1t\": {speedup_1t:.2},\n    \"xor10_batched_vs_scalar_all_threads\": {speedup_mt:.2}\n  }}\n}}\n"
     );
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_eval.json", &json).expect("write BENCH_eval.json");

@@ -141,6 +141,11 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "{},",
+        puf_bench::SchemaHeader::capture().to_json_member(2)
+    );
     let _ = writeln!(json, "  \"crps_per_width\": {size},");
     let _ = writeln!(json, "  \"threads\": {workers},");
     let _ = writeln!(json, "  \"step_crps_per_sec\": {{");

@@ -16,7 +16,10 @@
 //!
 //! Run: `cargo run -p puf-bench --release --bin chaos`
 //! (`--smoke` runs a bounded sweep and writes `target/CHAOS_smoke.json`;
-//! `--seed N` and `--out PATH` override the defaults)
+//! `--seed N` and `--out PATH` override the defaults; `--trace[=PATH]`
+//! records a deterministic tick-clock trace of the sweep and writes Chrome
+//! trace-event JSON to PATH — default `target/CHAOS_trace.json` — plus
+//! folded flamegraph stacks to `PATH.folded`, byte-identical per seed)
 
 use puf_core::{Challenge, Condition};
 use puf_protocol::enrollment::{enroll, EnrollmentConfig};
@@ -99,6 +102,7 @@ fn main() {
     let mut smoke = false;
     let mut seed: u64 = 2017;
     let mut out: Option<String> = None;
+    let mut trace: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -110,8 +114,23 @@ fn main() {
                     .expect("--seed takes an integer");
             }
             "--out" => out = Some(args.next().expect("--out takes a path")),
-            other => panic!("unknown argument {other} (expected --smoke / --seed N / --out PATH)"),
+            "--trace" => trace = Some("target/CHAOS_trace.json".to_string()),
+            other if other.starts_with("--trace=") => {
+                trace = Some(other["--trace=".len()..].to_string());
+            }
+            other => panic!(
+                "unknown argument {other} (expected --smoke / --seed N / --out PATH / --trace[=PATH])"
+            ),
         }
+    }
+    if trace.is_some() {
+        // Tick clock: the trace, like the JSON, is byte-identical per seed.
+        let tracer = puf_telemetry::tracer();
+        tracer.set_clock(puf_telemetry::TraceClock::Tick);
+        // The full sweep emits ~10k span events per cell; size the rings so
+        // the smoke sweep never wraps.
+        tracer.set_lane_capacity(1 << 20);
+        tracer.set_enabled(true);
     }
     let out_path = out.unwrap_or_else(|| {
         if smoke {
@@ -384,6 +403,11 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "{},",
+        puf_bench::SchemaHeader::capture().to_json_member(2)
+    );
     let _ = writeln!(json, "  \"seed\": {seed},");
     let _ = writeln!(json, "  \"smoke\": {smoke},");
     let _ = writeln!(json, "  \"rounds\": {ROUNDS},");
@@ -444,5 +468,34 @@ fn main() {
     }
     std::fs::write(&out_path, &json).expect("write chaos results");
     println!("wrote {out_path}");
+
+    if let Some(trace_path) = trace {
+        let tracer = puf_telemetry::tracer();
+        let events = tracer.snapshot_events();
+        assert_eq!(
+            tracer.evicted(),
+            0,
+            "trace ring wrapped; raise the lane capacity"
+        );
+        if let Some(parent) = std::path::Path::new(&trace_path).parent() {
+            std::fs::create_dir_all(parent).expect("create trace directory");
+        }
+        let clock = tracer.clock();
+        std::fs::write(
+            &trace_path,
+            puf_telemetry::trace_export::chrome_trace_json(&events, clock),
+        )
+        .expect("write chrome trace");
+        let folded_path = format!("{trace_path}.folded");
+        std::fs::write(
+            &folded_path,
+            puf_telemetry::trace_export::folded_stacks(&events, clock),
+        )
+        .expect("write folded stacks");
+        println!(
+            "wrote {trace_path} and {folded_path} ({} events)",
+            events.len()
+        );
+    }
     puf_bench::emit_telemetry_report();
 }

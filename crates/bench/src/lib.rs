@@ -26,8 +26,10 @@
 pub mod par;
 pub mod par_model;
 pub mod scale;
+pub mod schema;
 
 pub use scale::Scale;
+pub use schema::SchemaHeader;
 
 /// Prints the process-global telemetry report to stderr, if telemetry is
 /// enabled (`PUF_TELEMETRY=1` in the environment).

@@ -1,0 +1,78 @@
+//! Disabled-trace overhead gate: with tracing off, a `trace_span!` at a
+//! hot-path entry costs one relaxed atomic load — this test pins that cost
+//! to under 1 % of the xor10 batch evaluation it instruments.
+//!
+//! The comparison is deliberately lopsided against the tracer: the span
+//! count budget `K` over-counts the real instrumentation density of
+//! `response_batch` (one entry span plus one span per 64-row block) by
+//! ~4×, and the measured per-span cost includes the loop overhead around
+//! it. If `K · cost(disarmed span) < 1 % · cost(batch)` still holds, the
+//! production overhead is comfortably below the acceptance bar.
+
+use puf_core::batch::FeatureMatrix;
+use puf_core::{Challenge, XorPuf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const STAGES: usize = 32;
+const XOR_N: usize = 10;
+const CRPS: usize = 8_192;
+const SPAN_SAMPLES: u32 = 1_000_000;
+const REPS: usize = 3;
+
+fn best_of<F: FnMut()>(mut f: F) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+#[test]
+fn disarmed_trace_spans_cost_under_one_percent_of_the_batch_path() {
+    // The global tracer defaults to disabled; this test must observe the
+    // disarmed fast path.
+    let tracer = puf_telemetry::tracer();
+    tracer.set_enabled(false);
+
+    let mut rng = StdRng::seed_from_u64(0x0BE5);
+    let xor = XorPuf::random(XOR_N, STAGES, &mut rng);
+    let challenges: Vec<Challenge> = (0..CRPS)
+        .map(|_| Challenge::random(STAGES, &mut rng))
+        .collect();
+    let features = FeatureMatrix::from_challenges(&challenges).expect("feature matrix");
+
+    // Per-call span budget: `response_batch` arms one entry span plus one
+    // per 64-row block; CRPS/16 + 2 over-counts that by ~4×.
+    let spans_per_batch = CRPS / 16 + 2;
+
+    let span_total = best_of(|| {
+        for _ in 0..SPAN_SAMPLES {
+            let guard = puf_telemetry::trace_span!("eval.batch.overhead_probe");
+            black_box(&guard);
+        }
+    });
+    let span_cost = span_total / SPAN_SAMPLES as f64;
+
+    let batch_cost = best_of(|| {
+        black_box(xor.response_batch(black_box(&features)));
+    });
+
+    let overhead = span_cost * spans_per_batch as f64;
+    assert!(
+        overhead < 0.01 * batch_cost,
+        "disarmed tracing overhead too high: {spans_per_batch} spans × {:.1} ns = {:.2} µs \
+         vs 1 % of batch = {:.2} µs",
+        span_cost * 1e9,
+        overhead * 1e6,
+        0.01 * batch_cost * 1e6,
+    );
+
+    // And the disarmed spans really did record nothing.
+    assert_eq!(tracer.snapshot_events().len(), 0);
+}

@@ -35,7 +35,13 @@
 //!
 //! Throughput of every batch entry point is observable via the
 //! `eval.batch` span and the `eval.batch.crps_per_sec` gauge /
-//! `eval.batch.crps` counter when telemetry is enabled.
+//! `eval.batch.crps` counter when telemetry is enabled. With structured
+//! tracing enabled (`xorpuf --trace`), each entry point additionally opens
+//! a named trace span (`eval.batch.delta`, `eval.batch.response`, …) and
+//! the blocked driver marks every block expansion with
+//! `eval.batch.block`, so a flamegraph attributes time between expansion
+//! and the per-member kernels. Disabled tracing costs one relaxed atomic
+//! load per span site.
 
 use crate::arbiter::ArbiterPuf;
 use crate::challenge::Challenge;
@@ -126,6 +132,7 @@ fn blocked_member_deltas(
     let mut deltas = [0.0f64; BLOCK_ROWS];
     let block_planes = (BLOCK_ROWS / LANES) * width;
     for (bi, planes) in features.planes.chunks(block_planes).enumerate() {
+        let _block = puf_telemetry::trace_span!("eval.batch.block");
         let first_row = bi * BLOCK_ROWS;
         let block_rows = BLOCK_ROWS.min(rows - first_row);
         expand_block(planes, &mut t[..planes.len() * LANES]);
@@ -361,6 +368,7 @@ impl ArbiterPuf {
     /// Panics on a stage mismatch.
     pub fn delta_batch(&self, features: &FeatureMatrix) -> Vec<f64> {
         let _span = puf_telemetry::span!("eval.batch");
+        let _trace = puf_telemetry::trace_span!("eval.batch.delta");
         let _throughput = throughput_guard(features.len());
         let mut out = vec![0.0; features.len()];
         self.delta_batch_into(features, &mut out);
@@ -375,6 +383,7 @@ impl ArbiterPuf {
     /// Panics on a stage mismatch.
     pub fn response_batch(&self, features: &FeatureMatrix) -> Vec<bool> {
         let _span = puf_telemetry::span!("eval.batch");
+        let _trace = puf_telemetry::trace_span!("eval.batch.response");
         let _throughput = throughput_guard(features.len());
         let mut deltas = vec![0.0; features.len()];
         self.delta_batch_into(features, &mut deltas);
@@ -393,6 +402,7 @@ impl ArbiterPuf {
             "sigma_noise must be finite and non-negative"
         );
         let _span = puf_telemetry::span!("eval.batch");
+        let _trace = puf_telemetry::trace_span!("eval.batch.soft");
         let _throughput = throughput_guard(features.len());
         let mut deltas = vec![0.0; features.len()];
         self.delta_batch_into(features, &mut deltas);
@@ -429,6 +439,7 @@ impl XorPuf {
     pub fn delta_batch(&self, features: &FeatureMatrix) -> Vec<f64> {
         self.check_batch(features);
         let _span = puf_telemetry::span!("eval.batch");
+        let _trace = puf_telemetry::trace_span!("eval.batch.delta");
         let _throughput = throughput_guard(features.len());
         let rows = features.len();
         let mut out = vec![0.0; self.n() * rows];
@@ -451,6 +462,7 @@ impl XorPuf {
     pub fn response_batch(&self, features: &FeatureMatrix) -> Vec<bool> {
         self.check_batch(features);
         let _span = puf_telemetry::span!("eval.batch");
+        let _trace = puf_telemetry::trace_span!("eval.batch.response");
         let _throughput = throughput_guard(features.len());
         let mut bits = vec![false; features.len()];
         blocked_member_deltas(features, self.members(), |_, first_row, deltas| {
@@ -474,6 +486,7 @@ impl XorPuf {
             "sigma_noise must be finite and non-negative"
         );
         let _span = puf_telemetry::span!("eval.batch");
+        let _trace = puf_telemetry::trace_span!("eval.batch.soft");
         let _throughput = throughput_guard(features.len());
         let mut prod = vec![1.0f64; features.len()];
         blocked_member_deltas(features, self.members(), |_, first_row, deltas| {
@@ -512,6 +525,7 @@ impl XorPuf {
     ) -> Vec<bool> {
         self.check_batch(features);
         let _span = puf_telemetry::span!("eval.batch");
+        let _trace = puf_telemetry::trace_span!("eval.batch.noisy");
         let _throughput = throughput_guard(features.len());
         let n = self.n();
         let mut bits = Vec::with_capacity(features.len());

@@ -100,6 +100,7 @@ pub fn gemm_into(
     debug_assert_eq!(out.len(), m * n, "C shape mismatch");
     puf_telemetry::counter!("ml.gemm.calls").inc();
     puf_telemetry::counter!("ml.gemm.flops").add((2 * m * k * n) as u64);
+    let _trace = puf_telemetry::trace_span!("ml.gemm.kernel");
     out[..m * n].fill(0.0);
     scratch.panel.resize(KC, [0.0; NR]);
     let panel = &mut scratch.panel[..KC];
@@ -180,6 +181,7 @@ pub fn gemm_atb_into(
     debug_assert_eq!(out.len(), p * q, "C shape mismatch");
     puf_telemetry::counter!("ml.gemm.calls").inc();
     puf_telemetry::counter!("ml.gemm.flops").add((2 * m * p * q) as u64);
+    let _trace = puf_telemetry::trace_span!("ml.gemm.atb");
     out[..p * q].fill(0.0);
     // Four rows per pass: each `out` row is loaded and stored once per
     // four rank-1 updates instead of once per row, which quarters the

@@ -455,7 +455,9 @@ impl Mlp {
         // reused across every batch of every epoch.
         let pool = parallel::Pool::new();
         let _span = puf_telemetry::span!("ml.train.sgd");
+        let _trace = puf_telemetry::trace_span!("ml.train.sgd");
         for _ in 0..config.epochs {
+            let _epoch = puf_telemetry::trace_span!("ml.train.sgd.epoch");
             // Fisher–Yates shuffle.
             for i in (1..n).rev() {
                 order.swap(i, rng.gen_range(0..=i));

@@ -132,8 +132,10 @@ impl Lbfgs {
         let mut iterations = 0;
         let mut converged = norm(&grad) <= self.tolerance * norm(&x).max(1.0);
         let _span = puf_telemetry::span!("ml.train.lbfgs");
+        let _trace = puf_telemetry::trace_span!("ml.train.lbfgs");
 
         while !converged && iterations < self.max_iterations {
+            let _step = puf_telemetry::trace_span!("ml.train.lbfgs.step");
             // Two-loop recursion for the search direction d = −H·∇f.
             let mut d: Vec<f64> = grad.iter().map(|g| -g).collect();
             let mut alphas = Vec::with_capacity(history.len());
@@ -375,6 +377,7 @@ impl Adam {
         let mut iterations = 0;
         let mut converged = norm(&grad) <= self.tolerance;
         let _span = puf_telemetry::span!("ml.train.adam");
+        let _trace = puf_telemetry::trace_span!("ml.train.adam");
 
         while !converged && iterations < self.max_iterations {
             let t = (iterations + 1) as i32;
@@ -445,6 +448,7 @@ impl GradientDescent {
         let mut iterations = 0;
         let mut converged = norm(&grad) <= self.tolerance;
         let _span = puf_telemetry::span!("ml.train.gd");
+        let _trace = puf_telemetry::trace_span!("ml.train.gd");
         while !converged && iterations < self.max_iterations {
             axpy(-self.learning_rate, &grad.clone(), &mut x);
             value = obj.value_grad(&x, &mut grad);

@@ -129,6 +129,7 @@ where
     let workers = workers.clamp(1, chunks);
     puf_telemetry::gauge!("ml.train.reduce.workers").set(workers as f64);
     puf_telemetry::counter!("ml.train.reduce.chunks").add(chunks as u64);
+    let _trace = puf_telemetry::trace_span!("ml.train.reduce");
     acc.fill(0.0);
 
     if workers == 1 {
@@ -156,6 +157,9 @@ where
                 let make_ws = &make_ws;
                 let f = &f;
                 scope.spawn(move || {
+                    // Each worker thread records into its own trace lane, so
+                    // the fan-out renders as parallel tracks in chrome://tracing.
+                    let _lane = puf_telemetry::trace_span!("ml.train.reduce.worker");
                     let mut ws = pool.take().unwrap_or_else(make_ws);
                     let mut partials = Vec::new();
                     let mut c = w;

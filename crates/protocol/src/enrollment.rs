@@ -206,6 +206,7 @@ pub fn enroll_with_challenges<R: Rng + ?Sized>(
         return Err(ProtocolError::DegenerateTraining { puf: 0 });
     }
     let _span = puf_telemetry::span!("protocol.enroll.duration");
+    let _trace = puf_telemetry::trace_span!("protocol.enroll.chip");
     puf_telemetry::counter!("protocol.enroll.pufs").add(config.n as u64);
     // Feature matrices are built once and reused across every member PUF
     // and every validation condition.

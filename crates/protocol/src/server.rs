@@ -116,6 +116,7 @@ impl Server {
             .get(&chip_id)
             .ok_or(ProtocolError::UnknownChip { chip_id })?;
         let _span = puf_telemetry::span!("protocol.select.duration");
+        let _trace = puf_telemetry::trace_span!("protocol.select.challenges");
         let mut selected = Vec::with_capacity(count);
         let mut attempted = 0u64;
         for _ in 0..max_attempts {
@@ -170,6 +171,7 @@ impl Server {
     ) -> Result<AuthOutcome, ProtocolError> {
         puf_telemetry::counter!("protocol.auth.attempts").inc();
         let _span = puf_telemetry::span!("protocol.auth.duration");
+        let _trace = puf_telemetry::trace_span!("protocol.auth.one_shot");
         // Draw attempts generously: stable fractions below ~0.1 % still
         // terminate, while genuinely exhausted selection errors out.
         let max_attempts = count.saturating_mul(200_000).max(100_000);
@@ -190,8 +192,10 @@ impl Server {
         let outcome = AuthOutcome::try_judge(policy, count, mismatches)?;
         if outcome.approved {
             puf_telemetry::counter!("protocol.auth.accepts").inc();
+            puf_telemetry::trace_instant!("protocol.auth.accept");
         } else {
             puf_telemetry::counter!("protocol.auth.rejects").inc();
+            puf_telemetry::trace_instant!("protocol.auth.reject");
         }
         Ok(outcome)
     }

@@ -415,6 +415,7 @@ impl SessionManager {
         state.sessions += 1;
         puf_telemetry::counter!("protocol.session.starts").inc();
         let _span = puf_telemetry::span!("protocol.session.duration");
+        let _trace = puf_telemetry::trace_span!("protocol.session.authenticate");
 
         let mut events = Vec::new();
         let mut exclude: BTreeSet<u128> = BTreeSet::new();
@@ -429,6 +430,7 @@ impl SessionManager {
             attempt += 1;
             events.push(SessionEvent::AttemptStarted { attempt });
             puf_telemetry::counter!("protocol.session.attempts").inc();
+            let _attempt = puf_telemetry::trace_span!("protocol.session.attempt");
 
             // Fresh challenges: everything issued earlier in this session
             // is excluded, so a failed set is never re-exposed.
@@ -462,6 +464,7 @@ impl SessionManager {
                         if judged.approved {
                             events.push(SessionEvent::Accepted { attempt });
                             puf_telemetry::counter!("protocol.session.accepts").inc();
+                            puf_telemetry::trace_instant!("protocol.session.accept");
                             break SessionOutcome::Accepted;
                         }
                         events.push(SessionEvent::VerificationFailed {
@@ -469,6 +472,7 @@ impl SessionManager {
                             mismatches,
                         });
                         puf_telemetry::counter!("protocol.session.verify_failures").inc();
+                        puf_telemetry::trace_instant!("protocol.session.verify_failure");
                         // Verification failure is evidence against the
                         // responder: advance the lockout counter now, so a
                         // retry storm cannot outrun the threshold.
@@ -486,6 +490,7 @@ impl SessionManager {
                                 consecutive_failures: failures,
                             });
                             puf_telemetry::counter!("protocol.session.lockouts").inc();
+                            puf_telemetry::trace_instant!("protocol.session.lockout");
                             break SessionOutcome::LockedOut;
                         }
                         None
@@ -506,6 +511,7 @@ impl SessionManager {
             if let Some(kind) = transport_failure {
                 events.push(SessionEvent::TransportFailed { attempt, kind });
                 puf_telemetry::counter!("protocol.session.transport_failures").inc();
+                puf_telemetry::trace_instant!("protocol.session.transport_failure");
             }
 
             if attempt >= total_attempts {
@@ -517,10 +523,12 @@ impl SessionManager {
                             mismatches: last.mismatches,
                         });
                         puf_telemetry::counter!("protocol.session.degraded").inc();
+                        puf_telemetry::trace_instant!("protocol.session.degraded_accept");
                         break SessionOutcome::Degraded;
                     }
                 }
                 puf_telemetry::counter!("protocol.session.rejects").inc();
+                puf_telemetry::trace_instant!("protocol.session.reject");
                 break SessionOutcome::Rejected;
             }
 
@@ -529,6 +537,7 @@ impl SessionManager {
             events.push(SessionEvent::BackoffScheduled { attempt, ticks });
             puf_telemetry::counter!("protocol.session.retries").inc();
             puf_telemetry::counter!("protocol.session.backoff_ticks").add(ticks);
+            puf_telemetry::trace_instant!("protocol.session.backoff");
         };
 
         let state = self.states.entry(chip_id).or_default();

@@ -388,6 +388,7 @@ impl Chip {
     ) -> Result<SoftResponse, SiliconError> {
         self.check_fuses()?;
         let _span = puf_telemetry::span!("silicon.measure.individual");
+        let _trace = puf_telemetry::trace_span!("silicon.measure.individual");
         puf_telemetry::counter!("silicon.measure.evals").add(evals);
         let p = self.ground_truth_soft(puf, challenge, cond)?;
         Ok(counter::measure(p, evals, rng))
@@ -416,6 +417,7 @@ impl Chip {
     ) -> Result<Vec<SoftResponse>, SiliconError> {
         self.check_fuses()?;
         let _span = puf_telemetry::span!("silicon.measure.individual");
+        let _trace = puf_telemetry::trace_span!("silicon.measure.individual");
         puf_telemetry::counter!("silicon.measure.evals").add(evals * features.len() as u64);
         let probs = self.ground_truth_soft_batch(puf, features, cond)?;
         Ok(probs
@@ -440,6 +442,7 @@ impl Chip {
         self.check_xor_width(n)?;
         self.check_challenge(challenge)?;
         let _span = puf_telemetry::span!("core.eval");
+        let _trace = puf_telemetry::trace_span!("silicon.eval.one_shot");
         puf_telemetry::counter!("core.eval.count").inc();
         let mut acc = false;
         for puf in 0..n {
@@ -470,6 +473,7 @@ impl Chip {
         self.check_xor_width(n)?;
         self.check_challenge(challenge)?;
         let _span = puf_telemetry::span!("silicon.measure.xor");
+        let _trace = puf_telemetry::trace_span!("silicon.measure.xor");
         puf_telemetry::counter!("silicon.measure.evals").add(evals);
         // P(xor = 1) via the piling-up identity over independent members.
         let mut prod = 1.0;
@@ -535,6 +539,7 @@ impl Chip {
         self.check_xor_width(n)?;
         self.check_feature_stages(features)?;
         let _span = puf_telemetry::span!("silicon.measure.xor");
+        let _trace = puf_telemetry::trace_span!("silicon.measure.xor");
         puf_telemetry::counter!("silicon.measure.evals").add(evals * features.len() as u64);
         let member_probs = self.member_probs(n, features, cond)?;
         Ok((0..features.len())

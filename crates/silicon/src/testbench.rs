@@ -183,6 +183,7 @@ pub fn soft_sweep_features<R: Rng + ?Sized>(
     evals: u64,
     rng: &mut R,
 ) -> Result<SoftCrpSet, SiliconError> {
+    let _trace = puf_telemetry::trace_span!("silicon.sweep.soft");
     let soft = chip.measure_individual_soft_batch(puf, features, cond, evals, rng)?;
     let mut out = SoftCrpSet::new();
     for (c, s) in features.challenges().iter().zip(soft) {
@@ -214,6 +215,7 @@ pub fn xor_stable_mask<R: Rng + ?Sized>(
     if !chip.fuses_intact() {
         return Err(SiliconError::FusesBlown);
     }
+    let _trace = puf_telemetry::trace_span!("silicon.sweep.stable_mask");
     let features = build_features(chip, challenges)?;
     let probs = member_probs(chip, n, &features, cond)?;
     // Replay the scalar draw order: per challenge, members in order, break
@@ -254,6 +256,7 @@ pub fn collect_xor_crps<R: Rng + ?Sized>(
     if challenges.is_empty() {
         return Ok(CrpSet::new());
     }
+    let _trace = puf_telemetry::trace_span!("silicon.sweep.collect");
     let features = build_features(chip, challenges)?;
     let bits = chip.eval_xor_batch(n, &features, cond, rng)?;
     let mut out = CrpSet::new();
@@ -312,6 +315,7 @@ pub fn collect_stable_xor_crps_features<R: Rng + ?Sized>(
     if !chip.fuses_intact() {
         return Err(SiliconError::FusesBlown);
     }
+    let _trace = puf_telemetry::trace_span!("silicon.sweep.stable_collect");
     let probs = member_probs(chip, n, features, cond)?;
     // Replay the scalar draw order (skip to the next challenge at the first
     // unstable member) so seeded results match challenge-by-challenge
@@ -359,6 +363,7 @@ pub fn stable_prefix_counts<R: Rng + ?Sized>(
     if !chip.fuses_intact() {
         return Err(SiliconError::FusesBlown);
     }
+    let _trace = puf_telemetry::trace_span!("silicon.sweep.stable_prefix");
     let features = build_features(chip, challenges)?;
     let probs = member_probs(chip, max_n, &features, cond)?;
     let mut draws = 0u64;
@@ -398,6 +403,7 @@ pub fn condition_sweep<R: Rng + ?Sized>(
     if challenges.is_empty() {
         return Ok(conditions.iter().map(|_| SoftCrpSet::new()).collect());
     }
+    let _trace = puf_telemetry::trace_span!("silicon.sweep.conditions");
     let features = build_features(chip, challenges)?;
     conditions
         .iter()

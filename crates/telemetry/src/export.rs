@@ -5,14 +5,18 @@
 use crate::registry::{MetricSnapshot, ValueSnapshot};
 use std::fmt::Write as _;
 
-/// Formats a nanosecond quantity with a human unit (`1.234µs`, `56.7ms`).
+/// Formats a nanosecond quantity with a human unit (`1.234µs`, `56.700ms`).
+///
+/// The unit is chosen *after* 3-decimal rounding: `999_999_999` ns renders
+/// as `1.000s`, never the nonsensical `1000.000ms` a naive `< 1e9` cut
+/// would produce.
 pub fn humanize_ns(ns: u64) -> String {
     let v = ns as f64;
     if ns < 1_000 {
         format!("{ns}ns")
-    } else if ns < 1_000_000 {
+    } else if v < 999.9995e3 {
         format!("{:.3}µs", v / 1e3)
-    } else if ns < 1_000_000_000 {
+    } else if v < 999.9995e6 {
         format!("{:.3}ms", v / 1e6)
     } else {
         format!("{:.3}s", v / 1e9)
@@ -179,6 +183,59 @@ mod tests {
         assert_eq!(humanize_ns(1_500), "1.500µs");
         assert_eq!(humanize_ns(2_500_000), "2.500ms");
         assert_eq!(humanize_ns(3_000_000_000), "3.000s");
+    }
+
+    #[test]
+    fn humanize_ns_exact_boundaries() {
+        assert_eq!(humanize_ns(0), "0ns");
+        assert_eq!(humanize_ns(1), "1ns");
+        assert_eq!(humanize_ns(1_000), "1.000µs");
+        assert_eq!(humanize_ns(1_000_000), "1.000ms");
+        assert_eq!(humanize_ns(1_000_000_000), "1.000s");
+    }
+
+    #[test]
+    fn humanize_ns_promotes_units_on_rounding() {
+        // One below the second boundary: the 3-decimal rounding must carry
+        // into the next unit, never render "1000.000ms" (the pre-fix
+        // behaviour). 999_999 ns is exactly representable as 999.999µs, so
+        // the µs boundary has no carry for integer inputs.
+        assert_eq!(humanize_ns(999_999), "999.999µs");
+        assert_eq!(humanize_ns(999_999_999), "1.000s");
+        // The largest values that still round *down* within their unit.
+        assert_eq!(humanize_ns(999_999_499), "999.999ms");
+        assert_eq!(humanize_ns(999_999_500), "1.000s");
+        assert_eq!(humanize_ns(999_999_449_999), "999.999s");
+        // And values comfortably inside each unit are untouched.
+        assert_eq!(humanize_ns(999_499), "999.499µs");
+    }
+
+    #[test]
+    fn humanize_ns_u64_max_is_finite_seconds() {
+        let s = humanize_ns(u64::MAX);
+        assert!(s.ends_with('s') && !s.ends_with("ms") && !s.ends_with("µs"));
+        assert!(
+            s.starts_with("18446744073."),
+            "u64::MAX ns ≈ 584 years: {s}"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_row_renders_n0() {
+        let r = Registry::new(true);
+        let _ = r.histogram("empty.hist");
+        let table = r.render_table();
+        let row = table
+            .lines()
+            .find(|l| l.starts_with("empty.hist"))
+            .expect("row");
+        assert!(row.contains("n=0"), "row: {row}");
+        assert!(!row.contains("mean="), "no stats on an empty histogram");
+        let jsonl = r.render_jsonl();
+        assert!(
+            jsonl.contains("\"count\":0,\"sum_ns\":0,\"min_ns\":0,\"max_ns\":0"),
+            "empty histogram exports zeroed stats: {jsonl}"
+        );
     }
 
     #[test]

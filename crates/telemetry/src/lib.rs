@@ -18,6 +18,10 @@
 //!   instantiable private registries for tests.
 //! - [`export`] — a human-readable table and JSON-lines for `results/`.
 //! - [`progress::Progress`] — throughput/ETA reporter for long sweeps.
+//! - [`Tracer`] — structured trace events (span begin/end + instants) in
+//!   bounded per-thread ring buffers, with logical-tick or wall-clock
+//!   timestamps; [`trace_export`] renders a drained trace as Chrome
+//!   trace-event JSON or folded-stack flamegraph text.
 //!
 //! ## Cost model
 //!
@@ -50,12 +54,15 @@ pub mod metric;
 pub mod progress;
 pub mod registry;
 pub mod span;
+pub mod trace_export;
+pub mod tracer;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metric::{Counter, Gauge, Trace, TraceSnapshot};
 pub use progress::Progress;
 pub use registry::{MetricSnapshot, Registry, ValueSnapshot};
 pub use span::Span;
+pub use tracer::{tracer, TraceClock, TraceEvent, TraceEventKind, TraceSpan, Tracer};
 
 use std::sync::atomic::AtomicBool;
 use std::sync::OnceLock;
@@ -139,6 +146,33 @@ macro_rules! trace {
 macro_rules! span {
     ($name:expr) => {
         $crate::Span::enter($crate::histogram!($name))
+    };
+}
+
+/// An RAII trace span on the global [`Tracer`]: records a `Begin` event
+/// now and the matching `End` when the guard drops. One relaxed atomic
+/// load when tracing is disabled.
+///
+/// ```
+/// let _t = puf_telemetry::trace_span!("core.eval.demo");
+/// ```
+#[macro_export]
+macro_rules! trace_span {
+    ($name:expr) => {
+        $crate::tracer().span($name)
+    };
+}
+
+/// Records an instant trace event on the global [`Tracer`] (a no-op when
+/// tracing is disabled).
+///
+/// ```
+/// puf_telemetry::trace_instant!("protocol.session.retry");
+/// ```
+#[macro_export]
+macro_rules! trace_instant {
+    ($name:expr) => {
+        $crate::tracer().instant($name)
     };
 }
 

@@ -1,0 +1,267 @@
+//! Trace-event exporters: Chrome trace-event JSON (`chrome://tracing`,
+//! Perfetto) and folded-stack flamegraph text — both hand-rolled, keeping
+//! the crate dependency-free.
+//!
+//! Both exporters are pure functions of an event slice, so a
+//! [`TraceClock::Tick`] trace exports byte-identically across runs (the
+//! deterministic gate the proptests pin down).
+
+use crate::tracer::{TraceClock, TraceEvent, TraceEventKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The timestamp an event exports under `clock`: microseconds (the Chrome
+/// trace unit) in wall mode, the raw logical tick in tick mode.
+fn chrome_ts(event: &TraceEvent, clock: TraceClock) -> String {
+    match clock {
+        TraceClock::Tick => format!("{}", event.tick),
+        // ns → µs with the full nanosecond preserved in the fraction.
+        TraceClock::Wall => format!("{}.{:03}", event.wall_ns / 1_000, event.wall_ns % 1_000),
+    }
+}
+
+/// Renders events as a Chrome trace-event JSON object (the `traceEvents`
+/// array format). Lanes map to `tid`s, ticks ride along in `args` so the
+/// logical order stays visible even in wall mode.
+///
+/// ```
+/// let t = puf_telemetry::Tracer::new_private();
+/// t.set_enabled(true);
+/// drop(t.span("test.doc.span"));
+/// let json = puf_telemetry::trace_export::chrome_trace_json(
+///     &t.snapshot_events(),
+///     puf_telemetry::TraceClock::Tick,
+/// );
+/// assert!(json.contains("\"traceEvents\""));
+/// assert!(json.contains("\"ph\":\"B\""));
+/// ```
+pub fn chrome_trace_json(events: &[TraceEvent], clock: TraceClock) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let ph = match event.kind {
+            TraceEventKind::Begin => "B",
+            TraceEventKind::End => "E",
+            TraceEventKind::Instant => "i",
+        };
+        let _ = write!(
+            out,
+            "\n{{\"name\":\"{}\",\"cat\":\"puf\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":0,\"tid\":{}",
+            event.name,
+            chrome_ts(event, clock),
+            event.lane,
+        );
+        if event.kind == TraceEventKind::Instant {
+            // Thread-scoped instant marker.
+            out.push_str(",\"s\":\"t\"");
+        }
+        let _ = write!(
+            out,
+            ",\"args\":{{\"tick\":{},\"depth\":{}}}}}",
+            event.tick, event.depth
+        );
+    }
+    let clock_name = match clock {
+        TraceClock::Tick => "tick",
+        TraceClock::Wall => "wall",
+    };
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"clock\":\"{clock_name}\",\"events\":{}}}}}\n",
+        events.len()
+    );
+    out
+}
+
+/// The duration weight of an event under `clock`: wall nanoseconds or
+/// logical ticks.
+fn weight(event: &TraceEvent, clock: TraceClock) -> u64 {
+    match clock {
+        TraceClock::Tick => event.tick,
+        TraceClock::Wall => event.wall_ns,
+    }
+}
+
+/// Renders events as folded-stack flamegraph text: one
+/// `name;nested;deeper <weight>` line per distinct stack, sorted, where
+/// the weight is the stack's *exclusive* time (wall ns in wall mode,
+/// logical ticks otherwise). Feed to any flamegraph renderer.
+///
+/// Robust to ring eviction: an `End` with no matching open span (its
+/// `Begin` was evicted) is dropped, and spans still open when the slice
+/// ends are closed at the final observed weight.
+pub fn folded_stacks(events: &[TraceEvent], clock: TraceClock) -> String {
+    // Per-lane reconstruction: lanes interleave tick-sorted events, so
+    // split first, then walk each lane's stream with an explicit stack.
+    let mut lanes: BTreeMap<u32, Vec<&TraceEvent>> = BTreeMap::new();
+    for event in events {
+        lanes.entry(event.lane).or_default().push(event);
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for lane_events in lanes.values() {
+        // (name, start weight, accumulated child duration)
+        let mut stack: Vec<(&'static str, u64, u64)> = Vec::new();
+        let mut last = 0u64;
+        let close_top = |stack: &mut Vec<(&'static str, u64, u64)>,
+                         at: u64,
+                         folded: &mut BTreeMap<String, u64>| {
+            let Some((name, start, child)) = stack.pop() else {
+                return;
+            };
+            let duration = at.saturating_sub(start);
+            let exclusive = duration.saturating_sub(child);
+            let mut key = String::new();
+            for (frame, _, _) in stack.iter() {
+                key.push_str(frame);
+                key.push(';');
+            }
+            key.push_str(name);
+            *folded.entry(key).or_insert(0) += exclusive;
+            if let Some(parent) = stack.last_mut() {
+                parent.2 += duration;
+            }
+        };
+        for event in lane_events {
+            let w = weight(event, clock);
+            last = last.max(w);
+            match event.kind {
+                TraceEventKind::Begin => stack.push((event.name, w, 0)),
+                TraceEventKind::End => {
+                    // Tolerate a truncated prefix: an End whose Begin was
+                    // evicted has nothing on the stack (or a different
+                    // name, if eviction cut mid-nest) — drop it rather
+                    // than mis-attribute.
+                    if stack.last().is_some_and(|(name, _, _)| *name == event.name) {
+                        close_top(&mut stack, w, &mut folded);
+                    }
+                }
+                TraceEventKind::Instant => {}
+            }
+        }
+        while !stack.is_empty() {
+            close_top(&mut stack, last, &mut folded);
+        }
+    }
+    let mut out = String::new();
+    for (key, exclusive) in &folded {
+        let _ = writeln!(out, "{key} {exclusive}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn sample_tracer() -> Tracer {
+        let t = Tracer::new_private();
+        t.set_enabled(true);
+        {
+            let _outer = t.span("test.export.outer");
+            {
+                let _inner = t.span("test.export.inner");
+                t.instant("test.export.mark");
+            }
+            let _second = t.span("test.export.inner");
+        }
+        t
+    }
+
+    #[test]
+    fn chrome_json_has_balanced_phases_and_ticks() {
+        let t = sample_tracer();
+        let json = chrome_trace_json(&t.snapshot_events(), TraceClock::Tick);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with('}'));
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+        assert!(json.contains("\"clock\":\"tick\""));
+        assert!(json.contains("\"ts\":0,"), "tick timestamps are integers");
+    }
+
+    #[test]
+    fn chrome_json_wall_mode_uses_microseconds() {
+        let t = Tracer::new_private();
+        t.set_enabled(true);
+        t.set_clock(crate::TraceClock::Wall);
+        drop(t.span("test.export.walled"));
+        let json = chrome_trace_json(&t.snapshot_events(), TraceClock::Wall);
+        assert!(json.contains("\"clock\":\"wall\""));
+        // µs with a 3-digit ns fraction, e.g. "ts":12.345
+        let ts = json.split("\"ts\":").nth(1).unwrap();
+        let value = &ts[..ts.find(',').unwrap()];
+        assert!(
+            value.contains('.') && value.split('.').nth(1).unwrap().len() == 3,
+            "wall ts {value:?} should be µs with a 3-digit fraction"
+        );
+    }
+
+    #[test]
+    fn folded_stacks_attribute_exclusive_weight() {
+        let t = sample_tracer();
+        let folded = folded_stacks(&t.snapshot_events(), TraceClock::Tick);
+        let lines: Vec<&str> = folded.lines().collect();
+        // Ticks: outer B=0, inner B=1, mark=2, inner E=3, inner2 B=4,
+        // inner2 E=5, outer E=6. inner: 3-1=2 excl; second inner: 1;
+        // outer: 6-0=6 minus children (2+1... child durations 2 and 1) = 3.
+        assert_eq!(
+            lines,
+            [
+                "test.export.outer 3",
+                "test.export.outer;test.export.inner 3",
+            ],
+            "same-path spans aggregate:\n{folded}"
+        );
+    }
+
+    #[test]
+    fn folded_stacks_tolerate_truncated_prefix() {
+        let t = Tracer::new_private();
+        t.set_lane_capacity(4);
+        t.set_enabled(true);
+        for _ in 0..6 {
+            drop(t.span("test.export.wrapped"));
+        }
+        // The retained window may open with an orphaned End.
+        let folded = folded_stacks(&t.snapshot_events(), TraceClock::Tick);
+        for line in folded.lines() {
+            assert!(line.starts_with("test.export.wrapped "), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn unclosed_spans_are_closed_at_the_end() {
+        let t = Tracer::new_private();
+        t.set_enabled(true);
+        let guard = t.span("test.export.open");
+        t.instant("test.export.tail");
+        let folded = folded_stacks(&t.snapshot_events(), TraceClock::Tick);
+        assert_eq!(folded, "test.export.open 1\n");
+        drop(guard);
+    }
+
+    #[test]
+    fn exports_are_byte_identical_across_tick_replays() {
+        let run = || {
+            let t = Tracer::new_private();
+            t.set_enabled(true);
+            {
+                let _a = t.span("test.export.replay");
+                for _ in 0..10 {
+                    t.instant("test.export.step");
+                }
+            }
+            let events = t.snapshot_events();
+            (
+                chrome_trace_json(&events, TraceClock::Tick),
+                folded_stacks(&events, TraceClock::Tick),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,551 @@
+//! Structured trace events: hierarchical span begin/end and instant
+//! markers, recorded into bounded, preallocated per-thread ring buffers.
+//!
+//! Where [`crate::Span`] aggregates durations into a histogram (cheap,
+//! lossy), a trace keeps the *individual* events in order, so a 40×
+//! p99-vs-p50 latency gap or a mis-scheduled parallel lane can be
+//! attributed to the exact phase that caused it. The exporters in
+//! [`crate::trace_export`] turn a drained event list into Chrome
+//! trace-event JSON (`chrome://tracing` / Perfetto) and folded-stack
+//! flamegraph text.
+//!
+//! ## Event model
+//!
+//! Every event carries:
+//!
+//! - `name` — a `&'static str` in the same dotted-lowercase registry style
+//!   as metric names (lint rule L5 checks call sites),
+//! - `kind` — [`TraceEventKind::Begin`] / [`End`](TraceEventKind::End)
+//!   bracket a span; [`Instant`](TraceEventKind::Instant) marks a point,
+//! - `lane` — the recording thread's lane id (lanes are allocated in
+//!   first-event order and never reused),
+//! - `depth` — the span-nesting depth inside the lane at record time, so
+//!   parent links can be reconstructed without storing pointers,
+//! - `tick` — a process-wide monotone logical counter. Instrumented code
+//!   in the result crates records *only* ticks, keeping it clean of
+//!   wall-clock reads (lint rule L3),
+//! - `wall_ns` — nanoseconds since the tracer's epoch, sampled inside this
+//!   crate and only when the tracer is in [`TraceClock::Wall`] mode
+//!   (bench/CLI layers opt in); `0` in [`TraceClock::Tick`] mode.
+//!
+//! ## Cost model
+//!
+//! A disabled tracer costs one relaxed atomic load per `span`/`instant`
+//! call (and one `bool` check when the disarmed guard drops) — the same
+//! contract as [`crate::Span`]. An enabled tracer appends to the calling
+//! thread's preallocated ring under an uncontended per-lane mutex; when a
+//! ring is full the oldest event is evicted (no reallocation, ever).
+//!
+//! ## Determinism
+//!
+//! In [`TraceClock::Tick`] mode a single-threaded run records a
+//! byte-identical event stream on every execution: ticks restart at zero
+//! after [`Tracer::reset`], no clock is read, and lane ids depend only on
+//! first-event order. This is what lets the proptest gates compare whole
+//! exports as strings.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Default per-lane ring capacity (events). ~40 bytes per event, so the
+/// default lane costs ~2.5 MiB once its thread records a first event.
+pub const DEFAULT_LANE_CAPACITY: usize = 65_536;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A span opened.
+    Begin,
+    /// A span closed.
+    End,
+    /// A point event with no duration.
+    Instant,
+}
+
+/// Which timestamps events carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceClock {
+    /// Logical ticks only (`wall_ns` stays 0): deterministic, byte-identical
+    /// exports across runs. The default.
+    Tick,
+    /// Ticks plus nanoseconds since the tracer's epoch, sampled inside the
+    /// telemetry crate. For real latency attribution from bench/CLI layers.
+    Wall,
+}
+
+/// One recorded event.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Dotted-lowercase event name (static: names are a fixed registry).
+    pub name: &'static str,
+    /// Begin / End / Instant.
+    pub kind: TraceEventKind,
+    /// Recording thread's lane id.
+    pub lane: u32,
+    /// Span-nesting depth within the lane when the event was recorded.
+    pub depth: u16,
+    /// Process-wide monotone logical tick.
+    pub tick: u64,
+    /// Nanoseconds since the tracer epoch (0 in [`TraceClock::Tick`] mode).
+    pub wall_ns: u64,
+}
+
+/// Fixed-capacity event ring plus the lane's live nesting depth.
+#[derive(Debug)]
+struct LaneInner {
+    /// Preallocated storage; never grows past capacity.
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest retained event once the ring has wrapped.
+    start: usize,
+    /// Current span-nesting depth.
+    depth: u16,
+    /// Events evicted to make room (total pushes = retained + evicted).
+    evicted: u64,
+}
+
+/// One thread's recording lane. Shared between the owning thread (pushes)
+/// and drains/resets from any thread, hence the mutex — uncontended on the
+/// hot path because only the owner pushes.
+#[derive(Debug)]
+struct Lane {
+    id: u32,
+    capacity: usize,
+    inner: Mutex<LaneInner>,
+}
+
+impl Lane {
+    fn new(id: u32, capacity: usize) -> Self {
+        Lane {
+            id,
+            capacity: capacity.max(4),
+            inner: Mutex::new(LaneInner {
+                buf: Vec::with_capacity(capacity.max(4)),
+                start: 0,
+                depth: 0,
+                evicted: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LaneInner> {
+        // A panic while holding the lane lock can only come from user code
+        // unwinding through a guard drop; the ring itself stays coherent.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn push(&self, kind: TraceEventKind, name: &'static str, tick: u64, wall_ns: u64) {
+        let mut inner = self.lock();
+        let depth = match kind {
+            TraceEventKind::Begin => {
+                let d = inner.depth;
+                inner.depth = inner.depth.saturating_add(1);
+                d
+            }
+            TraceEventKind::End => {
+                inner.depth = inner.depth.saturating_sub(1);
+                inner.depth
+            }
+            TraceEventKind::Instant => inner.depth,
+        };
+        let event = TraceEvent {
+            name,
+            kind,
+            lane: self.id,
+            depth,
+            tick,
+            wall_ns,
+        };
+        if inner.buf.len() < self.capacity {
+            inner.buf.push(event);
+        } else {
+            // Overwrite the oldest retained event in place: bounded memory,
+            // zero reallocation after the ring first fills.
+            let start = inner.start;
+            inner.buf[start] = event;
+            inner.start = (start + 1) % self.capacity;
+            inner.evicted += 1;
+        }
+    }
+
+    /// Retained events, oldest first.
+    fn drain_ordered(&self) -> (Vec<TraceEvent>, u64) {
+        let inner = self.lock();
+        let mut out = Vec::with_capacity(inner.buf.len());
+        out.extend_from_slice(&inner.buf[inner.start..]);
+        out.extend_from_slice(&inner.buf[..inner.start]);
+        (out, inner.evicted)
+    }
+
+    fn reset(&self) {
+        let mut inner = self.lock();
+        inner.buf.clear();
+        inner.start = 0;
+        inner.depth = 0;
+        inner.evicted = 0;
+    }
+}
+
+/// The trace-event collector: per-thread lanes, a shared tick counter and
+/// the enable/clock switches.
+///
+/// One process-global instance lives behind [`crate::tracer`]; tests can
+/// create private instances to avoid cross-test interference.
+///
+/// ```
+/// let t = puf_telemetry::Tracer::new_private();
+/// t.set_enabled(true);
+/// {
+///     let _outer = t.span("test.doc.outer");
+///     let _inner = t.span("test.doc.inner");
+///     t.instant("test.doc.mark");
+/// }
+/// let events = t.snapshot_events();
+/// assert_eq!(events.len(), 5); // 2 begins, 1 instant, 2 ends
+/// assert_eq!(events[1].depth, 1);
+/// ```
+#[derive(Debug)]
+pub struct Tracer {
+    /// Unique id keying this tracer's slot in each thread's lane cache.
+    key: u64,
+    enabled: AtomicBool,
+    /// `true` ⇒ [`TraceClock::Wall`].
+    wall_clock: AtomicBool,
+    tick: AtomicU64,
+    next_lane: AtomicU32,
+    lane_capacity: AtomicUsize,
+    lanes: Mutex<Vec<Arc<Lane>>>,
+    epoch: Instant,
+}
+
+/// Monotone source of tracer keys (distinguishes private test tracers from
+/// the global one inside the thread-local lane cache).
+static NEXT_TRACER_KEY: AtomicU64 = AtomicU64::new(1);
+
+static GLOBAL_TRACER: OnceLock<Tracer> = OnceLock::new();
+
+/// The process-global tracer. Initially enabled iff `PUF_TRACE` is set to a
+/// truthy value, in [`TraceClock::Tick`] mode.
+pub fn tracer() -> &'static Tracer {
+    GLOBAL_TRACER.get_or_init(|| {
+        let t = Tracer::new_private();
+        t.set_enabled(crate::env_truthy("PUF_TRACE"));
+        t
+    })
+}
+
+thread_local! {
+    /// This thread's lane per tracer key. A plain Vec: processes hold one
+    /// or two tracers (global + maybe a test instance), so a linear scan
+    /// beats any map.
+    static LANES: std::cell::RefCell<Vec<(u64, Arc<Lane>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl Tracer {
+    /// A fresh, disabled tracer in [`TraceClock::Tick`] mode with the
+    /// default lane capacity. ("Private" as opposed to [`tracer`], the
+    /// process-global instance.)
+    pub fn new_private() -> Self {
+        Tracer {
+            key: NEXT_TRACER_KEY.fetch_add(1, Ordering::Relaxed),
+            enabled: AtomicBool::new(false),
+            wall_clock: AtomicBool::new(false),
+            tick: AtomicU64::new(0),
+            next_lane: AtomicU32::new(0),
+            lane_capacity: AtomicUsize::new(DEFAULT_LANE_CAPACITY),
+            lanes: Mutex::new(Vec::new()),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether events are currently recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        if cfg!(feature = "off") {
+            false
+        } else {
+            self.enabled.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Selects tick-only (deterministic) or wall-clock timestamps.
+    pub fn set_clock(&self, clock: TraceClock) {
+        self.wall_clock
+            .store(clock == TraceClock::Wall, Ordering::Relaxed);
+    }
+
+    /// The current clock mode.
+    pub fn clock(&self) -> TraceClock {
+        if self.wall_clock.load(Ordering::Relaxed) {
+            TraceClock::Wall
+        } else {
+            TraceClock::Tick
+        }
+    }
+
+    /// Sets the ring capacity for lanes created *after* this call (already
+    /// preallocated lanes keep their size).
+    pub fn set_lane_capacity(&self, events: usize) {
+        self.lane_capacity.store(events.max(4), Ordering::Relaxed);
+    }
+
+    fn lane(&self) -> Arc<Lane> {
+        LANES.with(|cell| {
+            let mut lanes = cell.borrow_mut();
+            if let Some((_, lane)) = lanes.iter().find(|(key, _)| *key == self.key) {
+                return Arc::clone(lane);
+            }
+            let lane = Arc::new(Lane::new(
+                self.next_lane.fetch_add(1, Ordering::Relaxed),
+                self.lane_capacity.load(Ordering::Relaxed),
+            ));
+            self.lanes
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(Arc::clone(&lane));
+            lanes.push((self.key, Arc::clone(&lane)));
+            lane
+        })
+    }
+
+    #[inline]
+    fn stamp(&self) -> (u64, u64) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        let wall_ns = if self.wall_clock.load(Ordering::Relaxed) {
+            u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        } else {
+            0
+        };
+        (tick, wall_ns)
+    }
+
+    /// Records an instant event (a no-op when disabled).
+    #[inline]
+    pub fn instant(&self, name: &'static str) {
+        if !self.enabled() {
+            return;
+        }
+        let (tick, wall_ns) = self.stamp();
+        self.lane()
+            .push(TraceEventKind::Instant, name, tick, wall_ns);
+    }
+
+    /// Opens a span: records `Begin` now and `End` when the returned guard
+    /// drops. Disabled tracers hand back a disarmed guard for the cost of
+    /// one atomic load.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> TraceSpan<'_> {
+        if !self.enabled() {
+            return TraceSpan { tracer: None, name };
+        }
+        let (tick, wall_ns) = self.stamp();
+        self.lane().push(TraceEventKind::Begin, name, tick, wall_ns);
+        TraceSpan {
+            tracer: Some(self),
+            name,
+        }
+    }
+
+    /// All retained events across every lane, ordered by tick.
+    pub fn snapshot_events(&self) -> Vec<TraceEvent> {
+        let lanes = self.lanes.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut events = Vec::new();
+        for lane in lanes.iter() {
+            let (mut drained, _) = lane.drain_ordered();
+            events.append(&mut drained);
+        }
+        events.sort_by_key(|e| (e.tick, e.lane));
+        events
+    }
+
+    /// Total events evicted from full rings since the last reset — nonzero
+    /// means the retained stream has a truncated prefix in some lanes.
+    pub fn evicted(&self) -> u64 {
+        let lanes = self.lanes.lock().unwrap_or_else(PoisonError::into_inner);
+        lanes.iter().map(|lane| lane.drain_ordered().1).sum()
+    }
+
+    /// Clears every lane and restarts the tick counter at zero. Lane ids
+    /// and preallocated rings survive, so a reset + identical workload
+    /// reproduces an identical event stream in tick mode.
+    pub fn reset(&self) {
+        let lanes = self.lanes.lock().unwrap_or_else(PoisonError::into_inner);
+        for lane in lanes.iter() {
+            lane.reset();
+        }
+        self.tick.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard for a trace span: records `End` on drop (armed guards only).
+#[derive(Debug)]
+#[must_use = "a trace span records its End on drop; binding it to _ drops it immediately"]
+pub struct TraceSpan<'a> {
+    /// `None` when the tracer was disabled at entry.
+    tracer: Option<&'a Tracer>,
+    name: &'static str,
+}
+
+impl TraceSpan<'_> {
+    /// Whether the span is recording (tracer was enabled at entry).
+    pub fn is_armed(&self) -> bool {
+        self.tracer.is_some()
+    }
+}
+
+impl Drop for TraceSpan<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        // An armed span always closes, even if the tracer was disabled
+        // mid-span: per-lane begin/end pushes stay balanced.
+        if let Some(tracer) = self.tracer {
+            let (tick, wall_ns) = tracer.stamp();
+            tracer
+                .lane()
+                .push(TraceEventKind::End, self.name, tick, wall_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new_private();
+        t.instant("test.tracer.off");
+        let span = t.span("test.tracer.off_span");
+        assert!(!span.is_armed());
+        drop(span);
+        assert!(t.snapshot_events().is_empty());
+    }
+
+    #[test]
+    fn events_carry_ticks_depth_and_kind() {
+        let t = Tracer::new_private();
+        t.set_enabled(true);
+        {
+            let _a = t.span("test.tracer.outer");
+            t.instant("test.tracer.mark");
+            let _b = t.span("test.tracer.inner");
+        }
+        let events = t.snapshot_events();
+        let kinds: Vec<TraceEventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                TraceEventKind::Begin,
+                TraceEventKind::Instant,
+                TraceEventKind::Begin,
+                TraceEventKind::End,
+                TraceEventKind::End,
+            ]
+        );
+        assert_eq!(
+            events.iter().map(|e| e.tick).collect::<Vec<_>>(),
+            [0, 1, 2, 3, 4],
+            "ticks are consecutive from zero"
+        );
+        assert_eq!(events[0].depth, 0);
+        assert_eq!(events[1].depth, 1);
+        assert_eq!(events[2].depth, 1);
+        assert_eq!(events[3].depth, 1, "End carries the depth of its Begin");
+        assert_eq!(events[4].depth, 0);
+        // Inner drops before outer: LIFO nesting.
+        assert_eq!(events[3].name, "test.tracer.inner");
+        assert_eq!(events[4].name, "test.tracer.outer");
+        assert!(
+            events.iter().all(|e| e.wall_ns == 0),
+            "tick mode never reads the clock"
+        );
+    }
+
+    #[test]
+    fn wall_mode_stamps_nanoseconds() {
+        let t = Tracer::new_private();
+        t.set_enabled(true);
+        t.set_clock(TraceClock::Wall);
+        {
+            let _s = t.span("test.tracer.walled");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let events = t.snapshot_events();
+        assert_eq!(events.len(), 2);
+        assert!(events[1].wall_ns > events[0].wall_ns);
+        assert!(events[1].wall_ns - events[0].wall_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn ring_wraps_without_reallocating() {
+        let t = Tracer::new_private();
+        t.set_lane_capacity(8);
+        t.set_enabled(true);
+        for _ in 0..20 {
+            t.instant("test.tracer.flood");
+        }
+        let events = t.snapshot_events();
+        assert_eq!(events.len(), 8, "ring holds exactly its capacity");
+        assert_eq!(t.evicted(), 12);
+        // Oldest events went first: the retained ticks are the last 8.
+        assert_eq!(
+            events.iter().map(|e| e.tick).collect::<Vec<_>>(),
+            (12..20).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn threads_get_distinct_lanes() {
+        let t = Tracer::new_private();
+        t.set_enabled(true);
+        t.instant("test.tracer.main");
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let _s = t.span("test.tracer.worker");
+                });
+            }
+        });
+        let events = t.snapshot_events();
+        let mut lanes: Vec<u32> = events.iter().map(|e| e.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        assert_eq!(lanes.len(), 4, "main + 3 workers");
+        assert_eq!(events.len(), 1 + 3 * 2);
+    }
+
+    #[test]
+    fn reset_restarts_ticks_for_identical_replay() {
+        let t = Tracer::new_private();
+        t.set_enabled(true);
+        let run = |t: &Tracer| {
+            let _a = t.span("test.tracer.replay");
+            t.instant("test.tracer.point");
+        };
+        run(&t);
+        let first = t.snapshot_events();
+        t.reset();
+        run(&t);
+        let second = t.snapshot_events();
+        assert_eq!(first, second, "tick mode replays are event-identical");
+    }
+
+    #[test]
+    fn private_tracers_do_not_share_lanes() {
+        let a = Tracer::new_private();
+        let b = Tracer::new_private();
+        a.set_enabled(true);
+        b.set_enabled(true);
+        a.instant("test.tracer.a");
+        b.instant("test.tracer.b");
+        assert_eq!(a.snapshot_events().len(), 1);
+        assert_eq!(b.snapshot_events().len(), 1);
+        assert_eq!(a.snapshot_events()[0].name, "test.tracer.a");
+    }
+}

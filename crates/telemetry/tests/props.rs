@@ -1,0 +1,176 @@
+//! Property tests for the telemetry substrate: histogram quantile accuracy
+//! against a sorted reference, and trace ring-buffer behaviour under
+//! arbitrary span/instant workloads that overflow the ring.
+
+use proptest::prelude::*;
+use puf_telemetry::{Histogram, TraceEventKind, Tracer};
+
+/// The histogram bins 4 sub-buckets per power of two, so any reported
+/// quantile must sit within 12.5 % (one sub-bucket) of the true order
+/// statistic, clamped to the observed range.
+fn check_quantile(sorted: &[u64], snap: &puf_telemetry::HistogramSnapshot, q: f64) {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    let exact = sorted[rank - 1];
+    let got = snap.quantile(q);
+    // Bucket resolution: the reported midpoint is within the bucket that
+    // holds the exact order statistic, so it deviates by at most 12.5 %
+    // of the value (plus 1 for the integer buckets below 4).
+    let tolerance = (exact as f64) * 0.125 + 1.0;
+    assert!(
+        (got as f64 - exact as f64).abs() <= tolerance,
+        "q={q}: got {got}, exact {exact} (n={n})"
+    );
+    assert!(
+        got >= snap.min && got <= snap.max,
+        "clamped to observed range"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// p50/p95/p99 stay within one sub-bucket of the sorted-reference
+    /// order statistic for arbitrary value distributions spanning the
+    /// whole bucket table (1 ns … minutes).
+    #[test]
+    fn histogram_percentiles_match_sorted_reference(
+        samples in proptest::collection::vec(1u64..120_000_000_000, 1..400),
+    ) {
+        let h = Histogram::standalone();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut values = samples;
+        values.sort_unstable();
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.min, values[0]);
+        prop_assert_eq!(snap.max, *values.last().unwrap());
+        for q in [0.50, 0.95, 0.99] {
+            check_quantile(&values, &snap, q);
+        }
+    }
+
+    /// The trace ring never exceeds its capacity, never loses anything
+    /// below capacity, evicts exactly the oldest events once full, and
+    /// keeps begin/end pushes balanced across wraps (every armed guard
+    /// closes its span even after its Begin was evicted).
+    #[test]
+    fn trace_ring_overflow_evicts_oldest_and_stays_balanced(
+        capacity in 4usize..64,
+        ops in proptest::collection::vec(0u8..3, 1..300),
+    ) {
+        let t = Tracer::new_private();
+        t.set_lane_capacity(capacity);
+        t.set_enabled(true);
+
+        // Replay the op stream: 0 = instant, 1 = open span, 2 = close the
+        // most recent open span. Every span left open closes at the end
+        // (guards drop in LIFO order).
+        let mut open = Vec::new();
+        let mut pushed = 0u64;
+        let mut begins = 0u64;
+        let mut ends = 0u64;
+        for &op in &ops {
+            match op {
+                0 => {
+                    t.instant("test.props.mark");
+                    pushed += 1;
+                }
+                1 => {
+                    open.push(t.span("test.props.span"));
+                    pushed += 1;
+                    begins += 1;
+                }
+                _ => {
+                    if open.pop().is_some() {
+                        pushed += 1;
+                        ends += 1;
+                    }
+                }
+            }
+        }
+        let open_count = open.len() as u64;
+        drop(open);
+        pushed += open_count;
+        ends += open_count;
+        prop_assert_eq!(begins, ends, "every Begin push has an End push");
+
+        let events = t.snapshot_events();
+        // Bounded: never more than capacity retained, nothing lost below it.
+        prop_assert!(events.len() <= capacity);
+        prop_assert_eq!(events.len() as u64, pushed.min(capacity as u64));
+        prop_assert_eq!(t.evicted(), pushed.saturating_sub(capacity as u64),
+            "eviction count is exactly the overflow");
+        // Oldest-first eviction: the retained ticks are the final window
+        // of the push sequence, in order.
+        let ticks: Vec<u64> = events.iter().map(|e| e.tick).collect();
+        let expect: Vec<u64> = (pushed.saturating_sub(capacity as u64)..pushed).collect();
+        prop_assert_eq!(ticks, expect);
+        // After a wrap the retained stream may open with orphaned Ends,
+        // but scanning with a stack never goes negative *after* skipping
+        // the truncated prefix, and unmatched Ends never exceed what
+        // eviction can explain.
+        let mut depth = 0i64;
+        let mut orphans = 0i64;
+        for e in &events {
+            match e.kind {
+                TraceEventKind::Begin => depth += 1,
+                TraceEventKind::End => {
+                    if depth == 0 {
+                        orphans += 1;
+                    } else {
+                        depth -= 1;
+                    }
+                }
+                TraceEventKind::Instant => {}
+            }
+        }
+        prop_assert!(
+            orphans <= t.evicted() as i64,
+            "orphaned Ends ({orphans}) need evicted Begins ({})", t.evicted()
+        );
+        // And the folded exporter digests any such stream without panicking.
+        let _ = puf_telemetry::trace_export::folded_stacks(
+            &events,
+            puf_telemetry::TraceClock::Tick,
+        );
+    }
+
+    /// Tick-mode exports are byte-identical when the same op stream is
+    /// replayed after a reset — the deterministic-trace gate.
+    #[test]
+    fn tick_mode_exports_are_replay_stable(
+        ops in proptest::collection::vec(0u8..3, 1..100),
+    ) {
+        let t = Tracer::new_private();
+        t.set_enabled(true);
+        let run = |t: &Tracer| {
+            let mut open = Vec::new();
+            for &op in &ops {
+                match op {
+                    0 => t.instant("test.props.mark"),
+                    1 => open.push(t.span("test.props.span")),
+                    _ => drop(open.pop()),
+                }
+            }
+            drop(open);
+            let events = t.snapshot_events();
+            (
+                puf_telemetry::trace_export::chrome_trace_json(
+                    &events,
+                    puf_telemetry::TraceClock::Tick,
+                ),
+                puf_telemetry::trace_export::folded_stacks(
+                    &events,
+                    puf_telemetry::TraceClock::Tick,
+                ),
+            )
+        };
+        let first = run(&t);
+        t.reset();
+        let second = run(&t);
+        prop_assert_eq!(first, second);
+    }
+}

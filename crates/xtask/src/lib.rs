@@ -11,6 +11,13 @@
 //! encodes those invariants as repo-specific lint rules over the workspace
 //! sources — zero external dependencies, like `puf-telemetry`.
 //!
+//! Two observatory subcommands ride alongside the linter: `cargo xtask
+//! bench-diff` ([`benchdiff`]) compares benchmark JSON outputs against the
+//! committed baselines and fails on per-metric regressions, and `cargo
+//! xtask trace-check` ([`tracecheck`]) structurally validates exported
+//! Chrome trace-event JSON. Both parse JSON with the dependency-free
+//! [`json`] module.
+//!
 //! ## Rule catalog
 //!
 //! | id | rule |
@@ -20,7 +27,7 @@
 //! | L2 | every crate root carries `#![deny(unsafe_code)]`; `allow(unsafe_code)` only at allowlisted sites |
 //! | L3 | nondeterminism ban in result-producing crates (`thread_rng`, `from_entropy`, `Instant::now`, `SystemTime`, `HashMap`/`HashSet`) |
 //! | L4 | no `unwrap`/`expect`/`panic!` family in library code of `core`/`ml`/`protocol`/`silicon` |
-//! | L5 | telemetry metric names are dotted lowercase `subsystem.verb[.detail]` at registration sites |
+//! | L5 | telemetry metric and trace-event names (incl. `trace_span!`/`trace_instant!`) are dotted lowercase `subsystem.verb[.detail]` at registration sites |
 //!
 //! ## Exemptions
 //!
@@ -42,8 +49,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod benchdiff;
+pub mod json;
 pub mod lexer;
 pub mod rules;
+pub mod tracecheck;
 pub mod walk;
 
 use std::fmt;

@@ -1,13 +1,27 @@
-//! `cargo xtask` — workspace automation. Currently one subcommand:
+//! `cargo xtask` — workspace automation. Three subcommands:
 //!
 //! ```text
 //! cargo xtask lint [--root PATH] [--quiet]
+//! cargo xtask bench-diff [--baseline DIR] [--current DIR] [--threshold F]
+//! cargo xtask trace-check FILE...
 //! ```
 //!
-//! Runs the repo-specific static-analysis rules (L1–L5, see the crate docs
-//! and DESIGN.md §"Static analysis & verification") over every workspace
-//! source and exits non-zero if any violation is found. `scripts/check.sh`
-//! runs this before clippy, so the gate fails on any new violation.
+//! `lint` runs the repo-specific static-analysis rules (L1–L5, see the
+//! crate docs and DESIGN.md §"Static analysis & verification") over every
+//! workspace source and exits non-zero if any violation is found.
+//! `scripts/check.sh` runs this before clippy, so the gate fails on any
+//! new violation.
+//!
+//! `bench-diff` is the benchmark regression observatory: it compares every
+//! `*.json` in the current directory tree against the committed baselines
+//! (default `results/` vs `target/bench_current/`), prints a per-metric
+//! delta table, and exits non-zero when a directed metric moved against
+//! its preferred direction past the threshold (default 30 %, doubled for
+//! noisy timing metrics).
+//!
+//! `trace-check` structurally validates Chrome trace-event JSON written by
+//! `--trace` / `chaos --trace` (balanced spans per lane, monotone lane
+//! timestamps, L5-clean event names).
 
 #![deny(unsafe_code)]
 
@@ -18,6 +32,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("bench-diff") => bench_diff(&args[1..]),
+        Some("trace-check") => trace_check(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask subcommand `{other}`");
             usage();
@@ -31,7 +47,114 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask lint [--root PATH] [--quiet]");
+    eprintln!(
+        "usage: cargo xtask lint [--root PATH] [--quiet]\n       \
+         cargo xtask bench-diff [--baseline DIR] [--current DIR] [--threshold F] [--root PATH]\n       \
+         cargo xtask trace-check FILE..."
+    );
+}
+
+fn bench_diff(args: &[String]) -> ExitCode {
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut threshold = xtask::benchdiff::DEFAULT_THRESHOLD;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            flag @ ("--baseline" | "--current" | "--root") => match it.next() {
+                Some(p) => {
+                    let slot = match flag {
+                        "--baseline" => &mut baseline,
+                        "--current" => &mut current,
+                        _ => &mut root,
+                    };
+                    *slot = Some(PathBuf::from(p));
+                }
+                None => {
+                    eprintln!("{flag} requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threshold" => match it.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => threshold = t,
+                _ => {
+                    eprintln!("--threshold requires a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}` for xtask bench-diff");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("could not locate the workspace root (no Cargo.toml with [workspace])");
+            return ExitCode::FAILURE;
+        }
+    };
+    let resolve = |p: PathBuf| if p.is_absolute() { p } else { root.join(p) };
+    let baseline = resolve(baseline.unwrap_or_else(|| PathBuf::from("results")));
+    let current = resolve(current.unwrap_or_else(|| PathBuf::from("target/bench_current")));
+    let report = match xtask::benchdiff::diff_dirs(&baseline, &current, threshold) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "xtask bench-diff: failed to compare {} against {}: {e}",
+                current.display(),
+                baseline.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    if report.has_regressions() {
+        eprintln!(
+            "xtask bench-diff: regression past the {:.0} % threshold (see table above)",
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn trace_check(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("xtask trace-check: at least one trace file required");
+        usage();
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match xtask::tracecheck::check_chrome_trace(&text) {
+            Ok(stats) => println!(
+                "{path}: ok — {} event(s), {} lane(s), max depth {}, {} clock",
+                stats.events, stats.lanes, stats.max_depth, stats.clock
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn lint(args: &[String]) -> ExitCode {

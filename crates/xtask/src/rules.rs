@@ -523,6 +523,8 @@ fn l4_strict_no_asserts(
 
 /// L5: telemetry names registered through the `puf_telemetry` macros (and
 /// `Progress::start`) must be dotted lowercase `subsystem.verb[.detail]`.
+/// Structured trace events (`trace_span!` / `trace_instant!`) share the
+/// namespace and the rule.
 fn l5_telemetry_names(rel: &str, lexed: &Lexed, ann: &Annotations, diags: &mut Vec<Diagnostic>) {
     const MARKERS: &[&str] = &[
         "counter!",
@@ -530,6 +532,8 @@ fn l5_telemetry_names(rel: &str, lexed: &Lexed, ann: &Annotations, diags: &mut V
         "span!",
         "trace!",
         "histogram!",
+        "trace_span!",
+        "trace_instant!",
         "Progress::start",
     ];
     for (idx, line) in lexed.lines.iter().enumerate() {
@@ -583,7 +587,10 @@ fn l5_telemetry_names(rel: &str, lexed: &Lexed, ann: &Annotations, diags: &mut V
 
 /// `subsystem.verb[.detail…]`: ≥ 2 non-empty segments, each starting with a
 /// lowercase letter and containing only `[a-z0-9_]`.
-fn is_valid_metric_name(name: &str) -> bool {
+///
+/// Public so `trace-check` can hold exported Chrome trace event names to
+/// the same namespace rule L5 enforces at the registration sites.
+pub fn is_valid_metric_name(name: &str) -> bool {
     let segments: Vec<&str> = name.split('.').collect();
     segments.len() >= 2
         && segments.iter().all(|seg| {
@@ -793,6 +800,18 @@ let p = Progress::start(\"ok.name\", 10);
 ";
         let diags = lint_source("crates/analysis/src/t.rs", src);
         assert_eq!(ids(&diags), vec![(RuleId::L5, 2), (RuleId::L5, 3)]);
+    }
+
+    #[test]
+    fn l5_covers_trace_event_markers() {
+        let src = "\
+let _t = puf_telemetry::trace_span!(\"eval.batch.block\");
+let _u = puf_telemetry::trace_span!(\"NoDots\");
+puf_telemetry::trace_instant!(\"protocol.session.retry\");
+puf_telemetry::trace_instant!(\"badname\");
+";
+        let diags = lint_source("crates/analysis/src/t.rs", src);
+        assert_eq!(ids(&diags), vec![(RuleId::L5, 2), (RuleId::L5, 4)]);
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! `cargo xtask trace-check` — structural validation of exported Chrome
+//! trace-event JSON (`trace_export::chrome_trace_json` output).
+//!
+//! The exporter is hand-rolled, so the gate re-parses its output with the
+//! equally hand-rolled [`crate::json`] parser and checks the invariants a
+//! trace viewer relies on:
+//!
+//! - `traceEvents` is an array of objects with `name`/`ph`/`ts`/`pid`/`tid`,
+//! - every `ph` is `B`, `E` or `i`, and instants carry `"s":"t"`,
+//! - event names obey the L5 namespace rule (dotted lowercase),
+//! - per-lane (`tid`) timestamps are non-decreasing,
+//! - per-lane Begin/End events balance like parentheses with matching
+//!   names — orphaned Ends are tolerated only as a ring-eviction prefix
+//!   (before the lane's first Begin), and nothing may be left open.
+
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+
+/// Summary of a validated trace, for the gate's one-line report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Distinct lanes (`tid`s).
+    pub lanes: usize,
+    /// Deepest span nesting observed on any lane.
+    pub max_depth: usize,
+    /// The `otherData.clock` tag (`tick` or `wall`).
+    pub clock: String,
+}
+
+/// Validates one Chrome trace JSON document. Returns summary stats, or the
+/// first structural violation found.
+pub fn check_chrome_trace(doc: &str) -> Result<TraceStats, String> {
+    let root = json::parse(doc).map_err(|e| e.to_string())?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing `traceEvents` array")?;
+    let clock = root
+        .get("otherData")
+        .and_then(|o| o.get("clock"))
+        .and_then(Value::as_str)
+        .ok_or("missing `otherData.clock`")?;
+    if clock != "tick" && clock != "wall" {
+        return Err(format!("unknown clock tag `{clock}`"));
+    }
+    if let Some(count) = root
+        .get("otherData")
+        .and_then(|o| o.get("events"))
+        .and_then(Value::as_f64)
+    {
+        if count as usize != events.len() {
+            return Err(format!(
+                "otherData.events says {count} but traceEvents has {}",
+                events.len()
+            ));
+        }
+    }
+
+    // Per-lane state: (span name stack, last timestamp, seen a Begin yet).
+    struct Lane {
+        stack: Vec<String>,
+        last_ts: f64,
+        any_begin: bool,
+    }
+    let mut lanes: BTreeMap<i64, Lane> = BTreeMap::new();
+    let mut max_depth = 0usize;
+
+    for (i, event) in events.iter().enumerate() {
+        let at = |what: &str| format!("traceEvents[{i}]: {what}");
+        let name = event
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| at("missing string `name`"))?;
+        if !crate::rules::is_valid_metric_name(name) {
+            return Err(at(&format!(
+                "event name `{name}` violates the dotted-lowercase namespace rule (L5)"
+            )));
+        }
+        let ph = event
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| at("missing string `ph`"))?;
+        let ts = event
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| at("missing numeric `ts`"))?;
+        let tid = event
+            .get("tid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| at("missing numeric `tid`"))? as i64;
+        event
+            .get("pid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| at("missing numeric `pid`"))?;
+
+        let lane = lanes.entry(tid).or_insert(Lane {
+            stack: Vec::new(),
+            last_ts: f64::NEG_INFINITY,
+            any_begin: false,
+        });
+        if ts < lane.last_ts {
+            return Err(at(&format!(
+                "lane {tid} timestamps go backwards ({ts} after {})",
+                lane.last_ts
+            )));
+        }
+        lane.last_ts = ts;
+
+        match ph {
+            "B" => {
+                lane.any_begin = true;
+                lane.stack.push(name.to_string());
+                max_depth = max_depth.max(lane.stack.len());
+            }
+            "E" => match lane.stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return Err(at(&format!(
+                        "lane {tid} closes `{name}` but `{open}` is open"
+                    )));
+                }
+                None => {
+                    // A truncated ring may legitimately start a lane with
+                    // Ends whose Begins were evicted — but only before the
+                    // lane's first surviving Begin.
+                    if lane.any_begin {
+                        return Err(at(&format!("lane {tid} closes `{name}` with no span open")));
+                    }
+                }
+            },
+            "i" => {
+                if event.get("s").and_then(Value::as_str) != Some("t") {
+                    return Err(at("instant event missing `\"s\":\"t\"` scope"));
+                }
+            }
+            other => return Err(at(&format!("unknown phase `{other}`"))),
+        }
+    }
+
+    for (tid, lane) in &lanes {
+        if let Some(open) = lane.stack.last() {
+            return Err(format!(
+                "lane {tid} ends with `{open}` still open ({} unclosed span{})",
+                lane.stack.len(),
+                if lane.stack.len() == 1 { "" } else { "s" },
+            ));
+        }
+    }
+
+    Ok(TraceStats {
+        events: events.len(),
+        lanes: lanes.len(),
+        max_depth,
+        clock: clock.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use puf_telemetry::{trace_export, TraceClock, Tracer};
+
+    /// Round-trip: what the exporter writes, the checker accepts.
+    #[test]
+    fn exporter_output_round_trips() {
+        let t = Tracer::new_private();
+        t.set_enabled(true);
+        {
+            let _outer = t.span("test.check.outer");
+            {
+                let _inner = t.span("test.check.inner");
+                t.instant("test.check.mark");
+            }
+        }
+        let json = trace_export::chrome_trace_json(&t.snapshot_events(), TraceClock::Tick);
+        let stats = check_chrome_trace(&json).expect("exporter output should validate");
+        assert_eq!(stats.events, 5);
+        assert_eq!(stats.lanes, 1);
+        assert_eq!(stats.max_depth, 2);
+        assert_eq!(stats.clock, "tick");
+    }
+
+    #[test]
+    fn wall_clock_output_round_trips() {
+        let t = Tracer::new_private();
+        t.set_enabled(true);
+        t.set_clock(TraceClock::Wall);
+        drop(t.span("test.check.walled"));
+        let json = trace_export::chrome_trace_json(&t.snapshot_events(), TraceClock::Wall);
+        let stats = check_chrome_trace(&json).unwrap();
+        assert_eq!(stats.clock, "wall");
+        assert_eq!(stats.events, 2);
+    }
+
+    #[test]
+    fn eviction_prefix_of_orphan_ends_is_tolerated() {
+        let t = Tracer::new_private();
+        t.set_lane_capacity(4);
+        t.set_enabled(true);
+        for _ in 0..6 {
+            drop(t.span("test.check.wrapped"));
+        }
+        assert!(t.evicted() > 0, "the ring must actually wrap");
+        let json = trace_export::chrome_trace_json(&t.snapshot_events(), TraceClock::Tick);
+        check_chrome_trace(&json).expect("truncated prefix should be tolerated");
+    }
+
+    #[test]
+    fn corrupted_phase_is_rejected() {
+        let t = Tracer::new_private();
+        t.set_enabled(true);
+        drop(t.span("test.check.span"));
+        let json = trace_export::chrome_trace_json(&t.snapshot_events(), TraceClock::Tick);
+        let bad = json.replacen("\"ph\":\"E\"", "\"ph\":\"X\"", 1);
+        let err = check_chrome_trace(&bad).unwrap_err();
+        assert!(err.contains("unknown phase"), "{err}");
+    }
+
+    #[test]
+    fn unbalanced_spans_are_rejected() {
+        // A Begin with no matching End: left open at the end of the lane.
+        let open = r#"{"traceEvents":[
+{"name":"test.check.span","cat":"puf","ph":"B","ts":0,"pid":0,"tid":0,"args":{"tick":0,"depth":0}}
+],"displayTimeUnit":"ms","otherData":{"clock":"tick","events":1}}"#;
+        let err = check_chrome_trace(open).unwrap_err();
+        assert!(err.contains("still open"), "{err}");
+        // A mid-lane orphan End (a Begin was already seen): not eviction.
+        let orphan = r#"{"traceEvents":[
+{"name":"test.check.a","cat":"puf","ph":"B","ts":0,"pid":0,"tid":0,"args":{"tick":0,"depth":0}},
+{"name":"test.check.a","cat":"puf","ph":"E","ts":1,"pid":0,"tid":0,"args":{"tick":1,"depth":0}},
+{"name":"test.check.b","cat":"puf","ph":"E","ts":2,"pid":0,"tid":0,"args":{"tick":2,"depth":0}}
+],"displayTimeUnit":"ms","otherData":{"clock":"tick","events":3}}"#;
+        let err = check_chrome_trace(orphan).unwrap_err();
+        assert!(err.contains("no span open"), "{err}");
+        // Name-mismatched close: interleaved rather than nested spans.
+        let crossed = r#"{"traceEvents":[
+{"name":"test.check.a","cat":"puf","ph":"B","ts":0,"pid":0,"tid":0,"args":{"tick":0,"depth":0}},
+{"name":"test.check.b","cat":"puf","ph":"B","ts":1,"pid":0,"tid":0,"args":{"tick":1,"depth":1}},
+{"name":"test.check.a","cat":"puf","ph":"E","ts":2,"pid":0,"tid":0,"args":{"tick":2,"depth":1}},
+{"name":"test.check.b","cat":"puf","ph":"E","ts":3,"pid":0,"tid":0,"args":{"tick":3,"depth":0}}
+],"displayTimeUnit":"ms","otherData":{"clock":"tick","events":4}}"#;
+        let err = check_chrome_trace(crossed).unwrap_err();
+        assert!(err.contains("is open"), "{err}");
+    }
+
+    #[test]
+    fn bad_event_names_are_rejected() {
+        let t = Tracer::new_private();
+        t.set_enabled(true);
+        t.instant("test.check.mark");
+        let json = trace_export::chrome_trace_json(&t.snapshot_events(), TraceClock::Tick);
+        let bad = json.replace("test.check.mark", "BadName");
+        let err = check_chrome_trace(&bad).unwrap_err();
+        assert!(err.contains("L5"), "{err}");
+    }
+
+    #[test]
+    fn non_trace_json_is_rejected() {
+        assert!(check_chrome_trace("{}").is_err());
+        assert!(check_chrome_trace("not json").is_err());
+        assert!(check_chrome_trace("{\"traceEvents\": 5}").is_err());
+    }
+}

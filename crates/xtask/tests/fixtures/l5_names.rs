@@ -11,4 +11,8 @@ pub fn record() {
     )
     .record(1);
     puf_telemetry::trace!("fixture.trace.event");
+    let _t = puf_telemetry::trace_span!("fixture.trace.span");
+    let _u = puf_telemetry::trace_span!("TraceBad");
+    puf_telemetry::trace_instant!("fixture.trace.mark");
+    puf_telemetry::trace_instant!("alsobad");
 }

@@ -5,11 +5,20 @@
 # attack-training kernels and the linreg normal-equation paths
 # (results/BENCH_ml.json).
 #
+# After the harnesses run, `cargo xtask bench-diff` compares the fresh
+# numbers against the previously committed baselines (snapshotted to
+# target/bench_baseline/ before the run), prints the per-metric delta
+# table, and fails on regressions past the observatory thresholds.
+#
 # Environment:
 #   PUF_BENCH_CRPS=N   challenge-pool size (default 262144 eval / 8192 ml)
 #   PUF_THREADS=N      worker threads for the multi-thread fan-out
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> snapshot committed baselines to target/bench_baseline/"
+mkdir -p target/bench_baseline
+cp results/BENCH_*.json results/CHAOS.json target/bench_baseline/ 2>/dev/null || true
 
 echo "==> cargo build --release -p puf-bench --bin bench_eval --bin bench_ml"
 cargo build --release -p puf-bench --bin bench_eval --bin bench_ml
@@ -19,3 +28,6 @@ echo "==> bench_eval (writes results/BENCH_eval.json)"
 
 echo "==> bench_ml (writes results/BENCH_ml.json)"
 ./target/release/bench_ml
+
+echo "==> bench-diff observatory: fresh run vs committed baselines"
+cargo xtask bench-diff --baseline target/bench_baseline --current results

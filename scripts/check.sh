@@ -23,4 +23,14 @@ cargo bench --workspace --no-run
 echo "==> chaos smoke: bounded fault-injection sweep (FAR/FRR envelopes)"
 cargo run -q --release -p puf-bench --bin chaos -- --smoke
 
+echo "==> trace gate: deterministic tick trace from chaos --smoke, validated + byte-stable"
+cargo run -q --release -p puf-bench --bin chaos -- --smoke --trace=target/CHAOS_trace.json
+cargo run -q --release -p puf-bench --bin chaos -- --smoke --trace=target/CHAOS_trace.rerun.json
+cmp target/CHAOS_trace.json target/CHAOS_trace.rerun.json
+cmp target/CHAOS_trace.json.folded target/CHAOS_trace.rerun.json.folded
+cargo xtask trace-check target/CHAOS_trace.json
+
+echo "==> bench-diff observatory: committed baselines parse and self-compare clean"
+cargo xtask bench-diff --baseline results --current results
+
 echo "==> all checks passed"

@@ -17,8 +17,12 @@
 //! Every command additionally accepts `--telemetry[=PATH]`: with no value it
 //! prints a metrics report (counters, latency histograms, gauges) to stdout
 //! after the command runs; with a path it appends one JSONL record per
-//! metric to that file instead. Flags a command does not understand are
-//! rejected with an error.
+//! metric to that file instead. `--trace[=PATH]` works the same way for
+//! structured trace events: with no value it prints folded flamegraph
+//! stacks to stdout; with a path it writes Chrome trace-event JSON (open
+//! in `chrome://tracing` or Perfetto) to PATH plus the folded stacks to
+//! `PATH.folded`. Flags a command does not understand are rejected with an
+//! error.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,7 +37,7 @@ use xorpuf::protocol::storage::{decode_server, encode_server};
 use xorpuf::silicon::{Chip, ChipConfig};
 
 /// Flags that take no value (`--telemetry=PATH` opts into one inline).
-const VALUELESS_FLAGS: &[&str] = &["impostor", "all-conditions", "telemetry"];
+const VALUELESS_FLAGS: &[&str] = &["impostor", "all-conditions", "telemetry", "trace"];
 
 /// The flags each command understands; anything else is an error.
 fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
@@ -46,8 +50,9 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "seed",
             "all-conditions",
             "telemetry",
+            "trace",
         ],
-        "select" => &["db", "chip-id", "count", "seed", "telemetry"],
+        "select" => &["db", "chip-id", "count", "seed", "telemetry", "trace"],
         "authenticate" => &[
             "db",
             "chip-seed",
@@ -58,9 +63,18 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "seed",
             "impostor",
             "telemetry",
+            "trace",
         ],
-        "keygen" => &["db", "chip-seed", "chip-id", "bits", "seed", "telemetry"],
-        "inspect" => &["db", "telemetry"],
+        "keygen" => &[
+            "db",
+            "chip-seed",
+            "chip-id",
+            "bits",
+            "seed",
+            "telemetry",
+            "trace",
+        ],
+        "inspect" => &["db", "telemetry", "trace"],
         _ => return None,
     })
 }
@@ -296,7 +310,9 @@ const USAGE: &str = "usage: xorpuf <enroll|select|authenticate|keygen|inspect> [
   keygen       --db FILE [--chip-seed N] [--chip-id N] [--bits N]
   inspect      --db FILE
 every command also accepts --telemetry[=PATH]: print a metrics report to
-stdout after the command, or append JSONL records to PATH instead";
+stdout after the command, or append JSONL records to PATH instead; and
+--trace[=PATH]: print folded flamegraph stacks to stdout, or write Chrome
+trace-event JSON to PATH (plus folded stacks to PATH.folded)";
 
 /// Writes the collected metrics: a human-readable table on stdout when
 /// `sink` is empty, one JSONL record per metric appended to `sink`
@@ -317,6 +333,31 @@ fn emit_telemetry(sink: &str) -> Result<(), String> {
         .map_err(|e| format!("cannot write {sink}: {e}"))
 }
 
+/// Writes the recorded trace: folded flamegraph stacks on stdout when
+/// `sink` is empty; otherwise Chrome trace-event JSON to `sink` and the
+/// folded stacks next to it at `sink.folded`.
+fn emit_trace(sink: &str) -> Result<(), String> {
+    use xorpuf::telemetry::trace_export;
+    let tracer = xorpuf::telemetry::tracer();
+    let events = tracer.snapshot_events();
+    let clock = tracer.clock();
+    if tracer.evicted() > 0 {
+        eprintln!(
+            "warning: trace ring overflowed; {} oldest event(s) evicted",
+            tracer.evicted()
+        );
+    }
+    if sink.is_empty() {
+        print!("{}", trace_export::folded_stacks(&events, clock));
+        return Ok(());
+    }
+    std::fs::write(sink, trace_export::chrome_trace_json(&events, clock))
+        .map_err(|e| format!("cannot write {sink}: {e}"))?;
+    let folded_path = format!("{sink}.folded");
+    std::fs::write(&folded_path, trace_export::folded_stacks(&events, clock))
+        .map_err(|e| format!("cannot write {folded_path}: {e}"))
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
@@ -332,6 +373,13 @@ fn main() -> ExitCode {
         if telemetry_sink.is_some() {
             xorpuf::telemetry::set_enabled(true);
         }
+        let trace_sink = args.flags.get("trace").cloned();
+        if trace_sink.is_some() {
+            // Interactive runs profile real time; the deterministic tick
+            // mode is for reproducible traces (chaos bench, tests).
+            xorpuf::telemetry::tracer().set_clock(xorpuf::telemetry::TraceClock::Wall);
+            xorpuf::telemetry::tracer().set_enabled(true);
+        }
         let outcome = match command.as_str() {
             "enroll" => cmd_enroll(&args),
             "select" => cmd_select(&args),
@@ -344,6 +392,11 @@ fn main() -> ExitCode {
             // Report even when the command failed: the counters usually
             // explain the failure (e.g. rejects, exhausted selection).
             if let Err(e) = emit_telemetry(&sink) {
+                eprintln!("warning: {e}");
+            }
+        }
+        if let Some(sink) = trace_sink {
+            if let Err(e) = emit_trace(&sink) {
                 eprintln!("warning: {e}");
             }
         }
