@@ -1,24 +1,38 @@
-//! Evaluation-throughput harness: CRPs/s for the scalar and batched PUF
-//! evaluation paths, written to `results/BENCH_eval.json`.
+//! Evaluation-throughput harness: CRPs/s for the scalar, batched and
+//! bit-sliced PUF evaluation paths, written to `results/BENCH_eval.json`.
 //!
 //! Measures, on one fixed challenge pool (32 stages):
 //!
 //! * single arbiter — per-challenge `delay_difference` vs `delta_batch_into`,
 //! * 10-XOR — per-challenge `response` vs `response_batch` (with and without
 //!   the feature-matrix build in the timed region),
-//! * 10-XOR batched fanned out over all worker threads via `par::par_map`.
+//! * 10-XOR bit-sliced packed responses (`puf_core::bitslice`), one row per
+//!   available SIMD lane plus the auto-dispatched active lane,
+//! * a thread-scaling curve (1/2/4/all workers via `par_map_with_workers`)
+//!   for both the batched and the bit-sliced packed path, over prebuilt
+//!   per-shard feature matrices so the curve isolates kernel scaling.
 //!
-//! Each path is timed best-of-3 after a warmup pass, and the batched XOR
-//! bits are asserted bit-identical to the scalar loop before any timing.
+//! Each path is timed best-of-3 after a warmup pass, and every batched and
+//! bit-sliced lane is asserted bit-identical to the scalar loop before any
+//! timing.
+//!
+//! The JSON nests all metrics under the run's `target-cpu` variant
+//! (`"variants": {"native": {...}}`), and a rerun under a *different*
+//! `target-cpu` merges into the existing file instead of replacing it —
+//! so `cargo xtask bench-diff` compares native-vs-native and
+//! default-vs-default, never flagging a native-vs-default rerun as a
+//! regression (unmatched variant paths only warn).
 //!
 //! Run: `cargo run -p puf-bench --release --bin bench_eval`
 //! (`PUF_BENCH_CRPS=N` overrides the pool size, `PUF_THREADS=N` the fan-out)
 
 use puf_bench::par;
 use puf_core::batch::FeatureMatrix;
+use puf_core::bitslice::{self, xor_response_packed_with};
 use puf_core::{ArbiterPuf, Challenge, XorPuf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -26,6 +40,9 @@ const STAGES: usize = 32;
 const XOR_N: usize = 10;
 const DEFAULT_CRPS: usize = 262_144;
 const REPS: usize = 3;
+/// Explicit fan-out widths of the thread-scaling curve; the current
+/// `par::worker_count` width is measured as well and recorded as `t_all`.
+const CURVE_WIDTHS: [usize; 3] = [1, 2, 4];
 
 /// Times `f` best-of-[`REPS`] after one warmup call and returns CRPs/s.
 fn throughput<F: FnMut() -> f64>(crps: usize, mut f: F) -> f64 {
@@ -38,6 +55,59 @@ fn throughput<F: FnMut() -> f64>(crps: usize, mut f: F) -> f64 {
         best = best.min(t0.elapsed().as_secs_f64());
     }
     crps as f64 / best
+}
+
+/// Extracts `(key, raw-object-text)` pairs from the `"variants"` object of
+/// a previous `BENCH_eval.json`, so a rerun under a different `target-cpu`
+/// preserves the other variant's numbers. Tolerant: any parse hiccup just
+/// yields an empty list (the file is then rewritten from scratch).
+fn existing_variants(text: &str) -> Vec<(String, String)> {
+    let Some(vpos) = text.find("\"variants\"") else {
+        return Vec::new();
+    };
+    let Some(open) = text[vpos..].find('{').map(|o| vpos + o) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = open + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'}' => break,
+            b'"' => {
+                let key_start = i + 1;
+                let Some(key_end) = text[key_start..].find('"').map(|e| key_start + e) else {
+                    return Vec::new();
+                };
+                let key = text[key_start..key_end].to_string();
+                let Some(obj_start) = text[key_end..].find('{').map(|o| key_end + o) else {
+                    return Vec::new();
+                };
+                let mut depth = 0usize;
+                let mut j = obj_start;
+                loop {
+                    if j >= bytes.len() {
+                        return Vec::new();
+                    }
+                    match bytes[j] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                out.push((key, text[obj_start..=j].to_string()));
+                i = j + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
 }
 
 fn main() {
@@ -54,17 +124,36 @@ fn main() {
         .map(|_| Challenge::random(STAGES, &mut rng))
         .collect();
     let features = FeatureMatrix::from_challenges(&challenges).expect("feature matrix");
+    let lanes = bitslice::available_lanes();
+    let active = bitslice::active_lane();
 
-    // Bit-exactness gate before any timing: the batched path must reproduce
-    // the scalar loop exactly.
+    // Bit-exactness gate before any timing: the batched path and every
+    // available bit-sliced lane must reproduce the scalar loop exactly.
     let scalar_bits: Vec<bool> = challenges.iter().map(|ch| xor.response(ch)).collect();
     assert_eq!(
         xor.response_batch(&features),
         scalar_bits,
         "batched XOR responses diverge from the scalar loop"
     );
+    for &lane in lanes {
+        assert_eq!(
+            xor_response_packed_with(&xor, &features, lane).to_bools(),
+            scalar_bits,
+            "bit-sliced {} lane diverges from the scalar loop",
+            lane.name()
+        );
+    }
 
-    println!("eval throughput harness: {crps} challenges, {STAGES} stages, {XOR_N}-XOR");
+    println!(
+        "eval throughput harness: {crps} challenges, {STAGES} stages, {XOR_N}-XOR, \
+         lanes [{}], active {}",
+        lanes
+            .iter()
+            .map(|l| l.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        active.name()
+    );
 
     let arbiter_scalar = throughput(crps, || {
         challenges
@@ -89,46 +178,176 @@ fn main() {
         xor.response_batch(&features).iter().filter(|&&b| b).count() as f64
     });
 
-    // Multi-thread batched path: shard the pool, one feature matrix per
-    // shard, fan out with an explicitly pinned worker count so the
-    // `threads` field in the JSON is exactly the width that ran (an earlier
-    // revision let par_map re-derive its own count from the shard total,
-    // so the recorded number was not provably the measured one; on 1-core
-    // hosts all_threads ≈ 1t is the *correct* reading, not an anomaly).
-    let workers = par::worker_count(crps);
-    let shards: Vec<&[Challenge]> = challenges.chunks(crps.div_ceil(workers * 4)).collect();
-    let xor_batched_mt = throughput(crps, || {
-        par::par_map_with_workers(workers, &shards, |_, chunk| {
-            let fm = FeatureMatrix::from_challenges(chunk).unwrap();
-            xor.response_batch(&fm).iter().filter(|&&b| b).count()
-        })
+    // Bit-sliced packed responses, one row per available lane (prebuilt
+    // matrix, single thread — directly comparable to
+    // xor10_batched_prebuilt_1t).
+    let lane_rates: Vec<(&str, f64)> = lanes
         .iter()
-        .sum::<usize>() as f64
-    });
+        .map(|&lane| {
+            let rate = throughput(crps, || {
+                xor_response_packed_with(&xor, &features, lane).count_ones() as f64
+            });
+            (lane.name(), rate)
+        })
+        .collect();
+    let bitsliced_active = lane_rates
+        .iter()
+        .find(|(name, _)| *name == active.name())
+        .map(|&(_, r)| r)
+        .unwrap_or(0.0);
+
+    // Thread-scaling curve over prebuilt per-shard matrices: pinned worker
+    // counts 1/2/4 plus the auto-derived width, so the JSON records the
+    // exact widths that ran (on 1-core hosts the curve is flat — that is
+    // the correct reading, not an anomaly).
+    let workers = par::worker_count(crps);
+    let max_width = CURVE_WIDTHS.iter().copied().max().unwrap().max(workers);
+    let shard_mats: Vec<FeatureMatrix> = challenges
+        .chunks(crps.div_ceil(max_width * 4))
+        .map(|chunk| FeatureMatrix::from_challenges(chunk).unwrap())
+        .collect();
+    let mut widths: Vec<usize> = CURVE_WIDTHS.into_iter().chain([workers]).collect();
+    widths.sort_unstable();
+    widths.dedup();
+    let curve: Vec<(usize, f64, f64)> = widths
+        .iter()
+        .map(|&w| {
+            let batched = throughput(crps, || {
+                par::par_map_with_workers(w, &shard_mats, |_, fm| {
+                    xor.response_batch(fm).iter().filter(|&&b| b).count()
+                })
+                .iter()
+                .sum::<usize>() as f64
+            });
+            let packed = throughput(crps, || {
+                par::par_map_with_workers(w, &shard_mats, |_, fm| {
+                    xor.response_batch_packed(fm).count_ones()
+                })
+                .iter()
+                .sum::<u64>() as f64
+            });
+            (w, batched, packed)
+        })
+        .collect();
+    let curve_at = |w: usize| curve.iter().find(|&&(cw, _, _)| cw == w);
 
     let speedup_1t = xor_batched / xor_scalar;
-    let speedup_mt = xor_batched_mt / xor_scalar;
+    let speedup_bitsliced = bitsliced_active / xor_batched_prebuilt;
 
-    let rows = [
-        ("arbiter scalar (1 thread)", arbiter_scalar),
-        ("arbiter batched (1 thread)", arbiter_batched),
-        ("10-XOR scalar (1 thread)", xor_scalar),
-        ("10-XOR batched (1 thread)", xor_batched),
-        ("10-XOR batched, prebuilt matrix", xor_batched_prebuilt),
-        ("10-XOR batched (all threads)", xor_batched_mt),
+    let mut rows = vec![
+        ("arbiter scalar (1 thread)".to_string(), arbiter_scalar),
+        ("arbiter batched (1 thread)".to_string(), arbiter_batched),
+        ("10-XOR scalar (1 thread)".to_string(), xor_scalar),
+        ("10-XOR batched (1 thread)".to_string(), xor_batched),
+        (
+            "10-XOR batched, prebuilt matrix".to_string(),
+            xor_batched_prebuilt,
+        ),
     ];
-    for (label, v) in rows {
-        println!("  {label:34} {:>12.0} CRPs/s", v);
+    for &(name, rate) in &lane_rates {
+        rows.push((format!("10-XOR bit-sliced packed ({name})"), rate));
     }
-    println!("  batched vs scalar 10-XOR: {speedup_1t:.2}× (1 thread), {speedup_mt:.2}× ({workers} threads)");
-
-    let schema = puf_bench::SchemaHeader::capture().to_json_member(2);
-    let json = format!(
-        "{{\n{schema},\n  \"stages\": {STAGES},\n  \"xor_n\": {XOR_N},\n  \"challenges\": {crps},\n  \"threads\": {workers},\n  \"crps_per_sec\": {{\n    \"arbiter_scalar_1t\": {arbiter_scalar:.0},\n    \"arbiter_batched_1t\": {arbiter_batched:.0},\n    \"xor10_scalar_1t\": {xor_scalar:.0},\n    \"xor10_batched_1t\": {xor_batched:.0},\n    \"xor10_batched_prebuilt_1t\": {xor_batched_prebuilt:.0},\n    \"xor10_batched_all_threads\": {xor_batched_mt:.0}\n  }},\n  \"speedup\": {{\n    \"xor10_batched_vs_scalar_1t\": {speedup_1t:.2},\n    \"xor10_batched_vs_scalar_all_threads\": {speedup_mt:.2}\n  }}\n}}\n"
+    for &(w, batched, packed) in &curve {
+        rows.push((format!("10-XOR batched ({w} threads)"), batched));
+        rows.push((format!("10-XOR bit-sliced packed ({w} threads)"), packed));
+    }
+    for (label, v) in &rows {
+        println!("  {label:40} {v:>12.0} CRPs/s");
+    }
+    println!(
+        "  batched vs scalar 10-XOR: {speedup_1t:.2}× (1 thread); \
+         bit-sliced ({}) vs batched prebuilt: {speedup_bitsliced:.2}×",
+        active.name()
     );
+
+    let header = puf_bench::SchemaHeader::capture();
+    let variant = header.target_cpu.clone();
+    let schema = header.to_json_member(2);
+
+    let mut metrics = String::new();
+    let _ = writeln!(metrics, "{{");
+    let _ = writeln!(metrics, "      \"crps_per_sec\": {{");
+    let _ = writeln!(
+        metrics,
+        "        \"arbiter_scalar_1t\": {arbiter_scalar:.0},"
+    );
+    let _ = writeln!(
+        metrics,
+        "        \"arbiter_batched_1t\": {arbiter_batched:.0},"
+    );
+    let _ = writeln!(metrics, "        \"xor10_scalar_1t\": {xor_scalar:.0},");
+    let _ = writeln!(metrics, "        \"xor10_batched_1t\": {xor_batched:.0},");
+    let _ = writeln!(
+        metrics,
+        "        \"xor10_batched_prebuilt_1t\": {xor_batched_prebuilt:.0},"
+    );
+    for &(name, rate) in &lane_rates {
+        let _ = writeln!(metrics, "        \"xor10_bitsliced_{name}_1t\": {rate:.0},");
+    }
+    let _ = writeln!(
+        metrics,
+        "        \"xor10_bitsliced_packed_1t\": {bitsliced_active:.0}"
+    );
+    let _ = writeln!(metrics, "      }},");
+    let _ = writeln!(metrics, "      \"thread_scaling\": {{");
+    for (path, pick) in [("xor10_batched", 1usize), ("xor10_bitsliced_packed", 2)] {
+        let _ = writeln!(metrics, "        \"{path}\": {{");
+        let mut entries: Vec<(String, f64)> = curve
+            .iter()
+            .map(|&(w, b, p)| (format!("t{w}"), if pick == 1 { b } else { p }))
+            .collect();
+        if let Some(&(_, b, p)) = curve_at(workers) {
+            entries.push(("t_all".to_string(), if pick == 1 { b } else { p }));
+        }
+        let last = entries.len() - 1;
+        for (i, (key, v)) in entries.iter().enumerate() {
+            let comma = if i == last { "" } else { "," };
+            let _ = writeln!(metrics, "          \"{key}\": {v:.0}{comma}");
+        }
+        let close = if path == "xor10_batched" { "}," } else { "}" };
+        let _ = writeln!(metrics, "        {close}");
+    }
+    let _ = writeln!(metrics, "      }},");
+    let _ = writeln!(metrics, "      \"speedup\": {{");
+    let _ = writeln!(
+        metrics,
+        "        \"xor10_batched_vs_scalar_1t\": {speedup_1t:.2},"
+    );
+    let _ = writeln!(
+        metrics,
+        "        \"xor10_bitsliced_vs_batched_prebuilt_1t\": {speedup_bitsliced:.2}"
+    );
+    let _ = writeln!(metrics, "      }}");
+    let _ = write!(metrics, "    }}");
+
+    let previous = std::fs::read_to_string("results/BENCH_eval.json").unwrap_or_default();
+    let mut variants: Vec<(String, String)> = existing_variants(&previous)
+        .into_iter()
+        .filter(|(k, _)| *k != variant)
+        .collect();
+    variants.push((variant.clone(), metrics));
+    variants.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "{schema},");
+    let _ = writeln!(json, "  \"stages\": {STAGES},");
+    let _ = writeln!(json, "  \"xor_n\": {XOR_N},");
+    let _ = writeln!(json, "  \"challenges\": {crps},");
+    let _ = writeln!(json, "  \"threads\": {workers},");
+    let _ = writeln!(json, "  \"active_lane\": \"{}\",", active.name());
+    let _ = writeln!(json, "  \"variants\": {{");
+    let last = variants.len() - 1;
+    for (i, (key, body)) in variants.iter().enumerate() {
+        let comma = if i == last { "" } else { "," };
+        let _ = writeln!(json, "    \"{key}\": {body}{comma}");
+    }
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_eval.json", &json).expect("write BENCH_eval.json");
-    println!("\nwrote results/BENCH_eval.json");
+    println!("\nwrote results/BENCH_eval.json (variant \"{variant}\")");
 
     puf_bench::emit_telemetry_report();
 }

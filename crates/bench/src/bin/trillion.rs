@@ -1,0 +1,570 @@
+//! Streaming replay of the paper's 1-trillion-CRP measurement campaign:
+//! 10 chips × 1 M challenges × 100 k repeated evaluations, driven through
+//! the bit-sliced evaluation engine ([`puf_core::bitslice`]) and the
+//! counter shortcut (`counter::measure` collapses the 100 k repetitions of
+//! a challenge into one binomial draw, exactly as the paper's on-chip
+//! counters collapse them into one count register).
+//!
+//! Phases:
+//!
+//! 1. **calibrate** — single-thread throughput of the batched baseline
+//!    (`xor10_batched_prebuilt_1t`, the PR-2 reference metric), the
+//!    bit-sliced packed-response path per SIMD lane, and the fleet packed
+//!    path (all 10 chips over one challenge matrix — the replay's actual
+//!    hot loop, where plane expansion amortises across the fleet). The
+//!    fleet path must be ≥ 4× the batched baseline; the gate aborts the
+//!    bench unless `--no-gate` (or `--smoke`) is given.
+//! 2. **threads** — the fleet packed path fanned out over shards via
+//!    [`puf_bench::par`] at 1/2/4/all workers (thread-scaling curve).
+//! 3. **replay** — the streamed campaign: challenges are generated shard
+//!    by shard (the 1 M-challenge matrix never materialises), each chip's
+//!    soft responses come from `measure_xor_soft_batch`, and aggregate
+//!    stability statistics accumulate. After every shard a plain-text
+//!    checkpoint is rewritten, so an interrupted run resumes at the next
+//!    shard boundary (per-shard RNG streams make the resumed run
+//!    bit-identical to an uninterrupted one). A small literal-path sample
+//!    (`counter::measure_literal` over `eval_xor_once`) calibrates how
+//!    much the counter shortcut buys.
+//!
+//! The result lands in `results/BENCH_trillion.json` (stamped with the
+//! shared [`SchemaHeader`]): CRPs/s per lane kind, the thread-scaling
+//! curve, replay statistics, and the projected wall-clock for the paper's
+//! full 10¹² measurements on this host.
+//!
+//! Run: `cargo run -p puf-bench --release --bin trillion`
+//! (`--smoke` runs a bounded replay in a few seconds and writes
+//! `target/BENCH_trillion_smoke.json`; `--no-gate` records results even
+//! below the 4× gate; `--seed N` / `--out PATH` / `--checkpoint PATH`
+//! override defaults; `--fresh` ignores an existing checkpoint;
+//! `--trace[=PATH]` exports a Chrome trace of the run.)
+
+use puf_bench::{par, SchemaHeader};
+use puf_core::bitslice::{self, Lane};
+use puf_core::{Challenge, Condition, FeatureMatrix, XorPuf};
+use puf_silicon::{counter, Chip, ChipConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const XOR_N: usize = 10;
+const STAGES: usize = 32;
+const GATE_FACTOR: f64 = 4.0;
+/// Timing repetitions for the calibration phase (best-of, both sides).
+const TIMING_REPS: usize = 5;
+/// The paper's campaign: 10 chips × 1 M challenges × 100 k evaluations.
+const CAMPAIGN_MEASUREMENTS: f64 = 1e12;
+
+/// Sweep dimensions, full-campaign replay vs `--smoke`.
+struct Dims {
+    chips: usize,
+    challenges: usize,
+    reps: u64,
+    shard: usize,
+    gate_pool: usize,
+    literal_challenges: usize,
+    literal_reps: u64,
+}
+
+impl Dims {
+    fn full() -> Self {
+        Self {
+            chips: 10,
+            challenges: 1_000_000,
+            reps: 100_000,
+            shard: 65_536,
+            gate_pool: 65_536,
+            literal_challenges: 128,
+            literal_reps: 2_000,
+        }
+    }
+
+    fn smoke() -> Self {
+        Self {
+            chips: 2,
+            challenges: 8_192,
+            reps: 1_000,
+            shard: 4_096,
+            gate_pool: 16_384,
+            literal_challenges: 32,
+            literal_reps: 200,
+        }
+    }
+}
+
+/// splitmix64-style mixer: independent sub-seeds per (stream, shard, chip)
+/// so resumed runs replay the identical RNG streams shard by shard.
+fn mix(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Best-of-`TIMING_REPS` throughput of `work`, which reports how many
+/// CRPs one invocation covered.
+fn throughput(mut work: impl FnMut() -> usize) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..TIMING_REPS {
+        // puf-lint: allow(L3): this binary measures throughput; timing is its output by design
+        let t0 = Instant::now();
+        let crps = work();
+        let secs = t0.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            best = best.max(crps as f64 / secs);
+        }
+    }
+    best
+}
+
+/// Replay aggregates carried across shards (and across interrupted runs
+/// via the checkpoint file).
+#[derive(Default, Clone, PartialEq, Debug)]
+struct ReplayState {
+    shards_done: usize,
+    crps: u64,
+    stable: u64,
+    stable_zero: u64,
+    stable_one: u64,
+    sum_soft: f64,
+    elapsed_secs: f64,
+}
+
+/// Serialises the checkpoint as plain `key=value` lines. `{:?}` prints
+/// f64 with round-trip precision, so resume is bit-exact.
+fn checkpoint_text(seed: u64, dims: &Dims, state: &ReplayState) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "version=1");
+    let _ = writeln!(s, "seed={seed}");
+    let _ = writeln!(s, "chips={}", dims.chips);
+    let _ = writeln!(s, "challenges={}", dims.challenges);
+    let _ = writeln!(s, "reps={}", dims.reps);
+    let _ = writeln!(s, "shards_done={}", state.shards_done);
+    let _ = writeln!(s, "crps={}", state.crps);
+    let _ = writeln!(s, "stable={}", state.stable);
+    let _ = writeln!(s, "stable_zero={}", state.stable_zero);
+    let _ = writeln!(s, "stable_one={}", state.stable_one);
+    let _ = writeln!(s, "sum_soft={:?}", state.sum_soft);
+    let _ = writeln!(s, "elapsed_secs={:?}", state.elapsed_secs);
+    s
+}
+
+/// Parses a checkpoint written by [`checkpoint_text`]. Returns `None` if
+/// the file is malformed or was written for a different configuration —
+/// the replay then starts fresh.
+fn parse_checkpoint(text: &str, seed: u64, dims: &Dims) -> Option<ReplayState> {
+    let mut state = ReplayState::default();
+    let get = |key: &str| -> Option<String> {
+        text.lines()
+            .find_map(|l| l.strip_prefix(key)?.strip_prefix('=').map(str::to_string))
+    };
+    if get("version")?.parse::<u32>().ok()? != 1
+        || get("seed")?.parse::<u64>().ok()? != seed
+        || get("chips")?.parse::<usize>().ok()? != dims.chips
+        || get("challenges")?.parse::<usize>().ok()? != dims.challenges
+        || get("reps")?.parse::<u64>().ok()? != dims.reps
+    {
+        return None;
+    }
+    state.shards_done = get("shards_done")?.parse().ok()?;
+    state.crps = get("crps")?.parse().ok()?;
+    state.stable = get("stable")?.parse().ok()?;
+    state.stable_zero = get("stable_zero")?.parse().ok()?;
+    state.stable_one = get("stable_one")?.parse().ok()?;
+    state.sum_soft = get("sum_soft")?.parse().ok()?;
+    state.elapsed_secs = get("elapsed_secs")?.parse().ok()?;
+    Some(state)
+}
+
+/// The deterministic challenge stream for shard `s`.
+fn shard_challenges(seed: u64, shard: usize, len: usize) -> Vec<Challenge> {
+    let mut rng = StdRng::seed_from_u64(mix(seed, 1, shard as u64, 0));
+    (0..len)
+        .map(|_| Challenge::random(STAGES, &mut rng))
+        .collect()
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut no_gate = false;
+    let mut fresh = false;
+    let mut seed: u64 = 2017;
+    let mut out: Option<String> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--no-gate" => no_gate = true,
+            "--fresh" => fresh = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.trim().parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            "--out" => out = Some(args.next().expect("--out takes a path")),
+            "--checkpoint" => checkpoint = Some(args.next().expect("--checkpoint takes a path")),
+            "--trace" => trace = Some("target/TRILLION_trace.json".to_string()),
+            other if other.starts_with("--trace=") => {
+                trace = Some(other["--trace=".len()..].to_string());
+            }
+            other => panic!(
+                "unknown argument {other} (expected --smoke / --no-gate / --fresh / --seed N / --out PATH / --checkpoint PATH / --trace[=PATH])"
+            ),
+        }
+    }
+    if trace.is_some() {
+        let tracer = puf_telemetry::tracer();
+        tracer.set_lane_capacity(1 << 20);
+        tracer.set_enabled(true);
+    }
+    let dims = if smoke { Dims::smoke() } else { Dims::full() };
+    let out_path = out.unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_trillion_smoke.json".to_string()
+        } else {
+            "results/BENCH_trillion.json".to_string()
+        }
+    });
+    let ckpt_path = checkpoint.unwrap_or_else(|| {
+        if smoke {
+            "target/trillion_checkpoint_smoke.txt".to_string()
+        } else {
+            "target/trillion_checkpoint.txt".to_string()
+        }
+    });
+
+    let lanes = bitslice::available_lanes();
+    let lane_names: Vec<&str> = lanes.iter().map(|l| l.name()).collect();
+    println!(
+        "trillion replay: {} chips x {} challenges x {} reps, lanes [{}], active {}",
+        dims.chips,
+        dims.challenges,
+        dims.reps,
+        lane_names.join(", "),
+        bitslice::active_lane().name(),
+    );
+
+    // ---- phase 1: calibrate ------------------------------------------------
+    let _phase = puf_telemetry::span!("bench.trillion.calibrate");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fleet: Vec<XorPuf> = (0..dims.chips)
+        .map(|_| XorPuf::random(XOR_N, STAGES, &mut rng))
+        .collect();
+    let fleet_refs: Vec<&XorPuf> = fleet.iter().collect();
+    let gate_cs: Vec<Challenge> = (0..dims.gate_pool)
+        .map(|_| Challenge::random(STAGES, &mut rng))
+        .collect();
+    let gate_fm = FeatureMatrix::from_challenges(&gate_cs).expect("gate feature matrix");
+
+    let mut sink = 0u64;
+    let baseline = throughput(|| {
+        sink += fleet[0]
+            .response_batch(&gate_fm)
+            .iter()
+            .filter(|&&b| b)
+            .count() as u64;
+        gate_fm.len()
+    });
+    println!("  xor10 batched, prebuilt matrix (baseline)   {baseline:>12.0} CRPs/s");
+
+    let mut packed_rates: Vec<(Lane, f64)> = Vec::new();
+    let mut fleet_rates: Vec<(Lane, f64)> = Vec::new();
+    for &lane in lanes {
+        let single = throughput(|| {
+            sink += bitslice::xor_response_packed_with(&fleet[0], &gate_fm, lane).count_ones();
+            gate_fm.len()
+        });
+        let fleet_rate = throughput(|| {
+            for packed in bitslice::xor_response_packed_many_with(&fleet_refs, &gate_fm, lane) {
+                sink += packed.count_ones();
+            }
+            gate_fm.len() * dims.chips
+        });
+        println!(
+            "  bit-sliced packed ({:<8})  single {single:>12.0}  fleet {fleet_rate:>12.0} CRPs/s",
+            lane.name()
+        );
+        packed_rates.push((lane, single));
+        fleet_rates.push((lane, fleet_rate));
+    }
+    let active = bitslice::active_lane();
+    let active_fleet = fleet_rates
+        .iter()
+        .find(|(l, _)| *l == active)
+        .map_or(0.0, |&(_, r)| r);
+    let gate_ratio = active_fleet / baseline.max(1.0);
+    println!(
+        "  packed fleet ({}) vs batched prebuilt: {gate_ratio:.2}x (gate {GATE_FACTOR}x)",
+        active.name()
+    );
+    let gate_checked = !smoke && !no_gate;
+    if gate_checked {
+        assert!(
+            gate_ratio >= GATE_FACTOR,
+            "bit-sliced packed fleet path is only {gate_ratio:.2}x the batched prebuilt \
+             baseline (gate: >={GATE_FACTOR}x); pass --no-gate to record results anyway"
+        );
+    }
+    drop(_phase);
+
+    // ---- phase 2: thread scaling -------------------------------------------
+    let _phase = puf_telemetry::span!("bench.trillion.threads");
+    let workers_all = par::worker_count(usize::MAX);
+    let mut widths = vec![1usize, 2, 4, workers_all];
+    widths.sort_unstable();
+    widths.dedup();
+    let shard_len = dims
+        .gate_pool
+        .div_ceil(widths.iter().copied().max().unwrap_or(1) * 4);
+    let shard_fms: Vec<FeatureMatrix> = gate_cs
+        .chunks(shard_len.max(1))
+        .map(|c| FeatureMatrix::from_challenges(c).expect("shard feature matrix"))
+        .collect();
+    let mut scaling: Vec<(usize, f64)> = Vec::new();
+    for &w in &widths {
+        let rate = throughput(|| {
+            let counts = par::par_map_with_workers(w, &shard_fms, |_, fm| {
+                bitslice::xor_response_packed_many(&fleet.iter().collect::<Vec<_>>(), fm)
+                    .iter()
+                    .map(bitslice::PackedBits::count_ones)
+                    .sum::<u64>()
+            });
+            sink += counts.iter().sum::<u64>();
+            gate_fm.len() * dims.chips
+        });
+        println!("  fleet packed, {w:>2} worker(s)                    {rate:>12.0} CRPs/s");
+        scaling.push((w, rate));
+    }
+    drop(_phase);
+
+    // ---- phase 3: streaming replay -----------------------------------------
+    let _phase = puf_telemetry::span!("bench.trillion.replay");
+    let mut chip_rng = StdRng::seed_from_u64(mix(seed, 0, 0, 0));
+    let config = ChipConfig::paper_default();
+    let chips: Vec<Chip> = (0..dims.chips)
+        .map(|id| Chip::fabricate(id as u32, &config, &mut chip_rng))
+        .collect();
+
+    let num_shards = dims.challenges.div_ceil(dims.shard);
+    let mut state = ReplayState::default();
+    if !fresh {
+        if let Ok(text) = std::fs::read_to_string(&ckpt_path) {
+            if let Some(parsed) = parse_checkpoint(&text, seed, &dims) {
+                println!(
+                    "  resuming from checkpoint: {}/{} shards done ({:.1}s already spent)",
+                    parsed.shards_done, num_shards, parsed.elapsed_secs
+                );
+                state = parsed;
+            } else {
+                println!("  checkpoint at {ckpt_path} does not match this run; starting fresh");
+            }
+        }
+    }
+    let resumed_from = state.shards_done;
+
+    for shard in state.shards_done..num_shards {
+        let _shard_span = puf_telemetry::trace_span!("bench.trillion.shard");
+        // puf-lint: allow(L3): this binary measures throughput; timing is its output by design
+        let t0 = Instant::now();
+        let len = dims.shard.min(dims.challenges - shard * dims.shard);
+        let cs = shard_challenges(seed, shard, len);
+        let fm = FeatureMatrix::from_challenges(&cs).expect("replay feature matrix");
+        for (ci, chip) in chips.iter().enumerate() {
+            let mut mrng = StdRng::seed_from_u64(mix(seed, 2, shard as u64, ci as u64));
+            let softs = chip
+                .measure_xor_soft_batch(XOR_N, &fm, Condition::NOMINAL, dims.reps, &mut mrng)
+                .expect("replay measurement");
+            for soft in &softs {
+                state.crps += 1;
+                state.stable += u64::from(soft.is_stable());
+                state.stable_zero += u64::from(soft.is_stable_zero());
+                state.stable_one += u64::from(soft.is_stable_one());
+                state.sum_soft += soft.value();
+            }
+        }
+        state.shards_done = shard + 1;
+        state.elapsed_secs += t0.elapsed().as_secs_f64();
+        std::fs::create_dir_all("target").expect("create target directory");
+        std::fs::write(&ckpt_path, checkpoint_text(seed, &dims, &state)).expect("write checkpoint");
+        if state.shards_done % 4 == 0 || state.shards_done == num_shards {
+            println!(
+                "  replay shard {:>3}/{num_shards}: {} CRPs, {:.1}s",
+                state.shards_done, state.crps, state.elapsed_secs
+            );
+        }
+    }
+    let replay_crps_per_sec = state.crps as f64 / state.elapsed_secs.max(1e-9);
+    let measured_evals = state.crps as f64 * dims.reps as f64;
+    let evals_per_sec = measured_evals / state.elapsed_secs.max(1e-9);
+    drop(_phase);
+
+    // ---- literal-path sample ----------------------------------------------
+    let _phase = puf_telemetry::span!("bench.trillion.literal");
+    let literal_cs = shard_challenges(seed.wrapping_add(1), 0, dims.literal_challenges);
+    let mut lrng = StdRng::seed_from_u64(mix(seed, 3, 0, 0));
+    // puf-lint: allow(L3): this binary measures throughput; timing is its output by design
+    let t0 = Instant::now();
+    let mut literal_sum = 0.0f64;
+    for c in &literal_cs {
+        let soft = counter::measure_literal(dims.literal_reps, &mut lrng, |r| {
+            chips[0]
+                .eval_xor_once(XOR_N, c, Condition::NOMINAL, r)
+                .expect("literal evaluation")
+        });
+        literal_sum += soft.value();
+    }
+    let literal_secs = t0.elapsed().as_secs_f64();
+    let literal_evals = dims.literal_challenges as f64 * dims.literal_reps as f64;
+    let literal_evals_per_sec = literal_evals / literal_secs.max(1e-9);
+    let shortcut_speedup = evals_per_sec / literal_evals_per_sec.max(1e-9);
+    println!(
+        "  literal path: {literal_evals_per_sec:.0} evals/s; counter shortcut replays {shortcut_speedup:.0}x faster"
+    );
+    drop(_phase);
+
+    // ---- campaign projection ----------------------------------------------
+    let wall_hours_shortcut = CAMPAIGN_MEASUREMENTS / evals_per_sec.max(1e-9) / 3600.0;
+    let wall_days_literal = CAMPAIGN_MEASUREMENTS / literal_evals_per_sec.max(1e-9) / 86_400.0;
+    println!(
+        "  projected 1e12-measurement campaign: {wall_hours_shortcut:.2}h via counter shortcut, {wall_days_literal:.0} days literal"
+    );
+
+    // ---- emit JSON ---------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "{},", SchemaHeader::capture().to_json_member(2));
+    json.push_str("  \"config\": {\n");
+    let _ = writeln!(json, "    \"chips\": {},", dims.chips);
+    let _ = writeln!(json, "    \"challenges\": {},", dims.challenges);
+    let _ = writeln!(json, "    \"reps\": {},", dims.reps);
+    let _ = writeln!(json, "    \"xor_n\": {XOR_N},");
+    let _ = writeln!(json, "    \"stages\": {STAGES},");
+    let _ = writeln!(json, "    \"seed\": {seed},");
+    let _ = writeln!(json, "    \"smoke\": {smoke},");
+    let _ = writeln!(json, "    \"active_lane\": \"{}\"", active.name());
+    json.push_str("  },\n");
+    json.push_str("  \"crps_per_sec\": {\n");
+    let _ = writeln!(json, "    \"xor10_batched_prebuilt_1t\": {baseline:.0},");
+    for (lane, rate) in &packed_rates {
+        let _ = writeln!(
+            json,
+            "    \"xor10_bitsliced_packed_{}_1t\": {rate:.0},",
+            lane.name()
+        );
+    }
+    for (lane, rate) in &fleet_rates {
+        let _ = writeln!(
+            json,
+            "    \"fleet{}_bitsliced_packed_{}_1t\": {rate:.0},",
+            dims.chips,
+            lane.name()
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    \"replay_counter_shortcut\": {replay_crps_per_sec:.0},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"literal_path_evals\": {literal_evals_per_sec:.0}"
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"gate\": {\n");
+    let _ = writeln!(json, "    \"threshold\": {GATE_FACTOR},");
+    let _ = writeln!(json, "    \"ratio\": {gate_ratio:.3},");
+    let _ = writeln!(json, "    \"checked\": {}", u8::from(gate_checked));
+    json.push_str("  },\n");
+    json.push_str("  \"thread_scaling\": {\n");
+    for (i, (w, rate)) in scaling.iter().enumerate() {
+        let key = if *w == workers_all && i == scaling.len() - 1 {
+            "t_all".to_string()
+        } else {
+            format!("t{w}")
+        };
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{key}\": {rate:.0}{comma}");
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"replay\": {\n");
+    let _ = writeln!(json, "    \"crps\": {},", state.crps);
+    let _ = writeln!(json, "    \"measured_evals\": {measured_evals:.0},");
+    let _ = writeln!(json, "    \"evals_per_sec\": {evals_per_sec:.0},");
+    let _ = writeln!(
+        json,
+        "    \"stable_fraction\": {:.6},",
+        state.stable as f64 / state.crps.max(1) as f64
+    );
+    let _ = writeln!(
+        json,
+        "    \"stable_zero_fraction\": {:.6},",
+        state.stable_zero as f64 / state.crps.max(1) as f64
+    );
+    let _ = writeln!(
+        json,
+        "    \"stable_one_fraction\": {:.6},",
+        state.stable_one as f64 / state.crps.max(1) as f64
+    );
+    let _ = writeln!(
+        json,
+        "    \"mean_soft_response\": {:.6},",
+        state.sum_soft / state.crps.max(1) as f64
+    );
+    let _ = writeln!(json, "    \"elapsed_secs\": {:.3},", state.elapsed_secs);
+    let _ = writeln!(json, "    \"resumed_from_shard\": {resumed_from}");
+    json.push_str("  },\n");
+    json.push_str("  \"campaign_estimate\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"total_measurements\": {CAMPAIGN_MEASUREMENTS:.0},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"wall_hours_counter_shortcut\": {wall_hours_shortcut:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"wall_days_literal_path\": {wall_days_literal:.1},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"counter_shortcut_speedup\": {shortcut_speedup:.0},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"literal_sample_mean_soft\": {:.6}",
+        literal_sum / (dims.literal_challenges as f64).max(1.0)
+    );
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).expect("create output directory");
+    }
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    // A finished replay invalidates its checkpoint.
+    let _ = std::fs::remove_file(&ckpt_path);
+    println!("\nwrote {out_path} (sink {sink})");
+
+    if let Some(trace_path) = trace {
+        let tracer = puf_telemetry::tracer();
+        let events = tracer.snapshot_events();
+        if let Some(parent) = std::path::Path::new(&trace_path).parent() {
+            std::fs::create_dir_all(parent).expect("create trace directory");
+        }
+        let clock = tracer.clock();
+        std::fs::write(
+            &trace_path,
+            puf_telemetry::trace_export::chrome_trace_json(&events, clock),
+        )
+        .expect("write chrome trace");
+        println!("wrote {trace_path} ({} events)", events.len());
+    }
+    puf_bench::emit_telemetry_report();
+}

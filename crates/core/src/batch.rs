@@ -35,7 +35,9 @@
 //!
 //! Throughput of every batch entry point is observable via the
 //! `eval.batch` span and the `eval.batch.crps_per_sec` gauge /
-//! `eval.batch.crps` counter when telemetry is enabled. With structured
+//! `eval.batch.crps` counter when telemetry is enabled (the bit-sliced
+//! kernels in [`crate::bitslice`] report under `eval.bitslice.*` instead,
+//! so the two paths stay distinguishable in traces and reports). With structured
 //! tracing enabled (`xorpuf --trace`), each entry point additionally opens
 //! a named trace span (`eval.batch.delta`, `eval.batch.response`, …) and
 //! the blocked driver marks every block expansion with
@@ -150,20 +152,27 @@ fn blocked_member_deltas(
 }
 
 /// RAII recorder for batch-evaluation throughput: on drop, adds the batch's
-/// CRP count to the `eval.batch.crps` counter and publishes the observed
-/// rate on the `eval.batch.crps_per_sec` gauge.
+/// CRP count to the `<kernel>.crps` counter and publishes the observed
+/// rate on the `<kernel>.crps_per_sec` gauge, where `<kernel>` names the
+/// evaluation path (`eval.batch` for the expand-and-multiply engine here,
+/// `eval.bitslice` for [`crate::bitslice`]), so traces and reports
+/// distinguish which kernel produced the throughput.
 ///
-/// Pair it with a `span!("eval.batch")` at batch entry points; both are
-/// no-ops (beyond one `Instant::now`) while telemetry is disabled.
+/// Pair it with a `span!` of the same kernel name at batch entry points;
+/// both are no-ops (beyond one `Instant::now`) while telemetry is disabled.
 #[derive(Debug)]
 pub struct ThroughputGuard {
+    kernel: &'static str,
     crps: u64,
     start: std::time::Instant,
 }
 
-/// Starts a [`ThroughputGuard`] covering `crps` challenge-response pairs.
-pub fn throughput_guard(crps: usize) -> ThroughputGuard {
+/// Starts a [`ThroughputGuard`] covering `crps` challenge-response pairs
+/// evaluated by `kernel` (`"eval.batch"` or `"eval.bitslice"`; anything
+/// else is attributed to `eval.batch`).
+pub fn throughput_guard(kernel: &'static str, crps: usize) -> ThroughputGuard {
     ThroughputGuard {
+        kernel,
         crps: crps as u64,
         // puf-lint: allow(L3): telemetry-only timing; feeds the crps_per_sec gauge, never results
         start: std::time::Instant::now(),
@@ -172,10 +181,22 @@ pub fn throughput_guard(crps: usize) -> ThroughputGuard {
 
 impl Drop for ThroughputGuard {
     fn drop(&mut self) {
-        puf_telemetry::counter!("eval.batch.crps").add(self.crps);
+        // Kernel names form a closed set so each resolves to a statically
+        // interned counter/gauge pair (the telemetry macros cache per site).
+        let (crps, rate) = match self.kernel {
+            "eval.bitslice" => (
+                puf_telemetry::counter!("eval.bitslice.crps"),
+                puf_telemetry::gauge!("eval.bitslice.crps_per_sec"),
+            ),
+            _ => (
+                puf_telemetry::counter!("eval.batch.crps"),
+                puf_telemetry::gauge!("eval.batch.crps_per_sec"),
+            ),
+        };
+        crps.add(self.crps);
         let secs = self.start.elapsed().as_secs_f64();
         if secs > 0.0 && self.crps > 0 {
-            puf_telemetry::gauge!("eval.batch.crps_per_sec").set(self.crps as f64 / secs);
+            rate.set(self.crps as f64 / secs);
         }
     }
 }
@@ -289,19 +310,61 @@ impl FeatureMatrix {
     }
 
     /// Row `i`, materialised: the transform `φ(cᵢ)` expanded from its sign
-    /// bits (every entry `±1.0`). For bulk evaluation use
-    /// [`FeatureMatrix::deltas_into`] instead — it never materialises rows.
+    /// bits (every entry `±1.0`). Allocates a fresh `Vec` per call — for
+    /// repeated row access use [`FeatureMatrix::row_into`] with a reused
+    /// buffer, and for bulk evaluation use [`FeatureMatrix::deltas_into`],
+    /// which never materialises rows.
     ///
     /// # Panics
     ///
     /// Panics if `i >= len()`.
     pub fn row(&self, i: usize) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.width];
+        self.row_into(i, &mut out);
+        out
+    }
+
+    /// Allocation-free [`FeatureMatrix::row`]: expands row `i`'s transform
+    /// `φ(cᵢ)` from its sign bits into `out` (every entry `±1.0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()` or `out.len() != width()`.
+    pub fn row_into(&self, i: usize, out: &mut [f64]) {
         assert!(i < self.len(), "row index out of range");
+        assert_eq!(out.len(), self.width, "row buffer width mismatch");
         let (g, r) = (i / LANES, i % LANES);
-        self.planes[g * self.width..(g + 1) * self.width]
-            .iter()
-            .map(|&m| if (m >> r) & 1 == 1 { 1.0 } else { -1.0 })
-            .collect()
+        for (v, &m) in out
+            .iter_mut()
+            .zip(&self.planes[g * self.width..(g + 1) * self.width])
+        {
+            *v = if (m >> r) & 1 == 1 { 1.0 } else { -1.0 };
+        }
+    }
+
+    /// Writes the 64-row bit-sliced plane words of block `block` (rows
+    /// `block * 64 ..`): `out[j]` bit `r` is set iff `φⱼ` of row
+    /// `block * 64 + r` is `+1.0`. Each word fuses two consecutive
+    /// [`LANES`]-row sign planes; phantom rows past the end of the batch
+    /// are zero bits. This is the transposed view the [`crate::bitslice`]
+    /// kernels consume directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != width()` or the block is out of range.
+    pub(crate) fn plane_words_into(&self, block: usize, out: &mut [u64]) {
+        assert_eq!(out.len(), self.width, "plane word buffer width mismatch");
+        let lo = block * 2 * self.width;
+        let hi = lo + self.width;
+        assert!(lo < self.planes.len(), "block index out of range");
+        for (j, w) in out.iter_mut().enumerate() {
+            let low = u64::from(self.planes[lo + j]);
+            let high = self
+                .planes
+                .get(hi + j)
+                .map_or(0u64, |&m| u64::from(m) << 32);
+            *w = low | high;
+        }
     }
 
     /// The source challenges, in row order.
@@ -369,7 +432,7 @@ impl ArbiterPuf {
     pub fn delta_batch(&self, features: &FeatureMatrix) -> Vec<f64> {
         let _span = puf_telemetry::span!("eval.batch");
         let _trace = puf_telemetry::trace_span!("eval.batch.delta");
-        let _throughput = throughput_guard(features.len());
+        let _throughput = throughput_guard("eval.batch", features.len());
         let mut out = vec![0.0; features.len()];
         self.delta_batch_into(features, &mut out);
         out
@@ -384,7 +447,7 @@ impl ArbiterPuf {
     pub fn response_batch(&self, features: &FeatureMatrix) -> Vec<bool> {
         let _span = puf_telemetry::span!("eval.batch");
         let _trace = puf_telemetry::trace_span!("eval.batch.response");
-        let _throughput = throughput_guard(features.len());
+        let _throughput = throughput_guard("eval.batch", features.len());
         let mut deltas = vec![0.0; features.len()];
         self.delta_batch_into(features, &mut deltas);
         deltas.iter().map(|&d| d > 0.0).collect()
@@ -403,7 +466,7 @@ impl ArbiterPuf {
         );
         let _span = puf_telemetry::span!("eval.batch");
         let _trace = puf_telemetry::trace_span!("eval.batch.soft");
-        let _throughput = throughput_guard(features.len());
+        let _throughput = throughput_guard("eval.batch", features.len());
         let mut deltas = vec![0.0; features.len()];
         self.delta_batch_into(features, &mut deltas);
         for d in &mut deltas {
@@ -440,7 +503,7 @@ impl XorPuf {
         self.check_batch(features);
         let _span = puf_telemetry::span!("eval.batch");
         let _trace = puf_telemetry::trace_span!("eval.batch.delta");
-        let _throughput = throughput_guard(features.len());
+        let _throughput = throughput_guard("eval.batch", features.len());
         let rows = features.len();
         let mut out = vec![0.0; self.n() * rows];
         blocked_member_deltas(features, self.members(), |mi, first_row, deltas| {
@@ -463,7 +526,7 @@ impl XorPuf {
         self.check_batch(features);
         let _span = puf_telemetry::span!("eval.batch");
         let _trace = puf_telemetry::trace_span!("eval.batch.response");
-        let _throughput = throughput_guard(features.len());
+        let _throughput = throughput_guard("eval.batch", features.len());
         let mut bits = vec![false; features.len()];
         blocked_member_deltas(features, self.members(), |_, first_row, deltas| {
             for (b, &d) in bits[first_row..].iter_mut().zip(deltas) {
@@ -487,7 +550,7 @@ impl XorPuf {
         );
         let _span = puf_telemetry::span!("eval.batch");
         let _trace = puf_telemetry::trace_span!("eval.batch.soft");
-        let _throughput = throughput_guard(features.len());
+        let _throughput = throughput_guard("eval.batch", features.len());
         let mut prod = vec![1.0f64; features.len()];
         blocked_member_deltas(features, self.members(), |_, first_row, deltas| {
             for (pr, &d) in prod[first_row..].iter_mut().zip(deltas) {
@@ -526,7 +589,7 @@ impl XorPuf {
         self.check_batch(features);
         let _span = puf_telemetry::span!("eval.batch");
         let _trace = puf_telemetry::trace_span!("eval.batch.noisy");
-        let _throughput = throughput_guard(features.len());
+        let _throughput = throughput_guard("eval.batch", features.len());
         let n = self.n();
         let mut bits = Vec::with_capacity(features.len());
         // Deltas for a whole block are computed member-major (kernel
@@ -583,9 +646,14 @@ mod tests {
         assert_eq!(fm.len(), 40);
         assert_eq!(fm.width(), 33);
         assert_eq!(fm.stages(), 32);
+        // One reused row buffer — `row_into` materialises without the
+        // per-row `Vec` the old `row()` loop paid for.
+        let mut row = vec![0.0f64; fm.width()];
         for (i, c) in cs.iter().enumerate() {
-            assert_eq!(fm.row(i), c.features().as_slice(), "row {i}");
+            fm.row_into(i, &mut row);
+            assert_eq!(row, c.features().as_slice(), "row {i}");
         }
+        assert_eq!(fm.row(7), cs[7].features().as_slice(), "row() delegates");
         assert_eq!(fm.challenges(), &cs[..]);
     }
 

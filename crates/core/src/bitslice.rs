@@ -1,0 +1,1108 @@
+//! Bit-sliced CRP evaluation: transposed sign planes, branch-free
+//! sign-flip arithmetic, packed response words, explicit SIMD lanes.
+//!
+//! The batched engine in [`crate::batch`] expands a block's sign planes
+//! back into a `±1.0` scratch and multiplies. This module removes even
+//! that: a 32-stage arbiter response is `sign(w · φ)` over `±1` features,
+//! and `±1.0 × w` is an *exact sign flip* of the IEEE-754 bit pattern —
+//! so the kernel never materialises features at all. Instead it works on
+//! the transposed layout directly:
+//!
+//! - [`FeatureMatrix`] already stores per-feature sign planes (bit `r` of
+//!   plane `j` = sign of `φⱼ` for row `r`). Two consecutive 32-row planes
+//!   fuse into one `u64` **plane word** covering a [`WORD_ROWS`]-challenge
+//!   block — 64+ challenges per machine word, built with two shifts.
+//! - Per block, the plane words expand once into a transposed `±1.0`
+//!   scratch — `phi[j * 64 + r]` is feature `j` of row `r` — using
+//!   branch-free variable shifts straight into the IEEE sign bit
+//!   (`(±sign) ^ 1.0` bit arithmetic, no compare, no select). The
+//!   expansion is amortised over every XOR member that walks the block.
+//! - The accumulate kernel is one fused multiply-add per (feature,
+//!   8-row vector): `acc[r] = fma(φⱼ(r), wⱼ, acc[r])`, features ascending
+//!   per row — the exact summation order of the scalar
+//!   [`dot`](crate::batch::dot). Because `φⱼ ∈ {±1.0}`, the product
+//!   `φⱼ·wⱼ = ±wⱼ` is **exact** (a pure sign flip, no rounding), so the
+//!   FMA's single rounding coincides with the separate multiply-then-add
+//!   rounding — fused and unfused paths are bit-identical, and the FMA
+//!   form halves the FP-port pressure (one FP op per vector instead of
+//!   mul + add, with the `φ` load riding the separate load ports).
+//! - Responses come out as **packed words**: 64 sign bits extracted
+//!   straight into a `u64` per block ([`PackedBits`]), XOR-folded across
+//!   members with one integer XOR per block instead of 64 boolean ops.
+//!
+//! Three lanes implement the kernel: a portable scalar lane (which LLVM
+//! autovectorizes to the baseline ISA) and explicit `std::arch` x86-64
+//! AVX2+FMA (4 rows per vector) and AVX-512F (8 rows per vector) lanes.
+//! [`active_lane`] picks the widest lane the host supports via runtime
+//! feature detection (cached after the first query); every public entry
+//! point can also be forced onto a specific lane for differential testing
+//! and per-lane benchmarks. Under Miri only the portable lane is
+//! reported, so `scripts/sanitize.sh` never reaches the intrinsics.
+//!
+//! **Bit-exactness.** All three lanes perform the same exact-product
+//! additions in the same per-row order; SIMD lanes are independent rows,
+//! never a reassociated sum. The proptests at the bottom (and the
+//! cross-crate suite in `tests/bitslice_equivalence.rs`) pin every lane
+//! to the scalar path bit-for-bit across stages 1..=128, XOR widths
+//! 1..=10 and ragged (non-multiple-of-64) batch sizes.
+//!
+//! Telemetry: packed entry points report under `eval.bitslice`
+//! (span/histogram), `eval.bitslice.crps[_per_sec]` and the
+//! `eval.bitslice.response` / `eval.bitslice.block` trace spans —
+//! deliberately distinct from `eval.batch.*` so traces attribute time to
+//! the right kernel.
+
+use crate::arbiter::ArbiterPuf;
+use crate::batch::{throughput_guard, FeatureMatrix};
+use crate::xor::XorPuf;
+use std::sync::OnceLock;
+
+/// Challenges per bit-sliced block: one `u64` plane word per feature.
+pub const WORD_ROWS: usize = 64;
+
+/// IEEE-754 double sign bit — XORing it into a weight's bit pattern is an
+/// exact multiplication by `−1.0`.
+const SIGN_BIT: u64 = 1u64 << 63;
+
+/// A SIMD lane kind the bit-sliced kernel can run on.
+///
+/// Variants exist on every platform so lane names can travel through
+/// benches and reports; whether a lane can actually *execute* on this
+/// host is [`Lane::is_available`]. Ordering is by vector width:
+/// `Portable < Avx2 < Avx512`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lane {
+    /// Scalar Rust, autovectorized by LLVM for the baseline target ISA.
+    /// Always available; the only lane reported under Miri.
+    Portable,
+    /// Explicit AVX2 intrinsics, 4 rows per 256-bit vector.
+    Avx2,
+    /// Explicit AVX-512F intrinsics, 8 rows per 512-bit vector.
+    Avx512,
+}
+
+impl Lane {
+    /// Stable lowercase name for reports and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Portable => "portable",
+            Lane::Avx2 => "avx2",
+            Lane::Avx512 => "avx512",
+        }
+    }
+
+    /// Whether this lane can execute on the current host.
+    pub fn is_available(self) -> bool {
+        available_lanes().contains(&self)
+    }
+}
+
+/// Runtime lane detection, uncached. Miri sees only the portable lane so
+/// the interpreter never executes vendor intrinsics.
+fn detect_lanes() -> &'static [Lane] {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        // The AVX2 lane needs FMA too (Haswell+ ships both, but they are
+        // separate CPUID bits); the AVX-512F lane's fused adds are part of
+        // the F subset itself.
+        let avx2 = is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma");
+        if avx2 && is_x86_feature_detected!("avx512f") {
+            return &[Lane::Portable, Lane::Avx2, Lane::Avx512];
+        }
+        if avx2 {
+            return &[Lane::Portable, Lane::Avx2];
+        }
+    }
+    &[Lane::Portable]
+}
+
+/// The lanes usable on this host, narrowest first ([`Lane::Portable`] is
+/// always present). Detection runs once and is cached.
+pub fn available_lanes() -> &'static [Lane] {
+    static LANES: OnceLock<&'static [Lane]> = OnceLock::new();
+    LANES.get_or_init(detect_lanes)
+}
+
+/// The widest lane available on this host — what the un-suffixed entry
+/// points ([`ArbiterPuf::response_batch_packed`] & co.) dispatch to.
+pub fn active_lane() -> Lane {
+    available_lanes().last().copied().unwrap_or(Lane::Portable)
+}
+
+/// Response bits packed 64 per `u64`, little-endian within each word
+/// (challenge `i` lives at bit `i % 64` of word `i / 64`). Bits past
+/// `len()` in the final word are always zero, so packed values compare
+/// canonically with `==`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PackedBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedBits {
+    /// An all-zero packed vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(WORD_ROWS)],
+            len,
+        }
+    }
+
+    /// Packs a boolean slice (for tests and interop).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut packed = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            packed.words[i / WORD_ROWS] |= u64::from(b) << (i % WORD_ROWS);
+        }
+        packed
+    }
+
+    /// Number of response bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing words, tail bits zeroed.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Bit `i` as a boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index out of range");
+        (self.words[i / WORD_ROWS] >> (i % WORD_ROWS)) & 1 == 1
+    }
+
+    /// Population count over all bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Unpacks into a boolean vector (interop with the unpacked batch
+    /// paths).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Iterates the bits in challenge order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plane-word expansion: packed sign bits -> transposed `±1.0` scratch.
+// ---------------------------------------------------------------------------
+
+/// Expands a block's plane words into the transposed scratch:
+/// `phi[j * WORD_ROWS + r]` is `+1.0` where plane bit `r` of feature `j`
+/// is set and `−1.0` otherwise. Feature-major so the accumulate kernel's
+/// inner loads are contiguous rows.
+fn expand_phi_portable(words: &[u64], phi: &mut [f64]) {
+    const ONE: u64 = 1.0f64.to_bits();
+    for (&w, col) in words.iter().zip(phi.chunks_exact_mut(WORD_ROWS)) {
+        // A clear plane bit means φ = −1.0: shift it into the IEEE sign
+        // position and OR with the bit pattern of 1.0 — branch-free.
+        let nw = !w;
+        for (r, f) in col.iter_mut().enumerate() {
+            *f = f64::from_bits(ONE | (((nw >> r) & 1) << 63));
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+mod x86 {
+    //! The explicit AVX2+FMA / AVX-512F lanes. Callers must verify the
+    //! matching CPU features via [`super::available_lanes`] before calling
+    //! anything here — that is the sole safety obligation; all memory
+    //! accesses below are bounds-guaranteed slice accesses.
+
+    use super::{SIGN_BIT, WORD_ROWS};
+    use std::arch::x86_64::*;
+
+    /// AVX2 plane-word expansion: for each 4-row group, shift the
+    /// inverted plane word's row bit up to the sign position
+    /// (`sllv` by `63 − r` per 64-bit element), mask to the sign bit and
+    /// OR in the bit pattern of `1.0` — four `±1.0` lanes per store.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 at runtime.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn expand_phi_avx2(words: &[u64], phi: &mut [f64]) {
+        // SAFETY: caller guarantees AVX2; sign/one/shift constants are
+        // pure register constructions.
+        let sign = _mm256_set1_epi64x(SIGN_BIT as i64);
+        let one = _mm256_set1_epi64x(1.0f64.to_bits() as i64);
+        for (&w, col) in words.iter().zip(phi.chunks_exact_mut(WORD_ROWS)) {
+            let nw = _mm256_set1_epi64x(!w as i64);
+            for (k, quad) in col.chunks_exact_mut(4).enumerate() {
+                let r = (k * 4) as i64;
+                let shifts = _mm256_set_epi64x(63 - (r + 3), 63 - (r + 2), 63 - (r + 1), 63 - r);
+                let s = _mm256_and_si256(_mm256_sllv_epi64(nw, shifts), sign);
+                let v = _mm256_castsi256_pd(_mm256_or_si256(s, one));
+                // SAFETY: `quad` is exactly 4 f64s; unaligned store writes
+                // 32 bytes inside it.
+                _mm256_storeu_pd(quad.as_mut_ptr(), v);
+            }
+        }
+    }
+
+    /// AVX-512F plane-word expansion, 8 rows per vector: the shift-mask-or
+    /// of [`expand_phi_avx2`] collapses into one `vpternlogq`
+    /// (`(a & b) | c`, immediate `0xEA`).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F at runtime.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn expand_phi_avx512(words: &[u64], phi: &mut [f64]) {
+        // SAFETY: caller guarantees AVX-512F; constants are register-only.
+        let sign = _mm512_set1_epi64(SIGN_BIT as i64);
+        let one = _mm512_set1_epi64(1.0f64.to_bits() as i64);
+        for (&w, col) in words.iter().zip(phi.chunks_exact_mut(WORD_ROWS)) {
+            let nw = _mm512_set1_epi64(!w as i64);
+            for (k, oct) in col.chunks_exact_mut(8).enumerate() {
+                let r = (k * 8) as i64;
+                let shifts = _mm512_set_epi64(
+                    63 - (r + 7),
+                    63 - (r + 6),
+                    63 - (r + 5),
+                    63 - (r + 4),
+                    63 - (r + 3),
+                    63 - (r + 2),
+                    63 - (r + 1),
+                    63 - r,
+                );
+                // (shifted & sign) | one in a single ternary-logic op.
+                let s = _mm512_ternarylogic_epi64::<0xEA>(_mm512_sllv_epi64(nw, shifts), sign, one);
+                // SAFETY: `oct` is exactly 8 f64s; unaligned store writes
+                // 64 bytes inside it.
+                _mm512_storeu_pd(oct.as_mut_ptr(), _mm512_castsi512_pd(s));
+            }
+        }
+    }
+
+    /// The shared AVX2+FMA reduction for one 32-row half of a block: 8
+    /// live 4-row accumulators, `acc = fma(φ, w, acc)` with one broadcast
+    /// weight per feature. The product `φ·w` is exact (`φ` is `±1.0`), so
+    /// the fused rounding equals the unfused one and each vector lane
+    /// reproduces the scalar ascending-feature sum bit-for-bit — while
+    /// spending a single FP op per vector.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 and FMA at runtime. `half` must be 0 or 1 and
+    /// `phi.len()` must be `weights.len() * WORD_ROWS` (debug-asserted).
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn fma_half_avx2(phi: &[f64], weights: &[f64], half: usize) -> [__m256d; 8] {
+        debug_assert_eq!(phi.len(), weights.len() * WORD_ROWS);
+        debug_assert!(half < 2);
+        let mut accv = [_mm256_setzero_pd(); 8];
+        for (col, &w) in phi.chunks_exact(WORD_ROWS).zip(weights) {
+            let wv = _mm256_set1_pd(w);
+            let sub = &col[half * 32..half * 32 + 32];
+            for (quad, a) in sub.chunks_exact(4).zip(accv.iter_mut()) {
+                // SAFETY: `quad` is exactly 4 f64s; unaligned 32-byte
+                // load stays in bounds.
+                let f = _mm256_loadu_pd(quad.as_ptr());
+                *a = _mm256_fmadd_pd(f, wv, *a);
+            }
+        }
+        accv
+    }
+
+    /// AVX2+FMA accumulate kernel over one block's `±1.0` scratch: two
+    /// 32-row halves of [`fma_half_avx2`], accumulators spilled to `acc`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 and FMA at runtime. `phi.len()` must be
+    /// `weights.len() * WORD_ROWS` (debug-asserted).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn accumulate_avx2(phi: &[f64], weights: &[f64], acc: &mut [f64; WORD_ROWS]) {
+        for (half, out) in acc.chunks_exact_mut(32).enumerate() {
+            // SAFETY: caller guarantees AVX2+FMA; half < 2.
+            let accv = unsafe { fma_half_avx2(phi, weights, half) };
+            for (quad, &a) in out.chunks_exact_mut(4).zip(accv.iter()) {
+                // SAFETY: `quad` is exactly 4 f64s; unaligned 32-byte
+                // store stays in bounds.
+                _mm256_storeu_pd(quad.as_mut_ptr(), a);
+            }
+        }
+    }
+
+    /// AVX2+FMA fused sign extraction: same reduction as
+    /// [`accumulate_avx2`], but the 64 comparisons `Δ > 0` happen in
+    /// registers (`cmp_pd` + `movemask_pd`, quiet-ordered — identical
+    /// semantics to the scalar `delta > 0.0` including NaN and `±0.0`)
+    /// and the packed response word is returned directly. The deltas
+    /// never touch memory.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 and FMA at runtime. `phi.len()` must be
+    /// `weights.len() * WORD_ROWS` (debug-asserted).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn accumulate_signs_avx2(phi: &[f64], weights: &[f64]) -> u64 {
+        let zero = _mm256_setzero_pd();
+        let mut word = 0u64;
+        for half in 0..2 {
+            // SAFETY: caller guarantees AVX2+FMA; half < 2.
+            let accv = unsafe { fma_half_avx2(phi, weights, half) };
+            for (k, &a) in accv.iter().enumerate() {
+                let m = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_GT_OQ>(a, zero)) as u64;
+                word |= m << (half * 32 + k * 4);
+            }
+        }
+        word
+    }
+
+    /// The shared AVX-512F reduction for one whole 64-row block: 8 live
+    /// 8-row accumulators, one pass of `acc = fma(φ, w, acc)`. Exact
+    /// products make the fused rounding equal the scalar path's, so
+    /// results are bit-identical (see [`fma_half_avx2`]).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F at runtime. `phi.len()` must be
+    /// `weights.len() * WORD_ROWS` (debug-asserted).
+    #[target_feature(enable = "avx512f")]
+    unsafe fn fma_block_avx512(phi: &[f64], weights: &[f64]) -> [__m512d; 8] {
+        debug_assert_eq!(phi.len(), weights.len() * WORD_ROWS);
+        let mut accv = [_mm512_setzero_pd(); 8];
+        for (col, &w) in phi.chunks_exact(WORD_ROWS).zip(weights) {
+            let wv = _mm512_set1_pd(w);
+            for (oct, a) in col.chunks_exact(8).zip(accv.iter_mut()) {
+                // SAFETY: `oct` is exactly 8 f64s; unaligned 64-byte load
+                // stays in bounds.
+                let f = _mm512_loadu_pd(oct.as_ptr());
+                *a = _mm512_fmadd_pd(f, wv, *a);
+            }
+        }
+        accv
+    }
+
+    /// AVX-512F accumulate kernel: [`fma_block_avx512`] with the
+    /// accumulators spilled to `acc`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F at runtime. `phi.len()` must be
+    /// `weights.len() * WORD_ROWS` (debug-asserted).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn accumulate_avx512(phi: &[f64], weights: &[f64], acc: &mut [f64; WORD_ROWS]) {
+        // SAFETY: caller guarantees AVX-512F.
+        let accv = unsafe { fma_block_avx512(phi, weights) };
+        for (oct, &a) in acc.chunks_exact_mut(8).zip(accv.iter()) {
+            // SAFETY: `oct` is exactly 8 f64s; unaligned 64-byte store
+            // stays in bounds.
+            _mm512_storeu_pd(oct.as_mut_ptr(), a);
+        }
+    }
+
+    /// Packs 8 accumulator vectors into one response word: each
+    /// accumulator's 8 comparisons `Δ > 0` collapse into one
+    /// `cmp_pd_mask` (quiet-ordered — identical semantics to the scalar
+    /// `delta > 0.0` including NaN and `±0.0`).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F at runtime.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn signs_avx512(accv: &[__m512d; 8]) -> u64 {
+        let zero = _mm512_setzero_pd();
+        let mut word = 0u64;
+        for (k, &a) in accv.iter().enumerate() {
+            let m = _mm512_cmp_pd_mask::<_CMP_GT_OQ>(a, zero) as u64;
+            word |= m << (k * 8);
+        }
+        word
+    }
+
+    /// AVX-512F fused sign extraction: the reduction of
+    /// [`accumulate_avx512`] with the deltas compared in registers —
+    /// they never touch memory.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F at runtime. `phi.len()` must be
+    /// `weights.len() * WORD_ROWS` (debug-asserted).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn accumulate_signs_avx512(phi: &[f64], weights: &[f64]) -> u64 {
+        // SAFETY: caller guarantees AVX-512F.
+        unsafe { signs_avx512(&fma_block_avx512(phi, weights)) }
+    }
+
+    /// AVX-512F fused sign extraction for a *pair* of members sharing one
+    /// pass over the `±1.0` scratch: each φ vector is loaded once and
+    /// feeds two FMAs (16 live accumulators — half the load-port traffic
+    /// of two single-member passes, which is what the single-member
+    /// kernel is bound by). Each member's sum still runs in ascending
+    /// feature order, so both words are bit-identical to the scalar path.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F at runtime. `phi.len()` must be
+    /// `w0.len() * WORD_ROWS` with `w1` the same length as `w0`
+    /// (debug-asserted).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn accumulate_signs_pair_avx512(phi: &[f64], w0: &[f64], w1: &[f64]) -> (u64, u64) {
+        debug_assert_eq!(phi.len(), w0.len() * WORD_ROWS);
+        debug_assert_eq!(w0.len(), w1.len());
+        let mut acc0 = [_mm512_setzero_pd(); 8];
+        let mut acc1 = [_mm512_setzero_pd(); 8];
+        for ((col, &x0), &x1) in phi.chunks_exact(WORD_ROWS).zip(w0).zip(w1) {
+            let v0 = _mm512_set1_pd(x0);
+            let v1 = _mm512_set1_pd(x1);
+            for (k, oct) in col.chunks_exact(8).enumerate() {
+                // SAFETY: `oct` is exactly 8 f64s; unaligned 64-byte load
+                // stays in bounds.
+                let f = _mm512_loadu_pd(oct.as_ptr());
+                acc0[k] = _mm512_fmadd_pd(f, v0, acc0[k]);
+                acc1[k] = _mm512_fmadd_pd(f, v1, acc1[k]);
+            }
+        }
+        // SAFETY: caller guarantees AVX-512F.
+        unsafe { (signs_avx512(&acc0), signs_avx512(&acc1)) }
+    }
+
+    /// AVX-512F fused sign extraction for a whole member roster in one
+    /// target-feature region: the pairwise walk of
+    /// [`accumulate_signs_pair_avx512`] without a call boundary per pair,
+    /// so the pair kernel inlines and the next pair's broadcasts schedule
+    /// under the previous pair's sign extraction. Word `m` is
+    /// bit-identical to the per-member kernels.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F at runtime. `phi.len()` must be
+    /// `m.len() * WORD_ROWS` for every member `m`, and
+    /// `members.len() == words.len()` (debug-asserted).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn accumulate_signs_multi_avx512(
+        phi: &[f64],
+        members: &[&[f64]],
+        words: &mut [u64],
+    ) {
+        debug_assert_eq!(members.len(), words.len());
+        let mut pairs = members.chunks_exact(2).zip(words.chunks_exact_mut(2));
+        for (pair, out) in &mut pairs {
+            // SAFETY: caller guarantees AVX-512F and member lengths.
+            let (w0, w1) = unsafe { accumulate_signs_pair_avx512(phi, pair[0], pair[1]) };
+            out[0] = w0;
+            out[1] = w1;
+        }
+        if members.len() % 2 == 1 {
+            let last = members.len() - 1;
+            // SAFETY: as above.
+            words[last] = unsafe { accumulate_signs_avx512(phi, members[last]) };
+        }
+    }
+
+    /// AVX2+FMA sibling of [`accumulate_signs_multi_avx512`]: one
+    /// target-feature region per block for the whole roster (no pair
+    /// kernel on this lane — 16 ymm registers only fit one member's
+    /// accumulators).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 and FMA at runtime. `phi.len()` must be
+    /// `m.len() * WORD_ROWS` for every member `m`, and
+    /// `members.len() == words.len()` (debug-asserted).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn accumulate_signs_multi_avx2(phi: &[f64], members: &[&[f64]], words: &mut [u64]) {
+        debug_assert_eq!(members.len(), words.len());
+        for (w, m) in words.iter_mut().zip(members) {
+            // SAFETY: caller guarantees AVX2+FMA and member lengths.
+            *w = unsafe { accumulate_signs_avx2(phi, m) };
+        }
+    }
+}
+
+/// Lane-dispatched plane-word expansion.
+fn expand_phi(lane: Lane, words: &[u64], phi: &mut [f64]) {
+    match lane {
+        Lane::Portable => expand_phi_portable(words, phi),
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        // SAFETY: SIMD lanes are only constructed after runtime feature
+        // detection (public entry points assert `lane.is_available()`).
+        Lane::Avx2 => unsafe { x86::expand_phi_avx2(words, phi) },
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        // SAFETY: as above — `Lane::Avx512` implies detected AVX-512F.
+        Lane::Avx512 => unsafe { x86::expand_phi_avx512(words, phi) },
+        #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+        _ => expand_phi_portable(words, phi),
+    }
+}
+
+/// Portable accumulate kernel: `acc[r] += φ[j][r] * w[j]`, rows
+/// independent, features ascending — the scalar reference order (the
+/// multiply by `±1.0` is exact), autovectorized by LLVM on the baseline
+/// ISA.
+fn accumulate_portable(phi: &[f64], weights: &[f64], acc: &mut [f64; WORD_ROWS]) {
+    debug_assert_eq!(phi.len(), weights.len() * WORD_ROWS);
+    acc.fill(0.0);
+    for (col, &w) in phi.chunks_exact(WORD_ROWS).zip(weights) {
+        for (a, &f) in acc.iter_mut().zip(col) {
+            *a += f * w;
+        }
+    }
+}
+
+/// Lane-dispatched accumulate kernel (`±1.0` scratch × weights → 64
+/// deltas).
+fn accumulate(lane: Lane, phi: &[f64], weights: &[f64], acc: &mut [f64; WORD_ROWS]) {
+    match lane {
+        Lane::Portable => accumulate_portable(phi, weights, acc),
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        // SAFETY: SIMD lanes are only constructed after runtime feature
+        // detection (public entry points assert `lane.is_available()`).
+        Lane::Avx2 => unsafe { x86::accumulate_avx2(phi, weights, acc) },
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        // SAFETY: as above — `Lane::Avx512` implies detected AVX-512F.
+        Lane::Avx512 => unsafe { x86::accumulate_avx512(phi, weights, acc) },
+        #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+        _ => accumulate_portable(phi, weights, acc),
+    }
+}
+
+/// Portable fused sign extraction: accumulate into a local block, then
+/// pack the 64 comparison bits.
+fn accumulate_signs_portable(phi: &[f64], weights: &[f64]) -> u64 {
+    let mut acc = [0.0f64; WORD_ROWS];
+    accumulate_portable(phi, weights, &mut acc);
+    pack_signs(&acc)
+}
+
+/// Lane-dispatched fused sign extraction (`±1.0` scratch × weights →
+/// packed `Δ > 0` word). On the SIMD lanes the deltas stay in registers.
+fn accumulate_signs(lane: Lane, phi: &[f64], weights: &[f64]) -> u64 {
+    match lane {
+        Lane::Portable => accumulate_signs_portable(phi, weights),
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        // SAFETY: SIMD lanes are only constructed after runtime feature
+        // detection (public entry points assert `lane.is_available()`).
+        Lane::Avx2 => unsafe { x86::accumulate_signs_avx2(phi, weights) },
+        #[cfg(all(target_arch = "x86_64", not(miri)))]
+        // SAFETY: as above — `Lane::Avx512` implies detected AVX-512F.
+        Lane::Avx512 => unsafe { x86::accumulate_signs_avx512(phi, weights) },
+        #[cfg(not(all(target_arch = "x86_64", not(miri))))]
+        _ => accumulate_signs_portable(phi, weights),
+    }
+}
+
+/// Fused sign extraction for all members of a block at once
+/// (`words[m]` ← member `m`'s packed `Δ > 0` word). The AVX-512 lane
+/// walks members pairwise so each φ vector load feeds two FMAs; the
+/// narrower lanes fall back to one member at a time.
+fn accumulate_signs_multi(lane: Lane, phi: &[f64], members: &[&[f64]], words: &mut [u64]) {
+    debug_assert_eq!(members.len(), words.len());
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    match lane {
+        // SAFETY: SIMD lanes are only constructed after runtime feature
+        // detection (public entry points assert `lane.is_available()`),
+        // so AVX-512F is present.
+        Lane::Avx512 => return unsafe { x86::accumulate_signs_multi_avx512(phi, members, words) },
+        // SAFETY: as above — `Lane::Avx2` implies detected AVX2+FMA.
+        Lane::Avx2 => return unsafe { x86::accumulate_signs_multi_avx2(phi, members, words) },
+        Lane::Portable => {}
+    }
+    for (w, m) in words.iter_mut().zip(members) {
+        *w = accumulate_signs(lane, phi, m);
+    }
+}
+
+/// Extracts the packed sign word of one block's deltas: bit `r` is set
+/// iff `acc[r] > 0.0` — the same comparison as the scalar response path.
+fn pack_signs(acc: &[f64; WORD_ROWS]) -> u64 {
+    let mut word = 0u64;
+    for (r, &d) in acc.iter().enumerate() {
+        word |= u64::from(d > 0.0) << r;
+    }
+    word
+}
+
+/// f64 lanes per cache line: the `±1.0` scratch is padded so its first
+/// element can sit on a 64-byte boundary.
+const PHI_ALIGN: usize = 8;
+
+/// Reusable per-call scratch: the block's plane words and the transposed
+/// `±1.0` scratch (`width × 64` f64s — L1-resident at paper sizes).
+///
+/// The φ buffer is over-allocated by one cache line and exposed through
+/// an offset so every column starts 64-byte aligned: a column is 64 f64s
+/// = 8 whole lines, so one aligned base keeps *every* 8-row vector load
+/// in the SIMD kernels on a single cache line. With a plain `Vec<f64>`
+/// (8-byte aligned) nearly all 64-byte loads straddle two lines, which
+/// doubles L1 accesses and moves the pair kernel from FMA-bound to
+/// load-bound.
+struct Scratch {
+    words: Vec<u64>,
+    phi_raw: Vec<f64>,
+    phi_off: usize,
+}
+
+impl Scratch {
+    fn new(width: usize) -> Self {
+        let words = vec![0u64; width];
+        let phi_raw = vec![0.0f64; width * WORD_ROWS + PHI_ALIGN - 1];
+        let lane_pos = (phi_raw.as_ptr() as usize / std::mem::size_of::<f64>()) % PHI_ALIGN;
+        let phi_off = (PHI_ALIGN - lane_pos) % PHI_ALIGN;
+        Self {
+            words,
+            phi_raw,
+            phi_off,
+        }
+    }
+
+    /// The plane words and aligned φ scratch, split-borrowed for the
+    /// expansion step (words read, φ written).
+    fn expand_parts(&mut self) -> (&mut [u64], &mut [f64]) {
+        let Self {
+            words,
+            phi_raw,
+            phi_off,
+        } = self;
+        let len = phi_raw.len() - (PHI_ALIGN - 1);
+        (words, &mut phi_raw[*phi_off..*phi_off + len])
+    }
+}
+
+fn check_lane(lane: Lane) {
+    assert!(
+        lane.is_available(),
+        "bitslice lane {:?} is not available on this host",
+        lane
+    );
+}
+
+fn check_stages(stages: usize, features: &FeatureMatrix) {
+    assert_eq!(
+        features.stages(),
+        stages,
+        "feature matrix stage count does not match the PUF"
+    );
+}
+
+/// The blocked bit-sliced driver: for every 64-row block, assemble plane
+/// words, expand the `±1.0` scratch once (amortised over all members), then
+/// hand each member's 64 deltas to `consume(member, block, block_rows, acc)`.
+fn blocked_bitslice(
+    features: &FeatureMatrix,
+    members: &[&[f64]],
+    lane: Lane,
+    mut consume: impl FnMut(usize, usize, usize, &[f64; WORD_ROWS]),
+) {
+    let rows = features.len();
+    let mut scratch = Scratch::new(features.width());
+    let mut acc = [0.0f64; WORD_ROWS];
+    for block in 0..rows.div_ceil(WORD_ROWS) {
+        let _block = puf_telemetry::trace_span!("eval.bitslice.block");
+        let block_rows = WORD_ROWS.min(rows - block * WORD_ROWS);
+        let (words, phi) = scratch.expand_parts();
+        features.plane_words_into(block, words);
+        expand_phi(lane, words, phi);
+        for (mi, w) in members.iter().enumerate() {
+            accumulate(lane, phi, w, &mut acc);
+            consume(mi, block, block_rows, &acc);
+        }
+    }
+}
+
+/// The packed-response sibling of [`blocked_bitslice`]: hands `consume`
+/// each member's masked sign word instead of raw deltas, so the SIMD
+/// lanes keep deltas entirely in registers ([`accumulate_signs`]).
+fn blocked_bitslice_signs(
+    features: &FeatureMatrix,
+    members: &[&[f64]],
+    lane: Lane,
+    mut consume: impl FnMut(usize, usize, u64),
+) {
+    let rows = features.len();
+    let mut scratch = Scratch::new(features.width());
+    let mut member_words = vec![0u64; members.len()];
+    for block in 0..rows.div_ceil(WORD_ROWS) {
+        let _block = puf_telemetry::trace_span!("eval.bitslice.block");
+        let block_rows = WORD_ROWS.min(rows - block * WORD_ROWS);
+        let (words, phi) = scratch.expand_parts();
+        features.plane_words_into(block, words);
+        expand_phi(lane, words, phi);
+        accumulate_signs_multi(lane, phi, members, &mut member_words);
+        for (mi, &word) in member_words.iter().enumerate() {
+            consume(mi, block, mask_tail(word, block_rows));
+        }
+    }
+}
+
+/// Masks a packed block word down to its live rows (ragged final block).
+fn mask_tail(word: u64, block_rows: usize) -> u64 {
+    if block_rows < WORD_ROWS {
+        word & ((1u64 << block_rows) - 1)
+    } else {
+        word
+    }
+}
+
+/// Bit-sliced batched deltas on an explicit lane:
+/// `out[i] = φ(cᵢ) · weights`, bit-identical to
+/// [`FeatureMatrix::deltas_into`] and the scalar dot product.
+///
+/// # Panics
+///
+/// Panics if the lane is unavailable on this host, or on a
+/// `weights`/`out` length mismatch.
+pub fn deltas_into_with(features: &FeatureMatrix, weights: &[f64], lane: Lane, out: &mut [f64]) {
+    check_lane(lane);
+    assert_eq!(weights.len(), features.width(), "weight length mismatch");
+    assert_eq!(out.len(), features.len(), "output length mismatch");
+    blocked_bitslice(features, &[weights], lane, |_, block, block_rows, acc| {
+        out[block * WORD_ROWS..block * WORD_ROWS + block_rows].copy_from_slice(&acc[..block_rows]);
+    });
+}
+
+/// Bit-sliced packed responses of a single arbiter on an explicit lane.
+/// Bit `i` equals [`ArbiterPuf::response`] on challenge `i`.
+///
+/// # Panics
+///
+/// Panics if the lane is unavailable on this host or on a stage mismatch.
+pub fn arbiter_response_packed_with(
+    puf: &ArbiterPuf,
+    features: &FeatureMatrix,
+    lane: Lane,
+) -> PackedBits {
+    check_lane(lane);
+    check_stages(puf.stages(), features);
+    let _span = puf_telemetry::span!("eval.bitslice");
+    let _trace = puf_telemetry::trace_span!("eval.bitslice.response");
+    let _throughput = throughput_guard("eval.bitslice", features.len());
+    let mut out = PackedBits::zeros(features.len());
+    blocked_bitslice_signs(features, &[puf.weights()], lane, |_, block, word| {
+        out.words[block] = word;
+    });
+    out
+}
+
+/// Bit-sliced packed XOR responses on an explicit lane: each block's
+/// member sign words fold with one integer XOR, so the combiner costs one
+/// instruction per 64 challenges per member. Bit `i` equals
+/// [`XorPuf::response`] on challenge `i`.
+///
+/// # Panics
+///
+/// Panics if the lane is unavailable on this host or on a stage mismatch.
+pub fn xor_response_packed_with(xor: &XorPuf, features: &FeatureMatrix, lane: Lane) -> PackedBits {
+    check_lane(lane);
+    check_stages(xor.stages(), features);
+    let _span = puf_telemetry::span!("eval.bitslice");
+    let _trace = puf_telemetry::trace_span!("eval.bitslice.response");
+    let _throughput = throughput_guard("eval.bitslice", features.len());
+    let members: Vec<&[f64]> = xor.members().iter().map(|m| m.weights()).collect();
+    let mut out = PackedBits::zeros(features.len());
+    blocked_bitslice_signs(features, &members, lane, |_, block, word| {
+        out.words[block] ^= word;
+    });
+    out
+}
+
+/// Bit-sliced packed XOR responses for a whole *fleet* of PUFs sharing
+/// one challenge matrix — the hot loop of a multi-chip measurement
+/// replay. All member weight vectors stream through a single pass per
+/// 64-challenge block, so the plane expansion (and the pair kernel's φ
+/// loads) amortise over every PUF in the fleet instead of one: per-CRP
+/// cost approaches the pure FMA floor. `out[p]` bit `i` equals
+/// `pufs[p].response` on challenge `i`.
+///
+/// # Panics
+///
+/// Panics if the lane is unavailable on this host or if any PUF's stage
+/// count mismatches the matrix.
+pub fn xor_response_packed_many_with(
+    pufs: &[&XorPuf],
+    features: &FeatureMatrix,
+    lane: Lane,
+) -> Vec<PackedBits> {
+    check_lane(lane);
+    for puf in pufs {
+        check_stages(puf.stages(), features);
+    }
+    let _span = puf_telemetry::span!("eval.bitslice");
+    let _trace = puf_telemetry::trace_span!("eval.bitslice.response");
+    let _throughput = throughput_guard("eval.bitslice", features.len().saturating_mul(pufs.len()));
+    let mut members: Vec<&[f64]> = Vec::new();
+    let mut owner: Vec<usize> = Vec::new();
+    for (p, puf) in pufs.iter().enumerate() {
+        for m in puf.members() {
+            members.push(m.weights());
+            owner.push(p);
+        }
+    }
+    let mut out: Vec<PackedBits> = pufs
+        .iter()
+        .map(|_| PackedBits::zeros(features.len()))
+        .collect();
+    blocked_bitslice_signs(features, &members, lane, |mi, block, word| {
+        out[owner[mi]].words[block] ^= word;
+    });
+    out
+}
+
+/// [`xor_response_packed_many_with`] on the widest available lane.
+///
+/// # Panics
+///
+/// Panics if any PUF's stage count mismatches the matrix.
+pub fn xor_response_packed_many(pufs: &[&XorPuf], features: &FeatureMatrix) -> Vec<PackedBits> {
+    xor_response_packed_many_with(pufs, features, active_lane())
+}
+
+impl ArbiterPuf {
+    /// Bit-sliced batched delay differences on the widest available lane —
+    /// the drop-in accelerated sibling of [`ArbiterPuf::delta_batch_into`],
+    /// bit-identical to it (and to [`ArbiterPuf::delay_difference`] per
+    /// challenge).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stage mismatch or if `out.len() != features.len()`.
+    pub fn delta_batch_into_bitsliced(&self, features: &FeatureMatrix, out: &mut [f64]) {
+        check_stages(self.stages(), features);
+        deltas_into_with(features, self.weights(), active_lane(), out);
+    }
+
+    /// Bit-sliced packed responses on the widest available lane. Bit `i`
+    /// equals [`ArbiterPuf::response`] on challenge `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stage mismatch.
+    pub fn response_batch_packed(&self, features: &FeatureMatrix) -> PackedBits {
+        arbiter_response_packed_with(self, features, active_lane())
+    }
+}
+
+impl XorPuf {
+    /// Bit-sliced packed XOR responses on the widest available lane. Bit
+    /// `i` equals [`XorPuf::response`] on challenge `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a stage mismatch.
+    pub fn response_batch_packed(&self, features: &FeatureMatrix) -> PackedBits {
+        xor_response_packed_with(self, features, active_lane())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::challenge::Challenge;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_batch(
+        seed: u64,
+        n: usize,
+        stages: usize,
+        count: usize,
+    ) -> (XorPuf, Vec<Challenge>, FeatureMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xor = XorPuf::random(n, stages, &mut rng);
+        let cs: Vec<Challenge> = (0..count)
+            .map(|_| Challenge::random(stages, &mut rng))
+            .collect();
+        let fm = FeatureMatrix::from_challenges(&cs).unwrap();
+        (xor, cs, fm)
+    }
+
+    #[test]
+    fn lane_detection_is_sane() {
+        let lanes = available_lanes();
+        assert_eq!(lanes.first(), Some(&Lane::Portable));
+        assert!(lanes.windows(2).all(|w| w[0] < w[1]), "ordered by width");
+        assert!(active_lane().is_available());
+        assert_eq!(Lane::Portable.name(), "portable");
+        assert_eq!(Lane::Avx2.name(), "avx2");
+        assert_eq!(Lane::Avx512.name(), "avx512");
+    }
+
+    #[test]
+    fn packed_bits_roundtrip_and_tail_is_canonical() {
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            let bits: Vec<bool> = (0..len).map(|i| i % 3 == 0).collect();
+            let packed = PackedBits::from_bools(&bits);
+            assert_eq!(packed.len(), len);
+            assert_eq!(packed.is_empty(), len == 0);
+            assert_eq!(packed.to_bools(), bits);
+            assert_eq!(packed.iter().collect::<Vec<_>>(), bits);
+            assert_eq!(
+                packed.count_ones(),
+                bits.iter().filter(|&&b| b).count() as u64
+            );
+            if let Some(&last) = packed.words().last() {
+                let live = len - (packed.words().len() - 1) * WORD_ROWS;
+                assert_eq!(mask_tail(last, live), last, "tail bits must be zero");
+            }
+        }
+    }
+
+    #[test]
+    fn every_lane_matches_batch_and_scalar() {
+        let (xor, cs, fm) = random_batch(11, 5, 32, 3 * WORD_ROWS + 19);
+        let batch = xor.response_batch(&fm);
+        for &lane in available_lanes() {
+            let packed = xor_response_packed_with(&xor, &fm, lane);
+            assert_eq!(packed.to_bools(), batch, "lane {lane:?} vs batch");
+            for (i, c) in cs.iter().enumerate() {
+                assert_eq!(packed.get(i), xor.response(c), "lane {lane:?} row {i}");
+            }
+            assert_eq!(packed, PackedBits::from_bools(&batch));
+        }
+    }
+
+    #[test]
+    fn bitsliced_deltas_are_bit_exact_per_lane() {
+        let (xor, cs, fm) = random_batch(12, 1, 64, 2 * WORD_ROWS + 7);
+        let puf = &xor.members()[0];
+        let mut out = vec![0.0f64; fm.len()];
+        for &lane in available_lanes() {
+            deltas_into_with(&fm, puf.weights(), lane, &mut out);
+            for (i, c) in cs.iter().enumerate() {
+                assert_eq!(
+                    out[i].to_bits(),
+                    puf.delay_difference(c).to_bits(),
+                    "lane {lane:?} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_entry_points_use_active_lane() {
+        let (xor, _, fm) = random_batch(13, 3, 32, WORD_ROWS + 5);
+        let via_lane = xor_response_packed_with(&xor, &fm, active_lane());
+        assert_eq!(xor.response_batch_packed(&fm), via_lane);
+        let puf = &xor.members()[0];
+        let packed = puf.response_batch_packed(&fm);
+        assert_eq!(
+            packed,
+            arbiter_response_packed_with(puf, &fm, active_lane())
+        );
+        let mut deltas = vec![0.0f64; fm.len()];
+        puf.delta_batch_into_bitsliced(&fm, &mut deltas);
+        let reference = puf.delta_batch(&fm);
+        assert_eq!(
+            deltas.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+            reference.iter().map(|d| d.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fleet_packed_matches_per_puf_packed() {
+        let mut rng = StdRng::seed_from_u64(29);
+        // Odd widths (3 members) exercise the pair kernel's tail member;
+        // a mixed fleet exercises the member→PUF fold.
+        let fleet: Vec<XorPuf> = (0..5)
+            .map(|i| XorPuf::random(1 + (i % 3) * 2, 32, &mut rng))
+            .collect();
+        let refs: Vec<&XorPuf> = fleet.iter().collect();
+        let cs: Vec<Challenge> = (0..2 * WORD_ROWS + 31)
+            .map(|_| Challenge::random(32, &mut rng))
+            .collect();
+        let fm = FeatureMatrix::from_challenges(&cs).unwrap();
+        for &lane in available_lanes() {
+            let many = xor_response_packed_many_with(&refs, &fm, lane);
+            assert_eq!(many.len(), fleet.len());
+            for (puf, packed) in fleet.iter().zip(&many) {
+                assert_eq!(
+                    packed,
+                    &xor_response_packed_with(puf, &fm, lane),
+                    "lane {lane:?}"
+                );
+            }
+        }
+        let default = xor_response_packed_many(&refs, &fm);
+        assert_eq!(
+            default,
+            xor_response_packed_many_with(&refs, &fm, active_lane())
+        );
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_packed() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let xor = XorPuf::random(2, 16, &mut rng);
+        let fm = FeatureMatrix::new(16, &[]).unwrap();
+        let packed = xor.response_batch_packed(&fm);
+        assert!(packed.is_empty());
+        assert!(packed.words().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stage count does not match")]
+    fn stage_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let xor = XorPuf::random(2, 16, &mut rng);
+        let fm = FeatureMatrix::new(8, &[Challenge::zero(8)]).unwrap();
+        let _ = xor.response_batch_packed(&fm);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_packed_bit_identical_all_lanes(
+            seed in any::<u64>(),
+            n in 1usize..=10,
+            stages in 1usize..=128,
+            count in 1usize..=200,
+        ) {
+            let (xor, cs, fm) = random_batch(seed, n, stages, count);
+            let batch = xor.response_batch(&fm);
+            for &lane in available_lanes() {
+                let packed = xor_response_packed_with(&xor, &fm, lane);
+                prop_assert_eq!(packed.len(), count);
+                prop_assert_eq!(&packed.to_bools(), &batch, "lane {:?}", lane);
+                for (i, c) in cs.iter().enumerate() {
+                    prop_assert_eq!(packed.get(i), xor.response(c));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_bitsliced_deltas_bit_identical_all_lanes(
+            seed in any::<u64>(),
+            stages in 1usize..=128,
+            count in 1usize..=160,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let puf = ArbiterPuf::random(stages, &mut rng);
+            let cs: Vec<Challenge> = (0..count)
+                .map(|_| Challenge::random(stages, &mut rng))
+                .collect();
+            let fm = FeatureMatrix::from_challenges(&cs).unwrap();
+            let mut out = vec![0.0f64; count];
+            for &lane in available_lanes() {
+                deltas_into_with(&fm, puf.weights(), lane, &mut out);
+                for (i, c) in cs.iter().enumerate() {
+                    prop_assert_eq!(
+                        out[i].to_bits(),
+                        puf.delay_difference(c).to_bits(),
+                        "lane {:?} row {}", lane, i
+                    );
+                }
+            }
+        }
+    }
+}

@@ -49,6 +49,12 @@
 pub mod aging;
 pub mod arbiter;
 pub mod batch;
+// The bit-sliced SIMD kernels are the only `unsafe` in this crate: explicit
+// `std::arch` intrinsic lanes behind runtime feature detection, every site
+// SAFETY-commented (lint rule L2 allowlists exactly this declaration, and
+// L1 enforces the comments).
+#[allow(unsafe_code)]
+pub mod bitslice;
 pub mod challenge;
 pub mod env;
 pub mod feedforward;

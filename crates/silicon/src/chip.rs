@@ -312,9 +312,16 @@ impl Chip {
 
     /// Batched [`Chip::ground_truth_soft`] over a whole feature matrix:
     /// the condition-adjusted (and aged) PUF is built **once** for the batch
-    /// and its deltas run through the unrolled kernel, instead of paying the
-    /// clone + adjustment per challenge. Bit-identical to the scalar call
-    /// per row.
+    /// and its deltas run through the bit-sliced kernel
+    /// ([`puf_core::bitslice`], widest available SIMD lane), instead of
+    /// paying the clone + adjustment per challenge. Bit-identical to the
+    /// scalar call per row — the bit-sliced kernel reproduces the scalar
+    /// summation order exactly.
+    ///
+    /// This is the hot loop of every counter sweep
+    /// ([`Chip::measure_xor_soft_batch`], the testbench soft sweeps and the
+    /// trillion-replay bench), so it reports throughput under
+    /// `eval.bitslice.*` rather than `eval.batch.*`.
     ///
     /// # Errors
     ///
@@ -327,8 +334,8 @@ impl Chip {
     ) -> Result<Vec<f64>, SiliconError> {
         self.check_puf(puf)?;
         self.check_feature_stages(features)?;
-        let _span = puf_telemetry::span!("eval.batch");
-        let _throughput = throughput_guard(features.len());
+        let _span = puf_telemetry::span!("eval.bitslice");
+        let _throughput = throughput_guard("eval.bitslice", features.len());
         let aged = if self.age_hours > 0.0 {
             self.drifts[puf].aged_puf(&self.pufs[puf], &self.aging, self.age_hours)
         } else {
@@ -339,7 +346,7 @@ impl Chip {
             .puf_at(&aged, &self.sensitivities[puf], cond);
         let noise = self.noise_at(cond);
         let mut out = vec![0.0f64; features.len()];
-        adjusted.delta_batch_into(features, &mut out);
+        adjusted.delta_batch_into_bitsliced(features, &mut out);
         let nonce = self.mismatch_nonces[puf];
         for (d, c) in out.iter_mut().zip(features.challenges()) {
             let delta =
@@ -504,7 +511,7 @@ impl Chip {
         self.check_xor_width(n)?;
         self.check_feature_stages(features)?;
         let _span = puf_telemetry::span!("eval.batch");
-        let _throughput = throughput_guard(features.len());
+        let _throughput = throughput_guard("eval.batch", features.len());
         puf_telemetry::counter!("core.eval.count").add(features.len() as u64);
         let member_probs = self.member_probs(n, features, cond)?;
         let rows = features.len();

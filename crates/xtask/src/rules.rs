@@ -28,10 +28,14 @@ const L4_STRICT_FILES: &[&str] = &[
 ];
 
 /// The only places allowed to carry `allow(unsafe_code)`: the bench crate
-/// root, where the `par` fan-out module is opted back in. The second field
-/// must appear within two lines of the attribute, anchoring the allowance
-/// to that module declaration.
-const ALLOW_UNSAFE_SITES: &[(&str, &str)] = &[("crates/bench/src/lib.rs", "mod par")];
+/// root (the `par` fan-out module) and the core crate root (the `bitslice`
+/// SIMD-intrinsic module, whose every `unsafe` site L1 holds to a SAFETY
+/// comment). The second field must appear within two lines of the
+/// attribute, anchoring the allowance to that module declaration.
+const ALLOW_UNSAFE_SITES: &[(&str, &str)] = &[
+    ("crates/bench/src/lib.rs", "mod par"),
+    ("crates/core/src/lib.rs", "mod bitslice"),
+];
 
 /// Where a file sits in the workspace, derived purely from its path.
 #[derive(Debug)]
@@ -266,12 +270,17 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
 }
 
 fn comment_states_safety(comment: &str) -> bool {
-    comment.trim_start().starts_with("SAFETY")
+    let text = comment.trim_start();
+    text.starts_with("SAFETY") || text.starts_with("# Safety")
 }
 
 /// L1: every line containing the `unsafe` keyword must have a `// SAFETY:`
 /// comment on it, or in the comment/attribute run directly above its
 /// statement (continuation lines such as `let x =` are looked through).
+/// An `unsafe fn` declaration may instead document its contract with the
+/// conventional `/// # Safety` doc section — the heading counts if it
+/// appears in the run above the declaration (SIMD kernels in
+/// `puf_core::bitslice` are the canonical sites).
 fn l1_unsafe_needs_safety(
     rel: &str,
     lexed: &Lexed,
@@ -364,7 +373,7 @@ fn l2_deny_unsafe_code(
                 path: rel.to_string(),
                 line: lineno,
                 message: "`allow(unsafe_code)` outside the allowlist (only `bench::par` \
-                          may opt back in)"
+                          and `core::bitslice` may opt back in)"
                     .to_string(),
             });
         }
@@ -638,6 +647,23 @@ unsafe fn g() {}
     }
 
     #[test]
+    fn l1_accepts_safety_doc_section_on_unsafe_fn() {
+        let src = "\
+/// Fast kernel.
+///
+/// # Safety
+///
+/// Requires AVX2 at runtime.
+#[target_feature(enable = \"avx2\")]
+pub unsafe fn kernel() {}
+
+pub unsafe fn undocumented() {}
+";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(ids(&diags), vec![(RuleId::L1, 9)]);
+    }
+
+    #[test]
     fn l1_looks_through_continuation_lines() {
         let src = "\
 fn f() {
@@ -671,6 +697,15 @@ fn f() {
     fn l2_allowlists_bench_par() {
         let src = "#![deny(unsafe_code)]\n#[allow(unsafe_code)]\npub mod par;\n";
         assert!(lint_source("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l2_allowlists_core_bitslice() {
+        let src = "#![deny(unsafe_code)]\n#[allow(unsafe_code)]\npub mod bitslice;\n";
+        assert!(lint_source("crates/core/src/lib.rs", src).is_empty());
+        // The anchor is per-file: `mod bitslice` elsewhere is still flagged.
+        let stray = lint_source("crates/silicon/src/lib.rs", src);
+        assert_eq!(ids(&stray), vec![(RuleId::L2, 2)]);
     }
 
     #[test]

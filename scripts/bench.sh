@@ -3,7 +3,9 @@
 # bench harnesses — bench_eval times the scalar and batched PUF evaluation
 # paths (results/BENCH_eval.json); bench_ml times the naive vs fused ML
 # attack-training kernels and the linreg normal-equation paths
-# (results/BENCH_ml.json).
+# (results/BENCH_ml.json); trillion replays the paper-scale measurement
+# campaign through the bit-sliced engine and asserts the packed-vs-batched
+# speedup gate (results/BENCH_trillion.json).
 #
 # After the harnesses run, `cargo xtask bench-diff` compares the fresh
 # numbers against the previously committed baselines (snapshotted to
@@ -20,14 +22,17 @@ echo "==> snapshot committed baselines to target/bench_baseline/"
 mkdir -p target/bench_baseline
 cp results/BENCH_*.json results/CHAOS.json target/bench_baseline/ 2>/dev/null || true
 
-echo "==> cargo build --release -p puf-bench --bin bench_eval --bin bench_ml"
-cargo build --release -p puf-bench --bin bench_eval --bin bench_ml
+echo "==> cargo build --release -p puf-bench --bin bench_eval --bin bench_ml --bin trillion"
+cargo build --release -p puf-bench --bin bench_eval --bin bench_ml --bin trillion
 
 echo "==> bench_eval (writes results/BENCH_eval.json)"
 ./target/release/bench_eval
 
 echo "==> bench_ml (writes results/BENCH_ml.json)"
 ./target/release/bench_ml
+
+echo "==> trillion (writes results/BENCH_trillion.json; asserts the >=4x packed gate)"
+./target/release/trillion
 
 echo "==> bench-diff observatory: fresh run vs committed baselines"
 cargo xtask bench-diff --baseline target/bench_baseline --current results

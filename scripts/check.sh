@@ -30,6 +30,9 @@ cmp target/CHAOS_trace.json target/CHAOS_trace.rerun.json
 cmp target/CHAOS_trace.json.folded target/CHAOS_trace.rerun.json.folded
 cargo xtask trace-check target/CHAOS_trace.json
 
+echo "==> trillion smoke: bit-sliced replay harness end-to-end (tiny dims, no gate)"
+cargo run -q --release -p puf-bench --bin trillion -- --smoke
+
 echo "==> bench-diff observatory: committed baselines parse and self-compare clean"
 cargo xtask bench-diff --baseline results --current results
 

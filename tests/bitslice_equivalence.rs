@@ -1,0 +1,117 @@
+//! Cross-crate bit-identity gates for the bit-sliced evaluation engine:
+//! every SIMD lane's packed responses must equal the batched reference
+//! (`response_batch`) and the scalar per-challenge path, bit for bit,
+//! under randomly drawn weights and ragged (non-multiple-of-64) batch
+//! sizes. These run from the workspace root so they exercise the public
+//! `xorpuf::core` surface exactly as downstream crates see it.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xorpuf::core::bitslice::{self, Lane, PackedBits};
+use xorpuf::core::{ArbiterPuf, Challenge, FeatureMatrix, XorPuf};
+
+/// A seeded PUF + challenge pool: `rows` deliberately ranges over ragged
+/// tails (never a multiple of 64 unless the case picks one).
+fn seeded_batch(seed: u64, n: usize, stages: usize, rows: usize) -> (XorPuf, FeatureMatrix) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xor = XorPuf::random(n, stages, &mut rng);
+    let cs: Vec<Challenge> = (0..rows)
+        .map(|_| Challenge::random(stages, &mut rng))
+        .collect();
+    let fm = FeatureMatrix::from_challenges(&cs).expect("feature matrix");
+    (xor, fm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Packed XOR responses equal the batched boolean reference on every
+    /// available lane, including the ragged final block.
+    #[test]
+    fn packed_xor_matches_response_batch(
+        seed in any::<u64>(),
+        n in 1usize..=10,
+        stages in 1usize..=96,
+        rows in 1usize..=3 * bitslice::WORD_ROWS + 17,
+    ) {
+        let (xor, fm) = seeded_batch(seed, n, stages, rows);
+        let reference = PackedBits::from_bools(&xor.response_batch(&fm));
+        for &lane in bitslice::available_lanes() {
+            let packed = bitslice::xor_response_packed_with(&xor, &fm, lane);
+            prop_assert_eq!(&packed, &reference, "lane {:?}", lane);
+        }
+        prop_assert_eq!(&xor.response_batch_packed(&fm), &reference);
+    }
+
+    /// Single-arbiter packed responses and bit-sliced deltas are
+    /// bit-identical to the scalar path on every lane.
+    #[test]
+    fn packed_arbiter_and_deltas_match_scalar(
+        seed in any::<u64>(),
+        stages in 1usize..=64,
+        rows in 1usize..=2 * bitslice::WORD_ROWS + 9,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let puf = ArbiterPuf::random(stages, &mut rng);
+        let cs: Vec<Challenge> = (0..rows)
+            .map(|_| Challenge::random(stages, &mut rng))
+            .collect();
+        let fm = FeatureMatrix::from_challenges(&cs).expect("feature matrix");
+        let mut deltas = vec![0.0f64; rows];
+        for &lane in bitslice::available_lanes() {
+            let packed = bitslice::arbiter_response_packed_with(&puf, &fm, lane);
+            bitslice::deltas_into_with(&fm, puf.weights(), lane, &mut deltas);
+            for (i, c) in cs.iter().enumerate() {
+                prop_assert_eq!(packed.get(i), puf.response(c), "lane {:?} row {}", lane, i);
+                prop_assert_eq!(
+                    deltas[i].to_bits(),
+                    puf.delay_difference(c).to_bits(),
+                    "lane {:?} delta row {}",
+                    lane,
+                    i
+                );
+            }
+        }
+    }
+
+    /// The fleet entry point returns exactly the per-PUF packed
+    /// responses, for mixed widths, on every lane.
+    #[test]
+    fn fleet_packed_matches_per_puf(
+        seed in any::<u64>(),
+        stages in 1usize..=48,
+        rows in 1usize..=2 * bitslice::WORD_ROWS + 31,
+        chips in 1usize..=5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fleet: Vec<XorPuf> = (0..chips)
+            .map(|i| XorPuf::random(1 + (i % 3) * 2, stages, &mut rng))
+            .collect();
+        let refs: Vec<&XorPuf> = fleet.iter().collect();
+        let cs: Vec<Challenge> = (0..rows)
+            .map(|_| Challenge::random(stages, &mut rng))
+            .collect();
+        let fm = FeatureMatrix::from_challenges(&cs).expect("feature matrix");
+        for &lane in bitslice::available_lanes() {
+            let many = bitslice::xor_response_packed_many_with(&refs, &fm, lane);
+            prop_assert_eq!(many.len(), fleet.len());
+            for (p, xor) in fleet.iter().enumerate() {
+                let single = bitslice::xor_response_packed_with(xor, &fm, lane);
+                prop_assert_eq!(&many[p], &single, "lane {:?} puf {}", lane, p);
+            }
+        }
+    }
+}
+
+/// A fixed-seed smoke case pinning the widest lane to the portable lane
+/// directly (proptest shrinks can mask a lane-specific break if the
+/// reference itself ran on the same lane).
+#[test]
+fn widest_lane_equals_portable_lane_exactly() {
+    let (xor, fm) = seeded_batch(0xB17_511CE, 10, 64, 5 * bitslice::WORD_ROWS + 63);
+    let portable = bitslice::xor_response_packed_with(&xor, &fm, Lane::Portable);
+    let widest = bitslice::xor_response_packed_with(&xor, &fm, bitslice::active_lane());
+    assert_eq!(portable, widest);
+    assert_eq!(portable.len(), fm.len());
+}
