@@ -90,6 +90,7 @@ fn main() {
                     design_matrix(test.challenges()),
                 )
             };
+            // puf-lint: allow(L7): same init for φ and raw features isolates the feature map as the ablation variable
             let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xFEA7);
             let mut mlp = Mlp::new(x.cols(), &config, &mut rng);
             mlp.train(&x, &y, &config);

@@ -69,6 +69,7 @@ fn main() {
         "time (s)",
     ]);
     for name in ["lbfgs", "adam", "gd"] {
+        // puf-lint: allow(L7): all three optimizers start from the identical init so only the optimizer varies
         let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xAB1A);
         let mut mlp = Mlp::new(x.cols(), &config, &mut rng);
         // The pooled objective reuses fused-kernel workspaces across every

@@ -40,6 +40,9 @@ const STAGES: usize = 32;
 const XOR_N: usize = 10;
 const DEFAULT_CRPS: usize = 262_144;
 const REPS: usize = 3;
+/// Master seed of the throughput harness: instances and challenges are
+/// fixed so every run (and every kernel under test) sees the same work.
+const BENCH_EVAL_SEED: u64 = 0xE7A1;
 /// Explicit fan-out widths of the thread-scaling curve; the current
 /// `par::worker_count` width is measured as well and recorded as `t_all`.
 const CURVE_WIDTHS: [usize; 3] = [1, 2, 4];
@@ -117,7 +120,7 @@ fn main() {
         .filter(|&n: &usize| n > 0)
         .unwrap_or(DEFAULT_CRPS);
 
-    let mut rng = StdRng::seed_from_u64(0xE7A1);
+    let mut rng = StdRng::seed_from_u64(BENCH_EVAL_SEED);
     let arbiter = ArbiterPuf::random(STAGES, &mut rng);
     let xor = XorPuf::random(XOR_N, STAGES, &mut rng);
     let challenges: Vec<Challenge> = (0..crps)

@@ -45,6 +45,7 @@ fn main() {
     ];
     let mut outcomes: Vec<Vec<(usize, bool)>> = Vec::new();
     for (label, config) in &configs {
+        // puf-lint: allow(L7): both β regimes must enroll the *same* chip — the replay is the experiment's control
         let mut rng = StdRng::seed_from_u64(scale.seed);
         let mut chip = Chip::fabricate(0, &ChipConfig::paper_default(), &mut rng);
         let record = enroll(&chip, config, &mut rng).expect("enrollment failed");

@@ -26,6 +26,9 @@ pub struct Line {
     /// String literals *starting* on this line: `(char_column, contents)`.
     /// A multi-line literal is attributed to its opening line.
     pub strings: Vec<(usize, String)>,
+    /// The line's comment is a doc comment (`///` or `//!`). Doc text
+    /// *describes* annotations; it never carries one.
+    pub doc: bool,
 }
 
 impl Line {
@@ -73,7 +76,10 @@ pub fn lex(src: &str) -> Lexed {
     while i < chars.len() {
         let c = chars[i];
         if c == '\n' {
-            if state == State::LineComment {
+            // Line comments end at the newline; char literals cannot span
+            // lines, so an unterminated one (malformed input) must not
+            // swallow the rest of the file.
+            if state == State::LineComment || matches!(state, State::Char(_)) {
                 state = State::Code;
             }
             lines.push(std::mem::take(&mut cur));
@@ -91,6 +97,7 @@ pub fn lex(src: &str) -> Lexed {
                     // Skip doc-comment markers so `comment` starts at the
                     // text (`/// x` and `//! x` → ` x`).
                     while chars.get(i) == Some(&'/') || chars.get(i) == Some(&'!') {
+                        cur.doc = true;
                         cur.code.push(' ');
                         col += 1;
                         i += 1;
@@ -232,12 +239,20 @@ pub fn lex(src: &str) -> Lexed {
             }
             State::Char(escaped) => {
                 if escaped {
-                    // Consume a `\u{…}` payload wholesale.
+                    // Consume a `\u{…}` payload wholesale — but never past
+                    // the end of the line: a malformed escape must not
+                    // desync the per-line accounting.
                     if c == 'u' && chars.get(i + 1) == Some(&'{') {
-                        while i < chars.len() && chars[i] != '}' {
+                        while i < chars.len() && chars[i] != '}' && chars[i] != '\n' {
                             cur.code.push(' ');
                             col += 1;
                             i += 1;
+                        }
+                        if chars.get(i) != Some(&'}') {
+                            // Unterminated payload: hand the newline (or
+                            // EOF) back to the top of the loop.
+                            state = State::Char(false);
+                            continue;
                         }
                     }
                     state = State::Char(false);
@@ -362,5 +377,38 @@ mod tests {
         let l = lex("abc \"xy\" unsafe");
         let col = l.lines[0].code.find("unsafe").unwrap();
         assert_eq!(col, 9);
+    }
+
+    #[test]
+    fn unicode_escape_in_char_literal() {
+        let l = lex("let c = '\\u{1F600}'; let after = 1;");
+        assert!(l.lines[0].code.contains("let after = 1;"));
+        assert!(!l.lines[0].code.contains("1F600"));
+    }
+
+    #[test]
+    fn malformed_unicode_escape_does_not_swallow_lines() {
+        // An unterminated `\u{` payload must stop at the newline: the next
+        // line is real code again, at the right line number.
+        let l = lex("let c = '\\u{bad\nlet next = 2;\nlet third = 3;");
+        assert_eq!(l.lines.len(), 3);
+        assert!(l.lines[1].code.contains("let next = 2;"));
+        assert!(l.lines[2].code.contains("let third = 3;"));
+    }
+
+    #[test]
+    fn unterminated_char_literal_resets_at_newline() {
+        let l = lex("let c = '\\x\nunsafe { hit() }");
+        assert_eq!(l.lines.len(), 2);
+        assert!(l.lines[1].code.contains("unsafe"));
+    }
+
+    #[test]
+    fn doc_flag_distinguishes_doc_comments() {
+        let l = lex("/// doc\n//! inner doc\n// plain\nlet x = 1; // trailing");
+        assert!(l.lines[0].doc);
+        assert!(l.lines[1].doc);
+        assert!(!l.lines[2].doc);
+        assert!(!l.lines[3].doc);
     }
 }

@@ -11,6 +11,17 @@
 //! encodes those invariants as repo-specific lint rules over the workspace
 //! sources — zero external dependencies, like `puf-telemetry`.
 //!
+//! The analysis is layered. Each file is lexed ([`lexer`]) and parsed
+//! ([`parser`]) exactly once into a shared token stream and item table;
+//! the token-level rules (L0–L5) and the structural rules (L7 taint, L8
+//! casts) all read from that single pass. On top, a workspace pass builds
+//! the crate/symbol graph ([`symbols`]) from the `Cargo.toml` dependency
+//! edges and the `pub use` re-export table, powering the L6 layering and
+//! reach rules and the L9 telemetry-name registry. Findings — including
+//! suppressed ones and their justifications — serialize to a SARIF-like
+//! JSON report ([`report`]) that `scripts/check.sh` gates against the
+//! committed `results/LINT_baseline.json`.
+//!
 //! Two observatory subcommands ride alongside the linter: `cargo xtask
 //! bench-diff` ([`benchdiff`]) compares benchmark JSON outputs against the
 //! committed baselines and fails on per-metric regressions, and `cargo
@@ -22,12 +33,16 @@
 //!
 //! | id | rule |
 //! |----|------|
-//! | L0 | malformed `puf-lint` exemption annotation (missing reason / unknown rule id) |
+//! | L0 | malformed `puf-lint` exemption annotation (missing reason / unknown rule id), and *stale* annotations that no longer suppress anything |
 //! | L1 | every `unsafe` block/impl/fn must be justified by a `// SAFETY:` comment |
 //! | L2 | every crate root carries `#![deny(unsafe_code)]`; `allow(unsafe_code)` only at allowlisted sites |
 //! | L3 | nondeterminism ban in result-producing crates (`thread_rng`, `from_entropy`, `Instant::now`, `SystemTime`, `HashMap`/`HashSet`) |
 //! | L4 | no `unwrap`/`expect`/`panic!` family in library code of `core`/`ml`/`protocol`/`silicon` |
 //! | L5 | telemetry metric and trace-event names (incl. `trace_span!`/`trace_instant!`) are dotted lowercase `subsystem.verb[.detail]` at registration sites |
+//! | L6 | crate layering: `Cargo.toml` edges point strictly down the layer map, and result crates must not reach wall-clock/OS-entropy APIs through local re-exports |
+//! | L7 | determinism taint: RNG seeds in result crates trace to a named seed constant, the CLI `--seed`, or a derived lane — no literal or loop-invariant reseeding |
+//! | L8 | numeric-kernel safety: no truncating `as` casts or float-to-int conversions in the hot-path kernels without an annotated justification |
+//! | L9 | telemetry registry: every registered telemetry/trace name appears in `crates/xtask/registry/telemetry_names.txt`, and every registry entry is used |
 //!
 //! ## Exemptions
 //!
@@ -41,9 +56,13 @@
 //! The annotation goes on the offending line (trailing) or the line
 //! directly above; `allow-file(L3)` in the first 25 lines exempts a whole
 //! file. The reason after the second `:` is mandatory — a reasonless or
-//! unknown-rule annotation is itself a violation (L0). `#[cfg(test)]`
-//! items and `tests/`/`benches/`/`examples/`/`src/bin` paths are exempt
-//! from L3/L4 automatically.
+//! unknown-rule annotation is itself a violation (L0). Suppression is
+//! audited: an annotation that no longer suppresses any finding is flagged
+//! as stale (L0), so exemptions cannot outlive the code they excused.
+//! `#[cfg(test)]` items and `tests/`/`benches/`/`examples/`/`src/bin`
+//! paths are exempt from L3/L4/L7 automatically. The L6 layering findings
+//! (anchored in `Cargo.toml`) and the L9 registry-side findings are not
+//! suppressible — fix the edge or the registry instead.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,17 +71,29 @@
 pub mod benchdiff;
 pub mod json;
 pub mod lexer;
+pub mod parser;
+pub mod report;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 pub mod tracecheck;
 pub mod walk;
 
+pub use report::{Finding, LintReport};
+
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+/// The telemetry-name registry, relative to the workspace root. One name
+/// per line, sorted; `#` starts a comment. Regenerate with
+/// `cargo xtask lint --update-registry`.
+pub const REGISTRY_REL: &str = "crates/xtask/registry/telemetry_names.txt";
 
 /// Identifier of one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RuleId {
-    /// Malformed or unknown exemption annotation.
+    /// Malformed, unknown, or stale exemption annotation.
     L0,
     /// `unsafe` without a `// SAFETY:` justification.
     L1,
@@ -74,6 +105,14 @@ pub enum RuleId {
     L4,
     /// Telemetry name not dotted lowercase.
     L5,
+    /// Crate-layering violation or banned re-export reach.
+    L6,
+    /// Determinism taint: untraceable, literal, or loop-invariant RNG seed.
+    L7,
+    /// Unjustified truncating/float `as` cast in a numeric-kernel hot path.
+    L8,
+    /// Telemetry name missing from (or stale in) the registry.
+    L9,
 }
 
 impl RuleId {
@@ -86,10 +125,14 @@ impl RuleId {
             RuleId::L3 => "L3",
             RuleId::L4 => "L4",
             RuleId::L5 => "L5",
+            RuleId::L6 => "L6",
+            RuleId::L7 => "L7",
+            RuleId::L8 => "L8",
+            RuleId::L9 => "L9",
         }
     }
 
-    /// Parses `"L0"`‥`"L5"`.
+    /// Parses `"L0"`‥`"L9"`.
     pub fn parse(s: &str) -> Option<RuleId> {
         match s.trim() {
             "L0" => Some(RuleId::L0),
@@ -98,6 +141,10 @@ impl RuleId {
             "L3" => Some(RuleId::L3),
             "L4" => Some(RuleId::L4),
             "L5" => Some(RuleId::L5),
+            "L6" => Some(RuleId::L6),
+            "L7" => Some(RuleId::L7),
+            "L8" => Some(RuleId::L8),
+            "L9" => Some(RuleId::L9),
             _ => None,
         }
     }
@@ -136,29 +183,194 @@ impl fmt::Display for Diagnostic {
 ///
 /// The path determines rule scope (which crate the file belongs to, whether
 /// it is a crate root, a binary, or test code), so fixture tests can probe
-/// scoping by passing pretend paths.
+/// scoping by passing pretend paths. Runs the file-local rules (L0–L5, L7,
+/// L8) and the stale-suppression audit; the workspace rules (L6, L9) need
+/// the crate graph and run only in [`analyze_workspace`].
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
     rules::lint_source(rel_path, src)
 }
 
-/// Lints the whole workspace rooted at `root`; diagnostics are sorted by
-/// path and line. Emits `xtask.lint.*` telemetry.
+/// Lints the whole workspace rooted at `root`; unsuppressed diagnostics,
+/// sorted by path and line. Emits `xtask.lint.*` telemetry. The full
+/// finding set (including suppressed findings) is in [`analyze_workspace`].
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let report = analyze_workspace(root)?;
+    Ok(report.violations().map(Finding::diagnostic).collect())
+}
+
+/// Runs the full analysis over the workspace rooted at `root`: one shared
+/// lex+parse pass per file, the file-local rules (L0–L5, L7, L8), the
+/// workspace-graph rules (L6 layering and reach, L9 registry), and
+/// suppression resolution with the stale-annotation audit. Findings are
+/// sorted by `(path, line, rule)`. Emits `xtask.lint.*` telemetry with a
+/// span per phase.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<LintReport> {
     let _span = puf_telemetry::span!("xtask.lint.duration");
     let files = walk::workspace_sources(root)?;
     puf_telemetry::counter!("xtask.lint.files").add(files.len() as u64);
-    let mut diags = Vec::new();
-    for file in &files {
-        let src = match std::fs::read_to_string(file) {
-            Ok(s) => s,
-            Err(_) => continue, // non-UTF-8 or unreadable: not lintable source
-        };
-        let rel = rel_slash(root, file);
-        diags.extend(rules::lint_source(&rel, &src));
+
+    // Phase 1: lex + tokenize + parse each file exactly once.
+    let mut analyses = Vec::with_capacity(files.len());
+    {
+        let _p = puf_telemetry::span!("xtask.lint.parse");
+        for file in &files {
+            let src = match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(_) => continue, // non-UTF-8 or unreadable: not lintable source
+            };
+            let rel = rel_slash(root, file);
+            analyses.push(rules::FileAnalysis::parse(&rel, &src));
+        }
     }
-    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    puf_telemetry::counter!("xtask.lint.violations").add(diags.len() as u64);
-    Ok(diags)
+
+    // Phase 2: file-local rules over the shared pass.
+    {
+        let _p = puf_telemetry::span!("xtask.lint.rules");
+        for fa in &mut analyses {
+            fa.run_local_rules();
+        }
+    }
+
+    // Phase 3: workspace graph — L6 layering off the manifests, L6 reach
+    // through the re-export table, L9 registry diff. `direct` findings are
+    // anchored outside the analyzed sources (manifests, the registry) and
+    // are not suppressible; `extras[i]` joins file i's resolution so its
+    // annotations apply.
+    let mut direct: Vec<Diagnostic> = Vec::new();
+    let mut extras: BTreeMap<usize, Vec<Diagnostic>> = BTreeMap::new();
+    {
+        let _p = puf_telemetry::span!("xtask.lint.graph");
+        let mut graph = symbols::CrateGraph::from_manifests(root);
+        for fa in &analyses {
+            let ident = symbols::crate_of(&fa.rel)
+                .and_then(|short| graph.crates.iter().find(|c| c.short == short))
+                .map(|c| c.ident.clone());
+            if let Some(ident) = ident {
+                graph.record_reexports(&ident, &fa.items);
+            }
+        }
+        for (path, line, message) in graph.layering_violations() {
+            direct.push(Diagnostic {
+                rule: RuleId::L6,
+                path,
+                line,
+                message,
+            });
+        }
+        for (idx, fa) in analyses.iter().enumerate() {
+            if !fa.scope.in_l3 {
+                continue;
+            }
+            let mut out = Vec::new();
+            symbols::reach_violations(&graph, &fa.items.uses, &mut out);
+            for (line, message) in out {
+                extras.entry(idx).or_default().push(Diagnostic {
+                    rule: RuleId::L6,
+                    path: fa.rel.clone(),
+                    line,
+                    message,
+                });
+            }
+        }
+    }
+    registry_diff(root, &analyses, &mut direct, &mut extras);
+
+    // Phase 4: suppression resolution + stale audit, then merge and sort.
+    let mut findings: Vec<Finding> = Vec::new();
+    let files_scanned = analyses.len();
+    let mut telemetry_names: BTreeSet<String> = BTreeSet::new();
+    {
+        let _p = puf_telemetry::span!("xtask.lint.resolve");
+        for (idx, fa) in analyses.into_iter().enumerate() {
+            telemetry_names.extend(fa.telemetry_names.iter().map(|(_, n)| n.clone()));
+            findings.extend(fa.resolve(extras.remove(&idx).unwrap_or_default()));
+        }
+    }
+    findings.extend(direct.into_iter().map(Finding::violation));
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    let report = LintReport {
+        files: files_scanned,
+        findings,
+        telemetry_names: telemetry_names.into_iter().collect(),
+    };
+    puf_telemetry::counter!("xtask.lint.violations").add(report.violations().count() as u64);
+    Ok(report)
+}
+
+/// L9: diffs the telemetry names registered in the sources against the
+/// committed registry file. Missing-from-registry findings anchor at the
+/// name's first registration site (suppressible there); unused registry
+/// entries anchor at the registry line itself. A missing registry file
+/// with names in the tree yields one finding pointing at
+/// `--update-registry`; a missing registry with no names (scratch
+/// workspaces) is silent.
+fn registry_diff(
+    root: &Path,
+    analyses: &[rules::FileAnalysis],
+    direct: &mut Vec<Diagnostic>,
+    extras: &mut BTreeMap<usize, Vec<Diagnostic>>,
+) {
+    // First registration site of each distinct name, in walk order.
+    let mut first_site: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for (idx, fa) in analyses.iter().enumerate() {
+        for (line, name) in &fa.telemetry_names {
+            first_site.entry(name).or_insert((idx, *line));
+        }
+    }
+    let registry_text = std::fs::read_to_string(root.join(REGISTRY_REL)).ok();
+    let Some(text) = registry_text else {
+        if !first_site.is_empty() {
+            direct.push(Diagnostic {
+                rule: RuleId::L9,
+                path: REGISTRY_REL.to_string(),
+                line: 1,
+                message: format!(
+                    "telemetry name registry is missing but {} name(s) are \
+                     registered in the tree; run `cargo xtask lint \
+                     --update-registry` to generate it",
+                    first_site.len()
+                ),
+            });
+        }
+        return;
+    };
+    let mut registered: BTreeMap<&str, usize> = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let entry = line.trim();
+        if entry.is_empty() || entry.starts_with('#') {
+            continue;
+        }
+        registered.entry(entry).or_insert(idx + 1);
+    }
+    for (name, &(idx, line)) in &first_site {
+        if !registered.contains_key(name) {
+            extras.entry(idx).or_default().push(Diagnostic {
+                rule: RuleId::L9,
+                path: analyses[idx].rel.clone(),
+                line,
+                message: format!(
+                    "telemetry name `{name}` is not in the registry \
+                     ({REGISTRY_REL}); add it — or run `cargo xtask lint \
+                     --update-registry` — so dashboards and trace tooling \
+                     see a closed namespace"
+                ),
+            });
+        }
+    }
+    for (name, &line) in &registered {
+        if !first_site.contains_key(name) {
+            direct.push(Diagnostic {
+                rule: RuleId::L9,
+                path: REGISTRY_REL.to_string(),
+                line,
+                message: format!(
+                    "registry entry `{name}` matches no telemetry registration \
+                     site — remove it (or run `cargo xtask lint --update-registry`)"
+                ),
+            });
+        }
+    }
 }
 
 /// `file` relative to `root`, `/`-separated regardless of platform.

@@ -1,16 +1,22 @@
 //! `cargo xtask` — workspace automation. Three subcommands:
 //!
 //! ```text
-//! cargo xtask lint [--root PATH] [--quiet]
+//! cargo xtask lint [--root PATH] [--quiet] [--report FILE] [--baseline FILE] [--update-registry]
 //! cargo xtask bench-diff [--baseline DIR] [--current DIR] [--threshold F]
 //! cargo xtask trace-check FILE...
 //! ```
 //!
-//! `lint` runs the repo-specific static-analysis rules (L1–L5, see the
+//! `lint` runs the repo-specific static-analysis rules (L0–L9, see the
 //! crate docs and DESIGN.md §"Static analysis & verification") over every
 //! workspace source and exits non-zero if any violation is found.
-//! `scripts/check.sh` runs this before clippy, so the gate fails on any
-//! new violation.
+//! `--report` writes the full finding set — including suppressed findings
+//! and their justifications — as deterministic SARIF-like JSON;
+//! `--baseline` additionally gates the per-rule counts against a committed
+//! report (`results/LINT_baseline.json`), failing on any growth in
+//! violations *or suppressions* (exemption creep). `--update-registry`
+//! regenerates the telemetry-name registry from the tree before linting.
+//! `scripts/check.sh` runs the gated form before clippy, so the gate fails
+//! on any new violation.
 //!
 //! `bench-diff` is the benchmark regression observatory: it compares every
 //! `*.json` in the current directory tree against the committed baselines
@@ -48,7 +54,8 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: cargo xtask lint [--root PATH] [--quiet]\n       \
+        "usage: cargo xtask lint [--root PATH] [--quiet] [--report FILE] \
+         [--baseline FILE] [--update-registry]\n       \
          cargo xtask bench-diff [--baseline DIR] [--current DIR] [--threshold F] [--root PATH]\n       \
          cargo xtask trace-check FILE..."
     );
@@ -129,6 +136,19 @@ fn trace_check(args: &[String]) -> ExitCode {
         usage();
         return ExitCode::from(2);
     }
+    // When the workspace registry exists, hold exported trace names to it
+    // (rule L9): a trace emitted by the current binaries must not contain
+    // names the lint registry has never heard of.
+    let registry = find_workspace_root()
+        .map(|root| root.join(xtask::REGISTRY_REL))
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .map(|text| {
+            text.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string)
+                .collect::<std::collections::BTreeSet<_>>()
+        });
     let mut failed = false;
     for path in args {
         let text = match std::fs::read_to_string(path) {
@@ -140,10 +160,32 @@ fn trace_check(args: &[String]) -> ExitCode {
             }
         };
         match xtask::tracecheck::check_chrome_trace(&text) {
-            Ok(stats) => println!(
-                "{path}: ok — {} event(s), {} lane(s), max depth {}, {} clock",
-                stats.events, stats.lanes, stats.max_depth, stats.clock
-            ),
+            Ok(stats) => {
+                let unregistered: Vec<&str> = registry
+                    .as_ref()
+                    .map(|reg| {
+                        stats
+                            .names
+                            .iter()
+                            .map(String::as_str)
+                            .filter(|n| !reg.contains(*n))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if unregistered.is_empty() {
+                    println!(
+                        "{path}: ok — {} event(s), {} lane(s), max depth {}, {} clock",
+                        stats.events, stats.lanes, stats.max_depth, stats.clock
+                    );
+                } else {
+                    eprintln!(
+                        "{path}: INVALID — event name(s) not in {} (L9): {}",
+                        xtask::REGISTRY_REL,
+                        unregistered.join(", ")
+                    );
+                    failed = true;
+                }
+            }
             Err(e) => {
                 eprintln!("{path}: INVALID — {e}");
                 failed = true;
@@ -160,17 +202,28 @@ fn trace_check(args: &[String]) -> ExitCode {
 fn lint(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut report_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_registry = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--root" => match it.next() {
-                Some(p) => root = Some(PathBuf::from(p)),
+            flag @ ("--root" | "--report" | "--baseline") => match it.next() {
+                Some(p) => {
+                    let slot = match flag {
+                        "--root" => &mut root,
+                        "--report" => &mut report_path,
+                        _ => &mut baseline_path,
+                    };
+                    *slot = Some(PathBuf::from(p));
+                }
                 None => {
-                    eprintln!("--root requires a path");
+                    eprintln!("{flag} requires a path");
                     return ExitCode::from(2);
                 }
             },
             "--quiet" => quiet = true,
+            "--update-registry" => update_registry = true,
             other => {
                 eprintln!("unknown flag `{other}` for xtask lint");
                 usage();
@@ -192,32 +245,123 @@ fn lint(args: &[String]) -> ExitCode {
     {
         puf_telemetry::set_enabled(true);
     }
-    let diags = match xtask::lint_workspace(&root) {
-        Ok(d) => d,
+    let mut report = match xtask::analyze_workspace(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("xtask lint: failed to scan {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
+    if update_registry {
+        let registry = root.join(xtask::REGISTRY_REL);
+        if let Some(parent) = registry.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("xtask lint: cannot create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        let mut text = String::from(
+            "# Telemetry and trace-event name registry (lint rule L9).\n\
+             # Every name registered through the puf_telemetry macros must\n\
+             # appear here; regenerate with `cargo xtask lint --update-registry`.\n",
+        );
+        for name in &report.telemetry_names {
+            text.push_str(name);
+            text.push('\n');
+        }
+        if let Err(e) = std::fs::write(&registry, text) {
+            eprintln!("xtask lint: cannot write {}: {e}", registry.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask lint: wrote {} name(s) to {}",
+            report.telemetry_names.len(),
+            xtask::REGISTRY_REL
+        );
+        // Re-analyze so the findings reflect the fresh registry.
+        report = match xtask::analyze_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("xtask lint: failed to re-scan {}: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        };
+    }
     if puf_telemetry::enabled() {
         eprint!("{}", puf_telemetry::registry().render_table());
     }
+    if let Some(path) = &report_path {
+        let path = if path.is_absolute() {
+            path.clone()
+        } else {
+            root.join(path)
+        };
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("xtask lint: cannot write report {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failed = false;
+    let diags: Vec<_> = report.violations().collect();
     if diags.is_empty() {
         if !quiet {
             println!("xtask lint: workspace clean");
         }
-        return ExitCode::SUCCESS;
+    } else {
+        for d in &diags {
+            println!("{}", d.diagnostic());
+        }
+        eprintln!(
+            "xtask lint: {} violation{} (rules are documented in DESIGN.md; intended \
+             exceptions need `// puf-lint: allow(Lx): <reason>`)",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+        );
+        failed = true;
     }
-    for d in &diags {
-        println!("{d}");
+
+    if let Some(path) = &baseline_path {
+        let path = if path.is_absolute() {
+            path.clone()
+        } else {
+            root.join(path)
+        };
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match xtask::report::baseline_diff(&report, &text) {
+                Ok(diff) => {
+                    for note in &diff.notes {
+                        eprintln!("xtask lint: note: {note}");
+                    }
+                    for failure in &diff.failures {
+                        eprintln!("xtask lint: baseline gate: {failure}");
+                    }
+                    if !diff.ok() {
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("xtask lint: baseline gate: {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!(
+                    "xtask lint: baseline gate: cannot read {}: {e}",
+                    path.display()
+                );
+                failed = true;
+            }
+        }
     }
-    eprintln!(
-        "xtask lint: {} violation{} (rules are documented in DESIGN.md; intended \
-         exceptions need `// puf-lint: allow(Lx): <reason>`)",
-        diags.len(),
-        if diags.len() == 1 { "" } else { "s" },
-    );
-    ExitCode::FAILURE
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Walks upward from the current directory to the first `Cargo.toml`

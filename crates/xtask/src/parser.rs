@@ -1,0 +1,957 @@
+//! A token-tree parser layered on [`crate::lexer`]: turns the masked code
+//! of a lexed file into a flat token stream and extracts a per-file item
+//! table — `use` trees (flattened to leaf paths), functions with their
+//! parameter names, `const`/`static` items, `impl` blocks, module
+//! declarations, macro invocations, and loop spans with their bound
+//! pattern identifiers.
+//!
+//! The table is deliberately *approximate where it is cheap and exact
+//! where a rule depends on it*: spans are 1-based line numbers, brace
+//! matching is by depth counting over masked code (string/comment braces
+//! can never confuse it, because the lexer already blanked them), and
+//! nothing here panics on malformed input — unparseable constructs are
+//! simply absent from the table. The workspace symbol graph
+//! ([`crate::symbols`]) and the determinism-taint pass ([`crate::taint`])
+//! both consume this table; the rules in [`crate::rules`] use it for the
+//! L6 re-export reach and L7/L8 scoping.
+
+use crate::lexer::Lexed;
+
+/// One token of masked code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Identifier text, numeric literal text, or a single punctuation char.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 0-based character column.
+    pub col: usize,
+    /// Classification.
+    pub kind: TokKind,
+}
+
+/// Token classification — just enough for item extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer or float literal (starts with a digit).
+    Number,
+    /// Single punctuation character.
+    Punct,
+}
+
+impl Token {
+    fn is(&self, text: &str) -> bool {
+        self.text == text
+    }
+}
+
+/// One flattened leaf of a `use` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseDecl {
+    /// 1-based line of the `use` keyword.
+    pub line: usize,
+    /// Path segments, e.g. `["std", "time", "Instant"]`. A glob import
+    /// carries the segments up to the `*`.
+    pub path: Vec<String>,
+    /// `as` rename, if any.
+    pub alias: Option<String>,
+    /// Whether the declaration is `pub use` (a re-export).
+    pub is_pub: bool,
+    /// Whether this leaf is a glob (`::*`).
+    pub glob: bool,
+}
+
+impl UseDecl {
+    /// The name this import binds locally: the alias, or the last segment.
+    pub fn bound_name(&self) -> &str {
+        self.alias
+            .as_deref()
+            .or_else(|| self.path.last().map(String::as_str))
+            .unwrap_or("")
+    }
+
+    /// The path joined with `::`.
+    pub fn path_string(&self) -> String {
+        self.path.join("::")
+    }
+}
+
+/// A function item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based line of the closing brace (or of the `;` for bodyless fns).
+    pub end_line: usize,
+    /// Declared `pub` (any visibility restriction counts).
+    pub is_pub: bool,
+    /// Declared `unsafe`.
+    pub is_unsafe: bool,
+    /// Parameter pattern identifiers in order (`self` included as "self").
+    pub params: Vec<String>,
+}
+
+/// A `const` or `static` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstItem {
+    /// Item name.
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+    /// `static` rather than `const`.
+    pub is_static: bool,
+}
+
+/// An `impl` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImplItem {
+    /// The implemented type's last path segment (generics stripped).
+    pub type_name: String,
+    /// The trait's last path segment for `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `impl` keyword.
+    pub line: usize,
+    /// 1-based line of the closing brace.
+    pub end_line: usize,
+}
+
+/// A module declaration (`mod x;` or inline `mod x { … }`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModDecl {
+    /// Module name.
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Inline body (`{ … }`) rather than an out-of-line file.
+    pub inline: bool,
+    /// Declared `pub`.
+    pub is_pub: bool,
+}
+
+/// A macro invocation site (`name!(…)`, `name![…]`, `name! {…}`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroUse {
+    /// Macro name (last path segment).
+    pub name: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+/// An outer or inner attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrUse {
+    /// The attribute text between the brackets, tokens joined by spaces.
+    pub text: String,
+    /// 1-based line of the `#`.
+    pub line: usize,
+}
+
+/// A `for`/`while`/`loop` body span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopSpan {
+    /// 1-based line of the loop keyword.
+    pub line: usize,
+    /// 1-based line of the body's closing brace.
+    pub end_line: usize,
+    /// Pattern identifiers bound by a `for` head (empty for `while`/`loop`).
+    pub bindings: Vec<String>,
+}
+
+impl LoopSpan {
+    /// Whether 1-based `line` falls inside the loop body span.
+    pub fn contains(&self, line: usize) -> bool {
+        self.line <= line && line <= self.end_line
+    }
+}
+
+/// The per-file item table.
+#[derive(Debug, Default, Clone)]
+pub struct Items {
+    /// Flattened `use` leaves.
+    pub uses: Vec<UseDecl>,
+    /// Functions.
+    pub fns: Vec<FnItem>,
+    /// `const`/`static` items.
+    pub consts: Vec<ConstItem>,
+    /// `impl` blocks.
+    pub impls: Vec<ImplItem>,
+    /// Module declarations.
+    pub mods: Vec<ModDecl>,
+    /// Macro invocation sites.
+    pub macros: Vec<MacroUse>,
+    /// Attributes.
+    pub attrs: Vec<AttrUse>,
+    /// Loop body spans (for the determinism-taint pass).
+    pub loops: Vec<LoopSpan>,
+}
+
+/// Tokenizes the masked code of a lexed file. Multi-char operators are not
+/// glued — `::` is two `:` tokens; the parser handles that.
+pub fn tokenize(lexed: &Lexed) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let mut col = 0usize;
+        let chars: Vec<char> = line.code.chars().collect();
+        while col < chars.len() {
+            let c = chars[col];
+            if c.is_whitespace() {
+                col += 1;
+                continue;
+            }
+            if c.is_alphanumeric() || c == '_' {
+                let start = col;
+                while col < chars.len() && (chars[col].is_alphanumeric() || chars[col] == '_') {
+                    col += 1;
+                }
+                let text: String = chars[start..col].iter().collect();
+                let kind = if c.is_ascii_digit() {
+                    TokKind::Number
+                } else {
+                    TokKind::Ident
+                };
+                out.push(Token {
+                    text,
+                    line: lineno,
+                    col: start,
+                    kind,
+                });
+            } else {
+                out.push(Token {
+                    text: c.to_string(),
+                    line: lineno,
+                    col,
+                    kind: TokKind::Punct,
+                });
+                col += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the item table from a lexed file.
+pub fn parse_items(lexed: &Lexed) -> Items {
+    let toks = tokenize(lexed);
+    let mut items = Items::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Ident, "use") if statement_start(&toks, i) => {
+                i = parse_use(&toks, i, &mut items);
+            }
+            (TokKind::Ident, "fn") => {
+                i = parse_fn(&toks, i, &mut items);
+            }
+            (TokKind::Ident, "const" | "static") if item_position(&toks, i) => {
+                i = parse_const(&toks, i, &mut items);
+            }
+            (TokKind::Ident, "impl") if statement_start(&toks, i) => {
+                i = parse_impl(&toks, i, &mut items);
+            }
+            (TokKind::Ident, "mod") if statement_start(&toks, i) => {
+                i = parse_mod(&toks, i, &mut items);
+            }
+            (TokKind::Ident, "for") => {
+                i = parse_for(&toks, i, &mut items);
+            }
+            (TokKind::Ident, "while" | "loop") => {
+                i = parse_while_loop(&toks, i, &mut items);
+            }
+            (TokKind::Punct, "#") => {
+                i = parse_attr(&toks, i, &mut items);
+            }
+            (TokKind::Ident, _) => {
+                // Macro invocation: `ident !` followed by a delimiter.
+                if toks.get(i + 1).is_some_and(|n| n.is("!"))
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|n| matches!(n.text.as_str(), "(" | "[" | "{"))
+                {
+                    items.macros.push(MacroUse {
+                        name: t.text.clone(),
+                        line: t.line,
+                    });
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+/// Whether the token at `i` starts a statement/item: preceded by nothing,
+/// `;`, `{`, `}`, or an attribute close `]`, optionally with `pub(...)`
+/// visibility in between.
+fn statement_start(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    // Look back over `pub`, `pub(crate)`, `unsafe`, `async`, `const`.
+    while j > 0 {
+        let p = &toks[j - 1];
+        match p.text.as_str() {
+            "pub" | "unsafe" | "async" => j -= 1,
+            ")" => {
+                // Possibly `pub(crate)` / `pub(super)` — walk to the `(`.
+                let mut k = j - 1;
+                let mut ok = false;
+                while k > 0 {
+                    k -= 1;
+                    if toks[k].is("(") {
+                        ok = k > 0 && toks[k - 1].is("pub");
+                        break;
+                    }
+                    if j - k > 4 {
+                        break;
+                    }
+                }
+                if ok {
+                    j = k; // at the `(`; its `pub` is consumed next round
+                } else {
+                    return false;
+                }
+            }
+            _ => break,
+        }
+    }
+    if j == 0 {
+        return true;
+    }
+    matches!(toks[j - 1].text.as_str(), ";" | "{" | "}" | "]")
+}
+
+/// `const`/`static` in item position: the next-next token is `:` or the
+/// next token is an ident followed by `:` — rules out `const fn`, `const
+/// generics` (`const N: usize` inside `<…>` still matches, which is fine:
+/// a seed-ish const generic is as good as a const for the taint pass).
+fn item_position(toks: &[Token], i: usize) -> bool {
+    match (toks.get(i + 1), toks.get(i + 2)) {
+        (Some(name), Some(colon)) => name.kind == TokKind::Ident && colon.is(":"),
+        _ => false,
+    }
+}
+
+/// Advances past the balanced bracket opened at `toks[i]`; returns the
+/// index just after the close (or `toks.len()` if unbalanced).
+fn skip_balanced(toks: &[Token], i: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        if toks[j].is(open) {
+            depth += 1;
+        } else if toks[j].is(close) {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Advances past a balanced `<…>` generics list opened at `toks[i]`.
+/// Comparison operators can't appear in the positions we call this from
+/// (directly after a fn name or `impl`).
+fn skip_generics(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return j + 1;
+                }
+            }
+            "{" | ";" => return j, // malformed; bail before the body
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+fn parse_use(toks: &[Token], i: usize, items: &mut Items) -> usize {
+    let line = toks[i].line;
+    let is_pub = i > 0 && toks[i - 1].is("pub");
+    // Collect tokens to the terminating `;`.
+    let mut j = i + 1;
+    let start = j;
+    while j < toks.len() && !toks[j].is(";") {
+        j += 1;
+    }
+    let tree = &toks[start..j];
+    let mut leaves = Vec::new();
+    flatten_use_tree(tree, &mut Vec::new(), &mut leaves);
+    for (path, alias, glob) in leaves {
+        if !path.is_empty() {
+            items.uses.push(UseDecl {
+                line,
+                path,
+                alias,
+                is_pub,
+                glob,
+            });
+        }
+    }
+    j + 1
+}
+
+/// Recursively flattens a use tree (`a::b::{c, d as e, f::*}`) into
+/// `(path, alias, glob)` leaves.
+fn flatten_use_tree(
+    toks: &[Token],
+    prefix: &mut Vec<String>,
+    out: &mut Vec<(Vec<String>, Option<String>, bool)>,
+) {
+    let mut segs: Vec<String> = Vec::new();
+    let mut i = 0usize;
+    let flush = |segs: &mut Vec<String>,
+                 prefix: &[String],
+                 alias: Option<String>,
+                 glob: bool,
+                 out: &mut Vec<(Vec<String>, Option<String>, bool)>| {
+        if !segs.is_empty() || glob {
+            let mut path = prefix.to_vec();
+            path.append(segs);
+            out.push((path, alias, glob));
+        }
+    };
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            ":" => i += 1, // half of `::`
+            "," => {
+                flush(&mut segs, prefix, None, false, out);
+                i += 1;
+            }
+            "*" => {
+                flush(&mut segs, prefix, None, true, out);
+                segs.clear();
+                i += 1;
+            }
+            "as" => {
+                let alias = toks.get(i + 1).map(|a| a.text.clone());
+                flush(&mut segs, prefix, alias, false, out);
+                segs.clear();
+                i += 2;
+            }
+            "{" => {
+                let end = skip_balanced(toks, i, "{", "}");
+                let inner = &toks[i + 1..end.saturating_sub(1).max(i + 1)];
+                let saved = prefix.len();
+                prefix.append(&mut segs);
+                flatten_use_tree(inner, prefix, out);
+                prefix.truncate(saved);
+                i = end;
+            }
+            "}" => i += 1,
+            _ if t.kind != TokKind::Punct => {
+                segs.push(t.text.clone());
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    flush(&mut segs, prefix, None, false, out);
+}
+
+fn parse_fn(toks: &[Token], i: usize, items: &mut Items) -> usize {
+    let line = toks[i].line;
+    let mut is_pub = false;
+    let mut is_unsafe = false;
+    let mut back = i;
+    while back > 0 {
+        back -= 1;
+        match toks[back].text.as_str() {
+            "pub" => is_pub = true,
+            "unsafe" => is_unsafe = true,
+            "const" | "async" | "extern" | ")" | "(" | "crate" | "super" => {}
+            _ => break,
+        }
+    }
+    let Some(name_tok) = toks.get(i + 1) else {
+        return i + 1;
+    };
+    if name_tok.kind != TokKind::Ident {
+        return i + 1; // `fn` in a type position (fn pointers)
+    }
+    let name = name_tok.text.clone();
+    let mut j = i + 2;
+    if toks.get(j).is_some_and(|t| t.is("<")) {
+        j = skip_generics(toks, j);
+    }
+    let mut params = Vec::new();
+    if toks.get(j).is_some_and(|t| t.is("(")) {
+        let end = skip_balanced(toks, j, "(", ")");
+        params = param_names(&toks[j + 1..end.saturating_sub(1).max(j + 1)]);
+        j = end;
+    }
+    // Find the body `{` (skipping the return type and where clause) or a
+    // terminating `;` (trait method declarations).
+    let mut depth_angle = 0i64;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" => depth_angle += 1,
+            ">" => depth_angle -= 1,
+            ";" if depth_angle <= 0 => {
+                items.fns.push(FnItem {
+                    name,
+                    line,
+                    end_line: toks[j].line,
+                    is_pub,
+                    is_unsafe,
+                    params,
+                });
+                return j + 1;
+            }
+            "{" if depth_angle <= 0 => {
+                let end = skip_balanced(toks, j, "{", "}");
+                let end_line = toks
+                    .get(end.saturating_sub(1))
+                    .map(|t| t.line)
+                    .unwrap_or(line);
+                items.fns.push(FnItem {
+                    name,
+                    line,
+                    end_line,
+                    is_pub,
+                    is_unsafe,
+                    params,
+                });
+                return j + 1; // body re-scanned for nested items by caller? no — continue past
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parameter pattern identifiers: for each comma-separated parameter at
+/// paren depth 0, the identifiers before the `:` (skipping `mut`, `&`,
+/// lifetimes); a bare `self` receiver binds "self".
+fn param_names(toks: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut param: Vec<&Token> = Vec::new();
+    let flush = |param: &mut Vec<&Token>, out: &mut Vec<String>| {
+        let before_colon: Vec<&&Token> = param
+            .iter()
+            .take_while(|t| !t.is(":"))
+            .filter(|t| t.kind == TokKind::Ident && !matches!(t.text.as_str(), "mut" | "ref"))
+            .collect();
+        if let Some(t) = before_colon.last() {
+            out.push(t.text.clone());
+        }
+        param.clear();
+    };
+    for t in toks {
+        match t.text.as_str() {
+            "(" | "[" | "<" | "{" => {
+                depth += 1;
+                param.push(t);
+            }
+            ")" | "]" | ">" | "}" => {
+                depth -= 1;
+                param.push(t);
+            }
+            "," if depth == 0 => flush(&mut param, &mut out),
+            _ => param.push(t),
+        }
+    }
+    flush(&mut param, &mut out);
+    out
+}
+
+fn parse_const(toks: &[Token], i: usize, items: &mut Items) -> usize {
+    let is_static = toks[i].is("static");
+    let Some(name_tok) = toks.get(i + 1) else {
+        return i + 1;
+    };
+    // `static mut NAME` — step over `mut`.
+    let (name_tok, consumed) = if name_tok.is("mut") {
+        match toks.get(i + 2) {
+            Some(t) => (t, 3),
+            None => return i + 2,
+        }
+    } else {
+        (name_tok, 2)
+    };
+    if name_tok.kind == TokKind::Ident {
+        items.consts.push(ConstItem {
+            name: name_tok.text.clone(),
+            line: toks[i].line,
+            is_static,
+        });
+    }
+    i + consumed
+}
+
+fn parse_impl(toks: &[Token], i: usize, items: &mut Items) -> usize {
+    let line = toks[i].line;
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is("<")) {
+        j = skip_generics(toks, j);
+    }
+    // Collect path tokens until `for`, `{`, or `where`.
+    let mut first: Vec<String> = Vec::new();
+    let mut second: Vec<String> = Vec::new();
+    let mut cur = &mut first;
+    let mut saw_for = false;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.text.as_str() {
+            "for" => {
+                saw_for = true;
+                cur = &mut second;
+                j += 1;
+            }
+            "where" | "{" => break,
+            "<" => j = skip_generics(toks, j),
+            _ => {
+                if t.kind == TokKind::Ident {
+                    cur.push(t.text.clone());
+                }
+                j += 1;
+            }
+        }
+    }
+    let end = if toks.get(j).is_some_and(|t| t.is("{")) {
+        skip_balanced(toks, j, "{", "}")
+    } else {
+        let mut k = j;
+        while k < toks.len() && !toks[k].is("{") {
+            k += 1;
+        }
+        skip_balanced(toks, k, "{", "}")
+    };
+    let end_line = toks
+        .get(end.saturating_sub(1))
+        .map(|t| t.line)
+        .unwrap_or(line);
+    let (type_segs, trait_segs) = if saw_for {
+        (second, Some(first))
+    } else {
+        (first, None)
+    };
+    if let Some(type_name) = type_segs.last().cloned() {
+        items.impls.push(ImplItem {
+            type_name,
+            trait_name: trait_segs.and_then(|s| s.last().cloned()),
+            line,
+            end_line,
+        });
+    }
+    // Do not skip the body: nested fns/loops inside impls must be seen.
+    j + 1
+}
+
+fn parse_mod(toks: &[Token], i: usize, items: &mut Items) -> usize {
+    let is_pub = i > 0 && toks[i - 1].is("pub");
+    let Some(name_tok) = toks.get(i + 1) else {
+        return i + 1;
+    };
+    if name_tok.kind != TokKind::Ident {
+        return i + 1;
+    }
+    let inline = toks.get(i + 2).is_some_and(|t| t.is("{"));
+    items.mods.push(ModDecl {
+        name: name_tok.text.clone(),
+        line: toks[i].line,
+        inline,
+        is_pub,
+    });
+    i + 2
+}
+
+fn parse_attr(toks: &[Token], i: usize, items: &mut Items) -> usize {
+    // `#[...]` or `#![...]`.
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is("!")) {
+        j += 1;
+    }
+    if !toks.get(j).is_some_and(|t| t.is("[")) {
+        return i + 1;
+    }
+    let end = skip_balanced(toks, j, "[", "]");
+    let text = toks[j + 1..end.saturating_sub(1).max(j + 1)]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    items.attrs.push(AttrUse {
+        text,
+        line: toks[i].line,
+    });
+    end
+}
+
+fn parse_for(toks: &[Token], i: usize, items: &mut Items) -> usize {
+    // Distinguish a `for` loop from `impl T for U` / `for<'a>` bounds: a
+    // loop's head ends with `in` before the body brace.
+    let mut bindings = Vec::new();
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is("<")) {
+        return i + 1; // `for<'a>` higher-ranked bound
+    }
+    let mut saw_in = false;
+    while j < toks.len() && j - i < 32 {
+        let t = &toks[j];
+        if t.is("in") {
+            saw_in = true;
+            break;
+        }
+        if t.is("{") || t.is(";") {
+            break;
+        }
+        if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "mut" | "ref") {
+            bindings.push(t.text.clone());
+        }
+        j += 1;
+    }
+    if !saw_in {
+        return i + 1; // `impl … for Type {` — the impl parser owns this
+    }
+    // Body: first `{` after `in` at angle/paren depth 0.
+    let mut k = j + 1;
+    let mut depth = 0i64;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth <= 0 => break,
+            ";" if depth <= 0 => return k, // malformed
+            _ => {}
+        }
+        k += 1;
+    }
+    if k >= toks.len() {
+        return i + 1;
+    }
+    let end = skip_balanced(toks, k, "{", "}");
+    let end_line = toks
+        .get(end.saturating_sub(1))
+        .map(|t| t.line)
+        .unwrap_or(toks[i].line);
+    items.loops.push(LoopSpan {
+        line: toks[i].line,
+        end_line,
+        bindings,
+    });
+    // Do not skip the body: nested loops/items must be seen.
+    i + 1
+}
+
+fn parse_while_loop(toks: &[Token], i: usize, items: &mut Items) -> usize {
+    // `while cond {` / `loop {` — find the body brace at depth 0. `loop`
+    // may also appear as an identifier (e.g. a field); require the brace.
+    let mut k = i + 1;
+    let mut depth = 0i64;
+    while k < toks.len() && k - i < 256 {
+        match toks[k].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth <= 0 => break,
+            ";" if depth <= 0 => return i + 1,
+            _ => {}
+        }
+        k += 1;
+    }
+    if k >= toks.len() || !toks[k].is("{") {
+        return i + 1;
+    }
+    let end = skip_balanced(toks, k, "{", "}");
+    let end_line = toks
+        .get(end.saturating_sub(1))
+        .map(|t| t.line)
+        .unwrap_or(toks[i].line);
+    items.loops.push(LoopSpan {
+        line: toks[i].line,
+        end_line,
+        bindings: Vec::new(),
+    });
+    i + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(src: &str) -> Items {
+        parse_items(&lex(src))
+    }
+
+    #[test]
+    fn use_trees_flatten_to_leaves() {
+        let it = items("use std::time::{Instant, SystemTime as St};\npub use a::b::*;\nuse x::Y;");
+        let paths: Vec<(String, Option<&str>, bool, bool)> = it
+            .uses
+            .iter()
+            .map(|u| (u.path_string(), u.alias.as_deref(), u.is_pub, u.glob))
+            .collect();
+        assert_eq!(
+            paths,
+            vec![
+                ("std::time::Instant".into(), None, false, false),
+                ("std::time::SystemTime".into(), Some("St"), false, false),
+                ("a::b".into(), None, true, true),
+                ("x::Y".into(), None, false, false),
+            ]
+        );
+        assert_eq!(it.uses[1].bound_name(), "St");
+        assert_eq!(it.uses[0].line, 1);
+        assert_eq!(it.uses[2].line, 2);
+    }
+
+    #[test]
+    fn nested_use_groups() {
+        let it = items("use a::{b::{c, d}, e};");
+        let paths: Vec<String> = it.uses.iter().map(|u| u.path_string()).collect();
+        assert_eq!(paths, vec!["a::b::c", "a::b::d", "a::e"]);
+    }
+
+    #[test]
+    fn fn_items_with_params_and_span() {
+        let src = "\
+pub fn alpha(seed: u64, n: usize) -> u64 {
+    n as u64
+}
+unsafe fn beta(&self, x: &mut [f64]) {}
+fn gamma<T: Clone>(items: &[T]);
+";
+        let it = items(src);
+        assert_eq!(it.fns.len(), 3);
+        assert_eq!(it.fns[0].name, "alpha");
+        assert!(it.fns[0].is_pub && !it.fns[0].is_unsafe);
+        assert_eq!(it.fns[0].params, vec!["seed", "n"]);
+        assert_eq!((it.fns[0].line, it.fns[0].end_line), (1, 3));
+        assert!(it.fns[1].is_unsafe);
+        assert_eq!(it.fns[1].params, vec!["self", "x"]);
+        assert_eq!(it.fns[2].params, vec!["items"]);
+    }
+
+    #[test]
+    fn consts_statics_and_mods() {
+        let src = "\
+const BASE_SEED: u64 = 42;
+static COUNT: usize = 0;
+pub mod alpha;
+mod beta { const INNER: u8 = 1; }
+";
+        let it = items(src);
+        assert_eq!(it.consts.len(), 3);
+        assert_eq!(it.consts[0].name, "BASE_SEED");
+        assert!(!it.consts[0].is_static);
+        assert!(it.consts[1].is_static);
+        assert_eq!(it.consts[2].name, "INNER");
+        assert_eq!(it.mods.len(), 2);
+        assert!(it.mods[0].is_pub && !it.mods[0].inline);
+        assert!(!it.mods[1].is_pub && it.mods[1].inline);
+    }
+
+    #[test]
+    fn impls_and_macros() {
+        let src = "\
+impl Widget {
+    fn f(&self) {}
+}
+impl Clone for Widget { fn clone(&self) -> Self { todo!() } }
+fn g() { println!(\"x\"); my_macro![1, 2]; }
+";
+        let it = items(src);
+        assert_eq!(it.impls.len(), 2);
+        assert_eq!(it.impls[0].type_name, "Widget");
+        assert_eq!(it.impls[0].trait_name, None);
+        assert_eq!(it.impls[1].trait_name.as_deref(), Some("Clone"));
+        let names: Vec<&str> = it.macros.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"println"));
+        assert!(names.contains(&"my_macro"));
+        assert!(names.contains(&"todo"));
+    }
+
+    #[test]
+    fn loops_capture_bindings_and_spans() {
+        let src = "\
+fn f(xs: &[u64]) {
+    for (i, x) in xs.iter().enumerate() {
+        let _ = i + x;
+    }
+    while i < 10 {
+        step();
+    }
+    loop {
+        break;
+    }
+}
+";
+        let it = items(src);
+        assert_eq!(it.loops.len(), 3);
+        assert_eq!(it.loops[0].bindings, vec!["i", "x"]);
+        assert_eq!((it.loops[0].line, it.loops[0].end_line), (2, 4));
+        assert!(it.loops[1].bindings.is_empty());
+        assert_eq!((it.loops[2].line, it.loops[2].end_line), (8, 10));
+        assert!(it.loops[0].contains(3));
+        assert!(!it.loops[0].contains(5));
+    }
+
+    #[test]
+    fn impl_for_is_not_a_for_loop() {
+        let it = items("impl Iterator for Widget { fn next(&mut self) -> Option<u8> { None } }");
+        assert!(it.loops.is_empty());
+        assert_eq!(it.impls.len(), 1);
+    }
+
+    #[test]
+    fn attrs_are_collected() {
+        let src = "#![deny(unsafe_code)]\n#[cfg(test)]\nmod tests {}\n";
+        let it = items(src);
+        assert_eq!(it.attrs.len(), 2);
+        assert!(it.attrs[0].text.contains("deny"));
+        assert!(it.attrs[1].text.contains("cfg ( test )"));
+    }
+
+    #[test]
+    fn nested_items_inside_fns_are_seen() {
+        let src = "\
+fn outer(seed: u64) {
+    const LOCAL_SEED: u64 = 7;
+    for rep in 0..3 {
+        inner!(rep);
+    }
+}
+";
+        let it = items(src);
+        assert_eq!(it.consts[0].name, "LOCAL_SEED");
+        assert_eq!(it.loops.len(), 1);
+        assert_eq!(it.loops[0].bindings, vec!["rep"]);
+        assert_eq!(it.macros[0].name, "inner");
+    }
+
+    #[test]
+    fn malformed_input_does_not_panic() {
+        for src in [
+            "use ;",
+            "fn",
+            "fn (",
+            "impl",
+            "for x in",
+            "const",
+            "#[",
+            "use a::{b",
+            "fn f(x: (u8, u8)) {",
+        ] {
+            let _ = items(src);
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Machine-readable lint findings: the [`Finding`]/[`LintReport`] model,
+//! a SARIF-like JSON serialization (`cargo xtask lint --report`), and the
+//! baseline gate that `scripts/check.sh` uses to diff finding counts the
+//! same way `bench-diff` gates BENCH JSONs.
+//!
+//! Unlike a [`crate::Diagnostic`] — which only exists for *unsuppressed*
+//! violations — a [`Finding`] also records rule hits that an exemption
+//! annotation suppressed, together with the annotation's reason. That is
+//! what makes the report auditable: the committed baseline
+//! (`results/LINT_baseline.json`) pins the per-rule suppressed counts, so
+//! quietly adding an `allow(...)` annotation (exemption creep) fails the
+//! gate even though `cargo xtask lint` itself still exits zero.
+//!
+//! The JSON is fully deterministic — no timestamps, stable ordering — so
+//! two runs over the same tree produce byte-identical reports.
+
+use crate::json::{self, Value};
+use crate::{Diagnostic, RuleId};
+use std::collections::BTreeMap;
+
+/// Every rule id, in report order.
+pub const ALL_RULES: &[RuleId] = &[
+    RuleId::L0,
+    RuleId::L1,
+    RuleId::L2,
+    RuleId::L3,
+    RuleId::L4,
+    RuleId::L5,
+    RuleId::L6,
+    RuleId::L7,
+    RuleId::L8,
+    RuleId::L9,
+];
+
+/// One rule hit, suppressed or not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// An exemption annotation covers this hit.
+    pub suppressed: bool,
+    /// The annotation's stated reason, when suppressed.
+    pub justification: Option<String>,
+}
+
+impl Finding {
+    /// An unsuppressed finding from a diagnostic.
+    pub fn violation(d: Diagnostic) -> Finding {
+        Finding {
+            rule: d.rule,
+            path: d.path,
+            line: d.line,
+            message: d.message,
+            suppressed: false,
+            justification: None,
+        }
+    }
+
+    /// A finding suppressed by an annotation stating `reason`.
+    pub fn suppressed(d: Diagnostic, reason: &str) -> Finding {
+        Finding {
+            rule: d.rule,
+            path: d.path,
+            line: d.line,
+            message: d.message,
+            suppressed: true,
+            justification: Some(reason.to_string()),
+        }
+    }
+
+    /// The diagnostic view (drops suppression state).
+    pub fn diagnostic(&self) -> Diagnostic {
+        Diagnostic {
+            rule: self.rule,
+            path: self.path.clone(),
+            line: self.line,
+            message: self.message.clone(),
+        }
+    }
+}
+
+/// The full product of one workspace analysis pass.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Source files scanned.
+    pub files: usize,
+    /// All findings, sorted by `(path, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Every telemetry/trace name seen at a registration site, sorted and
+    /// deduplicated — the input to `--update-registry`.
+    pub telemetry_names: Vec<String>,
+}
+
+impl LintReport {
+    /// Unsuppressed findings — what fails the lint gate.
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.suppressed)
+    }
+
+    /// `(violations, suppressed)` per rule, for every rule id (zeroes
+    /// included, so the baseline diff sees a stable key set).
+    pub fn rule_counts(&self) -> BTreeMap<&'static str, (usize, usize)> {
+        let mut out: BTreeMap<&'static str, (usize, usize)> =
+            ALL_RULES.iter().map(|r| (r.as_str(), (0, 0))).collect();
+        for f in &self.findings {
+            let slot = out.entry(f.rule.as_str()).or_default();
+            if f.suppressed {
+                slot.1 += 1;
+            } else {
+                slot.0 += 1;
+            }
+        }
+        out
+    }
+
+    /// Serializes the report as deterministic SARIF-like JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096 + self.findings.len() * 160);
+        s.push_str("{\n  \"schema\": {\"tool\": \"puf-lint\", \"version\": 1, ");
+        s.push_str("\"rules\": \"L0-L9\"},\n");
+        let (viol, supp) =
+            self.findings
+                .iter()
+                .fold((0usize, 0usize), |(v, sp), f| match f.suppressed {
+                    false => (v + 1, sp),
+                    true => (v, sp + 1),
+                });
+        s.push_str(&format!(
+            "  \"summary\": {{\"files\": {}, \"violations\": {viol}, \"suppressed\": {supp},\n",
+            self.files
+        ));
+        s.push_str("    \"rules\": {");
+        let counts = self.rule_counts();
+        for (i, (rule, (v, sp))) in counts.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\"{rule}\": {{\"violations\": {v}, \"suppressed\": {sp}}}"
+            ));
+        }
+        s.push_str("}},\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            s.push_str(&format!(
+                "{{\"rule\": \"{}\", \"path\": {}, \"line\": {}, \"message\": {}, \
+                 \"suppressed\": {}",
+                f.rule,
+                esc(&f.path),
+                f.line,
+                esc(&f.message),
+                f.suppressed
+            ));
+            if let Some(j) = &f.justification {
+                s.push_str(&format!(", \"justification\": {}", esc(j)));
+            }
+            s.push('}');
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Outcome of diffing a report against the committed baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Hard failures: per-rule counts grew past the baseline.
+    pub failures: Vec<String>,
+    /// Advisories: counts shrank — the baseline should be refreshed.
+    pub notes: Vec<String>,
+}
+
+impl BaselineDiff {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Diffs `report` against a committed baseline report (JSON text as written
+/// by [`LintReport::to_json`]). The gate is one-sided, like `bench-diff`:
+/// any per-rule growth in violations *or suppressions* fails (a new
+/// exemption must be a conscious, committed baseline change); shrinkage is
+/// an advisory to refresh the baseline.
+pub fn baseline_diff(report: &LintReport, baseline_json: &str) -> Result<BaselineDiff, String> {
+    let root = json::parse(baseline_json).map_err(|e| format!("baseline unparseable: {e}"))?;
+    let rules = root
+        .get("summary")
+        .and_then(|s| s.get("rules"))
+        .ok_or("baseline has no `summary.rules` table")?;
+    let mut diff = BaselineDiff::default();
+    for (rule, (viol, supp)) in report.rule_counts() {
+        let base = rules.get(rule);
+        let base_viol = count_of(base, "violations");
+        let base_supp = count_of(base, "suppressed");
+        if viol > base_viol {
+            diff.failures.push(format!(
+                "{rule}: {viol} violation(s), baseline has {base_viol}"
+            ));
+        }
+        if supp > base_supp {
+            diff.failures.push(format!(
+                "{rule}: {supp} suppression(s), baseline allows {base_supp} — \
+                 new `allow(...)` exemptions must be committed to the baseline \
+                 (results/LINT_baseline.json) in the same change"
+            ));
+        }
+        if viol < base_viol || supp < base_supp {
+            diff.notes.push(format!(
+                "{rule}: counts shrank (now {viol}/{supp} vs baseline {base_viol}/{base_supp}) \
+                 — refresh the baseline to lock in the improvement"
+            ));
+        }
+    }
+    Ok(diff)
+}
+
+fn count_of(rule: Option<&Value>, key: &str) -> usize {
+    rule.and_then(|r| r.get(key))
+        .and_then(Value::as_f64)
+        .map(|v| v as usize)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: RuleId, suppressed: bool) -> Finding {
+        Finding {
+            rule,
+            path: "crates/core/src/x.rs".into(),
+            line: 3,
+            message: "msg with \"quotes\" and \\slash".into(),
+            suppressed,
+            justification: suppressed.then(|| "because".into()),
+        }
+    }
+
+    fn report(findings: Vec<Finding>) -> LintReport {
+        LintReport {
+            files: 2,
+            findings,
+            telemetry_names: vec!["a.b".into()],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_own_parser() {
+        let r = report(vec![finding(RuleId::L3, false), finding(RuleId::L4, true)]);
+        let text = r.to_json();
+        let v = json::parse(&text).expect("self-parse");
+        assert_eq!(
+            v.get("summary")
+                .and_then(|s| s.get("violations"))
+                .and_then(Value::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            v.get("summary")
+                .and_then(|s| s.get("suppressed"))
+                .and_then(Value::as_f64),
+            Some(1.0)
+        );
+        let f = v.get("findings").and_then(Value::as_array).unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(
+            f[0].get("message").and_then(Value::as_str),
+            Some("msg with \"quotes\" and \\slash")
+        );
+        assert_eq!(
+            f[1].get("justification").and_then(Value::as_str),
+            Some("because")
+        );
+        // All ten rules appear in the summary table.
+        for r in ALL_RULES {
+            assert!(
+                v.get("summary")
+                    .and_then(|s| s.get("rules"))
+                    .and_then(|t| t.get(r.as_str()))
+                    .is_some(),
+                "{r} missing from summary.rules"
+            );
+        }
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let r = report(vec![finding(RuleId::L1, false)]);
+        assert_eq!(r.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn baseline_gate_flags_growth_and_notes_shrinkage() {
+        let base = report(vec![finding(RuleId::L4, true)]).to_json();
+        // Same shape: passes.
+        let same = baseline_diff(&report(vec![finding(RuleId::L4, true)]), &base).unwrap();
+        assert!(same.ok(), "{:?}", same.failures);
+        assert!(same.notes.is_empty());
+        // One more suppression: exemption creep, fails.
+        let crept = baseline_diff(
+            &report(vec![finding(RuleId::L4, true), finding(RuleId::L4, true)]),
+            &base,
+        )
+        .unwrap();
+        assert!(!crept.ok());
+        assert!(crept.failures[0].contains("suppression"));
+        // A violation where the baseline has none: fails.
+        let broke = baseline_diff(&report(vec![finding(RuleId::L6, false)]), &base).unwrap();
+        assert!(!broke.ok());
+        // Fewer suppressions than baseline: passes with a refresh note.
+        let improved = baseline_diff(&report(vec![]), &base).unwrap();
+        assert!(improved.ok());
+        assert_eq!(improved.notes.len(), 1);
+        assert!(improved.notes[0].contains("refresh"));
+    }
+
+    #[test]
+    fn unparseable_baseline_is_an_error() {
+        assert!(baseline_diff(&report(vec![]), "not json").is_err());
+        assert!(baseline_diff(&report(vec![]), "{}").is_err());
+    }
+}

@@ -1,18 +1,32 @@
-//! The lint rules (L0–L5) over lexed sources.
+//! The lint rules over lexed and parsed sources.
 //!
-//! Every rule works on the masked `code` of a [`crate::lexer::Line`] —
-//! comments and string/char literals are already blanked out — so doc
-//! examples and message strings can never fire a rule, while comment text
-//! and literal contents remain available where a rule needs them
-//! (`// SAFETY:` for L1, metric names for L5, exemption annotations).
+//! Every token-level rule works on the masked `code` of a
+//! [`crate::lexer::Line`] — comments and string/char literals are already
+//! blanked out — so doc examples and message strings can never fire a
+//! rule, while comment text and literal contents remain available where a
+//! rule needs them (`// SAFETY:` for L1, metric names for L5, exemption
+//! annotations). The structural rules (L7 determinism taint, L8 numeric
+//! casts) additionally consume the shared token stream and item table of
+//! [`crate::parser`] — each file is lexed and parsed exactly once
+//! ([`FileAnalysis`]), and every rule reads from that single pass.
+//!
+//! Rules emit *candidates* unconditionally; suppression is resolved
+//! centrally ([`FileAnalysis::resolve`]) so that every exemption
+//! annotation's effect is observable: a suppressed candidate becomes a
+//! [`Finding`] carrying the annotation's reason, and an annotation that
+//! suppresses nothing at all is itself reported (the stale-suppression
+//! audit) — the workspace's 20+ exemptions cannot silently rot.
 
 use crate::lexer::{lex, Lexed};
-use crate::{Diagnostic, RuleId};
-use std::collections::{BTreeMap, BTreeSet};
+use crate::parser::{self, Items, TokKind, Token};
+use crate::report::Finding;
+use crate::{taint, Diagnostic, RuleId};
+use std::collections::BTreeSet;
 
 /// Crates whose outputs feed serialized results or figures: nondeterminism
-/// sources are banned here (rule L3).
-const RESULT_CRATES: &[&str] = &["core", "silicon", "ml", "protocol", "analysis", "bench"];
+/// sources are banned here (rules L3 and L7, and the L6 re-export reach).
+pub(crate) const RESULT_CRATES: &[&str] =
+    &["core", "silicon", "ml", "protocol", "analysis", "bench"];
 
 /// Crates whose `src/` is library code: panic paths are banned (rule L4).
 const LIB_CRATES: &[&str] = &["core", "ml", "protocol", "silicon"];
@@ -27,6 +41,17 @@ const L4_STRICT_FILES: &[&str] = &[
     "crates/protocol/src/session.rs",
 ];
 
+/// Numeric-kernel hot paths held to rule L8: no truncating `as` casts or
+/// float-to-int conversions without an annotated justification. These are
+/// the bit-exactness-critical kernels — a silent truncation here corrupts
+/// results without failing the equivalence proptests (which compare two
+/// runs of the same wrong kernel).
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/batch.rs",
+    "crates/core/src/bitslice.rs",
+    "crates/ml/src/gemm.rs",
+];
+
 /// The only places allowed to carry `allow(unsafe_code)`: the bench crate
 /// root (the `par` fan-out module) and the core crate root (the `bitslice`
 /// SIMD-intrinsic module, whose every `unsafe` site L1 holds to a SAFETY
@@ -39,17 +64,19 @@ const ALLOW_UNSAFE_SITES: &[(&str, &str)] = &[
 
 /// Where a file sits in the workspace, derived purely from its path.
 #[derive(Debug)]
-struct Scope {
+pub(crate) struct Scope {
     /// `Some("core")` for `crates/core/…`, `Some("xorpuf")` for `src/…`.
     crate_name: Option<String>,
     /// `src/lib.rs` of the root package or of any `crates/*` member.
     is_crate_root: bool,
-    /// Rule L3 applies (result-producing crate, non-test path).
-    in_l3: bool,
+    /// Rules L3/L7 apply, and L6 reach (result crate, non-test path).
+    pub(crate) in_l3: bool,
     /// Rule L4 applies (library source of a core crate).
     in_l4: bool,
     /// The strict L4 profile applies (see [`L4_STRICT_FILES`]).
     in_l4_strict: bool,
+    /// Rule L8 applies (see [`HOT_PATH_FILES`]).
+    in_l8: bool,
 }
 
 impl Scope {
@@ -71,25 +98,38 @@ impl Scope {
         let in_l4 =
             LIB_CRATES.contains(&name) && segs.get(2) == Some(&"src") && !test_path && !bin_path;
         let in_l4_strict = in_l4 && L4_STRICT_FILES.contains(&rel);
+        let in_l8 = HOT_PATH_FILES.contains(&rel);
         Scope {
             crate_name,
             is_crate_root,
             in_l3,
             in_l4,
             in_l4_strict,
+            in_l8,
         }
     }
+}
+
+/// One parsed `puf-lint` exemption annotation.
+#[derive(Debug)]
+struct AnnSite {
+    /// 1-based line the annotation sits on.
+    line: usize,
+    /// The rules it exempts.
+    rules: BTreeSet<RuleId>,
+    /// The mandatory reason after the second `:`.
+    reason: String,
+    /// `allow-file` (whole file) rather than `allow` (own + next line).
+    file_scope: bool,
 }
 
 /// Parsed `puf-lint` exemption annotations for one file.
 #[derive(Debug, Default)]
 struct Annotations {
-    /// Rules exempted for the whole file (`allow-file`, first 25 lines).
-    file_allow: BTreeSet<RuleId>,
-    /// Rules exempted per 1-based line (an annotation covers its own line
-    /// and the line below, so it can trail the code or sit above it).
-    line_allow: BTreeMap<usize, BTreeSet<RuleId>>,
-    /// L0 findings produced while parsing.
+    /// Well-formed annotation sites, in file order.
+    sites: Vec<AnnSite>,
+    /// L0 findings produced while parsing (malformed annotations are not
+    /// sites and suppress nothing).
     diags: Vec<Diagnostic>,
 }
 
@@ -98,6 +138,9 @@ impl Annotations {
         let mut ann = Annotations::default();
         for (idx, line) in lexed.lines.iter().enumerate() {
             let lineno = idx + 1;
+            if line.doc {
+                continue; // doc comments describe annotations, never carry them
+            }
             let Some(pos) = line.comment.find("puf-lint:") else {
                 continue;
             };
@@ -107,14 +150,11 @@ impl Annotations {
             } else if let Some(r) = rest.strip_prefix("allow(") {
                 (false, r)
             } else {
-                ann.diags.push(Diagnostic {
-                    rule: RuleId::L0,
-                    path: rel.to_string(),
-                    line: lineno,
-                    message: "malformed puf-lint annotation: expected \
-                              `allow(<rules>): <reason>` or `allow-file(<rules>): <reason>`"
-                        .to_string(),
-                });
+                ann.push_l0(
+                    rel,
+                    lineno,
+                    "expected `allow(<rules>): <reason>` or `allow-file(<rules>): <reason>`",
+                );
                 continue;
             };
             let Some(close) = rest.find(')') else {
@@ -147,16 +187,16 @@ impl Annotations {
             if bad || rules.is_empty() {
                 continue;
             }
-            if file_scope {
-                if lineno <= 25 {
-                    ann.file_allow.extend(rules);
-                } else {
-                    ann.push_l0(rel, lineno, "allow-file must appear in the first 25 lines");
-                }
-            } else {
-                ann.line_allow.entry(lineno).or_default().extend(&rules);
-                ann.line_allow.entry(lineno + 1).or_default().extend(&rules);
+            if file_scope && lineno > 25 {
+                ann.push_l0(rel, lineno, "allow-file must appear in the first 25 lines");
+                continue;
             }
+            ann.sites.push(AnnSite {
+                line: lineno,
+                rules,
+                reason: reason.to_string(),
+                file_scope,
+            });
         }
         ann
     }
@@ -170,12 +210,143 @@ impl Annotations {
         });
     }
 
-    fn allowed(&self, line: usize, rule: RuleId) -> bool {
-        self.file_allow.contains(&rule)
-            || self
-                .line_allow
-                .get(&line)
-                .is_some_and(|set| set.contains(&rule))
+    /// Index of the site that suppresses a `rule` hit at `line`, if any.
+    /// Line-scoped sites (covering their own line and the next) win over
+    /// file-scoped ones, so usage is attributed to the nearest annotation.
+    fn suppressor(&self, line: usize, rule: RuleId) -> Option<usize> {
+        self.sites
+            .iter()
+            .position(|s| {
+                !s.file_scope && s.rules.contains(&rule) && (s.line == line || s.line + 1 == line)
+            })
+            .or_else(|| {
+                self.sites
+                    .iter()
+                    .position(|s| s.file_scope && s.rules.contains(&rule))
+            })
+    }
+}
+
+/// One file, lexed and parsed exactly once; every rule (token-level and
+/// structural) reads from this shared single pass.
+#[derive(Debug)]
+pub(crate) struct FileAnalysis {
+    pub(crate) rel: String,
+    pub(crate) scope: Scope,
+    pub(crate) lexed: Lexed,
+    pub(crate) toks: Vec<Token>,
+    pub(crate) items: Items,
+    ann: Annotations,
+    test_lines: BTreeSet<usize>,
+    /// `(line, name)` at every telemetry/trace registration site — valid
+    /// or not — for the L9 registry diff.
+    pub(crate) telemetry_names: Vec<(usize, String)>,
+    /// Rule candidates accumulated before suppression resolution.
+    candidates: Vec<Diagnostic>,
+}
+
+impl FileAnalysis {
+    /// Lexes and parses one file (no rules yet).
+    pub(crate) fn parse(rel: &str, src: &str) -> FileAnalysis {
+        let lexed = lex(src);
+        let toks = parser::tokenize(&lexed);
+        let items = parser::parse_items(&lexed);
+        let ann = Annotations::parse(rel, &lexed);
+        let test_lines = test_region_lines(&lexed);
+        FileAnalysis {
+            rel: rel.to_string(),
+            scope: Scope::of(rel),
+            lexed,
+            toks,
+            items,
+            ann,
+            test_lines,
+            telemetry_names: Vec::new(),
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Runs every file-local rule, accumulating candidates.
+    pub(crate) fn run_local_rules(&mut self) {
+        let mut diags = std::mem::take(&mut self.candidates);
+        l1_unsafe_needs_safety(&self.rel, &self.lexed, &mut diags);
+        l2_deny_unsafe_code(&self.rel, &self.lexed, &self.scope, &mut diags);
+        if self.scope.in_l3 {
+            l3_nondeterminism(&self.rel, &self.lexed, &self.test_lines, &mut diags);
+        }
+        if self.scope.in_l4 {
+            l4_no_panics(&self.rel, &self.lexed, &self.test_lines, &mut diags);
+        }
+        if self.scope.in_l4_strict {
+            l4_strict_no_asserts(&self.rel, &self.lexed, &self.test_lines, &mut diags);
+        }
+        self.telemetry_names = l5_telemetry_names(&self.rel, &self.lexed, &mut diags);
+        if self.scope.in_l3 {
+            let mut taints = Vec::new();
+            taint::seed_taint(
+                &self.lexed,
+                &self.toks,
+                &self.items,
+                &self.test_lines,
+                &mut taints,
+            );
+            for (line, message) in taints {
+                diags.push(Diagnostic {
+                    rule: RuleId::L7,
+                    path: self.rel.clone(),
+                    line,
+                    message,
+                });
+            }
+        }
+        if self.scope.in_l8 {
+            l8_numeric_casts(&self.rel, &self.toks, &self.test_lines, &mut diags);
+        }
+        self.candidates = diags;
+    }
+
+    /// Resolves suppressions over the accumulated candidates plus the
+    /// workspace-level `extra` candidates anchored in this file (L6 reach,
+    /// L9 use sites), then runs the stale-suppression audit. Returns every
+    /// finding — suppressed and not — sorted by `(line, rule)`.
+    pub(crate) fn resolve(self, extra: Vec<Diagnostic>) -> Vec<Finding> {
+        let mut used = vec![false; self.ann.sites.len()];
+        let mut findings: Vec<Finding> = self
+            .ann
+            .diags
+            .iter()
+            .cloned()
+            .map(Finding::violation)
+            .collect();
+        for d in self.candidates.into_iter().chain(extra) {
+            match self.ann.suppressor(d.line, d.rule) {
+                Some(i) => {
+                    used[i] = true;
+                    findings.push(Finding::suppressed(d, &self.ann.sites[i].reason));
+                }
+                None => findings.push(Finding::violation(d)),
+            }
+        }
+        for (site, _) in self.ann.sites.iter().zip(&used).filter(|&(_, &used)| !used) {
+            let rules: Vec<&str> = site.rules.iter().map(|r| r.as_str()).collect();
+            let verb = if site.file_scope {
+                "allow-file"
+            } else {
+                "allow"
+            };
+            findings.push(Finding::violation(Diagnostic {
+                rule: RuleId::L0,
+                path: self.rel.clone(),
+                line: site.line,
+                message: format!(
+                    "stale suppression: `{verb}({})` no longer suppresses any \
+                     finding — remove the annotation",
+                    rules.join(",")
+                ),
+            }));
+        }
+        findings.sort_by_key(|f| (f.line, f.rule));
+        findings
     }
 }
 
@@ -244,29 +415,19 @@ fn has_word(code: &str, word: &str) -> bool {
     !word_positions(code, word).is_empty()
 }
 
-/// Lints one lexed file; see [`crate::lint_source`].
+/// Lints one file stand-alone; see [`crate::lint_source`]. Runs every
+/// file-local rule (L0–L5, L7, L8) plus the stale-suppression audit, and
+/// returns the unsuppressed findings. The workspace-level rules (L6
+/// layering/reach, L9 registry) need the crate graph and run only through
+/// [`crate::analyze_workspace`].
 pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
-    let lexed = lex(src);
-    let scope = Scope::of(rel);
-    let ann = Annotations::parse(rel, &lexed);
-    let test_lines = test_region_lines(&lexed);
-    let mut diags = ann.diags.clone();
-
-    l1_unsafe_needs_safety(rel, &lexed, &ann, &mut diags);
-    l2_deny_unsafe_code(rel, &lexed, &scope, &ann, &mut diags);
-    if scope.in_l3 {
-        l3_nondeterminism(rel, &lexed, &ann, &test_lines, &mut diags);
-    }
-    if scope.in_l4 {
-        l4_no_panics(rel, &lexed, &ann, &test_lines, &mut diags);
-    }
-    if scope.in_l4_strict {
-        l4_strict_no_asserts(rel, &lexed, &ann, &test_lines, &mut diags);
-    }
-    l5_telemetry_names(rel, &lexed, &ann, &mut diags);
-
-    diags.sort_by_key(|d| (d.line, d.rule));
-    diags
+    let mut fa = FileAnalysis::parse(rel, src);
+    fa.run_local_rules();
+    fa.resolve(Vec::new())
+        .into_iter()
+        .filter(|f| !f.suppressed)
+        .map(|f| f.diagnostic())
+        .collect()
 }
 
 fn comment_states_safety(comment: &str) -> bool {
@@ -281,15 +442,10 @@ fn comment_states_safety(comment: &str) -> bool {
 /// conventional `/// # Safety` doc section — the heading counts if it
 /// appears in the run above the declaration (SIMD kernels in
 /// `puf_core::bitslice` are the canonical sites).
-fn l1_unsafe_needs_safety(
-    rel: &str,
-    lexed: &Lexed,
-    ann: &Annotations,
-    diags: &mut Vec<Diagnostic>,
-) {
+fn l1_unsafe_needs_safety(rel: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
     for (idx, line) in lexed.lines.iter().enumerate() {
         let lineno = idx + 1;
-        if !has_word(&line.code, "unsafe") || ann.allowed(lineno, RuleId::L1) {
+        if !has_word(&line.code, "unsafe") {
             continue;
         }
         if has_safety_comment(lexed, idx) {
@@ -332,19 +488,13 @@ fn has_safety_comment(lexed: &Lexed, idx: usize) -> bool {
 
 /// L2: crate roots must carry `#![deny(unsafe_code)]`; `allow(unsafe_code)`
 /// is only legal at the allowlisted module-declaration sites.
-fn l2_deny_unsafe_code(
-    rel: &str,
-    lexed: &Lexed,
-    scope: &Scope,
-    ann: &Annotations,
-    diags: &mut Vec<Diagnostic>,
-) {
+fn l2_deny_unsafe_code(rel: &str, lexed: &Lexed, scope: &Scope, diags: &mut Vec<Diagnostic>) {
     if scope.is_crate_root {
         let has_deny = lexed
             .lines
             .iter()
             .any(|l| l.code.contains("#![deny(unsafe_code)]"));
-        if !has_deny && !ann.allowed(1, RuleId::L2) {
+        if !has_deny {
             diags.push(Diagnostic {
                 rule: RuleId::L2,
                 path: rel.to_string(),
@@ -358,7 +508,7 @@ fn l2_deny_unsafe_code(
     }
     for (idx, line) in lexed.lines.iter().enumerate() {
         let lineno = idx + 1;
-        if !line.code.contains("allow(unsafe_code)") || ann.allowed(lineno, RuleId::L2) {
+        if !line.code.contains("allow(unsafe_code)") {
             continue;
         }
         let site_ok = ALLOW_UNSAFE_SITES.iter().any(|&(path, anchor)| {
@@ -386,7 +536,6 @@ fn l2_deny_unsafe_code(
 fn l3_nondeterminism(
     rel: &str,
     lexed: &Lexed,
-    ann: &Annotations,
     test_lines: &BTreeSet<usize>,
     diags: &mut Vec<Diagnostic>,
 ) {
@@ -412,7 +561,7 @@ fn l3_nondeterminism(
     ];
     for (idx, line) in lexed.lines.iter().enumerate() {
         let lineno = idx + 1;
-        if test_lines.contains(&lineno) || ann.allowed(lineno, RuleId::L3) {
+        if test_lines.contains(&lineno) {
             continue;
         }
         for &(pat, why) in BANNED {
@@ -444,7 +593,6 @@ fn l3_nondeterminism(
 fn l4_no_panics(
     rel: &str,
     lexed: &Lexed,
-    ann: &Annotations,
     test_lines: &BTreeSet<usize>,
     diags: &mut Vec<Diagnostic>,
 ) {
@@ -452,7 +600,7 @@ fn l4_no_panics(
     const MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
     for (idx, line) in lexed.lines.iter().enumerate() {
         let lineno = idx + 1;
-        if test_lines.contains(&lineno) || ann.allowed(lineno, RuleId::L4) {
+        if test_lines.contains(&lineno) {
             continue;
         }
         for pat in SUBSTR {
@@ -493,7 +641,6 @@ fn l4_no_panics(
 fn l4_strict_no_asserts(
     rel: &str,
     lexed: &Lexed,
-    ann: &Annotations,
     test_lines: &BTreeSet<usize>,
     diags: &mut Vec<Diagnostic>,
 ) {
@@ -507,7 +654,7 @@ fn l4_strict_no_asserts(
     ];
     for (idx, line) in lexed.lines.iter().enumerate() {
         let lineno = idx + 1;
-        if test_lines.contains(&lineno) || ann.allowed(lineno, RuleId::L4) {
+        if test_lines.contains(&lineno) {
             continue;
         }
         for mac in MACROS {
@@ -533,8 +680,13 @@ fn l4_strict_no_asserts(
 /// L5: telemetry names registered through the `puf_telemetry` macros (and
 /// `Progress::start`) must be dotted lowercase `subsystem.verb[.detail]`.
 /// Structured trace events (`trace_span!` / `trace_instant!`) share the
-/// namespace and the rule.
-fn l5_telemetry_names(rel: &str, lexed: &Lexed, ann: &Annotations, diags: &mut Vec<Diagnostic>) {
+/// namespace and the rule. Returns every `(line, name)` found at a
+/// registration site — valid or not — for the L9 registry diff.
+fn l5_telemetry_names(
+    rel: &str,
+    lexed: &Lexed,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<(usize, String)> {
     const MARKERS: &[&str] = &[
         "counter!",
         "gauge!",
@@ -545,11 +697,9 @@ fn l5_telemetry_names(rel: &str, lexed: &Lexed, ann: &Annotations, diags: &mut V
         "trace_instant!",
         "Progress::start",
     ];
+    let mut names = Vec::new();
     for (idx, line) in lexed.lines.iter().enumerate() {
         let lineno = idx + 1;
-        if ann.allowed(lineno, RuleId::L5) {
-            continue;
-        }
         for marker in MARKERS {
             let word = marker.trim_end_matches('!');
             for pos in word_positions(&line.code, word) {
@@ -578,6 +728,7 @@ fn l5_telemetry_names(rel: &str, lexed: &Lexed, ann: &Annotations, diags: &mut V
                 let Some((_, name)) = name else {
                     continue; // dynamically built name: out of L5's reach
                 };
+                names.push((lineno, name.clone()));
                 if !is_valid_metric_name(name) {
                     diags.push(Diagnostic {
                         rule: RuleId::L5,
@@ -589,6 +740,75 @@ fn l5_telemetry_names(rel: &str, lexed: &Lexed, ann: &Annotations, diags: &mut V
                         ),
                     });
                 }
+            }
+        }
+    }
+    names
+}
+
+/// L8: numeric-kernel safety in the hot-path files. Two shapes are
+/// flagged, both of which silently corrupt bit-exactness when wrong:
+/// truncating `as` casts to a narrower integer (or `f32`), and
+/// float-to-int `as` conversions (evidenced by a float op or literal in
+/// the cast operand). A deliberate cast carries
+/// `// puf-lint: allow(L8): <why the range fits>`.
+fn l8_numeric_casts(
+    rel: &str,
+    toks: &[Token],
+    test_lines: &BTreeSet<usize>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+    const WIDE_INT: &[&str] = &["u64", "i64", "u128", "i128", "usize", "isize"];
+    const FLOAT_OPS: &[&str] = &["floor", "ceil", "round", "trunc"];
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "as" || test_lines.contains(&t.line) {
+            continue;
+        }
+        let Some(ty) = toks.get(i + 1) else { continue };
+        if ty.kind != TokKind::Ident {
+            continue; // `as *const T`, `as &…`
+        }
+        if NARROW.contains(&ty.text.as_str()) {
+            diags.push(Diagnostic {
+                rule: RuleId::L8,
+                path: rel.to_string(),
+                line: t.line,
+                message: format!(
+                    "truncating `as {}` cast in a numeric-kernel hot path: use a \
+                     checked/explicit conversion, or annotate why the value fits",
+                    ty.text
+                ),
+            });
+            continue;
+        }
+        if WIDE_INT.contains(&ty.text.as_str()) {
+            // Float evidence in the cast operand: scan back through the
+            // expression (bounded, stopping at a statement boundary).
+            let mut float_evidence = false;
+            for j in (i.saturating_sub(16)..i).rev() {
+                let p = &toks[j];
+                if matches!(p.text.as_str(), ";" | "{" | "}" | ",") {
+                    break;
+                }
+                if (p.kind == TokKind::Ident && FLOAT_OPS.contains(&p.text.as_str()))
+                    || (p.kind == TokKind::Number && p.text.contains('.'))
+                {
+                    float_evidence = true;
+                    break;
+                }
+            }
+            if float_evidence {
+                diags.push(Diagnostic {
+                    rule: RuleId::L8,
+                    path: rel.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "float-to-int `as {}` conversion in a numeric-kernel hot \
+                         path: rounding direction and range must be annotated",
+                        ty.text
+                    ),
+                });
             }
         }
     }
@@ -631,6 +851,11 @@ mod tests {
         assert!(Scope::of("crates/ml/src/lib.rs").is_crate_root);
         assert!(Scope::of("src/lib.rs").is_crate_root);
         assert!(!Scope::of("src/bin/xorpuf.rs").is_crate_root);
+        // L8 pins exactly the hot-path kernels.
+        assert!(Scope::of("crates/core/src/batch.rs").in_l8);
+        assert!(Scope::of("crates/core/src/bitslice.rs").in_l8);
+        assert!(Scope::of("crates/ml/src/gemm.rs").in_l8);
+        assert!(!Scope::of("crates/core/src/arbiter.rs").in_l8);
     }
 
     #[test]
@@ -850,15 +1075,138 @@ puf_telemetry::trace_instant!(\"badname\");
     }
 
     #[test]
+    fn l5_collects_names_for_the_registry() {
+        let mut fa = FileAnalysis::parse(
+            "crates/analysis/src/t.rs",
+            "puf_telemetry::counter!(\"a.b\").inc();\n\
+             puf_telemetry::trace_span!(\"c.d.e\");\n",
+        );
+        fa.run_local_rules();
+        let names: Vec<&str> = fa.telemetry_names.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.b", "c.d.e"]);
+    }
+
+    #[test]
+    fn l7_taint_fires_in_result_crates_only() {
+        let src = "fn f() { let rng = StdRng::seed_from_u64(42); }\n";
+        let diags = lint_source("crates/silicon/src/gen.rs", src);
+        assert_eq!(ids(&diags), vec![(RuleId::L7, 1)]);
+        assert!(diags[0].message.contains("literal seed"));
+        // Outside result crates, and in test paths: silent.
+        assert!(lint_source("crates/telemetry/src/gen.rs", src).is_empty());
+        assert!(lint_source("crates/silicon/tests/gen.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l7_honors_allow_annotations() {
+        let src = "\
+// puf-lint: allow(L7): fixed calibration replay, stream documented in DESIGN
+let rng = StdRng::seed_from_u64(42);
+";
+        assert!(lint_source("crates/silicon/src/gen.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l8_flags_truncating_and_float_casts_in_hot_paths_only() {
+        let src = "\
+pub fn kernel(x: u64, f: f64) -> u32 {
+    let a = x as u32;
+    let b = (f * 0.5).floor() as i64;
+    let c = x as u64;
+    let d = &a as *const u32;
+    (a as u64 + b as u64 + c + d as u64) as u32
+}
+";
+        let diags = lint_source("crates/core/src/batch.rs", src);
+        assert_eq!(
+            ids(&diags),
+            vec![(RuleId::L8, 2), (RuleId::L8, 3), (RuleId::L8, 6)]
+        );
+        assert!(diags[0].message.contains("truncating"));
+        assert!(diags[1].message.contains("float-to-int"));
+        // The same code outside the hot-path files is not L8's business.
+        assert!(lint_source("crates/core/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l8_ignores_use_renames_and_test_regions() {
+        let src = "\
+use std::fmt::Debug as Dbg;
+pub fn f(x: u64) -> u64 { x as u64 }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let _ = 3.5f64.floor() as u8; }
+}
+";
+        assert!(lint_source("crates/ml/src/gemm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l8_honors_allow_annotations() {
+        let src = "\
+pub fn f(x: u64) -> u32 {
+    // puf-lint: allow(L8): x is a popcount of a 64-bit word, always <= 64
+    x as u32
+}
+";
+        assert!(lint_source("crates/core/src/bitslice.rs", src).is_empty());
+    }
+
+    #[test]
     fn l0_flags_reasonless_or_unknown_annotations() {
         let src = "\
 // puf-lint: allow(L4)
 let x = 1;
-// puf-lint: allow(L9): not a rule
+// puf-lint: allow(L12): not a rule
 let y = 2;
 ";
         let diags = lint_source("crates/bench/src/x.rs", src);
         assert_eq!(ids(&diags), vec![(RuleId::L0, 1), (RuleId::L0, 3)]);
+    }
+
+    #[test]
+    fn stale_suppression_is_itself_a_finding() {
+        // The annotation is well-formed but suppresses nothing: audited.
+        let src = "\
+// puf-lint: allow(L4): nothing below panics anymore
+pub fn fine() -> u8 { 0 }
+";
+        let diags = lint_source("crates/ml/src/m.rs", src);
+        assert_eq!(ids(&diags), vec![(RuleId::L0, 1)]);
+        assert!(diags[0].message.contains("stale suppression"), "{diags:?}");
+        assert!(diags[0].message.contains("allow(L4)"));
+        // The same annotation with a live violation under it: used, silent.
+        let live = "\
+// puf-lint: allow(L4): invariant upheld by caller
+pub fn f(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        assert!(lint_source("crates/ml/src/m.rs", live).is_empty());
+    }
+
+    #[test]
+    fn stale_allow_file_is_audited_too() {
+        let src = "// puf-lint: allow-file(L3): used to hold a HashMap\npub fn f() {}\n";
+        let diags = lint_source("crates/bench/src/model.rs", src);
+        assert_eq!(ids(&diags), vec![(RuleId::L0, 1)]);
+        assert!(diags[0].message.contains("allow-file(L3)"));
+    }
+
+    #[test]
+    fn suppressed_findings_carry_the_justification() {
+        let src = "\
+// puf-lint: allow(L4): price of admission
+pub fn f(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        let mut fa = FileAnalysis::parse("crates/ml/src/m.rs", src);
+        fa.run_local_rules();
+        let findings = fa.resolve(Vec::new());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].suppressed);
+        assert_eq!(
+            findings[0].justification.as_deref(),
+            Some("price of admission")
+        );
     }
 
     #[test]

@@ -1,0 +1,519 @@
+//! The workspace symbol and module graph.
+//!
+//! Built from two sources: the `Cargo.toml` dependency edges of every
+//! workspace member (plus the root package), and the per-file item tables
+//! of [`crate::parser`] — in particular `pub use` re-exports, which let a
+//! crate launder another crate's (or `std`'s) symbol under a local name.
+//!
+//! Two rule families live on this graph:
+//!
+//! - **L6 layering (crate edges)**: every local dependency edge must point
+//!   strictly *down* the layer map ([`LAYERS`]) — `core` can never depend
+//!   on `protocol` or `bench`, and a new crate must be added to the map
+//!   before it can be depended on. Checked straight off `Cargo.toml`, so
+//!   the finding is anchored to the manifest line declaring the edge.
+//! - **L6 layering (re-export reach)**: result crates must not *reach*
+//!   wall-clock or OS-entropy APIs through local re-exports. A `use`
+//!   declaration in a result crate is resolved through the workspace
+//!   re-export table (transitively, bounded depth); if the terminal path
+//!   lands on a banned API ([`BANNED_REACH`]), the import is flagged even
+//!   though the token-level L3 rule cannot see through the rename.
+
+use crate::parser::{Items, UseDecl};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The layering map: a crate may only depend on crates with a strictly
+/// smaller layer number. `xorpuf` is the root package; `xtask` is
+/// tooling and sits at the top so it could observe everything (today it
+/// only uses `telemetry`).
+pub const LAYERS: &[(&str, u32)] = &[
+    ("telemetry", 0),
+    ("core", 1),
+    ("silicon", 2),
+    ("ml", 2),
+    ("analysis", 3),
+    ("protocol", 3),
+    ("bench", 4),
+    ("xorpuf", 5),
+    ("xtask", 5),
+];
+
+/// Terminal paths a result crate must not reach through re-exports:
+/// wall clocks, OS entropy, and unordered hash collections. A resolved
+/// `use` path matching one of these (exactly or as a prefix) is an L6
+/// violation at the importing line.
+pub const BANNED_REACH: &[(&str, &str)] = &[
+    ("std::time::Instant", "wall-clock read"),
+    ("std::time::SystemTime", "wall-clock read"),
+    ("std::collections::HashMap", "unordered iteration"),
+    ("std::collections::HashSet", "unordered iteration"),
+    ("rand::thread_rng", "ambient OS-seeded RNG"),
+    ("rand::rngs::ThreadRng", "ambient OS-seeded RNG"),
+    ("rand::rngs::OsRng", "OS entropy source"),
+];
+
+/// One dependency edge declared in a manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepEdge {
+    /// The dependency's package name as written (`puf-core`, `rand`).
+    pub package: String,
+    /// 1-based line in the manifest.
+    pub line: usize,
+    /// Declared under `[dev-dependencies]` (exempt from layering: tests
+    /// may look upward).
+    pub dev: bool,
+}
+
+/// One workspace crate (or the root package).
+#[derive(Debug, Clone)]
+pub struct CrateInfo {
+    /// Directory-derived short name: `core`, `ml`, … (`xorpuf` for the
+    /// root package).
+    pub short: String,
+    /// Package name from the manifest (`puf-core`).
+    pub package: String,
+    /// The `use`-path identifier (`puf_core`).
+    pub ident: String,
+    /// Manifest path relative to the workspace root, `/`-separated.
+    pub manifest_rel: String,
+    /// Dependency edges.
+    pub deps: Vec<DepEdge>,
+}
+
+/// The workspace crate graph plus the re-export table.
+#[derive(Debug, Default)]
+pub struct CrateGraph {
+    /// Crates, sorted by short name.
+    pub crates: Vec<CrateInfo>,
+    /// Re-export table: (crate ident, exported name) → full target path
+    /// as written at the `pub use` site.
+    pub reexports: BTreeMap<(String, String), String>,
+}
+
+impl CrateGraph {
+    /// Reads every workspace manifest under `root` (the root package and
+    /// `crates/*`). Missing or unreadable manifests are skipped — the
+    /// graph is best-effort; rules degrade to fewer findings, never to
+    /// false ones.
+    pub fn from_manifests(root: &Path) -> CrateGraph {
+        let mut crates = Vec::new();
+        if let Some(info) = read_manifest(root, Path::new("Cargo.toml"), "xorpuf") {
+            crates.push(info);
+        }
+        let crates_dir = root.join("crates");
+        let mut dirs: Vec<String> = match std::fs::read_dir(&crates_dir) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_type().map(|t| t.is_dir()).unwrap_or(false))
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        dirs.sort();
+        for dir in dirs {
+            let rel = format!("crates/{dir}/Cargo.toml");
+            if let Some(info) = read_manifest(root, Path::new(&rel), &dir) {
+                crates.push(info);
+            }
+        }
+        crates.sort_by(|a, b| a.short.cmp(&b.short));
+        CrateGraph {
+            crates,
+            reexports: BTreeMap::new(),
+        }
+    }
+
+    /// Registers the `pub use` re-exports of one analyzed file. `crate_ident`
+    /// is the owning crate's use-path identifier (`puf_core`).
+    pub fn record_reexports(&mut self, crate_ident: &str, items: &Items) {
+        for u in &items.uses {
+            if !u.is_pub || u.glob || u.path.is_empty() {
+                continue;
+            }
+            self.reexports.insert(
+                (crate_ident.to_string(), u.bound_name().to_string()),
+                u.path_string(),
+            );
+        }
+    }
+
+    /// The crate whose use-path identifier is `ident`.
+    pub fn by_ident(&self, ident: &str) -> Option<&CrateInfo> {
+        self.crates.iter().find(|c| c.ident == ident)
+    }
+
+    /// The layer of a crate short name, if mapped.
+    pub fn layer_of(short: &str) -> Option<u32> {
+        LAYERS
+            .iter()
+            .find(|&&(name, _)| name == short)
+            .map(|&(_, l)| l)
+    }
+
+    /// Resolves a `use` path through the workspace re-export table:
+    /// while the leading segment names a local crate and the next segment
+    /// is one of its root re-exports, substitute the re-export's target.
+    /// Returns the terminal path (joined with `::`). Depth-bounded so a
+    /// re-export cycle cannot hang the linter.
+    pub fn resolve(&self, path: &[String]) -> String {
+        let mut segs: Vec<String> = path.to_vec();
+        for _ in 0..8 {
+            let Some(first) = segs.first() else { break };
+            let Some(krate) = self.by_ident(first) else {
+                break;
+            };
+            let Some(second) = segs.get(1) else { break };
+            let key = (krate.ident.clone(), second.clone());
+            let Some(target) = self.reexports.get(&key) else {
+                break;
+            };
+            let mut next: Vec<String> = target.split("::").map(str::to_string).collect();
+            // `pub use crate::m::T` / `self::m::T`: anchor to the crate.
+            match next.first().map(String::as_str) {
+                Some("crate") | Some("self") => {
+                    next[0] = krate.ident.clone();
+                }
+                _ => {}
+            }
+            next.extend(segs.drain(2..));
+            if next == segs {
+                break;
+            }
+            segs = next;
+        }
+        segs.join("::")
+    }
+
+    /// Whether the resolved path hits a banned terminal; returns the
+    /// banned pattern and the reason.
+    pub fn banned_reach(&self, resolved: &str) -> Option<(&'static str, &'static str)> {
+        BANNED_REACH
+            .iter()
+            .find(|&&(pat, _)| resolved == pat || resolved.starts_with(&format!("{pat}::")))
+            .copied()
+    }
+
+    /// Layering check over the Cargo dependency edges. Returns
+    /// `(manifest_rel, line, message)` per violation.
+    pub fn layering_violations(&self) -> Vec<(String, usize, String)> {
+        let mut out = Vec::new();
+        let by_package: BTreeMap<&str, &CrateInfo> = self
+            .crates
+            .iter()
+            .map(|c| (c.package.as_str(), c))
+            .collect();
+        for c in &self.crates {
+            let Some(from_layer) = Self::layer_of(&c.short) else {
+                out.push((
+                    c.manifest_rel.clone(),
+                    1,
+                    format!(
+                        "crate `{}` is not in the layering map; add it to \
+                         LAYERS in crates/xtask/src/symbols.rs with a layer \
+                         that reflects what it may depend on",
+                        c.short
+                    ),
+                ));
+                continue;
+            };
+            for dep in &c.deps {
+                if dep.dev {
+                    continue; // tests may look upward
+                }
+                let Some(target) = by_package.get(dep.package.as_str()) else {
+                    continue; // external (vendored) dependency
+                };
+                let Some(to_layer) = Self::layer_of(&target.short) else {
+                    continue; // already reported on the target crate
+                };
+                if to_layer >= from_layer {
+                    out.push((
+                        c.manifest_rel.clone(),
+                        dep.line,
+                        format!(
+                            "layering violation: `{}` (layer {from_layer}) must not \
+                             depend on `{}` (layer {to_layer}); edges point strictly \
+                             down the layer map",
+                            c.short, target.short
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Checks one file's `use` declarations for banned re-export reach. Only
+/// *disguised* reach is this rule's business: imports laundered through a
+/// workspace re-export, or renamed at the import (`as`) — both defeat the
+/// token-level L3 scan. A plain direct `use std::time::Instant;` is left
+/// to L3, whose call-site findings carry the existing exemptions. The
+/// caller restricts this to result-crate non-test files.
+pub fn reach_violations(graph: &CrateGraph, uses: &[UseDecl], out: &mut Vec<(usize, String)>) {
+    for u in uses {
+        let resolved = graph.resolve(&u.path);
+        let disguised = u.path_string() != resolved || u.alias.is_some();
+        if !disguised {
+            continue;
+        }
+        if let Some((pat, why)) = graph.banned_reach(&resolved) {
+            out.push((
+                u.line,
+                format!(
+                    "import reaches `{pat}` ({why}) under the local name \
+                     `{}` (imported as `{}`): result crates must not reach \
+                     this API through re-exports or renames",
+                    u.bound_name(),
+                    u.path_string(),
+                ),
+            ));
+        }
+    }
+}
+
+/// Parses one manifest into a [`CrateInfo`]. Minimal TOML handling: only
+/// `[package] name` and the `[dependencies]` / `[dev-dependencies]`
+/// tables are read, which is all the workspace manifests use.
+fn read_manifest(root: &Path, rel: &Path, short: &str) -> Option<CrateInfo> {
+    let text = std::fs::read_to_string(root.join(rel)).ok()?;
+    let mut package = String::new();
+    let mut deps = Vec::new();
+    let mut section = String::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.starts_with('[') {
+            section = trimmed.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if section == "package" {
+            if let Some(rest) = trimmed.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(v) = rest.strip_prefix('=') {
+                    package = v.trim().trim_matches('"').to_string();
+                }
+            }
+        }
+        let dev = section == "dev-dependencies";
+        if section == "dependencies" || dev {
+            // `puf-core.workspace = true`, `rand = { … }`, `serde = { … }`.
+            let name: String = trimmed
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '-' || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                deps.push(DepEdge {
+                    package: name,
+                    line: lineno,
+                    dev,
+                });
+            }
+        }
+    }
+    if package.is_empty() {
+        package = short.to_string();
+    }
+    let ident = package.replace('-', "_");
+    Some(CrateInfo {
+        short: short.to_string(),
+        package,
+        ident,
+        manifest_rel: rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/"),
+        deps,
+    })
+}
+
+/// The crate short name a workspace-relative source path belongs to:
+/// `crates/core/…` → `core`, `src/…` → `xorpuf`.
+pub fn crate_of(rel: &str) -> Option<&str> {
+    let mut segs = rel.split('/');
+    match segs.next() {
+        Some("crates") => segs.next(),
+        Some("src") => Some("xorpuf"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+
+    fn graph_with(crates: Vec<CrateInfo>) -> CrateGraph {
+        CrateGraph {
+            crates,
+            reexports: BTreeMap::new(),
+        }
+    }
+
+    fn krate(short: &str, package: &str, deps: &[(&str, usize, bool)]) -> CrateInfo {
+        CrateInfo {
+            short: short.to_string(),
+            package: package.to_string(),
+            ident: package.replace('-', "_"),
+            manifest_rel: format!("crates/{short}/Cargo.toml"),
+            deps: deps
+                .iter()
+                .map(|&(p, line, dev)| DepEdge {
+                    package: p.to_string(),
+                    line,
+                    dev,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn downward_edges_are_clean() {
+        let g = graph_with(vec![
+            krate("core", "puf-core", &[("puf-telemetry", 10, false)]),
+            krate("telemetry", "puf-telemetry", &[]),
+            krate(
+                "protocol",
+                "puf-protocol",
+                &[("puf-core", 11, false), ("rand", 12, false)],
+            ),
+        ]);
+        assert!(g.layering_violations().is_empty());
+    }
+
+    #[test]
+    fn upward_edge_is_flagged_at_the_manifest_line() {
+        let g = graph_with(vec![
+            krate("core", "puf-core", &[("puf-protocol", 14, false)]),
+            krate("protocol", "puf-protocol", &[]),
+        ]);
+        let v = g.layering_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, "crates/core/Cargo.toml");
+        assert_eq!(v[0].1, 14);
+        assert!(v[0].2.contains("layering violation"));
+    }
+
+    #[test]
+    fn same_layer_edge_is_flagged_and_dev_deps_are_exempt() {
+        let g = graph_with(vec![
+            krate("ml", "puf-ml", &[("puf-silicon", 9, false)]),
+            krate("silicon", "puf-silicon", &[("puf-ml", 7, true)]),
+        ]);
+        let v = g.layering_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].0, "crates/ml/Cargo.toml");
+    }
+
+    #[test]
+    fn unmapped_crate_is_flagged_once() {
+        let g = graph_with(vec![krate("newcrate", "puf-newcrate", &[])]);
+        let v = g.layering_violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].2.contains("not in the layering map"));
+    }
+
+    #[test]
+    fn reexport_resolution_traces_to_std() {
+        let mut g = graph_with(vec![krate("telemetry", "puf-telemetry", &[])]);
+        let items = parse_items(&lex("pub use std::time::Instant as Tick;"));
+        g.record_reexports("puf_telemetry", &items);
+        let path: Vec<String> = ["puf_telemetry", "Tick"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(g.resolve(&path), "std::time::Instant");
+        assert!(g.banned_reach("std::time::Instant").is_some());
+        assert!(g.banned_reach("std::time::Duration").is_none());
+    }
+
+    #[test]
+    fn reexport_chains_and_crate_anchors() {
+        let mut g = graph_with(vec![
+            krate("telemetry", "puf-telemetry", &[]),
+            krate("core", "puf-core", &[]),
+        ]);
+        g.record_reexports(
+            "puf_telemetry",
+            &parse_items(&lex("pub use std::collections::HashMap as Map;")),
+        );
+        g.record_reexports(
+            "puf_core",
+            &parse_items(&lex("pub use puf_telemetry::Map as CoreMap;")),
+        );
+        let path: Vec<String> = ["puf_core", "CoreMap"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(g.resolve(&path), "std::collections::HashMap");
+    }
+
+    #[test]
+    fn reach_violations_flag_the_import_line() {
+        let mut g = graph_with(vec![krate("telemetry", "puf-telemetry", &[])]);
+        g.record_reexports(
+            "puf_telemetry",
+            &parse_items(&lex("pub use std::time::Instant as Tick;")),
+        );
+        let items = parse_items(&lex("use x::Y;\nuse puf_telemetry::Tick;"));
+        let mut out = Vec::new();
+        reach_violations(&g, &items.uses, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2);
+        assert!(out[0].1.contains("std::time::Instant"), "{}", out[0].1);
+    }
+
+    #[test]
+    fn direct_imports_are_l3_business_but_renames_are_flagged() {
+        let g = graph_with(vec![krate("bench", "puf-bench", &[])]);
+        // A plain direct import: L3 sees the call sites; L6 stays silent.
+        let direct = parse_items(&lex("use std::time::Instant;"));
+        let mut out = Vec::new();
+        reach_violations(&g, &direct.uses, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        // The same import renamed defeats L3's token scan: flagged.
+        let renamed = parse_items(&lex("use std::time::Instant as Clock;"));
+        reach_violations(&g, &renamed.uses, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].1.contains("`Clock`"), "{}", out[0].1);
+    }
+
+    #[test]
+    fn crate_of_paths() {
+        assert_eq!(crate_of("crates/core/src/lib.rs"), Some("core"));
+        assert_eq!(crate_of("src/bin/xorpuf.rs"), Some("xorpuf"));
+        assert_eq!(crate_of("tests/batch_equivalence.rs"), None);
+    }
+
+    #[test]
+    fn manifest_parsing_reads_real_shapes() {
+        let dir = std::env::temp_dir().join(format!("xtask-symbols-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("crates/demo")).unwrap();
+        std::fs::write(
+            dir.join("crates/demo/Cargo.toml"),
+            "[package]\nname = \"puf-demo\"\n\n[dependencies]\n\
+             puf-core.workspace = true\nrand = { path = \"../x\" }\n\n\
+             [dev-dependencies]\nproptest.workspace = true\n",
+        )
+        .unwrap();
+        let info = read_manifest(&dir, Path::new("crates/demo/Cargo.toml"), "demo").unwrap();
+        assert_eq!(info.package, "puf-demo");
+        assert_eq!(info.ident, "puf_demo");
+        let names: Vec<(&str, bool)> = info
+            .deps
+            .iter()
+            .map(|d| (d.package.as_str(), d.dev))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("puf-core", false), ("rand", false), ("proptest", true)]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,284 @@
+//! L7 — determinism taint for RNG seeds.
+//!
+//! The trillion-CRP replay (PR 7) is checkpoint-resumable only because
+//! every RNG stream in a result crate derives from one master seed: a
+//! named seed constant, the CLI `--seed`, or a splitmix64-derived lane.
+//! An RNG constructed from a stray literal, or re-seeded identically
+//! inside a loop, silently decorrelates (or worse, *correlates*) streams
+//! without failing any test — the bit-identity proptests compare two runs
+//! of the same wrong stream.
+//!
+//! The pass walks every RNG construction site (`seed_from_u64(…)`,
+//! `from_seed(…)`) in result-crate non-test code and classifies the seed
+//! expression:
+//!
+//! - **literal seed** — the argument is a bare numeric literal: flagged.
+//!   Named constants exist precisely so a seed has provenance and a grep
+//!   anchor; tests (`#[cfg(test)]`, `tests/` paths) are exempt, literal
+//!   seeds there are idiomatic.
+//! - **untraceable seed** — the argument mentions no seed-ish identifier
+//!   (no `seed`/`SEED`, `lane`, `splitmix`, `derive`, `mix`, `entropy`
+//!   fragment, no workspace seed constant): flagged.
+//! - **loop-invariant reseed** — the construction sits inside a loop and
+//!   the argument neither depends on any identifier bound by an enclosing
+//!   loop head nor calls a derivation function: every iteration replays
+//!   the same stream. Flagged; a deliberate replay earns an
+//!   `// puf-lint: allow(L7): <why>` annotation.
+
+use crate::lexer::Lexed;
+use crate::parser::{Items, TokKind, Token};
+use std::collections::BTreeSet;
+
+/// RNG construction entry points whose first argument is a seed.
+const SEED_SINKS: &[&str] = &["seed_from_u64", "from_seed"];
+
+/// Identifier fragments that mark a seed expression as traceable.
+const SEEDISH_FRAGMENTS: &[&str] = &["seed", "lane", "splitmix", "derive", "mix"];
+
+/// Function-call identifiers that count as lane derivations (a loop may
+/// re-seed through these: the call varies the stream).
+const DERIVE_CALLS: &[&str] = &["splitmix", "derive", "mix", "lane", "child"];
+
+/// One L7 finding: `(line, message)`.
+pub type TaintFinding = (usize, String);
+
+/// Runs the taint pass over one file's token stream and item table.
+/// `test_lines` are exempt (1-based); the caller restricts the pass to
+/// result-crate files.
+pub fn seed_taint(
+    lexed: &Lexed,
+    toks: &[Token],
+    items: &Items,
+    test_lines: &BTreeSet<usize>,
+    out: &mut Vec<TaintFinding>,
+) {
+    let _ = lexed;
+    let seed_consts: BTreeSet<&str> = items
+        .consts
+        .iter()
+        .filter(|c| c.name.to_ascii_lowercase().contains("seed"))
+        .map(|c| c.name.as_str())
+        .collect();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !SEED_SINKS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if toks.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue; // a mention, not a call (e.g. `use rand::SeedableRng`)
+        }
+        if test_lines.contains(&t.line) {
+            continue;
+        }
+        let arg_end = balanced_end(toks, i + 1);
+        let args = &toks[i + 2..arg_end];
+        if args.is_empty() {
+            continue;
+        }
+        classify(t.line, &t.text, args, items, &seed_consts, out);
+    }
+}
+
+/// Index of the token closing the paren opened at `toks[open]` (or
+/// `toks.len()`).
+fn balanced_end(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+fn classify(
+    line: usize,
+    sink: &str,
+    args: &[Token],
+    items: &Items,
+    seed_consts: &BTreeSet<&str>,
+    out: &mut Vec<TaintFinding>,
+) {
+    let idents: Vec<&Token> = args.iter().filter(|t| t.kind == TokKind::Ident).collect();
+    let numbers: Vec<&Token> = args.iter().filter(|t| t.kind == TokKind::Number).collect();
+
+    // Bare literal: only number tokens (allowing `u64` suffixes parsed as
+    // part of the number token and `_` separators inside it).
+    if idents.is_empty() && !numbers.is_empty() {
+        out.push((
+            line,
+            format!(
+                "literal seed in `{sink}({}…)`: seeds must trace to a named \
+                 seed constant, the CLI `--seed`, or a splitmix-derived lane",
+                numbers[0].text
+            ),
+        ));
+        return;
+    }
+
+    let seedish = |t: &Token| {
+        let lower = t.text.to_ascii_lowercase();
+        SEEDISH_FRAGMENTS.iter().any(|f| lower.contains(f)) || seed_consts.contains(t.text.as_str())
+    };
+    if !idents.iter().any(|t| seedish(t)) {
+        let shown: Vec<&str> = idents.iter().map(|t| t.text.as_str()).take(4).collect();
+        out.push((
+            line,
+            format!(
+                "untraceable seed in `{sink}({}…)`: no identifier in the seed \
+                 expression names a seed, lane, or derivation",
+                shown.join(" ")
+            ),
+        ));
+        return;
+    }
+
+    // Loop-invariant reseed: inside a loop, seed expression independent of
+    // every enclosing loop binding and free of derivation calls.
+    let enclosing: Vec<_> = items.loops.iter().filter(|l| l.contains(line)).collect();
+    if enclosing.is_empty() {
+        return;
+    }
+    let derives = idents.iter().any(|t| {
+        let lower = t.text.to_ascii_lowercase();
+        DERIVE_CALLS.iter().any(|f| {
+            lower.contains(f) && {
+                // Must actually be called, not just mentioned.
+                args.iter()
+                    .zip(args.iter().skip(1))
+                    .any(|(a, b)| a.text == t.text && b.text == "(")
+            }
+        })
+    });
+    if derives {
+        return;
+    }
+    let loop_bound: BTreeSet<&str> = enclosing
+        .iter()
+        .flat_map(|l| l.bindings.iter().map(String::as_str))
+        .collect();
+    let depends_on_loop = idents.iter().any(|t| loop_bound.contains(t.text.as_str()));
+    if !depends_on_loop {
+        out.push((
+            line,
+            format!(
+                "loop-invariant reseed in `{sink}(…)`: every iteration replays \
+                 the same stream; derive a per-iteration lane (splitmix) or \
+                 hoist the RNG out of the loop"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::{parse_items, tokenize};
+
+    fn findings(src: &str) -> Vec<(usize, String)> {
+        let lexed = lex(src);
+        let toks = tokenize(&lexed);
+        let items = parse_items(&lexed);
+        let mut out = Vec::new();
+        seed_taint(&lexed, &toks, &items, &BTreeSet::new(), &mut out);
+        out
+    }
+
+    #[test]
+    fn literal_seed_is_flagged() {
+        let out = findings("fn f() { let rng = StdRng::seed_from_u64(42); }");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].1.contains("literal seed"), "{}", out[0].1);
+        assert_eq!(out[0].0, 1);
+    }
+
+    #[test]
+    fn named_seed_param_is_clean() {
+        assert!(findings("fn f(seed: u64) { let rng = StdRng::seed_from_u64(seed); }").is_empty());
+        assert!(
+            findings("fn f(s: S) { let rng = StdRng::seed_from_u64(s.master_seed); }").is_empty()
+        );
+    }
+
+    #[test]
+    fn seed_constant_is_clean() {
+        let src = "\
+const CALIBRATION_SEED: u64 = 7;
+fn f() { let rng = StdRng::seed_from_u64(CALIBRATION_SEED); }
+";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn untraceable_expression_is_flagged() {
+        let out = findings("fn f(x: u64) { let rng = StdRng::seed_from_u64(x * 3 + index); }");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].1.contains("untraceable seed"), "{}", out[0].1);
+    }
+
+    #[test]
+    fn splitmix_lane_is_clean_even_in_loops() {
+        let src = "\
+fn f(seed: u64) {
+    for lane in 0..4 {
+        let rng = StdRng::seed_from_u64(splitmix64(seed, lane));
+    }
+}
+";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn loop_invariant_reseed_is_flagged() {
+        let src = "\
+fn f(base_seed: u64) {
+    for rep in 0..100 {
+        let rng = StdRng::seed_from_u64(base_seed);
+        run(rep, rng);
+    }
+}
+";
+        let out = findings(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].0, 3);
+        assert!(out[0].1.contains("loop-invariant reseed"), "{}", out[0].1);
+    }
+
+    #[test]
+    fn loop_dependent_seed_is_clean() {
+        let src = "\
+fn f(base_seed: u64) {
+    for rep in 0..100 {
+        let rng = StdRng::seed_from_u64(base_seed ^ rep);
+    }
+}
+";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "fn t() { let rng = StdRng::seed_from_u64(42); }";
+        let lexed = lex(src);
+        let toks = tokenize(&lexed);
+        let items = parse_items(&lexed);
+        let mut out = Vec::new();
+        let test_lines: BTreeSet<usize> = [1].into_iter().collect();
+        seed_taint(&lexed, &toks, &items, &test_lines, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mention_without_call_is_ignored() {
+        assert!(findings("use rand::SeedableRng; fn f() { let x = seed_from_u64; }").is_empty());
+    }
+}

@@ -14,7 +14,7 @@
 //!   (before the lane's first Begin), and nothing may be left open.
 
 use crate::json::{self, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Summary of a validated trace, for the gate's one-line report.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +27,8 @@ pub struct TraceStats {
     pub max_depth: usize,
     /// The `otherData.clock` tag (`tick` or `wall`).
     pub clock: String,
+    /// Distinct event names, for the L9 registry check.
+    pub names: BTreeSet<String>,
 }
 
 /// Validates one Chrome trace JSON document. Returns summary stats, or the
@@ -66,6 +68,7 @@ pub fn check_chrome_trace(doc: &str) -> Result<TraceStats, String> {
     }
     let mut lanes: BTreeMap<i64, Lane> = BTreeMap::new();
     let mut max_depth = 0usize;
+    let mut names = BTreeSet::new();
 
     for (i, event) in events.iter().enumerate() {
         let at = |what: &str| format!("traceEvents[{i}]: {what}");
@@ -78,6 +81,7 @@ pub fn check_chrome_trace(doc: &str) -> Result<TraceStats, String> {
                 "event name `{name}` violates the dotted-lowercase namespace rule (L5)"
             )));
         }
+        names.insert(name.to_string());
         let ph = event
             .get("ph")
             .and_then(Value::as_str)
@@ -154,6 +158,7 @@ pub fn check_chrome_trace(doc: &str) -> Result<TraceStats, String> {
         lanes: lanes.len(),
         max_depth,
         clock: clock.to_string(),
+        names,
     })
 }
 

@@ -26,11 +26,29 @@ fn plant(root: &Path, rel: &str, fixture: &str) {
     fs::copy(&src, &dst).expect("copy fixture into scratch workspace");
 }
 
+/// Writes the scratch workspace's telemetry registry (rule L9).
+fn plant_registry(root: &Path, names: &[&str]) {
+    let rel = Path::new(xtask::REGISTRY_REL);
+    let dst = root.join(rel);
+    fs::create_dir_all(dst.parent().expect("registry rel has a parent")).expect("registry dirs");
+    let mut text = String::from("# scratch registry\n");
+    for n in names {
+        text.push_str(n);
+        text.push('\n');
+    }
+    fs::write(&dst, text).expect("write scratch registry");
+}
+
 fn run_lint(root: &Path) -> (i32, String, String) {
+    run_lint_args(root, &[])
+}
+
+fn run_lint_args(root: &Path, extra: &[&str]) -> (i32, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
         .arg("lint")
         .arg("--root")
         .arg(root)
+        .args(extra)
         .output()
         .expect("spawn xtask binary");
     (
@@ -53,6 +71,9 @@ fn exits_nonzero_on_each_seeded_fixture() {
             "crates/bench/src/l0_annotations.rs",
             "[L0]",
         ),
+        ("l7_taint.rs", "crates/silicon/src/l7_taint.rs", "[L7]"),
+        ("l8_casts.rs", "crates/core/src/bitslice.rs", "[L8]"),
+        ("stale_allow.rs", "crates/ml/src/stale_allow.rs", "[L0]"),
     ];
     for (i, (fixture, rel, tag)) in cases.iter().enumerate() {
         let root = scratch_workspace(&format!("viol{i}"));
@@ -79,9 +100,90 @@ fn exits_nonzero_on_each_seeded_fixture() {
 fn exits_zero_on_a_clean_tree() {
     let root = scratch_workspace("clean");
     plant(&root, "crates/core/src/clean.rs", "clean.rs");
+    // clean.rs registers one telemetry name; the registry must carry it.
+    plant_registry(&root, &["core.fixture.count"]);
     let (code, stdout, _stderr) = run_lint(&root);
     assert_eq!(code, 0, "clean tree must pass:\n{stdout}");
     assert!(stdout.contains("workspace clean"), "{stdout}");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn l9_missing_registry_with_names_in_the_tree_fails() {
+    let root = scratch_workspace("l9-missing");
+    plant(&root, "crates/core/src/clean.rs", "clean.rs");
+    let (code, stdout, _stderr) = run_lint(&root);
+    assert_eq!(code, 1, "missing registry must fail:\n{stdout}");
+    assert!(stdout.contains("[L9]"), "{stdout}");
+    assert!(stdout.contains("--update-registry"), "{stdout}");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn l9_unused_registry_entry_fails() {
+    let root = scratch_workspace("l9-unused");
+    plant(&root, "crates/core/src/clean.rs", "clean.rs");
+    plant_registry(
+        &root,
+        &["core.fixture.count", "ghost.metric.never_registered"],
+    );
+    let (code, stdout, _stderr) = run_lint(&root);
+    assert_eq!(code, 1, "unused registry entry must fail:\n{stdout}");
+    assert!(stdout.contains("[L9]"), "{stdout}");
+    assert!(stdout.contains("ghost.metric.never_registered"), "{stdout}");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn update_registry_writes_the_file_and_makes_the_tree_clean() {
+    let root = scratch_workspace("l9-update");
+    plant(&root, "crates/core/src/clean.rs", "clean.rs");
+    let (code, stdout, _stderr) = run_lint_args(&root, &["--update-registry"]);
+    assert_eq!(code, 0, "regenerated registry must pass:\n{stdout}");
+    let written =
+        fs::read_to_string(root.join(xtask::REGISTRY_REL)).expect("registry written to disk");
+    assert!(written.contains("core.fixture.count"), "{written}");
+    // A plain re-run against the regenerated registry stays clean.
+    let (code, stdout, _stderr) = run_lint(&root);
+    assert_eq!(code, 0, "re-run against fresh registry:\n{stdout}");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn l6_upward_cargo_edge_fails_at_the_manifest_line() {
+    let root = scratch_workspace("l6-layering");
+    // `core` (layer 1) depending on `bench` (layer 4) points up the map.
+    fs::create_dir_all(root.join("crates/core")).unwrap();
+    fs::create_dir_all(root.join("crates/bench")).unwrap();
+    fs::write(
+        root.join("crates/core/Cargo.toml"),
+        "[package]\nname = \"puf-core\"\n\n[dependencies]\npuf-bench.workspace = true\n",
+    )
+    .unwrap();
+    fs::write(
+        root.join("crates/bench/Cargo.toml"),
+        "[package]\nname = \"puf-bench\"\n",
+    )
+    .unwrap();
+    let (code, stdout, _stderr) = run_lint(&root);
+    assert_eq!(code, 1, "upward dep edge must fail:\n{stdout}");
+    assert!(
+        stdout.contains("crates/core/Cargo.toml:5: [L6]"),
+        "violation pinned to the dependency line:\n{stdout}"
+    );
+    assert!(stdout.contains("layering violation"), "{stdout}");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn report_flag_writes_machine_readable_findings() {
+    let root = scratch_workspace("report");
+    plant(&root, "crates/protocol/src/l4_panics.rs", "l4_panics.rs");
+    let (code, _stdout, _stderr) = run_lint_args(&root, &["--report", "target/LINT.json"]);
+    assert_eq!(code, 1);
+    let json = fs::read_to_string(root.join("target/LINT.json")).expect("report written");
+    assert!(json.contains("\"rule\": \"L4\""), "{json}");
+    assert!(json.contains("crates/protocol/src/l4_panics.rs"), "{json}");
     fs::remove_dir_all(&root).ok();
 }
 

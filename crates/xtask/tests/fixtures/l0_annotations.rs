@@ -1,9 +1,9 @@
 // Fixture: L0 — exemption annotations must themselves be well-formed.
 // puf-lint: allow(L4)
 pub fn reasonless() {}
-// puf-lint: allow(L9): not a rule id
+// puf-lint: allow(L12): not a rule id
 pub fn unknown_rule() {}
 // puf-lint: deny(L3): wrong verb
 pub fn wrong_verb() {}
-// puf-lint: allow(L1): well-formed, and harmless without any unsafe below
-pub fn well_formed() {}
+// puf-lint: allow(L1): well-formed, but stale — no unsafe below to excuse
+pub fn well_formed_but_stale() {}

@@ -1,0 +1,52 @@
+// Fixture: L7 — determinism taint for RNG seeds in result crates.
+pub fn literal_seed() {
+    let _rng = StdRng::seed_from_u64(42);
+}
+
+pub fn untraceable(x: u64, index: u64) {
+    let _rng = StdRng::seed_from_u64(x * 3 + index);
+}
+
+pub fn loop_invariant(master_seed: u64) {
+    for rep in 0..100 {
+        let _rng = StdRng::seed_from_u64(master_seed);
+        let _ = rep;
+    }
+}
+
+// The traceable shapes, all clean:
+pub fn named_constant() {
+    const REPLAY_SEED: u64 = 7;
+    let _rng = StdRng::seed_from_u64(REPLAY_SEED);
+}
+
+pub fn cli_seed(seed: u64) {
+    let _rng = StdRng::seed_from_u64(seed);
+}
+
+pub fn derived_lane(seed: u64) {
+    for lane in 0..4u64 {
+        let _rng = StdRng::seed_from_u64(splitmix64(seed, lane));
+    }
+}
+
+pub fn loop_dependent(base_seed: u64) {
+    for rep in 0..100u64 {
+        let _rng = StdRng::seed_from_u64(base_seed ^ rep);
+    }
+}
+
+pub fn annotated_replay(calib_seed: u64) {
+    for _corner in 0..4 {
+        // puf-lint: allow(L7): fixture exercises a justified deliberate replay
+        let _rng = StdRng::seed_from_u64(calib_seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_hardcode_seeds() {
+        let _rng = StdRng::seed_from_u64(1234);
+    }
+}

@@ -1,0 +1,35 @@
+// Fixture: L8 — numeric-kernel cast safety in hot-path files.
+pub fn truncating(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn float_to_int(f: f64) -> i64 {
+    (f * 0.5).floor() as i64
+}
+
+pub fn widening_is_fine(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn pointer_casts_are_fine(x: &u32) -> u64 {
+    x as *const u32 as u64
+}
+
+pub fn annotated(x: u64) -> u32 {
+    // puf-lint: allow(L8): x is a popcount of one 64-bit word, always <= 64
+    x as u32
+}
+
+use std::fmt::Debug as Dbg;
+pub fn rename_is_not_a_cast<T: Dbg>(t: T) {
+    let _ = t;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_truncate() {
+        let _ = 300u64 as u8;
+        let _ = 3.7f64.floor() as u32;
+    }
+}

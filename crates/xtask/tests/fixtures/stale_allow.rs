@@ -1,0 +1,15 @@
+// Fixture: stale suppression — annotations must keep earning their place.
+// puf-lint: allow-file(L3): this file stopped using HashMap long ago
+pub fn no_nondeterminism_left() -> u8 {
+    7
+}
+
+// puf-lint: allow(L4): the unwrap that was here got refactored away
+pub fn no_panic_left(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+pub fn live_suppression(x: Option<u8>) -> u8 {
+    // puf-lint: allow(L4): this one is still earned — the invariant holds
+    x.unwrap()
+}

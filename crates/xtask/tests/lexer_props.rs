@@ -1,0 +1,129 @@
+//! Property tests for the lint lexer: arbitrary interleavings of code,
+//! comments, and every literal family (plain / raw / byte / raw-byte
+//! strings, char literals with escapes) — including *malformed* fragments
+//! — must preserve the per-line shape the rules depend on, and must never
+//! leak literal or comment contents into the masked code.
+
+use proptest::prelude::*;
+use xtask::lexer::lex;
+
+/// Fragments that may appear in any order, well-formed or not. Every
+/// literal/comment fragment carries the `unwrap(` payload, which the code
+/// fragments never contain — so its appearance in masked code is proof of
+/// a masking leak.
+const ATOMS: &[&str] = &[
+    // Plain code (payload-free).
+    "let x = 1;",
+    "fn g<'a>(y: &'a u64) -> u64 { *y }",
+    "a.b(c, d[0])",
+    "#[derive(Debug)]",
+    "match x { _ => 0 }",
+    "\n",
+    "\n\n",
+    // Well-formed literals and comments carrying the payload.
+    "\"unwrap()\"",
+    "\"esc \\\" unwrap()\"",
+    "r\"unwrap()\"",
+    "r#\"raw \"quoted\" unwrap()\"#",
+    "r##\"deep unwrap()\"##",
+    "b\"unwrap()\"",
+    "br#\"unwrap()\"#",
+    "\"multi\nline unwrap()\"",
+    "// unwrap()\n",
+    "/// unwrap()\n",
+    "/* unwrap() */",
+    "/* nested /* unwrap() */ still */",
+    "'\\u{7F}'",
+    "'\\n'",
+    "'q'",
+    // Malformed fragments: the lexer must stay line-synchronized anyway.
+    "\"unterminated unwrap()",
+    "r#\"open fence unwrap()",
+    "'\\u{bad\n",
+    "'\\x\n",
+    "/* unclosed unwrap()",
+];
+
+/// Indices of [`ATOMS`] that are well-formed *string* literals (each must
+/// produce exactly one captured string containing the payload).
+const STRING_ATOMS: &[usize] = &[7, 8, 9, 10, 11, 12, 13, 14];
+
+/// First malformed atom index: fragments from here on may swallow the
+/// rest of the input into a literal/comment, so the capture-count
+/// invariant only holds for sequences before this point.
+const FIRST_MALFORMED: usize = 22;
+
+fn source_of(picks: &[usize]) -> String {
+    let mut s = String::new();
+    for &p in picks {
+        s.push_str(ATOMS[p]);
+        s.push(' ');
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Masking is shape-preserving: the lexed line count equals the source
+    /// line count and every masked line has exactly as many chars as its
+    /// source line — even across multi-line literals, nested comments, and
+    /// malformed fragments. The rules anchor findings by (line, column),
+    /// so any drift here misplaces diagnostics.
+    #[test]
+    fn masking_preserves_line_shape(
+        picks in proptest::collection::vec(0usize..ATOMS.len(), 1..40),
+    ) {
+        let src = source_of(&picks);
+        let lexed = lex(&src);
+        let src_lines: Vec<&str> = src.split('\n').collect();
+        prop_assert_eq!(lexed.lines.len(), src_lines.len());
+        for (idx, (line, src_line)) in lexed.lines.iter().zip(&src_lines).enumerate() {
+            prop_assert_eq!(
+                line.code.chars().count(),
+                src_line.chars().count(),
+                "line {} shape drifted", idx + 1
+            );
+        }
+    }
+
+    /// Literal and comment contents never leak into masked code: the
+    /// payload marker, present in every literal/comment atom and absent
+    /// from every code atom, must not appear in any line's `code`. Holds
+    /// for well-formed input only — an unterminated `"` legitimately flips
+    /// quote parity for the rest of the file (the shape invariant above
+    /// still covers the malformed atoms).
+    #[test]
+    fn payloads_never_appear_in_masked_code(
+        picks in proptest::collection::vec(0usize..FIRST_MALFORMED, 1..40),
+    ) {
+        let lexed = lex(&source_of(&picks));
+        for (idx, line) in lexed.lines.iter().enumerate() {
+            prop_assert!(
+                !line.code.contains("unwrap"),
+                "payload leaked into masked code on line {}: {:?}",
+                idx + 1,
+                line.code
+            );
+        }
+    }
+
+    /// For well-formed sequences, every string atom is captured exactly
+    /// once, with its payload intact, and attributed to some line.
+    #[test]
+    fn well_formed_strings_are_captured_with_contents(
+        picks in proptest::collection::vec(0usize..FIRST_MALFORMED, 1..40),
+    ) {
+        let expected = picks.iter().filter(|p| STRING_ATOMS.contains(p)).count();
+        let lexed = lex(&source_of(&picks));
+        let captured: Vec<&String> = lexed
+            .lines
+            .iter()
+            .flat_map(|l| l.strings.iter().map(|(_, s)| s))
+            .collect();
+        prop_assert_eq!(captured.len(), expected);
+        for s in captured {
+            prop_assert!(s.contains("unwrap("), "captured string lost payload: {:?}", s);
+        }
+    }
+}

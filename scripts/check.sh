@@ -1,11 +1,23 @@
 #!/usr/bin/env bash
 # Full local gate: repo lint, formatting, clippy, and the tier-1 verify from
 # ROADMAP.md. Run from anywhere; everything executes at the repository root.
+#
+#   scripts/check.sh          the standard gate
+#   scripts/check.sh --full   additionally runs scripts/sanitize.sh
+#                             (miri/tsan/model-check over the unsafe region)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo xtask lint (repo-specific rules L0-L5, see DESIGN.md)"
-cargo xtask lint
+full=0
+if [ "${1:-}" = "--full" ]; then
+    full=1
+fi
+
+echo "==> cargo xtask lint (repo-specific rules L0-L9, see DESIGN.md)"
+# Gated against the committed baseline: any new violation, and any *growth*
+# in per-rule suppression counts (exemption creep), fails the build. The
+# machine-readable report lands in target/LINT.json for tooling.
+cargo xtask lint --report target/LINT.json --baseline results/LINT_baseline.json
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -35,5 +47,10 @@ cargo run -q --release -p puf-bench --bin trillion -- --smoke
 
 echo "==> bench-diff observatory: committed baselines parse and self-compare clean"
 cargo xtask bench-diff --baseline results --current results
+
+if [ "$full" -eq 1 ]; then
+    echo "==> --full: scripts/sanitize.sh (miri / tsan / model check)"
+    scripts/sanitize.sh
+fi
 
 echo "==> all checks passed"
