@@ -1,0 +1,307 @@
+//! Fleet-scale authentication server bench: sharded chip store +
+//! cross-session batched verification on the bit-sliced engine.
+//!
+//! Enrolls a synthetic fleet (100k chips in smoke, ~1M in full) into
+//! per-shard [`puf_protocol::AuthService`] stores, drives every active
+//! chip through fault-injected authentication sessions (response flips,
+//! lossy channels, random impostors → lockouts), and measures:
+//!
+//! * **auths/sec** — sessions decided per wall-clock second through the
+//!   batched event loop;
+//! * **p50/p99 verdict latency in ticks** — bounded at low load by the
+//!   flush policy (`flush_rows` full OR `flush_ticks` age);
+//! * **bytes per enrolled chip** — the compact sign-plane store;
+//! * **batched-vs-sequential speedup** — the same sessions replayed
+//!   scalar-at-a-time through `SessionManager` + `PoolSource`; the run
+//!   asserts ≥3× and bit-identical verdicts (`--no-gate` to disable);
+//! * **worker determinism** — the merged verdict stream is asserted
+//!   bit-identical across 1/2/4/8 workers.
+//!
+//! Run: `cargo run -p puf-bench --release --bin server`
+//! (`--smoke` runs the small fleet and writes
+//! `target/BENCH_server_smoke.json`; `--seed N`, `--out PATH` override
+//! defaults; `--trace[=PATH]` records a deterministic tick-clock trace of
+//! the enqueue→flush→verdict pipeline; `--no-gate` skips the speedup
+//! assertion)
+
+use puf_bench::fleet::{
+    build_fleet, build_universe, run_batched, run_sequential, serve_fleet, FleetConfig,
+};
+use puf_protocol::{ProtocolError, SessionOutcome};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[((sorted.len() - 1) as u64 * pct / 100) as usize]
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut seed: u64 = 2017;
+    let mut out: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut gate = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.trim().parse().ok())
+                    .expect("--seed takes an integer");
+            }
+            "--out" => out = Some(args.next().expect("--out takes a path")),
+            "--no-gate" => gate = false,
+            "--trace" => trace = Some("target/BENCH_server_trace.json".to_string()),
+            other if other.starts_with("--trace=") => {
+                trace = Some(other["--trace=".len()..].to_string());
+            }
+            other => panic!(
+                "unknown argument {other} (expected --smoke / --seed N / --out PATH / --trace[=PATH] / --no-gate)"
+            ),
+        }
+    }
+    if trace.is_some() {
+        let tracer = puf_telemetry::tracer();
+        tracer.set_clock(puf_telemetry::TraceClock::Tick);
+        tracer.set_lane_capacity(1 << 22);
+        tracer.set_enabled(true);
+    }
+    let out_path = out.unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_server_smoke.json".to_string()
+        } else {
+            "results/BENCH_server.json".to_string()
+        }
+    });
+    let config = if smoke {
+        FleetConfig::smoke(seed)
+    } else {
+        FleetConfig::full(seed)
+    };
+    // Sequential scalar replay is orders of magnitude slower; time it on a
+    // bounded session prefix and compare per-session rates.
+    let sequential_limit = if smoke {
+        config.total_sessions()
+    } else {
+        config.total_sessions().min(4_000)
+    };
+
+    println!("Fleet authentication service bench — sharded store + batched verification");
+    println!(
+        "seed {seed}, {} enrolled chips, {} active × {} sessions, universe {}, {} shards{}",
+        config.enrolled_chips,
+        config.active_chips,
+        config.sessions_per_chip,
+        config.universe,
+        config.shards,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let universe = build_universe(&config);
+
+    // Enrollment: build every shard's compact store (timed separately —
+    // it is one-time capital, not per-session serving cost).
+    // puf-lint: allow(L3): this binary measures throughput; timing is its output by design
+    let started = Instant::now();
+    let services = build_fleet(&config, &universe, 1);
+    let enroll_secs = started.elapsed().as_secs_f64();
+    let enrolls_per_sec = f64::from(config.enrolled_chips) / enroll_secs;
+    println!(
+        "enrolled {} chips in {enroll_secs:.2} s ({enrolls_per_sec:.0} chips/sec)",
+        config.enrolled_chips
+    );
+
+    // The measured serving run: every shard's event loop on one worker.
+    // puf-lint: allow(L3): this binary measures throughput; timing is its output by design
+    let started = Instant::now();
+    let batched = serve_fleet(&config, services, 1);
+    let batched_secs = started.elapsed().as_secs_f64();
+    let stats = batched.stats();
+    assert_eq!(stats.decided, config.total_sessions(), "sessions lost");
+
+    let latencies = batched.latencies();
+    let p50 = percentile(&latencies, 50);
+    let p99 = percentile(&latencies, 99);
+    let auths_per_sec = stats.decided as f64 / batched_secs;
+    let bytes_per_chip = batched.stored_bytes() as f64 / batched.enrolled().max(1) as f64;
+    let warm_bytes_per_chip = batched.warm_bytes() as f64 / stats.warm_chips.max(1) as f64;
+
+    // Outcome census.
+    let reports = batched.reports();
+    let (mut accepted, mut degraded, mut rejected, mut locked_out) = (0u64, 0u64, 0u64, 0u64);
+    let (mut lockout_errors, mut other_errors) = (0u64, 0u64);
+    for report in reports.values() {
+        match report {
+            Ok(r) => match r.outcome {
+                SessionOutcome::Accepted => accepted += 1,
+                SessionOutcome::Degraded => degraded += 1,
+                SessionOutcome::Rejected => rejected += 1,
+                SessionOutcome::LockedOut => locked_out += 1,
+            },
+            Err(ProtocolError::ChipLockedOut { .. }) => lockout_errors += 1,
+            Err(_) => other_errors += 1,
+        }
+    }
+    assert_eq!(
+        other_errors, 0,
+        "unexpected session errors in the fleet run"
+    );
+
+    // Sequential scalar replay of the comparison prefix.
+    // puf-lint: allow(L3): this binary measures throughput; timing is its output by design
+    let started = Instant::now();
+    let sequential = run_sequential(&config, &universe, sequential_limit);
+    let sequential_secs = started.elapsed().as_secs_f64();
+    let sequential_per_sec = sequential.len() as f64 / sequential_secs;
+    for (uid, report) in &sequential {
+        assert_eq!(
+            reports[uid], report,
+            "session uid {uid} diverged between batched and sequential"
+        );
+    }
+    let speedup = auths_per_sec / sequential_per_sec;
+
+    // Worker determinism: the merged verdict stream must not move.
+    let mut worker_checks = Vec::new();
+    for workers in [2usize, 4, 8] {
+        let run = run_batched(&config, &universe, workers);
+        assert_eq!(
+            batched.reports(),
+            run.reports(),
+            "worker count {workers} changed the verdict stream"
+        );
+        worker_checks.push(workers);
+    }
+
+    println!(
+        "\nbatched:    {auths_per_sec:>12.0} auths/sec ({} sessions in {batched_secs:.2} s)",
+        stats.decided
+    );
+    println!(
+        "sequential: {sequential_per_sec:>12.0} auths/sec ({} sessions in {sequential_secs:.2} s)",
+        sequential.len()
+    );
+    println!("speedup:    {speedup:>12.1}×");
+    println!(
+        "latency:    p50 {p50} ticks, p99 {p99} ticks (flush every {} rows / {} ticks)",
+        config.flush_rows, config.flush_ticks
+    );
+    println!("store:      {bytes_per_chip:.1} B/chip cold, {warm_bytes_per_chip:.1} B/chip warm ({} chips)", batched.enrolled());
+    println!(
+        "outcomes:   {accepted} accepted, {degraded} degraded, {rejected} rejected, {locked_out} locked out, {lockout_errors} lockout-refused"
+    );
+    println!(
+        "engine:     {} warm batches, {} warm chips, {} bit-sliced member evals, {} flushes ({} age-triggered, max block {})",
+        stats.warm_batches, stats.warm_chips, stats.warm_member_evals, stats.flushes, stats.aged_flushes, stats.max_flush_rows
+    );
+
+    if gate {
+        assert!(
+            speedup >= 3.0,
+            "batched-vs-sequential speedup gate failed: {speedup:.2}× < 3×"
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "{},",
+        puf_bench::SchemaHeader::capture().to_json_member(2)
+    );
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"enrolled_chips\": {},", config.enrolled_chips);
+    let _ = writeln!(json, "  \"active_chips\": {},", config.active_chips);
+    let _ = writeln!(
+        json,
+        "  \"sessions_per_chip\": {},",
+        config.sessions_per_chip
+    );
+    let _ = writeln!(json, "  \"sessions\": {},", stats.decided);
+    let _ = writeln!(json, "  \"universe\": {},", config.universe);
+    let _ = writeln!(json, "  \"shards\": {},", config.shards);
+    let _ = writeln!(json, "  \"stages\": {},", config.stages);
+    let _ = writeln!(json, "  \"members\": {},", config.members);
+    let _ = writeln!(json, "  \"flush_rows\": {},", config.flush_rows);
+    let _ = writeln!(json, "  \"flush_ticks\": {},", config.flush_ticks);
+    let _ = writeln!(json, "  \"enrolls_per_sec\": {enrolls_per_sec:.1},");
+    let _ = writeln!(json, "  \"auths_per_sec\": {auths_per_sec:.1},");
+    let _ = writeln!(json, "  \"p50_latency_ticks\": {p50},");
+    let _ = writeln!(json, "  \"p99_latency_ticks\": {p99},");
+    let _ = writeln!(json, "  \"bytes_per_chip\": {bytes_per_chip:.1},");
+    let _ = writeln!(json, "  \"warm_bytes_per_chip\": {warm_bytes_per_chip:.1},");
+    let _ = writeln!(json, "  \"sequential_sessions\": {},", sequential.len());
+    let _ = writeln!(
+        json,
+        "  \"sequential_auths_per_sec\": {sequential_per_sec:.1},"
+    );
+    let _ = writeln!(json, "  \"speedup\": {speedup:.2},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_gate\": {},",
+        if gate { "3.0" } else { "null" }
+    );
+    let _ = writeln!(json, "  \"worker_counts_verified\": {worker_checks:?},");
+    let _ = writeln!(json, "  \"outcomes\": {{");
+    let _ = writeln!(json, "    \"accepted\": {accepted},");
+    let _ = writeln!(json, "    \"degraded\": {degraded},");
+    let _ = writeln!(json, "    \"rejected\": {rejected},");
+    let _ = writeln!(json, "    \"locked_out\": {locked_out},");
+    let _ = writeln!(json, "    \"lockout_refused\": {lockout_errors}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"event_loop\": {{");
+    let _ = writeln!(json, "    \"ticks\": {},", stats.ticks);
+    let _ = writeln!(json, "    \"flushes\": {},", stats.flushes);
+    let _ = writeln!(json, "    \"aged_flushes\": {},", stats.aged_flushes);
+    let _ = writeln!(json, "    \"max_flush_rows\": {},", stats.max_flush_rows);
+    let _ = writeln!(json, "    \"warm_batches\": {},", stats.warm_batches);
+    let _ = writeln!(json, "    \"warm_chips\": {},", stats.warm_chips);
+    let _ = writeln!(
+        json,
+        "    \"warm_member_evals\": {}",
+        stats.warm_member_evals
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).expect("create output directory");
+    }
+    std::fs::write(&out_path, &json).expect("write server bench results");
+    println!("\nwrote {out_path}");
+
+    if let Some(trace_path) = trace {
+        let tracer = puf_telemetry::tracer();
+        let events = tracer.snapshot_events();
+        assert_eq!(
+            tracer.evicted(),
+            0,
+            "trace ring wrapped; raise the lane capacity"
+        );
+        if let Some(parent) = std::path::Path::new(&trace_path).parent() {
+            std::fs::create_dir_all(parent).expect("create trace directory");
+        }
+        let clock = tracer.clock();
+        std::fs::write(
+            &trace_path,
+            puf_telemetry::trace_export::chrome_trace_json(&events, clock),
+        )
+        .expect("write chrome trace");
+        let folded_path = format!("{trace_path}.folded");
+        std::fs::write(
+            &folded_path,
+            puf_telemetry::trace_export::folded_stacks(&events, clock),
+        )
+        .expect("write folded stacks");
+        println!(
+            "wrote {trace_path} and {folded_path} ({} events)",
+            events.len()
+        );
+    }
+    puf_bench::emit_telemetry_report();
+}

@@ -1,0 +1,703 @@
+//! Fleet-scale authentication drivers for the batched [`AuthService`].
+//!
+//! This module synthesizes a deterministic fleet of enrolled chips (no
+//! silicon measurement loop — enrollment models are drawn directly, so a
+//! million chips enroll in seconds), shards it with [`shard_of`], and
+//! drives millions of authentication sessions two ways:
+//!
+//! - [`run_batched`] — through per-shard [`AuthService`] event loops,
+//!   executed on [`crate::par::par_map_with_workers`]. Shards share only
+//!   the read-only [`ChallengeUniverse`], so the merged verdict stream is
+//!   bit-identical for any worker count.
+//! - [`run_sequential`] — the same sessions, in the same per-chip order,
+//!   through a classic [`SessionManager`] with a [`PoolSource`] — one
+//!   scalar model evaluation per challenge draw, no batching anywhere.
+//!
+//! Every per-session input (rng, fault plan, impostor choice) derives
+//! from `(config.seed, session uid)` through [`service_lane`], so the two
+//! paths — and any shard/worker schedule — see byte-identical streams.
+//! `tests/service_equivalence.rs` pins that the verdicts agree; the
+//! `server` bench bin uses the same drivers to measure the speedup.
+//!
+//! [`SessionManager`]: puf_protocol::SessionManager
+
+use puf_core::bitslice::{xor_response_packed_many, PackedBits};
+use puf_core::XorPuf;
+use puf_protocol::enrollment::{EnrolledChip, EnrolledPuf};
+use puf_protocol::{
+    service_lane, shard_of, AuthService, Betas, ChallengeUniverse, ChannelFaultPlan, FaultPlan,
+    FaultyChannel, FaultyResponder, PoolSource, ProtocolError, RandomResponder, Responder, Server,
+    ServiceConfig, ServiceStats, SessionManager, SessionPolicy, SessionReport, StoredChip,
+    Thresholds,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Lane salt for per-chip enrollment model draws.
+const CHIP_LANE_SALT: u64 = 0xC41B_0001;
+/// Lane salt for per-session rng streams.
+const SESSION_LANE_SALT: u64 = 0x5E55_0002;
+/// Lane salt for per-session fault plans.
+const FAULT_LANE_SALT: u64 = 0xFA17_0003;
+/// Lane salt for the impostor coin.
+const IMPOSTOR_LANE_SALT: u64 = 0x1117_0004;
+
+/// One fleet scenario: fleet shape, load shape, chaos rates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetConfig {
+    /// Master seed; everything derives from it via [`service_lane`].
+    pub seed: u64,
+    /// Challenge bit width.
+    pub stages: usize,
+    /// XOR width `n` of every synthetic chip.
+    pub members: usize,
+    /// Symmetric stability threshold `t`: member predictions in `[-t, t]`
+    /// classify unstable.
+    pub threshold: f64,
+    /// Chips enrolled in the store.
+    pub enrolled_chips: u32,
+    /// Chips that actually receive sessions (ids `0..active_chips`).
+    pub active_chips: u32,
+    /// Sessions submitted per active chip (serialized by the per-chip
+    /// FIFO).
+    pub sessions_per_chip: u32,
+    /// Ticks between consecutive sessions of one chip (`not_before`
+    /// stagger).
+    pub session_gap_ticks: u64,
+    /// Size of the shared challenge universe.
+    pub universe: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// Session policy (shared by batched and sequential paths).
+    pub policy: SessionPolicy,
+    /// Flush when this many verification rows are pending…
+    pub flush_rows: usize,
+    /// …or when the oldest pending row is this many ticks old.
+    pub flush_ticks: u64,
+    /// Per-bit response flip rate on genuine devices (fault layer).
+    pub response_flip_rate: f64,
+    /// Transport chaos plan.
+    pub channel: ChannelFaultPlan,
+    /// Fraction of sessions driven by a random impostor.
+    pub impostor_fraction: f64,
+}
+
+impl FleetConfig {
+    /// The smoke scenario: 100k enrolled chips, ~16k sessions.
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            seed,
+            stages: 64,
+            members: 2,
+            threshold: 1.2,
+            enrolled_chips: 100_000,
+            active_chips: 4_000,
+            sessions_per_chip: 4,
+            session_gap_ticks: 24,
+            universe: 1024,
+            shards: 8,
+            policy: SessionPolicy::resilient(48),
+            flush_rows: 2_048,
+            flush_ticks: 4,
+            response_flip_rate: 0.01,
+            channel: ChannelFaultPlan {
+                drop_rate: 0.02,
+                straggle_rate: 0.01,
+                duplicate_rate: 0.01,
+                reorder_rate: 0.01,
+                corrupt_rate: 0.005,
+            },
+            impostor_fraction: 0.02,
+        }
+    }
+
+    /// The full scenario: ~1M enrolled chips, ~1M sessions.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            enrolled_chips: 1_000_000,
+            active_chips: 50_000,
+            sessions_per_chip: 20,
+            flush_rows: 8_192,
+            ..Self::smoke(seed)
+        }
+    }
+
+    /// A tiny scenario for property tests: a handful of chips, small
+    /// universe, aggressive chaos.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            stages: 16,
+            members: 2,
+            threshold: 0.6,
+            enrolled_chips: 12,
+            active_chips: 8,
+            sessions_per_chip: 3,
+            session_gap_ticks: 6,
+            universe: 192,
+            shards: 3,
+            policy: SessionPolicy::resilient(8),
+            flush_rows: 16,
+            flush_ticks: 3,
+            response_flip_rate: 0.03,
+            channel: ChannelFaultPlan {
+                drop_rate: 0.08,
+                straggle_rate: 0.04,
+                duplicate_rate: 0.04,
+                reorder_rate: 0.04,
+                corrupt_rate: 0.03,
+            },
+            impostor_fraction: 0.2,
+        }
+    }
+
+    /// Total sessions the scenario submits.
+    pub fn total_sessions(&self) -> u64 {
+        u64::from(self.active_chips) * u64::from(self.sessions_per_chip)
+    }
+
+    /// The global session uid of chip `chip_id`'s `k`-th session.
+    pub fn session_uid(&self, chip_id: u32, k: u32) -> u64 {
+        u64::from(chip_id) * u64::from(self.sessions_per_chip) + u64::from(k)
+    }
+}
+
+/// The per-member enrollment model draws for one synthetic chip — both
+/// the stored record and the device rebuild from this one stream.
+fn chip_thetas(config: &FleetConfig, chip_id: u32) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(service_lane(
+        config.seed ^ CHIP_LANE_SALT,
+        u64::from(chip_id),
+    ));
+    (0..config.members)
+        .map(|_| {
+            (0..=config.stages)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect()
+        })
+        .collect()
+}
+
+/// The full enrollment record of a synthetic chip (model + symmetric
+/// thresholds + identity βs).
+pub fn enrolled_record(config: &FleetConfig, chip_id: u32) -> EnrolledChip {
+    let pufs = chip_thetas(config, chip_id)
+        .into_iter()
+        .map(|theta| EnrolledPuf {
+            model: puf_ml::LinearRegression::from_theta(theta),
+            thresholds: Thresholds::new(-config.threshold, config.threshold),
+            betas: Betas::IDENTITY,
+        })
+        .collect();
+    EnrolledChip {
+        chip_id,
+        stages: config.stages,
+        pufs,
+    }
+}
+
+/// The compact stored form of a synthetic chip.
+pub fn stored_record(config: &FleetConfig, chip_id: u32) -> StoredChip {
+    StoredChip::from_enrolled(&enrolled_record(config, chip_id))
+        .expect("synthetic enrollment records are well-formed")
+}
+
+/// The genuine device twin of a synthetic chip: the raw (unshifted)
+/// enrollment model itself. With symmetric thresholds its response equals
+/// the expected bit on every predicted-stable challenge, so clean genuine
+/// sessions accept; the fault layer supplies the noise.
+pub fn device_model(config: &FleetConfig, chip_id: u32) -> XorPuf {
+    let members = chip_thetas(config, chip_id)
+        .into_iter()
+        .map(|theta| {
+            puf_core::ArbiterPuf::from_weights(theta).expect("synthetic weights are finite")
+        })
+        .collect();
+    XorPuf::from_members(members).expect("fleet chips have at least one member")
+}
+
+/// A chip's device side, built once per active chip: the raw model plus
+/// its precomputed response plane over the universe. The plane is
+/// bit-identical to scalar evaluation (the bit-sliced kernels compute the
+/// exact same FMA-free products), so answering from it changes nothing
+/// except cost — and both the batched and the sequential drivers use the
+/// same twin, keeping the speedup comparison about *server-side* work.
+#[derive(Clone, Debug)]
+pub struct DeviceTwin {
+    universe: Arc<ChallengeUniverse>,
+    model: Arc<XorPuf>,
+    plane: Arc<PackedBits>,
+}
+
+/// Builds device twins for `chip_ids` in one fleet dispatch through the
+/// bit-sliced engine (one plane per chip, all models in a single call —
+/// per-chip dispatch overhead would otherwise dominate small fleets).
+pub fn build_twins(
+    config: &FleetConfig,
+    universe: &Arc<ChallengeUniverse>,
+    chip_ids: &[u32],
+) -> BTreeMap<u32, DeviceTwin> {
+    let models: Vec<Arc<XorPuf>> = chip_ids
+        .iter()
+        .map(|&id| Arc::new(device_model(config, id)))
+        .collect();
+    let refs: Vec<&XorPuf> = models.iter().map(|m| m.as_ref()).collect();
+    let planes = xor_response_packed_many(&refs, universe.features());
+    chip_ids
+        .iter()
+        .zip(models)
+        .zip(planes)
+        .map(|((&id, model), plane)| {
+            (
+                id,
+                DeviceTwin {
+                    universe: Arc::clone(universe),
+                    model,
+                    plane: Arc::new(plane),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Builds the device twin of one synthetic chip.
+pub fn device_twin(
+    config: &FleetConfig,
+    universe: &Arc<ChallengeUniverse>,
+    chip_id: u32,
+) -> DeviceTwin {
+    build_twins(config, universe, &[chip_id])
+        .remove(&chip_id)
+        .expect("twin built for the requested chip")
+}
+
+/// A device-side responder answering from a [`DeviceTwin`].
+#[derive(Clone, Debug)]
+pub struct DeviceResponder {
+    twin: DeviceTwin,
+}
+
+impl Responder for DeviceResponder {
+    fn respond(&mut self, challenges: &[puf_core::Challenge]) -> Vec<bool> {
+        challenges
+            .iter()
+            .map(|c| match self.twin.universe.index_of(c.bits()) {
+                Some(i) => self.twin.plane.get(i as usize),
+                None => self.twin.model.response(c),
+            })
+            .collect()
+    }
+}
+
+/// The client of one fleet session: a genuine (fault-wrapped) device or a
+/// random impostor.
+#[derive(Debug)]
+pub enum FleetClient {
+    /// The chip's own model behind the response-flip fault lane.
+    Genuine(FaultyResponder<DeviceResponder>),
+    /// A coin-flipping impostor.
+    Impostor(RandomResponder),
+}
+
+impl Responder for FleetClient {
+    fn respond(&mut self, challenges: &[puf_core::Challenge]) -> Vec<bool> {
+        match self {
+            FleetClient::Genuine(r) => r.respond(challenges),
+            FleetClient::Impostor(r) => r.respond(challenges),
+        }
+    }
+
+    fn try_respond(
+        &mut self,
+        challenges: &[puf_core::Challenge],
+    ) -> Result<Vec<bool>, ProtocolError> {
+        match self {
+            FleetClient::Genuine(r) => r.try_respond(challenges),
+            FleetClient::Impostor(r) => r.try_respond(challenges),
+        }
+    }
+}
+
+/// The fault plan of one session (flip + channel lanes, seeded by uid).
+fn session_plan(config: &FleetConfig, uid: u64) -> FaultPlan {
+    FaultPlan::none(service_lane(config.seed ^ FAULT_LANE_SALT, uid))
+        .with_response_flips(config.response_flip_rate)
+        .with_channel(config.channel)
+}
+
+/// Whether session `uid` is driven by an impostor.
+pub fn is_impostor(config: &FleetConfig, uid: u64) -> bool {
+    let coin = service_lane(config.seed ^ IMPOSTOR_LANE_SALT, uid);
+    (coin as f64 / u64::MAX as f64) < config.impostor_fraction
+}
+
+/// Builds the client side of session `uid`, reusing the chip's shared
+/// device twin.
+pub fn session_client(config: &FleetConfig, twin: &DeviceTwin, uid: u64) -> FleetClient {
+    if is_impostor(config, uid) {
+        FleetClient::Impostor(RandomResponder::new(service_lane(
+            config.seed ^ IMPOSTOR_LANE_SALT,
+            uid.wrapping_add(1),
+        )))
+    } else {
+        FleetClient::Genuine(FaultyResponder::new(
+            DeviceResponder { twin: twin.clone() },
+            &session_plan(config, uid),
+        ))
+    }
+}
+
+/// The transport channel of session `uid`.
+pub fn session_channel(config: &FleetConfig, uid: u64) -> FaultyChannel {
+    session_plan(config, uid).channel_faults()
+}
+
+/// The server-side rng of session `uid` (challenge draws).
+pub fn session_rng(config: &FleetConfig, uid: u64) -> StdRng {
+    StdRng::seed_from_u64(service_lane(config.seed ^ SESSION_LANE_SALT, uid))
+}
+
+/// Generates the shared challenge universe for a scenario.
+pub fn build_universe(config: &FleetConfig) -> Arc<ChallengeUniverse> {
+    let mut rng = StdRng::seed_from_u64(service_lane(config.seed, 0));
+    Arc::new(
+        ChallengeUniverse::generate(config.stages, config.universe, &mut rng)
+            .expect("fleet universe generation"),
+    )
+}
+
+/// The merged result of one shard's event loop.
+#[derive(Clone, Debug)]
+pub struct ShardRun {
+    /// Shard index.
+    pub shard: usize,
+    /// Session uid → final report (exactly what the sequential replay
+    /// returns for the same uid).
+    pub reports: BTreeMap<u64, Result<SessionReport, ProtocolError>>,
+    /// Session uid → verdict latency in ticks (decided − requested).
+    pub latencies: BTreeMap<u64, u64>,
+    /// Event-loop statistics.
+    pub stats: ServiceStats,
+    /// Chips enrolled in this shard.
+    pub enrolled: usize,
+    /// Compact-record bytes held by this shard.
+    pub stored_bytes: usize,
+    /// Warm-plane bytes held by this shard at drain time.
+    pub warm_bytes: usize,
+}
+
+/// One shard's service instance with the fleet client/channel types.
+pub type FleetService = AuthService<FleetClient, FaultyChannel>;
+
+/// Builds one shard's store: a fresh [`AuthService`] with this shard's
+/// slice of the fleet enrolled (no sessions yet). Kept separate from
+/// [`serve_shard`] so benchmarks can time enrollment and serving
+/// independently.
+///
+/// # Panics
+///
+/// Panics if the scenario's service configuration is invalid.
+pub fn build_shard(
+    config: &FleetConfig,
+    universe: &Arc<ChallengeUniverse>,
+    shard: usize,
+) -> FleetService {
+    let service_config = ServiceConfig {
+        policy: config.policy,
+        flush_rows: config.flush_rows,
+        flush_ticks: config.flush_ticks,
+    };
+    let mut service: FleetService =
+        AuthService::new(service_config, Arc::clone(universe)).expect("fleet service config");
+    for chip_id in 0..config.enrolled_chips {
+        if shard_of(config.seed, chip_id, config.shards) != shard {
+            continue;
+        }
+        service
+            .enroll_stored(stored_record(config, chip_id))
+            .expect("fleet records match the universe width");
+    }
+    service
+}
+
+/// Drives one shard's sessions to completion on its built service.
+///
+/// # Panics
+///
+/// Panics if the event loop fails to drain within a generous tick budget
+/// (a scheduling bug, not a data condition).
+pub fn serve_shard(config: &FleetConfig, shard: usize, mut service: FleetService) -> ShardRun {
+    let enrolled = service.store().len();
+    let stored_bytes = service.store().stored_bytes();
+
+    // Device side: every active chip's twin in one fleet dispatch.
+    let active: Vec<u32> = (0..config.active_chips)
+        .filter(|&id| shard_of(config.seed, id, config.shards) == shard)
+        .collect();
+    let twins = build_twins(config, service.universe_arc(), &active);
+
+    // Submit this shard's sessions: chips ascending, per-chip serial order.
+    let mut uid_of_session: BTreeMap<u64, u64> = BTreeMap::new();
+    for chip_id in active {
+        let twin = &twins[&chip_id];
+        for k in 0..config.sessions_per_chip {
+            let uid = config.session_uid(chip_id, k);
+            let session_id = service.submit(
+                chip_id,
+                session_client(config, twin, uid),
+                session_channel(config, uid),
+                session_rng(config, uid),
+                u64::from(k) * config.session_gap_ticks,
+            );
+            uid_of_session.insert(session_id, uid);
+        }
+    }
+
+    let budget = 1_000_000 + config.total_sessions() * 64;
+    assert!(
+        service.run_until_idle(budget),
+        "shard {shard} failed to drain within {budget} ticks"
+    );
+
+    let mut reports = BTreeMap::new();
+    let mut latencies = BTreeMap::new();
+    for verdict in service.drain_verdicts() {
+        let uid = uid_of_session[&verdict.session_id];
+        let requested = u64::from((uid % u64::from(config.sessions_per_chip)) as u32)
+            * config.session_gap_ticks;
+        latencies.insert(uid, verdict.decided_tick.saturating_sub(requested).max(1));
+        reports.insert(uid, verdict.result);
+    }
+    ShardRun {
+        shard,
+        reports,
+        latencies,
+        stats: *service.stats(),
+        enrolled,
+        stored_bytes,
+        warm_bytes: service.store().warm_bytes(),
+    }
+}
+
+/// A whole fleet run: every shard's result, merged accessors on top.
+#[derive(Clone, Debug)]
+pub struct FleetRun {
+    /// Per-shard results, ascending shard index.
+    pub shards: Vec<ShardRun>,
+}
+
+impl FleetRun {
+    /// All session reports merged, keyed by uid.
+    pub fn reports(&self) -> BTreeMap<u64, &Result<SessionReport, ProtocolError>> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.reports.iter().map(|(&uid, r)| (uid, r)))
+            .collect()
+    }
+
+    /// All verdict latencies merged, keyed by uid.
+    pub fn latencies(&self) -> Vec<u64> {
+        let mut all: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.latencies.values().copied())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Total chips enrolled across shards.
+    pub fn enrolled(&self) -> usize {
+        self.shards.iter().map(|s| s.enrolled).sum()
+    }
+
+    /// Total compact-record bytes across shards.
+    pub fn stored_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.stored_bytes).sum()
+    }
+
+    /// Total warm-plane bytes across shards.
+    pub fn warm_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.warm_bytes).sum()
+    }
+
+    /// Summed event-loop statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let mut total = ServiceStats::default();
+        for s in &self.shards {
+            total.ticks += s.stats.ticks;
+            total.submitted += s.stats.submitted;
+            total.decided += s.stats.decided;
+            total.flushes += s.stats.flushes;
+            total.aged_flushes += s.stats.aged_flushes;
+            total.max_flush_rows = total.max_flush_rows.max(s.stats.max_flush_rows);
+            total.warm_batches += s.stats.warm_batches;
+            total.warm_chips += s.stats.warm_chips;
+            total.warm_member_evals += s.stats.warm_member_evals;
+        }
+        total
+    }
+}
+
+/// Builds every shard's store on `workers` deterministic workers.
+pub fn build_fleet(
+    config: &FleetConfig,
+    universe: &Arc<ChallengeUniverse>,
+    workers: usize,
+) -> Vec<FleetService> {
+    let shard_ids: Vec<usize> = (0..config.shards).collect();
+    crate::par::par_map_with_workers(workers, &shard_ids, |_, &shard| {
+        build_shard(config, universe, shard)
+    })
+}
+
+/// Drives every built shard to completion on `workers` deterministic
+/// workers. Shards share nothing, so the merged verdict stream is
+/// bit-identical for any `workers` value.
+///
+/// # Panics
+///
+/// Panics if `services` does not hold one service per configured shard.
+pub fn serve_fleet(config: &FleetConfig, services: Vec<FleetService>, workers: usize) -> FleetRun {
+    assert_eq!(services.len(), config.shards, "one service per shard");
+    let slots: Vec<std::sync::Mutex<Option<FleetService>>> =
+        services.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let shards = crate::par::par_map_with_workers(workers, &slots, |shard, slot| {
+        let service = slot
+            .lock()
+            .expect("shard slot lock")
+            .take()
+            .expect("each shard is served exactly once");
+        serve_shard(config, shard, service)
+    });
+    FleetRun { shards }
+}
+
+/// Builds and serves the whole scenario on `workers` deterministic
+/// workers. The result is bit-identical for any `workers` value: shards
+/// share nothing and every per-session input is uid-derived.
+pub fn run_batched(
+    config: &FleetConfig,
+    universe: &Arc<ChallengeUniverse>,
+    workers: usize,
+) -> FleetRun {
+    serve_fleet(config, build_fleet(config, universe, workers), workers)
+}
+
+/// Replays sessions `uid < limit` sequentially through a
+/// [`SessionManager`] + [`PoolSource`] — one scalar model evaluation per
+/// challenge draw. Returns uid → report, directly comparable with
+/// [`FleetRun::reports`].
+///
+/// # Panics
+///
+/// Panics if a synthetic record fails to register (cannot happen for
+/// well-formed fleet configs).
+pub fn run_sequential(
+    config: &FleetConfig,
+    universe: &Arc<ChallengeUniverse>,
+    limit: u64,
+) -> BTreeMap<u64, Result<SessionReport, ProtocolError>> {
+    let mut manager =
+        SessionManager::new(Server::new(), config.policy).expect("fleet session policy");
+    let mut source = PoolSource::new(Arc::clone(universe));
+    let mut reports = BTreeMap::new();
+    let active: Vec<u32> = (0..config.active_chips)
+        .filter(|&id| config.session_uid(id, 0) < limit)
+        .collect();
+    let twins = build_twins(config, universe, &active);
+    for chip_id in active {
+        source
+            .register(&stored_record(config, chip_id))
+            .expect("fleet records rebuild");
+        let twin = &twins[&chip_id];
+        for k in 0..config.sessions_per_chip {
+            let uid = config.session_uid(chip_id, k);
+            if uid >= limit {
+                break;
+            }
+            let mut client = session_client(config, twin, uid);
+            let mut channel = session_channel(config, uid);
+            let mut rng = session_rng(config, uid);
+            let result = manager.authenticate_with_source(
+                chip_id,
+                &mut client,
+                &mut channel,
+                &mut source,
+                &mut rng,
+            );
+            reports.insert(uid, result);
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_records_are_deterministic() {
+        let config = FleetConfig::tiny(7);
+        assert_eq!(stored_record(&config, 3), stored_record(&config, 3));
+        let device = device_model(&config, 3);
+        let again = device_model(&config, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..32 {
+            let c = puf_core::Challenge::random(config.stages, &mut rng);
+            assert_eq!(device.response(&c), again.response(&c));
+        }
+    }
+
+    #[test]
+    fn genuine_device_matches_expected_bits_on_stable_challenges() {
+        let config = FleetConfig::tiny(11);
+        let universe = build_universe(&config);
+        let stored = stored_record(&config, 2);
+        let model = stored.shifted_models().unwrap();
+        let device = device_model(&config, 2);
+        let mut stable = 0;
+        for i in 0..universe.len() as u32 {
+            let c = universe.challenge(i);
+            if let Some(expected) = model.stable_expected(c) {
+                assert_eq!(device.response(c), expected, "challenge slot {i}");
+                stable += 1;
+            }
+        }
+        assert!(stable > 0, "tiny config produced no stable challenges");
+    }
+
+    #[test]
+    fn tiny_batched_run_matches_sequential_replay() {
+        let config = FleetConfig::tiny(2017);
+        let universe = build_universe(&config);
+        let batched = run_batched(&config, &universe, 1);
+        let sequential = run_sequential(&config, &universe, u64::MAX);
+        let merged = batched.reports();
+        assert_eq!(merged.len() as u64, config.total_sessions());
+        assert_eq!(sequential.len() as u64, config.total_sessions());
+        for (uid, report) in &sequential {
+            assert_eq!(
+                merged[uid], report,
+                "session uid {uid} diverged between batched and sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_verdicts() {
+        let config = FleetConfig::tiny(99);
+        let universe = build_universe(&config);
+        let one = run_batched(&config, &universe, 1);
+        for workers in [2, 4] {
+            let many = run_batched(&config, &universe, workers);
+            assert_eq!(
+                one.reports(),
+                many.reports(),
+                "worker count {workers} changed the verdict stream"
+            );
+        }
+    }
+}

@@ -22,6 +22,7 @@
 // The scoped-thread fan-out is the workspace's single sanctioned `unsafe`
 // module (lint rule L2 allowlists exactly this declaration); its claiming
 // protocol is machine-checked by `par_model` and `scripts/sanitize.sh`.
+pub mod fleet;
 #[allow(unsafe_code)]
 pub mod par;
 pub mod par_model;

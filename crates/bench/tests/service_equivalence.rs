@@ -1,0 +1,76 @@
+//! Property test: the batched [`puf_protocol::AuthService`] verdict
+//! stream is bit-identical to replaying the same sessions sequentially
+//! through [`puf_protocol::SessionManager`] with a
+//! [`puf_protocol::PoolSource`] — including under injected response
+//! flips, lossy channels and impostor-driven lockouts, and across
+//! 1/2/4/8 workers.
+//!
+//! Session reports are compared as whole values (outcome, attempt count,
+//! backoff ticks, challenge accounting, event log, errors), so any
+//! divergence in the event-loop state machine — not just the final
+//! accept/reject bit — fails the property.
+
+use proptest::prelude::*;
+use puf_bench::fleet::{build_universe, run_batched, run_sequential, FleetConfig};
+use puf_protocol::ChannelFaultPlan;
+
+fn arb_config() -> impl Strategy<Value = FleetConfig> {
+    (
+        any::<u64>(),
+        0.0f64..0.08,
+        0.0f64..0.12,
+        0.0f64..0.3,
+        2u32..=4,
+    )
+        .prop_map(
+            |(seed, flip_rate, drop_rate, impostor_fraction, sessions)| {
+                let mut config = FleetConfig::tiny(seed);
+                config.response_flip_rate = flip_rate;
+                config.channel = ChannelFaultPlan {
+                    drop_rate,
+                    straggle_rate: drop_rate / 2.0,
+                    duplicate_rate: 0.02,
+                    reorder_rate: 0.02,
+                    corrupt_rate: drop_rate / 4.0,
+                };
+                config.impostor_fraction = impostor_fraction;
+                config.sessions_per_chip = sessions;
+                config
+            },
+        )
+}
+
+proptest! {
+    // Each case runs 4 full fleet drains plus a sequential replay; keep
+    // the case count modest so the suite stays in CI budget.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batched_service_is_bit_identical_to_sequential_sessions(config in arb_config()) {
+        let universe = build_universe(&config);
+        let sequential = run_sequential(&config, &universe, u64::MAX);
+        let baseline = run_batched(&config, &universe, 1);
+        let merged = baseline.reports();
+
+        prop_assert_eq!(merged.len() as u64, config.total_sessions());
+        prop_assert_eq!(sequential.len(), merged.len());
+        for (uid, report) in &sequential {
+            prop_assert_eq!(
+                &merged[uid],
+                &report,
+                "session uid {} diverged from the sequential replay",
+                uid
+            );
+        }
+
+        for workers in [2usize, 4, 8] {
+            let run = run_batched(&config, &universe, workers);
+            prop_assert_eq!(
+                baseline.reports(),
+                run.reports(),
+                "worker count {} changed the verdict stream",
+                workers
+            );
+        }
+    }
+}

@@ -157,6 +157,22 @@ impl PackedBits {
         packed
     }
 
+    /// Builds a packed vector of `len` bits directly from backing words,
+    /// normalizing to the canonical form: `words` is resized to exactly
+    /// `len.div_ceil(64)` entries and tail bits past `len` are zeroed, so
+    /// the result always compares with `==` like every other
+    /// [`PackedBits`]. This is the re-entry point for word-level plane
+    /// algebra (AND/OR/NOT/XOR over [`PackedBits::words`]) — complements
+    /// in particular set tail bits that must not survive.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Self {
+        words.resize(len.div_ceil(WORD_ROWS), 0);
+        let live = len - (words.len().saturating_sub(1)) * WORD_ROWS;
+        if let Some(last) = words.last_mut() {
+            *last = mask_tail(*last, live);
+        }
+        Self { words, len }
+    }
+
     /// Number of response bits.
     pub fn len(&self) -> usize {
         self.len
@@ -954,6 +970,30 @@ mod tests {
                 let live = len - (packed.words().len() - 1) * WORD_ROWS;
                 assert_eq!(mask_tail(last, live), last, "tail bits must be zero");
             }
+        }
+    }
+
+    #[test]
+    fn from_words_normalizes_tail_and_length() {
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            let bits: Vec<bool> = (0..len).map(|i| i % 5 != 2).collect();
+            let canonical = PackedBits::from_bools(&bits);
+            // Word-level complement pollutes the tail; from_words must
+            // restore the canonical zero tail and exact word count.
+            let negated: Vec<u64> = canonical.words().iter().map(|w| !w).collect();
+            let complement = PackedBits::from_words(negated, len);
+            assert_eq!(complement.len(), len);
+            let expected: Vec<bool> = bits.iter().map(|&b| !b).collect();
+            assert_eq!(complement.to_bools(), expected);
+            assert_eq!(complement, PackedBits::from_bools(&expected));
+            // Oversized and undersized word vectors normalize too.
+            let mut oversized = canonical.words().to_vec();
+            oversized.push(u64::MAX);
+            assert_eq!(PackedBits::from_words(oversized, len), canonical);
+            assert_eq!(
+                PackedBits::from_words(Vec::new(), len),
+                PackedBits::zeros(len)
+            );
         }
     }
 

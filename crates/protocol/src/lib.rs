@@ -54,6 +54,7 @@ pub mod keygen;
 pub mod lockdown;
 pub mod salvage;
 pub mod server;
+pub mod service;
 pub mod session;
 pub mod storage;
 pub mod threshold;
@@ -61,9 +62,14 @@ pub mod threshold;
 pub use auth::{AuthOutcome, AuthPolicy, ChipResponder, RandomResponder, Responder};
 pub use enrollment::{enroll, EnrolledChip, EnrolledPuf, EnrollmentConfig};
 pub use faults::{ChannelFaultPlan, FaultInjector, FaultPlan, FaultyChannel, FaultyResponder};
-pub use server::{SelectedChallenge, Server};
+pub use server::{ExclusionSet, SelectedChallenge, Server};
+pub use service::{
+    service_lane, shard_of, warm_chips, AuthService, ChallengeUniverse, PoolSource, ServiceConfig,
+    ServiceStats, SessionVerdict, ShardStore, ShiftedChipModel, StoredChip, WarmChip,
+};
 pub use session::{
-    Channel, Delivery, PerfectChannel, SessionManager, SessionOutcome, SessionPolicy, SessionReport,
+    ChallengeSource, Channel, Delivery, PerfectChannel, ServerSource, SessionManager,
+    SessionOutcome, SessionPolicy, SessionReport,
 };
 pub use threshold::{fit_betas, Betas, StabilityClass, Thresholds};
 
@@ -141,6 +147,13 @@ pub enum ProtocolError {
         /// What the channel did to the exchange.
         kind: session::TransportFailureKind,
     },
+    /// A stored enrollment record is internally inconsistent (weight count
+    /// mismatch, non-finite shifted weights, or warm planes evicted
+    /// mid-session) and cannot back authentication.
+    MalformedRecord {
+        /// The chip whose record is malformed.
+        chip_id: u32,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -189,6 +202,9 @@ impl fmt::Display for ProtocolError {
             ),
             ProtocolError::TransportFailure { kind } => {
                 write!(f, "transport failure: {kind}")
+            }
+            ProtocolError::MalformedRecord { chip_id } => {
+                write!(f, "chip {chip_id}: stored enrollment record is malformed")
             }
         }
     }

@@ -17,6 +17,84 @@ pub struct SelectedChallenge {
     pub expected: bool,
 }
 
+/// A reusable challenge-exclusion set: a sorted vector of challenge bit
+/// patterns with binary-search membership.
+///
+/// The session layer excludes every challenge it has already issued so a
+/// failed set is never re-exposed. A `BTreeSet` rebuilt per session
+/// allocates a node per entry and throws the whole tree away at session
+/// end — across a million-session run that is pure allocator churn. This
+/// structure keeps one flat allocation that [`ExclusionSet::clear`]
+/// retains, so a [`super::session::SessionManager`] can thread the same
+/// scratch buffer through every session it drives.
+///
+/// Ordered insertion is O(len) worst case, but sessions exclude at most a
+/// few hundred challenges, so the memmove stays within one or two cache
+/// lines and beats per-node tree allocation comfortably.
+#[derive(Clone, Debug, Default)]
+pub struct ExclusionSet {
+    bits: Vec<u128>,
+}
+
+impl ExclusionSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty set with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            bits: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Removes every entry, retaining the allocation.
+    pub fn clear(&mut self) {
+        self.bits.clear();
+    }
+
+    /// Number of excluded challenge patterns.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Whether `bits` is excluded.
+    pub fn contains(&self, bits: u128) -> bool {
+        self.bits.binary_search(&bits).is_ok()
+    }
+
+    /// Inserts `bits`; returns `true` if it was not already present.
+    pub fn insert(&mut self, bits: u128) -> bool {
+        match self.bits.binary_search(&bits) {
+            Ok(_) => false,
+            Err(at) => {
+                self.bits.insert(at, bits);
+                true
+            }
+        }
+    }
+
+    /// The excluded patterns in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u128> + '_ {
+        self.bits.iter().copied()
+    }
+}
+
+impl FromIterator<u128> for ExclusionSet {
+    fn from_iter<I: IntoIterator<Item = u128>>(iter: I) -> Self {
+        let mut bits: Vec<u128> = iter.into_iter().collect();
+        bits.sort_unstable();
+        bits.dedup();
+        Self { bits }
+    }
+}
+
 /// The server database: one [`EnrolledChip`] record per registered chip.
 ///
 /// Matching the paper's storage argument (Refs. 4, 6-7), the server keeps
@@ -111,6 +189,55 @@ impl Server {
         exclude: &BTreeSet<u128>,
         rng: &mut R,
     ) -> Result<Vec<SelectedChallenge>, ProtocolError> {
+        self.select_filtered(
+            chip_id,
+            count,
+            max_attempts,
+            |bits| exclude.contains(&bits),
+            rng,
+        )
+    }
+
+    /// [`Server::select_challenges_excluding`] over a reusable
+    /// [`ExclusionSet`] — same semantics and identical rng draw sequence,
+    /// without rebuilding a tree per session. This is the entry point the
+    /// session layer threads its scratch exclusion buffer through.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::select_challenges_excluding`].
+    pub fn select_challenges_excluding_set<R: Rng + ?Sized>(
+        &self,
+        chip_id: u32,
+        count: usize,
+        max_attempts: usize,
+        exclude: &ExclusionSet,
+        rng: &mut R,
+    ) -> Result<Vec<SelectedChallenge>, ProtocolError> {
+        self.select_filtered(
+            chip_id,
+            count,
+            max_attempts,
+            |bits| exclude.contains(bits),
+            rng,
+        )
+    }
+
+    /// The shared selection loop: both exclusion representations draw the
+    /// exact same rng sequence, so swapping one for the other never shifts
+    /// downstream challenge streams.
+    fn select_filtered<R, F>(
+        &self,
+        chip_id: u32,
+        count: usize,
+        max_attempts: usize,
+        excluded: F,
+        rng: &mut R,
+    ) -> Result<Vec<SelectedChallenge>, ProtocolError>
+    where
+        R: Rng + ?Sized,
+        F: Fn(u128) -> bool,
+    {
         let record = self
             .records
             .get(&chip_id)
@@ -125,7 +252,7 @@ impl Server {
             }
             attempted += 1;
             let challenge = Challenge::random(record.stages, rng);
-            if exclude.contains(&challenge.bits()) {
+            if excluded(challenge.bits()) {
                 continue;
             }
             if let Some(expected) = record.predict_stable_xor(&challenge) {
@@ -298,6 +425,50 @@ mod tests {
             err,
             ProtocolError::ChallengeSelectionExhausted { found: 0, .. }
         ));
+    }
+
+    #[test]
+    fn exclusion_set_insert_contains_clear() {
+        let mut set = ExclusionSet::with_capacity(8);
+        assert!(set.is_empty());
+        assert!(set.insert(7));
+        assert!(set.insert(3));
+        assert!(!set.insert(7), "duplicate insert must report false");
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(3) && set.contains(7));
+        assert!(!set.contains(5));
+        let ordered: Vec<u128> = set.iter().collect();
+        assert_eq!(ordered, vec![3, 7], "iteration must be ascending");
+        set.clear();
+        assert!(set.is_empty());
+        assert!(!set.contains(3));
+        let rebuilt: ExclusionSet = [9u128, 1, 9, 4].into_iter().collect();
+        assert_eq!(rebuilt.iter().collect::<Vec<_>>(), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn exclusion_set_path_matches_btreeset_path() {
+        // Same seed, both exclusion representations: the selections (and
+        // therefore the consumed rng stream) must be identical.
+        let (_, server, _) = setup(8);
+        let first = {
+            let mut rng = StdRng::seed_from_u64(99);
+            server.select_challenges(3, 20, 200_000, &mut rng).unwrap()
+        };
+        let tree: BTreeSet<u128> = first.iter().map(|s| s.challenge.bits()).collect();
+        let flat: ExclusionSet = first.iter().map(|s| s.challenge.bits()).collect();
+        let mut rng_a = StdRng::seed_from_u64(123);
+        let mut rng_b = StdRng::seed_from_u64(123);
+        let via_tree = server
+            .select_challenges_excluding(3, 20, 200_000, &tree, &mut rng_a)
+            .unwrap();
+        let via_flat = server
+            .select_challenges_excluding_set(3, 20, 200_000, &flat, &mut rng_b)
+            .unwrap();
+        assert_eq!(via_tree, via_flat);
+        for s in &via_flat {
+            assert!(!flat.contains(s.challenge.bits()));
+        }
     }
 
     #[test]

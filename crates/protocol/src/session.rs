@@ -35,10 +35,10 @@
 //! (see the README's observability table).
 
 use crate::auth::{AuthOutcome, AuthPolicy, Responder};
-use crate::server::Server;
+use crate::server::{ExclusionSet, SelectedChallenge, Server};
 use crate::ProtocolError;
 use rand::Rng;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// How a transport-level exchange failed (no judgement was possible).
@@ -201,6 +201,62 @@ impl SessionPolicy {
         };
         doubled.min(self.backoff_cap_ticks)
     }
+
+    /// Random-draw budget per selection round. Generous — stable yields
+    /// below ~0.1 % still terminate — while genuinely exhausted pools
+    /// error out. Every session driver (the [`SessionManager`] and the
+    /// batched `service` event loop) must use this same budget so their
+    /// selection streams stay comparable.
+    pub fn select_budget(&self) -> usize {
+        self.rounds.saturating_mul(200_000).max(100_000)
+    }
+}
+
+/// Where a session draws its fresh predicted-stable challenges from.
+///
+/// The default, [`ServerSource`], is the server's own random-search
+/// selection ([`Server::select_challenges_excluding_set`]). The batched
+/// authentication service substitutes a pre-screened challenge-universe
+/// pool so that a sequential [`SessionManager`] replay can consume the
+/// *exact same* challenge stream the batched event loop does — the
+/// equivalence harness relies on this hook.
+pub trait ChallengeSource {
+    /// Selects `count` fresh predicted-stable challenges for `chip_id`,
+    /// never returning one whose bit pattern is in `exclude`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownChip`] /
+    /// [`ProtocolError::ChallengeSelectionExhausted`] as for
+    /// [`Server::select_challenges_excluding_set`].
+    fn select<R: Rng + ?Sized>(
+        &mut self,
+        server: &Server,
+        chip_id: u32,
+        count: usize,
+        max_attempts: usize,
+        exclude: &ExclusionSet,
+        rng: &mut R,
+    ) -> Result<Vec<SelectedChallenge>, ProtocolError>;
+}
+
+/// The default [`ChallengeSource`]: the server's random stable-challenge
+/// search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerSource;
+
+impl ChallengeSource for ServerSource {
+    fn select<R: Rng + ?Sized>(
+        &mut self,
+        server: &Server,
+        chip_id: u32,
+        count: usize,
+        max_attempts: usize,
+        exclude: &ExclusionSet,
+        rng: &mut R,
+    ) -> Result<Vec<SelectedChallenge>, ProtocolError> {
+        server.select_challenges_excluding_set(chip_id, count, max_attempts, exclude, rng)
+    }
 }
 
 /// Terminal state of one authentication session.
@@ -329,6 +385,10 @@ pub struct SessionManager {
     server: Server,
     policy: SessionPolicy,
     states: BTreeMap<u32, ChipSessionState>,
+    /// Reusable per-session exclusion scratch: cleared (capacity retained)
+    /// at session start instead of re-allocated, so million-session runs
+    /// don't churn the allocator on every retry loop.
+    exclusion_scratch: ExclusionSet,
 }
 
 impl SessionManager {
@@ -343,6 +403,7 @@ impl SessionManager {
             server,
             policy,
             states: BTreeMap::new(),
+            exclusion_scratch: ExclusionSet::new(),
         })
     }
 
@@ -404,6 +465,33 @@ impl SessionManager {
         C: Responder,
         Ch: Channel,
     {
+        self.authenticate_with_source(chip_id, client, channel, &mut ServerSource, rng)
+    }
+
+    /// [`SessionManager::authenticate`] drawing challenges through an
+    /// explicit [`ChallengeSource`] instead of the server's random search.
+    /// The state machine — retries, backoff bookkeeping, lockout, degraded
+    /// fallback — is identical; only the challenge supply differs. The
+    /// batched-service equivalence harness uses this to replay the exact
+    /// challenge-universe pool the event loop selects from.
+    ///
+    /// # Errors
+    ///
+    /// As [`SessionManager::authenticate`].
+    pub fn authenticate_with_source<R, C, Ch, S>(
+        &mut self,
+        chip_id: u32,
+        client: &mut C,
+        channel: &mut Ch,
+        source: &mut S,
+        rng: &mut R,
+    ) -> Result<SessionReport, ProtocolError>
+    where
+        R: Rng + ?Sized,
+        C: Responder,
+        Ch: Channel,
+        S: ChallengeSource,
+    {
         let state = self.states.entry(chip_id).or_default();
         if state.locked_out {
             puf_telemetry::counter!("protocol.session.lockout_hits").inc();
@@ -418,12 +506,14 @@ impl SessionManager {
         let _trace = puf_telemetry::trace_span!("protocol.session.authenticate");
 
         let mut events = Vec::new();
-        let mut exclude: BTreeSet<u128> = BTreeSet::new();
+        // Reuse the manager's scratch exclusion buffer: same semantics as a
+        // fresh set (cleared on entry), without per-session allocation.
+        let mut exclude = std::mem::take(&mut self.exclusion_scratch);
+        exclude.clear();
         let mut backoff_ticks_total = 0u64;
         let mut last_verification: Option<AuthOutcome> = None;
         let total_attempts = self.policy.max_retries.saturating_add(1);
-        // Draw generously per attempt; genuinely exhausted pools error out.
-        let select_budget = self.policy.rounds.saturating_mul(200_000).max(100_000);
+        let select_budget = self.policy.select_budget();
 
         let mut attempt = 0u32;
         let outcome = loop {
@@ -434,13 +524,20 @@ impl SessionManager {
 
             // Fresh challenges: everything issued earlier in this session
             // is excluded, so a failed set is never re-exposed.
-            let selected = self.server.select_challenges_excluding(
+            let selected = match source.select(
+                &self.server,
                 chip_id,
                 self.policy.rounds,
                 select_budget,
                 &exclude,
                 rng,
-            )?;
+            ) {
+                Ok(selected) => selected,
+                Err(e) => {
+                    self.exclusion_scratch = exclude;
+                    return Err(e);
+                }
+            };
             for s in &selected {
                 exclude.insert(s.challenge.bits());
             }
@@ -505,7 +602,10 @@ impl SessionManager {
                 Err(ProtocolError::Silicon(puf_silicon::SiliconError::FuseReadFailure)) => {
                     Some(TransportFailureKind::MeasurementGlitch)
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    self.exclusion_scratch = exclude;
+                    return Err(e);
+                }
             };
 
             if let Some(kind) = transport_failure {
@@ -552,11 +652,13 @@ impl SessionManager {
             }
             SessionOutcome::Rejected | SessionOutcome::LockedOut => {}
         }
+        let challenges_issued = exclude.len();
+        self.exclusion_scratch = exclude;
         Ok(SessionReport {
             outcome,
             attempts: attempt,
             backoff_ticks_total,
-            challenges_issued: exclude.len(),
+            challenges_issued,
             needs_reenrollment: state.needs_reenrollment,
             last_verification,
             events,
@@ -809,6 +911,76 @@ mod tests {
         assert!(mgr.state(3).unwrap().needs_reenrollment);
         // Degraded accept does not clear the failure counter.
         assert!(mgr.state(3).unwrap().consecutive_failures > 0);
+    }
+
+    #[test]
+    fn custom_source_sees_growing_exclusions_and_shared_budget() {
+        struct Counting {
+            calls: usize,
+            exclusion_lens: Vec<usize>,
+            budgets: Vec<usize>,
+        }
+        impl ChallengeSource for Counting {
+            fn select<R: Rng + ?Sized>(
+                &mut self,
+                server: &Server,
+                chip_id: u32,
+                count: usize,
+                max_attempts: usize,
+                exclude: &ExclusionSet,
+                rng: &mut R,
+            ) -> Result<Vec<crate::server::SelectedChallenge>, ProtocolError> {
+                self.calls += 1;
+                self.exclusion_lens.push(exclude.len());
+                self.budgets.push(max_attempts);
+                ServerSource.select(server, chip_id, count, max_attempts, exclude, rng)
+            }
+        }
+        let (_, server, mut rng) = setup(9);
+        let policy = SessionPolicy {
+            max_retries: 1,
+            lockout_threshold: 100,
+            ..SessionPolicy::resilient(10)
+        };
+        let budget = policy.select_budget();
+        let mut mgr = SessionManager::new(server, policy).unwrap();
+        let mut impostor = RandomResponder::new(13);
+        let mut source = Counting {
+            calls: 0,
+            exclusion_lens: Vec::new(),
+            budgets: Vec::new(),
+        };
+        let report = mgr
+            .authenticate_with_source(3, &mut impostor, &mut PerfectChannel, &mut source, &mut rng)
+            .unwrap();
+        assert_eq!(report.outcome, SessionOutcome::Rejected);
+        assert_eq!(source.calls, 2, "one call per attempt");
+        assert_eq!(
+            source.exclusion_lens[0], 0,
+            "session starts excluding nothing"
+        );
+        assert!(
+            source.exclusion_lens[1] >= 10,
+            "retry must exclude the first round"
+        );
+        assert_eq!(source.budgets, vec![budget, budget]);
+    }
+
+    #[test]
+    fn scratch_reuse_keeps_sessions_independent() {
+        // Three sessions through one manager: each must start from an empty
+        // exclusion set (challenges_issued counts this session only) even
+        // though the scratch buffer is recycled.
+        let (chip, server, mut rng) = setup(10);
+        let mut mgr = SessionManager::new(server, SessionPolicy::resilient(12)).unwrap();
+        let mut client = ChipResponder::new(&chip, 2, Condition::NOMINAL, 14);
+        for _ in 0..3 {
+            let report = mgr
+                .authenticate(3, &mut client, &mut PerfectChannel, &mut rng)
+                .unwrap();
+            assert_eq!(report.outcome, SessionOutcome::Accepted);
+            assert_eq!(report.challenges_issued, 12);
+        }
     }
 
     #[test]

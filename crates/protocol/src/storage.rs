@@ -380,6 +380,41 @@ mod tests {
             }
 
             #[test]
+            fn prop_round_trip_is_byte_identical(record in arb_record()) {
+                // Stronger than value equality: decode → re-encode must
+                // reproduce the original byte stream exactly, so stored
+                // databases are stable under rewrite cycles.
+                let bytes = encode_record(&record);
+                let decoded = decode_records(&bytes).unwrap();
+                let reencoded = encode_record(&decoded[0]);
+                prop_assert_eq!(reencoded, bytes);
+            }
+
+            #[test]
+            fn prop_encoded_size_matches_codec_formula(record in arb_record()) {
+                // header 10 = magic 4 + version 2 + count 4; record header
+                // 8 = chip_id 4 + stages 2 + n 2; per puf: 4 f64 scalars +
+                // u16 theta_len + (stages+1) f64 coefficients.
+                let per_puf = 4 * 8 + 2 + 8 * (record.stages + 1);
+                let expected = 10 + 8 + record.pufs.len() * per_puf;
+                prop_assert_eq!(encode_record(&record).len(), expected);
+            }
+
+            #[test]
+            fn prop_server_round_trip_is_byte_identical(
+                records in proptest::collection::vec((any::<u32>(), arb_record()), 0..4)
+            ) {
+                let mut server = Server::new();
+                for (chip_id, mut record) in records {
+                    record.chip_id = chip_id;
+                    server.register(record);
+                }
+                let bytes = encode_server(&server);
+                let restored = decode_server(&bytes).unwrap();
+                prop_assert_eq!(encode_server(&restored), bytes);
+            }
+
+            #[test]
             fn prop_decoding_arbitrary_bytes_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
                 // Fuzzing the decoder: any byte soup must produce Ok or Err,
                 // never a panic.

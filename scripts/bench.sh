@@ -5,7 +5,9 @@
 # attack-training kernels and the linreg normal-equation paths
 # (results/BENCH_ml.json); trillion replays the paper-scale measurement
 # campaign through the bit-sliced engine and asserts the packed-vs-batched
-# speedup gate (results/BENCH_trillion.json).
+# speedup gate (results/BENCH_trillion.json); server drives the fleet-scale
+# authentication service — 1M enrolled chips, 1M batched sessions — and
+# asserts the batched-vs-sequential speedup gate (results/BENCH_server.json).
 #
 # After the harnesses run, `cargo xtask bench-diff` compares the fresh
 # numbers against the previously committed baselines (snapshotted to
@@ -22,8 +24,8 @@ echo "==> snapshot committed baselines to target/bench_baseline/"
 mkdir -p target/bench_baseline
 cp results/BENCH_*.json results/CHAOS.json target/bench_baseline/ 2>/dev/null || true
 
-echo "==> cargo build --release -p puf-bench --bin bench_eval --bin bench_ml --bin trillion"
-cargo build --release -p puf-bench --bin bench_eval --bin bench_ml --bin trillion
+echo "==> cargo build --release -p puf-bench --bin bench_eval --bin bench_ml --bin trillion --bin server"
+cargo build --release -p puf-bench --bin bench_eval --bin bench_ml --bin trillion --bin server
 
 echo "==> bench_eval (writes results/BENCH_eval.json)"
 ./target/release/bench_eval
@@ -33,6 +35,9 @@ echo "==> bench_ml (writes results/BENCH_ml.json)"
 
 echo "==> trillion (writes results/BENCH_trillion.json; asserts the >=4x packed gate)"
 ./target/release/trillion
+
+echo "==> server (writes results/BENCH_server.json; asserts the >=3x batched gate)"
+./target/release/server
 
 echo "==> bench-diff observatory: fresh run vs committed baselines"
 cargo xtask bench-diff --baseline target/bench_baseline --current results

@@ -45,6 +45,9 @@ cargo xtask trace-check target/CHAOS_trace.json
 echo "==> trillion smoke: bit-sliced replay harness end-to-end (tiny dims, no gate)"
 cargo run -q --release -p puf-bench --bin trillion -- --smoke
 
+echo "==> server smoke: fleet auth service, 100k chips; asserts the >=3x batched gate"
+cargo run -q --release -p puf-bench --bin server -- --smoke
+
 echo "==> bench-diff observatory: committed baselines parse and self-compare clean"
 cargo xtask bench-diff --baseline results --current results
 
