@@ -99,30 +99,8 @@ impl Cell {
 }
 
 fn main() {
-    let mut smoke = false;
-    let mut seed: u64 = 2017;
-    let mut out: Option<String> = None;
-    let mut trace: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--smoke" => smoke = true,
-            "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|v| v.trim().parse().ok())
-                    .expect("--seed takes an integer");
-            }
-            "--out" => out = Some(args.next().expect("--out takes a path")),
-            "--trace" => trace = Some("target/CHAOS_trace.json".to_string()),
-            other if other.starts_with("--trace=") => {
-                trace = Some(other["--trace=".len()..].to_string());
-            }
-            other => panic!(
-                "unknown argument {other} (expected --smoke / --seed N / --out PATH / --trace[=PATH])"
-            ),
-        }
-    }
+    let cli = puf_bench::BenchCliSpec::new("target/CHAOS_trace.json").parse();
+    let (smoke, seed, out, trace) = (cli.smoke, cli.seed, cli.out, cli.trace);
     if trace.is_some() {
         // Tick clock: the trace, like the JSON, is byte-identical per seed.
         let tracer = puf_telemetry::tracer();

@@ -39,32 +39,11 @@ fn percentile(sorted: &[u64], pct: u64) -> u64 {
 }
 
 fn main() {
-    let mut smoke = false;
-    let mut seed: u64 = 2017;
-    let mut out: Option<String> = None;
-    let mut trace: Option<String> = None;
-    let mut gate = true;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--smoke" => smoke = true,
-            "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|v| v.trim().parse().ok())
-                    .expect("--seed takes an integer");
-            }
-            "--out" => out = Some(args.next().expect("--out takes a path")),
-            "--no-gate" => gate = false,
-            "--trace" => trace = Some("target/BENCH_server_trace.json".to_string()),
-            other if other.starts_with("--trace=") => {
-                trace = Some(other["--trace=".len()..].to_string());
-            }
-            other => panic!(
-                "unknown argument {other} (expected --smoke / --seed N / --out PATH / --trace[=PATH] / --no-gate)"
-            ),
-        }
-    }
+    let cli = puf_bench::BenchCliSpec::new("target/BENCH_server_trace.json")
+        .with_gate()
+        .parse();
+    let (smoke, seed, out, trace) = (cli.smoke, cli.seed, cli.out, cli.trace);
+    let gate = !cli.no_gate;
     if trace.is_some() {
         let tracer = puf_telemetry::tracer();
         tracer.set_clock(puf_telemetry::TraceClock::Tick);

@@ -1,0 +1,987 @@
+//! Decade-soak lifecycle harness: thousands of authentication sessions
+//! against silicon chip models stepped through simulated **years** of
+//! service, with the durable store crash-recovered mid-soak.
+//!
+//! Per epoch (a fraction of a simulated year) the harness:
+//!
+//! 1. **ages** every chip to the epoch's stress hours — per-stage BTI/HCI
+//!    drift through [`puf_core::aging`], re-materialized into the device
+//!    by [`Chip::set_age`] so every subsequent measurement drifts;
+//! 2. **walks the V/T corners** — sessions run at the epoch's corner of
+//!    [`Condition::paper_grid`], not pinned to nominal;
+//! 3. **serves sessions** through a [`SessionManager`] whose challenges
+//!    come from a finite-universe pool source: every challenge ever
+//!    issued to a chip is excluded for its lifetime (the merged-exclusion
+//!    semantics of [`Server::select_challenges_excluding`]), so pools
+//!    genuinely deplete and `ChallengeSelectionExhausted` marks the
+//!    chip's pool-exhaustion horizon;
+//! 4. **re-enrolls** any chip whose sessions flagged
+//!    `needs_reenrollment` (degraded accepts) or whose pool ran dry: a
+//!    fresh model is measured from the *aged* chip, the pool account
+//!    resets, and the lockout ladder clears;
+//! 5. **audits fuses** — glitchy [`Chip::fuse_sense`] reads from the
+//!    silicon testbench accumulate sense-path wear statistics;
+//! 6. **journals** every control-plane event into a
+//!    [`puf_protocol::durable`] write-ahead log and periodically
+//!    **crashes**: the snapshot + WAL buffers are corrupted by a rotating
+//!    [`DiskFaultKind`] (or left clean), recovered, and the recovered
+//!    state **replaces** the live one — fault-free cycles assert
+//!    bit-identical recovery; faulty cycles report exactly what was
+//!    dropped and the soak carries on from the salvage.
+//!
+//! Chips are split into cohorts by **β margin** — the fitted β₀/β₁
+//! threshold scalings stretched by a cohort factor. Wide margins select
+//! only very stable challenges (low FRR under aging, small pools that
+//! exhaust early); narrow margins select greedily (bigger pools, more
+//! degraded accepts and re-enrollments). The result —
+//! `results/BENCH_soak.json` with the shared [`SchemaHeader`] — reports
+//! the pool-exhaustion horizon, re-enrollment rate and FRR trajectory per
+//! lifetime year for each margin cohort.
+//!
+//! After every epoch a plain-text checkpoint (run configuration, metric
+//! rows, and the durable snapshot + WAL in hex) is rewritten, so an
+//! interrupted soak resumes at the next epoch boundary. Every per-epoch
+//! input derives from `(seed, lane, chip, epoch)` splitmix streams and the
+//! JSON contains no wall-clock, so a resumed run — and any re-execution
+//! from the same seed — is byte-identical.
+//!
+//! Run: `cargo run -p puf-bench --release --bin soak`
+//! (`--smoke` runs a seconds-scale soak and writes
+//! `target/BENCH_soak_smoke.json`; `--seed N` / `--out PATH` /
+//! `--checkpoint PATH` override defaults; `--fresh` ignores an existing
+//! checkpoint.)
+
+use puf_bench::SchemaHeader;
+use puf_core::Condition;
+use puf_protocol::durable::{recover, DurableEvent, DurableLog, DurableState};
+use puf_protocol::enrollment::{enroll, EnrolledChip, EnrollmentConfig};
+use puf_protocol::faults::{DiskCorruption, DiskFaultKind};
+use puf_protocol::{
+    Betas, ChallengeSource, ChallengeUniverse, ChannelFaultPlan, ChipResponder, ExclusionSet,
+    FaultPlan, ProtocolError, SelectedChallenge, Server, SessionOutcome, SessionPolicy,
+};
+use puf_silicon::{Chip, ChipConfig, FuseSense};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Simulated hours per lifetime year.
+const HOURS_PER_YEAR: f64 = 8_766.0;
+/// Splitmix lanes (mirroring the repo-wide lane discipline).
+const LANE_FABRICATE: u64 = 0;
+const LANE_UNIVERSE: u64 = 1;
+const LANE_ENROLL: u64 = 2;
+const LANE_SESSION: u64 = 3;
+const LANE_CHANNEL: u64 = 4;
+const LANE_FUSE: u64 = 5;
+const LANE_CRASH: u64 = 6;
+
+/// splitmix64-style mixer: independent sub-seeds per (lane, chip, epoch)
+/// so resumed runs replay the identical RNG streams epoch by epoch.
+fn mix(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Soak dimensions, decade-scale vs `--smoke`.
+struct Dims {
+    years: usize,
+    epochs_per_year: usize,
+    margins: Vec<f64>,
+    chips_per_margin: usize,
+    sessions_per_epoch: usize,
+    universe: usize,
+    xor_n: usize,
+    rounds: usize,
+    lockout_threshold: u32,
+    snapshot_every: u64,
+    crash_every: usize,
+    fuse_audits: usize,
+    chip_config: ChipConfig,
+}
+
+impl Dims {
+    fn full() -> Self {
+        Self {
+            years: 10,
+            epochs_per_year: 4,
+            margins: vec![0.85, 1.0, 1.3],
+            chips_per_margin: 12,
+            sessions_per_epoch: 4,
+            universe: 2_048,
+            xor_n: 2,
+            rounds: 16,
+            lockout_threshold: 8,
+            snapshot_every: 96,
+            crash_every: 4,
+            fuse_audits: 8,
+            chip_config: ChipConfig::paper_default(),
+        }
+    }
+
+    fn smoke() -> Self {
+        Self {
+            years: 2,
+            epochs_per_year: 2,
+            margins: vec![0.85, 1.0, 1.3],
+            chips_per_margin: 3,
+            sessions_per_epoch: 3,
+            universe: 128,
+            xor_n: 2,
+            rounds: 8,
+            lockout_threshold: 6,
+            snapshot_every: 24,
+            crash_every: 2,
+            fuse_audits: 4,
+            chip_config: ChipConfig::small(),
+        }
+    }
+
+    fn total_epochs(&self) -> usize {
+        self.years * self.epochs_per_year
+    }
+
+    fn total_chips(&self) -> usize {
+        self.margins.len() * self.chips_per_margin
+    }
+
+    /// Stress hours accumulated by the end of `epoch` (0-based).
+    fn hours_at(&self, epoch: usize) -> f64 {
+        (epoch + 1) as f64 * self.years as f64 * HOURS_PER_YEAR / self.total_epochs() as f64
+    }
+
+    /// The cohort (margin index) of a chip id.
+    fn cohort_of(&self, chip_id: u32) -> usize {
+        chip_id as usize / self.chips_per_margin
+    }
+
+    fn policy(&self) -> SessionPolicy {
+        SessionPolicy {
+            lockout_threshold: self.lockout_threshold,
+            ..SessionPolicy::degraded(self.rounds, 0.25)
+        }
+    }
+
+    fn channel_plan(&self) -> ChannelFaultPlan {
+        ChannelFaultPlan {
+            drop_rate: 0.01,
+            straggle_rate: 0.005,
+            duplicate_rate: 0.005,
+            reorder_rate: 0.005,
+            corrupt_rate: 0.002,
+        }
+    }
+}
+
+/// Stretches the fitted β₀/β₁ of every member by the cohort margin:
+/// `margin > 1` pushes the effective thresholds further out (only very
+/// stable challenges qualify), `margin < 1` pulls them in.
+fn apply_margin(mut record: EnrolledChip, margin: f64) -> EnrolledChip {
+    for puf in &mut record.pufs {
+        puf.betas = Betas {
+            beta0: puf.betas.beta0 * margin,
+            beta1: puf.betas.beta1 * margin,
+        };
+    }
+    record
+}
+
+/// A lifetime challenge-pool source over a finite universe: the merged
+/// exclusion semantics of [`Server::select_challenges_excluding`], with
+/// the chip's lifetime-consumed pool as a persistent exclusion set. Every
+/// issued challenge is recorded (and journaled into the durable log), so
+/// pools deplete across sessions, epochs, and — through recovery — across
+/// crashes.
+struct SoakSource {
+    universe: Arc<ChallengeUniverse>,
+    consumed: BTreeMap<u32, BTreeSet<u128>>,
+    /// Issued-but-not-yet-journaled bits, drained into
+    /// [`DurableEvent::PoolConsume`] at epoch end.
+    fresh: BTreeMap<u32, Vec<u128>>,
+}
+
+impl SoakSource {
+    fn new(universe: Arc<ChallengeUniverse>) -> Self {
+        Self {
+            universe,
+            consumed: BTreeMap::new(),
+            fresh: BTreeMap::new(),
+        }
+    }
+
+    /// Rebuilds the pool accounts from a recovered durable state. Also
+    /// drops any un-journaled fresh bits — exactly what a crash loses.
+    fn restore(&mut self, state: &DurableState) {
+        self.consumed.clear();
+        self.fresh.clear();
+        for record in state.records() {
+            let pool = state.pool(record.chip_id);
+            if !pool.is_empty() {
+                self.consumed
+                    .insert(record.chip_id, pool.iter().copied().collect());
+            }
+        }
+    }
+
+    /// Resets one chip's pool account (a fresh enrollment model).
+    fn reset_pool(&mut self, chip_id: u32) {
+        self.consumed.remove(&chip_id);
+        self.fresh.remove(&chip_id);
+    }
+
+    fn consumed_total(&self) -> usize {
+        self.consumed.values().map(BTreeSet::len).sum()
+    }
+
+    fn consumed_of(&self, chip_id: u32) -> usize {
+        self.consumed.get(&chip_id).map_or(0, BTreeSet::len)
+    }
+}
+
+impl ChallengeSource for SoakSource {
+    fn select<R: Rng + ?Sized>(
+        &mut self,
+        server: &Server,
+        chip_id: u32,
+        count: usize,
+        max_attempts: usize,
+        exclude: &ExclusionSet,
+        rng: &mut R,
+    ) -> Result<Vec<SelectedChallenge>, ProtocolError> {
+        let record = server
+            .record(chip_id)
+            .ok_or(ProtocolError::UnknownChip { chip_id })?;
+        let pool = self.consumed.entry(chip_id).or_default();
+        let mut out = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        while out.len() < count && attempts < max_attempts {
+            attempts += 1;
+            let i = rng.gen_range(0..self.universe.len() as u32);
+            let challenge = self.universe.challenge(i);
+            let bits = challenge.bits();
+            if pool.contains(&bits) || exclude.contains(bits) {
+                continue;
+            }
+            let Some(expected) = record.predict_stable_xor(challenge) else {
+                continue;
+            };
+            pool.insert(bits);
+            self.fresh.entry(chip_id).or_default().push(bits);
+            out.push(SelectedChallenge {
+                challenge: *challenge,
+                expected,
+            });
+        }
+        if out.len() < count {
+            puf_telemetry::counter!("bench.soak.pool_exhausted").inc();
+            return Err(ProtocolError::ChallengeSelectionExhausted {
+                requested: count,
+                found: out.len(),
+                attempts,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// One epoch's tallies for one margin cohort (a checkpoint `row=` line).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct EpochRow {
+    epoch: usize,
+    cohort: usize,
+    sessions: u64,
+    accepted: u64,
+    degraded: u64,
+    rejected: u64,
+    locked_out: u64,
+    lockout_refusals: u64,
+    reenrolls: u64,
+    exhausted: u64,
+    pool_consumed: u64,
+    fuse_senses: u64,
+    fuse_glitches: u64,
+    recovery_reenrolls: u64,
+}
+
+impl EpochRow {
+    fn denied(&self) -> u64 {
+        self.rejected + self.locked_out + self.lockout_refusals
+    }
+
+    fn to_line(self) -> String {
+        format!(
+            "row={} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            self.epoch,
+            self.cohort,
+            self.sessions,
+            self.accepted,
+            self.degraded,
+            self.rejected,
+            self.locked_out,
+            self.lockout_refusals,
+            self.reenrolls,
+            self.exhausted,
+            self.pool_consumed,
+            self.fuse_senses,
+            self.fuse_glitches,
+            self.recovery_reenrolls,
+        )
+    }
+
+    fn parse(line: &str) -> Option<Self> {
+        let mut it = line.split_whitespace();
+        let mut next = || it.next()?.parse::<u64>().ok();
+        Some(Self {
+            epoch: next()? as usize,
+            cohort: next()? as usize,
+            sessions: next()?,
+            accepted: next()?,
+            degraded: next()?,
+            rejected: next()?,
+            locked_out: next()?,
+            lockout_refusals: next()?,
+            reenrolls: next()?,
+            exhausted: next()?,
+            pool_consumed: next()?,
+            fuse_senses: next()?,
+            fuse_glitches: next()?,
+            recovery_reenrolls: next()?,
+        })
+    }
+}
+
+/// Durability tallies accumulated across the whole soak.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Durability {
+    crashes: u64,
+    clean_recoveries: u64,
+    faulty_recoveries: u64,
+    wal_bytes_dropped: u64,
+    duplicates_skipped: u64,
+    events_journaled: u64,
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+/// Everything a resumed soak needs: completed epochs, metric rows,
+/// durability tallies, and the durable snapshot + WAL.
+struct Checkpoint {
+    epochs_done: usize,
+    rows: Vec<EpochRow>,
+    durability: Durability,
+    snapshot: Vec<u8>,
+    wal: Vec<u8>,
+}
+
+fn checkpoint_text(seed: u64, dims: &Dims, ckpt: &Checkpoint) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "version=1");
+    let _ = writeln!(s, "seed={seed}");
+    let _ = writeln!(s, "years={}", dims.years);
+    let _ = writeln!(s, "epochs_per_year={}", dims.epochs_per_year);
+    let _ = writeln!(s, "chips_per_margin={}", dims.chips_per_margin);
+    let _ = writeln!(s, "sessions_per_epoch={}", dims.sessions_per_epoch);
+    let _ = writeln!(s, "universe={}", dims.universe);
+    let margins: Vec<String> = dims.margins.iter().map(|m| format!("{m:?}")).collect();
+    let _ = writeln!(s, "margins={}", margins.join(","));
+    let _ = writeln!(s, "epochs_done={}", ckpt.epochs_done);
+    let d = &ckpt.durability;
+    let _ = writeln!(
+        s,
+        "durability={} {} {} {} {} {}",
+        d.crashes,
+        d.clean_recoveries,
+        d.faulty_recoveries,
+        d.wal_bytes_dropped,
+        d.duplicates_skipped,
+        d.events_journaled,
+    );
+    for row in &ckpt.rows {
+        let _ = writeln!(s, "{}", row.to_line());
+    }
+    let _ = writeln!(s, "snapshot={}", hex_encode(&ckpt.snapshot));
+    let _ = writeln!(s, "wal={}", hex_encode(&ckpt.wal));
+    s
+}
+
+/// Parses a checkpoint written by [`checkpoint_text`]; `None` (fresh
+/// start) if malformed or written for a different configuration.
+fn parse_checkpoint(text: &str, seed: u64, dims: &Dims) -> Option<Checkpoint> {
+    let get = |key: &str| -> Option<String> {
+        text.lines()
+            .find_map(|l| l.strip_prefix(key)?.strip_prefix('=').map(str::to_string))
+    };
+    let margins: Vec<String> = dims.margins.iter().map(|m| format!("{m:?}")).collect();
+    if get("version")?.parse::<u32>().ok()? != 1
+        || get("seed")?.parse::<u64>().ok()? != seed
+        || get("years")?.parse::<usize>().ok()? != dims.years
+        || get("epochs_per_year")?.parse::<usize>().ok()? != dims.epochs_per_year
+        || get("chips_per_margin")?.parse::<usize>().ok()? != dims.chips_per_margin
+        || get("sessions_per_epoch")?.parse::<usize>().ok()? != dims.sessions_per_epoch
+        || get("universe")?.parse::<usize>().ok()? != dims.universe
+        || get("margins")? != margins.join(",")
+    {
+        return None;
+    }
+    let mut d = get("durability")?;
+    let durability = {
+        let mut it = d.split_whitespace();
+        let mut next = || it.next()?.parse::<u64>().ok();
+        Durability {
+            crashes: next()?,
+            clean_recoveries: next()?,
+            faulty_recoveries: next()?,
+            wal_bytes_dropped: next()?,
+            duplicates_skipped: next()?,
+            events_journaled: next()?,
+        }
+    };
+    d.clear();
+    let rows: Vec<EpochRow> = text
+        .lines()
+        .filter_map(|l| EpochRow::parse(l.strip_prefix("row=")?))
+        .collect();
+    Some(Checkpoint {
+        epochs_done: get("epochs_done")?.parse().ok()?,
+        rows,
+        durability,
+        snapshot: hex_decode(&get("snapshot")?)?,
+        wal: hex_decode(&get("wal")?)?,
+    })
+}
+
+/// Measures a fresh enrollment record from the (aged) chip and stamps the
+/// cohort margin onto its fitted βs.
+fn measure_enrollment(
+    seed: u64,
+    dims: &Dims,
+    chip: &Chip,
+    epoch: u64,
+    margin: f64,
+) -> EnrolledChip {
+    let mut rng = StdRng::seed_from_u64(mix(seed, LANE_ENROLL, u64::from(chip.id()), epoch));
+    let config = EnrollmentConfig::small(dims.xor_n);
+    let record = enroll(chip, &config, &mut rng).expect("soak chips keep their fuses intact");
+    apply_margin(record, margin)
+}
+
+fn main() {
+    let cli = puf_bench::BenchCliSpec::new("target/SOAK_trace.json")
+        .with_checkpoint()
+        .parse();
+    let (smoke, seed, fresh, trace) = (cli.smoke, cli.seed, cli.fresh, cli.trace);
+    if trace.is_some() {
+        // Tick clock: the trace, like the JSON, is byte-identical per seed.
+        let tracer = puf_telemetry::tracer();
+        tracer.set_clock(puf_telemetry::TraceClock::Tick);
+        tracer.set_lane_capacity(1 << 20);
+        tracer.set_enabled(true);
+    }
+    let dims = if smoke { Dims::smoke() } else { Dims::full() };
+    let out_path = cli.out.unwrap_or_else(|| {
+        if smoke {
+            "target/BENCH_soak_smoke.json".to_string()
+        } else {
+            "results/BENCH_soak.json".to_string()
+        }
+    });
+    let ckpt_path = cli.checkpoint.unwrap_or_else(|| {
+        if smoke {
+            "target/soak_checkpoint_smoke.txt".to_string()
+        } else {
+            "target/soak_checkpoint.txt".to_string()
+        }
+    });
+
+    println!(
+        "decade soak: {} chips ({} margins x {}), {} years x {} epochs, universe {}",
+        dims.total_chips(),
+        dims.margins.len(),
+        dims.chips_per_margin,
+        dims.years,
+        dims.epochs_per_year,
+        dims.universe,
+    );
+
+    // ---- fabricate the fleet (deterministic, so resume refabricates) ----
+    let mut fab_rng = StdRng::seed_from_u64(mix(seed, LANE_FABRICATE, 0, 0));
+    let mut chips: Vec<Chip> = (0..dims.total_chips() as u32)
+        .map(|id| Chip::fabricate(id, &dims.chip_config, &mut fab_rng))
+        .collect();
+    let mut universe_rng = StdRng::seed_from_u64(mix(seed, LANE_UNIVERSE, 0, 0));
+    let universe = Arc::new(
+        ChallengeUniverse::generate(dims.chip_config.stages, dims.universe, &mut universe_rng)
+            .expect("soak universe generation"),
+    );
+
+    // ---- resume or fresh start -----------------------------------------
+    let mut rows: Vec<EpochRow> = Vec::new();
+    let mut durability = Durability::default();
+    let mut log = DurableLog::new(dims.snapshot_every);
+    let mut start_epoch = 0usize;
+    if !fresh {
+        if let Ok(text) = std::fs::read_to_string(&ckpt_path) {
+            if let Some(ckpt) = parse_checkpoint(&text, seed, &dims) {
+                let (recovered, report) = recover(&ckpt.snapshot, &ckpt.wal);
+                assert!(
+                    report.is_clean(),
+                    "soak checkpoint durable store must recover cleanly: {report:?}"
+                );
+                log = recovered;
+                log.set_snapshot_every(dims.snapshot_every);
+                start_epoch = ckpt.epochs_done;
+                rows = ckpt.rows;
+                durability = ckpt.durability;
+                println!(
+                    "  resuming from checkpoint: {}/{} epochs done",
+                    start_epoch,
+                    dims.total_epochs()
+                );
+            } else {
+                println!("  checkpoint at {ckpt_path} does not match this run; starting fresh");
+            }
+        }
+    }
+    let resumed_from = start_epoch;
+
+    // ---- initial enrollment (journaled; skipped entirely on resume) ----
+    if start_epoch == 0 {
+        for chip in &chips {
+            let margin = dims.margins[dims.cohort_of(chip.id())];
+            let record = measure_enrollment(seed, &dims, chip, 0, margin);
+            log.append(&DurableEvent::Enroll(record));
+            durability.events_journaled += 1;
+        }
+    }
+    let mut manager = log
+        .state()
+        .restore_session_manager(dims.policy())
+        .expect("soak session policy is valid");
+    let mut source = SoakSource::new(Arc::clone(&universe));
+    source.restore(log.state());
+
+    let corners = Condition::paper_grid();
+    let crash_kinds = [
+        None,
+        Some(DiskFaultKind::TornFinalRecord),
+        Some(DiskFaultKind::BitRot),
+        Some(DiskFaultKind::DuplicatedTail),
+        Some(DiskFaultKind::TruncatedSnapshot),
+    ];
+
+    // ---- the soak loop --------------------------------------------------
+    for epoch in start_epoch..dims.total_epochs() {
+        puf_telemetry::counter!("bench.soak.epochs").inc();
+        let hours = dims.hours_at(epoch);
+        let corner = corners[epoch % corners.len()];
+        for chip in &mut chips {
+            chip.set_age(hours);
+        }
+        let mut epoch_rows: Vec<EpochRow> = (0..dims.margins.len())
+            .map(|cohort| EpochRow {
+                epoch,
+                cohort,
+                ..EpochRow::default()
+            })
+            .collect();
+
+        for chip in &chips {
+            let chip_id = chip.id();
+            let cohort = dims.cohort_of(chip_id);
+            let margin = dims.margins[cohort];
+            let row = &mut epoch_rows[cohort];
+
+            // A chip whose record vanished with a lost snapshot gets a
+            // full (journaled) re-enrollment before serving resumes.
+            if manager.server().record(chip_id).is_none() {
+                let record = measure_enrollment(seed, &dims, chip, epoch as u64, margin);
+                manager.register_chip(record.clone());
+                source.reset_pool(chip_id);
+                log.append(&DurableEvent::Enroll(record));
+                durability.events_journaled += 1;
+                row.recovery_reenrolls += 1;
+                puf_telemetry::counter!("bench.soak.recovery_reenrolls").inc();
+            }
+
+            // Lockouts from a previous epoch get one administrative
+            // reinstatement per epoch (the out-of-band vetting cooloff).
+            if manager.is_locked_out(chip_id) {
+                manager.reinstate(chip_id);
+                log.append(&DurableEvent::Reinstate { chip_id });
+                durability.events_journaled += 1;
+            }
+
+            let mut exhausted_this_epoch = false;
+            for k in 0..dims.sessions_per_epoch {
+                let uid = (epoch * dims.sessions_per_epoch + k) as u64;
+                let mut responder = ChipResponder::new(
+                    chip,
+                    dims.xor_n,
+                    corner,
+                    mix(seed, LANE_SESSION, u64::from(chip_id), uid),
+                );
+                let mut channel = FaultPlan::none(mix(seed, LANE_CHANNEL, u64::from(chip_id), uid))
+                    .with_channel(dims.channel_plan())
+                    .channel_faults();
+                let mut rng =
+                    StdRng::seed_from_u64(mix(seed, LANE_SESSION, u64::from(chip_id), uid ^ 1));
+                row.sessions += 1;
+                puf_telemetry::counter!("bench.soak.sessions").inc();
+                match manager.authenticate_with_source(
+                    chip_id,
+                    &mut responder,
+                    &mut channel,
+                    &mut source,
+                    &mut rng,
+                ) {
+                    Ok(report) => match report.outcome {
+                        SessionOutcome::Accepted => row.accepted += 1,
+                        SessionOutcome::Degraded => row.degraded += 1,
+                        SessionOutcome::Rejected => row.rejected += 1,
+                        SessionOutcome::LockedOut => {
+                            row.locked_out += 1;
+                            log.append(&DurableEvent::Lockout { chip_id });
+                            durability.events_journaled += 1;
+                        }
+                    },
+                    Err(ProtocolError::ChipLockedOut { .. }) => row.lockout_refusals += 1,
+                    Err(ProtocolError::ChallengeSelectionExhausted { .. }) => {
+                        row.exhausted += 1;
+                        exhausted_this_epoch = true;
+                    }
+                    Err(e) => panic!("soak session failed unexpectedly: {e}"),
+                }
+            }
+
+            // Fuse-read wear: the testbench senses the fuse path with a
+            // deterministic glitch rate; indeterminate reads are retried
+            // in the field, so here they only accumulate wear statistics.
+            let mut fuse_rng =
+                StdRng::seed_from_u64(mix(seed, LANE_FUSE, u64::from(chip_id), epoch as u64));
+            for _ in 0..dims.fuse_audits {
+                let glitch = fuse_rng.gen_bool(0.1);
+                row.fuse_senses += 1;
+                if chip.fuse_sense(glitch) == FuseSense::Indeterminate {
+                    row.fuse_glitches += 1;
+                }
+            }
+
+            // Close the re-enrollment loop: degraded sessions flagged the
+            // model stale, or the lifetime pool ran dry — either way the
+            // aged chip is re-measured and its pool account starts over.
+            let needs = manager.state(chip_id).is_some_and(|s| s.needs_reenrollment);
+            if needs || exhausted_this_epoch {
+                let record = measure_enrollment(seed, &dims, chip, epoch as u64, margin);
+                manager
+                    .reenroll_chip(record.clone())
+                    .expect("re-enrolling a registered chip");
+                source.reset_pool(chip_id);
+                log.append(&DurableEvent::Reenroll(record));
+                durability.events_journaled += 1;
+                row.reenrolls += 1;
+                puf_telemetry::counter!("bench.soak.reenrollments").inc();
+            }
+        }
+
+        // Journal the epoch's pool consumption and ladder states.
+        let fresh_bits = std::mem::take(&mut source.fresh);
+        for (chip_id, bits) in fresh_bits {
+            log.append(&DurableEvent::PoolConsume { chip_id, bits });
+            durability.events_journaled += 1;
+        }
+        for (chip_id, state) in manager.states() {
+            log.append(&DurableEvent::StateSync {
+                chip_id,
+                state: *state,
+            });
+        }
+        durability.events_journaled += log.state().len() as u64;
+        for chip in &chips {
+            let cohort = dims.cohort_of(chip.id());
+            epoch_rows[cohort].pool_consumed += source.consumed_of(chip.id()) as u64;
+        }
+
+        // Periodic crash/recover: corrupt the durable buffers with the
+        // rotating fault kind (or none), recover, and carry on from the
+        // salvage. Fault-free cycles must recover bit-identically.
+        if (epoch + 1).is_multiple_of(dims.crash_every) {
+            durability.crashes += 1;
+            puf_telemetry::counter!("bench.soak.crashes").inc();
+            let kind = crash_kinds[(epoch / dims.crash_every) % crash_kinds.len()];
+            let mut snapshot = log.snapshot_bytes().to_vec();
+            let mut wal = log.wal_bytes().to_vec();
+            let corruption = match kind {
+                None => DiskCorruption::None,
+                Some(kind) => FaultPlan::none(mix(seed, LANE_CRASH, epoch as u64, 0))
+                    .disk_faults(kind)
+                    .corrupt(&mut snapshot, &mut wal),
+            };
+            let (recovered, report) = recover(&snapshot, &wal);
+            if corruption == DiskCorruption::None {
+                assert!(
+                    report.is_clean() && recovered.state() == log.state(),
+                    "clean crash must recover bit-identically: {report:?}"
+                );
+                durability.clean_recoveries += 1;
+            } else {
+                durability.faulty_recoveries += 1;
+                durability.wal_bytes_dropped += report.wal_bytes_dropped as u64;
+                durability.duplicates_skipped += report.duplicates_skipped;
+                println!(
+                    "  epoch {:>3}: crash with {:?} -> recovered {} events, dropped {} bytes",
+                    epoch + 1,
+                    corruption,
+                    report.events_applied,
+                    report.wal_bytes_dropped,
+                );
+            }
+            // Adopt the salvage: the live service state after a crash IS
+            // whatever recovery produced.
+            log = recovered;
+            log.set_snapshot_every(dims.snapshot_every);
+            manager = log
+                .state()
+                .restore_session_manager(dims.policy())
+                .expect("recovered policy is the same policy");
+            source.restore(log.state());
+        }
+
+        rows.extend(epoch_rows);
+        // Compact before checkpointing so the hex payload stays bounded.
+        log.compact();
+        let ckpt = Checkpoint {
+            epochs_done: epoch + 1,
+            rows: rows.clone(),
+            durability,
+            snapshot: log.snapshot_bytes().to_vec(),
+            wal: log.wal_bytes().to_vec(),
+        };
+        std::fs::create_dir_all("target").expect("create target directory");
+        std::fs::write(&ckpt_path, checkpoint_text(seed, &dims, &ckpt)).expect("write checkpoint");
+        // Test hook (used by scripts/check.sh): abort after N epochs as if
+        // the process died, leaving the checkpoint behind for a resume.
+        if std::env::var("SOAK_STOP_AFTER")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            == Some(epoch + 1)
+        {
+            println!("  stopping after epoch {} (SOAK_STOP_AFTER)", epoch + 1);
+            return;
+        }
+        if (epoch + 1).is_multiple_of(dims.epochs_per_year) {
+            let year = (epoch + 1) / dims.epochs_per_year;
+            let year_rows: Vec<&EpochRow> = rows
+                .iter()
+                .filter(|r| r.epoch / dims.epochs_per_year == year - 1)
+                .collect();
+            let sessions: u64 = year_rows.iter().map(|r| r.sessions).sum();
+            let denied: u64 = year_rows.iter().map(|r| r.denied()).sum();
+            println!(
+                "  year {year:>2}/{}: {} sessions, FRR {:.4}, {} re-enrollments",
+                dims.years,
+                sessions,
+                denied as f64 / sessions.max(1) as f64,
+                year_rows.iter().map(|r| r.reenrolls).sum::<u64>(),
+            );
+        }
+    }
+
+    // ---- aggregate and emit ---------------------------------------------
+    let header = SchemaHeader::capture();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&header.to_json_member(2));
+    json.push_str(",\n");
+    json.push_str("  \"config\": {\n");
+    let _ = writeln!(json, "    \"seed\": {seed},");
+    let _ = writeln!(json, "    \"years\": {},", dims.years);
+    let _ = writeln!(json, "    \"epochs_per_year\": {},", dims.epochs_per_year);
+    let _ = writeln!(json, "    \"chips_per_margin\": {},", dims.chips_per_margin);
+    let _ = writeln!(
+        json,
+        "    \"sessions_per_epoch\": {},",
+        dims.sessions_per_epoch
+    );
+    let _ = writeln!(json, "    \"universe\": {},", dims.universe);
+    let _ = writeln!(json, "    \"rounds\": {},", dims.rounds);
+    let _ = writeln!(json, "    \"stages\": {},", dims.chip_config.stages);
+    let _ = writeln!(json, "    \"xor_n\": {},", dims.xor_n);
+    let _ = writeln!(json, "    \"snapshot_every\": {},", dims.snapshot_every);
+    let _ = writeln!(json, "    \"crash_every\": {}", dims.crash_every);
+    json.push_str("  },\n");
+    json.push_str("  \"cohorts\": [\n");
+    for (cohort, &margin) in dims.margins.iter().enumerate() {
+        let cohort_rows: Vec<&EpochRow> = rows.iter().filter(|r| r.cohort == cohort).collect();
+        let sessions: u64 = cohort_rows.iter().map(|r| r.sessions).sum();
+        let denied: u64 = cohort_rows.iter().map(|r| r.denied()).sum();
+        let reenrolls: u64 = cohort_rows.iter().map(|r| r.reenrolls).sum();
+        let chip_years = (dims.chips_per_margin * dims.years) as f64;
+        // First year in which any cohort chip's pool ran dry; 0 = never.
+        let horizon = cohort_rows
+            .iter()
+            .find(|r| r.exhausted > 0)
+            .map_or(0, |r| r.epoch / dims.epochs_per_year + 1);
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"margin\": {margin:?},");
+        let _ = writeln!(json, "      \"reenroll_total\": {reenrolls},");
+        let _ = writeln!(
+            json,
+            "      \"reenroll_per_chip_year\": {:.4},",
+            reenrolls as f64 / chip_years
+        );
+        let _ = writeln!(json, "      \"pool_exhaustion_horizon_year\": {horizon},");
+        let _ = writeln!(
+            json,
+            "      \"frr\": {:.6},",
+            denied as f64 / sessions.max(1) as f64
+        );
+        json.push_str("      \"years\": [\n");
+        for year in 1..=dims.years {
+            let yr: Vec<&&EpochRow> = cohort_rows
+                .iter()
+                .filter(|r| r.epoch / dims.epochs_per_year == year - 1)
+                .collect();
+            let s: u64 = yr.iter().map(|r| r.sessions).sum();
+            let d: u64 = yr.iter().map(|r| r.denied()).sum();
+            let _ = writeln!(
+                json,
+                "        {{\"year\": {year}, \"sessions\": {s}, \"frr\": {:.6}, \
+                 \"degraded\": {}, \"lockouts\": {}, \"reenrolls\": {}, \"exhausted\": {}, \
+                 \"pool_consumed\": {}, \"fuse_glitches\": {}}}{}",
+                d as f64 / s.max(1) as f64,
+                yr.iter().map(|r| r.degraded).sum::<u64>(),
+                yr.iter().map(|r| r.locked_out).sum::<u64>(),
+                yr.iter().map(|r| r.reenrolls).sum::<u64>(),
+                yr.iter().map(|r| r.exhausted).sum::<u64>(),
+                yr.last().map_or(0, |r| r.pool_consumed),
+                yr.iter().map(|r| r.fuse_glitches).sum::<u64>(),
+                if year < dims.years { "," } else { "" },
+            );
+        }
+        json.push_str("      ]\n");
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if cohort + 1 < dims.margins.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"durability\": {\n");
+    let _ = writeln!(json, "    \"crashes\": {},", durability.crashes);
+    let _ = writeln!(
+        json,
+        "    \"clean_recoveries\": {},",
+        durability.clean_recoveries
+    );
+    let _ = writeln!(
+        json,
+        "    \"faulty_recoveries\": {},",
+        durability.faulty_recoveries
+    );
+    let _ = writeln!(
+        json,
+        "    \"wal_bytes_dropped\": {},",
+        durability.wal_bytes_dropped
+    );
+    let _ = writeln!(
+        json,
+        "    \"duplicates_skipped\": {},",
+        durability.duplicates_skipped
+    );
+    let _ = writeln!(
+        json,
+        "    \"events_journaled\": {},",
+        durability.events_journaled
+    );
+    let _ = writeln!(
+        json,
+        "    \"snapshot_bytes_final\": {},",
+        log.snapshot_bytes().len()
+    );
+    let _ = writeln!(
+        json,
+        "    \"recovery_reenrolls\": {}",
+        rows.iter().map(|r| r.recovery_reenrolls).sum::<u64>()
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"totals\": {\n");
+    let sessions: u64 = rows.iter().map(|r| r.sessions).sum();
+    let denied: u64 = rows.iter().map(|r| r.denied()).sum();
+    let _ = writeln!(json, "    \"sessions\": {sessions},");
+    let _ = writeln!(
+        json,
+        "    \"frr\": {:.6},",
+        denied as f64 / sessions.max(1) as f64
+    );
+    // Live pool accounting *after* the last crash/recover cycle — a
+    // truncated-snapshot crash late in life legitimately zeroes this.
+    let _ = writeln!(
+        json,
+        "    \"pool_live_final\": {},",
+        source.consumed_total()
+    );
+    let _ = writeln!(
+        json,
+        "    \"fuse_glitches\": {}",
+        rows.iter().map(|r| r.fuse_glitches).sum::<u64>()
+    );
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).expect("create output directory");
+    }
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    // A finished soak invalidates its checkpoint.
+    let _ = std::fs::remove_file(&ckpt_path);
+    println!("\nwrote {out_path} (resumed from epoch {resumed_from})");
+
+    if let Some(trace_path) = trace {
+        let tracer = puf_telemetry::tracer();
+        let events = tracer.snapshot_events();
+        assert_eq!(
+            tracer.evicted(),
+            0,
+            "trace ring wrapped; raise the lane capacity"
+        );
+        if let Some(parent) = std::path::Path::new(&trace_path).parent() {
+            std::fs::create_dir_all(parent).expect("create trace directory");
+        }
+        let clock = tracer.clock();
+        std::fs::write(
+            &trace_path,
+            puf_telemetry::trace_export::chrome_trace_json(&events, clock),
+        )
+        .expect("write chrome trace");
+        println!("wrote {trace_path} ({} events)", events.len());
+    }
+    puf_bench::emit_telemetry_report();
+}

@@ -189,36 +189,12 @@ fn shard_challenges(seed: u64, shard: usize, len: usize) -> Vec<Challenge> {
 }
 
 fn main() {
-    let mut smoke = false;
-    let mut no_gate = false;
-    let mut fresh = false;
-    let mut seed: u64 = 2017;
-    let mut out: Option<String> = None;
-    let mut checkpoint: Option<String> = None;
-    let mut trace: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--smoke" => smoke = true,
-            "--no-gate" => no_gate = true,
-            "--fresh" => fresh = true,
-            "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|v| v.trim().parse().ok())
-                    .expect("--seed takes an integer");
-            }
-            "--out" => out = Some(args.next().expect("--out takes a path")),
-            "--checkpoint" => checkpoint = Some(args.next().expect("--checkpoint takes a path")),
-            "--trace" => trace = Some("target/TRILLION_trace.json".to_string()),
-            other if other.starts_with("--trace=") => {
-                trace = Some(other["--trace=".len()..].to_string());
-            }
-            other => panic!(
-                "unknown argument {other} (expected --smoke / --no-gate / --fresh / --seed N / --out PATH / --checkpoint PATH / --trace[=PATH])"
-            ),
-        }
-    }
+    let cli = puf_bench::BenchCliSpec::new("target/TRILLION_trace.json")
+        .with_gate()
+        .with_checkpoint()
+        .parse();
+    let (smoke, no_gate, fresh) = (cli.smoke, cli.no_gate, cli.fresh);
+    let (seed, out, checkpoint, trace) = (cli.seed, cli.out, cli.checkpoint, cli.trace);
     if trace.is_some() {
         let tracer = puf_telemetry::tracer();
         tracer.set_lane_capacity(1 << 20);

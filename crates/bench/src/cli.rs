@@ -1,0 +1,224 @@
+//! Shared flag parsing for the bench binaries.
+//!
+//! Every bench bin (`chaos`, `trillion`, `server`, `soak`) takes the same
+//! hand-rolled flag family — `--smoke`, `--seed N`, `--out PATH`,
+//! `--trace[=PATH]`, plus `--no-gate` for gated benches and
+//! `--fresh` / `--checkpoint PATH` for resumable ones. The parse loop used
+//! to be duplicated per bin and drifted (different expected-flag lists,
+//! different error spellings); this module is the single copy.
+//!
+//! A bin declares which optional flag families it accepts via
+//! [`BenchCliSpec`] and gets back a parsed [`BenchCli`]. Unknown flags —
+//! including flags from a family the bin did not opt into — panic with the
+//! bin's exact accepted-flag list, preserving the old behaviour (bench
+//! bins are allowed to panic; they are not library code).
+
+/// Parsed bench-bin flags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchCli {
+    /// `--smoke`: run the seconds-scale bounded variant.
+    pub smoke: bool,
+    /// `--no-gate`: record results even when a performance gate fails.
+    /// Always `false` for bins that did not opt into the gate family.
+    pub no_gate: bool,
+    /// `--fresh`: ignore an existing checkpoint and start over.
+    /// Always `false` for bins without checkpoints.
+    pub fresh: bool,
+    /// `--seed N` (defaulting to the spec's default seed).
+    pub seed: u64,
+    /// `--out PATH`, if given.
+    pub out: Option<String>,
+    /// `--checkpoint PATH`, if given. Always `None` for bins without
+    /// checkpoints.
+    pub checkpoint: Option<String>,
+    /// `--trace[=PATH]`: bare `--trace` resolves to the spec's default
+    /// trace path.
+    pub trace: Option<String>,
+}
+
+/// Which flag families a bench bin accepts, and its defaults.
+#[derive(Clone, Debug)]
+pub struct BenchCliSpec {
+    default_seed: u64,
+    trace_default: &'static str,
+    gate: bool,
+    checkpoint: bool,
+}
+
+impl BenchCliSpec {
+    /// A spec accepting the base family (`--smoke` / `--seed N` /
+    /// `--out PATH` / `--trace[=PATH]`), with seed defaulting to 2017
+    /// (the paper year, as everywhere else in this repo) and bare
+    /// `--trace` writing to `trace_default`.
+    pub fn new(trace_default: &'static str) -> Self {
+        Self {
+            default_seed: 2017,
+            trace_default,
+            gate: false,
+            checkpoint: false,
+        }
+    }
+
+    /// Also accept `--no-gate`.
+    #[must_use]
+    pub fn with_gate(mut self) -> Self {
+        self.gate = true;
+        self
+    }
+
+    /// Also accept `--fresh` and `--checkpoint PATH`.
+    #[must_use]
+    pub fn with_checkpoint(mut self) -> Self {
+        self.checkpoint = true;
+        self
+    }
+
+    /// Override the default seed.
+    #[must_use]
+    pub fn default_seed(mut self, seed: u64) -> Self {
+        self.default_seed = seed;
+        self
+    }
+
+    /// Parses the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// On any unknown flag or missing flag value, with the full list of
+    /// flags this bin accepts.
+    pub fn parse(&self) -> BenchCli {
+        self.parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument iterator (the testable entry point).
+    ///
+    /// # Panics
+    ///
+    /// As for [`Self::parse`].
+    pub fn parse_from<I>(&self, args: I) -> BenchCli
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut cli = BenchCli {
+            smoke: false,
+            no_gate: false,
+            fresh: false,
+            seed: self.default_seed,
+            out: None,
+            checkpoint: None,
+            trace: None,
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => cli.smoke = true,
+                "--no-gate" if self.gate => cli.no_gate = true,
+                "--fresh" if self.checkpoint => cli.fresh = true,
+                "--seed" => {
+                    cli.seed = args
+                        .next()
+                        .and_then(|v| v.trim().parse().ok())
+                        .unwrap_or_else(|| panic!("--seed takes an integer"));
+                }
+                "--out" => {
+                    cli.out = Some(args.next().unwrap_or_else(|| panic!("--out takes a path")));
+                }
+                "--checkpoint" if self.checkpoint => {
+                    cli.checkpoint = Some(
+                        args.next()
+                            .unwrap_or_else(|| panic!("--checkpoint takes a path")),
+                    );
+                }
+                "--trace" => cli.trace = Some(self.trace_default.to_string()),
+                other if other.starts_with("--trace=") => {
+                    cli.trace = Some(other["--trace=".len()..].to_string());
+                }
+                other => panic!("unknown argument {other} (expected {})", self.expected()),
+            }
+        }
+        cli
+    }
+
+    fn expected(&self) -> String {
+        let mut expected = String::from("--smoke");
+        if self.gate {
+            expected.push_str(" / --no-gate");
+        }
+        if self.checkpoint {
+            expected.push_str(" / --fresh");
+        }
+        expected.push_str(" / --seed N / --out PATH");
+        if self.checkpoint {
+            expected.push_str(" / --checkpoint PATH");
+        }
+        expected.push_str(" / --trace[=PATH]");
+        expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = BenchCliSpec::new("target/t.json").parse_from(strs(&[]));
+        assert_eq!(cli.seed, 2017);
+        assert!(!cli.smoke && !cli.no_gate && !cli.fresh);
+        assert_eq!(cli.out, None);
+        assert_eq!(cli.checkpoint, None);
+        assert_eq!(cli.trace, None);
+    }
+
+    #[test]
+    fn full_flag_family_parses() {
+        let cli = BenchCliSpec::new("target/t.json")
+            .with_gate()
+            .with_checkpoint()
+            .parse_from(strs(&[
+                "--smoke",
+                "--no-gate",
+                "--fresh",
+                "--seed",
+                "7",
+                "--out",
+                "o.json",
+                "--checkpoint",
+                "c.txt",
+                "--trace",
+            ]));
+        assert!(cli.smoke && cli.no_gate && cli.fresh);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.out.as_deref(), Some("o.json"));
+        assert_eq!(cli.checkpoint.as_deref(), Some("c.txt"));
+        assert_eq!(cli.trace.as_deref(), Some("target/t.json"));
+    }
+
+    #[test]
+    fn trace_path_override() {
+        let cli = BenchCliSpec::new("target/t.json").parse_from(strs(&["--trace=x.json"]));
+        assert_eq!(cli.trace.as_deref(), Some("x.json"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument --bogus")]
+    fn unknown_flag_panics_with_expected_list() {
+        BenchCliSpec::new("t").parse_from(strs(&["--bogus"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument --no-gate")]
+    fn gate_flag_rejected_unless_opted_in() {
+        BenchCliSpec::new("t").parse_from(strs(&["--no-gate"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--seed takes an integer")]
+    fn seed_requires_an_integer() {
+        BenchCliSpec::new("t").parse_from(strs(&["--seed", "abc"]));
+    }
+}

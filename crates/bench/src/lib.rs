@@ -22,6 +22,7 @@
 // The scoped-thread fan-out is the workspace's single sanctioned `unsafe`
 // module (lint rule L2 allowlists exactly this declaration); its claiming
 // protocol is machine-checked by `par_model` and `scripts/sanitize.sh`.
+pub mod cli;
 pub mod fleet;
 #[allow(unsafe_code)]
 pub mod par;
@@ -29,6 +30,7 @@ pub mod par_model;
 pub mod scale;
 pub mod schema;
 
+pub use cli::{BenchCli, BenchCliSpec};
 pub use scale::Scale;
 pub use schema::SchemaHeader;
 

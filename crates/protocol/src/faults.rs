@@ -232,6 +232,145 @@ impl FaultPlan {
     pub fn measurement_faults(&self) -> puf_silicon::MeasurementFaults {
         self.measurement
     }
+
+    /// The storage-path fault injector (lane 4; lane 3 is claimed by the
+    /// chaos bench's device-glitch wrapper).
+    pub fn disk_faults(&self, kind: DiskFaultKind) -> DiskFault {
+        DiskFault {
+            rng: self.lane_rng(4),
+            kind,
+        }
+    }
+}
+
+/// Storage-path failure classes — what a decade of flash and disk actually
+/// does to a write-ahead log and its snapshots (DESIGN.md §16).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// A crash mid-append: the log loses a random-length suffix of its
+    /// final record (the classic torn write).
+    TornFinalRecord,
+    /// One bit flips somewhere in the stored bytes (media bit rot); the
+    /// frame CRC must catch it.
+    BitRot,
+    /// The snapshot file was only partially written before the crash.
+    TruncatedSnapshot,
+    /// A retried flush appended the tail bytes a second time (the storage
+    /// stack acknowledged the first write late).
+    DuplicatedTail,
+}
+
+/// What a [`DiskFault`] actually did to the buffers, so recovery tests can
+/// assert the salvage report against ground truth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskCorruption {
+    /// The targeted buffer was empty; nothing was corrupted.
+    None,
+    /// The log lost its last `dropped` bytes.
+    TornFinalRecord {
+        /// Bytes removed from the end of the log.
+        dropped: usize,
+    },
+    /// One bit flipped.
+    BitRot {
+        /// Whether the flip landed in the snapshot (else the log).
+        in_snapshot: bool,
+        /// Byte offset of the flip.
+        byte: usize,
+        /// Bit index within the byte.
+        bit: u8,
+    },
+    /// The snapshot kept only its first `kept` bytes.
+    TruncatedSnapshot {
+        /// Bytes surviving at the front.
+        kept: usize,
+        /// Bytes lost from the end.
+        dropped: usize,
+    },
+    /// The log's last `duplicated` bytes were appended a second time.
+    DuplicatedTail {
+        /// Length of the duplicated tail.
+        duplicated: usize,
+    },
+}
+
+/// Deterministic storage-fault injector over raw snapshot/log byte
+/// buffers. Built from [`FaultPlan::disk_faults`] (lane 4), so the same
+/// plan seed corrupts the same offsets no matter what else the scenario
+/// injects.
+#[derive(Clone, Debug)]
+pub struct DiskFault {
+    rng: StdRng,
+    kind: DiskFaultKind,
+}
+
+impl DiskFault {
+    /// The fault class this injector applies.
+    pub fn kind(&self) -> DiskFaultKind {
+        self.kind
+    }
+
+    /// Applies the fault to the stored buffers, returning exactly what was
+    /// done. Empty targets degrade to [`DiskCorruption::None`] — a fault
+    /// cannot tear a write that never happened.
+    pub fn corrupt(&mut self, snapshot: &mut Vec<u8>, wal: &mut Vec<u8>) -> DiskCorruption {
+        match self.kind {
+            DiskFaultKind::TornFinalRecord => {
+                if wal.is_empty() {
+                    return DiskCorruption::None;
+                }
+                // A torn append loses up to one frame's worth of tail.
+                let dropped = self.rng.gen_range(1..=wal.len().min(64));
+                wal.truncate(wal.len() - dropped);
+                puf_telemetry::counter!("faults.disk.torn_writes").inc();
+                DiskCorruption::TornFinalRecord { dropped }
+            }
+            DiskFaultKind::BitRot => {
+                let in_snapshot = if snapshot.is_empty() {
+                    false
+                } else if wal.is_empty() {
+                    true
+                } else {
+                    self.rng.gen::<bool>()
+                };
+                let target: &mut Vec<u8> = if in_snapshot { snapshot } else { wal };
+                if target.is_empty() {
+                    return DiskCorruption::None;
+                }
+                let byte = self.rng.gen_range(0..target.len());
+                let bit = self.rng.gen_range(0..8u8);
+                if let Some(b) = target.get_mut(byte) {
+                    *b ^= 1 << bit;
+                }
+                puf_telemetry::counter!("faults.disk.bit_rot").inc();
+                DiskCorruption::BitRot {
+                    in_snapshot,
+                    byte,
+                    bit,
+                }
+            }
+            DiskFaultKind::TruncatedSnapshot => {
+                if snapshot.is_empty() {
+                    return DiskCorruption::None;
+                }
+                let kept = self.rng.gen_range(0..snapshot.len());
+                let dropped = snapshot.len() - kept;
+                snapshot.truncate(kept);
+                puf_telemetry::counter!("faults.disk.truncated_snapshots").inc();
+                DiskCorruption::TruncatedSnapshot { kept, dropped }
+            }
+            DiskFaultKind::DuplicatedTail => {
+                if wal.is_empty() {
+                    return DiskCorruption::None;
+                }
+                let duplicated = self.rng.gen_range(1..=wal.len().min(128));
+                let tail = wal[wal.len() - duplicated..].to_vec();
+                wal.extend_from_slice(&tail);
+                puf_telemetry::counter!("faults.disk.duplicated_tails").inc();
+                DiskCorruption::DuplicatedTail { duplicated }
+            }
+        }
+    }
 }
 
 /// Response-path fault injector: per-bit flips and V/T perturbation, all
@@ -492,6 +631,116 @@ mod tests {
             PerfectChannel.transmit(payload.clone()),
             Delivery::Delivered(payload)
         );
+    }
+
+    #[test]
+    fn disk_faults_replay_bit_identically() {
+        let plan = FaultPlan::none(21);
+        for kind in [
+            DiskFaultKind::TornFinalRecord,
+            DiskFaultKind::BitRot,
+            DiskFaultKind::TruncatedSnapshot,
+            DiskFaultKind::DuplicatedTail,
+        ] {
+            let (mut snap_a, mut wal_a) = (vec![7u8; 100], vec![9u8; 200]);
+            let (mut snap_b, mut wal_b) = (vec![7u8; 100], vec![9u8; 200]);
+            let done_a = plan.disk_faults(kind).corrupt(&mut snap_a, &mut wal_a);
+            let done_b = plan.disk_faults(kind).corrupt(&mut snap_b, &mut wal_b);
+            assert_eq!(done_a, done_b, "{kind:?} must replay");
+            assert_eq!(snap_a, snap_b);
+            assert_eq!(wal_a, wal_b);
+            assert_ne!(done_a, DiskCorruption::None, "{kind:?} must act");
+        }
+    }
+
+    #[test]
+    fn disk_fault_shapes_match_their_kind() {
+        let plan = FaultPlan::none(22);
+        let snapshot: Vec<u8> = (0..=99).collect();
+        let wal: Vec<u8> = (0..200).map(|i| (i % 251) as u8).collect();
+
+        let (mut s, mut w) = (snapshot.clone(), wal.clone());
+        match plan
+            .disk_faults(DiskFaultKind::TornFinalRecord)
+            .corrupt(&mut s, &mut w)
+        {
+            DiskCorruption::TornFinalRecord { dropped } => {
+                assert_eq!(w.len(), wal.len() - dropped);
+                assert_eq!(w[..], wal[..wal.len() - dropped]);
+                assert_eq!(s, snapshot, "torn log must not touch the snapshot");
+            }
+            other => panic!("unexpected corruption {other:?}"),
+        }
+
+        let (mut s, mut w) = (snapshot.clone(), wal.clone());
+        match plan
+            .disk_faults(DiskFaultKind::BitRot)
+            .corrupt(&mut s, &mut w)
+        {
+            DiskCorruption::BitRot {
+                in_snapshot,
+                byte,
+                bit,
+            } => {
+                let (orig, now) = if in_snapshot {
+                    (&snapshot, &s)
+                } else {
+                    (&wal, &w)
+                };
+                assert_eq!(now[byte], orig[byte] ^ (1 << bit));
+                let untouched = now
+                    .iter()
+                    .zip(orig)
+                    .enumerate()
+                    .all(|(i, (a, b))| i == byte || a == b);
+                assert!(untouched, "bit rot flipped more than one byte");
+            }
+            other => panic!("unexpected corruption {other:?}"),
+        }
+
+        let (mut s, mut w) = (snapshot.clone(), wal.clone());
+        match plan
+            .disk_faults(DiskFaultKind::TruncatedSnapshot)
+            .corrupt(&mut s, &mut w)
+        {
+            DiskCorruption::TruncatedSnapshot { kept, dropped } => {
+                assert_eq!(kept + dropped, snapshot.len());
+                assert_eq!(s[..], snapshot[..kept]);
+                assert_eq!(w, wal, "snapshot truncation must not touch the log");
+            }
+            other => panic!("unexpected corruption {other:?}"),
+        }
+
+        let (mut s, mut w) = (snapshot.clone(), wal.clone());
+        match plan
+            .disk_faults(DiskFaultKind::DuplicatedTail)
+            .corrupt(&mut s, &mut w)
+        {
+            DiskCorruption::DuplicatedTail { duplicated } => {
+                assert_eq!(w.len(), wal.len() + duplicated);
+                assert_eq!(w[..wal.len()], wal[..]);
+                assert_eq!(w[wal.len()..], wal[wal.len() - duplicated..]);
+            }
+            other => panic!("unexpected corruption {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disk_faults_on_empty_buffers_are_noops() {
+        let plan = FaultPlan::none(23);
+        for kind in [
+            DiskFaultKind::TornFinalRecord,
+            DiskFaultKind::BitRot,
+            DiskFaultKind::TruncatedSnapshot,
+            DiskFaultKind::DuplicatedTail,
+        ] {
+            let (mut snap, mut wal) = (Vec::new(), Vec::new());
+            assert_eq!(
+                plan.disk_faults(kind).corrupt(&mut snap, &mut wal),
+                DiskCorruption::None
+            );
+            assert!(snap.is_empty() && wal.is_empty());
+        }
     }
 
     #[test]

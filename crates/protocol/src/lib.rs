@@ -48,6 +48,7 @@ pub mod attacks;
 pub mod auth;
 pub mod baselines;
 pub mod bifurcation;
+pub mod durable;
 pub mod enrollment;
 pub mod faults;
 pub mod keygen;
@@ -60,6 +61,7 @@ pub mod storage;
 pub mod threshold;
 
 pub use auth::{AuthOutcome, AuthPolicy, ChipResponder, RandomResponder, Responder};
+pub use durable::{recover, DurableEvent, DurableLog, DurableState, RecoveryReport};
 pub use enrollment::{enroll, EnrolledChip, EnrolledPuf, EnrollmentConfig};
 pub use faults::{ChannelFaultPlan, FaultInjector, FaultPlan, FaultyChannel, FaultyResponder};
 pub use server::{ExclusionSet, SelectedChallenge, Server};

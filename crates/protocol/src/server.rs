@@ -123,6 +123,32 @@ impl Server {
         self.records.insert(record.chip_id, record)
     }
 
+    /// Replaces the enrollment record of an *already-registered* chip with
+    /// a freshly measured one, returning the superseded record.
+    ///
+    /// This is the server half of closing the `needs_reenrollment` loop:
+    /// when the degraded-accept ladder flags a drifted chip, the operator
+    /// re-measures it ([`crate::enrollment::enroll`] against the aged
+    /// silicon) and swaps the stale delay model here. Unlike
+    /// [`Server::register`], an unknown chip id is an error — re-enrollment
+    /// must never silently enroll a chip the fleet has no history for.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownChip`] if the chip was never registered.
+    pub fn reenroll_chip(&mut self, record: EnrolledChip) -> Result<EnrolledChip, ProtocolError> {
+        let chip_id = record.chip_id;
+        match self.records.entry(chip_id) {
+            std::collections::btree_map::Entry::Occupied(mut entry) => {
+                puf_telemetry::counter!("protocol.reenroll.chips").inc();
+                Ok(entry.insert(record))
+            }
+            std::collections::btree_map::Entry::Vacant(_) => {
+                Err(ProtocolError::UnknownChip { chip_id })
+            }
+        }
+    }
+
     /// Number of registered chips.
     pub fn len(&self) -> usize {
         self.records.len()

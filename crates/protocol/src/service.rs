@@ -902,6 +902,62 @@ impl<C: Responder, Ch: Channel> AuthService<C, Ch> {
         Ok(self.store.insert(chip))
     }
 
+    /// Re-enrolls an *already-enrolled* chip from a fresh enrollment
+    /// record: replaces the compact store record (evicting its stale warm
+    /// planes), clears the `needs_reenrollment` flag and reinstates the
+    /// chip — the service twin of
+    /// [`super::session::SessionManager::reenroll_chip`]. Returns the
+    /// superseded compact record.
+    ///
+    /// # Errors
+    ///
+    /// - [`ProtocolError::UnknownChip`] if the chip was never enrolled.
+    /// - [`ProtocolError::InvalidPolicy`] if the chip has in-flight
+    ///   sessions (their pending rows were selected against the old
+    ///   record; swapping mid-session would judge them against the wrong
+    ///   planes) or on a stage-width mismatch.
+    /// - [`ProtocolError::MalformedRecord`] from
+    ///   [`StoredChip::from_enrolled`].
+    pub fn reenroll(&mut self, record: &EnrolledChip) -> Result<StoredChip, ProtocolError> {
+        self.reenroll_stored(StoredChip::from_enrolled(record)?)
+    }
+
+    /// [`AuthService::reenroll`] over an already-compacted record.
+    ///
+    /// # Errors
+    ///
+    /// As [`AuthService::reenroll`].
+    pub fn reenroll_stored(&mut self, chip: StoredChip) -> Result<StoredChip, ProtocolError> {
+        let chip_id = chip.chip_id();
+        if self.store.chip(chip_id).is_none() {
+            return Err(ProtocolError::UnknownChip { chip_id });
+        }
+        if self
+            .chip_fifo
+            .get(&chip_id)
+            .is_some_and(|fifo| !fifo.is_empty())
+        {
+            return Err(ProtocolError::InvalidPolicy {
+                reason: "cannot re-enroll a chip with in-flight sessions",
+            });
+        }
+        if chip.stages() != self.universe.stages() {
+            return Err(ProtocolError::InvalidPolicy {
+                reason: "stored chip stage width does not match the universe",
+            });
+        }
+        let previous = self
+            .store
+            .insert(chip)
+            .ok_or(ProtocolError::UnknownChip { chip_id })?;
+        let state = self.chip_states.entry(chip_id).or_default();
+        state.needs_reenrollment = false;
+        state.locked_out = false;
+        state.consecutive_failures = 0;
+        puf_telemetry::counter!("protocol.service.reenrolls").inc();
+        Ok(previous)
+    }
+
     /// Submits an authentication session for `chip_id`, to be activated no
     /// earlier than tick `not_before`. Sessions of the same chip execute
     /// serially in submission order (the per-chip FIFO); sessions of
@@ -991,6 +1047,20 @@ impl<C: Responder, Ch: Channel> AuthService<C, Ch> {
     /// [`super::session::SessionManager::state`]).
     pub fn chip_state(&self, chip_id: u32) -> Option<&ChipSessionState> {
         self.chip_states.get(&chip_id)
+    }
+
+    /// Every chip's session state, in ascending chip-id order — the
+    /// iteration the durable layer snapshots and lifecycle harnesses scan
+    /// for `needs_reenrollment` flags.
+    pub fn chip_states(&self) -> impl Iterator<Item = (u32, &ChipSessionState)> + '_ {
+        self.chip_states.iter().map(|(&id, state)| (id, state))
+    }
+
+    /// Overwrites one chip's session state wholesale. Recovery-only: the
+    /// durable layer uses this to re-materialize the ladder state a
+    /// snapshot + WAL replay reconstructs.
+    pub(crate) fn restore_chip_state(&mut self, chip_id: u32, state: ChipSessionState) {
+        self.chip_states.insert(chip_id, state);
     }
 
     /// Administratively clears a lockout, mirroring

@@ -422,6 +422,29 @@ impl SessionManager {
         self.states.get(&chip_id)
     }
 
+    /// All per-chip session states, in ascending chip-id order.
+    pub fn states(&self) -> impl Iterator<Item = (u32, &ChipSessionState)> + '_ {
+        self.states.iter().map(|(&id, s)| (id, s))
+    }
+
+    /// Restores one chip's session state wholesale — the recovery path:
+    /// [`crate::durable::DurableState`] rebuilds a manager from its
+    /// replayed records and then reinstalls each chip's ladder state here.
+    /// Not for normal operation; the state machine owns these fields.
+    pub fn restore_chip_state(&mut self, chip_id: u32, state: ChipSessionState) {
+        self.states.insert(chip_id, state);
+    }
+
+    /// Registers a brand-new chip with the wrapped server and drops any
+    /// stale ladder state under the same id. Unlike
+    /// [`SessionManager::reenroll_chip`] this is first-contact enrollment:
+    /// the disaster-recovery path re-admitting a chip whose record was
+    /// lost with a corrupted snapshot.
+    pub fn register_chip(&mut self, record: crate::enrollment::EnrolledChip) {
+        self.states.remove(&record.chip_id);
+        self.server.register(record);
+    }
+
     /// Whether the chip is currently locked out.
     pub fn is_locked_out(&self, chip_id: u32) -> bool {
         self.states.get(&chip_id).is_some_and(|s| s.locked_out)
@@ -436,6 +459,32 @@ impl SessionManager {
             state.consecutive_failures = 0;
             puf_telemetry::counter!("protocol.session.reinstates").inc();
         }
+    }
+
+    /// Consumes the `needs_reenrollment` flag: swaps in a freshly measured
+    /// enrollment record ([`Server::reenroll_chip`]), clears the flag, and
+    /// reinstates the chip (lockout lifted, consecutive failures reset).
+    /// The sessions/clean-accept counters are history and survive.
+    ///
+    /// Returns the superseded record so operators can archive the stale
+    /// delay model.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UnknownChip`] if the chip was never registered —
+    /// re-enrollment never enrolls a chip with no history.
+    pub fn reenroll_chip(
+        &mut self,
+        record: crate::enrollment::EnrolledChip,
+    ) -> Result<crate::enrollment::EnrolledChip, ProtocolError> {
+        let chip_id = record.chip_id;
+        let previous = self.server.reenroll_chip(record)?;
+        let state = self.states.entry(chip_id).or_default();
+        state.needs_reenrollment = false;
+        state.locked_out = false;
+        state.consecutive_failures = 0;
+        puf_telemetry::counter!("protocol.session.reenrolls").inc();
+        Ok(previous)
     }
 
     /// Runs one full authentication session: up to `1 + max_retries`
@@ -911,6 +960,72 @@ mod tests {
         assert!(mgr.state(3).unwrap().needs_reenrollment);
         // Degraded accept does not clear the failure counter.
         assert!(mgr.state(3).unwrap().consecutive_failures > 0);
+    }
+
+    #[test]
+    fn reenrollment_returns_degraded_chip_to_clean_accepts() {
+        // A drifted responder (mirrors the chip, flips every 10th bit)
+        // forces a degraded accept, which flags the chip. Re-enrolling with
+        // a fresh measurement must clear the flag, reinstate the chip, and
+        // let an un-drifted client authenticate cleanly again.
+        struct NearMiss<'a> {
+            inner: ChipResponder<'a>,
+            flip_every: usize,
+        }
+        impl Responder for NearMiss<'_> {
+            fn respond(&mut self, challenges: &[puf_core::Challenge]) -> Vec<bool> {
+                let mut bits = self.inner.respond(challenges);
+                for (i, b) in bits.iter_mut().enumerate() {
+                    if i % self.flip_every == 0 {
+                        *b = !*b;
+                    }
+                }
+                bits
+            }
+        }
+        let (chip, server, mut rng) = setup(11);
+        let policy = SessionPolicy {
+            lockout_threshold: 100,
+            ..SessionPolicy::degraded(20, 0.25)
+        };
+        let mut mgr = SessionManager::new(server, policy).unwrap();
+        let mut drifted = NearMiss {
+            inner: ChipResponder::new(&chip, 2, Condition::NOMINAL, 15),
+            flip_every: 10,
+        };
+        let report = mgr
+            .authenticate(3, &mut drifted, &mut PerfectChannel, &mut rng)
+            .unwrap();
+        assert_eq!(report.outcome, SessionOutcome::Degraded);
+        assert!(mgr.state(3).unwrap().needs_reenrollment);
+        assert!(mgr.state(3).unwrap().consecutive_failures > 0);
+
+        // Close the loop: a fresh measurement of the same chip.
+        let fresh = enroll(&chip, &EnrollmentConfig::small(2), &mut rng).unwrap();
+        let superseded = mgr.reenroll_chip(fresh).unwrap();
+        assert_eq!(superseded.chip_id, 3);
+        let state = mgr.state(3).unwrap();
+        assert!(
+            !state.needs_reenrollment,
+            "re-enrollment must clear the flag"
+        );
+        assert!(!state.locked_out);
+        assert_eq!(state.consecutive_failures, 0);
+
+        let mut clean = ChipResponder::new(&chip, 2, Condition::NOMINAL, 16);
+        let report = mgr
+            .authenticate(3, &mut clean, &mut PerfectChannel, &mut rng)
+            .unwrap();
+        assert_eq!(report.outcome, SessionOutcome::Accepted);
+        assert!(!mgr.state(3).unwrap().needs_reenrollment);
+
+        // An unknown chip must never be enrolled through this path.
+        let mut stranger = enroll(&chip, &EnrollmentConfig::small(2), &mut rng).unwrap();
+        stranger.chip_id = 99;
+        assert!(matches!(
+            mgr.reenroll_chip(stranger),
+            Err(ProtocolError::UnknownChip { chip_id: 99 })
+        ));
     }
 
     #[test]

@@ -11,10 +11,16 @@
 //!
 //! ```text
 //! database  := MAGIC "XPUF" | u16 version | u32 record_count | record*
+//!            | u32 crc32
 //! record    := u32 chip_id | u16 stages | u16 n | puf*
 //! puf       := f64 thr0 | f64 thr1 | f64 beta0 | f64 beta1
 //!            | u16 theta_len | f64 theta[theta_len]
 //! ```
+//!
+//! The trailing CRC-32 (IEEE polynomial, computed over every preceding
+//! byte) turns silent bit-rot into a typed [`DecodeError::ChecksumMismatch`]
+//! instead of a best-effort read of garbage floats; it is what the durable
+//! log ([`crate::durable`]) builds its torn-write detection on.
 
 use crate::enrollment::{EnrolledChip, EnrolledPuf};
 use crate::server::Server;
@@ -25,7 +31,39 @@ use std::error::Error as StdError;
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"XPUF";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes`.
+///
+/// Hand-rolled table-driven implementation so the codec stays
+/// dependency-free; shared with the write-ahead log in [`crate::durable`].
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    }
+    const TABLE: [u32; 256] = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
 
 /// Errors while decoding a stored database.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +87,19 @@ pub enum DecodeError {
         /// Description of the violated invariant.
         what: &'static str,
     },
+    /// The buffer is longer than the structure it declares.
+    TrailingBytes {
+        /// How many bytes followed the last record.
+        extra: usize,
+    },
+    /// The trailing CRC-32 does not match the decoded payload (bit rot or
+    /// a torn write).
+    ChecksumMismatch {
+        /// CRC recorded in the trailer.
+        stored: u32,
+        /// CRC recomputed over the payload.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -62,6 +113,13 @@ impl fmt::Display for DecodeError {
                 write!(f, "truncated database while reading {while_reading}")
             }
             DecodeError::Corrupt { what } => write!(f, "corrupt database: {what}"),
+            DecodeError::TrailingBytes { extra } => {
+                write!(f, "over-long database: {extra} bytes after the last record")
+            }
+            DecodeError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "database checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
         }
     }
 }
@@ -151,6 +209,12 @@ fn get_record(buf: &mut Bytes) -> Result<EnrolledChip, DecodeError> {
     })
 }
 
+fn seal(mut out: BytesMut) -> Bytes {
+    let crc = crc32(out.as_ref());
+    out.put_u32_le(crc);
+    out.freeze()
+}
+
 /// Encodes one enrollment record.
 pub fn encode_record(record: &EnrolledChip) -> Bytes {
     let mut out = BytesMut::with_capacity(64 + record.pufs.len() * (record.stages + 1) * 8);
@@ -158,7 +222,7 @@ pub fn encode_record(record: &EnrolledChip) -> Bytes {
     out.put_u16_le(VERSION);
     out.put_u32_le(1);
     put_record(&mut out, record);
-    out.freeze()
+    seal(out)
 }
 
 /// Encodes a whole server database (records in ascending chip-id order, so
@@ -173,17 +237,31 @@ pub fn encode_server(server: &Server) -> Bytes {
     for record in server.records() {
         put_record(&mut out, record);
     }
-    out.freeze()
+    seal(out)
 }
 
 /// Decodes a database into its enrollment records.
 ///
 /// # Errors
 ///
-/// Any [`DecodeError`] on malformed input; decoding is strict (trailing
-/// bytes are rejected).
+/// Any [`DecodeError`] on malformed input; decoding is strict (the CRC
+/// trailer must match and over-long input is rejected).
 pub fn decode_records(bytes: &[u8]) -> Result<Vec<EnrolledChip>, DecodeError> {
-    let mut buf = Bytes::copy_from_slice(bytes);
+    // The CRC trailer is checked first: a failed checksum means the byte
+    // stream itself is untrustworthy, so no structural diagnosis of its
+    // contents is meaningful.
+    if bytes.len() < 4 {
+        return Err(DecodeError::Truncated {
+            while_reading: "checksum trailer",
+        });
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(DecodeError::ChecksumMismatch { stored, computed });
+    }
+    let mut buf = Bytes::copy_from_slice(payload);
     need(&buf, 4 + 2 + 4, "header")?;
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
@@ -200,8 +278,8 @@ pub fn decode_records(bytes: &[u8]) -> Result<Vec<EnrolledChip>, DecodeError> {
         records.push(get_record(&mut buf)?);
     }
     if buf.has_remaining() {
-        return Err(DecodeError::Corrupt {
-            what: "trailing bytes after the last record",
+        return Err(DecodeError::TrailingBytes {
+            extra: buf.remaining(),
         });
     }
     Ok(records)
@@ -237,6 +315,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let chip = Chip::fabricate(seed as u32, &ChipConfig::small(), &mut rng);
         enroll(&chip, &EnrollmentConfig::small(n), &mut rng).unwrap()
+    }
+
+    /// Recomputes the CRC trailer after a test mutated the payload, so the
+    /// structural validators (not the checksum) are what reject the input.
+    fn reseal(bytes: &mut [u8]) {
+        let len = bytes.len();
+        let crc = crc32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&crc.to_le_bytes());
     }
 
     #[test]
@@ -286,6 +372,7 @@ mod tests {
         let record = sample_record(1, 1);
         let mut bytes = encode_record(&record).to_vec();
         bytes[0] = b'Y';
+        reseal(&mut bytes);
         assert_eq!(decode_records(&bytes), Err(DecodeError::BadMagic));
     }
 
@@ -294,9 +381,21 @@ mod tests {
         let record = sample_record(1, 1);
         let mut bytes = encode_record(&record).to_vec();
         bytes[4] = 0xFF;
+        reseal(&mut bytes);
         assert!(matches!(
             decode_records(&bytes),
             Err(DecodeError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn bit_rot_without_reseal_is_a_checksum_mismatch() {
+        let record = sample_record(1, 1);
+        let mut bytes = encode_record(&record).to_vec();
+        bytes[0] = b'Y';
+        assert!(matches!(
+            decode_records(&bytes),
+            Err(DecodeError::ChecksumMismatch { .. })
         ));
     }
 
@@ -318,11 +417,15 @@ mod tests {
     fn trailing_garbage_rejected() {
         let record = sample_record(3, 1);
         let mut bytes = encode_record(&record).to_vec();
-        bytes.push(0);
-        assert!(matches!(
+        // Insert a stray byte between the last record and the trailer, then
+        // reseal so the typed over-long error (not the checksum) fires.
+        let trailer_at = bytes.len() - 4;
+        bytes.insert(trailer_at, 0);
+        reseal(&mut bytes);
+        assert_eq!(
             decode_records(&bytes),
-            Err(DecodeError::Corrupt { .. })
-        ));
+            Err(DecodeError::TrailingBytes { extra: 1 })
+        );
     }
 
     #[test]
@@ -333,6 +436,7 @@ mod tests {
         // header; overwrite with NaN.
         let off = 4 + 2 + 4 + 4 + 2 + 2;
         bytes[off..off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        reseal(&mut bytes);
         assert!(matches!(
             decode_records(&bytes),
             Err(DecodeError::Corrupt { .. })
@@ -394,9 +498,10 @@ mod tests {
             fn prop_encoded_size_matches_codec_formula(record in arb_record()) {
                 // header 10 = magic 4 + version 2 + count 4; record header
                 // 8 = chip_id 4 + stages 2 + n 2; per puf: 4 f64 scalars +
-                // u16 theta_len + (stages+1) f64 coefficients.
+                // u16 theta_len + (stages+1) f64 coefficients; trailer 4 =
+                // CRC-32.
                 let per_puf = 4 * 8 + 2 + 8 * (record.stages + 1);
-                let expected = 10 + 8 + record.pufs.len() * per_puf;
+                let expected = 10 + 8 + record.pufs.len() * per_puf + 4;
                 prop_assert_eq!(encode_record(&record).len(), expected);
             }
 
@@ -422,21 +527,37 @@ mod tests {
             }
 
             #[test]
-            fn prop_single_bit_flips_are_detected_or_benign(record in arb_record(), flip in any::<proptest::sample::Index>()) {
+            fn prop_single_bit_flips_are_always_detected(
+                record in arb_record(),
+                flip in any::<proptest::sample::Index>(),
+                bit in 0u8..8,
+            ) {
+                // CRC-32 detects every single-bit error, whether it lands in
+                // the payload or in the trailer itself — flipped databases
+                // must never decode.
                 let bytes = encode_record(&record).to_vec();
                 let mut corrupted = bytes.clone();
                 let idx = flip.index(corrupted.len());
-                corrupted[idx] ^= 0x01;
-                match decode_records(&corrupted) {
-                    // Either the flip was caught...
-                    Err(_) => {}
-                    // ...or it decoded into a *different but valid* record
-                    // (a flipped float bit) — but never into chaos.
-                    Ok(records) => {
-                        prop_assert_eq!(records.len(), 1);
-                        prop_assert_eq!(records[0].stages, record.stages);
-                    }
+                corrupted[idx] ^= 1 << bit;
+                prop_assert!(decode_records(&corrupted).is_err());
+            }
+
+            #[test]
+            fn prop_mutated_streams_never_decode_to_the_original(
+                record in arb_record(),
+                splice_at in any::<proptest::sample::Index>(),
+                junk in proptest::collection::vec(any::<u8>(), 1..16),
+            ) {
+                // Splicing arbitrary bytes into the stream (grow-in-place
+                // corruption, as from a partially retried write) shifts the
+                // trailer off its payload, so the checksum must catch it.
+                let bytes = encode_record(&record).to_vec();
+                let mut corrupted = bytes.clone();
+                let at = splice_at.index(corrupted.len());
+                for (k, b) in junk.iter().enumerate() {
+                    corrupted.insert(at + k, *b);
                 }
+                prop_assert!(decode_records(&corrupted).is_err());
             }
         }
     }
@@ -449,5 +570,25 @@ mod tests {
         }
         .to_string()
         .contains("header"));
+        assert!(DecodeError::TrailingBytes { extra: 3 }
+            .to_string()
+            .contains("3 bytes"));
+        assert!(DecodeError::ChecksumMismatch {
+            stored: 1,
+            computed: 2
+        }
+        .to_string()
+        .contains("checksum"));
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // IEEE CRC-32 check values (RFC 3720 appendix / zlib).
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 }

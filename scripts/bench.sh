@@ -7,7 +7,10 @@
 # campaign through the bit-sliced engine and asserts the packed-vs-batched
 # speedup gate (results/BENCH_trillion.json); server drives the fleet-scale
 # authentication service — 1M enrolled chips, 1M batched sessions — and
-# asserts the batched-vs-sequential speedup gate (results/BENCH_server.json).
+# asserts the batched-vs-sequential speedup gate (results/BENCH_server.json);
+# soak drives the fleet through a simulated service decade — aging, corner
+# walks, pool depletion, re-enrollment, crash/recovery — against the durable
+# chip store (results/BENCH_soak.json).
 #
 # After the harnesses run, `cargo xtask bench-diff` compares the fresh
 # numbers against the previously committed baselines (snapshotted to
@@ -24,8 +27,8 @@ echo "==> snapshot committed baselines to target/bench_baseline/"
 mkdir -p target/bench_baseline
 cp results/BENCH_*.json results/CHAOS.json target/bench_baseline/ 2>/dev/null || true
 
-echo "==> cargo build --release -p puf-bench --bin bench_eval --bin bench_ml --bin trillion --bin server"
-cargo build --release -p puf-bench --bin bench_eval --bin bench_ml --bin trillion --bin server
+echo "==> cargo build --release -p puf-bench --bin bench_eval --bin bench_ml --bin trillion --bin server --bin soak"
+cargo build --release -p puf-bench --bin bench_eval --bin bench_ml --bin trillion --bin server --bin soak
 
 echo "==> bench_eval (writes results/BENCH_eval.json)"
 ./target/release/bench_eval
@@ -38,6 +41,9 @@ echo "==> trillion (writes results/BENCH_trillion.json; asserts the >=4x packed 
 
 echo "==> server (writes results/BENCH_server.json; asserts the >=3x batched gate)"
 ./target/release/server
+
+echo "==> soak (writes results/BENCH_soak.json; checkpointed decade-soak lifecycle)"
+./target/release/soak
 
 echo "==> bench-diff observatory: fresh run vs committed baselines"
 cargo xtask bench-diff --baseline target/bench_baseline --current results

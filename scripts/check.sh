@@ -48,6 +48,19 @@ cargo run -q --release -p puf-bench --bin trillion -- --smoke
 echo "==> server smoke: fleet auth service, 100k chips; asserts the >=3x batched gate"
 cargo run -q --release -p puf-bench --bin server -- --smoke
 
+echo "==> soak smoke: decade-soak lifecycle harness; byte-identical re-run + crash/recover"
+# Two fresh runs must emit byte-identical JSON (the durable store, pool
+# accounting, and crash/recover cycles are all deterministic per seed)...
+cargo run -q --release -p puf-bench --bin soak -- --smoke --fresh --out target/BENCH_soak_smoke.json
+cargo run -q --release -p puf-bench --bin soak -- --smoke --fresh --out target/BENCH_soak_smoke.rerun.json
+cmp target/BENCH_soak_smoke.json target/BENCH_soak_smoke.rerun.json
+# ...and a soak killed mid-run must resume from its checkpoint to the same
+# bytes as an uninterrupted run (clean crash/recover cycles are asserted
+# bit-identical inside the harness itself).
+SOAK_STOP_AFTER=2 cargo run -q --release -p puf-bench --bin soak -- --smoke --fresh --out target/BENCH_soak_smoke.resume.json
+cargo run -q --release -p puf-bench --bin soak -- --smoke --out target/BENCH_soak_smoke.resume.json
+cmp target/BENCH_soak_smoke.json target/BENCH_soak_smoke.resume.json
+
 echo "==> bench-diff observatory: committed baselines parse and self-compare clean"
 cargo xtask bench-diff --baseline results --current results
 
